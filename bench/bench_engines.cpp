@@ -1,0 +1,97 @@
+// Engine ablation: the tree-walking interpreter vs the bytecode VM.
+//
+// Both engines implement the same observable semantics (checked in
+// engines_test.cpp); this bench measures the cost of each "manner" the
+// model compiler may choose (paper §4), plus one-time bytecode compilation.
+// The summary cross-checks the two engines on a real workload before
+// timing anything.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "models.hpp"
+#include "xtsoc/oal/bytecode.hpp"
+#include "xtsoc/verify/equivalence.hpp"
+
+namespace {
+
+using namespace xtsoc;
+using runtime::ActionEngine;
+using runtime::Value;
+
+std::unique_ptr<runtime::Executor> run_soc(core::Project& project,
+                                           ActionEngine engine, int packets,
+                                           bool tracing) {
+  runtime::ExecutorConfig cfg;
+  cfg.engine = engine;
+  cfg.trace_enabled = tracing;
+  auto exec = project.make_abstract_executor(cfg);
+  auto sink = exec->create("Sink");
+  auto crypto = exec->create_with("Crypto", {{"sink", Value(sink)}});
+  auto cls = exec->create_with(
+      "Classifier", {{"crypto", Value(crypto)}, {"sink", Value(sink)}});
+  for (int i = 0; i < packets; ++i) {
+    exec->inject(cls, "packet",
+                 {Value(std::int64_t{16 + (i * 7) % 48}),
+                  Value(static_cast<std::int64_t>(i))});
+  }
+  exec->run_all();
+  return exec;
+}
+
+void print_summary() {
+  std::printf("== engine ablation: AST walker vs bytecode VM ==\n");
+  auto project =
+      xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
+                                 marks::MarkSet{});
+  auto ast = run_soc(*project, ActionEngine::kAstWalk, 64, true);
+  auto vm = run_soc(*project, ActionEngine::kBytecode, 64, true);
+  bool same = ast->trace().to_string() == vm->trace().to_string();
+  std::printf("  cross-check on 64 packets: traces %s (%zu events)\n",
+              same ? "IDENTICAL" : "DIVERGED", ast->trace().size());
+  auto finals = verify::compare_final_states(ast->database(),
+                                             {&vm->database()});
+  std::printf("  final states: %s\n",
+              finals.equivalent ? "IDENTICAL" : "DIVERGED");
+  std::printf("  (timings below; VM pays one-time compile, then less "
+              "per-node overhead)\n\n");
+}
+
+void BM_Engine(benchmark::State& state) {
+  const ActionEngine engine = state.range(0) == 0 ? ActionEngine::kAstWalk
+                                                  : ActionEngine::kBytecode;
+  auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
+                                            marks::MarkSet{});
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    auto exec = run_soc(*project, engine, 200, /*tracing=*/false);
+    dispatched += exec->dispatch_count();
+  }
+  state.counters["signals/s"] = benchmark::Counter(
+      static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+  state.SetLabel(state.range(0) == 0 ? "ast" : "bytecode");
+}
+BENCHMARK(BM_Engine)->Arg(0)->Arg(1)->ArgNames({"engine"});
+
+void BM_BytecodeCompile(benchmark::State& state) {
+  auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
+                                            marks::MarkSet{});
+  ClassId crypto = project->domain().find_class_id("Crypto");
+  const oal::AnalyzedAction& action =
+      project->compiled().action(crypto, StateId(0));
+  for (auto _ : state) {
+    oal::CodeBlock bc = oal::compile_bytecode(action);
+    benchmark::DoNotOptimize(bc);
+  }
+}
+BENCHMARK(BM_BytecodeCompile);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

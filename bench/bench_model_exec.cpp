@@ -1,0 +1,156 @@
+// E3 — "A model can be executed independent of implementation" (paper §2).
+//
+// Measures abstract-executor throughput (signals dispatched per second) as
+// the model scales in instances, queue depth, and per-action work, plus the
+// cost of trace recording. Prints a summary table, then runs the
+// google-benchmark timings that regenerate it.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "models.hpp"
+
+namespace {
+
+using namespace xtsoc;
+
+std::unique_ptr<core::Project>& chain_project() {
+  static auto p = bench::make_project(bench::make_relay_chain(4),
+                                      marks::MarkSet{});
+  return p;
+}
+
+std::unique_ptr<core::Project>& soc_project() {
+  static auto p =
+      bench::make_project(bench::make_packet_soc(), marks::MarkSet{});
+  return p;
+}
+
+/// Dispatch throughput on a token ring: `instances` per stage, one token
+/// each, ttl = kTtl hops.
+void BM_RingDispatch(benchmark::State& state) {
+  const int instances = static_cast<int>(state.range(0));
+  const bool tracing = state.range(1) != 0;
+  auto& project = chain_project();
+
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::ExecutorConfig cfg;
+    cfg.trace_enabled = tracing;
+    auto exec = project->make_abstract_executor(cfg);
+    std::vector<runtime::InstanceHandle> firsts;
+    for (int i = 0; i < instances; ++i) {
+      runtime::InstanceHandle prev;
+      runtime::InstanceHandle first;
+      for (int s = 0; s < 4; ++s) {
+        auto h = exec->create("Stage" + std::to_string(s));
+        if (s == 0) first = h;
+        if (s > 0) {
+          exec->database().set_attr(prev, AttributeId(1),
+                                    runtime::Value(h));
+        }
+        prev = h;
+      }
+      exec->database().set_attr(prev, AttributeId(1), runtime::Value(first));
+      firsts.push_back(first);
+    }
+    for (auto& f : firsts) {
+      exec->inject(f, "token", {runtime::Value(std::int64_t{256})});
+    }
+    state.ResumeTiming();
+
+    exec->run_all();
+    dispatched += exec->dispatch_count();
+  }
+  state.counters["signals/s"] = benchmark::Counter(
+      static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RingDispatch)
+    ->ArgsProduct({{1, 4, 16, 64}, {0, 1}})
+    ->ArgNames({"rings", "trace"});
+
+/// Packet-SoC throughput: heavier actions (the crypto loop).
+void BM_PacketSoc(benchmark::State& state) {
+  const int packets = static_cast<int>(state.range(0));
+  auto& project = soc_project();
+  std::uint64_t dispatched = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::ExecutorConfig cfg;
+    cfg.trace_enabled = false;
+    auto exec = project->make_abstract_executor(cfg);
+    auto sink = exec->create("Sink");
+    auto crypto = exec->create_with("Crypto", {{"sink", runtime::Value(sink)}});
+    auto cls = exec->create_with(
+        "Classifier",
+        {{"crypto", runtime::Value(crypto)}, {"sink", runtime::Value(sink)}});
+    for (int i = 0; i < packets; ++i) {
+      exec->inject(cls, "packet",
+                   {runtime::Value(std::int64_t{16 + (i * 7) % 48}),
+                    runtime::Value(static_cast<std::int64_t>(i))});
+    }
+    state.ResumeTiming();
+    exec->run_all();
+    dispatched += exec->dispatch_count();
+  }
+  state.counters["signals/s"] = benchmark::Counter(
+      static_cast<double>(dispatched), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PacketSoc)->Arg(100)->Arg(1000)->ArgNames({"packets"});
+
+/// Cost of one compile (validate + parse + typecheck every action).
+void BM_CompileDomain(benchmark::State& state) {
+  const int classes = static_cast<int>(state.range(0));
+  auto domain = xtsoc::bench::make_synthetic(classes, 4);
+  for (auto _ : state) {
+    DiagnosticSink sink;
+    auto compiled = oal::compile_domain(*domain, sink);
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_CompileDomain)->Arg(4)->Arg(16)->Arg(64)->ArgNames({"classes"});
+
+void print_summary() {
+  std::printf("== E3: model execution independent of implementation ==\n");
+  std::printf("abstract executor, token ring 4 stages x 16 rings, "
+              "ttl 256, trace on/off:\n");
+  for (bool trace : {true, false}) {
+    runtime::ExecutorConfig cfg;
+    cfg.trace_enabled = trace;
+    auto exec = chain_project()->make_abstract_executor(cfg);
+    std::vector<runtime::InstanceHandle> firsts;
+    for (int i = 0; i < 16; ++i) {
+      runtime::InstanceHandle prev, first;
+      for (int s = 0; s < 4; ++s) {
+        auto h = exec->create("Stage" + std::to_string(s));
+        if (s == 0) first = h;
+        if (s > 0) exec->database().set_attr(prev, AttributeId(1),
+                                             runtime::Value(h));
+        prev = h;
+      }
+      exec->database().set_attr(prev, AttributeId(1), runtime::Value(first));
+      firsts.push_back(first);
+    }
+    for (auto& f : firsts)
+      exec->inject(f, "token", {runtime::Value(std::int64_t{256})});
+    exec->run_all();
+    std::printf("  trace=%-5s dispatches=%llu ops=%llu trace_events=%zu\n",
+                trace ? "on" : "off",
+                static_cast<unsigned long long>(exec->dispatch_count()),
+                static_cast<unsigned long long>(exec->ops_executed()),
+                exec->trace().size());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

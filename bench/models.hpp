@@ -1,0 +1,116 @@
+// Model builders shared by the benchmark binaries.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "xtsoc/core/project.hpp"
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::bench {
+
+/// The packet-filter SoC from examples/packet_filter.cpp: Classifier ->
+/// Crypto -> Sink, with a per-packet work loop in Crypto.
+inline std::unique_ptr<xtuml::Domain> make_packet_soc() {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("PacketSoc");
+  b.cls("Classifier", "CLS");
+  b.cls("Crypto", "CRY");
+  b.cls("Sink", "SNK");
+
+  b.edit("Classifier")
+      .attr("seen", DataType::kInt)
+      .ref_attr("crypto", "Crypto")
+      .ref_attr("sink", "Sink")
+      .event("packet", {{"len", DataType::kInt}, {"seq", DataType::kInt}})
+      .state("Classify",
+             "self.seen = self.seen + 1;\n"
+             "if (param.len % 2 == 0)\n"
+             "  generate encrypt(seq: param.seq, len: param.len) to "
+             "self.crypto;\n"
+             "else\n"
+             "  generate deliver(seq: param.seq, check: param.len) to "
+             "self.sink;\n"
+             "end if;")
+      .transition("Classify", "packet", "Classify");
+
+  b.edit("Crypto")
+      .attr("done_count", DataType::kInt)
+      .ref_attr("sink", "Sink")
+      .event("encrypt", {{"seq", DataType::kInt}, {"len", DataType::kInt}})
+      .state("Scramble",
+             "key = 5;\n"
+             "acc = param.seq;\n"
+             "round = 0;\n"
+             "while (round < param.len)\n"
+             "  acc = (acc * 31 + key) % 65537;\n"
+             "  round = round + 1;\n"
+             "end while;\n"
+             "self.done_count = self.done_count + 1;\n"
+             "generate deliver(seq: param.seq, check: acc) to self.sink;")
+      .transition("Scramble", "encrypt", "Scramble");
+
+  b.edit("Sink")
+      .attr("received", DataType::kInt)
+      .attr("checksum", DataType::kInt)
+      .event("deliver", {{"seq", DataType::kInt}, {"check", DataType::kInt}})
+      .state("Collect",
+             "self.received = self.received + 1;\n"
+             "self.checksum = (self.checksum + param.check) % 1000000007;")
+      .transition("Collect", "deliver", "Collect");
+  return b.take();
+}
+
+/// A relay ring of `n` classes, each forwarding a token to the next: the
+/// workload for signal-latency measurements. Class i is "Stage<i>".
+inline std::unique_ptr<xtuml::Domain> make_relay_chain(int n) {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Chain");
+  for (int i = 0; i < n; ++i) b.cls("Stage" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    std::string next = "Stage" + std::to_string((i + 1) % n);
+    b.edit("Stage" + std::to_string(i))
+        .attr("hops", DataType::kInt)
+        .ref_attr("next", next)
+        .event("token", {{"ttl", DataType::kInt}})
+        .state("Fwd",
+               "self.hops = self.hops + 1;\n"
+               "if (param.ttl > 0)\n"
+               "  generate token(ttl: param.ttl - 1) to self.next;\n"
+               "end if;")
+        .transition("Fwd", "token", "Fwd");
+  }
+  return b.take();
+}
+
+/// Synthetic domain for scaling studies: `classes` classes, each with
+/// `states` states in a cycle plus a modest action, all independent.
+inline std::unique_ptr<xtuml::Domain> make_synthetic(int classes, int states) {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Synth");
+  for (int c = 0; c < classes; ++c) {
+    auto cb = b.cls("C" + std::to_string(c), "K" + std::to_string(c));
+    cb.attr("x", DataType::kInt).attr("y", DataType::kInt).event("step");
+    for (int s = 0; s < states; ++s) {
+      cb.state("S" + std::to_string(s),
+               "self.x = self.x + 1;\n"
+               "self.y = self.x * 2 - self.y;");
+    }
+    for (int s = 0; s < states; ++s) {
+      cb.transition("S" + std::to_string(s), "step",
+                    "S" + std::to_string((s + 1) % states));
+    }
+  }
+  return b.take();
+}
+
+inline std::unique_ptr<core::Project> make_project(
+    std::unique_ptr<xtuml::Domain> domain, marks::MarkSet marks) {
+  DiagnosticSink sink;
+  auto p = core::Project::from_domain(std::move(domain), std::move(marks), sink);
+  if (!p) throw std::runtime_error("project: " + sink.to_string());
+  return p;
+}
+
+}  // namespace xtsoc::bench

@@ -1,0 +1,118 @@
+// Traffic-light controller, authored as .xtm TEXT (the model is data), then
+// pushed through the model compiler: the same marked model yields C for the
+// software half and VHDL for the hardware half, with the interface defined
+// in exactly one place.
+//
+//   $ ./traffic_light            # prints summary + file inventory
+//   $ ./traffic_light --dump     # also prints every generated file
+
+#include <cstdio>
+#include <cstring>
+
+#include "xtsoc/core/project.hpp"
+
+using namespace xtsoc;
+
+namespace {
+
+constexpr const char* kModel = R"(
+# Intersection controller: one Controller sequences two Lights.
+#
+# The controller holds instance REFERENCES to its lights and talks to them
+# only by signals — associations and data access may not cross a partition
+# boundary, so a model that keeps lights behind refs can put them on either
+# side of the fence.
+domain Traffic
+
+class Controller key CTL
+  attr cycles : int = 0
+  attr ns : ref Light          # north-south head
+  attr ew : ref Light          # east-west head
+  event tick()
+  state Running {
+    self.cycles = self.cycles + 1;
+    generate advance() to self.ns;
+    generate advance() to self.ew;
+    generate tick() to self delay 10;
+  }
+  transition Running on tick -> Running
+  initial Running
+end
+
+# The lamp driver is a hardware candidate: trivially simple, hard-real-time.
+class Light key LGT
+  attr color : int = 0        # 0=red 1=green 2=yellow
+  event advance()
+  state Red {
+    self.color = 0;
+  }
+  state Green {
+    self.color = 1;
+  }
+  state Yellow {
+    self.color = 2;
+  }
+  transition Red on advance -> Green
+  transition Green on advance -> Yellow
+  transition Yellow on advance -> Red
+  initial Red
+end
+)";
+
+constexpr const char* kMarks = R"(
+# sticky notes, kept OUTSIDE the model
+Light.isHardware = true
+Light.maxInstances = 4
+Light.intWidth = 8
+domain.busLatency = 1
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool dump = argc > 1 && std::strcmp(argv[1], "--dump") == 0;
+
+  DiagnosticSink sink;
+  auto project = core::Project::from_xtm(kModel, kMarks, sink);
+  if (!project) {
+    std::fprintf(stderr, "rejected:\n%s", sink.to_string().c_str());
+    return 1;
+  }
+  std::printf("%s\n", project->summary().c_str());
+
+  // Hold the model to its word before generating anything: run it.
+  auto exec = project->make_abstract_executor();
+  auto l1 = exec->create("Light");
+  auto l2 = exec->create("Light");
+  auto ctl = exec->create_with(
+      "Controller",
+      {{"ns", runtime::Value(l1)}, {"ew", runtime::Value(l2)}});
+  exec->inject(ctl, "tick");
+  exec->run_all(/*max_dispatches=*/20);  // the controller self-ticks forever
+  std::printf("abstract run: %llu dispatches, t=%llu, light1 color=%s\n\n",
+              static_cast<unsigned long long>(exec->dispatch_count()),
+              static_cast<unsigned long long>(exec->now()),
+              runtime::to_string(
+                  exec->database().get_attr(l1, AttributeId(0))).c_str());
+
+  // One marked model -> two compilable texts.
+  codegen::Output out = project->generate_all(sink);
+  if (sink.has_errors()) {
+    std::fprintf(stderr, "codegen failed:\n%s", sink.to_string().c_str());
+    return 1;
+  }
+  std::printf("generated %zu files, %zu lines total:\n", out.files.size(),
+              out.total_lines());
+  for (const auto& f : out.files) {
+    std::printf("  %-24s %6zu lines\n", f.path.c_str(),
+                count_lines(f.content));
+  }
+  if (dump) {
+    for (const auto& f : out.files) {
+      std::printf("\n===== %s =====\n%s", f.path.c_str(), f.content.c_str());
+    }
+  } else {
+    std::printf("\n(re-run with --dump to print the generated C and VHDL)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// C backend: maps the software partition to compilable C99 (paper §4:
+// "Repeatable mappings are defined that produce compilable text (e.g., C,
+// VHDL) according to a single consistent set of architectural rules").
+//
+// Architectural rules of this mapping:
+//   * each class -> a static instance pool + typed struct, state/event
+//     enums, a transition table, and one action function per state;
+//   * signals -> a single bounded event queue with the xtUML self-directed
+//     priority, pumped by xt_run();
+//   * associations -> a static link table per association;
+//   * boundary signals -> per-message pack/unpack helpers whose opcodes,
+//     offsets and widths come from the SAME InterfaceSpec the VHDL backend
+//     and the cosim bus use — interface consistency by construction.
+//
+// The emitted sources are self-contained C99 (no external runtime) and are
+// verified to compile in the test suite.
+#pragma once
+
+#include "xtsoc/codegen/output.hpp"
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+
+namespace xtsoc::codegen {
+
+/// Generate the software partition. Files:
+///   sw/<domain>_iface.h   — boundary interface constants + pack helpers
+///   sw/<domain>_model.h   — types and prototypes
+///   sw/<domain>_model.c   — pools, queue runtime, dispatch, actions
+///   sw/<domain>_main.c    — entry-point skeleton
+Output generate_c(const mapping::MappedSystem& system, DiagnosticSink& sink);
+
+}  // namespace xtsoc::codegen

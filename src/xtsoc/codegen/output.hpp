@@ -1,0 +1,39 @@
+// Generated-text containers shared by both backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/strings.hpp"
+
+namespace xtsoc::codegen {
+
+struct GeneratedFile {
+  std::string path;     ///< suggested relative path, e.g. "sw/consumer.c"
+  std::string content;
+};
+
+struct Output {
+  std::vector<GeneratedFile> files;
+
+  const GeneratedFile* find(std::string_view path) const {
+    for (const auto& f : files) {
+      if (f.path == path) return &f;
+    }
+    return nullptr;
+  }
+
+  std::size_t total_lines() const {
+    std::size_t n = 0;
+    for (const auto& f : files) n += count_lines(f.content);
+    return n;
+  }
+
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& f : files) n += f.content.size();
+    return n;
+  }
+};
+
+}  // namespace xtsoc::codegen

@@ -1,0 +1,619 @@
+#include "xtsoc/codegen/vhdlgen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "xtsoc/oal/ast.hpp"
+#include "xtsoc/oal/sema.hpp"
+
+namespace xtsoc::codegen {
+
+namespace {
+
+using namespace oal;
+using mapping::MappedSystem;
+using xtuml::ClassDef;
+using xtuml::DataType;
+using xtuml::Domain;
+
+std::string lower(const std::string& n) { return to_snake_case(n); }
+std::string upper(const std::string& n) { return to_upper_snake(n); }
+
+/// VHDL value type for an abstract data type inside the FSM process.
+/// Abstract 64-bit ints narrow to VHDL `integer`; the wire format keeps the
+/// declared width, so only in-fabric arithmetic narrows (documented in the
+/// generated header comment).
+const char* vhdl_type(DataType t) {
+  switch (t) {
+    case DataType::kBool: return "boolean";
+    case DataType::kInt: return "integer";
+    case DataType::kReal: return "real";
+    case DataType::kInstRef: return "unsigned(47 downto 0)";
+    default: return "integer";
+  }
+}
+
+std::string vhdl_zero(DataType t) {
+  switch (t) {
+    case DataType::kBool: return "false";
+    case DataType::kInt: return "0";
+    case DataType::kReal: return "0.0";
+    case DataType::kInstRef: return "(others => '1')";  // null handle
+    default: return "0";
+  }
+}
+
+class Writer {
+public:
+  Writer& line(const std::string& text = {}) {
+    if (!text.empty()) {
+      for (int i = 0; i < indent_; ++i) os_ << "  ";
+      os_ << text;
+    }
+    os_ << '\n';
+    return *this;
+  }
+  Writer& open(const std::string& text) {
+    line(text);
+    ++indent_;
+    return *this;
+  }
+  Writer& close(const std::string& text) {
+    --indent_;
+    if (!text.empty()) line(text);
+    return *this;
+  }
+  Writer& dedent() {
+    --indent_;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+private:
+  std::ostringstream os_;
+  int indent_ = 0;
+};
+
+std::string msg_const(const Domain& domain, const mapping::MessageLayout& m) {
+  return "MSG_" + upper(domain.cls(m.target_class).name) + "_" +
+         upper(domain.cls(m.target_class).event(m.event).name);
+}
+
+/// Translate an analyzed OAL action into VHDL sequential statements.
+class VhdlTranslator {
+public:
+  VhdlTranslator(const MappedSystem& sys, const ClassDef& cls,
+                 const AnalyzedAction& action, const std::string& state_name,
+                 const mapping::MessageLayout* rx_layout)
+      : sys_(sys), domain_(sys.domain()), cls_(cls), action_(action),
+        state_prefix_("v_" + lower(state_name) + "_"), rx_(rx_layout) {}
+
+  /// Per-action local variable declarations (unique-prefixed per state so
+  /// every state's locals can live in the single FSM process).
+  void declare_locals(Writer& w) const {
+    for (const auto& local : action_.locals) {
+      if (local.type.is_set) {
+        w.line("variable " + state_prefix_ + local.name +
+               " : t_handle_set; -- set of " +
+               domain_.cls(local.type.cls).name);
+        w.line("variable " + state_prefix_ + local.name + "_n : natural;");
+      } else {
+        w.line("variable " + state_prefix_ + local.name + " : " +
+               vhdl_type(local.type.base) + ";");
+      }
+    }
+  }
+
+  void emit_body(Writer& w) { emit_block(w, action_.ast); }
+
+private:
+  std::string var(const std::string& name) const {
+    return state_prefix_ + name;
+  }
+
+  std::string field_slice(const mapping::FieldLayout& f) const {
+    return "rx_payload(" + std::to_string(f.offset_bits + f.width_bits - 1) +
+           " downto " + std::to_string(f.offset_bits) + ")";
+  }
+
+  const mapping::FieldLayout* rx_field(const std::string& name) const {
+    if (rx_ == nullptr) return nullptr;
+    for (const auto& f : rx_->fields) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+
+  std::string expr(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        const auto& lit = static_cast<const LiteralExpr&>(e);
+        switch (lit.value.index()) {
+          case 0: return std::get<bool>(lit.value) ? "true" : "false";
+          case 1: return std::to_string(std::get<std::int64_t>(lit.value));
+          case 2: {
+            std::ostringstream os;
+            os << std::get<double>(lit.value);
+            std::string s = os.str();
+            if (s.find('.') == std::string::npos) s += ".0";
+            return s;
+          }
+          default:
+            return "\"<string>\"";  // unreachable: strings banned in hw
+        }
+      }
+      case ExprKind::kVarRef:
+        return var(static_cast<const VarRefExpr&>(e).name);
+      case ExprKind::kSelfRef:
+        return "self_handle(idx)";
+      case ExprKind::kSelectedRef:
+        return "sel_h";
+      case ExprKind::kParamRef: {
+        const auto& p = static_cast<const ParamRefExpr&>(e);
+        const mapping::FieldLayout* f = rx_field(p.name);
+        if (f == nullptr) return "0 -- param." + p.name;
+        switch (f->type) {
+          case DataType::kBool:
+            return "(" + field_slice(*f) + " = \"1\")";
+          case DataType::kInt:
+            return "to_integer(signed(" + field_slice(*f) + "))";
+          case DataType::kReal:
+            return "to_real_bits(" + field_slice(*f) + ")";
+          case DataType::kInstRef:
+            return "unsigned(" + field_slice(*f) + ")";
+          default:
+            return "0";
+        }
+      }
+      case ExprKind::kAttrAccess: {
+        const auto& a = static_cast<const AttrAccessExpr&>(e);
+        // Only same-class (pooled) access survives partition validation.
+        return "v_" + a.attr_name + "(to_index(" + expr(*a.object) + "))";
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        const char* op = u.op == UnaryOp::kNeg ? "-" : "not ";
+        return std::string(op) + "(" + expr(*u.operand) + ")";
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        std::string l = expr(*b.lhs);
+        std::string r = expr(*b.rhs);
+        const char* op = nullptr;
+        switch (b.op) {
+          case BinaryOp::kAdd: op = "+"; break;
+          case BinaryOp::kSub: op = "-"; break;
+          case BinaryOp::kMul: op = "*"; break;
+          case BinaryOp::kDiv: op = "/"; break;
+          case BinaryOp::kMod: op = "mod"; break;
+          case BinaryOp::kEq: op = "="; break;
+          case BinaryOp::kNe: op = "/="; break;
+          case BinaryOp::kLt: op = "<"; break;
+          case BinaryOp::kLe: op = "<="; break;
+          case BinaryOp::kGt: op = ">"; break;
+          case BinaryOp::kGe: op = ">="; break;
+          case BinaryOp::kAnd: op = "and"; break;
+          case BinaryOp::kOr: op = "or"; break;
+        }
+        return "(" + l + " " + op + " " + r + ")";
+      }
+      case ExprKind::kCardinality: {
+        const auto& c = static_cast<const CardinalityExpr&>(e);
+        if (c.operand->type.is_set) {
+          if (c.operand->kind == ExprKind::kVarRef) {
+            return var(static_cast<const VarRefExpr&>(*c.operand).name) + "_n";
+          }
+          return "0 -- cardinality of non-variable set";
+        }
+        return "bool_to_int(is_live(" + expr(*c.operand) + "))";
+      }
+      case ExprKind::kEmpty:
+      case ExprKind::kNotEmpty: {
+        const auto& em = static_cast<const EmptyExpr&>(e);
+        std::string inner;
+        if (em.operand->type.is_set &&
+            em.operand->kind == ExprKind::kVarRef) {
+          inner = "(" +
+                  var(static_cast<const VarRefExpr&>(*em.operand).name) +
+                  "_n = 0)";
+        } else {
+          inner = "(not is_live(" + expr(*em.operand) + "))";
+        }
+        return e.kind == ExprKind::kEmpty ? inner : ("(not " + inner + ")");
+      }
+    }
+    return "0";
+  }
+
+  void emit_block(Writer& w, const Block& b) {
+    for (const auto& s : b.stmts) emit_stmt(w, *s);
+  }
+
+  void emit_stmt(Writer& w, const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        w.line(expr(*a.lvalue) + " := " + expr(*a.rvalue) + ";");
+        break;
+      }
+      case StmtKind::kCreate: {
+        const auto& c = static_cast<const CreateStmt&>(s);
+        w.line("-- create instance in the " + domain_.cls(c.cls).name +
+               " pool");
+        w.line(var(c.var) + " := pool_alloc_" + lower(domain_.cls(c.cls).name) +
+               ";");
+        break;
+      }
+      case StmtKind::kDelete: {
+        const auto& d = static_cast<const DeleteStmt&>(s);
+        w.line("pool_free(" + expr(*d.object) + ");");
+        break;
+      }
+      case StmtKind::kGenerate:
+        emit_generate(w, static_cast<const GenerateStmt&>(s));
+        break;
+      case StmtKind::kSelectFrom: {
+        const auto& sel = static_cast<const SelectFromStmt&>(s);
+        std::string pool = upper(domain_.cls(sel.cls).name) + "_POOL";
+        if (sel.many) w.line(var(sel.var) + "_n := 0;");
+        w.open("for i in 0 to " + pool + " - 1 loop");
+        w.line("if not pool_live(i) then next; end if;");
+        w.line("sel_h := handle_of(i);");
+        if (sel.where) {
+          w.line("if not (" + expr(*sel.where) + ") then next; end if;");
+        }
+        if (sel.many) {
+          w.line(var(sel.var) + "(" + var(sel.var) + "_n) := sel_h;");
+          w.line(var(sel.var) + "_n := " + var(sel.var) + "_n + 1;");
+        } else {
+          w.line(var(sel.var) + " := sel_h;");
+          w.line("exit;");
+        }
+        w.close("end loop;");
+        break;
+      }
+      case StmtKind::kSelectRelated: {
+        const auto& sel = static_cast<const SelectRelatedStmt&>(s);
+        w.line("-- navigate " + sel.assoc_name + " from " +
+               expr(*sel.start));
+        w.line(var(sel.var) + (sel.many ? "_n := link_scan_" : " := link_one_") +
+               lower(sel.assoc_name) + "(" + expr(*sel.start) + ");");
+        break;
+      }
+      case StmtKind::kRelate:
+      case StmtKind::kUnrelate: {
+        const auto& r = static_cast<const RelateStmt&>(s);
+        const char* fn = s.kind == StmtKind::kRelate ? "link_set_" : "link_clr_";
+        w.line(std::string(fn) + lower(r.assoc_name) + "(" + expr(*r.a) +
+               ", " + expr(*r.b) + ");");
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        for (std::size_t k = 0; k < i.branches.size(); ++k) {
+          std::string kw = k == 0 ? "if " : "elsif ";
+          w.open(kw + expr(*i.branches[k].cond) + " then");
+          emit_block(w, i.branches[k].body);
+          w.close("");
+        }
+        if (i.else_body) {
+          w.open("else");
+          emit_block(w, *i.else_body);
+          w.close("");
+        }
+        w.line("end if;");
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& wh = static_cast<const WhileStmt&>(s);
+        w.open("while " + expr(*wh.cond) + " loop");
+        emit_block(w, wh.body);
+        w.close("end loop;");
+        break;
+      }
+      case StmtKind::kForEach: {
+        const auto& f = static_cast<const ForEachStmt&>(s);
+        std::string set_name =
+            f.set->kind == ExprKind::kVarRef
+                ? var(static_cast<const VarRefExpr&>(*f.set).name)
+                : "set";
+        w.open("for i in 0 to " + set_name + "_n - 1 loop");
+        w.line(var(f.var) + " := " + set_name + "(i);");
+        emit_block(w, f.body);
+        w.close("end loop;");
+        break;
+      }
+      case StmtKind::kBreak:
+        w.line("exit;");
+        break;
+      case StmtKind::kContinue:
+        w.line("next;");
+        break;
+      case StmtKind::kReturn:
+        w.line("return;");
+        break;
+      case StmtKind::kLog: {
+        const auto& l = static_cast<const LogStmt&>(s);
+        std::string rep = "report \"log\"";
+        for (const auto& a : l.args) {
+          const OalType& t = a->type;
+          if (t.is_set) continue;
+          switch (t.base) {
+            case DataType::kInt:
+              rep += " & \" \" & integer'image(" + expr(*a) + ")";
+              break;
+            case DataType::kBool:
+              rep += " & \" \" & boolean'image(" + expr(*a) + ")";
+              break;
+            case DataType::kReal:
+              rep += " & \" \" & real'image(" + expr(*a) + ")";
+              break;
+            default:
+              break;
+          }
+        }
+        w.line(rep + " severity note;");
+        break;
+      }
+    }
+  }
+
+  void emit_generate(Writer& w, const GenerateStmt& g) {
+    const ClassDef& target = domain_.cls(g.target_class);
+    const xtuml::EventDef& ev = target.event(g.event);
+    const bool cross = sys_.partition().crosses_boundary(cls_.id, target.id);
+
+    std::vector<const Expr*> arg_exprs(ev.params.size(), nullptr);
+    for (const auto& a : g.args) {
+      arg_exprs[static_cast<std::size_t>(a.param_index)] = a.value.get();
+    }
+
+    if (!cross) {
+      // Intra-fabric signal: delivered by the integration-level router.
+      std::string call = "fab_send_" + lower(target.name) + "_" +
+                         lower(ev.name) + "(" + expr(*g.target);
+      for (const Expr* a : arg_exprs) call += ", " + expr(*a);
+      call += ");";
+      w.line(call);
+      return;
+    }
+
+    const mapping::MessageLayout* m =
+        sys_.interface().find(target.id, ev.id);
+    if (m == nullptr) {
+      w.line("-- ERROR: no boundary message for " + target.name + "." +
+             ev.name);
+      return;
+    }
+    std::string mc = msg_const(domain_, *m);
+    w.line("-- boundary signal " + m->name + " -> software");
+    w.line("tx_valid <= '1';");
+    w.line("tx_opcode <= to_unsigned(" + mc + "_OPCODE, 16);");
+    // Target handle field.
+    const auto& tf = m->fields[0];
+    w.line("tx_payload(" + std::to_string(tf.offset_bits + tf.width_bits - 1) +
+           " downto " + std::to_string(tf.offset_bits) +
+           ") <= std_logic_vector(" + expr(*g.target) + ");");
+    for (std::size_t i = 1; i < m->fields.size(); ++i) {
+      const auto& f = m->fields[i];
+      const Expr* a = arg_exprs[i - 1];
+      std::string slice = "tx_payload(" +
+                          std::to_string(f.offset_bits + f.width_bits - 1) +
+                          " downto " + std::to_string(f.offset_bits) + ")";
+      switch (f.type) {
+        case DataType::kBool:
+          w.line(slice + " <= \"1\" when (" + expr(*a) +
+                 ") else \"0\";");
+          break;
+        case DataType::kInt:
+          w.line(slice + " <= std_logic_vector(to_signed(" + expr(*a) + ", " +
+                 std::to_string(f.width_bits) + "));");
+          break;
+        case DataType::kReal:
+          w.line(slice + " <= real_to_bits(" + expr(*a) + ");");
+          break;
+        case DataType::kInstRef:
+          w.line(slice + " <= std_logic_vector(" + expr(*a) + ");");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  const MappedSystem& sys_;
+  const Domain& domain_;
+  const ClassDef& cls_;
+  const AnalyzedAction& action_;
+  std::string state_prefix_;
+  const mapping::MessageLayout* rx_;
+};
+
+std::string gen_package(const MappedSystem& sys) {
+  const Domain& domain = sys.domain();
+  Writer w;
+  w.line("-- Boundary interface package for domain '" + domain.name() +
+         "' — generated by the xtsoc model compiler. DO NOT EDIT.");
+  w.line("-- The C header sw/" + lower(domain.name()) +
+         "_iface.h carries the same constants: both are rendered from one");
+  w.line("-- InterfaceSpec, so the two halves fit together by construction.");
+  w.line("library ieee;");
+  w.line("use ieee.std_logic_1164.all;");
+  w.line("use ieee.numeric_std.all;");
+  w.line();
+  w.open("package " + lower(domain.name()) + "_pkg is");
+  w.line("constant XT_IFACE_DIGEST : string := \"" +
+         sys.interface().digest(domain) + "\";");
+  int max_bits = 1;
+  for (const auto& m : sys.interface().messages()) {
+    max_bits = std::max(max_bits, m.payload_bits);
+  }
+  w.line("constant MSG_MAX_BITS : natural := " + std::to_string(max_bits) +
+         ";");
+  for (const auto& m : sys.interface().messages()) {
+    std::string mc = msg_const(domain, m);
+    w.line("-- " + m.name + " (" + mapping::to_string(m.direction) + ")");
+    w.line("constant " + mc + "_OPCODE : natural := " +
+           std::to_string(m.opcode) + ";");
+    w.line("constant " + mc + "_BITS : natural := " +
+           std::to_string(m.payload_bits) + ";");
+    for (const auto& f : m.fields) {
+      std::string fname = f.name == "_target" ? "TARGET" : upper(f.name);
+      w.line("constant " + mc + "_F_" + fname + "_OFF : natural := " +
+             std::to_string(f.offset_bits) + ";");
+      w.line("constant " + mc + "_F_" + fname + "_W : natural := " +
+             std::to_string(f.width_bits) + ";");
+    }
+  }
+  w.line("subtype t_handle is unsigned(47 downto 0);");
+  w.line("type t_handle_set is array (0 to 255) of t_handle;");
+  w.close("end package;");
+  return w.str();
+}
+
+std::string gen_entity(const MappedSystem& sys, const ClassDef& cls) {
+  const Domain& domain = sys.domain();
+  const mapping::ClassMapping& cm = sys.mapping_of(cls.id);
+  Writer w;
+  w.line("-- Entity for hardware class '" + cls.name +
+         "' — generated by the xtsoc model compiler. DO NOT EDIT.");
+  w.line("-- Mapping: pool of " + std::to_string(cm.max_instances) +
+         " parallel FSM instances, clock domain " +
+         std::to_string(cm.clock_domain) +
+         ", one signal consumed per instance per clock.");
+  w.line("library ieee;");
+  w.line("use ieee.std_logic_1164.all;");
+  w.line("use ieee.numeric_std.all;");
+  w.line("use work." + lower(domain.name()) + "_pkg.all;");
+  w.line();
+  w.open("entity " + lower(cls.name) + " is");
+  w.open("port (");
+  w.line("clk        : in  std_logic;");
+  w.line("rst        : in  std_logic;");
+  w.line("rx_valid   : in  std_logic;");
+  w.line("rx_opcode  : in  unsigned(15 downto 0);");
+  w.line("rx_payload : in  std_logic_vector(MSG_MAX_BITS - 1 downto 0);");
+  w.line("tx_valid   : out std_logic;");
+  w.line("tx_opcode  : out unsigned(15 downto 0);");
+  w.line("tx_payload : out std_logic_vector(MSG_MAX_BITS - 1 downto 0)");
+  w.close(");");
+  w.close("end entity;");
+  w.line();
+  w.open("architecture rtl of " + lower(cls.name) + " is");
+  w.line("constant " + upper(cls.name) + "_POOL : natural := " +
+         std::to_string(cm.max_instances) + ";");
+  if (!cls.states.empty()) {
+    std::string st = "type state_t is (";
+    for (std::size_t i = 0; i < cls.states.size(); ++i) {
+      if (i > 0) st += ", ";
+      st += "ST_" + upper(cls.states[i].name);
+    }
+    st += ");";
+    w.line(st);
+    w.line("type t_state_arr is array (0 to " + upper(cls.name) +
+           "_POOL - 1) of state_t;");
+  }
+  for (const auto& a : cls.attributes) {
+    w.line("type t_" + a.name + "_arr is array (0 to " + upper(cls.name) +
+           "_POOL - 1) of " + vhdl_type(a.type) + ";");
+  }
+  w.close("begin");
+  w.line();
+  w.open("fsm : process(clk)");
+  if (!cls.states.empty()) {
+    w.line("variable v_state : t_state_arr := (others => ST_" +
+           upper(cls.states[cls.initial_state.value()].name) + ");");
+  }
+  for (const auto& a : cls.attributes) {
+    w.line("variable v_" + a.name + " : t_" + a.name + "_arr := (others => " +
+           vhdl_zero(a.type) + ");");
+  }
+  w.line("variable idx : natural;");
+  w.line("variable sel_h : t_handle;");
+
+  // Per-state local variables (unique-prefixed).
+  const oal::CompiledClass& cc = sys.compiled().cls(cls.id);
+  std::vector<std::unique_ptr<VhdlTranslator>> translators;
+  for (const auto& st : cls.states) {
+    // Which boundary message (if any) enters this state? The rx layout
+    // provides the param fields.
+    const mapping::MessageLayout* rx = nullptr;
+    for (const auto& t : cls.transitions) {
+      if (t.to == st.id) {
+        rx = sys.interface().find(cls.id, t.event);
+        if (rx != nullptr) break;
+      }
+    }
+    translators.push_back(std::make_unique<VhdlTranslator>(
+        sys, cls, cc.state_actions[st.id.value()], st.name, rx));
+    translators.back()->declare_locals(w);
+  }
+
+  w.dedent();  // close the declarative part: "begin" re-opens the body
+  w.open("begin");
+  w.open("if rising_edge(clk) then");
+  w.open("if rst = '1' then");
+  if (!cls.states.empty()) {
+    w.line("v_state := (others => ST_" +
+           upper(cls.states[cls.initial_state.value()].name) + ");");
+  }
+  for (const auto& a : cls.attributes) {
+    w.line("v_" + a.name + " := (others => " + vhdl_zero(a.type) + ");");
+  }
+  w.line("tx_valid <= '0';");
+  w.dedent();
+  w.open("else");
+  w.line("tx_valid <= '0';");
+  w.open("if rx_valid = '1' then");
+  w.line("-- instance index: bits 16..39 of the target-handle field");
+  w.line("idx := to_integer(unsigned(rx_payload(39 downto 16)));");
+  w.open("case to_integer(rx_opcode) is");
+
+  for (const auto& m : sys.interface().messages()) {
+    if (m.target_class != cls.id) continue;
+    const xtuml::EventDef& ev = cls.event(m.event);
+    std::string mc = msg_const(domain, m);
+    w.open("when " + mc + "_OPCODE =>  -- " + m.name);
+    w.open("case v_state(idx) is");
+    bool any = false;
+    for (const auto& t : cls.transitions) {
+      if (t.event != ev.id) continue;
+      any = true;
+      w.open("when ST_" + upper(cls.state(t.from).name) + " =>");
+      w.line("v_state(idx) := ST_" + upper(cls.state(t.to).name) + ";");
+      w.line("-- actions of state " + cls.state(t.to).name);
+      translators[t.to.value()]->emit_body(w);
+      w.dedent();
+    }
+    if (!any) w.line("-- no transitions on this event");
+    w.line("when others => null;  -- event ignored in other states");
+    w.close("end case;");
+    w.dedent();
+  }
+  w.line("when others => null;  -- unknown opcode");
+  w.close("end case;");
+  w.close("end if;");
+  w.close("end if;");
+  w.close("end if;");
+  w.close("end process;");
+  w.line();
+  w.line("end architecture;");
+  return w.str();
+}
+
+}  // namespace
+
+Output generate_vhdl(const MappedSystem& sys, DiagnosticSink& sink) {
+  (void)sink;
+  Output out;
+  const Domain& domain = sys.domain();
+  out.files.push_back(
+      {"hw/" + lower(domain.name()) + "_pkg.vhd", gen_package(sys)});
+  for (const auto& c : domain.classes()) {
+    if (!sys.partition().is_hardware(c.id)) continue;
+    out.files.push_back({"hw/" + lower(c.name) + ".vhd", gen_entity(sys, c)});
+  }
+  return out;
+}
+
+}  // namespace xtsoc::codegen

@@ -1,0 +1,27 @@
+// VHDL backend: maps the hardware partition to VHDL-93 text.
+//
+// Architectural rules of this mapping (the hardware twin of cgen.hpp):
+//   * each hardware class -> one entity with clk/rst and rx/tx message
+//     ports, an instance-pool of parallel FSMs realized as arrays indexed
+//     by the instance field of the incoming message;
+//   * one signal consumed per instance per clock edge;
+//   * attributes -> per-instance variable arrays inside the FSM process;
+//   * boundary signals -> tx port writes using opcode/field constants from
+//     the generated package — the same numbers the C header carries,
+//     because both backends read the same InterfaceSpec.
+//
+// Files:
+//   hw/<domain>_pkg.vhd   — interface constants package (+ digest)
+//   hw/<class>.vhd        — one entity per hardware class
+#pragma once
+
+#include "xtsoc/codegen/output.hpp"
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+
+namespace xtsoc::codegen {
+
+Output generate_vhdl(const mapping::MappedSystem& system,
+                     DiagnosticSink& sink);
+
+}  // namespace xtsoc::codegen

@@ -1,0 +1,60 @@
+#include "xtsoc/common/diagnostics.hpp"
+
+#include <sstream>
+
+namespace xtsoc {
+
+namespace {
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  if (loc.is_valid()) {
+    os << loc.line << ':' << loc.column << ": ";
+  }
+  os << severity_name(severity) << " [" << code << "] " << message;
+  return os.str();
+}
+
+void DiagnosticSink::error(std::string code, std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kError, loc, std::move(code), std::move(message)});
+}
+
+void DiagnosticSink::warning(std::string code, std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kWarning, loc, std::move(code), std::move(message)});
+}
+
+void DiagnosticSink::note(std::string code, std::string message, SourceLoc loc) {
+  diags_.push_back({Severity::kNote, loc, std::move(code), std::move(message)});
+}
+
+bool DiagnosticSink::has_errors() const { return error_count() > 0; }
+
+std::size_t DiagnosticSink::error_count() const {
+  std::size_t n = 0;
+  for (const auto& d : diags_) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << d.to_string() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xtsoc

@@ -1,0 +1,51 @@
+// Diagnostics: source locations, severities, and a sink that collects
+// structured messages from parsers, validators and the model compiler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xtsoc {
+
+/// A position in a textual source (action body or .xtm model file).
+/// Lines and columns are 1-based; {0,0} means "no location".
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool is_valid() const { return line > 0; }
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+/// One structured diagnostic message.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string code;     ///< stable machine-readable code, e.g. "oal.parse.expected"
+  std::string message;  ///< human-readable text
+
+  std::string to_string() const;
+};
+
+/// Accumulates diagnostics; cheap to pass by reference through a pipeline.
+class DiagnosticSink {
+public:
+  void error(std::string code, std::string message, SourceLoc loc = {});
+  void warning(std::string code, std::string message, SourceLoc loc = {});
+  void note(std::string code, std::string message, SourceLoc loc = {});
+
+  bool has_errors() const;
+  std::size_t error_count() const;
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  void clear() { diags_.clear(); }
+
+  /// All diagnostics joined by newlines — convenient for test failure output.
+  std::string to_string() const;
+
+private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace xtsoc

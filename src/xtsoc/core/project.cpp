@@ -1,0 +1,99 @@
+#include "xtsoc/core/project.hpp"
+
+#include <sstream>
+
+#include "xtsoc/codegen/cgen.hpp"
+#include "xtsoc/codegen/vhdlgen.hpp"
+#include "xtsoc/text/xtm.hpp"
+
+namespace xtsoc::core {
+
+std::unique_ptr<Project> Project::from_xtm(std::string_view xtm_text,
+                                           std::string_view marks_text,
+                                           DiagnosticSink& sink) {
+  std::unique_ptr<xtuml::Domain> domain = text::parse_xtm(xtm_text, sink);
+  if (domain == nullptr) return nullptr;
+  marks::MarkSet marks = marks::MarkSet::from_text(marks_text, sink);
+  if (sink.has_errors()) return nullptr;
+  return from_domain(std::move(domain), std::move(marks), sink);
+}
+
+std::unique_ptr<Project> Project::from_domain(
+    std::unique_ptr<xtuml::Domain> domain, marks::MarkSet marks,
+    DiagnosticSink& sink) {
+  auto project = std::unique_ptr<Project>(new Project);
+  project->domain_ = std::move(domain);
+  project->marks_ = std::move(marks);
+  project->compiled_ = oal::compile_domain(*project->domain_, sink);
+  if (project->compiled_ == nullptr) return nullptr;
+  if (!project->map(sink)) return nullptr;
+  return project;
+}
+
+bool Project::map(DiagnosticSink& sink) {
+  auto mapped = mapping::map_system(*compiled_, marks_, sink);
+  if (mapped == nullptr) return false;
+  system_ = std::move(mapped);
+  return true;
+}
+
+std::optional<marks::MarkDiff> Project::repartition(marks::MarkSet new_marks,
+                                                    DiagnosticSink& sink) {
+  auto mapped = mapping::map_system(*compiled_, new_marks, sink);
+  if (mapped == nullptr) return std::nullopt;  // keep the old mapping
+  marks::MarkDiff diff = marks::MarkSet::diff(marks_, new_marks);
+  marks_ = std::move(new_marks);
+  system_ = std::move(mapped);
+  return diff;
+}
+
+std::unique_ptr<runtime::Executor> Project::make_abstract_executor(
+    runtime::ExecutorConfig config) const {
+  return std::make_unique<runtime::Executor>(*compiled_, config);
+}
+
+std::unique_ptr<cosim::CoSimulation> Project::make_cosim(
+    cosim::CoSimConfig config) const {
+  return std::make_unique<cosim::CoSimulation>(*system_, config);
+}
+
+verify::RunReport Project::run_model_test(const verify::TestCase& test) const {
+  verify::AbstractRunner runner(*compiled_);
+  return runner.run(test);
+}
+
+verify::ConformanceReport Project::run_conformance(
+    const verify::TestCase& test) const {
+  return verify::run_conformance(*compiled_, *system_, test);
+}
+
+codegen::Output Project::generate_c(DiagnosticSink& sink) const {
+  return codegen::generate_c(*system_, sink);
+}
+
+codegen::Output Project::generate_vhdl(DiagnosticSink& sink) const {
+  return codegen::generate_vhdl(*system_, sink);
+}
+
+codegen::Output Project::generate_all(DiagnosticSink& sink) const {
+  codegen::Output out = codegen::generate_c(*system_, sink);
+  codegen::Output hw = codegen::generate_vhdl(*system_, sink);
+  for (auto& f : hw.files) out.files.push_back(std::move(f));
+  return out;
+}
+
+std::string Project::summary() const {
+  std::ostringstream os;
+  os << "domain '" << domain_->name() << "': " << domain_->class_count()
+     << " classes, " << domain_->state_count() << " states, "
+     << domain_->transition_count() << " transitions, "
+     << domain_->associations().size() << " associations\n";
+  os << "partition: " << system_->partition().to_string(*domain_) << '\n';
+  os << "interface: " << system_->interface().message_count()
+     << " boundary messages (digest "
+     << system_->interface().digest(*domain_) << "), bus latency "
+     << system_->bus_latency() << " cycles\n";
+  return os.str();
+}
+
+}  // namespace xtsoc::core

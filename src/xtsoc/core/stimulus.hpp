@@ -1,0 +1,47 @@
+// Stimulus scripts: drive a model from text, so the whole paper workflow —
+// model + marks + test — runs from the command line with no C++ written.
+//
+// Format (one command per line, `#` comments):
+//
+//   create <name> <Class> [attr=value ...]     # @other references a prior
+//                                              # instance (for ref attrs)
+//   inject <name> <event> [param=value ...] [delay=N]
+//   run [N]                                    # run to quiescence, at most
+//                                              # N dispatches/cycles (default 100000)
+//   expect <name>.<attr> == <value>
+//   expect_state <name> <State>
+//   print summary|trace
+//
+// Values: true/false, integers, reals, "strings", @instance.
+//
+// Scripts execute against the abstract executor (the model, no
+// implementation — paper §2) via run_stimulus(), or against a partitioned
+// co-simulation via run_stimulus_cosim(); expectations behave identically,
+// which is the point.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+#include "xtsoc/core/project.hpp"
+
+namespace xtsoc::core {
+
+struct StimulusResult {
+  bool ok = true;
+  int commands = 0;
+  int failed_expectations = 0;
+  std::string to_string() const;
+};
+
+/// Run `script` against the abstract model. Human-readable output (prints,
+/// expectation failures, script errors) goes to `out`.
+StimulusResult run_stimulus(const Project& project, std::string_view script,
+                            std::ostream& out);
+
+/// Same script, but against the partitioned co-simulation.
+StimulusResult run_stimulus_cosim(const Project& project,
+                                  std::string_view script, std::ostream& out,
+                                  cosim::CoSimConfig config = {});
+
+}  // namespace xtsoc::core

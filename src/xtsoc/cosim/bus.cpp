@@ -1,0 +1,63 @@
+#include "xtsoc/cosim/bus.hpp"
+
+namespace xtsoc::cosim {
+
+void Bus::connect(const std::string& hw_digest, const std::string& sw_digest) {
+  if (hw_digest != sw_digest) {
+    throw InterfaceMismatch(
+        "interface digest mismatch: hardware side built against " + hw_digest +
+        ", software side against " + sw_digest +
+        " — the two halves were not generated from the same mapping");
+  }
+  connected_ = true;
+}
+
+void Bus::check_connected() const {
+  if (!connected_) {
+    throw InterfaceMismatch("bus used before connect() handshake");
+  }
+}
+
+void Bus::push_to_hw(Frame f, std::uint64_t current_cycle,
+                     std::uint64_t extra_delay) {
+  check_connected();
+  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) + extra_delay;
+  stats_.frames_to_hw++;
+  stats_.bytes_to_hw += f.payload.size();
+  to_hw_.push_back(std::move(f));
+}
+
+void Bus::push_to_sw(Frame f, std::uint64_t current_cycle,
+                     std::uint64_t extra_delay) {
+  check_connected();
+  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) + extra_delay;
+  stats_.frames_to_sw++;
+  stats_.bytes_to_sw += f.payload.size();
+  to_sw_.push_back(std::move(f));
+}
+
+std::vector<Frame> Bus::pop_due(std::deque<Frame>& q, std::uint64_t cycle) {
+  // Frames may have heterogeneous extra delays, so scan the whole queue but
+  // preserve relative order of the survivors.
+  std::vector<Frame> due;
+  std::deque<Frame> keep;
+  for (Frame& f : q) {
+    if (f.due_cycle <= cycle) {
+      due.push_back(std::move(f));
+    } else {
+      keep.push_back(std::move(f));
+    }
+  }
+  q.swap(keep);
+  return due;
+}
+
+std::vector<Frame> Bus::pop_due_to_hw(std::uint64_t cycle) {
+  return pop_due(to_hw_, cycle);
+}
+
+std::vector<Frame> Bus::pop_due_to_sw(std::uint64_t cycle) {
+  return pop_due(to_sw_, cycle);
+}
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,77 @@
+// The cosim bus: the generated hardware/software interconnect.
+//
+// Frames are (opcode, bit-packed payload) pairs produced by
+// mapping::encode_payload and consumed by mapping::decode_payload — both
+// sides hold the SAME InterfaceSpec, which is the paper's §4 consistency
+// guarantee made executable. At connect() time the two endpoints exchange
+// interface digests; a mismatch (the classic symptom of hand-maintained
+// interfaces drifting apart) aborts the co-simulation immediately instead of
+// corrupting data silently.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace xtsoc::cosim {
+
+/// Thrown when the two sides of the boundary disagree about the interface.
+class InterfaceMismatch : public std::runtime_error {
+public:
+  explicit InterfaceMismatch(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// One message on the wire.
+struct Frame {
+  std::uint32_t opcode = 0;
+  std::vector<std::uint8_t> payload;
+  std::uint64_t due_cycle = 0;  ///< earliest delivery cycle
+};
+
+struct BusStats {
+  std::uint64_t frames_to_hw = 0;
+  std::uint64_t frames_to_sw = 0;
+  std::uint64_t bytes_to_hw = 0;
+  std::uint64_t bytes_to_sw = 0;
+};
+
+class Bus {
+public:
+  /// `latency_cycles`: clock cycles a frame spends in flight.
+  explicit Bus(int latency_cycles) : latency_(latency_cycles) {}
+
+  /// Digest handshake. Call once before traffic; throws InterfaceMismatch
+  /// when the endpoints were generated from different interfaces.
+  void connect(const std::string& hw_digest, const std::string& sw_digest);
+  bool connected() const { return connected_; }
+
+  /// Queue a frame; it becomes deliverable `latency + extra_delay` cycles
+  /// after `current_cycle`.
+  void push_to_hw(Frame f, std::uint64_t current_cycle,
+                  std::uint64_t extra_delay = 0);
+  void push_to_sw(Frame f, std::uint64_t current_cycle,
+                  std::uint64_t extra_delay = 0);
+
+  /// Remove and return every frame due at or before `cycle`, in order.
+  std::vector<Frame> pop_due_to_hw(std::uint64_t cycle);
+  std::vector<Frame> pop_due_to_sw(std::uint64_t cycle);
+
+  bool empty() const { return to_hw_.empty() && to_sw_.empty(); }
+  int latency() const { return latency_; }
+  const BusStats& stats() const { return stats_; }
+
+private:
+  static std::vector<Frame> pop_due(std::deque<Frame>& q, std::uint64_t cycle);
+  void check_connected() const;
+
+  int latency_;
+  bool connected_ = false;
+  std::deque<Frame> to_hw_;
+  std::deque<Frame> to_sw_;
+  BusStats stats_;
+};
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,37 @@
+#include "xtsoc/cosim/codec.hpp"
+
+namespace xtsoc::cosim {
+
+Frame encode_message(const mapping::InterfaceSpec& spec,
+                     const runtime::EventMessage& m) {
+  const mapping::MessageLayout* layout = spec.find(m.target.cls, m.event);
+  if (layout == nullptr) {
+    throw InterfaceMismatch(
+        "signal has no synthesized boundary message (class#" +
+        std::to_string(m.target.cls.value()) + ", event#" +
+        std::to_string(m.event.value()) +
+        ") — the interface is stale relative to the model");
+  }
+  Frame f;
+  f.opcode = layout->opcode;
+  f.payload = mapping::encode_payload(*layout, m.target, m.args);
+  return f;
+}
+
+runtime::EventMessage decode_frame(const mapping::InterfaceSpec& spec,
+                                   const Frame& f) {
+  const mapping::MessageLayout* layout = spec.find_opcode(f.opcode);
+  if (layout == nullptr) {
+    throw InterfaceMismatch("received frame with unknown opcode " +
+                            std::to_string(f.opcode));
+  }
+  mapping::DecodedPayload p = mapping::decode_payload(*layout, f.payload);
+  runtime::EventMessage m;
+  m.target = p.target;
+  m.event = layout->event;
+  m.args = std::move(p.args);
+  m.sender = runtime::InstanceHandle::null();
+  return m;
+}
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,24 @@
+// Frame <-> EventMessage translation against an InterfaceSpec. Both
+// partition runtimes use these two functions, so the wire format has a
+// single definition point — the synthesized interface.
+#pragma once
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/mapping/interface.hpp"
+#include "xtsoc/runtime/executor.hpp"
+
+namespace xtsoc::cosim {
+
+/// Encode an outgoing cross-boundary signal. Throws InterfaceMismatch when
+/// the (class, event) pair has no synthesized message — the signature of a
+/// stale interface.
+Frame encode_message(const mapping::InterfaceSpec& spec,
+                     const runtime::EventMessage& m);
+
+/// Decode an incoming frame. The sender identity does not cross the wire
+/// (cross-boundary signals are never self-directed, so it is not needed for
+/// queueing); the decoded message has a null sender.
+runtime::EventMessage decode_frame(const mapping::InterfaceSpec& spec,
+                                   const Frame& f);
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,116 @@
+#include "xtsoc/cosim/cosim.hpp"
+
+namespace xtsoc::cosim {
+
+CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
+    : sys_(&sys), config_(config) {
+  sim_ = std::make_unique<hwsim::Simulator>();
+  clk_ = sim_->wire(1, 0, "clk");
+  sim_->add_clock(clk_, /*half_period=*/1);
+
+  bus_ = std::make_unique<Bus>(sys.bus_latency());
+
+  runtime::ExecutorConfig ecfg;
+  ecfg.policy = config_.policy;
+  ecfg.engine = config_.engine;
+  ecfg.trace_enabled = config_.trace_enabled;
+  ecfg.max_ops_per_action = config_.max_ops_per_action;
+
+  hw_ = std::make_unique<HwDomain>(sys, *sim_, clk_, *bus_, ecfg);
+  sw_ = std::make_unique<SwDomain>(sys, *bus_, scheduler_, ecfg);
+
+  // Connect-time interface handshake. Each endpoint presents the digest of
+  // the interface it was generated against.
+  std::string hw_digest = sys.interface().digest(sys.domain());
+  std::string sw_digest = config_.forged_sw_digest.empty()
+                              ? hw_digest
+                              : config_.forged_sw_digest;
+  bus_->connect(hw_digest, sw_digest);
+}
+
+runtime::Executor& CoSimulation::executor_of(ClassId cls) {
+  return sys_->partition().is_hardware(cls) ? hw_->executor() : sw_->executor();
+}
+
+runtime::InstanceHandle CoSimulation::create(std::string_view class_name) {
+  ClassId cls = sys_->domain().find_class_id(class_name);
+  if (!cls.is_valid()) {
+    throw runtime::ModelError("unknown class '" + std::string(class_name) + "'");
+  }
+  runtime::Executor& owner = executor_of(cls);
+  // Hardware instance pools are finite: the maxInstances mark is the FSM
+  // bank capacity the VHDL is generated with, so the executable mapping
+  // enforces it too.
+  if (sys_->partition().is_hardware(cls)) {
+    const int cap = sys_->mapping_of(cls).max_instances;
+    if (owner.database().live_count(cls) >= static_cast<std::size_t>(cap)) {
+      throw runtime::ModelError(
+          "hardware pool of '" + std::string(class_name) + "' is full (" +
+          std::to_string(cap) + " instances; raise the maxInstances mark)");
+    }
+  }
+  return owner.create(cls);
+}
+
+runtime::InstanceHandle CoSimulation::create_with(
+    std::string_view class_name,
+    const std::vector<std::pair<std::string, runtime::Value>>& attrs) {
+  // Route through create() so the hardware pool-capacity check applies.
+  runtime::InstanceHandle h = create(class_name);
+  runtime::Database& db = executor_of(h.cls).database();
+  const xtuml::ClassDef& def = sys_->domain().cls(h.cls);
+  for (const auto& [name, value] : attrs) {
+    const xtuml::AttributeDef* a = def.find_attribute(name);
+    if (a == nullptr) {
+      throw runtime::ModelError("create_with: class '" + def.name +
+                                "' has no attribute '" + name + "'");
+    }
+    db.set_attr(h, a->id, value);
+  }
+  return h;
+}
+
+void CoSimulation::inject(const runtime::InstanceHandle& target,
+                          std::string_view event_name,
+                          std::vector<runtime::Value> args,
+                          std::uint64_t delay) {
+  executor_of(target.cls).inject(target, event_name, std::move(args), delay);
+}
+
+void CoSimulation::one_cycle() {
+  ++cycle_;
+  // Hardware first: the clocked HwDomain process fires on the rising edge.
+  sim_->run_cycles(clk_, 1);
+  // Then software gets its per-cycle budget: at most `sw_steps_per_cycle`
+  // dispatches AND at most `sw_ops_per_cycle` action ops. A dispatch whose
+  // action overruns the op budget still completes (run-to-completion is
+  // never violated); it just exhausts the cycle.
+  sw_->begin_cycle(cycle_);
+  const std::uint64_t ops_start = sw_->executor().ops_executed();
+  for (int i = 0; i < config_.sw_steps_per_cycle; ++i) {
+    if (sw_->executor().ops_executed() - ops_start >= config_.sw_ops_per_cycle) {
+      break;
+    }
+    if (!scheduler_.run_one()) break;
+  }
+  if (cycle_hook_) cycle_hook_(cycle_);
+}
+
+bool CoSimulation::quiescent() const {
+  return hw_->drained() && sw_->drained() && bus_->empty();
+}
+
+std::uint64_t CoSimulation::run(std::uint64_t max_cycles) {
+  std::uint64_t n = 0;
+  while (n < max_cycles && !quiescent()) {
+    one_cycle();
+    ++n;
+  }
+  return n;
+}
+
+void CoSimulation::run_cycles(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) one_cycle();
+}
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,101 @@
+// CoSimulation: the partitioned executable system.
+//
+// Owns the hwsim kernel (with one clock), the HwDomain, the SwDomain, the
+// swrt scheduler, and the bus between them. Per hardware clock cycle:
+//
+//   1. the HwDomain's clocked process latches due bus frames and lets each
+//      hardware FSM instance consume one signal;
+//   2. the SwDomain latches its due frames and the software task receives a
+//      budget of `sw_steps_per_cycle` dispatches.
+//
+// The whole thing is deterministic, so a CoSimulation trace is comparable
+// against the abstract Executor trace (see src/xtsoc/verify) — the paper's
+// "the model compiler ... preserves the defined behavior" claim, tested.
+#pragma once
+
+#include <memory>
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/cosim/hwdomain.hpp"
+#include "xtsoc/cosim/swdomain.hpp"
+
+namespace xtsoc::cosim {
+
+struct CoSimConfig {
+  /// Software dispatches allowed per hardware clock cycle (CPU/fabric
+  /// speed ratio).
+  int sw_steps_per_cycle = 4;
+  /// Software action work (interpreter ops) allowed per hardware clock
+  /// cycle. Heavy actions therefore take many cycles in software but one in
+  /// hardware — the cost asymmetry that makes repartitioning worthwhile.
+  std::uint64_t sw_ops_per_cycle = 256;
+  bool trace_enabled = true;
+  runtime::QueuePolicy policy = runtime::QueuePolicy::kXtuml;
+  runtime::ActionEngine engine = runtime::ActionEngine::kAstWalk;
+  std::uint64_t max_ops_per_action = 10'000'000;
+  /// Test hook: present this digest for the software endpoint instead of
+  /// the real one, to demonstrate the connect-time mismatch detection.
+  std::string forged_sw_digest;
+};
+
+class CoSimulation {
+public:
+  explicit CoSimulation(const mapping::MappedSystem& sys,
+                        CoSimConfig config = {});
+
+  // --- population (routed to the owning partition) ---------------------------
+  runtime::InstanceHandle create(std::string_view class_name);
+  runtime::InstanceHandle create_with(
+      std::string_view class_name,
+      const std::vector<std::pair<std::string, runtime::Value>>& attrs);
+
+  /// External stimulus to any instance, regardless of partition.
+  void inject(const runtime::InstanceHandle& target,
+              std::string_view event_name,
+              std::vector<runtime::Value> args = {}, std::uint64_t delay = 0);
+
+  // --- execution ---------------------------------------------------------------
+
+  /// Run until the system is quiescent or `max_cycles` elapse.
+  /// Returns the number of hardware cycles executed.
+  std::uint64_t run(std::uint64_t max_cycles = 1'000'000);
+
+  /// Run exactly `cycles` cycles.
+  void run_cycles(std::uint64_t cycles);
+
+  bool quiescent() const;
+
+  // --- observability ------------------------------------------------------------
+  std::uint64_t cycles() const { return cycle_; }
+  const HwDomain& hw_domain() const { return *hw_; }
+  /// Called at the end of every cycle — attach waveform sampling here
+  /// (e.g. hwsim::VcdWriter::sample).
+  void set_cycle_hook(std::function<void(std::uint64_t)> hook) {
+    cycle_hook_ = std::move(hook);
+  }
+  runtime::Executor& hw_executor() { return hw_->executor(); }
+  runtime::Executor& sw_executor() { return sw_->executor(); }
+  const runtime::Executor& hw_executor() const { return hw_->executor(); }
+  const runtime::Executor& sw_executor() const { return sw_->executor(); }
+  runtime::Executor& executor_of(ClassId cls);
+  const mapping::MappedSystem& system() const { return *sys_; }
+  const Bus& bus() const { return *bus_; }
+  const hwsim::Simulator& hw_sim() const { return *sim_; }
+  const swrt::Scheduler& scheduler() const { return scheduler_; }
+
+private:
+  void one_cycle();
+
+  const mapping::MappedSystem* sys_;
+  CoSimConfig config_;
+  std::unique_ptr<hwsim::Simulator> sim_;
+  HwSignalId clk_;
+  std::unique_ptr<Bus> bus_;
+  swrt::Scheduler scheduler_;
+  std::unique_ptr<HwDomain> hw_;
+  std::unique_ptr<SwDomain> sw_;
+  std::function<void(std::uint64_t)> cycle_hook_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,87 @@
+#include "xtsoc/cosim/hwdomain.hpp"
+
+#include "xtsoc/cosim/codec.hpp"
+
+namespace xtsoc::cosim {
+
+HwDomain::HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
+                   HwSignalId clk, Bus& bus, runtime::ExecutorConfig config)
+    : sys_(&sys), sim_(&sim), bus_(&bus),
+      exec_(
+          sys.compiled(), config,
+          [&sys](ClassId cls) { return sys.partition().is_hardware(cls); },
+          [this](runtime::EventMessage m) {
+            // Signal leaving hardware for software: serialize per the
+            // synthesized interface and put it on the bus. Any generate-
+            // statement delay rides along as extra bus delay.
+            std::uint64_t extra = m.deliver_at - exec_.now();
+            bus_->push_to_sw(encode_message(sys_->interface(), m), cycle_,
+                             extra);
+          }) {
+  divider_.resize(sys.domain().class_count(), 1);
+  alive_wires_.resize(sys.domain().class_count(), HwSignalId::invalid());
+  busy_wires_.resize(sys.domain().class_count(), HwSignalId::invalid());
+  for (const auto& cm : sys.class_mappings()) {
+    divider_[cm.cls.value()] =
+        cm.clock_domain >= 2 ? static_cast<std::uint64_t>(cm.clock_domain) : 1;
+    if (cm.target == marks::Target::kHardware) {
+      const std::string& name = sys.domain().cls(cm.cls).name;
+      alive_wires_[cm.cls.value()] = sim.wire(16, 0, "hw." + name + ".alive");
+      busy_wires_[cm.cls.value()] = sim.wire(1, 0, "hw." + name + ".busy");
+    }
+  }
+  sim.on_posedge(clk, [this](hwsim::Simulator&) { on_clock(); });
+}
+
+HwSignalId HwDomain::alive_wire(ClassId cls) const {
+  return alive_wires_.at(cls.value());
+}
+
+HwSignalId HwDomain::busy_wire(ClassId cls) const {
+  return busy_wires_.at(cls.value());
+}
+
+void HwDomain::on_clock() {
+  ++cycle_;
+  exec_.advance_time(1);
+
+  // Latch frames that completed their bus flight this cycle.
+  for (Frame& f : bus_->pop_due_to_hw(cycle_)) {
+    runtime::EventMessage m = decode_frame(sys_->interface(), f);
+    m.deliver_at = exec_.now();
+    exec_.deliver_remote(std::move(m));
+  }
+
+  // One signal per instance per clock: parallel FSMs, each consuming at
+  // most one event — and only on its clock domain's active edges (the
+  // clockDomain mark is a divider of the master clock). Queue order still
+  // decides which event an instance sees. step_if dispatches the first
+  // message the predicate accepts, so the predicate can record the instance
+  // it is about to serve.
+  std::set<runtime::InstanceHandle> served;
+  while (true) {
+    runtime::InstanceHandle chosen;
+    bool dispatched = exec_.step_if(
+        [this, &served, &chosen](const runtime::EventMessage& m) {
+          if (cycle_ % divider_[m.target.cls.value()] != 0) return false;
+          if (served.contains(m.target)) return false;
+          chosen = m.target;
+          return true;
+        });
+    if (!dispatched) break;
+    served.insert(chosen);
+  }
+
+  // Update the observability wires (visible to VCD like any RTL signal).
+  for (ClassId cls : sys_->partition().hardware()) {
+    sim_->nba_write(alive_wires_[cls.value()],
+                    exec_.database().live_count(cls));
+    bool busy = false;
+    for (const runtime::InstanceHandle& h : served) {
+      if (h.cls == cls) busy = true;
+    }
+    sim_->nba_write(busy_wires_[cls.value()], busy ? 1 : 0);
+  }
+}
+
+}  // namespace xtsoc::cosim

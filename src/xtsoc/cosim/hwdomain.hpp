@@ -1,0 +1,68 @@
+// HwDomain: the executable hardware mapping.
+//
+// Every hardware-marked class becomes, conceptually, a bank of FSMs; here
+// the bank is realized as a partition-scoped Executor driven by a clocked
+// process of the hwsim kernel. The timing contract of the mapping:
+//
+//   * one signal consumed per instance per clock cycle (FSMs are parallel
+//     in space, serial in their own time),
+//   * the `clockDomain` mark is a clock divider: a class in domain d (d>=2)
+//     consumes signals only every d-th master-clock cycle (0/1 = full
+//     rate) — slow peripherals cost cycles, exactly as on a real SoC,
+//   * `delay N` = N master-clock cycles,
+//   * signals to software-marked classes leave through the bus with the
+//     synthesized wire format.
+//
+// This is the executable twin of the VHDL text emitted by
+// codegen::generate_vhdl — same partition, same interface, same queueing.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/hwsim/kernel.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+#include "xtsoc/runtime/executor.hpp"
+
+namespace xtsoc::cosim {
+
+class HwDomain {
+public:
+  /// Registers a clocked process on `clk`. `sim` and `bus` must outlive
+  /// this object.
+  HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
+           HwSignalId clk, Bus& bus, runtime::ExecutorConfig config);
+
+  runtime::Executor& executor() { return exec_; }
+  const runtime::Executor& executor() const { return exec_; }
+
+  /// Rising edges seen so far (= hardware cycles executed).
+  std::uint64_t cycles() const { return cycle_; }
+  /// Signals dispatched in hardware.
+  std::uint64_t dispatches() const { return exec_.dispatch_count(); }
+
+  bool drained() const { return exec_.drained(); }
+
+  /// Observability wires created in the hwsim netlist, one pair per
+  /// hardware class: `hw.<class>.alive` (live instance count, 16 bits) and
+  /// `hw.<class>.busy` (1 while the class dispatched this cycle). They make
+  /// fabric activity visible to the VCD writer like any RTL signal.
+  HwSignalId alive_wire(ClassId cls) const;
+  HwSignalId busy_wire(ClassId cls) const;
+
+private:
+  void on_clock();
+
+  const mapping::MappedSystem* sys_;
+  hwsim::Simulator* sim_;
+  Bus* bus_;
+  runtime::Executor exec_;
+  std::uint64_t cycle_ = 0;
+  /// Per-class clock divider from the clockDomain mark (index: ClassId).
+  std::vector<std::uint64_t> divider_;
+  std::vector<HwSignalId> alive_wires_;  // index: ClassId; invalid if sw
+  std::vector<HwSignalId> busy_wires_;
+};
+
+}  // namespace xtsoc::cosim

@@ -1,0 +1,43 @@
+// SwDomain: the executable software mapping.
+//
+// The software partition runs as one task of the cooperative swrt
+// scheduler. Each task step dispatches one signal (the generated C's main
+// loop does exactly this: pop mailbox, dispatch, repeat). The co-simulation
+// master grants the software side a budget of steps per hardware clock
+// cycle — the speed ratio between the processor and the fabric — which is
+// the knob behind the partitioning experiments.
+#pragma once
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+#include "xtsoc/runtime/executor.hpp"
+#include "xtsoc/swrt/scheduler.hpp"
+
+namespace xtsoc::cosim {
+
+class SwDomain {
+public:
+  SwDomain(const mapping::MappedSystem& sys, Bus& bus,
+           swrt::Scheduler& scheduler, runtime::ExecutorConfig config);
+
+  runtime::Executor& executor() { return exec_; }
+  const runtime::Executor& executor() const { return exec_; }
+
+  /// Called once per hardware clock cycle by the co-simulation master:
+  /// advances software time, latches due bus frames, wakes the task.
+  void begin_cycle(std::uint64_t cycle);
+
+  TaskId task() const { return task_; }
+  std::uint64_t dispatches() const { return exec_.dispatch_count(); }
+  bool drained() const { return exec_.drained(); }
+
+private:
+  const mapping::MappedSystem* sys_;
+  Bus* bus_;
+  swrt::Scheduler* scheduler_;
+  runtime::Executor exec_;
+  TaskId task_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace xtsoc::cosim

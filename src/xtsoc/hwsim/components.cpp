@@ -1,0 +1,93 @@
+#include "xtsoc/hwsim/components.hpp"
+
+namespace xtsoc::hwsim {
+
+Register::Register(Simulator& sim, HwSignalId clk, int width,
+                   std::string name) {
+  d_ = sim.wire(width, 0, name + ".d");
+  q_ = sim.wire(width, 0, name + ".q");
+  en_ = sim.wire(1, 1, name + ".en");
+  HwSignalId d = d_;
+  HwSignalId q = q_;
+  HwSignalId en = en_;
+  sim.on_posedge(clk, [d, q, en](Simulator& s) {
+    if (s.read(en)) s.nba_write(q, s.read(d));
+  });
+}
+
+Counter::Counter(Simulator& sim, HwSignalId clk, int width, std::string name) {
+  value_ = sim.wire(width, 0, name + ".value");
+  clear_ = sim.wire(1, 0, name + ".clear");
+  enable_ = sim.wire(1, 1, name + ".enable");
+  HwSignalId v = value_;
+  HwSignalId c = clear_;
+  HwSignalId e = enable_;
+  sim.on_posedge(clk, [v, c, e](Simulator& s) {
+    if (s.read(c)) {
+      s.nba_write(v, 0);
+    } else if (s.read(e)) {
+      s.nba_write(v, s.read(v) + 1);
+    }
+  });
+}
+
+RoundRobinArbiter::RoundRobinArbiter(Simulator& sim, HwSignalId clk,
+                                     int n_requesters, std::string name) {
+  for (int i = 0; i < n_requesters; ++i) {
+    requests_.push_back(
+        sim.wire(1, 0, name + ".req" + std::to_string(i)));
+    grants_.push_back(sim.wire(1, 0, name + ".gnt" + std::to_string(i)));
+  }
+  // Wide enough for indices 0..n (n = idle marker).
+  int width = 1;
+  while ((1 << width) <= n_requesters) ++width;
+  grant_index_ = sim.wire(width, static_cast<std::uint64_t>(n_requesters),
+                          name + ".index");
+
+  sim.on_posedge(clk, [this, n_requesters](Simulator& s) {
+    int granted = -1;
+    for (int k = 1; k <= n_requesters && granted < 0; ++k) {
+      int i = (last_ + k) % n_requesters;
+      if (s.read(requests_[static_cast<std::size_t>(i)])) granted = i;
+    }
+    for (int i = 0; i < n_requesters; ++i) {
+      s.nba_write(grants_[static_cast<std::size_t>(i)], i == granted ? 1 : 0);
+    }
+    s.nba_write(grant_index_,
+                static_cast<std::uint64_t>(granted < 0 ? n_requesters
+                                                       : granted));
+    if (granted >= 0) last_ = granted;
+  });
+}
+
+SyncFifo::SyncFifo(Simulator& sim, HwSignalId clk, std::size_t depth,
+                   std::string name)
+    : depth_(depth) {
+  in_data_ = sim.wire(64, 0, name + ".in_data");
+  in_valid_ = sim.wire(1, 0, name + ".in_valid");
+  in_ready_ = sim.wire(1, 1, name + ".in_ready");
+  out_data_ = sim.wire(64, 0, name + ".out_data");
+  out_valid_ = sim.wire(1, 0, name + ".out_valid");
+  out_ready_ = sim.wire(1, 0, name + ".out_ready");
+
+  sim.on_posedge(clk, [this](Simulator& s) {
+    // Accept a push when there is room.
+    if (s.read(in_valid_) && buf_.size() < depth_) {
+      buf_.push_back(s.read(in_data_));
+    }
+    // Retire the presented word when the consumer took it.
+    if (s.read(out_valid_) && s.read(out_ready_)) {
+      if (!buf_.empty()) buf_.pop_front();
+    }
+    // Present head-of-queue for the next cycle.
+    if (buf_.empty()) {
+      s.nba_write(out_valid_, 0);
+    } else {
+      s.nba_write(out_valid_, 1);
+      s.nba_write(out_data_, buf_.front());
+    }
+    s.nba_write(in_ready_, buf_.size() < depth_ ? 1 : 0);
+  });
+}
+
+}  // namespace xtsoc::hwsim

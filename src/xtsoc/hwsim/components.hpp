@@ -1,0 +1,91 @@
+// Reusable RTL building blocks on top of the hwsim kernel: register,
+// counter, synchronous FIFO. The FIFO is the hardware half of the cosim
+// bus; the others are exercised by tests and the hwsim benchmark.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "xtsoc/hwsim/kernel.hpp"
+
+namespace xtsoc::hwsim {
+
+/// D-type register: q <= d on each rising edge of clk while en is high.
+class Register {
+public:
+  Register(Simulator& sim, HwSignalId clk, int width, std::string name = "reg");
+
+  HwSignalId d() const { return d_; }
+  HwSignalId q() const { return q_; }
+  HwSignalId en() const { return en_; }
+
+private:
+  HwSignalId d_;
+  HwSignalId q_;
+  HwSignalId en_;
+};
+
+/// Up-counter with synchronous clear.
+class Counter {
+public:
+  Counter(Simulator& sim, HwSignalId clk, int width,
+          std::string name = "counter");
+
+  HwSignalId value() const { return value_; }
+  HwSignalId clear() const { return clear_; }
+  HwSignalId enable() const { return enable_; }
+
+private:
+  HwSignalId value_;
+  HwSignalId clear_;
+  HwSignalId enable_;
+};
+
+/// Round-robin arbiter over N request lines: exactly one grant per cycle,
+/// rotating priority so no requester starves. grant_index reads the granted
+/// line (or N when nothing is requesting).
+class RoundRobinArbiter {
+public:
+  RoundRobinArbiter(Simulator& sim, HwSignalId clk, int n_requesters,
+                    std::string name = "arb");
+
+  HwSignalId request(int i) const { return requests_.at(static_cast<std::size_t>(i)); }
+  HwSignalId grant(int i) const { return grants_.at(static_cast<std::size_t>(i)); }
+  /// Granted line index this cycle; equals requester count when idle.
+  HwSignalId grant_index() const { return grant_index_; }
+  int size() const { return static_cast<int>(requests_.size()); }
+
+private:
+  std::vector<HwSignalId> requests_;
+  std::vector<HwSignalId> grants_;
+  HwSignalId grant_index_;
+  int last_ = -1;  ///< most recently granted line (rotates priority)
+};
+
+/// Synchronous FIFO of 64-bit words with valid/ready handshakes on both
+/// sides. Push: drive in_valid+in_data before an edge; accepted when
+/// in_ready was high. Pop: out_valid/out_data are registered; assert
+/// out_ready to consume.
+class SyncFifo {
+public:
+  SyncFifo(Simulator& sim, HwSignalId clk, std::size_t depth,
+           std::string name = "fifo");
+
+  HwSignalId in_data() const { return in_data_; }
+  HwSignalId in_valid() const { return in_valid_; }
+  HwSignalId in_ready() const { return in_ready_; }
+  HwSignalId out_data() const { return out_data_; }
+  HwSignalId out_valid() const { return out_valid_; }
+  HwSignalId out_ready() const { return out_ready_; }
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t depth() const { return depth_; }
+
+private:
+  std::size_t depth_;
+  std::deque<std::uint64_t> buf_;
+  HwSignalId in_data_, in_valid_, in_ready_;
+  HwSignalId out_data_, out_valid_, out_ready_;
+};
+
+}  // namespace xtsoc::hwsim

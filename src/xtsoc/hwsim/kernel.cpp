@@ -1,0 +1,175 @@
+#include "xtsoc/hwsim/kernel.hpp"
+
+#include <algorithm>
+
+namespace xtsoc::hwsim {
+
+HwSignalId Simulator::wire(int width, std::uint64_t init, std::string name) {
+  if (width < 1 || width > 64) {
+    throw SimError("wire width must be in [1, 64]");
+  }
+  WireState w;
+  w.width = width;
+  w.mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  w.value = init & w.mask;
+  w.name = std::move(name);
+  wires_.push_back(std::move(w));
+  return HwSignalId(static_cast<HwSignalId::underlying_type>(wires_.size() - 1));
+}
+
+Simulator::WireState& Simulator::state(HwSignalId w) {
+  if (!w.is_valid() || w.value() >= wires_.size()) {
+    throw SimError("invalid wire id");
+  }
+  return wires_[w.value()];
+}
+
+const Simulator::WireState& Simulator::state(HwSignalId w) const {
+  return const_cast<Simulator*>(this)->state(w);
+}
+
+ProcessId Simulator::combinational(std::vector<HwSignalId> sensitivity,
+                                   ProcessFn fn) {
+  ProcessId id(static_cast<ProcessId::underlying_type>(processes_.size()));
+  processes_.push_back({std::move(fn), false, HwSignalId::invalid()});
+  for (HwSignalId w : sensitivity) {
+    state(w).sensitive.push_back(id);
+  }
+  runnable_.push_back(id);  // settle initial outputs at time 0
+  return id;
+}
+
+ProcessId Simulator::on_posedge(HwSignalId clock, ProcessFn fn) {
+  state(clock);  // validate
+  ProcessId id(static_cast<ProcessId::underlying_type>(processes_.size()));
+  processes_.push_back({std::move(fn), true, clock});
+  return id;
+}
+
+void Simulator::add_clock(HwSignalId w, std::uint64_t half_period) {
+  if (half_period == 0) throw SimError("clock half period must be nonzero");
+  state(w);
+  clocks_.push_back({w, half_period, now_ + half_period});
+}
+
+std::uint64_t Simulator::read(HwSignalId w) const { return state(w).value; }
+
+void Simulator::nba_write(HwSignalId w, std::uint64_t value) {
+  WireState& s = state(w);
+  s.next = value & s.mask;
+  if (!s.has_next) {
+    s.has_next = true;
+    nba_pending_.push_back(w);
+  }
+}
+
+void Simulator::poke(HwSignalId w, std::uint64_t value) {
+  WireState& s = state(w);
+  std::uint64_t old = s.value;
+  s.value = value & s.mask;
+  mark_changed(w, old);
+}
+
+void Simulator::mark_changed(HwSignalId w, std::uint64_t old_value) {
+  WireState& s = state(w);
+  if (s.value == old_value) return;
+  ++stats_.wire_commits;
+  // Rising edge?
+  if (s.width == 1 && old_value == 0 && s.value == 1) {
+    ++s.posedges;
+    for (std::size_t p = 0; p < processes_.size(); ++p) {
+      if (processes_[p].clocked && processes_[p].clock.value() == w.value()) {
+        runnable_.push_back(ProcessId(static_cast<ProcessId::underlying_type>(p)));
+      }
+    }
+  }
+  for (ProcessId p : s.sensitive) runnable_.push_back(p);
+}
+
+void Simulator::settle() {
+  int deltas = 0;
+  while (!runnable_.empty()) {
+    if (++deltas > kDeltaLimit) {
+      throw SimError("combinational loop did not stabilize within " +
+                     std::to_string(kDeltaLimit) + " deltas");
+    }
+    ++stats_.delta_cycles;
+
+    // Run each triggered process once per delta (dedup preserves order).
+    std::vector<ProcessId> batch;
+    batch.swap(runnable_);
+    std::vector<bool> seen(processes_.size(), false);
+    for (ProcessId p : batch) {
+      if (seen[p.value()]) continue;
+      seen[p.value()] = true;
+      ++stats_.process_activations;
+      processes_[p.value()].fn(*this);
+    }
+
+    // Commit non-blocking writes; changed wires trigger the next delta.
+    std::vector<HwSignalId> pending;
+    pending.swap(nba_pending_);
+    for (HwSignalId w : pending) {
+      WireState& s = state(w);
+      s.has_next = false;
+      std::uint64_t old = s.value;
+      s.value = s.next;
+      mark_changed(w, old);
+    }
+  }
+}
+
+void Simulator::advance(std::uint64_t ticks) {
+  if (!initial_settle_done_) {
+    settle();
+    initial_settle_done_ = true;
+  }
+  std::uint64_t target = now_ + ticks;
+  while (true) {
+    // Next clock toggle at or before target?
+    std::uint64_t next_time = target;
+    bool has_toggle = false;
+    for (const ClockGen& c : clocks_) {
+      if (c.next_toggle <= target && (!has_toggle || c.next_toggle < next_time)) {
+        next_time = c.next_toggle;
+        has_toggle = true;
+      }
+    }
+    if (!has_toggle) {
+      now_ = target;
+      return;
+    }
+    now_ = next_time;
+    for (ClockGen& c : clocks_) {
+      if (c.next_toggle == now_) {
+        poke(c.w, read(c.w) ^ 1u);
+        c.next_toggle = now_ + c.half_period;
+      }
+    }
+    settle();
+  }
+}
+
+void Simulator::run_cycles(HwSignalId clock, std::uint64_t cycles) {
+  std::uint64_t start = posedge_count(clock);
+  // Find the generator driving this clock to step efficiently.
+  std::uint64_t half = 1;
+  for (const ClockGen& c : clocks_) {
+    if (c.w == clock) half = c.half_period;
+  }
+  while (posedge_count(clock) < start + cycles) {
+    advance(half);
+  }
+}
+
+std::uint64_t Simulator::posedge_count(HwSignalId clock) const {
+  return state(clock).posedges;
+}
+
+const std::string& Simulator::name_of(HwSignalId w) const {
+  return state(w).name;
+}
+
+int Simulator::width_of(HwSignalId w) const { return state(w).width; }
+
+}  // namespace xtsoc::hwsim

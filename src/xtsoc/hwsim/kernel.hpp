@@ -1,0 +1,135 @@
+// hwsim: a discrete-event, delta-cycle hardware simulator.
+//
+// This is the substrate that stands in for the FPGA/ASIC the paper's VHDL
+// output would target. Semantics follow event-driven RTL simulation:
+//
+//   * a Wire carries an unsigned value of a declared bit width;
+//   * combinational processes re-evaluate when a wire in their sensitivity
+//     list changes; their writes are non-blocking (visible next delta);
+//   * clocked processes run once per rising edge of their clock wire;
+//   * within one simulation instant, deltas repeat until no wire changes
+//     (with an oscillation guard for unstable combinational loops);
+//   * simulation time advances in integer ticks; clocks are scheduled
+//     toggles.
+//
+// The xtUML hardware mapping (src/xtsoc/cosim/hwdomain.*) lowers each
+// hardware-marked class onto a clocked process of this kernel: one queued
+// signal consumed per clock edge per instance — which is what makes
+// hardware latency observable and distinct from software in experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/ids.hpp"
+
+namespace xtsoc::hwsim {
+
+/// Thrown on kernel-level faults: unstable combinational loop, bad wire id.
+class SimError : public std::runtime_error {
+public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct SimStats {
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t process_activations = 0;
+  std::uint64_t wire_commits = 0;
+};
+
+class Simulator {
+public:
+  using ProcessFn = std::function<void(Simulator&)>;
+
+  /// Deltas allowed within one instant before declaring oscillation.
+  static constexpr int kDeltaLimit = 1000;
+
+  // --- netlist construction --------------------------------------------------
+
+  /// Create a wire of `width` bits (1..64) holding `init`.
+  HwSignalId wire(int width, std::uint64_t init = 0, std::string name = {});
+
+  /// Combinational process: runs whenever any wire in `sensitivity` changes
+  /// (and once at time 0 to settle initial values).
+  ProcessId combinational(std::vector<HwSignalId> sensitivity, ProcessFn fn);
+
+  /// Clocked process: runs on each rising edge of `clock`.
+  ProcessId on_posedge(HwSignalId clock, ProcessFn fn);
+
+  /// Auto-toggle `w` every `half_period` ticks (a clock generator).
+  void add_clock(HwSignalId w, std::uint64_t half_period);
+
+  // --- wire access -------------------------------------------------------------
+
+  std::uint64_t read(HwSignalId w) const;
+
+  /// Non-blocking write: takes effect at the end of the current delta.
+  /// This is the only write processes may use.
+  void nba_write(HwSignalId w, std::uint64_t value);
+
+  /// Immediate testbench write (outside process evaluation). Triggers
+  /// sensitive processes on the next settle().
+  void poke(HwSignalId w, std::uint64_t value);
+
+  const std::string& name_of(HwSignalId w) const;
+  int width_of(HwSignalId w) const;
+
+  // --- execution ---------------------------------------------------------------
+
+  /// Run delta cycles at the current instant until no wire changes.
+  void settle();
+
+  /// Advance time by `ticks`, firing scheduled clock toggles and settling
+  /// after each instant with activity.
+  void advance(std::uint64_t ticks);
+
+  /// Advance until `clock` has produced `cycles` rising edges.
+  void run_cycles(HwSignalId clock, std::uint64_t cycles);
+
+  std::uint64_t now() const { return now_; }
+  std::uint64_t posedge_count(HwSignalId clock) const;
+  const SimStats& stats() const { return stats_; }
+  std::size_t wire_count() const { return wires_.size(); }
+
+private:
+  struct WireState {
+    std::uint64_t value = 0;
+    std::uint64_t next = 0;
+    bool has_next = false;
+    int width = 1;
+    std::uint64_t mask = 1;
+    std::string name;
+    std::vector<ProcessId> sensitive;  ///< combinational listeners
+    std::uint64_t posedges = 0;        ///< rising-edge counter
+  };
+
+  struct Process {
+    ProcessFn fn;
+    bool clocked = false;
+    HwSignalId clock;
+  };
+
+  struct ClockGen {
+    HwSignalId w;
+    std::uint64_t half_period;
+    std::uint64_t next_toggle;
+  };
+
+  WireState& state(HwSignalId w);
+  const WireState& state(HwSignalId w) const;
+  void mark_changed(HwSignalId w, std::uint64_t old_value);
+
+  std::vector<WireState> wires_;
+  std::vector<Process> processes_;
+  std::vector<ClockGen> clocks_;
+  std::vector<ProcessId> runnable_;
+  std::vector<HwSignalId> nba_pending_;
+  std::uint64_t now_ = 0;
+  bool initial_settle_done_ = false;
+  SimStats stats_;
+};
+
+}  // namespace xtsoc::hwsim

@@ -1,0 +1,101 @@
+#include "xtsoc/hwsim/vcd.hpp"
+
+#include <sstream>
+
+namespace xtsoc::hwsim {
+
+namespace {
+/// Identifier characters permitted by the VCD spec: '!' (33) .. '~' (126).
+constexpr int kIdBase = 94;
+constexpr char kIdFirst = '!';
+}  // namespace
+
+std::string VcdWriter::id_code(std::size_t index) {
+  std::string out;
+  do {
+    out.push_back(static_cast<char>(kIdFirst + index % kIdBase));
+    index /= kIdBase;
+  } while (index > 0);
+  return out;
+}
+
+VcdWriter::VcdWriter(const Simulator& sim, std::vector<HwSignalId> watch,
+                     std::string timescale)
+    : sim_(&sim), watch_(std::move(watch)) {
+  if (watch_.empty()) {
+    for (std::size_t i = 0; i < sim.wire_count(); ++i) {
+      watch_.push_back(HwSignalId(static_cast<HwSignalId::underlying_type>(i)));
+    }
+  }
+  last_.resize(watch_.size(), 0);
+  dumped_once_.resize(watch_.size(), false);
+
+  std::ostringstream os;
+  os << "$timescale " << timescale << " $end\n";
+  os << "$scope module top $end\n";
+  for (std::size_t i = 0; i < watch_.size(); ++i) {
+    std::string name = sim_->name_of(watch_[i]);
+    if (name.empty()) name = "wire" + std::to_string(watch_[i].value());
+    // VCD identifiers may not contain spaces; dots are fine.
+    for (char& c : name) {
+      if (c == ' ') c = '_';
+    }
+    os << "$var wire " << sim_->width_of(watch_[i]) << ' ' << id_code(i)
+       << ' ' << name << " $end\n";
+  }
+  os << "$upscope $end\n";
+  os << "$enddefinitions $end\n";
+  header_ = os.str();
+}
+
+std::string VcdWriter::value_text(HwSignalId w, std::uint64_t value) const {
+  int width = sim_->width_of(w);
+  if (width == 1) return value ? "1" : "0";
+  std::string bits = "b";
+  bool started = false;
+  for (int i = width - 1; i >= 0; --i) {
+    bool bit = (value >> i) & 1u;
+    if (bit) started = true;
+    if (started || i == 0) bits.push_back(bit ? '1' : '0');
+  }
+  bits.push_back(' ');
+  return bits;
+}
+
+void VcdWriter::sample() {
+  std::ostringstream os;
+  bool emitted_time = false;
+  auto ensure_time = [&] {
+    if (!emitted_time) {
+      os << '#' << sim_->now() << '\n';
+      emitted_time = true;
+    }
+  };
+
+  if (first_sample_) {
+    ensure_time();
+    os << "$dumpvars\n";
+    for (std::size_t i = 0; i < watch_.size(); ++i) {
+      std::uint64_t v = sim_->read(watch_[i]);
+      os << value_text(watch_[i], v) << id_code(i) << '\n';
+      last_[i] = v;
+      ++changes_;
+    }
+    os << "$end\n";
+    first_sample_ = false;
+  } else {
+    for (std::size_t i = 0; i < watch_.size(); ++i) {
+      std::uint64_t v = sim_->read(watch_[i]);
+      if (v == last_[i]) continue;
+      ensure_time();
+      os << value_text(watch_[i], v) << id_code(i) << '\n';
+      last_[i] = v;
+      ++changes_;
+    }
+  }
+  body_ += os.str();
+}
+
+std::string VcdWriter::render() const { return header_ + body_; }
+
+}  // namespace xtsoc::hwsim

@@ -1,0 +1,46 @@
+// VCD (Value Change Dump) writer: waveform capture for hwsim runs, viewable
+// in GTKWave or any IEEE-1364 VCD consumer. Sampling is poll-based: call
+// sample() after each advance; only changed wires are dumped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xtsoc/hwsim/kernel.hpp"
+
+namespace xtsoc::hwsim {
+
+class VcdWriter {
+public:
+  /// Watch the given wires (empty = every wire that exists at construction
+  /// time). Names come from the simulator; anonymous wires get "wireN".
+  VcdWriter(const Simulator& sim, std::vector<HwSignalId> watch = {},
+            std::string timescale = "1ns");
+
+  /// Record changes since the last sample at the simulator's current time.
+  /// The first call dumps every watched wire ($dumpvars section).
+  void sample();
+
+  /// The complete VCD document accumulated so far.
+  std::string render() const;
+
+  std::size_t watched_count() const { return watch_.size(); }
+  std::size_t change_count() const { return changes_; }
+
+private:
+  static std::string id_code(std::size_t index);
+  std::string value_text(HwSignalId w, std::uint64_t value) const;
+
+  const Simulator* sim_;
+  std::vector<HwSignalId> watch_;
+  std::vector<std::uint64_t> last_;
+  std::vector<bool> dumped_once_;
+  std::string header_;
+  std::string body_;
+  bool first_sample_ = true;
+  std::uint64_t last_time_ = 0;
+  bool time_emitted_ = false;
+  std::size_t changes_ = 0;
+};
+
+}  // namespace xtsoc::hwsim

@@ -1,0 +1,224 @@
+#include "xtsoc/mapping/archetype.hpp"
+
+#include <sstream>
+
+namespace xtsoc::mapping {
+
+Bindings& Bindings::set(std::string name, std::string value) {
+  scalars_[std::move(name)] = std::move(value);
+  return *this;
+}
+
+Bindings& Bindings::set_list(std::string name, std::vector<ListItem> items) {
+  lists_[std::move(name)] = std::move(items);
+  return *this;
+}
+
+const std::string* Bindings::scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  return it == scalars_.end() ? nullptr : &it->second;
+}
+
+const std::vector<ListItem>* Bindings::list(const std::string& name) const {
+  auto it = lists_.find(name);
+  return it == lists_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Parsed template node.
+struct Node {
+  enum Kind { kText, kVar, kFor, kIf } kind = kText;
+  std::string text;      // kText: literal; kVar: name; kFor: list name; kIf: cond
+  std::string loop_var;  // kFor only
+  std::vector<Node> body;
+};
+
+class TemplateParser {
+public:
+  TemplateParser(std::string_view src, DiagnosticSink& sink)
+      : src_(src), sink_(sink) {}
+
+  std::vector<Node> parse() { return parse_body(/*top_level=*/true); }
+
+private:
+  /// Parse until %end% (or EOF at top level). Consumes the closing %end%.
+  std::vector<Node> parse_body(bool top_level) {
+    std::vector<Node> out;
+    std::string literal;
+    auto flush = [&] {
+      if (!literal.empty()) {
+        Node n;
+        n.kind = Node::kText;
+        n.text = std::move(literal);
+        literal.clear();
+        out.push_back(std::move(n));
+      }
+    };
+
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '$' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '{') {
+        std::size_t close = src_.find('}', pos_ + 2);
+        if (close == std::string_view::npos) {
+          literal += src_[pos_++];
+          continue;
+        }
+        flush();
+        Node n;
+        n.kind = Node::kVar;
+        n.text = std::string(src_.substr(pos_ + 2, close - pos_ - 2));
+        out.push_back(std::move(n));
+        pos_ = close + 1;
+        continue;
+      }
+      if (src_[pos_] == '%') {
+        std::size_t close = src_.find('%', pos_ + 1);
+        if (close == std::string_view::npos) {
+          literal += src_[pos_++];
+          continue;
+        }
+        std::string directive(src_.substr(pos_ + 1, close - pos_ - 1));
+        std::istringstream iss(directive);
+        std::string word;
+        iss >> word;
+        if (word == "end") {
+          flush();
+          pos_ = close + 1;
+          if (top_level) {
+            sink_.error("archetype.end", "%end% without open %for%/%if%");
+            continue;
+          }
+          closed_ = true;
+          return out;
+        }
+        if (word == "for") {
+          std::string var, in, list;
+          iss >> var >> in >> list;
+          if (in != "in" || var.empty() || list.empty()) {
+            sink_.error("archetype.for", "malformed %for%: " + directive);
+            pos_ = close + 1;
+            continue;
+          }
+          flush();
+          pos_ = close + 1;
+          Node n;
+          n.kind = Node::kFor;
+          n.loop_var = var;
+          n.text = list;
+          closed_ = false;
+          n.body = parse_body(/*top_level=*/false);
+          if (!closed_) sink_.error("archetype.unclosed", "unclosed %for%");
+          out.push_back(std::move(n));
+          continue;
+        }
+        if (word == "if") {
+          std::string cond;
+          iss >> cond;
+          flush();
+          pos_ = close + 1;
+          Node n;
+          n.kind = Node::kIf;
+          n.text = cond;
+          closed_ = false;
+          n.body = parse_body(/*top_level=*/false);
+          if (!closed_) sink_.error("archetype.unclosed", "unclosed %if%");
+          out.push_back(std::move(n));
+          continue;
+        }
+        // Not a directive: emit literally (e.g. "100%" in generated text).
+        literal += src_.substr(pos_, close - pos_ + 1);
+        pos_ = close + 1;
+        continue;
+      }
+      literal += src_[pos_++];
+    }
+    flush();
+    if (!top_level) closed_ = false;
+    return out;
+  }
+
+  std::string_view src_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  bool closed_ = false;
+};
+
+class Renderer {
+public:
+  Renderer(const Bindings& bindings, DiagnosticSink& sink)
+      : bindings_(bindings), sink_(sink) {}
+
+  void render(const std::vector<Node>& nodes, std::ostream& os) {
+    for (const Node& n : nodes) render_node(n, os);
+  }
+
+private:
+  /// Resolve ${name}: loop-local bindings first, then globals.
+  const std::string* lookup(const std::string& name) const {
+    for (auto it = loop_scope_.rbegin(); it != loop_scope_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    return bindings_.scalar(name);
+  }
+
+  void render_node(const Node& n, std::ostream& os) {
+    switch (n.kind) {
+      case Node::kText:
+        os << n.text;
+        break;
+      case Node::kVar: {
+        const std::string* v = lookup(n.text);
+        if (v != nullptr) {
+          os << *v;
+        } else {
+          os << "${" << n.text << "}";  // unknown: leave visible
+        }
+        break;
+      }
+      case Node::kFor: {
+        const auto* items = bindings_.list(n.text);
+        if (items == nullptr) {
+          sink_.error("archetype.list", "unknown list '" + n.text + "'");
+          return;
+        }
+        for (const ListItem& item : *items) {
+          std::map<std::string, std::string> scope;
+          if (const auto* s = std::get_if<std::string>(&item)) {
+            scope[n.loop_var] = *s;
+          } else {
+            for (const auto& [k, v] : std::get<Record>(item)) {
+              scope[n.loop_var + "." + k] = v;
+            }
+          }
+          loop_scope_.push_back(std::move(scope));
+          render(n.body, os);
+          loop_scope_.pop_back();
+        }
+        break;
+      }
+      case Node::kIf: {
+        const std::string* v = lookup(n.text);
+        if (v != nullptr && !v->empty()) render(n.body, os);
+        break;
+      }
+    }
+  }
+
+  const Bindings& bindings_;
+  DiagnosticSink& sink_;
+  std::vector<std::map<std::string, std::string>> loop_scope_;
+};
+
+}  // namespace
+
+std::string render_archetype(std::string_view archetype,
+                             const Bindings& bindings, DiagnosticSink& sink) {
+  TemplateParser parser(archetype, sink);
+  std::vector<Node> nodes = parser.parse();
+  std::ostringstream os;
+  Renderer(bindings, sink).render(nodes, os);
+  return os.str();
+}
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,51 @@
+// Archetype templates: the textual mapping rules a model compiler
+// interprets (paper §4: "Repeatable mappings are defined that produce
+// compilable text ... according to a single consistent set of architectural
+// rules").
+//
+// An archetype is a text skeleton with three constructs:
+//   ${name}                  — substitute a scalar binding
+//   %for item in list% ... %end%
+//                            — repeat the body once per element, binding
+//                              ${item} (and ${item.key} for record lists)
+//   %if name% ... %end%      — include body when the binding is truthy
+//                              ("": false, anything else: true)
+// Nesting is supported. Unknown ${names} render as-is, so generated code
+// containing literal "$" is safe.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+
+namespace xtsoc::mapping {
+
+class Bindings;
+
+/// A list element: either a plain string (bound to ${item}) or a record
+/// (fields bound to ${item.field}).
+using Record = std::map<std::string, std::string>;
+using ListItem = std::variant<std::string, Record>;
+
+class Bindings {
+public:
+  Bindings& set(std::string name, std::string value);
+  Bindings& set_list(std::string name, std::vector<ListItem> items);
+
+  const std::string* scalar(const std::string& name) const;
+  const std::vector<ListItem>* list(const std::string& name) const;
+
+private:
+  std::map<std::string, std::string> scalars_;
+  std::map<std::string, std::vector<ListItem>> lists_;
+};
+
+/// Render `archetype` with `bindings`. Structural errors (unclosed %for%,
+/// unknown list) are reported to `sink`; rendering continues best-effort.
+std::string render_archetype(std::string_view archetype,
+                             const Bindings& bindings, DiagnosticSink& sink);
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,154 @@
+#include "xtsoc/mapping/classrefs.hpp"
+
+namespace xtsoc::mapping {
+
+namespace {
+
+using namespace oal;
+
+class Collector {
+public:
+  explicit Collector(ClassRefs& out) : out_(out) {}
+
+  void walk(const Block& b) {
+    for (const auto& s : b.stmts) walk(*s);
+  }
+
+private:
+  void walk(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kAttrAccess: {
+        const auto& a = static_cast<const AttrAccessExpr&>(e);
+        if (a.cls.is_valid()) out_.touched.insert(a.cls);
+        walk(*a.object);
+        break;
+      }
+      case ExprKind::kUnary:
+        walk(*static_cast<const UnaryExpr&>(e).operand);
+        break;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        walk(*b.lhs);
+        walk(*b.rhs);
+        break;
+      }
+      case ExprKind::kCardinality:
+        walk(*static_cast<const CardinalityExpr&>(e).operand);
+        break;
+      case ExprKind::kEmpty:
+      case ExprKind::kNotEmpty:
+        walk(*static_cast<const EmptyExpr&>(e).operand);
+        break;
+      default:
+        break;  // literals and name references carry no class refs
+    }
+  }
+
+  void walk(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        walk(*a.lvalue);
+        walk(*a.rvalue);
+        break;
+      }
+      case StmtKind::kCreate:
+        out_.touched.insert(static_cast<const CreateStmt&>(s).cls);
+        break;
+      case StmtKind::kDelete: {
+        const auto& d = static_cast<const DeleteStmt&>(s);
+        // The deleted object's class is the expression's static type.
+        if (d.object->type.cls.is_valid()) {
+          out_.touched.insert(d.object->type.cls);
+        }
+        walk(*d.object);
+        break;
+      }
+      case StmtKind::kGenerate: {
+        const auto& g = static_cast<const GenerateStmt&>(s);
+        if (g.target_class.is_valid()) {
+          out_.signaled.insert(g.target_class);
+          out_.generates.insert({g.target_class, g.event});
+        }
+        walk(*g.target);
+        for (const auto& arg : g.args) walk(*arg.value);
+        if (g.delay) walk(*g.delay);
+        break;
+      }
+      case StmtKind::kSelectFrom: {
+        const auto& sel = static_cast<const SelectFromStmt&>(s);
+        if (sel.cls.is_valid()) out_.touched.insert(sel.cls);
+        if (sel.where) walk(*sel.where);
+        break;
+      }
+      case StmtKind::kSelectRelated: {
+        const auto& sel = static_cast<const SelectRelatedStmt&>(s);
+        if (sel.cls.is_valid()) out_.touched.insert(sel.cls);
+        if (sel.assoc.is_valid()) out_.associations.insert(sel.assoc);
+        walk(*sel.start);
+        if (sel.where) walk(*sel.where);
+        break;
+      }
+      case StmtKind::kRelate:
+      case StmtKind::kUnrelate: {
+        const auto& r = static_cast<const RelateStmt&>(s);
+        if (r.assoc.is_valid()) out_.associations.insert(r.assoc);
+        if (r.a->type.cls.is_valid()) out_.touched.insert(r.a->type.cls);
+        if (r.b->type.cls.is_valid()) out_.touched.insert(r.b->type.cls);
+        walk(*r.a);
+        walk(*r.b);
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        for (const auto& br : i.branches) {
+          walk(*br.cond);
+          walk(br.body);
+        }
+        if (i.else_body) walk(*i.else_body);
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        walk(*w.cond);
+        walk(w.body);
+        break;
+      }
+      case StmtKind::kForEach: {
+        const auto& f = static_cast<const ForEachStmt&>(s);
+        walk(*f.set);
+        walk(f.body);
+        break;
+      }
+      case StmtKind::kLog: {
+        const auto& l = static_cast<const LogStmt&>(s);
+        for (const auto& a : l.args) walk(*a);
+        break;
+      }
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kReturn:
+        break;
+    }
+  }
+
+  ClassRefs& out_;
+};
+
+}  // namespace
+
+ClassRefs collect_class_refs(const oal::AnalyzedAction& action) {
+  ClassRefs refs;
+  Collector(refs).walk(action.ast);
+  return refs;
+}
+
+ClassRefs collect_class_refs(const oal::CompiledDomain& compiled, ClassId cls) {
+  ClassRefs refs;
+  for (const auto& action : compiled.cls(cls).state_actions) {
+    Collector(refs).walk(action.ast);
+  }
+  return refs;
+}
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,36 @@
+// Static analysis over analyzed action bodies: which classes does an action
+// *touch* (data access: create/delete/select/relate/attribute access) and
+// which does it merely *signal* (generate)?
+//
+// The distinction is the foundation of partition validity: data touches must
+// stay inside one partition; signals may cross the boundary — the only
+// inter-partition communication, matching the paper's "state machines
+// communicate only by sending signals".
+#pragma once
+
+#include <set>
+#include <utility>
+
+#include "xtsoc/oal/compiled.hpp"
+#include "xtsoc/oal/sema.hpp"
+
+namespace xtsoc::mapping {
+
+struct ClassRefs {
+  /// Classes whose instances/attributes/links the action reads or writes.
+  std::set<ClassId> touched;
+  /// Classes the action sends signals to (generate targets).
+  std::set<ClassId> signaled;
+  /// Exact (target class, event) pairs of every generate statement.
+  std::set<std::pair<ClassId, EventId>> generates;
+  /// Associations the action navigates or mutates.
+  std::set<AssociationId> associations;
+};
+
+/// Collect references from one analyzed action body.
+ClassRefs collect_class_refs(const oal::AnalyzedAction& action);
+
+/// Union of collect_class_refs over every state action of `cls`.
+ClassRefs collect_class_refs(const oal::CompiledDomain& compiled, ClassId cls);
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,110 @@
+// Interface synthesis: the one place where the hardware/software boundary
+// is defined (paper §4: "Mappings enable interface definition in one place,
+// so that consistency is guaranteed").
+//
+// The model compiler scans every action for `generate` statements whose
+// sender and target classes sit in different partitions. Each such
+// (target class, event) pair becomes a boundary *message* with a fixed wire
+// layout: an opcode, a target-instance field, and one bit-packed field per
+// event parameter. Both code generators and both runtimes consume the SAME
+// InterfaceSpec object, so the two halves fit together by construction —
+// there is no hand-written interface to drift.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/mapping/partition.hpp"
+#include "xtsoc/runtime/value.hpp"
+
+namespace xtsoc::mapping {
+
+/// Which side of the boundary a message is delivered to.
+enum class Direction { kToHardware, kToSoftware };
+
+const char* to_string(Direction d);
+
+/// One bit-field of a boundary message payload.
+struct FieldLayout {
+  std::string name;
+  xtuml::DataType type = xtuml::DataType::kInt;
+  int offset_bits = 0;
+  int width_bits = 0;
+};
+
+/// Wire layout of one boundary (class, event) message.
+struct MessageLayout {
+  std::uint32_t opcode = 0;  ///< unique across the whole interface
+  ClassId target_class;
+  EventId event;
+  Direction direction = Direction::kToHardware;
+  std::string name;  ///< "Class.event", for humans and codegen
+  /// Target-instance addressing field, then one field per event parameter.
+  std::vector<FieldLayout> fields;
+  int payload_bits = 0;
+
+  int payload_bytes() const { return (payload_bits + 7) / 8; }
+};
+
+/// Field widths used for the wire encoding of an instance handle:
+/// class(8) | index(24) | generation(16) = 48 bits.
+inline constexpr int kHandleBits = 48;
+
+class InterfaceSpec {
+public:
+  const std::vector<MessageLayout>& messages() const { return messages_; }
+
+  const MessageLayout* find(ClassId target_class, EventId event) const;
+  const MessageLayout* find_opcode(std::uint32_t opcode) const;
+
+  std::size_t message_count() const { return messages_.size(); }
+  std::size_t count(Direction d) const;
+
+  /// Canonical human-readable definition of the interface: one line per
+  /// message with opcodes, field offsets and widths. Equality of canonical
+  /// text == interface compatibility.
+  std::string canonical_text(const xtuml::Domain& domain) const;
+
+  /// Stable FNV-1a digest of the canonical text. Both sides of the cosim
+  /// bus exchange digests at connect time; a mismatch is the "hand-coded
+  /// interface drift" failure the paper's approach eliminates.
+  std::string digest(const xtuml::Domain& domain) const;
+
+  friend InterfaceSpec synthesize_interface(const oal::CompiledDomain&,
+                                            const Partition&,
+                                            const marks::MarkSet&,
+                                            DiagnosticSink&);
+
+private:
+  std::vector<MessageLayout> messages_;
+};
+
+/// Compute the boundary interface of a partitioned model. Errors (e.g. a
+/// string-typed parameter crossing the boundary) go to `sink`.
+InterfaceSpec synthesize_interface(const oal::CompiledDomain& compiled,
+                                   const Partition& partition,
+                                   const marks::MarkSet& marks,
+                                   DiagnosticSink& sink);
+
+// --- payload serialization ---------------------------------------------------
+// Used by the cosim bus: the sending side encodes with the SAME layout the
+// receiving side decodes with, because both hold the same MessageLayout.
+
+/// Bit-pack `args` (one Value per event parameter, in order) per `layout`.
+std::vector<std::uint8_t> encode_payload(
+    const MessageLayout& layout, const runtime::InstanceHandle& target,
+    const std::vector<runtime::Value>& args);
+
+struct DecodedPayload {
+  runtime::InstanceHandle target;
+  std::vector<runtime::Value> args;
+};
+
+/// Inverse of encode_payload. Throws std::runtime_error on size mismatch.
+DecodedPayload decode_payload(const MessageLayout& layout,
+                              const std::vector<std::uint8_t>& bytes);
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,67 @@
+// The model compiler front half: marks + compiled model -> MappedSystem.
+//
+// "At system construction time, the conceptual objects are mapped to
+// hardware and software" (paper §4). A MappedSystem is everything
+// downstream consumers need: the partition, the synthesized boundary
+// interface, and per-class mapping attributes (clock domain, pool size).
+// The text backends (src/xtsoc/codegen) and the executable backends
+// (src/xtsoc/cosim) both start from a MappedSystem, which is how the
+// "single consistent set of architectural rules" stays single.
+#pragma once
+
+#include <memory>
+
+#include "xtsoc/mapping/interface.hpp"
+#include "xtsoc/mapping/partition.hpp"
+
+namespace xtsoc::mapping {
+
+/// Mapping attributes of one class, resolved from marks with defaults.
+struct ClassMapping {
+  ClassId cls;
+  marks::Target target = marks::Target::kSoftware;
+  int clock_domain = 0;    ///< hardware classes: which clock drives the FSM
+  int priority = 0;        ///< software classes: task priority
+  int max_instances = 64;  ///< hardware classes: instance pool capacity
+  int int_width = 32;      ///< wire width of int fields
+};
+
+class MappedSystem {
+public:
+  MappedSystem(const oal::CompiledDomain& compiled, Partition partition,
+               InterfaceSpec interface, std::vector<ClassMapping> class_maps,
+               int bus_latency)
+      : compiled_(&compiled), partition_(std::move(partition)),
+        interface_(std::move(interface)), class_maps_(std::move(class_maps)),
+        bus_latency_(bus_latency) {}
+
+  const oal::CompiledDomain& compiled() const { return *compiled_; }
+  const xtuml::Domain& domain() const { return compiled_->domain(); }
+  const Partition& partition() const { return partition_; }
+  const InterfaceSpec& interface() const { return interface_; }
+  const ClassMapping& mapping_of(ClassId cls) const {
+    return class_maps_.at(cls.value());
+  }
+  const std::vector<ClassMapping>& class_mappings() const {
+    return class_maps_;
+  }
+  /// Cross-boundary signal latency in hardware clock ticks.
+  int bus_latency() const { return bus_latency_; }
+
+private:
+  const oal::CompiledDomain* compiled_;
+  Partition partition_;
+  InterfaceSpec interface_;
+  std::vector<ClassMapping> class_maps_;
+  int bus_latency_;
+};
+
+/// Run the whole mapping pipeline:
+///   validate marks -> compute partition -> validate partition ->
+///   synthesize interface -> resolve class mappings.
+/// Returns nullptr (with diagnostics in `sink`) if any stage fails.
+std::unique_ptr<MappedSystem> map_system(const oal::CompiledDomain& compiled,
+                                         const marks::MarkSet& marks,
+                                         DiagnosticSink& sink);
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,111 @@
+#include "xtsoc/mapping/partition.hpp"
+
+#include <sstream>
+
+#include "xtsoc/mapping/classrefs.hpp"
+
+namespace xtsoc::mapping {
+
+Partition Partition::from_marks(const xtuml::Domain& domain,
+                                const marks::MarkSet& marks) {
+  Partition p;
+  p.by_class_.resize(domain.class_count(), marks::Target::kSoftware);
+  for (const auto& c : domain.classes()) {
+    marks::Target t = marks.target_of(c.name);
+    p.by_class_[c.id.value()] = t;
+    if (t == marks::Target::kHardware) {
+      p.hardware_.push_back(c.id);
+    } else {
+      p.software_.push_back(c.id);
+    }
+  }
+  return p;
+}
+
+marks::Target Partition::target_of(ClassId cls) const {
+  if (cls.value() >= by_class_.size()) return marks::Target::kSoftware;
+  return by_class_[cls.value()];
+}
+
+std::string Partition::to_string(const xtuml::Domain& domain) const {
+  std::ostringstream os;
+  os << "software: ";
+  for (ClassId c : software_) os << domain.cls(c).name << ' ';
+  os << "| hardware: ";
+  for (ClassId c : hardware_) os << domain.cls(c).name << ' ';
+  return os.str();
+}
+
+namespace {
+
+bool class_uses_strings(const xtuml::ClassDef& cls) {
+  for (const auto& a : cls.attributes) {
+    if (a.type == xtuml::DataType::kString) return true;
+  }
+  for (const auto& e : cls.events) {
+    for (const auto& p : e.params) {
+      if (p.type == xtuml::DataType::kString) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool validate_partition(const oal::CompiledDomain& compiled,
+                        const Partition& partition, DiagnosticSink& sink) {
+  const xtuml::Domain& domain = compiled.domain();
+  const std::size_t before = sink.error_count();
+
+  // Rule 1: no cross-boundary data access from any action.
+  for (const auto& c : domain.classes()) {
+    ClassRefs refs = collect_class_refs(compiled, c.id);
+    for (ClassId touched : refs.touched) {
+      if (partition.crosses_boundary(c.id, touched)) {
+        sink.error("mapping.partition.data_cross",
+                   "actions of '" + c.name + "' (" +
+                       marks::to_string(partition.target_of(c.id)) +
+                       ") access data of '" + domain.cls(touched).name +
+                       "' (" +
+                       marks::to_string(partition.target_of(touched)) +
+                       "); only signals may cross the partition boundary");
+      }
+    }
+  }
+
+  // Rule 2: associations must not span the boundary.
+  for (const auto& a : domain.associations()) {
+    if (partition.crosses_boundary(a.a.cls, a.b.cls)) {
+      sink.error("mapping.partition.assoc_cross",
+                 "association " + a.name + " spans the partition boundary (" +
+                     domain.cls(a.a.cls).name + " / " +
+                     domain.cls(a.b.cls).name + ")");
+    }
+  }
+
+  // Rule 3: hardware classes are string-free.
+  for (ClassId hw : partition.hardware()) {
+    const xtuml::ClassDef& c = domain.cls(hw);
+    if (class_uses_strings(c)) {
+      sink.error("mapping.partition.hw_string",
+                 "hardware class '" + c.name +
+                     "' uses string-typed attributes or event parameters, "
+                     "which have no wire representation");
+    }
+    // Actions of hardware classes must not use string values at all.
+    for (const auto& action : compiled.cls(hw).state_actions) {
+      for (const auto& local : action.locals) {
+        if (local.type.base == xtuml::DataType::kString) {
+          sink.error("mapping.partition.hw_string",
+                     "hardware class '" + c.name +
+                         "' action uses string-typed local '" + local.name +
+                         "'");
+        }
+      }
+    }
+  }
+
+  return sink.error_count() == before;
+}
+
+}  // namespace xtsoc::mapping

@@ -1,0 +1,56 @@
+// Partition: the hardware/software split induced by the marks, plus the
+// validity rules a split must satisfy before the model compiler accepts it.
+#pragma once
+
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/marks/marks.hpp"
+#include "xtsoc/oal/compiled.hpp"
+
+namespace xtsoc::mapping {
+
+class Partition {
+public:
+  Partition() = default;
+
+  /// Derive the split of `domain` from `marks` (unmarked = software).
+  static Partition from_marks(const xtuml::Domain& domain,
+                              const marks::MarkSet& marks);
+
+  marks::Target target_of(ClassId cls) const;
+  bool is_hardware(ClassId cls) const {
+    return target_of(cls) == marks::Target::kHardware;
+  }
+
+  const std::vector<ClassId>& software() const { return software_; }
+  const std::vector<ClassId>& hardware() const { return hardware_; }
+  bool is_pure_software() const { return hardware_.empty(); }
+  bool is_pure_hardware() const { return software_.empty(); }
+
+  /// True when `a` and `b` are mapped to different technologies.
+  bool crosses_boundary(ClassId a, ClassId b) const {
+    return target_of(a) != target_of(b);
+  }
+
+  std::string to_string(const xtuml::Domain& domain) const;
+
+private:
+  std::vector<ClassId> software_;
+  std::vector<ClassId> hardware_;
+  std::vector<marks::Target> by_class_;  // indexed by ClassId
+};
+
+/// Enforce the rules that make a partition realizable:
+///   1. Data access (create/delete/select/relate/attr) must not cross the
+///      boundary — partitions share no memory; only signals cross.
+///   2. Associations must not span the boundary (links are data).
+///   3. Hardware classes may not use string-typed attributes or event
+///      parameters (no wire representation).
+///   4. Hardware classes receiving signals from software must be signaled
+///      by value-safe payloads (checked via rule 3 on their events).
+/// Returns false and reports via `sink` if any rule is violated.
+bool validate_partition(const oal::CompiledDomain& compiled,
+                        const Partition& partition, DiagnosticSink& sink);
+
+}  // namespace xtsoc::mapping

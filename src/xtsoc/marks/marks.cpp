@@ -1,0 +1,266 @@
+#include "xtsoc/marks/marks.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "xtsoc/common/strings.hpp"
+
+namespace xtsoc::marks {
+
+namespace {
+/// Element key used internally for domain-scope marks.
+constexpr const char* kDomainScope = "";
+
+const char* const kStandardClassKeys[] = {kIsHardware, kClockDomain, kBusId,
+                                          kPriority, kMaxInstances, kIntWidth};
+const char* const kStandardDomainKeys[] = {kBusLatency};
+}  // namespace
+
+const char* to_string(Target t) {
+  return t == Target::kHardware ? "hardware" : "software";
+}
+
+std::string MarkDiff::to_string() const {
+  std::ostringstream os;
+  for (const auto& c : changes) {
+    os << (c.element.empty() ? "domain" : c.element) << '.' << c.key << ": ";
+    os << (c.before ? xtuml::scalar_to_string(*c.before) : "<none>");
+    os << " -> ";
+    os << (c.after ? xtuml::scalar_to_string(*c.after) : "<none>");
+    os << '\n';
+  }
+  return os.str();
+}
+
+void MarkSet::set_class_mark(std::string_view class_name, std::string_view key,
+                             xtuml::ScalarValue value) {
+  marks_[std::string(class_name)][std::string(key)] = std::move(value);
+}
+
+void MarkSet::set_domain_mark(std::string_view key, xtuml::ScalarValue value) {
+  marks_[kDomainScope][std::string(key)] = std::move(value);
+}
+
+void MarkSet::clear_class_mark(std::string_view class_name,
+                               std::string_view key) {
+  auto it = marks_.find(class_name);
+  if (it == marks_.end()) return;
+  it->second.erase(std::string(key));
+  if (it->second.empty()) marks_.erase(it);
+}
+
+void MarkSet::mark_hardware(std::string_view class_name, bool is_hw) {
+  set_class_mark(class_name, kIsHardware, xtuml::ScalarValue(is_hw));
+}
+
+std::optional<xtuml::ScalarValue> MarkSet::class_mark(
+    std::string_view class_name, std::string_view key) const {
+  auto it = marks_.find(class_name);
+  if (it == marks_.end()) return std::nullopt;
+  auto kit = it->second.find(std::string(key));
+  if (kit == it->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::optional<xtuml::ScalarValue> MarkSet::domain_mark(
+    std::string_view key) const {
+  return class_mark(kDomainScope, key);
+}
+
+std::int64_t MarkSet::class_mark_int(std::string_view class_name,
+                                     std::string_view key,
+                                     std::int64_t fallback) const {
+  auto v = class_mark(class_name, key);
+  if (!v || !std::holds_alternative<std::int64_t>(*v)) return fallback;
+  return std::get<std::int64_t>(*v);
+}
+
+std::int64_t MarkSet::domain_mark_int(std::string_view key,
+                                      std::int64_t fallback) const {
+  return class_mark_int(kDomainScope, key, fallback);
+}
+
+Target MarkSet::target_of(std::string_view class_name) const {
+  auto v = class_mark(class_name, kIsHardware);
+  if (v && std::holds_alternative<bool>(*v) && std::get<bool>(*v)) {
+    return Target::kHardware;
+  }
+  return Target::kSoftware;
+}
+
+std::size_t MarkSet::mark_count() const {
+  std::size_t n = 0;
+  for (const auto& [el, kv] : marks_) n += kv.size();
+  return n;
+}
+
+MarkDiff MarkSet::diff(const MarkSet& before, const MarkSet& after) {
+  MarkDiff d;
+  // Removed or changed.
+  for (const auto& [el, kv] : before.marks_) {
+    for (const auto& [key, val] : kv) {
+      auto now = after.class_mark(el, key);
+      if (!now) {
+        d.changes.push_back({el, key, val, std::nullopt});
+      } else if (*now != val) {
+        d.changes.push_back({el, key, val, *now});
+      }
+    }
+  }
+  // Added.
+  for (const auto& [el, kv] : after.marks_) {
+    for (const auto& [key, val] : kv) {
+      if (!before.class_mark(el, key)) {
+        d.changes.push_back({el, key, std::nullopt, val});
+      }
+    }
+  }
+  return d;
+}
+
+bool MarkSet::validate(const xtuml::Domain& domain,
+                       DiagnosticSink& sink) const {
+  const std::size_t before = sink.error_count();
+  for (const auto& [element, kv] : marks_) {
+    const bool domain_scope = element.empty();
+    if (!domain_scope && domain.find_class(element) == nullptr) {
+      sink.error("marks.unknown_class",
+                 "mark on unknown class '" + element + "'");
+      continue;
+    }
+    for (const auto& [key, value] : kv) {
+      if (key == kIsHardware) {
+        if (domain_scope) {
+          sink.error("marks.scope", "isHardware is a class mark, not domain");
+        } else if (!std::holds_alternative<bool>(value)) {
+          sink.error("marks.type", element + ".isHardware must be a bool");
+        }
+      } else if (key == kClockDomain || key == kBusId || key == kPriority ||
+                 key == kMaxInstances || key == kIntWidth) {
+        if (domain_scope) {
+          sink.error("marks.scope",
+                     std::string(key) + " is a class mark, not domain");
+        } else if (!std::holds_alternative<std::int64_t>(value)) {
+          sink.error("marks.type", element + "." + key + " must be an int");
+        }
+      } else if (key == kBusLatency) {
+        if (!domain_scope) {
+          sink.error("marks.scope", "busLatency is a domain mark, not class");
+        } else if (!std::holds_alternative<std::int64_t>(value)) {
+          sink.error("marks.type", "domain.busLatency must be an int");
+        }
+      } else {
+        // Unknown key: allowed, but warn on case/underscore near-misses.
+        auto normalize = [](std::string_view k) {
+          std::string out;
+          for (char ch : k) {
+            if (ch == '_') continue;
+            out.push_back(
+                static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+          }
+          return out;
+        };
+        std::string lower = normalize(key);
+        auto near = [&](const char* std_key) {
+          return lower == normalize(std_key) && key != std_key;
+        };
+        bool near_miss = false;
+        for (const char* k : kStandardClassKeys) near_miss |= near(k);
+        for (const char* k : kStandardDomainKeys) near_miss |= near(k);
+        if (near_miss) {
+          sink.warning("marks.near_miss",
+                       "mark key '" + key + "' looks like a misspelled "
+                       "standard mark");
+        }
+      }
+    }
+  }
+  // A positive intWidth must fit the 64-bit abstract integer.
+  for (const auto& [element, kv] : marks_) {
+    auto it = kv.find(kIntWidth);
+    if (it != kv.end() && std::holds_alternative<std::int64_t>(it->second)) {
+      std::int64_t w = std::get<std::int64_t>(it->second);
+      if (w < 1 || w > 64) {
+        sink.error("marks.int_width",
+                   element + ".intWidth must be in [1, 64]");
+      }
+    }
+  }
+  return sink.error_count() == before;
+}
+
+std::string MarkSet::to_text() const {
+  std::ostringstream os;
+  for (const auto& [element, kv] : marks_) {
+    for (const auto& [key, value] : kv) {
+      os << (element.empty() ? "domain" : element) << '.' << key << " = "
+         << xtuml::scalar_to_string(value) << '\n';
+    }
+  }
+  return os.str();
+}
+
+MarkSet MarkSet::from_text(std::string_view text, DiagnosticSink& sink) {
+  MarkSet out;
+  int line_no = 0;
+  for (const std::string& raw : split(text, '\n')) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.starts_with("#")) continue;
+
+    SourceLoc loc{line_no, 1};
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      sink.error("marks.parse", "expected 'element.key = value'", loc);
+      continue;
+    }
+    std::string_view lhs = trim(line.substr(0, eq));
+    std::string_view rhs = trim(line.substr(eq + 1));
+    std::size_t dot = lhs.find('.');
+    if (dot == std::string_view::npos) {
+      sink.error("marks.parse", "expected 'element.key' before '='", loc);
+      continue;
+    }
+    std::string element(trim(lhs.substr(0, dot)));
+    std::string key(trim(lhs.substr(dot + 1)));
+    if (element == "domain") element.clear();
+
+    xtuml::ScalarValue value;
+    if (rhs == "true") {
+      value = true;
+    } else if (rhs == "false") {
+      value = false;
+    } else if (!rhs.empty() && rhs.front() == '"') {
+      if (rhs.size() < 2 || rhs.back() != '"') {
+        sink.error("marks.parse", "unterminated string value", loc);
+        continue;
+      }
+      value = std::string(rhs.substr(1, rhs.size() - 2));
+    } else if (rhs.find('.') != std::string_view::npos) {
+      try {
+        value = std::stod(std::string(rhs));
+      } catch (...) {
+        sink.error("marks.parse", "bad real value '" + std::string(rhs) + "'",
+                   loc);
+        continue;
+      }
+    } else {
+      std::int64_t iv = 0;
+      auto [p, ec] = std::from_chars(rhs.data(), rhs.data() + rhs.size(), iv);
+      if (ec != std::errc{} || p != rhs.data() + rhs.size()) {
+        sink.error("marks.parse", "bad value '" + std::string(rhs) + "'", loc);
+        continue;
+      }
+      value = iv;
+    }
+    if (element.empty()) {
+      out.set_domain_mark(key, std::move(value));
+    } else {
+      out.set_class_mark(element, key, std::move(value));
+    }
+  }
+  return out;
+}
+
+}  // namespace xtsoc::marks

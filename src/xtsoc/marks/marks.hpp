@@ -1,0 +1,112 @@
+// Marks: lightweight, non-intrusive annotations held OUTSIDE the model
+// (paper §3: "rather like sticky notes ... without polluting those models").
+//
+// A MarkSet maps model elements (addressed by class name, or the whole
+// domain) to key/value marks. The partition is decided entirely by the
+// `isHardware` mark; consequently "changing the partition is a matter of
+// changing the placement of the marks" (§4) — operationally, a MarkSet diff.
+//
+// MarkSets serialize to a trivial line format so they can live in a file
+// next to (but never inside) the model:
+//
+//   domain.busLatency = 4
+//   Compressor.isHardware = true
+//   Compressor.clockDomain = 1
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::marks {
+
+/// Implementation technology a class is mapped to. Software is the default
+/// for unmarked classes.
+enum class Target { kSoftware, kHardware };
+
+const char* to_string(Target t);
+
+/// Well-known mark keys. Unknown keys are permitted (mappings may define
+/// their own) but validation warns about likely typos of these.
+inline constexpr const char* kIsHardware = "isHardware";    // bool, class
+inline constexpr const char* kClockDomain = "clockDomain";  // int, class
+inline constexpr const char* kBusId = "busId";              // int, class
+inline constexpr const char* kPriority = "priority";        // int, class
+inline constexpr const char* kMaxInstances = "maxInstances";// int, class (hw pool size)
+inline constexpr const char* kBusLatency = "busLatency";    // int, domain
+inline constexpr const char* kIntWidth = "intWidth";        // int, class (wire bits)
+
+/// One change between two MarkSets (the unit of "repartitioning cost").
+struct MarkChange {
+  std::string element;  ///< class name, or "domain"
+  std::string key;
+  std::optional<xtuml::ScalarValue> before;  ///< nullopt = mark added
+  std::optional<xtuml::ScalarValue> after;   ///< nullopt = mark removed
+};
+
+struct MarkDiff {
+  std::vector<MarkChange> changes;
+  std::size_t size() const { return changes.size(); }
+  bool empty() const { return changes.empty(); }
+  std::string to_string() const;
+};
+
+class MarkSet {
+public:
+  MarkSet() = default;
+  explicit MarkSet(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- writing ---------------------------------------------------------------
+  void set_class_mark(std::string_view class_name, std::string_view key,
+                      xtuml::ScalarValue value);
+  void set_domain_mark(std::string_view key, xtuml::ScalarValue value);
+  void clear_class_mark(std::string_view class_name, std::string_view key);
+
+  /// Convenience for the one mark that decides the partition.
+  void mark_hardware(std::string_view class_name, bool is_hw = true);
+
+  // --- reading ---------------------------------------------------------------
+  std::optional<xtuml::ScalarValue> class_mark(std::string_view class_name,
+                                               std::string_view key) const;
+  std::optional<xtuml::ScalarValue> domain_mark(std::string_view key) const;
+
+  /// Int-valued mark with a default.
+  std::int64_t class_mark_int(std::string_view class_name, std::string_view key,
+                              std::int64_t fallback) const;
+  std::int64_t domain_mark_int(std::string_view key, std::int64_t fallback) const;
+
+  Target target_of(std::string_view class_name) const;
+  bool is_hardware(std::string_view class_name) const {
+    return target_of(class_name) == Target::kHardware;
+  }
+
+  std::size_t mark_count() const;
+
+  // --- the paper's repartitioning operation -----------------------------------
+  static MarkDiff diff(const MarkSet& before, const MarkSet& after);
+
+  /// Check marks against a model: unknown class names, wrongly-typed
+  /// standard marks, near-miss key spellings. Returns false on errors.
+  bool validate(const xtuml::Domain& domain, DiagnosticSink& sink) const;
+
+  // --- persistence (marks live outside the model) ------------------------------
+  std::string to_text() const;
+  static MarkSet from_text(std::string_view text, DiagnosticSink& sink);
+
+  friend bool operator==(const MarkSet&, const MarkSet&) = default;
+
+private:
+  // map<element, map<key, value>>; element "" = domain scope. Ordered maps
+  // keep to_text() and diff() deterministic.
+  std::string name_;
+  std::map<std::string, std::map<std::string, xtuml::ScalarValue>,
+           std::less<>> marks_;
+};
+
+}  // namespace xtsoc::marks

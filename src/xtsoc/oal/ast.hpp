@@ -1,0 +1,301 @@
+// Abstract syntax tree for OAL action bodies.
+//
+// Nodes carry two layers of information: syntax (filled by the parser) and
+// binding/type annotations (filled by sema). The interpreter and both code
+// generators consume the annotated tree.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/common/ids.hpp"
+#include "xtsoc/xtuml/types.hpp"
+
+namespace xtsoc::oal {
+
+using xtuml::DataType;
+
+/// Type of an OAL expression: a scalar, an instance reference, or an
+/// instance *set* (result of `select many`).
+struct OalType {
+  DataType base = DataType::kVoid;
+  bool is_set = false;
+  ClassId cls = ClassId::invalid();  ///< valid when base == kInstRef
+
+  static OalType scalar(DataType t) { return {t, false, ClassId::invalid()}; }
+  static OalType inst(ClassId c) { return {DataType::kInstRef, false, c}; }
+  static OalType inst_set(ClassId c) { return {DataType::kInstRef, true, c}; }
+  static OalType void_type() { return {DataType::kVoid, false, ClassId::invalid()}; }
+
+  bool is_numeric() const {
+    return !is_set && (base == DataType::kInt || base == DataType::kReal);
+  }
+  bool is_instance() const { return base == DataType::kInstRef && !is_set; }
+
+  friend bool operator==(const OalType&, const OalType&) = default;
+  std::string to_string() const;
+};
+
+// --- expressions -----------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral, kVarRef, kSelfRef, kParamRef, kSelectedRef, kAttrAccess,
+  kUnary, kBinary, kCardinality, kEmpty, kNotEmpty,
+};
+
+enum class UnaryOp { kNeg, kNot };
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* to_string(UnaryOp op);
+const char* to_string(BinaryOp op);
+
+struct Expr {
+  explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  const ExprKind kind;
+  SourceLoc loc;
+  OalType type;  ///< set by sema
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  LiteralExpr(xtuml::ScalarValue v, SourceLoc l)
+      : Expr(ExprKind::kLiteral, l), value(std::move(v)) {}
+  xtuml::ScalarValue value;
+};
+
+/// Reference to a local variable (declared by first assignment, a select,
+/// a create, or a for-each loop header).
+struct VarRefExpr : Expr {
+  VarRefExpr(std::string n, SourceLoc l)
+      : Expr(ExprKind::kVarRef, l), name(std::move(n)) {}
+  std::string name;
+  int slot = -1;  ///< frame slot, set by sema
+};
+
+struct SelfRefExpr : Expr {
+  explicit SelfRefExpr(SourceLoc l) : Expr(ExprKind::kSelfRef, l) {}
+};
+
+/// `param.<name>` — a parameter of the event that triggered this state.
+struct ParamRefExpr : Expr {
+  ParamRefExpr(std::string n, SourceLoc l)
+      : Expr(ExprKind::kParamRef, l), name(std::move(n)) {}
+  std::string name;
+  int param_index = -1;  ///< set by sema
+};
+
+/// `selected` — the candidate instance inside a select..where clause.
+struct SelectedRefExpr : Expr {
+  explicit SelectedRefExpr(SourceLoc l) : Expr(ExprKind::kSelectedRef, l) {}
+};
+
+/// `<object>.<attribute>` where <object> is any instance-typed expression.
+struct AttrAccessExpr : Expr {
+  AttrAccessExpr(ExprPtr obj, std::string attr, SourceLoc l)
+      : Expr(ExprKind::kAttrAccess, l), object(std::move(obj)),
+        attr_name(std::move(attr)) {}
+  ExprPtr object;
+  std::string attr_name;
+  ClassId cls = ClassId::invalid();          ///< set by sema
+  AttributeId attr = AttributeId::invalid(); ///< set by sema
+};
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp o, ExprPtr e, SourceLoc l)
+      : Expr(ExprKind::kUnary, l), op(o), operand(std::move(e)) {}
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp o, ExprPtr a, ExprPtr b, SourceLoc l)
+      : Expr(ExprKind::kBinary, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+/// `cardinality x` — number of instances in a set (or 0/1 for a ref).
+struct CardinalityExpr : Expr {
+  CardinalityExpr(ExprPtr e, SourceLoc l)
+      : Expr(ExprKind::kCardinality, l), operand(std::move(e)) {}
+  ExprPtr operand;
+};
+
+/// `empty x` / `not_empty x` — emptiness tests on refs and sets.
+struct EmptyExpr : Expr {
+  EmptyExpr(bool negated, ExprPtr e, SourceLoc l)
+      : Expr(negated ? ExprKind::kNotEmpty : ExprKind::kEmpty, l),
+        operand(std::move(e)) {}
+  ExprPtr operand;
+};
+
+// --- statements --------------------------------------------------------------
+
+enum class StmtKind {
+  kAssign, kCreate, kDelete, kGenerate, kSelectFrom, kSelectRelated,
+  kRelate, kUnrelate, kIf, kWhile, kForEach, kBreak, kContinue, kReturn, kLog,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  const StmtKind kind;
+  SourceLoc loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block {
+  std::vector<StmtPtr> stmts;
+};
+
+/// `lvalue = expr;` — lvalue is a VarRef (declares on first write) or an
+/// AttrAccess (writes an attribute).
+struct AssignStmt : Stmt {
+  AssignStmt(ExprPtr lv, ExprPtr rv, SourceLoc l)
+      : Stmt(StmtKind::kAssign, l), lvalue(std::move(lv)), rvalue(std::move(rv)) {}
+  ExprPtr lvalue;
+  ExprPtr rvalue;
+  bool declares = false;  ///< set by sema: this assignment introduces the var
+};
+
+/// `create object instance x of Class;`
+struct CreateStmt : Stmt {
+  CreateStmt(std::string v, std::string c, SourceLoc l)
+      : Stmt(StmtKind::kCreate, l), var(std::move(v)), class_name(std::move(c)) {}
+  std::string var;
+  std::string class_name;
+  int slot = -1;
+  ClassId cls = ClassId::invalid();
+};
+
+/// `delete object instance x;`
+struct DeleteStmt : Stmt {
+  DeleteStmt(ExprPtr e, SourceLoc l)
+      : Stmt(StmtKind::kDelete, l), object(std::move(e)) {}
+  ExprPtr object;
+};
+
+/// `generate ev(name: expr, ...) to target [delay expr];`
+struct GenerateStmt : Stmt {
+  struct Arg {
+    std::string name;
+    ExprPtr value;
+    int param_index = -1;  ///< set by sema
+  };
+  GenerateStmt(std::string ev, std::vector<Arg> a, ExprPtr tgt, ExprPtr dly,
+               SourceLoc l)
+      : Stmt(StmtKind::kGenerate, l), event_name(std::move(ev)),
+        args(std::move(a)), target(std::move(tgt)), delay(std::move(dly)) {}
+  std::string event_name;
+  std::vector<Arg> args;
+  ExprPtr target;
+  ExprPtr delay;  ///< may be null
+  ClassId target_class = ClassId::invalid();  ///< set by sema
+  EventId event = EventId::invalid();         ///< set by sema
+};
+
+/// `select any|many x from instances of Class [where (expr)];`
+struct SelectFromStmt : Stmt {
+  SelectFromStmt(bool many_, std::string v, std::string c, ExprPtr w, SourceLoc l)
+      : Stmt(StmtKind::kSelectFrom, l), many(many_), var(std::move(v)),
+        class_name(std::move(c)), where(std::move(w)) {}
+  bool many;
+  std::string var;
+  std::string class_name;
+  ExprPtr where;  ///< may be null; `selected` is bound inside
+  int slot = -1;
+  ClassId cls = ClassId::invalid();
+};
+
+/// `select one|many x related by start->Class[Rn] [where (expr)];`
+struct SelectRelatedStmt : Stmt {
+  SelectRelatedStmt(bool many_, std::string v, ExprPtr s, std::string c,
+                    std::string r, ExprPtr w, SourceLoc l)
+      : Stmt(StmtKind::kSelectRelated, l), many(many_), var(std::move(v)),
+        start(std::move(s)), class_name(std::move(c)), assoc_name(std::move(r)),
+        where(std::move(w)) {}
+  bool many;
+  std::string var;
+  ExprPtr start;
+  std::string class_name;
+  std::string assoc_name;
+  ExprPtr where;  ///< may be null
+  int slot = -1;
+  ClassId cls = ClassId::invalid();
+  AssociationId assoc = AssociationId::invalid();
+};
+
+/// `relate a to b across Rn;` / `unrelate a from b across Rn;`
+struct RelateStmt : Stmt {
+  RelateStmt(bool unrelate_, ExprPtr a_, ExprPtr b_, std::string r, SourceLoc l)
+      : Stmt(unrelate_ ? StmtKind::kUnrelate : StmtKind::kRelate, l),
+        a(std::move(a_)), b(std::move(b_)), assoc_name(std::move(r)) {}
+  ExprPtr a;
+  ExprPtr b;
+  std::string assoc_name;
+  AssociationId assoc = AssociationId::invalid();
+};
+
+struct IfStmt : Stmt {
+  struct Branch {
+    ExprPtr cond;
+    Block body;
+  };
+  IfStmt(SourceLoc l) : Stmt(StmtKind::kIf, l) {}
+  std::vector<Branch> branches;  ///< if + elif chain
+  std::optional<Block> else_body;
+};
+
+struct WhileStmt : Stmt {
+  WhileStmt(ExprPtr c, SourceLoc l) : Stmt(StmtKind::kWhile, l), cond(std::move(c)) {}
+  ExprPtr cond;
+  Block body;
+};
+
+/// `for each x in set_expr ... end for;`
+struct ForEachStmt : Stmt {
+  ForEachStmt(std::string v, ExprPtr s, SourceLoc l)
+      : Stmt(StmtKind::kForEach, l), var(std::move(v)), set(std::move(s)) {}
+  std::string var;
+  ExprPtr set;
+  Block body;
+  int slot = -1;
+};
+
+struct BreakStmt : Stmt {
+  explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::kBreak, l) {}
+};
+
+struct ContinueStmt : Stmt {
+  explicit ContinueStmt(SourceLoc l) : Stmt(StmtKind::kContinue, l) {}
+};
+
+struct ReturnStmt : Stmt {
+  explicit ReturnStmt(SourceLoc l) : Stmt(StmtKind::kReturn, l) {}
+};
+
+/// `log expr, expr, ...;` — diagnostic output to the execution trace.
+struct LogStmt : Stmt {
+  LogStmt(std::vector<ExprPtr> a, SourceLoc l)
+      : Stmt(StmtKind::kLog, l), args(std::move(a)) {}
+  std::vector<ExprPtr> args;
+};
+
+}  // namespace xtsoc::oal

@@ -1,0 +1,89 @@
+// Bytecode form of analyzed OAL actions: a compact stack machine.
+//
+// The repository ships TWO action-execution engines over the same analyzed
+// AST: the tree-walking interpreter (runtime/interp.*) and the VM over this
+// bytecode (runtime/vm.*). Both implement the identical observable
+// semantics — which is checked, not assumed: the test suite and
+// bench_engines cross-compare their traces event by event. That is the
+// paper's §4 argument ("a model compiler ... may do [it] any manner it
+// chooses so long as the defined behavior is preserved") demonstrated with
+// n = 2 implementations.
+//
+// Machine model:
+//   * value stack of runtime Values;
+//   * frame of slots (sema locals first, then compiler temporaries);
+//   * `selected` register, set while a where-filter sub-block runs;
+//   * where-clauses compile to sub-blocks invoked per candidate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xtsoc/oal/sema.hpp"
+
+namespace xtsoc::oal {
+
+enum class Op : std::uint8_t {
+  // stack & frame
+  kPushConst,   ///< a = constant-pool index
+  kPushNull,    ///< push a null instance handle
+  kLoadLocal,   ///< a = slot
+  kStoreLocal,  ///< a = slot (pops)
+  kLoadParam,   ///< a = param index
+  kLoadSelf,
+  kLoadSelected,
+  kPop,
+  // attributes (object on stack)
+  kGetAttr,     ///< a = attr id; pops object, pushes value
+  kSetAttr,     ///< a = attr id; pops value, object
+  // arithmetic / comparison / logic (operands popped, result pushed)
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kNot, kNeg,
+  kCard,        ///< cardinality of set/handle
+  kIsEmpty,     ///< emptiness of set/handle (bool)
+  kIndexSet,    ///< pops index, set; pushes set[index]
+  kWiden,       ///< int -> real if the top is an int (assign to real slot)
+  // control flow
+  kJump,         ///< a = target pc
+  kJumpIfFalse,  ///< a = target pc (pops condition)
+  kReturn,
+  // instances & links
+  kCreate,     ///< a = class id; pushes new handle
+  kDelete,     ///< pops handle
+  kRelate,     ///< a = assoc id, b = 1 if operands arrive swapped; pops b, a
+  kUnrelate,   ///< a = assoc id; pops b, a
+  kSelectAll,  ///< a = class id; pushes the full extent as a set
+  kRelated,    ///< a = assoc id; pops start handle, pushes related set
+  kFilter,     ///< a = sub-block idx, b = 1 keep-first-only; pops set,
+               ///< pushes filtered set (runs sub per candidate w/ selected)
+  kSetToRef,   ///< pops set, pushes first element or null
+  // effects
+  kGenerate,   ///< a = (target class<<16)|event, b = (argc<<1)|has_delay;
+               ///< pops [delay], target, argN..arg1
+  kLog,        ///< a = argc; pops argc values (last on top)
+};
+
+struct Instr {
+  Op op;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+struct CodeBlock {
+  std::vector<Instr> code;
+  /// Scalar constant pool (instance-handle constants cannot exist in
+  /// source, so ScalarValue suffices and keeps oal independent of runtime).
+  std::vector<xtuml::ScalarValue> constants;
+  std::vector<CodeBlock> subs;   ///< where-filter predicates
+  int frame_size = 0;            ///< locals + temporaries
+};
+
+/// Compile an analyzed action to bytecode. The action must have passed
+/// sema (all annotations resolved); compilation cannot fail.
+CodeBlock compile_bytecode(const AnalyzedAction& action);
+
+/// Disassemble for debugging and golden tests.
+std::string disassemble(const CodeBlock& block);
+
+}  // namespace xtsoc::oal

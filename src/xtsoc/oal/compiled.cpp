@@ -1,0 +1,34 @@
+#include "xtsoc/oal/compiled.hpp"
+
+#include "xtsoc/xtuml/validate.hpp"
+
+namespace xtsoc::oal {
+
+std::unique_ptr<CompiledDomain> compile_domain(const xtuml::Domain& domain,
+                                               DiagnosticSink& sink) {
+  if (!xtuml::validate(domain, sink)) return nullptr;
+
+  std::vector<CompiledClass> classes;
+  classes.reserve(domain.class_count());
+  bool ok = true;
+  for (const auto& c : domain.classes()) {
+    CompiledClass cc;
+    cc.id = c.id;
+    cc.state_actions.reserve(c.states.size());
+    for (const auto& st : c.states) {
+      const std::size_t before = sink.error_count();
+      AnalyzedAction action = analyze_state_action(domain, c, st.id, sink);
+      if (sink.error_count() != before) {
+        sink.note("oal.compile.where",
+                  "while compiling " + c.name + "." + st.name);
+        ok = false;
+      }
+      cc.state_actions.push_back(std::move(action));
+    }
+    classes.push_back(std::move(cc));
+  }
+  if (!ok) return nullptr;
+  return std::make_unique<CompiledDomain>(domain, std::move(classes));
+}
+
+}  // namespace xtsoc::oal

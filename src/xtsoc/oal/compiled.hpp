@@ -1,0 +1,49 @@
+// CompiledDomain: a Domain plus every state action parsed, bound and
+// type-checked. This is the artifact all downstream consumers share — the
+// abstract interpreter, the model compiler and both code generators — so a
+// model is analyzed exactly once.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/oal/sema.hpp"
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::oal {
+
+/// All analyzed state actions of one class, indexed by StateId.
+struct CompiledClass {
+  ClassId id;
+  std::vector<AnalyzedAction> state_actions;
+};
+
+/// The analyzed form of a whole domain. Holds a reference to the Domain,
+/// which must outlive it.
+class CompiledDomain {
+public:
+  CompiledDomain(const xtuml::Domain& domain,
+                 std::vector<CompiledClass> classes)
+      : domain_(&domain), classes_(std::move(classes)) {}
+
+  const xtuml::Domain& domain() const { return *domain_; }
+  const CompiledClass& cls(ClassId id) const {
+    return classes_.at(id.value());
+  }
+  const AnalyzedAction& action(ClassId cls, StateId state) const {
+    return classes_.at(cls.value()).state_actions.at(state.value());
+  }
+  const std::vector<CompiledClass>& classes() const { return classes_; }
+
+private:
+  const xtuml::Domain* domain_;
+  std::vector<CompiledClass> classes_;
+};
+
+/// Validate + analyze every state action of `domain`. Returns nullptr and
+/// fills `sink` if the model or any action is ill-formed.
+std::unique_ptr<CompiledDomain> compile_domain(const xtuml::Domain& domain,
+                                               DiagnosticSink& sink);
+
+}  // namespace xtsoc::oal

@@ -1,0 +1,339 @@
+#include "xtsoc/oal/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <unordered_map>
+
+namespace xtsoc::oal {
+
+const char* to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer literal";
+    case TokKind::kRealLit: return "real literal";
+    case TokKind::kStringLit: return "string literal";
+    case TokKind::kKwIf: return "'if'";
+    case TokKind::kKwElif: return "'elif'";
+    case TokKind::kKwElse: return "'else'";
+    case TokKind::kKwEnd: return "'end'";
+    case TokKind::kKwWhile: return "'while'";
+    case TokKind::kKwFor: return "'for'";
+    case TokKind::kKwEach: return "'each'";
+    case TokKind::kKwIn: return "'in'";
+    case TokKind::kKwSelect: return "'select'";
+    case TokKind::kKwAny: return "'any'";
+    case TokKind::kKwMany: return "'many'";
+    case TokKind::kKwOne: return "'one'";
+    case TokKind::kKwFrom: return "'from'";
+    case TokKind::kKwInstances: return "'instances'";
+    case TokKind::kKwOf: return "'of'";
+    case TokKind::kKwWhere: return "'where'";
+    case TokKind::kKwRelated: return "'related'";
+    case TokKind::kKwBy: return "'by'";
+    case TokKind::kKwCreate: return "'create'";
+    case TokKind::kKwDelete: return "'delete'";
+    case TokKind::kKwObject: return "'object'";
+    case TokKind::kKwInstance: return "'instance'";
+    case TokKind::kKwRelate: return "'relate'";
+    case TokKind::kKwUnrelate: return "'unrelate'";
+    case TokKind::kKwTo: return "'to'";
+    case TokKind::kKwAcross: return "'across'";
+    case TokKind::kKwGenerate: return "'generate'";
+    case TokKind::kKwDelay: return "'delay'";
+    case TokKind::kKwSelf: return "'self'";
+    case TokKind::kKwSelected: return "'selected'";
+    case TokKind::kKwParam: return "'param'";
+    case TokKind::kKwTrue: return "'true'";
+    case TokKind::kKwFalse: return "'false'";
+    case TokKind::kKwAnd: return "'and'";
+    case TokKind::kKwOr: return "'or'";
+    case TokKind::kKwNot: return "'not'";
+    case TokKind::kKwEmpty: return "'empty'";
+    case TokKind::kKwNotEmpty: return "'not_empty'";
+    case TokKind::kKwCardinality: return "'cardinality'";
+    case TokKind::kKwBreak: return "'break'";
+    case TokKind::kKwContinue: return "'continue'";
+    case TokKind::kKwReturn: return "'return'";
+    case TokKind::kKwLog: return "'log'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kComma: return "','";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kColon: return "':'";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keywords() {
+  static const std::unordered_map<std::string_view, TokKind> kMap = {
+      {"if", TokKind::kKwIf},
+      {"elif", TokKind::kKwElif},
+      {"else", TokKind::kKwElse},
+      {"end", TokKind::kKwEnd},
+      {"while", TokKind::kKwWhile},
+      {"for", TokKind::kKwFor},
+      {"each", TokKind::kKwEach},
+      {"in", TokKind::kKwIn},
+      {"select", TokKind::kKwSelect},
+      {"any", TokKind::kKwAny},
+      {"many", TokKind::kKwMany},
+      {"one", TokKind::kKwOne},
+      {"from", TokKind::kKwFrom},
+      {"instances", TokKind::kKwInstances},
+      {"of", TokKind::kKwOf},
+      {"where", TokKind::kKwWhere},
+      {"related", TokKind::kKwRelated},
+      {"by", TokKind::kKwBy},
+      {"create", TokKind::kKwCreate},
+      {"delete", TokKind::kKwDelete},
+      {"object", TokKind::kKwObject},
+      {"instance", TokKind::kKwInstance},
+      {"relate", TokKind::kKwRelate},
+      {"unrelate", TokKind::kKwUnrelate},
+      {"to", TokKind::kKwTo},
+      {"across", TokKind::kKwAcross},
+      {"generate", TokKind::kKwGenerate},
+      {"delay", TokKind::kKwDelay},
+      {"self", TokKind::kKwSelf},
+      {"selected", TokKind::kKwSelected},
+      {"param", TokKind::kKwParam},
+      {"true", TokKind::kKwTrue},
+      {"false", TokKind::kKwFalse},
+      {"and", TokKind::kKwAnd},
+      {"or", TokKind::kKwOr},
+      {"not", TokKind::kKwNot},
+      {"empty", TokKind::kKwEmpty},
+      {"not_empty", TokKind::kKwNotEmpty},
+      {"cardinality", TokKind::kKwCardinality},
+      {"break", TokKind::kKwBreak},
+      {"continue", TokKind::kKwContinue},
+      {"return", TokKind::kKwReturn},
+      {"log", TokKind::kKwLog},
+  };
+  return kMap;
+}
+
+class Lexer {
+public:
+  Lexer(std::string_view src, DiagnosticSink& sink) : src_(src), sink_(sink) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws_and_comments();
+      Token t = next();
+      bool eof = t.kind == TokKind::kEof;
+      out.push_back(std::move(t));
+      if (eof) break;
+    }
+    return out;
+  }
+
+private:
+  char peek(std::size_t k = 0) const {
+    return pos_ + k < src_.size() ? src_[pos_ + k] : '\0';
+  }
+
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  SourceLoc here() const { return {line_, col_}; }
+
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '-' && peek(1) == '-') {
+        while (pos_ < src_.size() && peek() != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token make(TokKind k, SourceLoc loc, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.loc = loc;
+    return t;
+  }
+
+  Token next() {
+    SourceLoc loc = here();
+    if (pos_ >= src_.size()) return make(TokKind::kEof, loc);
+
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return identifier(loc);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return number(loc);
+    }
+    if (c == '"') return string_lit(loc);
+
+    advance();
+    switch (c) {
+      case '(': return make(TokKind::kLParen, loc);
+      case ')': return make(TokKind::kRParen, loc);
+      case '[': return make(TokKind::kLBracket, loc);
+      case ']': return make(TokKind::kRBracket, loc);
+      case ',': return make(TokKind::kComma, loc);
+      case ';': return make(TokKind::kSemi, loc);
+      case ':': return make(TokKind::kColon, loc);
+      case '.': return make(TokKind::kDot, loc);
+      case '+': return make(TokKind::kPlus, loc);
+      case '*': return make(TokKind::kStar, loc);
+      case '/': return make(TokKind::kSlash, loc);
+      case '%': return make(TokKind::kPercent, loc);
+      case '-':
+        if (peek() == '>') {
+          advance();
+          return make(TokKind::kArrow, loc);
+        }
+        return make(TokKind::kMinus, loc);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kEq, loc);
+        }
+        return make(TokKind::kAssign, loc);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kNe, loc);
+        }
+        break;
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kLe, loc);
+        }
+        return make(TokKind::kLt, loc);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kGe, loc);
+        }
+        return make(TokKind::kGt, loc);
+      default:
+        break;
+    }
+    sink_.error("oal.lex.char",
+                std::string("unexpected character '") + c + "'", loc);
+    return next_or_eof(loc);
+  }
+
+  Token next_or_eof(SourceLoc loc) {
+    skip_ws_and_comments();
+    if (pos_ >= src_.size()) return make(TokKind::kEof, loc);
+    return next();
+  }
+
+  Token identifier(SourceLoc loc) {
+    std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      advance();
+    }
+    std::string_view text = src_.substr(start, pos_ - start);
+    auto it = keywords().find(text);
+    if (it != keywords().end()) return make(it->second, loc, std::string(text));
+    return make(TokKind::kIdent, loc, std::string(text));
+  }
+
+  Token number(SourceLoc loc) {
+    std::size_t start = pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    bool is_real = false;
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      is_real = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    std::string_view text = src_.substr(start, pos_ - start);
+    Token t = make(is_real ? TokKind::kRealLit : TokKind::kIntLit, loc,
+                   std::string(text));
+    if (is_real) {
+      t.real_value = std::stod(t.text);
+    } else {
+      auto [ptr, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), t.int_value);
+      if (ec != std::errc{}) {
+        sink_.error("oal.lex.int", "integer literal out of range", loc);
+      }
+    }
+    return t;
+  }
+
+  Token string_lit(SourceLoc loc) {
+    advance();  // opening quote
+    std::string value;
+    while (pos_ < src_.size() && peek() != '"') {
+      char c = advance();
+      if (c == '\\' && pos_ < src_.size()) {
+        char e = advance();
+        switch (e) {
+          case 'n': value.push_back('\n'); break;
+          case 't': value.push_back('\t'); break;
+          case '"': value.push_back('"'); break;
+          case '\\': value.push_back('\\'); break;
+          default:
+            sink_.error("oal.lex.escape",
+                        std::string("unknown escape '\\") + e + "'", here());
+        }
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (pos_ >= src_.size()) {
+      sink_.error("oal.lex.string", "unterminated string literal", loc);
+    } else {
+      advance();  // closing quote
+    }
+    Token t = make(TokKind::kStringLit, loc, std::move(value));
+    return t;
+  }
+
+  std::string_view src_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink) {
+  return Lexer(source, sink).run();
+}
+
+}  // namespace xtsoc::oal

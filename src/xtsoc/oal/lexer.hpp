@@ -1,0 +1,16 @@
+// Hand-written lexer for the OAL action language.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/oal/token.hpp"
+
+namespace xtsoc::oal {
+
+/// Tokenize `source`. Lexical errors are reported to `sink`; the returned
+/// stream always ends with a kEof token. `--` starts a comment to end of line.
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace xtsoc::oal

@@ -1,0 +1,503 @@
+#include "xtsoc/oal/parser.hpp"
+
+#include "xtsoc/oal/lexer.hpp"
+
+namespace xtsoc::oal {
+
+namespace {
+
+// Grammar (statement terminators are ';'; blocks are closed by keywords):
+//
+//   block        := stmt*
+//   stmt         := assign | create | delete | generate | select | relate
+//                 | unrelate | if | while | foreach | break | continue
+//                 | return | log
+//   assign       := postfix '=' expr ';'
+//   create       := 'create' 'object' 'instance' IDENT 'of' IDENT ';'
+//   delete       := 'delete' 'object' 'instance' expr ';'
+//   generate     := 'generate' IDENT '(' [IDENT ':' expr {',' ...}] ')'
+//                   'to' expr ['delay' expr] ';'
+//   select       := 'select' ('any'|'many'|'one') IDENT
+//                   ( 'from' 'instances' 'of' IDENT
+//                   | 'related' 'by' postfix '->' IDENT '[' IDENT ']' )
+//                   ['where' '(' expr ')'] ';'
+//   relate       := 'relate' expr 'to' expr 'across' IDENT ';'
+//   unrelate     := 'unrelate' expr 'from' expr 'across' IDENT ';'
+//   if           := 'if' '(' expr ')' block {'elif' '(' expr ')' block}
+//                   ['else' block] 'end' 'if' ';'
+//   while        := 'while' '(' expr ')' block 'end' 'while' ';'
+//   foreach      := 'for' 'each' IDENT 'in' expr block 'end' 'for' ';'
+//
+//   expr         := or
+//   or           := and {'or' and}
+//   and          := cmp {'and' cmp}
+//   cmp          := add {('=='|'!='|'<'|'<='|'>'|'>=') add}
+//   add          := mul {('+'|'-') mul}
+//   mul          := unary {('*'|'/'|'%') unary}
+//   unary        := ('-'|'not'|'empty'|'not_empty'|'cardinality') unary
+//                 | postfix
+//   postfix      := primary {'.' IDENT}
+//   primary      := literal | 'self' | 'selected' | 'param' '.' IDENT
+//                 | IDENT | '(' expr ')'
+class Parser {
+public:
+  Parser(std::vector<Token> toks, DiagnosticSink& sink)
+      : toks_(std::move(toks)), sink_(sink) {}
+
+  Block parse_block_top() {
+    Block b = parse_block();
+    if (!at(TokKind::kEof)) {
+      error("oal.parse.trailing", "unexpected " + std::string(to_string(cur().kind)));
+    }
+    return b;
+  }
+
+private:
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(std::size_t k = 1) const {
+    std::size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool at(TokKind k) const { return cur().kind == k; }
+
+  Token advance() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+
+  bool accept(TokKind k) {
+    if (at(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  Token expect(TokKind k, const char* what) {
+    if (at(k)) return advance();
+    error("oal.parse.expected", std::string("expected ") + to_string(k) +
+                                    " (" + what + "), found " +
+                                    to_string(cur().kind));
+    return cur();
+  }
+
+  void error(std::string code, std::string msg) {
+    sink_.error(std::move(code), std::move(msg), cur().loc);
+    recovering_ = true;
+  }
+
+  /// Skip to just past the next ';' (or a block-closing keyword) so one
+  /// mistake doesn't cascade.
+  void synchronize() {
+    recovering_ = false;
+    while (!at(TokKind::kEof)) {
+      if (accept(TokKind::kSemi)) return;
+      if (at(TokKind::kKwEnd) || at(TokKind::kKwElse) || at(TokKind::kKwElif)) {
+        return;
+      }
+      advance();
+    }
+  }
+
+  bool block_closed() const {
+    return at(TokKind::kEof) || at(TokKind::kKwEnd) || at(TokKind::kKwElse) ||
+           at(TokKind::kKwElif);
+  }
+
+  Block parse_block() {
+    Block b;
+    while (!block_closed()) {
+      StmtPtr s = parse_stmt();
+      if (recovering_) synchronize();
+      if (s) b.stmts.push_back(std::move(s));
+    }
+    return b;
+  }
+
+  StmtPtr parse_stmt() {
+    SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::kKwCreate: return parse_create();
+      case TokKind::kKwDelete: return parse_delete();
+      case TokKind::kKwGenerate: return parse_generate();
+      case TokKind::kKwSelect: return parse_select();
+      case TokKind::kKwRelate: return parse_relate(false);
+      case TokKind::kKwUnrelate: return parse_relate(true);
+      case TokKind::kKwIf: return parse_if();
+      case TokKind::kKwWhile: return parse_while();
+      case TokKind::kKwFor: return parse_foreach();
+      case TokKind::kKwBreak:
+        advance();
+        expect(TokKind::kSemi, "after break");
+        return std::make_unique<BreakStmt>(loc);
+      case TokKind::kKwContinue:
+        advance();
+        expect(TokKind::kSemi, "after continue");
+        return std::make_unique<ContinueStmt>(loc);
+      case TokKind::kKwReturn:
+        advance();
+        expect(TokKind::kSemi, "after return");
+        return std::make_unique<ReturnStmt>(loc);
+      case TokKind::kKwLog: return parse_log();
+      default:
+        return parse_assign();
+    }
+  }
+
+  StmtPtr parse_assign() {
+    SourceLoc loc = cur().loc;
+    ExprPtr lv = parse_postfix();
+    if (lv == nullptr) {
+      error("oal.parse.stmt", "expected a statement");
+      return nullptr;
+    }
+    if (lv->kind != ExprKind::kVarRef && lv->kind != ExprKind::kAttrAccess) {
+      error("oal.parse.lvalue", "left side of '=' must be a variable or attribute");
+    }
+    expect(TokKind::kAssign, "in assignment");
+    ExprPtr rv = parse_expr();
+    expect(TokKind::kSemi, "after assignment");
+    if (recovering_) return nullptr;
+    return std::make_unique<AssignStmt>(std::move(lv), std::move(rv), loc);
+  }
+
+  StmtPtr parse_create() {
+    SourceLoc loc = advance().loc;  // create
+    expect(TokKind::kKwObject, "in create");
+    expect(TokKind::kKwInstance, "in create");
+    Token var = expect(TokKind::kIdent, "variable name");
+    expect(TokKind::kKwOf, "in create");
+    Token cls = expect(TokKind::kIdent, "class name");
+    expect(TokKind::kSemi, "after create");
+    if (recovering_) return nullptr;
+    return std::make_unique<CreateStmt>(var.text, cls.text, loc);
+  }
+
+  StmtPtr parse_delete() {
+    SourceLoc loc = advance().loc;  // delete
+    expect(TokKind::kKwObject, "in delete");
+    expect(TokKind::kKwInstance, "in delete");
+    ExprPtr obj = parse_expr();
+    expect(TokKind::kSemi, "after delete");
+    if (recovering_) return nullptr;
+    return std::make_unique<DeleteStmt>(std::move(obj), loc);
+  }
+
+  StmtPtr parse_generate() {
+    SourceLoc loc = advance().loc;  // generate
+    Token ev = expect(TokKind::kIdent, "event name");
+    expect(TokKind::kLParen, "in generate");
+    std::vector<GenerateStmt::Arg> args;
+    if (!at(TokKind::kRParen)) {
+      do {
+        Token name = expect(TokKind::kIdent, "argument name");
+        expect(TokKind::kColon, "after argument name");
+        GenerateStmt::Arg a;
+        a.name = name.text;
+        a.value = parse_expr();
+        args.push_back(std::move(a));
+      } while (accept(TokKind::kComma));
+    }
+    expect(TokKind::kRParen, "in generate");
+    expect(TokKind::kKwTo, "in generate");
+    ExprPtr target = parse_expr();
+    ExprPtr delay;
+    if (accept(TokKind::kKwDelay)) delay = parse_expr();
+    expect(TokKind::kSemi, "after generate");
+    if (recovering_) return nullptr;
+    return std::make_unique<GenerateStmt>(ev.text, std::move(args),
+                                          std::move(target), std::move(delay),
+                                          loc);
+  }
+
+  StmtPtr parse_select() {
+    SourceLoc loc = advance().loc;  // select
+    bool many = false;
+    if (accept(TokKind::kKwMany)) {
+      many = true;
+    } else if (!accept(TokKind::kKwAny) && !accept(TokKind::kKwOne)) {
+      error("oal.parse.select", "expected 'any', 'one' or 'many' after select");
+    }
+    Token var = expect(TokKind::kIdent, "select variable");
+
+    if (accept(TokKind::kKwFrom)) {
+      expect(TokKind::kKwInstances, "in select-from");
+      expect(TokKind::kKwOf, "in select-from");
+      Token cls = expect(TokKind::kIdent, "class name");
+      ExprPtr where = parse_optional_where();
+      expect(TokKind::kSemi, "after select");
+      if (recovering_) return nullptr;
+      return std::make_unique<SelectFromStmt>(many, var.text, cls.text,
+                                              std::move(where), loc);
+    }
+
+    expect(TokKind::kKwRelated, "in select-related");
+    expect(TokKind::kKwBy, "in select-related");
+    ExprPtr start = parse_postfix();
+    expect(TokKind::kArrow, "in select-related");
+    Token cls = expect(TokKind::kIdent, "class name");
+    expect(TokKind::kLBracket, "in select-related");
+    Token rel = expect(TokKind::kIdent, "association name");
+    expect(TokKind::kRBracket, "in select-related");
+    ExprPtr where = parse_optional_where();
+    expect(TokKind::kSemi, "after select");
+    if (recovering_) return nullptr;
+    return std::make_unique<SelectRelatedStmt>(many, var.text, std::move(start),
+                                               cls.text, rel.text,
+                                               std::move(where), loc);
+  }
+
+  ExprPtr parse_optional_where() {
+    if (!accept(TokKind::kKwWhere)) return nullptr;
+    expect(TokKind::kLParen, "after where");
+    ExprPtr e = parse_expr();
+    expect(TokKind::kRParen, "closing where");
+    return e;
+  }
+
+  StmtPtr parse_relate(bool unrelate) {
+    SourceLoc loc = advance().loc;  // relate / unrelate
+    ExprPtr a = parse_postfix();
+    if (unrelate) {
+      expect(TokKind::kKwFrom, "in unrelate");
+    } else {
+      expect(TokKind::kKwTo, "in relate");
+    }
+    ExprPtr b = parse_postfix();
+    expect(TokKind::kKwAcross, "in relate");
+    Token rel = expect(TokKind::kIdent, "association name");
+    expect(TokKind::kSemi, "after relate");
+    if (recovering_) return nullptr;
+    return std::make_unique<RelateStmt>(unrelate, std::move(a), std::move(b),
+                                        rel.text, loc);
+  }
+
+  StmtPtr parse_if() {
+    SourceLoc loc = advance().loc;  // if
+    auto stmt = std::make_unique<IfStmt>(loc);
+    expect(TokKind::kLParen, "after if");
+    IfStmt::Branch first;
+    first.cond = parse_expr();
+    expect(TokKind::kRParen, "closing if condition");
+    first.body = parse_block();
+    stmt->branches.push_back(std::move(first));
+    while (accept(TokKind::kKwElif)) {
+      expect(TokKind::kLParen, "after elif");
+      IfStmt::Branch br;
+      br.cond = parse_expr();
+      expect(TokKind::kRParen, "closing elif condition");
+      br.body = parse_block();
+      stmt->branches.push_back(std::move(br));
+    }
+    if (accept(TokKind::kKwElse)) {
+      stmt->else_body = parse_block();
+    }
+    expect(TokKind::kKwEnd, "closing if");
+    expect(TokKind::kKwIf, "closing if");
+    expect(TokKind::kSemi, "after end if");
+    if (recovering_) return nullptr;
+    return stmt;
+  }
+
+  StmtPtr parse_while() {
+    SourceLoc loc = advance().loc;  // while
+    expect(TokKind::kLParen, "after while");
+    ExprPtr cond = parse_expr();
+    expect(TokKind::kRParen, "closing while condition");
+    auto stmt = std::make_unique<WhileStmt>(std::move(cond), loc);
+    stmt->body = parse_block();
+    expect(TokKind::kKwEnd, "closing while");
+    expect(TokKind::kKwWhile, "closing while");
+    expect(TokKind::kSemi, "after end while");
+    if (recovering_) return nullptr;
+    return stmt;
+  }
+
+  StmtPtr parse_foreach() {
+    SourceLoc loc = advance().loc;  // for
+    expect(TokKind::kKwEach, "after for");
+    Token var = expect(TokKind::kIdent, "loop variable");
+    expect(TokKind::kKwIn, "in for-each");
+    ExprPtr set = parse_expr();
+    auto stmt = std::make_unique<ForEachStmt>(var.text, std::move(set), loc);
+    stmt->body = parse_block();
+    expect(TokKind::kKwEnd, "closing for");
+    expect(TokKind::kKwFor, "closing for");
+    expect(TokKind::kSemi, "after end for");
+    if (recovering_) return nullptr;
+    return stmt;
+  }
+
+  StmtPtr parse_log() {
+    SourceLoc loc = advance().loc;  // log
+    std::vector<ExprPtr> args;
+    args.push_back(parse_expr());
+    while (accept(TokKind::kComma)) args.push_back(parse_expr());
+    expect(TokKind::kSemi, "after log");
+    if (recovering_) return nullptr;
+    return std::make_unique<LogStmt>(std::move(args), loc);
+  }
+
+  // --- expressions ---------------------------------------------------------
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(TokKind::kKwOr)) {
+      SourceLoc loc = advance().loc;
+      ExprPtr rhs = parse_and();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (at(TokKind::kKwAnd)) {
+      SourceLoc loc = advance().loc;
+      ExprPtr rhs = parse_cmp();
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    while (true) {
+      BinaryOp op;
+      switch (cur().kind) {
+        case TokKind::kEq: op = BinaryOp::kEq; break;
+        case TokKind::kNe: op = BinaryOp::kNe; break;
+        case TokKind::kLt: op = BinaryOp::kLt; break;
+        case TokKind::kLe: op = BinaryOp::kLe; break;
+        case TokKind::kGt: op = BinaryOp::kGt; break;
+        case TokKind::kGe: op = BinaryOp::kGe; break;
+        default: return lhs;
+      }
+      SourceLoc loc = advance().loc;
+      ExprPtr rhs = parse_add();
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+    }
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      BinaryOp op = at(TokKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      SourceLoc loc = advance().loc;
+      ExprPtr rhs = parse_mul();
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (at(TokKind::kStar) || at(TokKind::kSlash) || at(TokKind::kPercent)) {
+      BinaryOp op = at(TokKind::kStar)    ? BinaryOp::kMul
+                    : at(TokKind::kSlash) ? BinaryOp::kDiv
+                                          : BinaryOp::kMod;
+      SourceLoc loc = advance().loc;
+      ExprPtr rhs = parse_unary();
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    SourceLoc loc = cur().loc;
+    if (accept(TokKind::kMinus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNeg, parse_unary(), loc);
+    }
+    if (accept(TokKind::kKwNot)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::kNot, parse_unary(), loc);
+    }
+    if (accept(TokKind::kKwEmpty)) {
+      return std::make_unique<EmptyExpr>(false, parse_unary(), loc);
+    }
+    if (accept(TokKind::kKwNotEmpty)) {
+      return std::make_unique<EmptyExpr>(true, parse_unary(), loc);
+    }
+    if (accept(TokKind::kKwCardinality)) {
+      return std::make_unique<CardinalityExpr>(parse_unary(), loc);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (e && at(TokKind::kDot)) {
+      SourceLoc loc = advance().loc;
+      Token name = expect(TokKind::kIdent, "attribute name");
+      e = std::make_unique<AttrAccessExpr>(std::move(e), name.text, loc);
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::kIntLit: {
+        Token t = advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(t.int_value), loc);
+      }
+      case TokKind::kRealLit: {
+        Token t = advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(t.real_value), loc);
+      }
+      case TokKind::kStringLit: {
+        Token t = advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(t.text), loc);
+      }
+      case TokKind::kKwTrue:
+        advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(true), loc);
+      case TokKind::kKwFalse:
+        advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(false), loc);
+      case TokKind::kKwSelf:
+        advance();
+        return std::make_unique<SelfRefExpr>(loc);
+      case TokKind::kKwSelected:
+        advance();
+        return std::make_unique<SelectedRefExpr>(loc);
+      case TokKind::kKwParam: {
+        advance();
+        expect(TokKind::kDot, "after param");
+        Token name = expect(TokKind::kIdent, "parameter name");
+        return std::make_unique<ParamRefExpr>(name.text, loc);
+      }
+      case TokKind::kIdent: {
+        Token t = advance();
+        return std::make_unique<VarRefExpr>(t.text, loc);
+      }
+      case TokKind::kLParen: {
+        advance();
+        ExprPtr e = parse_expr();
+        expect(TokKind::kRParen, "closing parenthesis");
+        return e;
+      }
+      default:
+        error("oal.parse.expr", std::string("expected an expression, found ") +
+                                    to_string(cur().kind));
+        if (!at(TokKind::kEof)) advance();
+        return std::make_unique<LiteralExpr>(xtuml::ScalarValue(std::int64_t{0}),
+                                             loc);
+    }
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+  bool recovering_ = false;
+};
+
+}  // namespace
+
+Block parse(std::string_view source, DiagnosticSink& sink) {
+  std::vector<Token> toks = lex(source, sink);
+  if (sink.has_errors()) return {};
+  return Parser(std::move(toks), sink).parse_block_top();
+}
+
+}  // namespace xtsoc::oal

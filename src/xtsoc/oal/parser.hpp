@@ -1,0 +1,16 @@
+// Recursive-descent parser for OAL action bodies.
+#pragma once
+
+#include <string_view>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/oal/ast.hpp"
+
+namespace xtsoc::oal {
+
+/// Parse `source` into a Block. Parse errors go to `sink`; on error the
+/// returned block contains whatever was recovered (callers must check
+/// sink.has_errors() before using it).
+Block parse(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace xtsoc::oal

@@ -1,0 +1,267 @@
+#include "xtsoc/oal/printer.hpp"
+
+#include <sstream>
+
+namespace xtsoc::oal {
+
+namespace {
+
+/// Binding strength for minimal parenthesization.
+int precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kBinary:
+      switch (static_cast<const BinaryExpr&>(e).op) {
+        case BinaryOp::kOr: return 1;
+        case BinaryOp::kAnd: return 2;
+        case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+        case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+          return 3;
+        case BinaryOp::kAdd: case BinaryOp::kSub: return 4;
+        case BinaryOp::kMul: case BinaryOp::kDiv: case BinaryOp::kMod:
+          return 5;
+      }
+      return 0;
+    case ExprKind::kUnary:
+    case ExprKind::kEmpty:
+    case ExprKind::kNotEmpty:
+    case ExprKind::kCardinality:
+      return 6;
+    default:
+      return 7;  // atoms
+  }
+}
+
+void print_expr(std::ostream& os, const Expr& e);
+
+void print_child(std::ostream& os, const Expr& parent, const Expr& child,
+                 bool right_side) {
+  int pp = precedence(parent);
+  int cp = precedence(child);
+  // Right child of a left-associative operator at equal precedence needs
+  // parens to preserve evaluation order (a - (b - c)).
+  bool need = cp < pp || (right_side && cp == pp);
+  if (need) os << '(';
+  print_expr(os, child);
+  if (need) os << ')';
+}
+
+void print_expr(std::ostream& os, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      os << xtuml::scalar_to_string(static_cast<const LiteralExpr&>(e).value);
+      break;
+    case ExprKind::kVarRef:
+      os << static_cast<const VarRefExpr&>(e).name;
+      break;
+    case ExprKind::kSelfRef:
+      os << "self";
+      break;
+    case ExprKind::kParamRef:
+      os << "param." << static_cast<const ParamRefExpr&>(e).name;
+      break;
+    case ExprKind::kSelectedRef:
+      os << "selected";
+      break;
+    case ExprKind::kAttrAccess: {
+      const auto& a = static_cast<const AttrAccessExpr&>(e);
+      print_child(os, e, *a.object, false);
+      os << '.' << a.attr_name;
+      break;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      os << (u.op == UnaryOp::kNeg ? "-" : "not ");
+      print_child(os, e, *u.operand, true);
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      print_child(os, e, *b.lhs, false);
+      os << ' ' << to_string(b.op) << ' ';
+      print_child(os, e, *b.rhs, true);
+      break;
+    }
+    case ExprKind::kCardinality:
+      os << "cardinality ";
+      print_child(os, e, *static_cast<const CardinalityExpr&>(e).operand, true);
+      break;
+    case ExprKind::kEmpty:
+      os << "empty ";
+      print_child(os, e, *static_cast<const EmptyExpr&>(e).operand, true);
+      break;
+    case ExprKind::kNotEmpty:
+      os << "not_empty ";
+      print_child(os, e, *static_cast<const EmptyExpr&>(e).operand, true);
+      break;
+  }
+}
+
+void print_block(std::ostream& os, const Block& b, int indent);
+
+void pad(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << ' ';
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, int indent) {
+  pad(os, indent);
+  switch (s.kind) {
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      print_expr(os, *a.lvalue);
+      os << " = ";
+      print_expr(os, *a.rvalue);
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kCreate: {
+      const auto& c = static_cast<const CreateStmt&>(s);
+      os << "create object instance " << c.var << " of " << c.class_name
+         << ";\n";
+      break;
+    }
+    case StmtKind::kDelete: {
+      const auto& d = static_cast<const DeleteStmt&>(s);
+      os << "delete object instance ";
+      print_expr(os, *d.object);
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kGenerate: {
+      const auto& g = static_cast<const GenerateStmt&>(s);
+      os << "generate " << g.event_name << '(';
+      for (std::size_t i = 0; i < g.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << g.args[i].name << ": ";
+        print_expr(os, *g.args[i].value);
+      }
+      os << ") to ";
+      print_expr(os, *g.target);
+      if (g.delay) {
+        os << " delay ";
+        print_expr(os, *g.delay);
+      }
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kSelectFrom: {
+      const auto& sel = static_cast<const SelectFromStmt&>(s);
+      os << "select " << (sel.many ? "many" : "any") << ' ' << sel.var
+         << " from instances of " << sel.class_name;
+      if (sel.where) {
+        os << " where (";
+        print_expr(os, *sel.where);
+        os << ')';
+      }
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kSelectRelated: {
+      const auto& sel = static_cast<const SelectRelatedStmt&>(s);
+      os << "select " << (sel.many ? "many" : "one") << ' ' << sel.var
+         << " related by ";
+      print_expr(os, *sel.start);
+      os << "->" << sel.class_name << '[' << sel.assoc_name << ']';
+      if (sel.where) {
+        os << " where (";
+        print_expr(os, *sel.where);
+        os << ')';
+      }
+      os << ";\n";
+      break;
+    }
+    case StmtKind::kRelate:
+    case StmtKind::kUnrelate: {
+      const auto& r = static_cast<const RelateStmt&>(s);
+      bool un = s.kind == StmtKind::kUnrelate;
+      os << (un ? "unrelate " : "relate ");
+      print_expr(os, *r.a);
+      os << (un ? " from " : " to ");
+      print_expr(os, *r.b);
+      os << " across " << r.assoc_name << ";\n";
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      for (std::size_t k = 0; k < i.branches.size(); ++k) {
+        if (k > 0) pad(os, indent);
+        os << (k == 0 ? "if (" : "elif (");
+        print_expr(os, *i.branches[k].cond);
+        os << ")\n";
+        print_block(os, i.branches[k].body, indent + 2);
+      }
+      if (i.else_body) {
+        pad(os, indent);
+        os << "else\n";
+        print_block(os, *i.else_body, indent + 2);
+      }
+      pad(os, indent);
+      os << "end if;\n";
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      os << "while (";
+      print_expr(os, *w.cond);
+      os << ")\n";
+      print_block(os, w.body, indent + 2);
+      pad(os, indent);
+      os << "end while;\n";
+      break;
+    }
+    case StmtKind::kForEach: {
+      const auto& f = static_cast<const ForEachStmt&>(s);
+      os << "for each " << f.var << " in ";
+      print_expr(os, *f.set);
+      os << "\n";
+      print_block(os, f.body, indent + 2);
+      pad(os, indent);
+      os << "end for;\n";
+      break;
+    }
+    case StmtKind::kBreak:
+      os << "break;\n";
+      break;
+    case StmtKind::kContinue:
+      os << "continue;\n";
+      break;
+    case StmtKind::kReturn:
+      os << "return;\n";
+      break;
+    case StmtKind::kLog: {
+      const auto& l = static_cast<const LogStmt&>(s);
+      os << "log ";
+      for (std::size_t i = 0; i < l.args.size(); ++i) {
+        if (i > 0) os << ", ";
+        print_expr(os, *l.args[i]);
+      }
+      os << ";\n";
+      break;
+    }
+  }
+}
+
+void print_block(std::ostream& os, const Block& b, int indent) {
+  for (const auto& s : b.stmts) print_stmt(os, *s, indent);
+}
+
+}  // namespace
+
+std::string print(const Block& block, int indent) {
+  std::ostringstream os;
+  print_block(os, block, indent);
+  return os.str();
+}
+
+std::string print(const Expr& expr) {
+  std::ostringstream os;
+  print_expr(os, expr);
+  return os.str();
+}
+
+std::string print(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  print_stmt(os, stmt, indent);
+  return os.str();
+}
+
+}  // namespace xtsoc::oal

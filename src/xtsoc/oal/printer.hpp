@@ -1,0 +1,16 @@
+// Pretty-printer: renders an AST back to canonical OAL text.
+// Used for round-trip testing (parse(print(ast)) == ast) and for embedding
+// readable action bodies as comments in generated C/VHDL.
+#pragma once
+
+#include <string>
+
+#include "xtsoc/oal/ast.hpp"
+
+namespace xtsoc::oal {
+
+std::string print(const Block& block, int indent = 0);
+std::string print(const Expr& expr);
+std::string print(const Stmt& stmt, int indent = 0);
+
+}  // namespace xtsoc::oal

@@ -1,0 +1,656 @@
+#include "xtsoc/oal/sema.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "xtsoc/oal/parser.hpp"
+
+namespace xtsoc::oal {
+
+using xtuml::ClassDef;
+using xtuml::DataType;
+using xtuml::Domain;
+using xtuml::Parameter;
+
+std::string OalType::to_string() const {
+  std::ostringstream os;
+  if (is_set) os << "set of ";
+  os << xtuml::to_string(base);
+  if (base == DataType::kInstRef && cls.is_valid()) {
+    os << "<class#" << cls.value() << ">";
+  }
+  return os.str();
+}
+
+const char* to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "not";
+  }
+  return "?";
+}
+
+const char* to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::vector<Parameter> entry_signature(const ClassDef& cls, StateId state,
+                                       DiagnosticSink& sink) {
+  std::vector<const xtuml::EventDef*> entering;
+  for (const auto& t : cls.transitions) {
+    if (t.to == state) entering.push_back(&cls.event(t.event));
+  }
+  if (entering.empty()) return {};
+
+  const std::vector<Parameter>& sig = entering.front()->params;
+  for (const auto* e : entering) {
+    if (e->params != sig) {
+      sink.error("oal.sema.entry_signature",
+                 cls.name + "." + cls.state(state).name +
+                     ": events entering this state have differing parameter "
+                     "signatures ('" +
+                     entering.front()->name + "' vs '" + e->name + "')");
+      return {};
+    }
+  }
+  return sig;
+}
+
+namespace {
+
+class Analyzer {
+public:
+  Analyzer(const Domain& domain, ClassId self_class,
+           std::vector<Parameter> params, DiagnosticSink& sink)
+      : domain_(domain), self_class_(self_class), params_(std::move(params)),
+        sink_(sink) {}
+
+  AnalyzedAction run(Block block) {
+    check_block(block);
+    AnalyzedAction out;
+    out.ast = std::move(block);
+    out.params = std::move(params_);
+    out.locals = std::move(locals_);
+    out.frame_size = static_cast<int>(out.locals.size());
+    return out;
+  }
+
+private:
+  void error(std::string code, std::string msg, SourceLoc loc) {
+    sink_.error(std::move(code), std::move(msg), loc);
+  }
+
+  const LocalVar* find_local(const std::string& name) const {
+    for (const auto& v : locals_) {
+      if (v.name == name) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Declare or re-type-check a local. Returns slot, or -1 on error.
+  int declare(const std::string& name, OalType type, SourceLoc loc,
+              bool* was_new = nullptr) {
+    if (const LocalVar* v = find_local(name)) {
+      if (was_new) *was_new = false;
+      if (!(v->type == type) &&
+          !(v->type.base == DataType::kReal && type.base == DataType::kInt &&
+            !type.is_set)) {
+        error("oal.sema.retype",
+              "variable '" + name + "' was " + v->type.to_string() +
+                  ", cannot assign " + type.to_string(),
+              loc);
+        return -1;
+      }
+      return v->slot;
+    }
+    if (was_new) *was_new = true;
+    int slot = static_cast<int>(locals_.size());
+    locals_.push_back({name, type, slot});
+    return slot;
+  }
+
+  // --- expression checking -------------------------------------------------
+
+  OalType check_expr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        auto& lit = static_cast<LiteralExpr&>(e);
+        e.type = OalType::scalar(xtuml::scalar_type(lit.value));
+        break;
+      }
+      case ExprKind::kVarRef: {
+        auto& v = static_cast<VarRefExpr&>(e);
+        const LocalVar* lv = find_local(v.name);
+        if (lv == nullptr) {
+          error("oal.sema.unknown_var", "unknown variable '" + v.name + "'",
+                e.loc);
+          e.type = OalType::scalar(DataType::kInt);
+        } else {
+          v.slot = lv->slot;
+          e.type = lv->type;
+        }
+        break;
+      }
+      case ExprKind::kSelfRef: {
+        if (!self_class_.is_valid()) {
+          error("oal.sema.self", "'self' used outside an instance context",
+                e.loc);
+          e.type = OalType::scalar(DataType::kInt);
+        } else {
+          e.type = OalType::inst(self_class_);
+        }
+        break;
+      }
+      case ExprKind::kParamRef: {
+        auto& p = static_cast<ParamRefExpr&>(e);
+        e.type = OalType::scalar(DataType::kInt);
+        bool found = false;
+        for (std::size_t i = 0; i < params_.size(); ++i) {
+          if (params_[i].name == p.name) {
+            p.param_index = static_cast<int>(i);
+            e.type = params_[i].type == DataType::kInstRef
+                         ? OalType::inst(params_[i].ref_class)
+                         : OalType::scalar(params_[i].type);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          error("oal.sema.unknown_param",
+                "no parameter '" + p.name + "' in this state's entry signature",
+                e.loc);
+        }
+        break;
+      }
+      case ExprKind::kSelectedRef: {
+        if (!selected_class_.is_valid()) {
+          error("oal.sema.selected", "'selected' used outside a where clause",
+                e.loc);
+          e.type = OalType::scalar(DataType::kInt);
+        } else {
+          e.type = OalType::inst(selected_class_);
+        }
+        break;
+      }
+      case ExprKind::kAttrAccess: {
+        auto& a = static_cast<AttrAccessExpr&>(e);
+        OalType obj = check_expr(*a.object);
+        e.type = OalType::scalar(DataType::kInt);
+        if (!obj.is_instance()) {
+          error("oal.sema.attr_base",
+                "'." + a.attr_name + "' requires an instance, got " +
+                    obj.to_string(),
+                e.loc);
+          break;
+        }
+        const ClassDef& cls = domain_.cls(obj.cls);
+        const xtuml::AttributeDef* attr = cls.find_attribute(a.attr_name);
+        if (attr == nullptr) {
+          error("oal.sema.unknown_attr",
+                "class '" + cls.name + "' has no attribute '" + a.attr_name + "'",
+                e.loc);
+          break;
+        }
+        a.cls = cls.id;
+        a.attr = attr->id;
+        e.type = attr->type == DataType::kInstRef
+                     ? OalType::inst(attr->ref_class)
+                     : OalType::scalar(attr->type);
+        break;
+      }
+      case ExprKind::kUnary: {
+        auto& u = static_cast<UnaryExpr&>(e);
+        OalType t = check_expr(*u.operand);
+        if (u.op == UnaryOp::kNeg) {
+          if (!t.is_numeric()) {
+            error("oal.sema.neg", "unary '-' requires a numeric operand", e.loc);
+          }
+          e.type = t;
+        } else {  // kNot
+          if (t.base != DataType::kBool || t.is_set) {
+            error("oal.sema.not", "'not' requires a bool operand", e.loc);
+          }
+          e.type = OalType::scalar(DataType::kBool);
+        }
+        break;
+      }
+      case ExprKind::kBinary:
+        e.type = check_binary(static_cast<BinaryExpr&>(e));
+        break;
+      case ExprKind::kCardinality: {
+        auto& c = static_cast<CardinalityExpr&>(e);
+        OalType t = check_expr(*c.operand);
+        if (t.base != DataType::kInstRef) {
+          error("oal.sema.cardinality",
+                "'cardinality' requires an instance or instance set", e.loc);
+        }
+        e.type = OalType::scalar(DataType::kInt);
+        break;
+      }
+      case ExprKind::kEmpty:
+      case ExprKind::kNotEmpty: {
+        auto& em = static_cast<EmptyExpr&>(e);
+        OalType t = check_expr(*em.operand);
+        if (t.base != DataType::kInstRef) {
+          error("oal.sema.empty",
+                "'empty'/'not_empty' requires an instance or instance set",
+                e.loc);
+        }
+        e.type = OalType::scalar(DataType::kBool);
+        break;
+      }
+    }
+    return e.type;
+  }
+
+  OalType check_binary(BinaryExpr& b) {
+    OalType lt = check_expr(*b.lhs);
+    OalType rt = check_expr(*b.rhs);
+    switch (b.op) {
+      case BinaryOp::kAdd:
+        if (lt.base == DataType::kString && rt.base == DataType::kString &&
+            !lt.is_set && !rt.is_set) {
+          return OalType::scalar(DataType::kString);
+        }
+        [[fallthrough]];
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+        if (!lt.is_numeric() || !rt.is_numeric()) {
+          error("oal.sema.arith",
+                std::string("operator '") + to_string(b.op) +
+                    "' requires numeric operands (got " + lt.to_string() +
+                    ", " + rt.to_string() + ")",
+                b.loc);
+          return OalType::scalar(DataType::kInt);
+        }
+        return OalType::scalar(
+            (lt.base == DataType::kReal || rt.base == DataType::kReal)
+                ? DataType::kReal
+                : DataType::kInt);
+      case BinaryOp::kMod:
+        if (lt.base != DataType::kInt || rt.base != DataType::kInt ||
+            lt.is_set || rt.is_set) {
+          error("oal.sema.mod", "'%' requires integer operands", b.loc);
+        }
+        return OalType::scalar(DataType::kInt);
+      case BinaryOp::kEq:
+      case BinaryOp::kNe: {
+        bool ok = (lt.is_numeric() && rt.is_numeric()) ||
+                  (lt == rt && !lt.is_set);
+        if (!ok) {
+          error("oal.sema.eq",
+                "'==' / '!=' operands are incomparable (" + lt.to_string() +
+                    " vs " + rt.to_string() + ")",
+                b.loc);
+        }
+        return OalType::scalar(DataType::kBool);
+      }
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        bool ok = (lt.is_numeric() && rt.is_numeric()) ||
+                  (lt.base == DataType::kString && rt.base == DataType::kString &&
+                   !lt.is_set && !rt.is_set);
+        if (!ok) {
+          error("oal.sema.cmp", "ordering comparison requires numbers or strings",
+                b.loc);
+        }
+        return OalType::scalar(DataType::kBool);
+      }
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr:
+        if (lt.base != DataType::kBool || rt.base != DataType::kBool ||
+            lt.is_set || rt.is_set) {
+          error("oal.sema.logic",
+                std::string("'") + to_string(b.op) + "' requires bool operands",
+                b.loc);
+        }
+        return OalType::scalar(DataType::kBool);
+    }
+    return OalType::scalar(DataType::kInt);
+  }
+
+  /// Check that `value_type` is assignable to a target of `target`.
+  bool assignable(const OalType& target, const OalType& value_type) const {
+    if (target == value_type) return true;
+    if (target.base == DataType::kReal && value_type.base == DataType::kInt &&
+        !target.is_set && !value_type.is_set) {
+      return true;  // int widens to real
+    }
+    // Event parameters of type inst_ref carry no class (target.cls invalid);
+    // any single instance is acceptable there.
+    if (target.base == DataType::kInstRef && !target.cls.is_valid() &&
+        value_type.base == DataType::kInstRef && !target.is_set &&
+        !value_type.is_set) {
+      return true;
+    }
+    return false;
+  }
+
+  // --- statement checking --------------------------------------------------
+
+  void check_block(Block& b) {
+    for (auto& s : b.stmts) check_stmt(*s);
+  }
+
+  void check_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kAssign: check_assign(static_cast<AssignStmt&>(s)); break;
+      case StmtKind::kCreate: check_create(static_cast<CreateStmt&>(s)); break;
+      case StmtKind::kDelete: {
+        auto& d = static_cast<DeleteStmt&>(s);
+        OalType t = check_expr(*d.object);
+        if (!t.is_instance()) {
+          error("oal.sema.delete", "delete requires a single instance", s.loc);
+        }
+        break;
+      }
+      case StmtKind::kGenerate: check_generate(static_cast<GenerateStmt&>(s)); break;
+      case StmtKind::kSelectFrom: check_select_from(static_cast<SelectFromStmt&>(s)); break;
+      case StmtKind::kSelectRelated:
+        check_select_related(static_cast<SelectRelatedStmt&>(s));
+        break;
+      case StmtKind::kRelate:
+      case StmtKind::kUnrelate:
+        check_relate(static_cast<RelateStmt&>(s));
+        break;
+      case StmtKind::kIf: {
+        auto& i = static_cast<IfStmt&>(s);
+        for (auto& br : i.branches) {
+          OalType t = check_expr(*br.cond);
+          if (t.base != DataType::kBool || t.is_set) {
+            error("oal.sema.cond", "if condition must be bool", br.cond->loc);
+          }
+          check_block(br.body);
+        }
+        if (i.else_body) check_block(*i.else_body);
+        break;
+      }
+      case StmtKind::kWhile: {
+        auto& w = static_cast<WhileStmt&>(s);
+        OalType t = check_expr(*w.cond);
+        if (t.base != DataType::kBool || t.is_set) {
+          error("oal.sema.cond", "while condition must be bool", w.cond->loc);
+        }
+        ++loop_depth_;
+        check_block(w.body);
+        --loop_depth_;
+        break;
+      }
+      case StmtKind::kForEach: check_foreach(static_cast<ForEachStmt&>(s)); break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loop_depth_ == 0) {
+          error("oal.sema.loopctl", "break/continue outside a loop", s.loc);
+        }
+        break;
+      case StmtKind::kReturn:
+        break;
+      case StmtKind::kLog: {
+        auto& l = static_cast<LogStmt&>(s);
+        for (auto& a : l.args) {
+          OalType t = check_expr(*a);
+          if (t.base == DataType::kVoid) {
+            error("oal.sema.log", "log argument has no value", a->loc);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  void check_assign(AssignStmt& a) {
+    OalType rt = check_expr(*a.rvalue);
+    if (rt.base == DataType::kVoid) {
+      error("oal.sema.assign_void", "right side of '=' has no value", a.loc);
+      return;
+    }
+    if (a.lvalue->kind == ExprKind::kVarRef) {
+      auto& v = static_cast<VarRefExpr&>(*a.lvalue);
+      bool was_new = false;
+      int slot = declare(v.name, rt, a.loc, &was_new);
+      v.slot = slot;
+      a.declares = was_new;
+      if (slot >= 0) a.lvalue->type = locals_[static_cast<std::size_t>(slot)].type;
+      return;
+    }
+    // attribute write
+    OalType lt = check_expr(*a.lvalue);
+    auto& acc = static_cast<AttrAccessExpr&>(*a.lvalue);
+    if (acc.attr.is_valid() && !assignable(lt, rt)) {
+      error("oal.sema.assign_type",
+            "cannot assign " + rt.to_string() + " to attribute '" +
+                acc.attr_name + "' of type " + lt.to_string(),
+            a.loc);
+    }
+  }
+
+  void check_create(CreateStmt& c) {
+    ClassId cls = domain_.find_class_id(c.class_name);
+    if (!cls.is_valid()) {
+      error("oal.sema.unknown_class", "unknown class '" + c.class_name + "'",
+            c.loc);
+      return;
+    }
+    c.cls = cls;
+    c.slot = declare(c.var, OalType::inst(cls), c.loc);
+  }
+
+  void check_generate(GenerateStmt& g) {
+    OalType tt = check_expr(*g.target);
+    if (!tt.is_instance()) {
+      error("oal.sema.generate_target",
+            "generate target must be a single instance, got " + tt.to_string(),
+            g.loc);
+      return;
+    }
+    g.target_class = tt.cls;
+    const ClassDef& cls = domain_.cls(tt.cls);
+    const xtuml::EventDef* ev = cls.find_event(g.event_name);
+    if (ev == nullptr) {
+      error("oal.sema.unknown_event",
+            "class '" + cls.name + "' has no event '" + g.event_name + "'",
+            g.loc);
+      return;
+    }
+    g.event = ev->id;
+
+    std::vector<bool> covered(ev->params.size(), false);
+    for (auto& arg : g.args) {
+      int idx = -1;
+      for (std::size_t i = 0; i < ev->params.size(); ++i) {
+        if (ev->params[i].name == arg.name) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        error("oal.sema.generate_arg",
+              "event '" + g.event_name + "' has no parameter '" + arg.name + "'",
+              g.loc);
+        continue;
+      }
+      if (covered[static_cast<std::size_t>(idx)]) {
+        error("oal.sema.generate_dup",
+              "duplicate argument '" + arg.name + "'", g.loc);
+        continue;
+      }
+      covered[static_cast<std::size_t>(idx)] = true;
+      arg.param_index = idx;
+      OalType at = check_expr(*arg.value);
+      const xtuml::Parameter& pdef = ev->params[static_cast<std::size_t>(idx)];
+      OalType want = pdef.type == DataType::kInstRef
+                         ? OalType::inst(pdef.ref_class)
+                         : OalType::scalar(pdef.type);
+      if (!assignable(want, at)) {
+        error("oal.sema.generate_type",
+              "argument '" + arg.name + "' has type " + at.to_string() +
+                  ", expected " + want.to_string(),
+              g.loc);
+      }
+    }
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+      if (!covered[i]) {
+        error("oal.sema.generate_missing",
+              "missing argument '" + ev->params[i].name + "' for event '" +
+                  g.event_name + "'",
+              g.loc);
+      }
+    }
+    if (g.delay) {
+      OalType dt = check_expr(*g.delay);
+      if (dt.base != DataType::kInt || dt.is_set) {
+        error("oal.sema.delay", "delay must be an integer (ticks)", g.loc);
+      }
+    }
+  }
+
+  void check_select_from(SelectFromStmt& s) {
+    ClassId cls = domain_.find_class_id(s.class_name);
+    if (!cls.is_valid()) {
+      error("oal.sema.unknown_class", "unknown class '" + s.class_name + "'",
+            s.loc);
+      return;
+    }
+    s.cls = cls;
+    if (s.where) {
+      ClassId saved = selected_class_;
+      selected_class_ = cls;
+      OalType wt = check_expr(*s.where);
+      selected_class_ = saved;
+      if (wt.base != DataType::kBool || wt.is_set) {
+        error("oal.sema.where", "where clause must be bool", s.where->loc);
+      }
+    }
+    s.slot = declare(s.var,
+                     s.many ? OalType::inst_set(cls) : OalType::inst(cls), s.loc);
+  }
+
+  void check_select_related(SelectRelatedStmt& s) {
+    OalType st = check_expr(*s.start);
+    if (!st.is_instance()) {
+      error("oal.sema.select_start",
+            "select-related start must be a single instance", s.loc);
+      return;
+    }
+    const xtuml::AssociationDef* assoc = domain_.find_association(s.assoc_name);
+    if (assoc == nullptr) {
+      error("oal.sema.unknown_assoc",
+            "unknown association '" + s.assoc_name + "'", s.loc);
+      return;
+    }
+    if (!assoc->touches(st.cls)) {
+      error("oal.sema.assoc_mismatch",
+            "association " + s.assoc_name + " does not touch class '" +
+                domain_.cls(st.cls).name + "'",
+            s.loc);
+      return;
+    }
+    const xtuml::AssociationEnd& other = assoc->other_end(st.cls);
+    ClassId target = domain_.find_class_id(s.class_name);
+    if (!target.is_valid() || target != other.cls) {
+      error("oal.sema.select_class",
+            "association " + s.assoc_name + " relates '" +
+                domain_.cls(st.cls).name + "' to '" +
+                domain_.cls(other.cls).name + "', not '" + s.class_name + "'",
+            s.loc);
+      return;
+    }
+    s.cls = target;
+    s.assoc = assoc->id;
+    if (s.where) {
+      ClassId saved = selected_class_;
+      selected_class_ = target;
+      OalType wt = check_expr(*s.where);
+      selected_class_ = saved;
+      if (wt.base != DataType::kBool || wt.is_set) {
+        error("oal.sema.where", "where clause must be bool", s.where->loc);
+      }
+    }
+    s.slot = declare(
+        s.var, s.many ? OalType::inst_set(target) : OalType::inst(target), s.loc);
+  }
+
+  void check_foreach(ForEachStmt& f) {
+    OalType st = check_expr(*f.set);
+    if (st.base != DataType::kInstRef || !st.is_set) {
+      error("oal.sema.foreach", "for-each requires an instance set, got " +
+                                    st.to_string(),
+            f.loc);
+      return;
+    }
+    f.slot = declare(f.var, OalType::inst(st.cls), f.loc);
+    ++loop_depth_;
+    check_block(f.body);
+    --loop_depth_;
+  }
+
+  void check_relate(RelateStmt& r) {
+    OalType at = check_expr(*r.a);
+    OalType bt = check_expr(*r.b);
+    if (!at.is_instance() || !bt.is_instance()) {
+      error("oal.sema.relate", "relate/unrelate requires two single instances",
+            r.loc);
+      return;
+    }
+    const xtuml::AssociationDef* assoc = domain_.find_association(r.assoc_name);
+    if (assoc == nullptr) {
+      error("oal.sema.unknown_assoc",
+            "unknown association '" + r.assoc_name + "'", r.loc);
+      return;
+    }
+    bool forward = assoc->a.cls == at.cls && assoc->b.cls == bt.cls;
+    bool backward = assoc->a.cls == bt.cls && assoc->b.cls == at.cls;
+    if (!forward && !backward) {
+      error("oal.sema.relate_classes",
+            "association " + r.assoc_name + " does not relate these classes",
+            r.loc);
+      return;
+    }
+    r.assoc = assoc->id;
+  }
+
+  const Domain& domain_;
+  ClassId self_class_;
+  std::vector<Parameter> params_;
+  DiagnosticSink& sink_;
+  std::vector<LocalVar> locals_;
+  ClassId selected_class_ = ClassId::invalid();
+  int loop_depth_ = 0;
+};
+
+}  // namespace
+
+AnalyzedAction analyze_block(const Domain& domain, ClassId self_class,
+                             Block block, std::vector<Parameter> params,
+                             DiagnosticSink& sink) {
+  return Analyzer(domain, self_class, std::move(params), sink)
+      .run(std::move(block));
+}
+
+AnalyzedAction analyze_state_action(const Domain& domain, const ClassDef& cls,
+                                    StateId state, DiagnosticSink& sink) {
+  std::vector<Parameter> params = entry_signature(cls, state, sink);
+  Block block = parse(cls.state(state).action_source, sink);
+  if (sink.has_errors()) return {};
+  return analyze_block(domain, cls.id, std::move(block), std::move(params), sink);
+}
+
+}  // namespace xtsoc::oal

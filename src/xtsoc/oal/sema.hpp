@@ -1,0 +1,55 @@
+// Semantic analysis for OAL action bodies: name binding and type checking
+// against a Domain, plus derivation of each state's *entry signature* (the
+// parameters available via `param.x`).
+//
+// xtUML rule enforced here: every event whose transition enters a state must
+// carry the same parameter signature, because the state's action reads those
+// parameters without knowing which event fired.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/oal/ast.hpp"
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::oal {
+
+/// A local variable discovered during analysis (select/create/for-each or
+/// first assignment). `slot` indexes the interpreter frame.
+struct LocalVar {
+  std::string name;
+  OalType type;
+  int slot = 0;
+};
+
+/// A fully analyzed action body, ready for interpretation or codegen.
+struct AnalyzedAction {
+  Block ast;
+  std::vector<xtuml::Parameter> params;  ///< the state's entry signature
+  std::vector<LocalVar> locals;
+  int frame_size = 0;
+};
+
+/// Compute the entry signature of `state` in `cls`: the common parameter
+/// list of every event entering it. (Instance creation places an instance in
+/// its initial state *without* running the state's action, so creation does
+/// not constrain the signature.) Errors go to `sink`.
+std::vector<xtuml::Parameter> entry_signature(const xtuml::ClassDef& cls,
+                                              StateId state,
+                                              DiagnosticSink& sink);
+
+/// Parse + analyze one state's action body. On error, diagnostics are
+/// appended to `sink` and the returned action is unusable.
+AnalyzedAction analyze_state_action(const xtuml::Domain& domain,
+                                    const xtuml::ClassDef& cls, StateId state,
+                                    DiagnosticSink& sink);
+
+/// Analyze an already-parsed block with an explicit signature (used for
+/// test-case setup blocks and the .xtm loader).
+AnalyzedAction analyze_block(const xtuml::Domain& domain, ClassId self_class,
+                             Block block, std::vector<xtuml::Parameter> params,
+                             DiagnosticSink& sink);
+
+}  // namespace xtsoc::oal

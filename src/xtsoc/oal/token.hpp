@@ -1,0 +1,49 @@
+// Tokens of the OAL-style action language.
+//
+// The language is the textual form of the UML Action Semantics the paper
+// relies on ("The introduction of the Action Semantics enables execution of
+// UML models", §2). Syntax follows BridgePoint's Object Action Language:
+//   select any clock from instances of Clock where (selected.id == 3);
+//   generate tick() to clock delay 10;
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xtsoc/common/diagnostics.hpp"
+
+namespace xtsoc::oal {
+
+enum class TokKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kRealLit,
+  kStringLit,
+  // keywords
+  kKwIf, kKwElif, kKwElse, kKwEnd, kKwWhile, kKwFor, kKwEach, kKwIn,
+  kKwSelect, kKwAny, kKwMany, kKwOne, kKwFrom, kKwInstances, kKwOf,
+  kKwWhere, kKwRelated, kKwBy, kKwCreate, kKwDelete, kKwObject, kKwInstance,
+  kKwRelate, kKwUnrelate, kKwTo, kKwAcross, kKwGenerate, kKwDelay,
+  kKwSelf, kKwSelected, kKwParam, kKwTrue, kKwFalse, kKwAnd, kKwOr, kKwNot,
+  kKwEmpty, kKwNotEmpty, kKwCardinality, kKwBreak, kKwContinue, kKwReturn,
+  kKwLog,
+  // punctuation / operators
+  kLParen, kRParen, kLBracket, kRBracket, kComma, kSemi, kColon, kDot,
+  kArrow,  // ->
+  kAssign, // =
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+};
+
+const char* to_string(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;        ///< identifier / literal spelling
+  std::int64_t int_value = 0;
+  double real_value = 0.0;
+  SourceLoc loc;
+};
+
+}  // namespace xtsoc::oal

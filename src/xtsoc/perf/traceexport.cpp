@@ -1,0 +1,124 @@
+#include "xtsoc/perf/traceexport.hpp"
+
+#include <map>
+#include <sstream>
+
+namespace xtsoc::perf {
+
+using runtime::InstanceHandle;
+using runtime::TraceEvent;
+using runtime::TraceKind;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string export_chrome_trace(const runtime::Trace& trace,
+                                const xtuml::Domain& domain,
+                                const std::string& process_name, int pid) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& body) {
+    if (!first) os << ',';
+    first = false;
+    os << body;
+  };
+
+  // Process metadata.
+  {
+    std::ostringstream e;
+    e << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"args\":{\"name\":\"" << json_escape(process_name) << "\"}}";
+    emit(e.str());
+  }
+
+  // Thread (= instance) metadata, assigned on first appearance.
+  std::map<InstanceHandle, int> tids;
+  auto tid_of = [&](const InstanceHandle& h) {
+    auto it = tids.find(h);
+    if (it != tids.end()) return it->second;
+    int tid = static_cast<int>(tids.size()) + 1;
+    tids[h] = tid;
+    std::string name = h.is_null()
+                           ? std::string("<external>")
+                           : domain.cls(h.cls).name + "#" +
+                                 std::to_string(h.index);
+    std::ostringstream e;
+    e << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
+      << "\"}}";
+    emit(e.str());
+    return tid;
+  };
+
+  for (const TraceEvent& ev : trace.events()) {
+    switch (ev.kind) {
+      case TraceKind::kDispatch: {
+        const xtuml::ClassDef& cls = domain.cls(ev.subject.cls);
+        std::ostringstream e;
+        e << "{\"name\":\"" << json_escape(cls.event(ev.event).name)
+          << "\",\"cat\":\"dispatch\",\"ph\":\"X\",\"pid\":" << pid
+          << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick
+          << ",\"dur\":1,\"args\":{\"to_state\":\""
+          << json_escape(cls.state(ev.to_state).name) << "\"}}";
+        emit(e.str());
+        break;
+      }
+      case TraceKind::kSend: {
+        const xtuml::ClassDef& cls = domain.cls(ev.subject.cls);
+        std::ostringstream e;
+        e << "{\"name\":\"send " << json_escape(cls.event(ev.event).name)
+          << "\",\"cat\":\"signal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+          << ",\"tid\":" << tid_of(ev.peer) << ",\"ts\":" << ev.tick << "}";
+        emit(e.str());
+        break;
+      }
+      case TraceKind::kCreate:
+      case TraceKind::kDelete: {
+        std::ostringstream e;
+        e << "{\"name\":\"" << to_string(ev.kind)
+          << "\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+          << pid << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick
+          << "}";
+        emit(e.str());
+        break;
+      }
+      case TraceKind::kLog: {
+        std::ostringstream e;
+        e << "{\"name\":\"" << json_escape(ev.text)
+          << "\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+          << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick << "}";
+        emit(e.str());
+        break;
+      }
+      default:
+        break;  // attr writes and ignored events stay out of the viewer
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace xtsoc::perf

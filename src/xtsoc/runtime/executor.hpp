@@ -1,0 +1,213 @@
+// The abstract model executor.
+//
+// Implements the paper's §2 execution semantics directly on the compiled
+// model: concurrently executing state machines communicate only by signals;
+// on receipt of a signal the destination state's actions run to completion
+// before the next signal is processed; the receiver's actions execute after
+// the sender's (cause precedes effect, guaranteed by queueing).
+//
+// Queue discipline (xtUML): events an instance sends to itself are consumed
+// before other pending events — two FIFO queues, self-directed drained
+// first. A plain-FIFO policy is available as the ablation studied in
+// bench_equivalence.
+//
+// Time is logical: `generate ... delay N` schedules N ticks ahead; run_all()
+// advances time to the next deadline whenever the ready queues drain.
+//
+// Partitioned operation (used by cosim): construct with a locality filter
+// and a remote-out callback. Signals to non-local classes are handed to the
+// callback instead of the local queues; signals arriving from the bus enter
+// via deliver_remote().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <string>
+
+#include "xtsoc/oal/bytecode.hpp"
+#include "xtsoc/oal/compiled.hpp"
+#include "xtsoc/runtime/database.hpp"
+#include "xtsoc/runtime/interp.hpp"
+#include "xtsoc/runtime/trace.hpp"
+
+namespace xtsoc::runtime {
+
+/// One queued signal.
+struct EventMessage {
+  InstanceHandle target;
+  EventId event = EventId::invalid();
+  std::vector<Value> args;
+  InstanceHandle sender;       ///< null for external stimuli
+  std::uint64_t deliver_at = 0;
+  std::uint64_t seq = 0;       ///< FIFO tiebreak for the timer heap
+
+  bool self_directed() const { return sender == target && !sender.is_null(); }
+};
+
+enum class QueuePolicy {
+  kXtuml,     ///< self-directed events outrank external events
+  kFifoOnly,  ///< single FIFO (ablation)
+};
+
+/// Which of the two (behaviourally identical) action engines runs actions.
+enum class ActionEngine {
+  kAstWalk,   ///< tree-walking interpreter (runtime/interp.*)
+  kBytecode,  ///< compile-once stack VM (oal/bytecode.* + runtime/vm.*)
+};
+
+struct ExecutorConfig {
+  QueuePolicy policy = QueuePolicy::kXtuml;
+  ActionEngine engine = ActionEngine::kAstWalk;
+  bool trace_enabled = true;
+  std::uint64_t max_ops_per_action = 10'000'000;
+};
+
+class Executor : public Host {
+public:
+  explicit Executor(const oal::CompiledDomain& compiled,
+                    ExecutorConfig config = {});
+
+  /// Partitioned construction: only classes for which `is_local` returns
+  /// true live here; signals to other classes go to `remote_out`.
+  Executor(const oal::CompiledDomain& compiled, ExecutorConfig config,
+           std::function<bool(ClassId)> is_local,
+           std::function<void(EventMessage)> remote_out);
+
+  // --- population -----------------------------------------------------------
+
+  /// Create an instance (initial state, default attributes). Recorded in
+  /// the trace. The initial state's action does NOT run (xtUML: actions run
+  /// on transition, not on creation).
+  InstanceHandle create(ClassId cls);
+  InstanceHandle create(std::string_view class_name);
+  /// Create and overwrite selected attributes by name.
+  InstanceHandle create_with(
+      std::string_view class_name,
+      const std::vector<std::pair<std::string, Value>>& attrs);
+  void destroy(const InstanceHandle& h);
+
+  // --- stimuli ---------------------------------------------------------------
+
+  /// Inject an external signal (sender = null).
+  void inject(const InstanceHandle& target, EventId event,
+              std::vector<Value> args = {}, std::uint64_t delay = 0);
+  void inject(const InstanceHandle& target, std::string_view event_name,
+              std::vector<Value> args = {}, std::uint64_t delay = 0);
+
+  /// Deliver a signal that crossed the partition boundary (cosim only).
+  void deliver_remote(EventMessage m);
+
+  // --- execution -------------------------------------------------------------
+
+  /// Dispatch exactly one ready signal. Returns false if nothing is ready
+  /// at the current time (there may still be delayed events pending).
+  bool step();
+
+  /// Dispatch the oldest ready signal whose message satisfies `pred`,
+  /// leaving other queued signals untouched and in order. Used by the
+  /// hardware lowering to enforce one-event-per-instance-per-clock.
+  /// Returns false if no ready signal satisfies the predicate.
+  bool step_if(const std::function<bool(const EventMessage&)>& pred);
+
+  /// Copies of every ready signal, self queue first then external, each in
+  /// queue order. Used by the state-space explorer to enumerate legal
+  /// scheduler choices.
+  std::vector<EventMessage> ready_snapshot() const;
+
+  /// Dispatch the `index`-th ready signal of ready_snapshot()'s ordering.
+  /// Returns false if out of range.
+  bool dispatch_ready(std::size_t index);
+
+  /// Drain all ready signals at the current time. Returns dispatch count.
+  std::size_t run_to_quiescence(std::size_t max_dispatches = kNoLimit);
+
+  /// Run until no signals remain anywhere, advancing time across delays.
+  std::size_t run_all(std::size_t max_dispatches = kNoLimit);
+
+  /// Move logical time forward, releasing due delayed events into the
+  /// ready queues. Does not dispatch.
+  void advance_time(std::uint64_t ticks);
+
+  /// Next timer deadline, if any delayed event is pending.
+  std::optional<std::uint64_t> next_deadline() const;
+
+  bool idle() const;  ///< no ready events (delayed may remain)
+  bool drained() const;  ///< no events at all
+
+  // --- Host interface (called by the interpreter) ----------------------------
+
+  Database& database() override { return db_; }
+  const Database& database() const { return db_; }
+  std::uint64_t now() const override { return now_; }
+  void emit(const InstanceHandle& sender, const InstanceHandle& target,
+            EventId event, std::vector<Value> args,
+            std::uint64_t delay) override;
+  void on_create(const InstanceHandle& h) override;
+  void on_delete(const InstanceHandle& h) override;
+  void on_attr_write(const InstanceHandle& h, AttributeId attr,
+                     const Value& v) override;
+  void on_log(std::string text) override;
+
+  // --- observability ----------------------------------------------------------
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+  const oal::CompiledDomain& compiled() const { return *compiled_; }
+  const xtuml::Domain& domain() const { return compiled_->domain(); }
+  std::uint64_t dispatch_count() const { return dispatches_; }
+  std::uint64_t dispatch_count(ClassId cls) const;
+  /// Largest number of signals simultaneously pending (ready + delayed)
+  /// over the whole run — the queue-sizing number for the mapped system.
+  std::size_t queue_high_water() const { return high_water_; }
+  std::uint64_t ops_executed() const { return ops_; }
+  /// Interpreter ops spent in actions of `cls` — the per-class work
+  /// estimate that drives repartitioning advice.
+  std::uint64_t ops_executed(ClassId cls) const;
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+private:
+  void dispatch(EventMessage m);
+  void enqueue_ready(EventMessage m);
+  void release_due_timers();
+  ClassId class_of(std::string_view name) const;
+  /// Bytecode for (cls, state), compiled on first use.
+  const oal::CodeBlock& bytecode_for(ClassId cls, StateId state);
+
+  const oal::CompiledDomain* compiled_;
+  ExecutorConfig config_;
+  Database db_;
+  Trace trace_;
+
+  std::deque<EventMessage> self_queue_;
+  std::deque<EventMessage> ext_queue_;
+
+  struct TimerOrder {
+    bool operator()(const EventMessage& a, const EventMessage& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<EventMessage, std::vector<EventMessage>, TimerOrder>
+      timers_;
+
+  std::function<bool(ClassId)> is_local_;          // null = everything local
+  std::function<void(EventMessage)> remote_out_;
+
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::vector<std::uint64_t> dispatches_by_class_;
+  std::vector<std::uint64_t> ops_by_class_;
+  /// Lazily compiled bytecode per [class][state] (kBytecode engine only).
+  std::vector<std::vector<std::optional<oal::CodeBlock>>> bytecode_;
+  std::uint64_t ops_ = 0;
+  std::size_t high_water_ = 0;
+  /// Instance whose action is currently running (stamps `log` trace events).
+  InstanceHandle current_;
+};
+
+}  // namespace xtsoc::runtime

@@ -1,0 +1,356 @@
+#include "xtsoc/runtime/vm.hpp"
+
+#include <cmath>
+
+namespace xtsoc::runtime {
+
+namespace {
+
+using oal::CodeBlock;
+using oal::Instr;
+using oal::Op;
+
+class Vm {
+public:
+  Vm(const CodeBlock& block, const InstanceHandle& self,
+     const std::vector<Value>& params, Host& host, std::uint64_t max_ops)
+      : block_(block), self_(self), params_(params), host_(host),
+        max_ops_(max_ops) {
+    frame_.resize(static_cast<std::size_t>(block.frame_size));
+    stack_.reserve(32);
+  }
+
+  InterpResult run() {
+    exec(block_, frame_);
+    InterpResult r;
+    r.ops = ops_;
+    r.self_deleted = self_deleted_;
+    return r;
+  }
+
+private:
+  void tick() {
+    if (++ops_ > max_ops_) {
+      throw ModelError("action exceeded op limit (runaway loop?)");
+    }
+  }
+
+  Value pop() {
+    if (stack_.empty()) throw ModelError("vm: stack underflow");
+    Value v = std::move(stack_.back());
+    stack_.pop_back();
+    return v;
+  }
+
+  void push(Value v) { stack_.push_back(std::move(v)); }
+
+  static bool both_int(const Value& a, const Value& b) {
+    return std::holds_alternative<std::int64_t>(a) &&
+           std::holds_alternative<std::int64_t>(b);
+  }
+
+  void binary_arith(Op op) {
+    Value rv = pop();
+    Value lv = pop();
+    if (op == Op::kAdd && std::holds_alternative<std::string>(lv)) {
+      push(std::get<std::string>(lv) + std::get<std::string>(rv));
+      return;
+    }
+    if (op == Op::kMod) {
+      std::int64_t a = as_int(lv);
+      std::int64_t b = as_int(rv);
+      if (b == 0) throw ModelError("modulo by zero");
+      push(a % b);
+      return;
+    }
+    if (both_int(lv, rv)) {
+      std::int64_t a = std::get<std::int64_t>(lv);
+      std::int64_t b = std::get<std::int64_t>(rv);
+      switch (op) {
+        case Op::kAdd: push(a + b); return;
+        case Op::kSub: push(a - b); return;
+        case Op::kMul: push(a * b); return;
+        case Op::kDiv:
+          if (b == 0) throw ModelError("integer division by zero");
+          push(a / b);
+          return;
+        default: break;
+      }
+    }
+    double a = as_real(lv);
+    double b = as_real(rv);
+    switch (op) {
+      case Op::kAdd: push(a + b); return;
+      case Op::kSub: push(a - b); return;
+      case Op::kMul: push(a * b); return;
+      case Op::kDiv: push(a / b); return;
+      default: break;
+    }
+  }
+
+  void compare(Op op) {
+    Value rv = pop();
+    Value lv = pop();
+    if (op == Op::kEq || op == Op::kNe) {
+      bool eq = value_equals(lv, rv);
+      push(op == Op::kEq ? eq : !eq);
+      return;
+    }
+    int cmp;
+    if (std::holds_alternative<std::string>(lv)) {
+      cmp = std::get<std::string>(lv).compare(std::get<std::string>(rv));
+    } else {
+      double a = as_real(lv);
+      double b = as_real(rv);
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+    switch (op) {
+      case Op::kLt: push(cmp < 0); return;
+      case Op::kLe: push(cmp <= 0); return;
+      case Op::kGt: push(cmp > 0); return;
+      default: push(cmp >= 0); return;
+    }
+  }
+
+  /// Execute one block to its kReturn against `frame` (sub-blocks share the
+  /// caller's frame). Returns the value left on top for predicate blocks.
+  void exec(const CodeBlock& block, std::vector<Value>& frame) {
+    std::size_t pc = 0;
+    while (pc < block.code.size()) {
+      tick();
+      const Instr& i = block.code[pc];
+      switch (i.op) {
+        case Op::kPushConst:
+          push(from_scalar(block.constants[i.a]));
+          break;
+        case Op::kPushNull:
+          push(InstanceHandle::null());
+          break;
+        case Op::kLoadLocal: {
+          Value& v = frame[i.a];
+          if (std::holds_alternative<std::monostate>(v)) {
+            throw ModelError("read of unset variable");
+          }
+          push(v);
+          break;
+        }
+        case Op::kStoreLocal:
+          frame[i.a] = pop();
+          break;
+        case Op::kLoadParam:
+          push(params_[i.a]);
+          break;
+        case Op::kLoadSelf:
+          push(self_);
+          break;
+        case Op::kLoadSelected:
+          push(selected_);
+          break;
+        case Op::kPop:
+          pop();
+          break;
+        case Op::kGetAttr: {
+          InstanceHandle obj = as_handle(pop());
+          push(host_.database().get_attr(obj, AttributeId(i.a)));
+          break;
+        }
+        case Op::kSetAttr: {
+          InstanceHandle obj = as_handle(pop());
+          Value v = pop();
+          host_.database().set_attr(obj, AttributeId(i.a), v);
+          host_.on_attr_write(
+              obj, AttributeId(i.a),
+              host_.database().get_attr(obj, AttributeId(i.a)));
+          break;
+        }
+        case Op::kAdd:
+        case Op::kSub:
+        case Op::kMul:
+        case Op::kDiv:
+        case Op::kMod:
+          binary_arith(i.op);
+          break;
+        case Op::kEq:
+        case Op::kNe:
+        case Op::kLt:
+        case Op::kLe:
+        case Op::kGt:
+        case Op::kGe:
+          compare(i.op);
+          break;
+        case Op::kNot:
+          push(!as_bool(pop()));
+          break;
+        case Op::kNeg: {
+          Value v = pop();
+          if (std::holds_alternative<std::int64_t>(v)) {
+            push(-std::get<std::int64_t>(v));
+          } else {
+            push(-as_real(v));
+          }
+          break;
+        }
+        case Op::kCard: {
+          Value v = pop();
+          if (const auto* set = std::get_if<InstanceSet>(&v)) {
+            push(static_cast<std::int64_t>(set->size()));
+          } else {
+            push(std::int64_t{as_handle(v).is_null() ? 0 : 1});
+          }
+          break;
+        }
+        case Op::kIsEmpty: {
+          Value v = pop();
+          if (const auto* set = std::get_if<InstanceSet>(&v)) {
+            push(set->empty());
+          } else {
+            const InstanceHandle& h = as_handle(v);
+            push(h.is_null() || !host_.database().is_alive(h));
+          }
+          break;
+        }
+        case Op::kIndexSet: {
+          std::int64_t idx = as_int(pop());
+          Value set = pop();
+          const InstanceSet& s = as_set(set);
+          push(s.at(static_cast<std::size_t>(idx)));
+          break;
+        }
+        case Op::kWiden: {
+          Value v = pop();
+          if (std::holds_alternative<std::int64_t>(v)) {
+            push(static_cast<double>(std::get<std::int64_t>(v)));
+          } else {
+            push(std::move(v));
+          }
+          break;
+        }
+        case Op::kJump:
+          pc = i.a;
+          continue;
+        case Op::kJumpIfFalse:
+          if (!as_bool(pop())) {
+            pc = i.a;
+            continue;
+          }
+          break;
+        case Op::kReturn:
+          return;
+        case Op::kCreate: {
+          InstanceHandle h = host_.database().create(ClassId(i.a));
+          host_.on_create(h);
+          push(h);
+          break;
+        }
+        case Op::kDelete: {
+          InstanceHandle h = as_handle(pop());
+          host_.on_delete(h);
+          host_.database().destroy(h);
+          if (h == self_) self_deleted_ = true;
+          break;
+        }
+        case Op::kRelate: {
+          InstanceHandle b = as_handle(pop());
+          InstanceHandle a = as_handle(pop());
+          host_.database().relate(a, b, AssociationId(i.a));
+          break;
+        }
+        case Op::kUnrelate: {
+          InstanceHandle b = as_handle(pop());
+          InstanceHandle a = as_handle(pop());
+          host_.database().unrelate(a, b, AssociationId(i.a));
+          break;
+        }
+        case Op::kSelectAll:
+          push(host_.database().all_of(ClassId(i.a)));
+          break;
+        case Op::kRelated: {
+          InstanceHandle start = as_handle(pop());
+          push(host_.database().related(start, AssociationId(i.a)));
+          break;
+        }
+        case Op::kFilter: {
+          InstanceSet in = as_set(pop());
+          const CodeBlock& sub = block.subs[i.a];
+          const bool first_only = i.b != 0;
+          InstanceSet out;
+          Value saved = selected_;
+          for (const InstanceHandle& h : in) {
+            selected_ = h;
+            exec(sub, frame);
+            if (as_bool(pop())) {
+              out.push_back(h);
+              if (first_only) break;
+            }
+          }
+          selected_ = std::move(saved);
+          push(std::move(out));
+          break;
+        }
+        case Op::kSetToRef: {
+          Value v = pop();
+          const InstanceSet& s = as_set(v);
+          push(s.empty() ? InstanceHandle::null() : s.front());
+          break;
+        }
+        case Op::kGenerate: {
+          ClassId target_cls(i.a >> 16);
+          EventId event(i.a & 0xffff);
+          std::uint32_t argc = i.b >> 1;
+          const bool has_delay = (i.b & 1) != 0;
+          std::uint64_t delay = 0;
+          if (has_delay) {
+            std::int64_t d = as_int(pop());
+            if (d < 0) throw ModelError("negative delay in generate");
+            delay = static_cast<std::uint64_t>(d);
+          }
+          InstanceHandle target = as_handle(pop());
+          if (target.is_null()) {
+            throw ModelError("generate to a null instance reference");
+          }
+          std::vector<Value> args(argc);
+          for (std::uint32_t k = argc; k > 0; --k) {
+            args[k - 1] = pop();
+          }
+          (void)target_cls;
+          host_.emit(self_, target, event, std::move(args), delay);
+          break;
+        }
+        case Op::kLog: {
+          std::vector<Value> vals(i.a);
+          for (std::uint32_t k = i.a; k > 0; --k) vals[k - 1] = pop();
+          std::string text;
+          for (std::size_t k = 0; k < vals.size(); ++k) {
+            if (k > 0) text += ' ';
+            text += to_string(vals[k]);
+          }
+          host_.on_log(std::move(text));
+          break;
+        }
+      }
+      ++pc;
+    }
+  }
+
+  const CodeBlock& block_;
+  InstanceHandle self_;
+  const std::vector<Value>& params_;
+  Host& host_;
+  std::uint64_t max_ops_;
+  std::vector<Value> frame_;
+  std::vector<Value> stack_;
+  Value selected_ = InstanceHandle::null();
+  std::uint64_t ops_ = 0;
+  bool self_deleted_ = false;
+};
+
+}  // namespace
+
+InterpResult run_bytecode(const oal::CodeBlock& block,
+                          const InstanceHandle& self,
+                          const std::vector<Value>& params, Host& host,
+                          std::uint64_t max_ops) {
+  return Vm(block, self, params, host, max_ops).run();
+}
+
+}  // namespace xtsoc::runtime

@@ -1,0 +1,23 @@
+// Stack-machine VM: the second execution engine for OAL actions.
+//
+// Runs the bytecode produced by oal::compile_bytecode against the same Host
+// interface as the tree-walking interpreter, with byte-for-byte identical
+// observable behaviour (traces, errors, run-to-completion). Selected per
+// Executor via ExecutorConfig::engine; cross-checked in tests and
+// bench_engines.
+#pragma once
+
+#include "xtsoc/oal/bytecode.hpp"
+#include "xtsoc/runtime/interp.hpp"
+
+namespace xtsoc::runtime {
+
+/// Execute `block` for instance `self` with event payload `params`.
+/// Semantics and error behaviour mirror run_action(); `max_ops` counts
+/// executed instructions.
+InterpResult run_bytecode(const oal::CodeBlock& block,
+                          const InstanceHandle& self,
+                          const std::vector<Value>& params, Host& host,
+                          std::uint64_t max_ops = 10'000'000);
+
+}  // namespace xtsoc::runtime

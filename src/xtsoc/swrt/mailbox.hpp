@@ -1,0 +1,57 @@
+// Bounded mailbox: the software-side message queue primitive.
+//
+// The generated C for the software partition communicates through queues of
+// exactly this shape; here it is also the landing zone for signals arriving
+// from the cosim bus. An optional on_push hook lets a scheduler wake the
+// owning task.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <utility>
+
+namespace xtsoc::swrt {
+
+template <typename T>
+class Mailbox {
+public:
+  explicit Mailbox(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Returns false (and drops nothing) when the mailbox is full.
+  bool push(T item) {
+    if (buf_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    buf_.push_back(std::move(item));
+    ++pushed_;
+    if (on_push_) on_push_();
+    return true;
+  }
+
+  std::optional<T> pop() {
+    if (buf_.empty()) return std::nullopt;
+    T item = std::move(buf_.front());
+    buf_.pop_front();
+    return item;
+  }
+
+  void set_on_push(std::function<void()> hook) { on_push_ = std::move(hook); }
+
+  bool empty() const { return buf_.empty(); }
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+private:
+  std::size_t capacity_;
+  std::deque<T> buf_;
+  std::function<void()> on_push_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace xtsoc::swrt

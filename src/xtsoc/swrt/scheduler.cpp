@@ -1,0 +1,63 @@
+#include "xtsoc/swrt/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace xtsoc::swrt {
+
+TaskId Scheduler::spawn(std::string name, int priority, StepFn step) {
+  Task t;
+  t.name = std::move(name);
+  t.priority = priority;
+  t.step = std::move(step);
+  tasks_.push_back(std::move(t));
+  return TaskId(static_cast<TaskId::underlying_type>(tasks_.size() - 1));
+}
+
+Scheduler::Task& Scheduler::task(TaskId t) {
+  if (!t.is_valid() || t.value() >= tasks_.size()) {
+    throw std::out_of_range("Scheduler: invalid TaskId");
+  }
+  return tasks_[t.value()];
+}
+
+const Scheduler::Task& Scheduler::task(TaskId t) const {
+  return const_cast<Scheduler*>(this)->task(t);
+}
+
+void Scheduler::notify(TaskId t) { task(t).ready = true; }
+
+bool Scheduler::run_one() {
+  int best = -1;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (!tasks_[i].ready) continue;
+    if (best < 0 ||
+        tasks_[i].priority > tasks_[static_cast<std::size_t>(best)].priority) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) return false;
+  Task& t = tasks_[static_cast<std::size_t>(best)];
+  ++t.steps;
+  ++total_steps_;
+  if (!t.step()) t.ready = false;
+  return true;
+}
+
+std::size_t Scheduler::run_until_idle(std::size_t max_steps) {
+  std::size_t n = 0;
+  while (n < max_steps && run_one()) ++n;
+  return n;
+}
+
+bool Scheduler::idle() const {
+  for (const Task& t : tasks_) {
+    if (t.ready) return false;
+  }
+  return true;
+}
+
+const std::string& Scheduler::name_of(TaskId t) const { return task(t).name; }
+
+std::uint64_t Scheduler::steps_of(TaskId t) const { return task(t).steps; }
+
+}  // namespace xtsoc::swrt

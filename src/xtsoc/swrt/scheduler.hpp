@@ -1,0 +1,63 @@
+// Cooperative priority scheduler: the single-tasking software environment
+// the paper's software mapping targets ("fully synchronous, single tasking
+// environments", §2).
+//
+// Tasks are step functions. A step does a bounded unit of work and returns
+// true if it made progress; a task that reports no progress goes idle until
+// notify()d (e.g. by a mailbox push). run_one() always picks the
+// highest-priority ready task; ties break by task id (creation order), so
+// scheduling is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/ids.hpp"
+
+namespace xtsoc::swrt {
+
+class Scheduler {
+public:
+  /// A step function: do one bounded unit of work, return whether any work
+  /// was done. Returning false parks the task until notify().
+  using StepFn = std::function<bool()>;
+
+  TaskId spawn(std::string name, int priority, StepFn step);
+
+  /// Mark a task ready (idempotent).
+  void notify(TaskId task);
+
+  /// Run one step of the highest-priority ready task.
+  /// Returns false when no task is ready.
+  bool run_one();
+
+  /// Run until every task is idle. Returns steps executed.
+  std::size_t run_until_idle(std::size_t max_steps = kNoLimit);
+
+  bool idle() const;
+  std::size_t task_count() const { return tasks_.size(); }
+  const std::string& name_of(TaskId t) const;
+  std::uint64_t steps_of(TaskId t) const;
+  std::uint64_t total_steps() const { return total_steps_; }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+private:
+  struct Task {
+    std::string name;
+    int priority = 0;
+    StepFn step;
+    bool ready = true;
+    std::uint64_t steps = 0;
+  };
+
+  Task& task(TaskId t);
+  const Task& task(TaskId t) const;
+
+  std::vector<Task> tasks_;
+  std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace xtsoc::swrt

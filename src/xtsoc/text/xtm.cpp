@@ -1,0 +1,437 @@
+#include "xtsoc/text/xtm.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "xtsoc/common/strings.hpp"
+
+namespace xtsoc::text {
+
+using xtuml::DataType;
+using xtuml::Domain;
+using xtuml::Multiplicity;
+using xtuml::Parameter;
+using xtuml::ScalarValue;
+
+namespace {
+
+/// Whitespace tokenizer over one line.
+std::vector<std::string> words(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool parse_mult(std::string_view s, Multiplicity* out) {
+  if (s == "1") {
+    *out = Multiplicity::kOne;
+  } else if (s == "0..1") {
+    *out = Multiplicity::kZeroOne;
+  } else if (s == "1..*") {
+    *out = Multiplicity::kMany;
+  } else if (s == "*") {
+    *out = Multiplicity::kZeroMany;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* mult_text(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne: return "1";
+    case Multiplicity::kZeroOne: return "0..1";
+    case Multiplicity::kMany: return "1..*";
+    case Multiplicity::kZeroMany: return "*";
+  }
+  return "*";
+}
+
+bool parse_type(std::string_view s, DataType* out) {
+  if (s == "bool") {
+    *out = DataType::kBool;
+  } else if (s == "int") {
+    *out = DataType::kInt;
+  } else if (s == "real") {
+    *out = DataType::kReal;
+  } else if (s == "string") {
+    *out = DataType::kString;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class XtmParser {
+public:
+  XtmParser(std::string_view text, DiagnosticSink& sink)
+      : lines_(split(text, '\n')), sink_(sink) {}
+
+  std::unique_ptr<Domain> run() {
+    // Pass 1: find the domain name and pre-declare every class so that
+    // forward references (ref attrs, ref params, associations) resolve.
+    std::string domain_name;
+    for (const std::string& raw : lines_) {
+      std::vector<std::string> w = words(strip_comment(raw));
+      if (w.empty()) continue;
+      if (w[0] == "domain" && w.size() >= 2 && domain_name.empty()) {
+        domain_name = w[1];
+      }
+    }
+    if (domain_name.empty()) {
+      sink_.error("xtm.domain", "missing 'domain <Name>' declaration");
+      return nullptr;
+    }
+    domain_ = std::make_unique<Domain>(domain_name);
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+      std::vector<std::string> w = words(strip_comment(lines_[i]));
+      if (w.size() >= 2 && w[0] == "class") {
+        std::string key = (w.size() >= 4 && w[2] == "key") ? w[3] : "";
+        if (domain_->find_class(w[1]) != nullptr) {
+          error(i, "xtm.class.dup", "duplicate class '" + w[1] + "'");
+          continue;
+        }
+        domain_->add_class(w[1], key);
+      }
+    }
+
+    // Pass 2: full parse.
+    while (line_ < lines_.size()) {
+      std::vector<std::string> w = words(strip_comment(lines_[line_]));
+      if (w.empty() || w[0] == "domain") {
+        ++line_;
+        continue;
+      }
+      if (w[0] == "class") {
+        parse_class(w);
+      } else if (w[0] == "assoc") {
+        parse_assoc(w);
+        ++line_;
+      } else {
+        error(line_, "xtm.stmt", "unexpected '" + w[0] + "' at top level");
+        ++line_;
+      }
+    }
+    if (sink_.has_errors()) return nullptr;
+    return std::move(domain_);
+  }
+
+private:
+  static std::string strip_comment(const std::string& raw) {
+    std::size_t pos = raw.find('#');
+    return pos == std::string::npos ? raw : raw.substr(0, pos);
+  }
+
+  void error(std::size_t line, std::string code, std::string msg) {
+    sink_.error(std::move(code), std::move(msg),
+                {static_cast<int>(line) + 1, 1});
+  }
+
+  /// Parse "name : type [= literal]" or "name : ref Class" from words
+  /// starting at index `at`. Returns false on error.
+  bool parse_typed_name(const std::vector<std::string>& w, std::size_t at,
+                        std::string* name, DataType* type, ClassId* ref,
+                        std::optional<ScalarValue>* def) {
+    if (w.size() < at + 3 || w[at + 1] != ":") return false;
+    *name = w[at];
+    if (w[at + 2] == "ref") {
+      if (w.size() < at + 4) return false;
+      *type = DataType::kInstRef;
+      *ref = domain_->find_class_id(w[at + 3]);
+      if (!ref->is_valid()) {
+        error(line_, "xtm.ref", "unknown class '" + w[at + 3] + "'");
+        return false;
+      }
+      return true;
+    }
+    if (!parse_type(w[at + 2], type)) {
+      error(line_, "xtm.type", "unknown type '" + w[at + 2] + "'");
+      return false;
+    }
+    if (w.size() >= at + 5 && w[at + 3] == "=") {
+      std::string lit = w[at + 4];
+      // Re-join the remainder in case of spaces inside string literals.
+      for (std::size_t k = at + 5; k < w.size(); ++k) lit += " " + w[k];
+      if (lit == "true") {
+        *def = ScalarValue(true);
+      } else if (lit == "false") {
+        *def = ScalarValue(false);
+      } else if (!lit.empty() && lit.front() == '"') {
+        if (lit.size() < 2 || lit.back() != '"') {
+          error(line_, "xtm.literal", "unterminated string literal");
+          return false;
+        }
+        *def = ScalarValue(lit.substr(1, lit.size() - 2));
+      } else if (lit.find('.') != std::string::npos) {
+        try {
+          *def = ScalarValue(std::stod(lit));
+        } catch (...) {
+          error(line_, "xtm.literal", "bad real literal '" + lit + "'");
+          return false;
+        }
+      } else {
+        std::int64_t v = 0;
+        auto [p, ec] = std::from_chars(lit.data(), lit.data() + lit.size(), v);
+        if (ec != std::errc{} || p != lit.data() + lit.size()) {
+          error(line_, "xtm.literal", "bad literal '" + lit + "'");
+          return false;
+        }
+        *def = ScalarValue(v);
+      }
+    }
+    return true;
+  }
+
+  void parse_class(const std::vector<std::string>& header) {
+    ClassId cls = domain_->find_class_id(header.size() >= 2 ? header[1] : "");
+    ++line_;
+    if (!cls.is_valid()) return;
+
+    while (line_ < lines_.size()) {
+      std::string stripped = strip_comment(lines_[line_]);
+      std::vector<std::string> w = words(stripped);
+      if (w.empty()) {
+        ++line_;
+        continue;
+      }
+      if (w[0] == "end") {
+        ++line_;
+        return;
+      }
+      if (w[0] == "attr") {
+        std::string name;
+        DataType type = DataType::kInt;
+        ClassId ref = ClassId::invalid();
+        std::optional<ScalarValue> def;
+        if (parse_typed_name(w, 1, &name, &type, &ref, &def)) {
+          domain_->add_attribute(cls, name, type, def, ref);
+        } else if (!sink_.has_errors()) {
+          error(line_, "xtm.attr", "malformed attr line");
+        }
+        ++line_;
+      } else if (w[0] == "event") {
+        parse_event(cls, stripped);
+        ++line_;
+      } else if (w[0] == "state") {
+        parse_state(cls, w);
+      } else if (w[0] == "transition") {
+        // transition <From> on <event> -> <To>
+        if (w.size() != 6 || w[2] != "on" || w[4] != "->") {
+          error(line_, "xtm.transition",
+                "expected 'transition <From> on <event> -> <To>'");
+          ++line_;
+          continue;
+        }
+        const xtuml::ClassDef& def = domain_->cls(cls);
+        const xtuml::StateDef* from = def.find_state(w[1]);
+        const xtuml::EventDef* ev = def.find_event(w[3]);
+        const xtuml::StateDef* to = def.find_state(w[5]);
+        if (from == nullptr || ev == nullptr || to == nullptr) {
+          error(line_, "xtm.transition",
+                "unknown state or event in transition");
+        } else {
+          domain_->add_transition(cls, from->id, ev->id, to->id);
+        }
+        ++line_;
+      } else if (w[0] == "initial") {
+        const xtuml::StateDef* st =
+            w.size() >= 2 ? domain_->cls(cls).find_state(w[1]) : nullptr;
+        if (st == nullptr) {
+          error(line_, "xtm.initial", "unknown initial state");
+        } else {
+          domain_->set_initial_state(cls, st->id);
+        }
+        ++line_;
+      } else if (w[0] == "on_unexpected") {
+        if (w.size() >= 2 && w[1] == "cant_happen") {
+          domain_->cls(cls).fallback = xtuml::EventFallback::kCantHappen;
+        } else if (w.size() >= 2 && w[1] == "ignore") {
+          domain_->cls(cls).fallback = xtuml::EventFallback::kIgnore;
+        } else {
+          error(line_, "xtm.fallback", "expected 'ignore' or 'cant_happen'");
+        }
+        ++line_;
+      } else {
+        error(line_, "xtm.class.stmt", "unexpected '" + w[0] + "' in class");
+        ++line_;
+      }
+    }
+    error(line_ - 1, "xtm.class.unterminated", "class without 'end'");
+  }
+
+  void parse_event(ClassId cls, const std::string& line) {
+    std::size_t open = line.find('(');
+    std::size_t close = line.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      error(line_, "xtm.event", "expected 'event name(params)'");
+      return;
+    }
+    std::string name(trim(line.substr(line.find("event") + 5,
+                                      open - line.find("event") - 5)));
+    std::vector<Parameter> params;
+    std::string inner = line.substr(open + 1, close - open - 1);
+    if (!trim(inner).empty()) {
+      for (const std::string& piece : split(inner, ',')) {
+        std::vector<std::string> w = words(piece);
+        // name : type   |   name : ref Class
+        if (w.size() < 3 || w[1] != ":") {
+          error(line_, "xtm.event.param", "malformed parameter '" + piece + "'");
+          return;
+        }
+        Parameter p;
+        p.name = w[0];
+        if (w[2] == "ref") {
+          if (w.size() < 4) {
+            error(line_, "xtm.event.param", "ref parameter needs a class");
+            return;
+          }
+          p.type = DataType::kInstRef;
+          p.ref_class = domain_->find_class_id(w[3]);
+          if (!p.ref_class.is_valid()) {
+            error(line_, "xtm.event.param", "unknown class '" + w[3] + "'");
+            return;
+          }
+        } else if (!parse_type(w[2], &p.type)) {
+          error(line_, "xtm.event.param", "unknown type '" + w[2] + "'");
+          return;
+        }
+        params.push_back(std::move(p));
+      }
+    }
+    domain_->add_event(cls, name, std::move(params));
+  }
+
+  void parse_state(ClassId cls, const std::vector<std::string>& w) {
+    // state <Name> [final] {       ...body...      }
+    if (w.size() < 3 || w.back() != "{") {
+      error(line_, "xtm.state", "expected 'state <Name> [final] {'");
+      ++line_;
+      return;
+    }
+    bool is_final = w.size() >= 4 && w[2] == "final";
+    std::string name = w[1];
+    ++line_;
+    std::string body;
+    while (line_ < lines_.size()) {
+      std::string_view t = trim(lines_[line_]);
+      if (t == "}") {
+        ++line_;
+        domain_->add_state(cls, name, body, is_final);
+        return;
+      }
+      body += lines_[line_];
+      body += '\n';
+      ++line_;
+    }
+    error(line_ - 1, "xtm.state.unterminated",
+          "state '" + name + "' without closing '}'");
+  }
+
+  void parse_assoc(const std::vector<std::string>& w) {
+    // assoc <Rn> <ClassA> <roleA> <multA> -- <ClassB> <roleB> <multB>
+    if (w.size() != 9 || w[5] != "--") {
+      error(line_, "xtm.assoc",
+            "expected 'assoc Rn ClassA roleA mult -- ClassB roleB mult'");
+      return;
+    }
+    ClassId a = domain_->find_class_id(w[2]);
+    ClassId b = domain_->find_class_id(w[6]);
+    Multiplicity ma, mb;
+    if (!a.is_valid() || !b.is_valid()) {
+      error(line_, "xtm.assoc", "unknown class in association");
+      return;
+    }
+    if (!parse_mult(w[4], &ma) || !parse_mult(w[8], &mb)) {
+      error(line_, "xtm.assoc", "bad multiplicity (use 1, 0..1, 1..*, *)");
+      return;
+    }
+    domain_->add_association(w[1], {a, w[3], ma}, {b, w[7], mb});
+  }
+
+  std::vector<std::string> lines_;
+  DiagnosticSink& sink_;
+  std::unique_ptr<Domain> domain_;
+  std::size_t line_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Domain> parse_xtm(std::string_view text, DiagnosticSink& sink) {
+  return XtmParser(text, sink).run();
+}
+
+std::string write_xtm(const Domain& domain) {
+  std::ostringstream os;
+  os << "domain " << domain.name() << "\n\n";
+  for (const auto& c : domain.classes()) {
+    os << "class " << c.name;
+    if (!c.key_letters.empty()) os << " key " << c.key_letters;
+    os << '\n';
+    for (const auto& a : c.attributes) {
+      os << "  attr " << a.name << " : ";
+      if (a.type == DataType::kInstRef) {
+        os << "ref " << domain.cls(a.ref_class).name;
+      } else {
+        os << xtuml::to_string(a.type);
+        if (a.default_value) {
+          os << " = " << xtuml::scalar_to_string(*a.default_value);
+        }
+      }
+      os << '\n';
+    }
+    for (const auto& e : c.events) {
+      os << "  event " << e.name << '(';
+      for (std::size_t i = 0; i < e.params.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << e.params[i].name << " : ";
+        if (e.params[i].type == DataType::kInstRef) {
+          os << "ref " << domain.cls(e.params[i].ref_class).name;
+        } else {
+          os << xtuml::to_string(e.params[i].type);
+        }
+      }
+      os << ")\n";
+    }
+    for (const auto& s : c.states) {
+      os << "  state " << s.name << (s.is_final ? " final" : "") << " {\n";
+      std::string body(trim(dedent(s.action_source)));
+      if (!body.empty()) {
+        os << indent(body, 4);
+        if (body.back() != '\n') os << '\n';
+      }
+      os << "  }\n";
+    }
+    for (const auto& t : c.transitions) {
+      os << "  transition " << c.state(t.from).name << " on "
+         << c.event(t.event).name << " -> " << c.state(t.to).name << '\n';
+    }
+    if (c.has_state_machine() && c.initial_state.is_valid()) {
+      os << "  initial " << c.state(c.initial_state).name << '\n';
+    }
+    if (c.fallback == xtuml::EventFallback::kCantHappen) {
+      os << "  on_unexpected cant_happen\n";
+    }
+    os << "end\n\n";
+  }
+  for (const auto& a : domain.associations()) {
+    os << "assoc " << a.name << ' ' << domain.cls(a.a.cls).name << ' '
+       << a.a.role << ' ' << mult_text(a.a.mult) << " -- "
+       << domain.cls(a.b.cls).name << ' ' << a.b.role << ' '
+       << mult_text(a.b.mult) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xtsoc::text

@@ -1,0 +1,43 @@
+// .xtm — the textual model format.
+//
+// Models are data, not code: examples and tools load them from text so a
+// model travels as one artifact (plus a separate .marks file — never mixed,
+// per the paper's "marks describe models but they are not a part of them").
+//
+// Grammar (line comments start with '#'):
+//
+//   domain <Name>
+//
+//   class <Name> [key <KL>]
+//     attr <name> : bool|int|real|string [= <literal>]
+//     attr <name> : ref <Class>
+//     event <name>([<param> : <type>[, ...]])     -- type may be "ref Class"
+//     state <Name> [final] {
+//       ...OAL action body (no braces in OAL, so '}' ends it)...
+//     }
+//     transition <From> on <event> -> <To>
+//     initial <State>
+//     on_unexpected ignore|cant_happen
+//   end
+//
+//   assoc <Rn> <ClassA> <roleA> <multA> -- <ClassB> <roleB> <multB>
+//     where mult is one of: 1, 0..1, 1..*, *
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::text {
+
+/// Parse a .xtm document. Returns nullptr and reports to `sink` on error.
+std::unique_ptr<xtuml::Domain> parse_xtm(std::string_view text,
+                                         DiagnosticSink& sink);
+
+/// Serialize a Domain back to .xtm text. parse_xtm(write_xtm(d)) is
+/// structurally identical to d (round-trip property, tested).
+std::string write_xtm(const xtuml::Domain& domain);
+
+}  // namespace xtsoc::text

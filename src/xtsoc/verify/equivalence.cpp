@@ -1,0 +1,182 @@
+#include "xtsoc/verify/equivalence.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "xtsoc/runtime/database.hpp"
+
+namespace xtsoc::verify {
+
+using runtime::InstanceHandle;
+using runtime::Trace;
+using runtime::TraceEvent;
+using runtime::TraceKind;
+
+namespace {
+
+/// Kinds that form an instance's semantic history. kSend is excluded (it is
+/// recorded in the *sender's* partition and duplicated by kDispatch at the
+/// receiver); kIgnored is excluded because a dropped event has no effect.
+bool is_semantic(TraceKind k) {
+  switch (k) {
+    case TraceKind::kCreate:
+    case TraceKind::kDelete:
+    case TraceKind::kDispatch:
+    case TraceKind::kAttrWrite:
+    case TraceKind::kLog:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void append_signature_line(std::ostream& os, const TraceEvent& e) {
+  os << to_string(e.kind);
+  if (e.event.is_valid()) os << " ev" << e.event.value();
+  if (e.from_state.is_valid()) os << " from" << e.from_state.value();
+  if (e.to_state.is_valid()) os << " to" << e.to_state.value();
+  if (e.attr.is_valid()) os << " at" << e.attr.value();
+  if (e.value) os << " = " << runtime::to_string(*e.value);
+  for (const auto& a : e.args) os << " arg:" << runtime::to_string(a);
+  if (!e.text.empty()) os << " \"" << e.text << '"';
+  os << '\n';
+}
+
+}  // namespace
+
+std::string projection_signature(const Trace& trace,
+                                 const InstanceHandle& inst) {
+  std::ostringstream os;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.subject == inst && is_semantic(e.kind)) {
+      append_signature_line(os, e);
+    }
+  }
+  return os.str();
+}
+
+std::string EquivalenceReport::to_string() const {
+  std::ostringstream os;
+  os << (equivalent ? "EQUIVALENT" : "DIVERGENT") << " ("
+     << instances_checked << " instances checked)";
+  for (const auto& m : mismatches) os << "\n  " << m;
+  return os.str();
+}
+
+EquivalenceReport compare_executions(
+    const Trace& reference, const std::vector<const Trace*>& partitioned) {
+  EquivalenceReport report;
+
+  // Union of subjects across all traces, in first-appearance order.
+  std::vector<InstanceHandle> subjects = reference.subjects();
+  for (const Trace* t : partitioned) {
+    for (const InstanceHandle& h : t->subjects()) {
+      if (std::find(subjects.begin(), subjects.end(), h) == subjects.end()) {
+        subjects.push_back(h);
+      }
+    }
+  }
+
+  for (const InstanceHandle& inst : subjects) {
+    std::string ref_sig = projection_signature(reference, inst);
+    std::string part_sig;
+    for (const Trace* t : partitioned) {
+      part_sig += projection_signature(*t, inst);
+    }
+    ++report.instances_checked;
+    if (ref_sig != part_sig) {
+      report.equivalent = false;
+      std::ostringstream os;
+      os << "instance " << inst.to_string() << " diverges:\n--- reference:\n"
+         << ref_sig << "--- partitioned:\n" << part_sig;
+      report.mismatches.push_back(os.str());
+    }
+  }
+  return report;
+}
+
+EquivalenceReport compare_final_states(
+    const runtime::Database& reference,
+    const std::vector<const runtime::Database*>& partitioned) {
+  EquivalenceReport report;
+  const xtuml::Domain& domain = reference.domain();
+
+  for (const auto& cls : domain.classes()) {
+    runtime::InstanceSet ref_live = reference.all_of(cls.id);
+    runtime::InstanceSet part_live;
+    for (const runtime::Database* db : partitioned) {
+      for (const InstanceHandle& h : db->all_of(cls.id)) {
+        part_live.push_back(h);
+      }
+    }
+    std::sort(part_live.begin(), part_live.end());
+    runtime::InstanceSet ref_sorted = ref_live;
+    std::sort(ref_sorted.begin(), ref_sorted.end());
+    if (ref_sorted != part_live) {
+      report.equivalent = false;
+      report.mismatches.push_back("class '" + cls.name +
+                                  "': live populations differ");
+      continue;
+    }
+
+    for (const InstanceHandle& h : ref_live) {
+      ++report.instances_checked;
+      // Find the partition owning this instance.
+      const runtime::Database* owner = nullptr;
+      for (const runtime::Database* db : partitioned) {
+        if (db->is_alive(h)) owner = db;
+      }
+      if (owner == nullptr) continue;  // already reported above
+
+      if (cls.has_state_machine() &&
+          reference.current_state(h) != owner->current_state(h)) {
+        report.equivalent = false;
+        report.mismatches.push_back(
+            "instance " + h.to_string() + " of '" + cls.name +
+            "': final state differs (" +
+            cls.state(reference.current_state(h)).name + " vs " +
+            cls.state(owner->current_state(h)).name + ")");
+      }
+      for (const auto& attr : cls.attributes) {
+        runtime::Value a = reference.get_attr(h, attr.id);
+        runtime::Value b = owner->get_attr(h, attr.id);
+        if (!runtime::value_equals(a, b)) {
+          report.equivalent = false;
+          report.mismatches.push_back(
+              "instance " + h.to_string() + " attribute '" + attr.name +
+              "': " + runtime::to_string(a) + " vs " + runtime::to_string(b));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+bool check_causality(const Trace& trace, std::string* error) {
+  // For each (instance, event) pair, dispatches consume earlier sends.
+  std::map<std::pair<InstanceHandle, EventId::underlying_type>, long> credit;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceKind::kSend) {
+      ++credit[{e.subject, e.event.value()}];
+    } else if (e.kind == TraceKind::kDispatch ||
+               e.kind == TraceKind::kIgnored) {
+      if (!e.event.is_valid()) continue;
+      long& c = credit[{e.subject, e.event.value()}];
+      if (c <= 0) {
+        if (error != nullptr) {
+          std::ostringstream os;
+          os << "dispatch without a preceding send: instance "
+             << e.subject.to_string() << " event#" << e.event.value()
+             << " at tick " << e.tick;
+          *error = os.str();
+        }
+        return false;
+      }
+      --c;
+    }
+  }
+  return true;
+}
+
+}  // namespace xtsoc::verify

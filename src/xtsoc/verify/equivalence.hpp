@@ -1,0 +1,59 @@
+// Trace equivalence between executions of the same model under different
+// mappings.
+//
+// Total event order across concurrently executing state machines is
+// implementation-defined (any interleaving consistent with the queueing
+// rules is legal), so raw traces are NOT comparable. What every legal
+// mapping must preserve is each instance's own history: the sequence of
+// (event, from-state, to-state) dispatches, attribute writes, log outputs,
+// and lifecycle events it experiences. That per-instance *projection* —
+// with timestamps erased, since hardware and software run at different
+// speeds — is the equivalence relation used throughout this repository to
+// check that the model compiler "preserves the defined behavior" (paper §4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xtsoc/runtime/database.hpp"
+#include "xtsoc/runtime/trace.hpp"
+
+namespace xtsoc::verify {
+
+/// Canonical, time-erased rendering of one instance's projection. Two
+/// executions agree on an instance iff their signatures are equal strings.
+std::string projection_signature(const runtime::Trace& trace,
+                                 const runtime::InstanceHandle& inst);
+
+struct EquivalenceReport {
+  bool equivalent = true;
+  std::size_t instances_checked = 0;
+  std::vector<std::string> mismatches;
+
+  std::string to_string() const;
+};
+
+/// Compare the abstract execution against a partitioned execution whose
+/// events are split across several traces (one per partition). Every
+/// instance appearing in any trace is checked. An instance's partitioned
+/// projection is the concatenation of its projections in the given traces
+/// (it lives in exactly one partition, so at most one contributes).
+EquivalenceReport compare_executions(
+    const runtime::Trace& reference,
+    const std::vector<const runtime::Trace*>& partitioned);
+
+/// Causality check on a single trace: every dispatch of a signal must be
+/// preceded by a matching send to the same instance with the same event
+/// (cause precedes effect, paper §2). External injects count as sends.
+bool check_causality(const runtime::Trace& trace, std::string* error);
+
+/// Final-state equivalence: the weaker relation that holds for EVERY legal
+/// mapping, including models where one instance receives from several
+/// senders (where xtUML guarantees only pairwise order, so intermediate
+/// projections may differ while the quiescent state may not). Compares the
+/// live population, current states, and every attribute value.
+EquivalenceReport compare_final_states(
+    const runtime::Database& reference,
+    const std::vector<const runtime::Database*>& partitioned);
+
+}  // namespace xtsoc::verify

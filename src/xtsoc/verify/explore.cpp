@@ -1,0 +1,212 @@
+#include "xtsoc/verify/explore.hpp"
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace xtsoc::verify {
+
+using runtime::EventMessage;
+using runtime::Executor;
+using runtime::InstanceHandle;
+
+namespace {
+
+using Path = std::vector<std::size_t>;
+
+std::string path_text(const Path& path) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) os << ',';
+    os << path[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+/// Canonical serialization of the full system state: database + queues.
+std::string state_key(const Executor& exec) {
+  std::ostringstream os;
+  const xtuml::Domain& domain = exec.domain();
+  const runtime::Database& db = exec.database();
+  for (const auto& cls : domain.classes()) {
+    os << 'C' << cls.id.value() << ':';
+    for (const InstanceHandle& h : db.all_of(cls.id)) {
+      os << h.index << '.' << h.generation << '(';
+      if (cls.has_state_machine()) os << db.current_state(h).value();
+      for (const auto& attr : cls.attributes) {
+        os << ',' << runtime::to_string(db.get_attr(h, attr.id));
+      }
+      os << ')';
+    }
+    os << ';';
+  }
+  for (const auto& assoc : domain.associations()) {
+    os << 'R' << assoc.id.value() << ':';
+    std::set<std::pair<std::string, std::string>> links;
+    for (const auto& cls : domain.classes()) {
+      if (!assoc.touches(cls.id)) continue;
+      for (const InstanceHandle& h : db.all_of(cls.id)) {
+        for (const InstanceHandle& other : db.related(h, assoc.id)) {
+          std::string a = h.to_string();
+          std::string b = other.to_string();
+          links.insert(a < b ? std::pair(a, b) : std::pair(b, a));
+        }
+      }
+    }
+    for (const auto& [a, b] : links) os << a << '-' << b << ' ';
+    os << ';';
+  }
+  os << "Q:";
+  for (const EventMessage& m : exec.ready_snapshot()) {
+    os << m.sender.to_string() << '>' << m.target.to_string() << '#'
+       << m.event.value() << '(';
+    for (const auto& v : m.args) os << runtime::to_string(v) << ',';
+    os << ')';
+  }
+  return os.str();
+}
+
+/// Scheduler choices legal from this state: a ready message is a candidate
+/// iff it is the oldest pending message of its (sender, target) channel,
+/// and — when it is not self-directed — its target has no pending
+/// self-directed message (the xtUML priority rule).
+std::vector<std::size_t> candidates(const Executor& exec) {
+  std::vector<EventMessage> snap = exec.ready_snapshot();
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    bool ok = true;
+    for (std::size_t j = 0; j < i && ok; ++j) {
+      if (snap[j].sender == snap[i].sender &&
+          snap[j].target == snap[i].target) {
+        ok = false;  // an older message on the same channel goes first
+      }
+    }
+    if (ok && !snap[i].self_directed()) {
+      for (const EventMessage& m : snap) {
+        if (m.self_directed() && m.target == snap[i].target) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExploreResult::to_string() const {
+  std::ostringstream os;
+  os << (complete ? "complete" : "TRUNCATED") << ": " << states_visited
+     << " states, " << transitions << " transitions, deepest schedule "
+     << deepest_schedule;
+  for (const auto& e : errors) os << "\n  error: " << e;
+  for (const auto& [cls, st] : dead_states) {
+    os << "\n  dead state: " << cls << "." << st;
+  }
+  return os.str();
+}
+
+ExploreResult explore(const oal::CompiledDomain& compiled,
+                      const std::function<void(Executor&)>& setup,
+                      ExploreConfig config) {
+  ExploreResult result;
+  result.complete = true;
+
+  config.executor.trace_enabled = true;  // needed for entered-state tracking
+
+  // (class, state) pairs entered by any execution.
+  std::set<std::pair<ClassId::underlying_type, StateId::underlying_type>>
+      entered;
+  std::set<ClassId::underlying_type> instantiated;
+
+  /// Replay a schedule from scratch. Returns nullptr and records an error
+  /// if the final dispatch faults.
+  auto replay = [&](const Path& path) -> std::unique_ptr<Executor> {
+    auto exec = std::make_unique<Executor>(compiled, config.executor);
+    setup(*exec);
+    try {
+      for (std::size_t idx : path) {
+        if (!exec->dispatch_ready(idx)) {
+          throw runtime::ModelError("schedule replay desynchronized");
+        }
+      }
+    } catch (const runtime::ModelError& e) {
+      result.errors.push_back(std::string(e.what()) + " via schedule " +
+                              path_text(path));
+      return nullptr;
+    }
+    if (exec->next_deadline().has_value()) {
+      result.errors.push_back(
+          "model uses `delay`, which the explorer does not cover (schedule " +
+          path_text(path) + ")");
+      return nullptr;
+    }
+    return exec;
+  };
+
+  std::unordered_set<std::string> visited;
+  std::vector<Path> stack;
+  stack.push_back({});
+
+  while (!stack.empty()) {
+    if (visited.size() >= config.max_states) {
+      result.complete = false;
+      break;
+    }
+    Path path = std::move(stack.back());
+    stack.pop_back();
+
+    std::unique_ptr<Executor> exec = replay(path);
+    if (exec == nullptr) continue;  // faulting schedule recorded
+
+    std::string key = state_key(*exec);
+    if (!visited.insert(std::move(key)).second) continue;
+    result.deepest_schedule = std::max(result.deepest_schedule, path.size());
+
+    // Track entered states and instantiated classes from the trace.
+    for (const auto& te : exec->trace().events()) {
+      if (te.kind == runtime::TraceKind::kCreate) {
+        instantiated.insert(te.subject.cls.value());
+        const xtuml::ClassDef& cls = exec->domain().cls(te.subject.cls);
+        if (cls.has_state_machine()) {
+          entered.insert({te.subject.cls.value(), cls.initial_state.value()});
+        }
+      } else if (te.kind == runtime::TraceKind::kDispatch &&
+                 te.to_state.is_valid()) {
+        entered.insert({te.subject.cls.value(), te.to_state.value()});
+      }
+    }
+
+    if (path.size() >= config.max_depth) {
+      if (!exec->ready_snapshot().empty()) result.complete = false;
+      continue;
+    }
+    for (std::size_t idx : candidates(*exec)) {
+      ++result.transitions;
+      Path next = path;
+      next.push_back(idx);
+      stack.push_back(std::move(next));
+    }
+  }
+
+  result.states_visited = visited.size();
+
+  // Dead states: never entered in any reachable execution, for classes that
+  // were actually instantiated.
+  for (const auto& cls : compiled.domain().classes()) {
+    if (!cls.has_state_machine()) continue;
+    if (!instantiated.contains(cls.id.value())) continue;
+    for (const auto& st : cls.states) {
+      if (!entered.contains({cls.id.value(), st.id.value()})) {
+        result.dead_states.push_back({cls.name, st.name});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xtsoc::verify

@@ -1,0 +1,58 @@
+// Bounded exhaustive exploration of a closed model: a lite model checker.
+//
+// xtUML's execution semantics deliberately leave the interleaving of
+// signals to *different* instances open — any order consistent with
+// pairwise (sender, receiver) FIFO and the self-directed priority is legal,
+// and the model must be correct under all of them (that freedom is what
+// lets the model compiler retarget concurrent, distributed and sequential
+// platforms, paper §2). A single executor run checks ONE interleaving; the
+// explorer checks ALL of them, up to configurable bounds.
+//
+// What it finds:
+//   * runtime model errors (can't-happen events, null dereferences,
+//     division by zero, multiplicity violations) on ANY schedule, with the
+//     schedule that triggers them;
+//   * state-machine states that no reachable execution ever enters
+//     (dead states — usually modelling bugs);
+//   * the reachable state count (a size-of-behaviour metric).
+//
+// Restrictions: the model under exploration must not use `delay` (time
+// would multiply the schedule space); delays are reported as an error.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xtsoc/runtime/executor.hpp"
+
+namespace xtsoc::verify {
+
+struct ExploreConfig {
+  std::size_t max_states = 20'000;   ///< distinct system states to visit
+  std::size_t max_depth = 200;       ///< dispatches along one schedule
+  runtime::ExecutorConfig executor;  ///< engine/limits for each replay
+};
+
+struct ExploreResult {
+  bool complete = false;  ///< the whole bounded space was covered
+  std::size_t states_visited = 0;
+  std::size_t transitions = 0;
+  std::size_t deepest_schedule = 0;
+  /// Model errors found, with the schedule (dispatch choice list) attached.
+  std::vector<std::string> errors;
+  /// (class, state) pairs never entered by any reachable execution.
+  std::vector<std::pair<std::string, std::string>> dead_states;
+
+  std::string to_string() const;
+};
+
+/// Explore every legal schedule of the closed system produced by `setup`
+/// (which creates the population and injects the initial signals into the
+/// given executor). The same `setup` is replayed many times; it must be
+/// deterministic.
+ExploreResult explore(const oal::CompiledDomain& compiled,
+                      const std::function<void(runtime::Executor&)>& setup,
+                      ExploreConfig config = {});
+
+}  // namespace xtsoc::verify

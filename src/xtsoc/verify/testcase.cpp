@@ -1,0 +1,238 @@
+#include "xtsoc/verify/testcase.hpp"
+
+#include <sstream>
+
+namespace xtsoc::verify {
+
+using runtime::InstanceHandle;
+using runtime::Value;
+
+namespace {
+
+/// Population instantiation shared by both runners. `create` makes an
+/// instance of a class; `set_attr` writes one attribute on a handle.
+class Populator {
+public:
+  template <typename CreateFn, typename SetFn>
+  static std::map<std::string, InstanceHandle> build(
+      const xtuml::Domain& domain, const std::vector<InstanceSpec>& specs,
+      std::vector<std::string>& failures, CreateFn create, SetFn set_attr) {
+    std::map<std::string, InstanceHandle> byname;
+    // Pass 1: create everything so forward references resolve.
+    for (const InstanceSpec& spec : specs) {
+      if (byname.contains(spec.name)) {
+        failures.push_back("duplicate population name '" + spec.name + "'");
+        continue;
+      }
+      byname[spec.name] = create(spec.cls);
+    }
+    // Pass 2: attributes (values and refs).
+    for (const InstanceSpec& spec : specs) {
+      auto it = byname.find(spec.name);
+      if (it == byname.end()) continue;
+      const xtuml::ClassDef* cls = domain.find_class(spec.cls);
+      for (const auto& [attr_name, init] : spec.attrs) {
+        const xtuml::AttributeDef* attr =
+            cls == nullptr ? nullptr : cls->find_attribute(attr_name);
+        if (attr == nullptr) {
+          failures.push_back(spec.cls + " has no attribute '" + attr_name + "'");
+          continue;
+        }
+        Value v;
+        if (const auto* ref = std::get_if<RefByName>(&init)) {
+          auto target = byname.find(ref->name);
+          if (target == byname.end()) {
+            failures.push_back("unknown population reference '" + ref->name +
+                               "'");
+            continue;
+          }
+          v = target->second;
+        } else {
+          v = std::get<Value>(init);
+        }
+        set_attr(it->second, attr->id, std::move(v));
+      }
+    }
+    return byname;
+  }
+};
+
+void check_expectations(
+    const xtuml::Domain& domain,
+    const std::map<std::string, InstanceHandle>& byname, const TestCase& test,
+    const std::function<runtime::Database&(const InstanceHandle&)>& db_of,
+    RunReport& report) {
+  auto resolve = [&](const std::string& name) -> const InstanceHandle* {
+    auto it = byname.find(name);
+    if (it == byname.end()) {
+      report.failures.push_back("unknown instance '" + name + "'");
+      return nullptr;
+    }
+    return &it->second;
+  };
+
+  for (const AttrExpect& e : test.expect_attrs) {
+    const InstanceHandle* h = resolve(e.inst);
+    if (h == nullptr) continue;
+    const xtuml::ClassDef& cls = domain.cls(h->cls);
+    const xtuml::AttributeDef* attr = cls.find_attribute(e.attr);
+    if (attr == nullptr) {
+      report.failures.push_back(cls.name + " has no attribute '" + e.attr + "'");
+      continue;
+    }
+    Value got = db_of(*h).get_attr(*h, attr->id);
+    if (!runtime::value_equals(got, e.value)) {
+      report.failures.push_back(e.inst + "." + e.attr + ": expected " +
+                                runtime::to_string(e.value) + ", got " +
+                                runtime::to_string(got));
+    }
+  }
+
+  for (const StateExpect& e : test.expect_states) {
+    const InstanceHandle* h = resolve(e.inst);
+    if (h == nullptr) continue;
+    const xtuml::ClassDef& cls = domain.cls(h->cls);
+    const xtuml::StateDef* want = cls.find_state(e.state);
+    if (want == nullptr) {
+      report.failures.push_back(cls.name + " has no state '" + e.state + "'");
+      continue;
+    }
+    runtime::Database& db = db_of(*h);
+    if (!db.is_alive(*h)) {
+      report.failures.push_back(e.inst + ": deleted, expected state '" +
+                                e.state + "'");
+      continue;
+    }
+    StateId got = db.current_state(*h);
+    if (got != want->id) {
+      report.failures.push_back(e.inst + ": expected state '" + e.state +
+                                "', got '" + cls.state(got).name + "'");
+    }
+  }
+}
+
+}  // namespace
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << (passed ? "PASS" : "FAIL") << " (" << dispatches << " dispatches, "
+     << duration << " ticks)";
+  for (const auto& f : failures) os << "\n  " << f;
+  return os.str();
+}
+
+AbstractRunner::AbstractRunner(const oal::CompiledDomain& compiled,
+                               runtime::ExecutorConfig config)
+    : compiled_(&compiled), config_(config) {}
+
+RunReport AbstractRunner::run(const TestCase& test) {
+  RunReport report;
+  exec_ = std::make_unique<runtime::Executor>(*compiled_, config_);
+  const xtuml::Domain& domain = compiled_->domain();
+
+  auto byname = Populator::build(
+      domain, test.population, report.failures,
+      [this](const std::string& cls) { return exec_->create(cls); },
+      [this](const InstanceHandle& h, AttributeId a, Value v) {
+        exec_->database().set_attr(h, a, std::move(v));
+      });
+
+  for (const Stimulus& s : test.stimuli) {
+    auto it = byname.find(s.target);
+    if (it == byname.end()) {
+      report.failures.push_back("stimulus to unknown instance '" + s.target +
+                                "'");
+      continue;
+    }
+    exec_->inject(it->second, s.event, s.args, s.delay);
+  }
+  exec_->run_all();
+
+  check_expectations(
+      domain, byname, test,
+      [this](const InstanceHandle&) -> runtime::Database& {
+        return exec_->database();
+      },
+      report);
+
+  if (!test.expect_logs.empty()) {
+    std::vector<std::string> logs;
+    for (const auto& e : exec_->trace().events()) {
+      if (e.kind == runtime::TraceKind::kLog) logs.push_back(e.text);
+    }
+    if (logs != test.expect_logs) {
+      std::ostringstream os;
+      os << "log mismatch: expected [";
+      for (const auto& l : test.expect_logs) os << '"' << l << "\" ";
+      os << "], got [";
+      for (const auto& l : logs) os << '"' << l << "\" ";
+      os << ']';
+      report.failures.push_back(os.str());
+    }
+  }
+
+  report.dispatches = exec_->dispatch_count();
+  report.duration = exec_->now();
+  report.passed = report.failures.empty();
+  return report;
+}
+
+CosimRunner::CosimRunner(const mapping::MappedSystem& system,
+                         cosim::CoSimConfig config)
+    : system_(&system), config_(config) {}
+
+RunReport CosimRunner::run(const TestCase& test) {
+  RunReport report;
+  cosim_ = std::make_unique<cosim::CoSimulation>(*system_, config_);
+  const xtuml::Domain& domain = system_->domain();
+
+  auto byname = Populator::build(
+      domain, test.population, report.failures,
+      [this](const std::string& cls) { return cosim_->create(cls); },
+      [this](const InstanceHandle& h, AttributeId a, Value v) {
+        cosim_->executor_of(h.cls).database().set_attr(h, a, std::move(v));
+      });
+
+  for (const Stimulus& s : test.stimuli) {
+    auto it = byname.find(s.target);
+    if (it == byname.end()) {
+      report.failures.push_back("stimulus to unknown instance '" + s.target +
+                                "'");
+      continue;
+    }
+    cosim_->inject(it->second, s.event, s.args, s.delay);
+  }
+  cosim_->run();
+
+  check_expectations(
+      domain, byname, test,
+      [this](const InstanceHandle& h) -> runtime::Database& {
+        return cosim_->executor_of(h.cls).database();
+      },
+      report);
+
+  report.dispatches = cosim_->hw_executor().dispatch_count() +
+                      cosim_->sw_executor().dispatch_count();
+  report.duration = cosim_->cycles();
+  report.passed = report.failures.empty();
+  return report;
+}
+
+ConformanceReport run_conformance(const oal::CompiledDomain& compiled,
+                                  const mapping::MappedSystem& system,
+                                  const TestCase& test,
+                                  runtime::ExecutorConfig abstract_config,
+                                  cosim::CoSimConfig cosim_config) {
+  ConformanceReport out;
+  AbstractRunner abstract(compiled, abstract_config);
+  out.abstract_run = abstract.run(test);
+  CosimRunner partitioned(system, cosim_config);
+  out.cosim_run = partitioned.run(test);
+  out.equivalence = compare_executions(
+      abstract.executor().trace(),
+      {&partitioned.cosim().hw_executor().trace(),
+       &partitioned.cosim().sw_executor().trace()});
+  return out;
+}
+
+}  // namespace xtsoc::verify

@@ -1,0 +1,125 @@
+// Formal model-level test cases (paper §2: "formal test cases can be
+// executed against the model to verify that requirements have been properly
+// met" — before any implementation exists).
+//
+// A TestCase is pure data: a population, a stimulus script, and expected
+// observations. The SAME test case runs against
+//   * the abstract model executor (AbstractRunner), and
+//   * any partitioned co-simulation (CosimRunner),
+// which is precisely how the paper proposes requirements be verified once,
+// independent of the eventual hardware/software split.
+#pragma once
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/runtime/executor.hpp"
+#include "xtsoc/verify/equivalence.hpp"
+
+namespace xtsoc::verify {
+
+/// Attribute initializer: a concrete value, or a symbolic reference to a
+/// previously declared population instance (for inst_ref attributes).
+struct RefByName {
+  std::string name;
+};
+using AttrInit = std::variant<runtime::Value, RefByName>;
+
+struct InstanceSpec {
+  std::string name;  ///< symbolic handle used by stimuli and expectations
+  std::string cls;
+  std::vector<std::pair<std::string, AttrInit>> attrs;
+};
+
+struct Stimulus {
+  std::string target;  ///< population instance name
+  std::string event;
+  std::vector<runtime::Value> args;
+  std::uint64_t delay = 0;
+};
+
+struct AttrExpect {
+  std::string inst;
+  std::string attr;
+  runtime::Value value;
+};
+
+struct StateExpect {
+  std::string inst;
+  std::string state;
+};
+
+struct TestCase {
+  std::string name;
+  std::vector<InstanceSpec> population;
+  std::vector<Stimulus> stimuli;
+  std::vector<AttrExpect> expect_attrs;
+  std::vector<StateExpect> expect_states;
+  /// Expected `log` outputs in global order (checked by AbstractRunner
+  /// only: a partitioned run has no global log order).
+  std::vector<std::string> expect_logs;
+};
+
+struct RunReport {
+  bool passed = true;
+  std::vector<std::string> failures;
+  std::uint64_t dispatches = 0;
+  std::uint64_t duration = 0;  ///< ticks (abstract) or cycles (cosim)
+
+  std::string to_string() const;
+};
+
+/// Executes test cases against the abstract model.
+class AbstractRunner {
+public:
+  explicit AbstractRunner(const oal::CompiledDomain& compiled,
+                          runtime::ExecutorConfig config = {});
+
+  RunReport run(const TestCase& test);
+
+  /// Executor of the last run (for trace inspection / equivalence).
+  runtime::Executor& executor() { return *exec_; }
+
+private:
+  const oal::CompiledDomain* compiled_;
+  runtime::ExecutorConfig config_;
+  std::unique_ptr<runtime::Executor> exec_;
+};
+
+/// Executes test cases against a partitioned co-simulation.
+class CosimRunner {
+public:
+  explicit CosimRunner(const mapping::MappedSystem& system,
+                       cosim::CoSimConfig config = {});
+
+  RunReport run(const TestCase& test);
+
+  cosim::CoSimulation& cosim() { return *cosim_; }
+
+private:
+  const mapping::MappedSystem* system_;
+  cosim::CoSimConfig config_;
+  std::unique_ptr<cosim::CoSimulation> cosim_;
+};
+
+/// Run `test` against the abstract model AND the partitioned system, check
+/// expectations in both, then check per-instance projection equivalence.
+struct ConformanceReport {
+  RunReport abstract_run;
+  RunReport cosim_run;
+  EquivalenceReport equivalence;
+  bool passed() const {
+    return abstract_run.passed && cosim_run.passed && equivalence.equivalent;
+  }
+};
+
+ConformanceReport run_conformance(const oal::CompiledDomain& compiled,
+                                  const mapping::MappedSystem& system,
+                                  const TestCase& test,
+                                  runtime::ExecutorConfig abstract_config = {},
+                                  cosim::CoSimConfig cosim_config = {});
+
+}  // namespace xtsoc::verify

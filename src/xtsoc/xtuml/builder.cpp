@@ -1,0 +1,113 @@
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::xtuml {
+
+ClassBuilder& ClassBuilder::attr(std::string name, DataType type,
+                                 std::optional<ScalarValue> default_value) {
+  domain_.add_attribute(id_, std::move(name), type, std::move(default_value));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::ref_attr(std::string name,
+                                     std::string ref_class_name) {
+  ClassId ref = domain_.find_class_id(ref_class_name);
+  if (!ref.is_valid()) {
+    throw std::invalid_argument("ref_attr: unknown class '" + ref_class_name +
+                                "'");
+  }
+  domain_.add_attribute(id_, std::move(name), DataType::kInstRef, {}, ref);
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::event(std::string name,
+                                  std::vector<Parameter> params) {
+  domain_.add_event(id_, std::move(name), std::move(params));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::state(std::string name, std::string action_source) {
+  domain_.add_state(id_, std::move(name), std::move(action_source));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::final_state(std::string name,
+                                        std::string action_source) {
+  domain_.add_state(id_, std::move(name), std::move(action_source),
+                    /*is_final=*/true);
+  return *this;
+}
+
+StateId ClassBuilder::state_id(const std::string& name) const {
+  const StateDef* s = domain_.cls(id_).find_state(name);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown state '" + name + "' in class '" +
+                                domain_.cls(id_).name + "'");
+  }
+  return s->id;
+}
+
+EventId ClassBuilder::event_id(const std::string& name) const {
+  const EventDef* e = domain_.cls(id_).find_event(name);
+  if (e == nullptr) {
+    throw std::invalid_argument("unknown event '" + name + "' in class '" +
+                                domain_.cls(id_).name + "'");
+  }
+  return e->id;
+}
+
+ClassBuilder& ClassBuilder::transition(std::string from, std::string event,
+                                       std::string to) {
+  domain_.add_transition(id_, state_id(from), event_id(event), state_id(to));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::initial(std::string state_name) {
+  domain_.set_initial_state(id_, state_id(state_name));
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::on_unexpected(EventFallback fallback) {
+  domain_.cls(id_).fallback = fallback;
+  return *this;
+}
+
+ClassBuilder DomainBuilder::cls(std::string name, std::string key_letters) {
+  ClassId id = domain_->add_class(std::move(name), std::move(key_letters));
+  return ClassBuilder(*domain_, id);
+}
+
+ClassBuilder DomainBuilder::edit(std::string_view name) {
+  ClassId id = domain_->find_class_id(name);
+  if (!id.is_valid()) {
+    throw std::invalid_argument("edit: unknown class '" + std::string(name) +
+                                "'");
+  }
+  return ClassBuilder(*domain_, id);
+}
+
+Parameter DomainBuilder::ref_param(std::string name,
+                                   std::string_view class_name) const {
+  ClassId id = domain_->find_class_id(class_name);
+  if (!id.is_valid()) {
+    throw std::invalid_argument("ref_param: unknown class '" +
+                                std::string(class_name) + "'");
+  }
+  return Parameter{std::move(name), DataType::kInstRef, id};
+}
+
+DomainBuilder& DomainBuilder::assoc(std::string name, std::string class_a,
+                                    std::string role_a, Multiplicity mult_a,
+                                    std::string class_b, std::string role_b,
+                                    Multiplicity mult_b) {
+  ClassId a = domain_->find_class_id(class_a);
+  ClassId b = domain_->find_class_id(class_b);
+  if (!a.is_valid() || !b.is_valid()) {
+    throw std::invalid_argument("assoc " + name + ": unknown class");
+  }
+  domain_->add_association(std::move(name),
+                           {a, std::move(role_a), mult_a},
+                           {b, std::move(role_b), mult_b});
+  return *this;
+}
+
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,82 @@
+// Fluent builder over the Domain, used by examples and tests.
+//
+//   DomainBuilder b("Microwave");
+//   auto oven = b.cls("Oven", "OVN")
+//                   .attr("power_w", DataType::kInt, std::int64_t{600})
+//                   .event("open_door")
+//                   .event("start", {{"seconds", DataType::kInt}})
+//                   .state("Idle", "...oal...")
+//                   .state("Cooking", "...oal...")
+//                   .transition("Idle", "start", "Cooking");
+//
+// The builder resolves names late, so states/events may be referenced in
+// transitions before all of them exist only if already declared; it reports
+// unknown names by throwing std::invalid_argument (builder misuse is a
+// programming error, not user input).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::xtuml {
+
+class DomainBuilder;
+
+/// Builder scoped to one class; created by DomainBuilder::cls().
+class ClassBuilder {
+public:
+  ClassBuilder(Domain& domain, ClassId id) : domain_(domain), id_(id) {}
+
+  ClassBuilder& attr(std::string name, DataType type,
+                     std::optional<ScalarValue> default_value = {});
+  /// inst_ref attribute pointing at class `ref_class_name`.
+  ClassBuilder& ref_attr(std::string name, std::string ref_class_name);
+  ClassBuilder& event(std::string name, std::vector<Parameter> params = {});
+  ClassBuilder& state(std::string name, std::string action_source = {});
+  ClassBuilder& final_state(std::string name, std::string action_source = {});
+  ClassBuilder& transition(std::string from, std::string event, std::string to);
+  ClassBuilder& initial(std::string state_name);
+  ClassBuilder& on_unexpected(EventFallback fallback);
+
+  ClassId id() const { return id_; }
+
+private:
+  StateId state_id(const std::string& name) const;
+  EventId event_id(const std::string& name) const;
+
+  Domain& domain_;
+  ClassId id_;
+};
+
+/// Builder for a whole Domain.
+class DomainBuilder {
+public:
+  explicit DomainBuilder(std::string name)
+      : domain_(std::make_unique<Domain>(std::move(name))) {}
+
+  ClassBuilder cls(std::string name, std::string key_letters = {});
+
+  /// Re-open an already declared class — lets mutually-referential classes
+  /// be declared first and fleshed out after. Throws on unknown name.
+  ClassBuilder edit(std::string_view name);
+
+  /// Build an inst_ref event parameter referring to class `class_name`
+  /// (which must already be declared).
+  Parameter ref_param(std::string name, std::string_view class_name) const;
+
+  DomainBuilder& assoc(std::string name, std::string class_a, std::string role_a,
+                       Multiplicity mult_a, std::string class_b,
+                       std::string role_b, Multiplicity mult_b);
+
+  Domain& domain() { return *domain_; }
+  /// Relinquish ownership of the built domain.
+  std::unique_ptr<Domain> take() { return std::move(domain_); }
+
+private:
+  std::unique_ptr<Domain> domain_;
+};
+
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,190 @@
+#include "xtsoc/xtuml/model.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xtsoc::xtuml {
+
+const AttributeDef* ClassDef::find_attribute(std::string_view n) const {
+  for (const auto& a : attributes) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+const EventDef* ClassDef::find_event(std::string_view n) const {
+  for (const auto& e : events) {
+    if (e.name == n) return &e;
+  }
+  return nullptr;
+}
+
+const StateDef* ClassDef::find_state(std::string_view n) const {
+  for (const auto& s : states) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+const AttributeDef& ClassDef::attribute(AttributeId aid) const {
+  assert(aid.value() < attributes.size());
+  return attributes[aid.value()];
+}
+
+const EventDef& ClassDef::event(EventId eid) const {
+  assert(eid.value() < events.size());
+  return events[eid.value()];
+}
+
+const StateDef& ClassDef::state(StateId sid) const {
+  assert(sid.value() < states.size());
+  return states[sid.value()];
+}
+
+const TransitionDef* ClassDef::transition_on(StateId from, EventId event) const {
+  for (const auto& t : transitions) {
+    if (t.from == from && t.event == event) return &t;
+  }
+  return nullptr;
+}
+
+const AssociationEnd& AssociationDef::end_for(ClassId cls) const {
+  // For reflexive associations `a` is the canonical end.
+  if (a.cls == cls) return a;
+  assert(b.cls == cls);
+  return b;
+}
+
+const AssociationEnd& AssociationDef::other_end(ClassId cls) const {
+  if (a.cls == cls) return b;
+  assert(b.cls == cls);
+  return a;
+}
+
+ClassId Domain::add_class(std::string name, std::string key_letters) {
+  ClassId id(static_cast<ClassId::underlying_type>(classes_.size()));
+  ClassDef c;
+  c.id = id;
+  // Key letters default to the class name itself: names are unique, so the
+  // default can never collide.
+  if (key_letters.empty()) key_letters = name;
+  c.name = std::move(name);
+  c.key_letters = std::move(key_letters);
+  classes_.push_back(std::move(c));
+  return id;
+}
+
+AttributeId Domain::add_attribute(ClassId cid, std::string name, DataType type,
+                                  std::optional<ScalarValue> default_value,
+                                  ClassId ref_class) {
+  ClassDef& c = cls(cid);
+  AttributeId id(static_cast<AttributeId::underlying_type>(c.attributes.size()));
+  c.attributes.push_back(
+      {id, std::move(name), type, std::move(default_value), ref_class});
+  return id;
+}
+
+EventId Domain::add_event(ClassId cid, std::string name,
+                          std::vector<Parameter> params) {
+  ClassDef& c = cls(cid);
+  EventId id(static_cast<EventId::underlying_type>(c.events.size()));
+  c.events.push_back({id, std::move(name), std::move(params), false});
+  return id;
+}
+
+StateId Domain::add_state(ClassId cid, std::string name,
+                          std::string action_source, bool is_final) {
+  ClassDef& c = cls(cid);
+  StateId id(static_cast<StateId::underlying_type>(c.states.size()));
+  c.states.push_back({id, std::move(name), std::move(action_source), is_final});
+  if (!c.initial_state.is_valid()) c.initial_state = id;
+  return id;
+}
+
+TransitionId Domain::add_transition(ClassId cid, StateId from, EventId event,
+                                    StateId to) {
+  ClassDef& c = cls(cid);
+  TransitionId id(
+      static_cast<TransitionId::underlying_type>(c.transitions.size()));
+  c.transitions.push_back({id, from, event, to});
+  return id;
+}
+
+void Domain::set_initial_state(ClassId cid, StateId state) {
+  cls(cid).initial_state = state;
+}
+
+AssociationId Domain::add_association(std::string name, AssociationEnd a,
+                                      AssociationEnd b) {
+  AssociationId id(static_cast<AssociationId::underlying_type>(assocs_.size()));
+  assocs_.push_back({id, std::move(name), std::move(a), std::move(b)});
+  return id;
+}
+
+const ClassDef& Domain::cls(ClassId id) const {
+  if (!id.is_valid() || id.value() >= classes_.size()) {
+    throw std::out_of_range("Domain::cls: invalid ClassId");
+  }
+  return classes_[id.value()];
+}
+
+ClassDef& Domain::cls(ClassId id) {
+  if (!id.is_valid() || id.value() >= classes_.size()) {
+    throw std::out_of_range("Domain::cls: invalid ClassId");
+  }
+  return classes_[id.value()];
+}
+
+const AssociationDef& Domain::association(AssociationId id) const {
+  if (!id.is_valid() || id.value() >= assocs_.size()) {
+    throw std::out_of_range("Domain::association: invalid AssociationId");
+  }
+  return assocs_[id.value()];
+}
+
+const ClassDef* Domain::find_class(std::string_view name) const {
+  for (const auto& c : classes_) {
+    if (c.name == name || c.key_letters == name) return &c;
+  }
+  return nullptr;
+}
+
+ClassId Domain::find_class_id(std::string_view name) const {
+  const ClassDef* c = find_class(name);
+  return c ? c->id : ClassId::invalid();
+}
+
+const AssociationDef* Domain::find_association(std::string_view name) const {
+  for (const auto& a : assocs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<AssociationId> Domain::associations_of(ClassId cls) const {
+  std::vector<AssociationId> out;
+  for (const auto& a : assocs_) {
+    if (a.touches(cls)) out.push_back(a.id);
+  }
+  return out;
+}
+
+std::size_t Domain::state_count() const {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.states.size();
+  return n;
+}
+
+std::size_t Domain::transition_count() const {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.transitions.size();
+  return n;
+}
+
+std::size_t Domain::event_count() const {
+  std::size_t n = 0;
+  for (const auto& c : classes_) n += c.events.size();
+  return n;
+}
+
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,158 @@
+// The xtUML metamodel: a Domain of classes with concurrently executing state
+// machines that communicate only by signals (paper §2).
+//
+// The metamodel is deliberately *implementation-free*: nothing here says
+// whether a class will become C or VHDL. That decision lives entirely in the
+// marks (src/xtsoc/marks) and the mappings (src/xtsoc/mapping), exactly as
+// the paper prescribes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xtsoc/common/ids.hpp"
+#include "xtsoc/xtuml/types.hpp"
+
+namespace xtsoc::xtuml {
+
+/// A typed attribute of a class.
+struct AttributeDef {
+  AttributeId id;
+  std::string name;
+  DataType type = DataType::kInt;
+  std::optional<ScalarValue> default_value;  ///< zero-of-type when absent
+  /// Class the reference points at when type == kInstRef.
+  ClassId ref_class = ClassId::invalid();
+};
+
+/// A signal (event) a class's state machine can receive. Signals carry
+/// typed parameters; they are the *only* inter-object communication.
+struct EventDef {
+  EventId id;
+  std::string name;
+  std::vector<Parameter> params;
+  /// True for events the instance may send to itself; self-directed events
+  /// outrank external events in the xtUML queueing discipline.
+  bool self_directed_hint = false;
+};
+
+/// One state of a class state machine. `action_source` is the OAL text that
+/// runs to completion on entry (paper §2: "a set of actions that runs to
+/// completion before the next signal is processed").
+struct StateDef {
+  StateId id;
+  std::string name;
+  std::string action_source;
+  bool is_final = false;  ///< entering a final state deletes the instance
+};
+
+/// Transition: in `from`, on receipt of `event`, move to `to` (then run
+/// `to`'s actions). The (from,event) pair must be unique within a class.
+struct TransitionDef {
+  TransitionId id;
+  StateId from;
+  EventId event;
+  StateId to;
+};
+
+/// What a state machine does with an event that has no transition from the
+/// current state. xtUML distinguishes "ignore" from "can't happen".
+enum class EventFallback {
+  kIgnore,      ///< drop silently (event ignored)
+  kCantHappen,  ///< runtime error: the model is wrong
+};
+
+/// A class: attributes plus (optionally) a state machine.
+struct ClassDef {
+  ClassId id;
+  std::string name;
+  std::string key_letters;  ///< short unique abbreviation, e.g. "OVN"
+
+  std::vector<AttributeDef> attributes;
+  std::vector<EventDef> events;
+  std::vector<StateDef> states;
+  std::vector<TransitionDef> transitions;
+  StateId initial_state = StateId::invalid();
+  EventFallback fallback = EventFallback::kIgnore;
+
+  bool has_state_machine() const { return !states.empty(); }
+
+  const AttributeDef* find_attribute(std::string_view name) const;
+  const EventDef* find_event(std::string_view name) const;
+  const StateDef* find_state(std::string_view name) const;
+  const AttributeDef& attribute(AttributeId id) const;
+  const EventDef& event(EventId id) const;
+  const StateDef& state(StateId id) const;
+  /// Transition out of `from` on `event`, or nullptr if none.
+  const TransitionDef* transition_on(StateId from, EventId event) const;
+};
+
+/// One end of a binary association.
+struct AssociationEnd {
+  ClassId cls = ClassId::invalid();
+  std::string role;  ///< phrase naming the other end's perspective
+  Multiplicity mult = Multiplicity::kZeroMany;
+};
+
+/// A binary association, named R<number> in Shlaer-Mellor style.
+struct AssociationDef {
+  AssociationId id;
+  std::string name;  ///< e.g. "R1"
+  AssociationEnd a;
+  AssociationEnd b;
+
+  /// End attached to `cls`; `other_end` gives the opposite end.
+  const AssociationEnd& end_for(ClassId cls) const;
+  const AssociationEnd& other_end(ClassId cls) const;
+  bool touches(ClassId cls) const { return a.cls == cls || b.cls == cls; }
+};
+
+/// A Domain: the unit of modelling, compilation and marking.
+class Domain {
+public:
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+  ClassId add_class(std::string name, std::string key_letters = {});
+  AttributeId add_attribute(ClassId cls, std::string name, DataType type,
+                            std::optional<ScalarValue> default_value = {},
+                            ClassId ref_class = ClassId::invalid());
+  EventId add_event(ClassId cls, std::string name,
+                    std::vector<Parameter> params = {});
+  StateId add_state(ClassId cls, std::string name, std::string action_source,
+                    bool is_final = false);
+  TransitionId add_transition(ClassId cls, StateId from, EventId event,
+                              StateId to);
+  void set_initial_state(ClassId cls, StateId state);
+  AssociationId add_association(std::string name, AssociationEnd a,
+                                AssociationEnd b);
+
+  // --- access -------------------------------------------------------------
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  const std::vector<AssociationDef>& associations() const { return assocs_; }
+  const ClassDef& cls(ClassId id) const;
+  ClassDef& cls(ClassId id);
+  const AssociationDef& association(AssociationId id) const;
+  const ClassDef* find_class(std::string_view name) const;
+  ClassId find_class_id(std::string_view name) const;
+  const AssociationDef* find_association(std::string_view name) const;
+  /// Associations having `cls` at either end.
+  std::vector<AssociationId> associations_of(ClassId cls) const;
+
+  // --- size metrics (used by benchmarks & EXPERIMENTS.md) ------------------
+  std::size_t class_count() const { return classes_.size(); }
+  std::size_t state_count() const;
+  std::size_t transition_count() const;
+  std::size_t event_count() const;
+
+private:
+  std::string name_;
+  std::vector<ClassDef> classes_;
+  std::vector<AssociationDef> assocs_;
+};
+
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,87 @@
+#include "xtsoc/xtuml/types.hpp"
+
+#include <sstream>
+
+namespace xtsoc::xtuml {
+
+const char* to_string(DataType t) {
+  switch (t) {
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kReal:
+      return "real";
+    case DataType::kString:
+      return "string";
+    case DataType::kInstRef:
+      return "inst_ref";
+    case DataType::kVoid:
+      return "void";
+  }
+  return "?";
+}
+
+DataType scalar_type(const ScalarValue& v) {
+  switch (v.index()) {
+    case 0:
+      return DataType::kBool;
+    case 1:
+      return DataType::kInt;
+    case 2:
+      return DataType::kReal;
+    default:
+      return DataType::kString;
+  }
+}
+
+std::string scalar_to_string(const ScalarValue& v) {
+  std::ostringstream os;
+  switch (v.index()) {
+    case 0:
+      os << (std::get<bool>(v) ? "true" : "false");
+      break;
+    case 1:
+      os << std::get<std::int64_t>(v);
+      break;
+    case 2: {
+      os << std::get<double>(v);
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        os << ".0";
+      }
+      break;
+    }
+    default:
+      os << '"' << std::get<std::string>(v) << '"';
+      break;
+  }
+  return os.str();
+}
+
+const char* to_string(Multiplicity m) {
+  switch (m) {
+    case Multiplicity::kOne:
+      return "1";
+    case Multiplicity::kZeroOne:
+      return "0..1";
+    case Multiplicity::kMany:
+      return "1..*";
+    case Multiplicity::kZeroMany:
+      return "*";
+  }
+  return "?";
+}
+
+bool is_many(Multiplicity m) {
+  return m == Multiplicity::kMany || m == Multiplicity::kZeroMany;
+}
+
+bool is_conditional(Multiplicity m) {
+  return m == Multiplicity::kZeroOne || m == Multiplicity::kZeroMany;
+}
+
+}  // namespace xtsoc::xtuml

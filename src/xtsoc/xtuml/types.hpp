@@ -1,0 +1,61 @@
+// Core data types of the Executable UML subset.
+//
+// The paper's xtUML profile restricts attribute and event-parameter types to
+// a small set that maps cleanly onto both C and VHDL. `DataType` is that set;
+// `ScalarValue` holds a compile-time default for an attribute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "xtsoc/common/ids.hpp"
+
+namespace xtsoc::xtuml {
+
+/// Types an attribute, event parameter, or action-language expression can have.
+enum class DataType {
+  kBool,
+  kInt,     ///< signed 64-bit in the abstract semantics; width-mapped later
+  kReal,    ///< IEEE double in the abstract semantics
+  kString,  ///< software-only; a hardware-marked class may not use it
+  kInstRef, ///< reference to an instance of some class
+  kVoid,    ///< statement / no value (type-checker internal)
+};
+
+const char* to_string(DataType t);
+
+/// A literal value usable as an attribute default. InstRef defaults are
+/// always "empty", so they need no representation here.
+using ScalarValue = std::variant<bool, std::int64_t, double, std::string>;
+
+/// The DataType a ScalarValue carries.
+DataType scalar_type(const ScalarValue& v);
+
+/// Render a ScalarValue as action-language literal text.
+std::string scalar_to_string(const ScalarValue& v);
+
+/// A named, typed formal parameter of an event (signal). Parameters of
+/// type kInstRef must declare the class they refer to in `ref_class`
+/// (enforced by model validation) so actions can dereference and signal
+/// through them with full static checking.
+struct Parameter {
+  std::string name;
+  DataType type = DataType::kInt;
+  ClassId ref_class = ClassId::invalid();  ///< required when kInstRef
+
+  friend bool operator==(const Parameter&, const Parameter&) = default;
+};
+
+/// Multiplicity of one association end.
+enum class Multiplicity { kOne, kZeroOne, kMany, kZeroMany };
+
+const char* to_string(Multiplicity m);
+
+/// True if the end may be related to more than one instance.
+bool is_many(Multiplicity m);
+
+/// True if the end may be unrelated (conditional in xtUML terms).
+bool is_conditional(Multiplicity m);
+
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,211 @@
+#include "xtsoc/xtuml/validate.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xtsoc/common/strings.hpp"
+
+namespace xtsoc::xtuml {
+
+namespace {
+
+void check_class_names(const Domain& d, DiagnosticSink& sink) {
+  std::set<std::string> names;
+  std::set<std::string> keys;
+  for (const auto& c : d.classes()) {
+    if (!is_identifier(c.name)) {
+      sink.error("xtuml.class.name",
+                 "class name '" + c.name + "' is not a valid identifier");
+    }
+    if (!names.insert(c.name).second) {
+      sink.error("xtuml.class.duplicate", "duplicate class name '" + c.name + "'");
+    }
+    if (!c.key_letters.empty() && !keys.insert(c.key_letters).second) {
+      sink.error("xtuml.class.keyletters",
+                 "duplicate key letters '" + c.key_letters + "'");
+    }
+  }
+}
+
+void check_attributes(const ClassDef& c, const Domain& d, DiagnosticSink& sink) {
+  std::set<std::string> names;
+  for (const auto& a : c.attributes) {
+    if (!is_identifier(a.name)) {
+      sink.error("xtuml.attr.name", c.name + "." + a.name +
+                                        ": attribute name is not an identifier");
+    }
+    if (!names.insert(a.name).second) {
+      sink.error("xtuml.attr.duplicate",
+                 c.name + ": duplicate attribute '" + a.name + "'");
+    }
+    if (a.type == DataType::kVoid) {
+      sink.error("xtuml.attr.void",
+                 c.name + "." + a.name + ": attribute may not be void");
+    }
+    if (a.type == DataType::kInstRef) {
+      if (!a.ref_class.is_valid() || a.ref_class.value() >= d.class_count()) {
+        sink.error("xtuml.attr.refclass",
+                   c.name + "." + a.name +
+                       ": inst_ref attribute must name an existing class");
+      }
+    }
+    if (a.default_value && a.type != DataType::kInstRef &&
+        scalar_type(*a.default_value) != a.type) {
+      sink.error("xtuml.attr.default",
+                 c.name + "." + a.name + ": default value has type " +
+                     std::string(to_string(scalar_type(*a.default_value))) +
+                     " but attribute is " + to_string(a.type));
+    }
+  }
+}
+
+void check_events(const ClassDef& c, const Domain& d, DiagnosticSink& sink) {
+  std::set<std::string> names;
+  for (const auto& e : c.events) {
+    if (!is_identifier(e.name)) {
+      sink.error("xtuml.event.name",
+                 c.name + ": event name '" + e.name + "' is not an identifier");
+    }
+    if (!names.insert(e.name).second) {
+      sink.error("xtuml.event.duplicate",
+                 c.name + ": duplicate event '" + e.name + "'");
+    }
+    std::set<std::string> pnames;
+    for (const auto& p : e.params) {
+      if (!is_identifier(p.name)) {
+        sink.error("xtuml.event.param", c.name + "." + e.name + ": parameter '" +
+                                            p.name + "' is not an identifier");
+      }
+      if (!pnames.insert(p.name).second) {
+        sink.error("xtuml.event.param.duplicate",
+                   c.name + "." + e.name + ": duplicate parameter '" + p.name +
+                       "'");
+      }
+      if (p.type == DataType::kVoid) {
+        sink.error("xtuml.event.param.void",
+                   c.name + "." + e.name + "." + p.name +
+                       ": parameter may not be void");
+      }
+      if (p.type == DataType::kInstRef &&
+          (!p.ref_class.is_valid() || p.ref_class.value() >= d.class_count())) {
+        sink.error("xtuml.event.param.refclass",
+                   c.name + "." + e.name + "." + p.name +
+                       ": inst_ref parameter must name an existing class");
+      }
+    }
+  }
+}
+
+void check_state_machine(const ClassDef& c, DiagnosticSink& sink) {
+  if (!c.has_state_machine()) {
+    if (!c.transitions.empty()) {
+      sink.error("xtuml.sm.transitions_without_states",
+                 c.name + ": transitions present but no states");
+    }
+    return;
+  }
+
+  std::set<std::string> names;
+  for (const auto& s : c.states) {
+    if (!names.insert(s.name).second) {
+      sink.error("xtuml.state.duplicate",
+                 c.name + ": duplicate state '" + s.name + "'");
+    }
+  }
+
+  if (!c.initial_state.is_valid() ||
+      c.initial_state.value() >= c.states.size()) {
+    sink.error("xtuml.sm.initial", c.name + ": missing or invalid initial state");
+    return;
+  }
+
+  std::set<std::pair<StateId::underlying_type, EventId::underlying_type>> seen;
+  for (const auto& t : c.transitions) {
+    if (t.from.value() >= c.states.size() || t.to.value() >= c.states.size()) {
+      sink.error("xtuml.trans.state",
+                 c.name + ": transition refers to a nonexistent state");
+      continue;
+    }
+    if (t.event.value() >= c.events.size()) {
+      sink.error("xtuml.trans.event",
+                 c.name + ": transition refers to a nonexistent event");
+      continue;
+    }
+    if (c.states[t.from.value()].is_final) {
+      sink.error("xtuml.trans.from_final",
+                 c.name + ": transition out of final state '" +
+                     c.states[t.from.value()].name + "'");
+    }
+    if (!seen.insert({t.from.value(), t.event.value()}).second) {
+      sink.error("xtuml.trans.nondeterministic",
+                 c.name + ": two transitions from state '" +
+                     c.states[t.from.value()].name + "' on event '" +
+                     c.events[t.event.value()].name + "'");
+    }
+  }
+
+  // Reachability from the initial state (warning only: creation in an
+  // arbitrary state is possible via the builder API).
+  std::vector<bool> reached(c.states.size(), false);
+  std::vector<StateId> work{c.initial_state};
+  reached[c.initial_state.value()] = true;
+  while (!work.empty()) {
+    StateId s = work.back();
+    work.pop_back();
+    for (const auto& t : c.transitions) {
+      if (t.from == s && t.to.value() < c.states.size() &&
+          !reached[t.to.value()]) {
+        reached[t.to.value()] = true;
+        work.push_back(t.to);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < c.states.size(); ++i) {
+    if (!reached[i]) {
+      sink.warning("xtuml.state.unreachable",
+                   c.name + ": state '" + c.states[i].name +
+                       "' is unreachable from the initial state");
+    }
+  }
+}
+
+void check_associations(const Domain& d, DiagnosticSink& sink) {
+  std::set<std::string> names;
+  for (const auto& a : d.associations()) {
+    if (!names.insert(a.name).second) {
+      sink.error("xtuml.assoc.duplicate",
+                 "duplicate association name '" + a.name + "'");
+    }
+    for (const AssociationEnd* end : {&a.a, &a.b}) {
+      if (!end->cls.is_valid() || end->cls.value() >= d.class_count()) {
+        sink.error("xtuml.assoc.end",
+                   a.name + ": association end refers to a nonexistent class");
+      }
+    }
+    if (a.a.cls == a.b.cls && a.a.role == a.b.role) {
+      sink.error("xtuml.assoc.reflexive_roles",
+                 a.name + ": reflexive association needs distinct role names");
+    }
+  }
+}
+
+}  // namespace
+
+bool validate(const Domain& d, DiagnosticSink& sink) {
+  const std::size_t before = sink.error_count();
+  if (d.name().empty() || !is_identifier(d.name())) {
+    sink.error("xtuml.domain.name",
+               "domain name '" + d.name() + "' is not a valid identifier");
+  }
+  check_class_names(d, sink);
+  for (const auto& c : d.classes()) {
+    check_attributes(c, d, sink);
+    check_events(c, d, sink);
+    check_state_machine(c, sink);
+  }
+  check_associations(d, sink);
+  return sink.error_count() == before;
+}
+
+}  // namespace xtsoc::xtuml

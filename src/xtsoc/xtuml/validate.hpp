@@ -1,0 +1,17 @@
+// Well-formedness rules for a Domain.
+//
+// Validation runs before compilation or execution; the model compiler
+// refuses ill-formed models. Rules cover naming, referential integrity of
+// states/events/transitions, association ends, and reachability.
+#pragma once
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/xtuml/model.hpp"
+
+namespace xtsoc::xtuml {
+
+/// Check every well-formedness rule; append findings to `sink`.
+/// Returns true iff no *errors* were found (warnings allowed).
+bool validate(const Domain& domain, DiagnosticSink& sink);
+
+}  // namespace xtsoc::xtuml

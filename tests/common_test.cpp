@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "xtsoc/common/diagnostics.hpp"
+#include "xtsoc/common/ids.hpp"
+#include "xtsoc/common/rng.hpp"
+#include "xtsoc/common/strings.hpp"
+
+namespace xtsoc {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  ClassId id;
+  EXPECT_FALSE(id.is_valid());
+  EXPECT_EQ(id, ClassId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  ClassId id(7);
+  EXPECT_TRUE(id.is_valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<ClassId, StateId>);
+  static_assert(!std::is_same_v<EventId, AttributeId>);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(ClassId(1), ClassId(2));
+  EXPECT_FALSE(ClassId(2) < ClassId(2));
+}
+
+TEST(Ids, Hashable) {
+  std::hash<ClassId> h;
+  EXPECT_EQ(h(ClassId(5)), h(ClassId(5)));
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticSink sink;
+  sink.warning("w", "warning");
+  sink.note("n", "note");
+  EXPECT_FALSE(sink.has_errors());
+  sink.error("e", "error");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.all().size(), 3u);
+}
+
+TEST(Diagnostics, ToStringIncludesLocAndCode) {
+  Diagnostic d{Severity::kError, {3, 14}, "x.y", "boom"};
+  std::string s = d.to_string();
+  EXPECT_NE(s.find("3:14"), std::string::npos);
+  EXPECT_NE(s.find("x.y"), std::string::npos);
+  EXPECT_NE(s.find("boom"), std::string::npos);
+}
+
+TEST(Diagnostics, Clear) {
+  DiagnosticSink sink;
+  sink.error("e", "err");
+  sink.clear();
+  EXPECT_FALSE(sink.has_errors());
+  EXPECT_TRUE(sink.all().empty());
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitSinglePiece) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc"));
+  EXPECT_TRUE(is_identifier("_a1"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("1ab"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(Strings, SnakeCase) {
+  EXPECT_EQ(to_snake_case("CamelCase"), "camel_case");
+  EXPECT_EQ(to_snake_case("already_snake"), "already_snake");
+  EXPECT_EQ(to_snake_case("HTTPServer"), "httpserver");
+  EXPECT_EQ(to_upper_snake("PacketFilter"), "PACKET_FILTER");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, Indent) {
+  EXPECT_EQ(indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(indent("a\n\nb", 2), "  a\n\n  b");  // blank lines stay blank
+}
+
+TEST(Strings, CountLines) {
+  EXPECT_EQ(count_lines(""), 0u);
+  EXPECT_EQ(count_lines("a"), 1u);
+  EXPECT_EQ(count_lines("a\n"), 1u);
+  EXPECT_EQ(count_lines("a\nb"), 2u);
+  EXPECT_EQ(count_lines("a\nb\n"), 2u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xtsoc

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include "test_models.hpp"
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/cosim/codec.hpp"
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/hwsim/vcd.hpp"
+
+namespace xtsoc::cosim {
+namespace {
+
+using runtime::InstanceHandle;
+using runtime::Value;
+using testing::MappedFixture;
+using testing::make_pipeline_domain;
+using xtuml::ScalarValue;
+
+marks::MarkSet hw_consumer_marks(int bus_latency = 2) {
+  marks::MarkSet m;
+  m.mark_hardware("Consumer");
+  m.set_domain_mark(marks::kBusLatency,
+                    ScalarValue(static_cast<std::int64_t>(bus_latency)));
+  return m;
+}
+
+// --- bus ----------------------------------------------------------------------
+
+TEST(Bus, HandshakeRejectsMismatch) {
+  Bus bus(1);
+  EXPECT_THROW(bus.connect("aaaa", "bbbb"), InterfaceMismatch);
+  EXPECT_FALSE(bus.connected());
+  bus.connect("aaaa", "aaaa");
+  EXPECT_TRUE(bus.connected());
+}
+
+TEST(Bus, UseBeforeConnectRejected) {
+  Bus bus(1);
+  EXPECT_THROW(bus.push_to_hw(Frame{}, 0), InterfaceMismatch);
+}
+
+TEST(Bus, LatencyDelaysDelivery) {
+  Bus bus(3);
+  bus.connect("x", "x");
+  bus.push_to_hw(Frame{7, {1, 2}, 0}, /*current_cycle=*/10);
+  EXPECT_TRUE(bus.pop_due_to_hw(12).empty());
+  auto due = bus.pop_due_to_hw(13);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].opcode, 7u);
+  EXPECT_TRUE(bus.empty());
+}
+
+TEST(Bus, ExtraDelayAddsToLatency) {
+  Bus bus(1);
+  bus.connect("x", "x");
+  bus.push_to_sw(Frame{1, {}, 0}, 0, /*extra_delay=*/5);
+  EXPECT_TRUE(bus.pop_due_to_sw(5).empty());
+  EXPECT_EQ(bus.pop_due_to_sw(6).size(), 1u);
+}
+
+TEST(Bus, OrderPreservedAmongDue) {
+  Bus bus(0);
+  bus.connect("x", "x");
+  bus.push_to_hw(Frame{1, {}, 0}, 0);
+  bus.push_to_hw(Frame{2, {}, 0}, 0);
+  auto due = bus.pop_due_to_hw(0);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].opcode, 1u);
+  EXPECT_EQ(due[1].opcode, 2u);
+}
+
+TEST(Bus, StatsCountFramesAndBytes) {
+  Bus bus(0);
+  bus.connect("x", "x");
+  bus.push_to_hw(Frame{1, {1, 2, 3}, 0}, 0);
+  bus.push_to_sw(Frame{2, {9}, 0}, 0);
+  EXPECT_EQ(bus.stats().frames_to_hw, 1u);
+  EXPECT_EQ(bus.stats().bytes_to_hw, 3u);
+  EXPECT_EQ(bus.stats().frames_to_sw, 1u);
+  EXPECT_EQ(bus.stats().bytes_to_sw, 1u);
+}
+
+// --- end-to-end partitioned execution -------------------------------------------
+
+struct PipelineCosim {
+  MappedFixture fx;
+  CoSimulation cosim;
+  InstanceHandle consumer;
+  InstanceHandle producer;
+
+  explicit PipelineCosim(marks::MarkSet m, CoSimConfig cfg = {})
+      : fx(make_pipeline_domain(), std::move(m)), cosim(*fx.system, cfg) {
+    consumer = cosim.create("Consumer");
+    producer = cosim.create_with("Producer", {{"sink", Value(consumer)}});
+  }
+
+  std::int64_t attr(const InstanceHandle& h, const char* cls,
+                    const char* name) {
+    const auto* a = fx.domain->find_class(cls)->find_attribute(name);
+    return std::get<std::int64_t>(
+        cosim.executor_of(h.cls).database().get_attr(h, a->id));
+  }
+};
+
+TEST(CoSim, CrossBoundaryRoundTrip) {
+  PipelineCosim p(hw_consumer_marks());
+  p.cosim.inject(p.producer, "kick");
+  std::uint64_t cycles = p.cosim.run();
+  EXPECT_TRUE(p.cosim.quiescent());
+  EXPECT_GT(cycles, 0u);
+
+  // Producer sent one unit of work; Consumer accumulated it in hardware and
+  // acked back across the bus.
+  EXPECT_EQ(p.attr(p.producer, "Producer", "sent"), 1);
+  EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 1);
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+}
+
+TEST(CoSim, RepeatedKicksAccumulate) {
+  PipelineCosim p(hw_consumer_marks());
+  for (int i = 0; i < 5; ++i) {
+    p.cosim.inject(p.producer, "kick");
+    p.cosim.run();
+  }
+  EXPECT_EQ(p.attr(p.producer, "Producer", "sent"), 5);
+  EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 5);
+  // total = 1+2+3+4+5
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 15);
+}
+
+TEST(CoSim, BusLatencyAffectsCompletionTime) {
+  PipelineCosim fast(hw_consumer_marks(1));
+  PipelineCosim slow(hw_consumer_marks(50));
+  fast.cosim.inject(fast.producer, "kick");
+  slow.cosim.inject(slow.producer, "kick");
+  std::uint64_t fast_cycles = fast.cosim.run();
+  std::uint64_t slow_cycles = slow.cosim.run();
+  EXPECT_LT(fast_cycles, slow_cycles);
+  // Same functional result either way.
+  EXPECT_EQ(fast.attr(fast.consumer, "Consumer", "total"),
+            slow.attr(slow.consumer, "Consumer", "total"));
+}
+
+TEST(CoSim, ForgedDigestDetectedAtConnect) {
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks());
+  CoSimConfig cfg;
+  cfg.forged_sw_digest = "deadbeef";
+  EXPECT_THROW(CoSimulation(*fx.system, cfg), InterfaceMismatch);
+}
+
+TEST(CoSim, PureSoftwareSystemRuns) {
+  marks::MarkSet none;
+  PipelineCosim p(std::move(none));
+  p.cosim.inject(p.producer, "kick");
+  p.cosim.run();
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+  EXPECT_EQ(p.cosim.bus().stats().frames_to_hw, 0u);
+  EXPECT_EQ(p.cosim.bus().stats().frames_to_sw, 0u);
+}
+
+TEST(CoSim, AllHardwareSystemRuns) {
+  marks::MarkSet m;
+  m.mark_hardware("Consumer");
+  m.mark_hardware("Producer");
+  PipelineCosim p(std::move(m));
+  p.cosim.inject(p.producer, "kick");
+  p.cosim.run();
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+  // Everything stayed inside the fabric.
+  EXPECT_EQ(p.cosim.bus().stats().frames_to_hw, 0u);
+  EXPECT_EQ(p.cosim.bus().stats().frames_to_sw, 0u);
+  EXPECT_GT(p.cosim.hw_executor().dispatch_count(), 0u);
+  EXPECT_EQ(p.cosim.sw_executor().dispatch_count(), 0u);
+}
+
+TEST(CoSim, RepartitionByMovingOneMark) {
+  // The paper's §4 workflow end-to-end: identical model, flip one mark,
+  // identical functional outcome, different placement.
+  auto run_with = [](marks::MarkSet m) {
+    PipelineCosim p(std::move(m));
+    p.cosim.inject(p.producer, "kick");
+    p.cosim.run();
+    return std::tuple(p.attr(p.consumer, "Consumer", "total"),
+                      p.cosim.hw_executor().dispatch_count(),
+                      p.cosim.sw_executor().dispatch_count());
+  };
+
+  auto [total_hw, hwd1, swd1] = run_with(hw_consumer_marks());
+  marks::MarkSet sw_only;
+  auto [total_sw, hwd2, swd2] = run_with(std::move(sw_only));
+
+  EXPECT_EQ(total_hw, total_sw);        // same behaviour
+  EXPECT_GT(hwd1, 0u);                  // consumer ran in hardware...
+  EXPECT_EQ(hwd2, 0u);                  // ...then ran in software
+  EXPECT_GT(swd2, swd1);
+}
+
+TEST(CoSim, DelayedSignalCrossesBoundaryLate) {
+  PipelineCosim p(hw_consumer_marks(1));
+  // Deliver the kick to the (software) producer after 10 cycles.
+  p.cosim.inject(p.producer, "kick", {}, /*delay=*/10);
+  std::uint64_t cycles = p.cosim.run();
+  EXPECT_GE(cycles, 10u);
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+}
+
+TEST(CoSim, HardwareConsumesOneEventPerInstancePerCycle) {
+  // Two kicks to the same producer: each round trip is serialized through
+  // the single Consumer instance, so hardware dispatches happen on distinct
+  // cycles. With N back-to-back work items for ONE hw instance, hw needs >=
+  // N cycles.
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(0));
+  CoSimConfig cfg;
+  cfg.sw_steps_per_cycle = 100;  // software is "infinitely" fast
+  CoSimulation cosim(*fx.system, cfg);
+  auto consumer = cosim.create("Consumer");
+  // Three producers all target the same consumer.
+  std::vector<InstanceHandle> producers;
+  for (int i = 0; i < 3; ++i) {
+    producers.push_back(
+        cosim.create_with("Producer", {{"sink", Value(consumer)}}));
+  }
+  for (auto& pr : producers) cosim.inject(pr, "kick");
+  cosim.run();
+  // The lone consumer instance processed 3 work signals, one per cycle:
+  // at least 3 hardware cycles must have elapsed.
+  EXPECT_EQ(cosim.hw_executor().dispatch_count(), 3u);
+  EXPECT_GE(cosim.cycles(), 3u);
+}
+
+TEST(CoSim, ClockDomainDividerSlowsClass) {
+  // The same system with the Consumer in a /8 clock domain takes longer to
+  // drain but computes the same answers.
+  auto run_with_divider = [](std::int64_t divider) {
+    marks::MarkSet m = hw_consumer_marks(1);
+    if (divider > 1) {
+      m.set_class_mark("Consumer", marks::kClockDomain, ScalarValue(divider));
+    }
+    PipelineCosim p(std::move(m));
+    for (int i = 0; i < 3; ++i) {
+      p.cosim.inject(p.producer, "kick");
+      p.cosim.run();
+    }
+    return std::pair(p.cosim.cycles(),
+                     p.attr(p.consumer, "Consumer", "total"));
+  };
+  auto [fast_cycles, fast_total] = run_with_divider(1);
+  auto [slow_cycles, slow_total] = run_with_divider(8);
+  EXPECT_EQ(fast_total, slow_total);
+  EXPECT_LT(fast_cycles, slow_cycles);
+}
+
+TEST(CoSim, ClockDomainPreservesConformance) {
+  marks::MarkSet m = hw_consumer_marks(2);
+  m.set_class_mark("Consumer", marks::kClockDomain,
+                   ScalarValue(std::int64_t{4}));
+  PipelineCosim p(std::move(m));
+  p.cosim.inject(p.producer, "kick");
+  std::uint64_t cycles = p.cosim.run();
+  EXPECT_TRUE(p.cosim.quiescent());
+  EXPECT_GE(cycles, 4u);
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+  EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 1);
+}
+
+TEST(CoSim, BytecodeEngineProducesSameResults) {
+  CoSimConfig vm_cfg;
+  vm_cfg.engine = runtime::ActionEngine::kBytecode;
+  PipelineCosim ast(hw_consumer_marks());
+  PipelineCosim vm(hw_consumer_marks(), vm_cfg);
+  for (auto* p : {&ast, &vm}) {
+    for (int i = 0; i < 3; ++i) {
+      p->cosim.inject(p->producer, "kick");
+      p->cosim.run();
+    }
+  }
+  EXPECT_EQ(ast.attr(ast.consumer, "Consumer", "total"),
+            vm.attr(vm.consumer, "Consumer", "total"));
+  EXPECT_EQ(ast.cosim.cycles(), vm.cosim.cycles());
+  EXPECT_EQ(ast.cosim.hw_executor().trace().to_string(),
+            vm.cosim.hw_executor().trace().to_string());
+}
+
+TEST(CoSim, ActivityWiresAndWaveformCapture) {
+  PipelineCosim p(hw_consumer_marks(1));
+  ClassId consumer_cls = p.fx.domain->find_class_id("Consumer");
+  HwSignalId alive = p.cosim.hw_domain().alive_wire(consumer_cls);
+  HwSignalId busy = p.cosim.hw_domain().busy_wire(consumer_cls);
+  ASSERT_TRUE(alive.is_valid());
+  ASSERT_TRUE(busy.is_valid());
+
+  hwsim::VcdWriter vcd(p.cosim.hw_sim(), {alive, busy});
+  p.cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+
+  p.cosim.inject(p.producer, "kick");
+  p.cosim.run();
+
+  // One consumer instance alive; it was busy at some cycle.
+  EXPECT_EQ(p.cosim.hw_sim().read(alive), 1u);
+  std::string waveform = vcd.render();
+  EXPECT_NE(waveform.find("hw.Consumer.alive"), std::string::npos);
+  EXPECT_NE(waveform.find("hw.Consumer.busy"), std::string::npos);
+  // The busy wire pulsed: both a rise to 1 and a fall to 0 appear.
+  EXPECT_NE(waveform.find("1\""), std::string::npos);
+  EXPECT_GT(vcd.change_count(), 2u);
+}
+
+TEST(CoSim, HardwarePoolCapacityEnforced) {
+  marks::MarkSet m = hw_consumer_marks();
+  m.set_class_mark("Consumer", marks::kMaxInstances,
+                   ScalarValue(std::int64_t{2}));
+  MappedFixture fx(make_pipeline_domain(), std::move(m));
+  CoSimulation cosim(*fx.system);
+  cosim.create("Consumer");
+  cosim.create("Consumer");
+  EXPECT_THROW(cosim.create("Consumer"), runtime::ModelError);
+  // Software classes are heap-backed: no such cap.
+  for (int i = 0; i < 10; ++i) cosim.create("Producer");
+}
+
+TEST(CoSim, HardwareActionCanSpawnIntoOwnPool) {
+  // A hardware class whose action creates more instances of itself: legal
+  // (same-partition data access) and runs inside the fabric.
+  xtuml::DomainBuilder b("Spawn");
+  b.cls("Cell")
+      .attr("generation", xtuml::DataType::kInt)
+      .event("divide")
+      .state("Idle")
+      .state("Dividing",
+             "create object instance child of Cell;\n"
+             "child.generation = self.generation + 1;")
+      .transition("Idle", "divide", "Dividing")
+      .transition("Dividing", "divide", "Dividing");
+  marks::MarkSet m;
+  m.mark_hardware("Cell");
+  MappedFixture fx(b.take(), std::move(m));
+  CoSimulation cosim(*fx.system);
+  auto seed = cosim.create("Cell");
+  for (int i = 0; i < 3; ++i) cosim.inject(seed, "divide");
+  cosim.run();
+  EXPECT_EQ(cosim.hw_executor().database().live_count(
+                fx.domain->find_class_id("Cell")),
+            4u);
+}
+
+TEST(CoSim, UnknownClassOrEventThrows) {
+  PipelineCosim p(hw_consumer_marks());
+  EXPECT_THROW(p.cosim.create("Nope"), runtime::ModelError);
+  EXPECT_THROW(p.cosim.inject(p.producer, "nope"), runtime::ModelError);
+}
+
+TEST(CoSim, TracesLandInOwningPartition) {
+  PipelineCosim p(hw_consumer_marks());
+  p.cosim.inject(p.producer, "kick");
+  p.cosim.run();
+  // Consumer's dispatches are recorded in the hardware trace only.
+  auto hw_proj = p.cosim.hw_executor().trace().projection(p.consumer);
+  auto sw_proj = p.cosim.sw_executor().trace().projection(p.producer);
+  bool hw_has_dispatch = false;
+  for (const auto& e : hw_proj) {
+    if (e.kind == runtime::TraceKind::kDispatch) hw_has_dispatch = true;
+  }
+  bool sw_has_dispatch = false;
+  for (const auto& e : sw_proj) {
+    if (e.kind == runtime::TraceKind::kDispatch) sw_has_dispatch = true;
+  }
+  EXPECT_TRUE(hw_has_dispatch);
+  EXPECT_TRUE(sw_has_dispatch);
+}
+
+// Property sweep: functional results are identical across bus latencies and
+// software speed ratios (performance changes, function does not).
+class CosimParamSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CosimParamSweep, FunctionInvariantUnderTimingParams) {
+  auto [latency, sw_steps] = GetParam();
+  CoSimConfig cfg;
+  cfg.sw_steps_per_cycle = sw_steps;
+  PipelineCosim p(hw_consumer_marks(latency), cfg);
+  for (int i = 0; i < 3; ++i) {
+    p.cosim.inject(p.producer, "kick");
+    p.cosim.run();
+  }
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 6);  // 1+2+3
+  EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(LatencyAndSpeed, CosimParamSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 4, 16),
+                                            ::testing::Values(1, 4, 32)));
+
+// --- codec ---------------------------------------------------------------------
+
+TEST(Codec, UnknownMessageRejected) {
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks());
+  runtime::EventMessage m;
+  m.target = InstanceHandle{fx.domain->find_class_id("Consumer"), 0, 0};
+  m.event = EventId(99);
+  EXPECT_THROW(encode_message(fx.system->interface(), m), InterfaceMismatch);
+
+  Frame f;
+  f.opcode = 1234;
+  EXPECT_THROW(decode_frame(fx.system->interface(), f), InterfaceMismatch);
+}
+
+TEST(Codec, MessageRoundTrip) {
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks());
+  ClassId consumer = fx.domain->find_class_id("Consumer");
+  runtime::EventMessage m;
+  m.target = InstanceHandle{consumer, 2, 0};
+  m.event = fx.domain->cls(consumer).find_event("work")->id;
+  m.args = {Value(std::int64_t{41}), Value(0.5),
+            Value(InstanceHandle{fx.domain->find_class_id("Producer"), 1, 0})};
+  Frame f = encode_message(fx.system->interface(), m);
+  runtime::EventMessage back = decode_frame(fx.system->interface(), f);
+  EXPECT_EQ(back.target, m.target);
+  EXPECT_EQ(back.event, m.event);
+  ASSERT_EQ(back.args.size(), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(back.args[0]), 41);
+  EXPECT_DOUBLE_EQ(std::get<double>(back.args[1]), 0.5);
+  EXPECT_TRUE(back.sender.is_null());
+}
+
+}  // namespace
+}  // namespace xtsoc::cosim

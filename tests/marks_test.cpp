@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "xtsoc/marks/marks.hpp"
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::marks {
+namespace {
+
+using xtuml::DataType;
+using xtuml::Domain;
+using xtuml::DomainBuilder;
+using xtuml::ScalarValue;
+
+Domain make_domain() {
+  DomainBuilder b("Soc");
+  b.cls("Compressor", "CMP").attr("ratio", DataType::kInt);
+  b.cls("Controller", "CTL").attr("mode", DataType::kInt);
+  return std::move(*b.take());
+}
+
+TEST(MarkSet, UnmarkedClassIsSoftware) {
+  MarkSet m;
+  EXPECT_EQ(m.target_of("Compressor"), Target::kSoftware);
+  EXPECT_FALSE(m.is_hardware("Compressor"));
+}
+
+TEST(MarkSet, IsHardwareMarkFlipsTarget) {
+  MarkSet m;
+  m.mark_hardware("Compressor");
+  EXPECT_EQ(m.target_of("Compressor"), Target::kHardware);
+  m.mark_hardware("Compressor", false);
+  EXPECT_EQ(m.target_of("Compressor"), Target::kSoftware);
+}
+
+TEST(MarkSet, MarksDoNotPolluteTheModel) {
+  // The model and the marks are separate artifacts: marking a class does
+  // not modify the Domain in any way (the paper's "sticky notes" property).
+  Domain d = make_domain();
+  MarkSet m;
+  m.mark_hardware("Compressor");
+  EXPECT_EQ(d.find_class("Compressor")->attributes.size(), 1u);
+  // Nothing in ClassDef knows about marks — this is a compile-time property
+  // of the types, asserted here for documentation.
+}
+
+TEST(MarkSet, ClassAndDomainScopesSeparate) {
+  MarkSet m;
+  m.set_domain_mark(kBusLatency, ScalarValue(std::int64_t{7}));
+  m.set_class_mark("A", kClockDomain, ScalarValue(std::int64_t{2}));
+  EXPECT_EQ(m.domain_mark_int(kBusLatency, 0), 7);
+  EXPECT_EQ(m.class_mark_int("A", kClockDomain, 0), 2);
+  EXPECT_FALSE(m.class_mark("A", kBusLatency).has_value());
+  EXPECT_FALSE(m.domain_mark(kClockDomain).has_value());
+}
+
+TEST(MarkSet, IntFallbacks) {
+  MarkSet m;
+  EXPECT_EQ(m.class_mark_int("A", kIntWidth, 32), 32);
+  m.set_class_mark("A", kIntWidth, ScalarValue(std::int64_t{16}));
+  EXPECT_EQ(m.class_mark_int("A", kIntWidth, 32), 16);
+  // wrong type -> fallback
+  m.set_class_mark("B", kIntWidth, ScalarValue(true));
+  EXPECT_EQ(m.class_mark_int("B", kIntWidth, 32), 32);
+}
+
+TEST(MarkSet, ClearMark) {
+  MarkSet m;
+  m.mark_hardware("A");
+  EXPECT_EQ(m.mark_count(), 1u);
+  m.clear_class_mark("A", kIsHardware);
+  EXPECT_EQ(m.mark_count(), 0u);
+  EXPECT_FALSE(m.is_hardware("A"));
+}
+
+TEST(MarkDiff, RepartitionIsOneChange) {
+  // The paper's headline: "Changing the partition is a matter of changing
+  // the placement of the marks."
+  MarkSet before;
+  before.mark_hardware("Compressor");
+  before.set_class_mark("Compressor", kClockDomain, ScalarValue(std::int64_t{1}));
+
+  MarkSet after = before;
+  after.mark_hardware("Compressor", false);  // move to software
+
+  MarkDiff d = MarkSet::diff(before, after);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.changes[0].element, "Compressor");
+  EXPECT_EQ(d.changes[0].key, kIsHardware);
+  EXPECT_EQ(std::get<bool>(*d.changes[0].before), true);
+  EXPECT_EQ(std::get<bool>(*d.changes[0].after), false);
+}
+
+TEST(MarkDiff, AddAndRemove) {
+  MarkSet a, b;
+  a.set_class_mark("X", kPriority, ScalarValue(std::int64_t{1}));
+  b.set_class_mark("Y", kPriority, ScalarValue(std::int64_t{2}));
+  MarkDiff d = MarkSet::diff(a, b);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.changes[0].after.has_value());  // X removed
+  EXPECT_FALSE(d.changes[1].before.has_value()); // Y added
+}
+
+TEST(MarkDiff, IdenticalSetsEmptyDiff) {
+  MarkSet a;
+  a.mark_hardware("A");
+  EXPECT_TRUE(MarkSet::diff(a, a).empty());
+}
+
+TEST(MarkSet, TextRoundTrip) {
+  MarkSet m;
+  m.mark_hardware("Compressor");
+  m.set_class_mark("Compressor", kClockDomain, ScalarValue(std::int64_t{1}));
+  m.set_class_mark("Controller", kPriority, ScalarValue(std::int64_t{3}));
+  m.set_domain_mark(kBusLatency, ScalarValue(std::int64_t{8}));
+
+  std::string text = m.to_text();
+  DiagnosticSink sink;
+  MarkSet back = MarkSet::from_text(text, sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  EXPECT_EQ(back, m);
+}
+
+TEST(MarkSet, FromTextParsesKindsAndComments) {
+  DiagnosticSink sink;
+  MarkSet m = MarkSet::from_text(
+      "# partition file\n"
+      "Compressor.isHardware = true\n"
+      "domain.busLatency = 12\n"
+      "Compressor.label = \"fast path\"\n"
+      "Compressor.gain = 1.5\n"
+      "\n",
+      sink);
+  EXPECT_FALSE(sink.has_errors()) << sink.to_string();
+  EXPECT_TRUE(m.is_hardware("Compressor"));
+  EXPECT_EQ(m.domain_mark_int(kBusLatency, 0), 12);
+  EXPECT_EQ(std::get<std::string>(*m.class_mark("Compressor", "label")),
+            "fast path");
+  EXPECT_DOUBLE_EQ(std::get<double>(*m.class_mark("Compressor", "gain")), 1.5);
+}
+
+TEST(MarkSet, FromTextReportsBadLines) {
+  DiagnosticSink sink;
+  MarkSet::from_text("no equals sign\n", sink);
+  EXPECT_TRUE(sink.has_errors());
+  sink.clear();
+  MarkSet::from_text("noDot = 3\n", sink);
+  EXPECT_TRUE(sink.has_errors());
+  sink.clear();
+  MarkSet::from_text("A.k = notavalue\n", sink);
+  EXPECT_TRUE(sink.has_errors());
+  sink.clear();
+  MarkSet::from_text("A.k = \"unterminated\n", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Validate, AcceptsGoodMarks) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.mark_hardware("Compressor");
+  m.set_class_mark("Compressor", kClockDomain, ScalarValue(std::int64_t{0}));
+  m.set_domain_mark(kBusLatency, ScalarValue(std::int64_t{4}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, UnknownClassRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.mark_hardware("Nope");
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+}
+
+TEST(Validate, WrongTypeRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", kIsHardware, ScalarValue(std::int64_t{1}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+}
+
+TEST(Validate, WrongScopeRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_domain_mark(kIsHardware, ScalarValue(true));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+
+  sink.clear();
+  MarkSet m2;
+  m2.set_class_mark("Compressor", kBusLatency, ScalarValue(std::int64_t{1}));
+  EXPECT_FALSE(m2.validate(d, sink));
+}
+
+TEST(Validate, IntWidthRange) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", kIntWidth, ScalarValue(std::int64_t{65}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  sink.clear();
+  MarkSet m2;
+  m2.set_class_mark("Compressor", kIntWidth, ScalarValue(std::int64_t{0}));
+  EXPECT_FALSE(m2.validate(d, sink));
+  sink.clear();
+  MarkSet m3;
+  m3.set_class_mark("Compressor", kIntWidth, ScalarValue(std::int64_t{16}));
+  EXPECT_TRUE(m3.validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, NearMissKeyWarns) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", "ishardware", ScalarValue(true));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink));  // warning, not error
+  EXPECT_NE(sink.to_string().find("near_miss"), std::string::npos);
+}
+
+TEST(Validate, UnknownKeyAllowed) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", "customVendorHint", ScalarValue(std::int64_t{9}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+  EXPECT_TRUE(sink.all().empty());
+}
+
+}  // namespace
+}  // namespace xtsoc::marks

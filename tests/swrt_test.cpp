@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xtsoc/swrt/mailbox.hpp"
+#include "xtsoc/swrt/scheduler.hpp"
+
+namespace xtsoc::swrt {
+namespace {
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox<int> mb;
+  mb.push(1);
+  mb.push(2);
+  mb.push(3);
+  EXPECT_EQ(mb.size(), 3u);
+  EXPECT_EQ(*mb.pop(), 1);
+  EXPECT_EQ(*mb.pop(), 2);
+  EXPECT_EQ(*mb.pop(), 3);
+  EXPECT_FALSE(mb.pop().has_value());
+}
+
+TEST(Mailbox, CapacityAndDropAccounting) {
+  Mailbox<int> mb(2);
+  EXPECT_TRUE(mb.push(1));
+  EXPECT_TRUE(mb.push(2));
+  EXPECT_FALSE(mb.push(3));  // full: rejected, counted
+  EXPECT_EQ(mb.size(), 2u);
+  EXPECT_EQ(mb.pushed(), 2u);
+  EXPECT_EQ(mb.dropped(), 1u);
+}
+
+TEST(Mailbox, OnPushHookFires) {
+  Mailbox<int> mb;
+  int wakeups = 0;
+  mb.set_on_push([&wakeups] { ++wakeups; });
+  mb.push(1);
+  mb.push(2);
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(Scheduler, RunsUntilTaskReportsNoWork) {
+  Scheduler sched;
+  int budget = 3;
+  sched.spawn("worker", 0, [&budget] { return budget-- > 0; });
+  std::size_t steps = sched.run_until_idle();
+  // 3 productive steps + 1 step observing "no work".
+  EXPECT_EQ(steps, 4u);
+  EXPECT_TRUE(sched.idle());
+}
+
+TEST(Scheduler, PriorityWins) {
+  Scheduler sched;
+  std::string order;
+  int lo_work = 2, hi_work = 2;
+  sched.spawn("lo", 1, [&] {
+    if (lo_work == 0) return false;
+    --lo_work;
+    order += 'l';
+    return true;
+  });
+  sched.spawn("hi", 9, [&] {
+    if (hi_work == 0) return false;
+    --hi_work;
+    order += 'h';
+    return true;
+  });
+  sched.run_until_idle();
+  EXPECT_EQ(order, "hhll");
+}
+
+TEST(Scheduler, TieBreaksByCreationOrder) {
+  Scheduler sched;
+  std::string order;
+  bool a_done = false, b_done = false;
+  sched.spawn("a", 5, [&] {
+    if (a_done) return false;
+    a_done = true;
+    order += 'a';
+    return true;
+  });
+  sched.spawn("b", 5, [&] {
+    if (b_done) return false;
+    b_done = true;
+    order += 'b';
+    return true;
+  });
+  sched.run_until_idle();
+  EXPECT_EQ(order.substr(0, 2), "ab");
+}
+
+TEST(Scheduler, NotifyWakesParkedTask) {
+  Scheduler sched;
+  Mailbox<int> mb;
+  int consumed = 0;
+  TaskId worker = sched.spawn("consumer", 0, [&] {
+    auto item = mb.pop();
+    if (!item) return false;
+    ++consumed;
+    return true;
+  });
+  mb.set_on_push([&sched, worker] { sched.notify(worker); });
+
+  sched.run_until_idle();
+  EXPECT_EQ(consumed, 0);
+  EXPECT_TRUE(sched.idle());
+
+  mb.push(42);
+  EXPECT_FALSE(sched.idle());
+  sched.run_until_idle();
+  EXPECT_EQ(consumed, 1);
+}
+
+TEST(Scheduler, StepAccounting) {
+  Scheduler sched;
+  int n = 5;
+  TaskId t = sched.spawn("w", 0, [&n] { return n-- > 0; });
+  sched.run_until_idle();
+  EXPECT_EQ(sched.steps_of(t), 6u);
+  EXPECT_EQ(sched.total_steps(), 6u);
+  EXPECT_EQ(sched.name_of(t), "w");
+}
+
+TEST(Scheduler, MaxStepsBoundRespected) {
+  Scheduler sched;
+  sched.spawn("infinite", 0, [] { return true; });
+  EXPECT_EQ(sched.run_until_idle(10), 10u);
+  EXPECT_FALSE(sched.idle());
+}
+
+TEST(Scheduler, InvalidTaskIdThrows) {
+  Scheduler sched;
+  EXPECT_THROW(sched.notify(TaskId(3)), std::out_of_range);
+  EXPECT_THROW(sched.steps_of(TaskId::invalid()), std::out_of_range);
+}
+
+TEST(Scheduler, RunOneReturnsFalseWhenEmpty) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.run_one());
+  EXPECT_TRUE(sched.idle());
+}
+
+}  // namespace
+}  // namespace xtsoc::swrt

@@ -1,0 +1,66 @@
+// Shared model-building helpers for tests and benchmarks.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "xtsoc/marks/marks.hpp"
+#include "xtsoc/oal/compiled.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::testing {
+
+/// Producer -> Consumer pipeline with a cross-class reply. Producer counts
+/// kicks; Consumer accumulates units and replies done(ok). The `who`
+/// parameter carries an instance reference across the (potential) boundary.
+inline std::unique_ptr<xtuml::Domain> make_pipeline_domain() {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Pipe");
+  b.cls("Consumer", "CNS");
+  b.cls("Producer", "PRD");
+  b.edit("Consumer")
+      .attr("total", DataType::kInt)
+      .event("work", {{"units", DataType::kInt},
+                      {"scale", DataType::kReal},
+                      b.ref_param("who", "Producer")})
+      .state("Ready",
+             "self.total = self.total + param.units;\n"
+             "generate done(ok: true) to param.who;")
+      .transition("Ready", "work", "Ready");
+  b.edit("Producer")
+      .attr("sent", DataType::kInt)
+      .attr("acks", DataType::kInt)
+      .ref_attr("sink", "Consumer")
+      .event("kick")
+      .event("done", {{"ok", DataType::kBool}})
+      .state("Idle")
+      .state("Sending",
+             "self.sent = self.sent + 1;\n"
+             "generate work(units: self.sent, scale: 1.5, who: self) to "
+             "self.sink;")
+      .state("Waiting", "self.acks = self.acks + 1;")
+      .transition("Idle", "kick", "Sending")
+      .transition("Sending", "done", "Waiting")
+      .transition("Waiting", "kick", "Sending");
+  return b.take();
+}
+
+/// A compiled model plus its mapped system for a given mark set.
+struct MappedFixture {
+  std::unique_ptr<xtuml::Domain> domain;
+  std::unique_ptr<oal::CompiledDomain> compiled;
+  marks::MarkSet marks;
+  std::unique_ptr<mapping::MappedSystem> system;
+
+  MappedFixture(std::unique_ptr<xtuml::Domain> d, marks::MarkSet m)
+      : domain(std::move(d)), marks(std::move(m)) {
+    DiagnosticSink sink;
+    compiled = oal::compile_domain(*domain, sink);
+    if (!compiled) throw std::runtime_error("compile: " + sink.to_string());
+    system = mapping::map_system(*compiled, marks, sink);
+    if (!system) throw std::runtime_error("map: " + sink.to_string());
+  }
+};
+
+}  // namespace xtsoc::testing

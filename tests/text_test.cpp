@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "xtsoc/oal/compiled.hpp"
+#include "xtsoc/text/xtm.hpp"
+#include "xtsoc/xtuml/validate.hpp"
+
+namespace xtsoc::text {
+namespace {
+
+constexpr const char* kTrafficXtm = R"(
+# A traffic-light intersection controller.
+domain Traffic
+
+class Controller key CTL
+  attr cycles : int = 0
+  event tick()
+  state Running {
+    self.cycles = self.cycles + 1;
+    select many ls related by self->Light[R1];
+    for each l in ls
+      generate advance() to l;
+    end for;
+    generate tick() to self delay 10;
+  }
+  transition Running on tick -> Running
+  initial Running
+end
+
+class Light key LGT
+  attr color : int = 0        # 0=red 1=green 2=yellow
+  attr bright : real = 1.0
+  attr label : string = "main"
+  event advance()
+  state Red {
+    self.color = 0;
+  }
+  state Green {
+    self.color = 1;
+  }
+  state Yellow {
+    self.color = 2;
+  }
+  transition Red on advance -> Green
+  transition Green on advance -> Yellow
+  transition Yellow on advance -> Red
+  initial Red
+  on_unexpected cant_happen
+end
+
+assoc R1 Controller controls 1 -- Light controlled_by 1..*
+)";
+
+TEST(XtmParser, ParsesTrafficModel) {
+  DiagnosticSink sink;
+  auto d = parse_xtm(kTrafficXtm, sink);
+  ASSERT_NE(d, nullptr) << sink.to_string();
+  EXPECT_EQ(d->name(), "Traffic");
+  EXPECT_EQ(d->class_count(), 2u);
+
+  const xtuml::ClassDef& light = *d->find_class("Light");
+  EXPECT_EQ(light.key_letters, "LGT");
+  EXPECT_EQ(light.states.size(), 3u);
+  EXPECT_EQ(light.transitions.size(), 3u);
+  EXPECT_EQ(light.fallback, xtuml::EventFallback::kCantHappen);
+  const xtuml::AttributeDef* color = light.find_attribute("color");
+  ASSERT_NE(color, nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*color->default_value), 0);
+  const xtuml::AttributeDef* label = light.find_attribute("label");
+  EXPECT_EQ(std::get<std::string>(*label->default_value), "main");
+  const xtuml::AttributeDef* bright = light.find_attribute("bright");
+  EXPECT_DOUBLE_EQ(std::get<double>(*bright->default_value), 1.0);
+
+  ASSERT_EQ(d->associations().size(), 1u);
+  EXPECT_EQ(d->associations()[0].name, "R1");
+  EXPECT_EQ(d->associations()[0].b.mult, xtuml::Multiplicity::kMany);
+}
+
+TEST(XtmParser, ParsedModelValidatesAndCompiles) {
+  DiagnosticSink sink;
+  auto d = parse_xtm(kTrafficXtm, sink);
+  ASSERT_NE(d, nullptr) << sink.to_string();
+  auto compiled = oal::compile_domain(*d, sink);
+  EXPECT_NE(compiled, nullptr) << sink.to_string();
+}
+
+TEST(XtmParser, ActionBodiesPreserved) {
+  DiagnosticSink sink;
+  auto d = parse_xtm(kTrafficXtm, sink);
+  ASSERT_NE(d, nullptr);
+  const xtuml::StateDef* running = d->find_class("Controller")->find_state("Running");
+  ASSERT_NE(running, nullptr);
+  EXPECT_NE(running->action_source.find("generate advance() to l;"),
+            std::string::npos);
+}
+
+TEST(XtmParser, RefParamsAndAttrs) {
+  DiagnosticSink sink;
+  auto d = parse_xtm(R"(
+domain D
+class B
+  attr back : ref A
+  event notify(who : ref A)
+end
+class A
+end
+)", sink);
+  ASSERT_NE(d, nullptr) << sink.to_string();
+  // Forward reference to A (declared later) resolves via pre-pass.
+  const xtuml::AttributeDef* back = d->find_class("B")->find_attribute("back");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->ref_class, d->find_class_id("A"));
+  const xtuml::EventDef* ev = d->find_class("B")->find_event("notify");
+  ASSERT_NE(ev, nullptr);
+  EXPECT_EQ(ev->params[0].ref_class, d->find_class_id("A"));
+}
+
+TEST(XtmParser, Errors) {
+  auto expect_error = [](const char* src, const char* code) {
+    DiagnosticSink sink;
+    EXPECT_EQ(parse_xtm(src, sink), nullptr) << src;
+    EXPECT_NE(sink.to_string().find(code), std::string::npos)
+        << "wanted " << code << ", got: " << sink.to_string();
+  };
+  expect_error("class A\nend\n", "xtm.domain");
+  expect_error("domain D\nclass A\nclass A\nend\nend\n", "xtm.class.dup");
+  expect_error("domain D\nclass A\n  attr x : nosuch\nend\n", "xtm.type");
+  expect_error("domain D\nclass A\n  bogus line\nend\n", "xtm.class.stmt");
+  expect_error("domain D\nclass A\n  attr x : int\n", "xtm.class.unterminated");
+  expect_error("domain D\nclass A\n  state S {\n  x = 1;\n", // no closing }
+               "xtm.state.unterminated");
+  expect_error("domain D\nclass A\n  transition X on e -> Y\nend\n",
+               "xtm.transition");
+  expect_error("domain D\nassoc R1 A x 1 -- B y 1\n", "xtm.assoc");
+  expect_error("domain D\nclass A\nend\nclass B\nend\n"
+               "assoc R1 A x 7 -- B y 1\n", "xtm.assoc");
+  expect_error("domain D\nclass A\n  attr x : ref Nope\nend\n", "xtm.ref");
+  expect_error("domain D\nclass A\n  event e(p : ref Nope)\nend\n",
+               "xtm.event.param");
+  expect_error("domain D\nclass A\n  initial Nope\nend\n", "xtm.initial");
+  expect_error("domain D\nclass A\n  on_unexpected whatever\nend\n",
+               "xtm.fallback");
+  expect_error("domain D\nclass A\n  attr x : int = zz\nend\n", "xtm.literal");
+}
+
+TEST(XtmWriter, RoundTripIsStructurallyIdentical) {
+  DiagnosticSink sink;
+  auto d1 = parse_xtm(kTrafficXtm, sink);
+  ASSERT_NE(d1, nullptr) << sink.to_string();
+  std::string text1 = write_xtm(*d1);
+  auto d2 = parse_xtm(text1, sink);
+  ASSERT_NE(d2, nullptr) << sink.to_string() << "\n" << text1;
+  // Writing again must be a fixpoint.
+  EXPECT_EQ(text1, write_xtm(*d2));
+  // Structure preserved.
+  EXPECT_EQ(d2->class_count(), d1->class_count());
+  EXPECT_EQ(d2->state_count(), d1->state_count());
+  EXPECT_EQ(d2->transition_count(), d1->transition_count());
+  EXPECT_EQ(d2->event_count(), d1->event_count());
+  EXPECT_EQ(d2->associations().size(), d1->associations().size());
+  // And the round-tripped model still compiles.
+  auto compiled = oal::compile_domain(*d2, sink);
+  EXPECT_NE(compiled, nullptr) << sink.to_string();
+}
+
+TEST(XtmWriter, EmitsRefTypes) {
+  DiagnosticSink sink;
+  auto d = parse_xtm(R"(
+domain D
+class A
+end
+class B
+  attr peer : ref A
+  event go(target : ref A)
+end
+)", sink);
+  ASSERT_NE(d, nullptr);
+  std::string out = write_xtm(*d);
+  EXPECT_NE(out.find("attr peer : ref A"), std::string::npos);
+  EXPECT_NE(out.find("go(target : ref A)"), std::string::npos);
+}
+
+TEST(XtmParser, CommentsAndBlankLinesIgnored) {
+  DiagnosticSink sink;
+  auto d = parse_xtm("\n# leading comment\n\ndomain D  # trailing\n\n"
+                     "class A # comment\nend\n", sink);
+  ASSERT_NE(d, nullptr) << sink.to_string();
+  EXPECT_EQ(d->class_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xtsoc::text

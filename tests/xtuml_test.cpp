@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "xtsoc/xtuml/builder.hpp"
+#include "xtsoc/xtuml/model.hpp"
+#include "xtsoc/xtuml/validate.hpp"
+
+namespace xtsoc::xtuml {
+namespace {
+
+Domain make_two_state_domain() {
+  Domain d("Demo");
+  ClassId c = d.add_class("Light", "LGT");
+  d.add_attribute(c, "brightness", DataType::kInt, ScalarValue(std::int64_t{0}));
+  EventId on = d.add_event(c, "turn_on");
+  EventId off = d.add_event(c, "turn_off");
+  StateId idle = d.add_state(c, "Off", "");
+  StateId lit = d.add_state(c, "On", "");
+  d.add_transition(c, idle, on, lit);
+  d.add_transition(c, lit, off, idle);
+  return d;
+}
+
+TEST(Model, AddAndLookupClass) {
+  Domain d = make_two_state_domain();
+  EXPECT_EQ(d.class_count(), 1u);
+  const ClassDef* c = d.find_class("Light");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->name, "Light");
+  EXPECT_EQ(c->key_letters, "LGT");
+  // lookup by key letters also works
+  EXPECT_EQ(d.find_class("LGT"), c);
+  EXPECT_EQ(d.find_class("Nope"), nullptr);
+}
+
+TEST(Model, AttributeDefaults) {
+  Domain d = make_two_state_domain();
+  const ClassDef& c = *d.find_class("Light");
+  const AttributeDef* a = c.find_attribute("brightness");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->default_value.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(*a->default_value), 0);
+}
+
+TEST(Model, InitialStateDefaultsToFirst) {
+  Domain d = make_two_state_domain();
+  const ClassDef& c = *d.find_class("Light");
+  EXPECT_EQ(c.initial_state, c.find_state("Off")->id);
+}
+
+TEST(Model, TransitionLookup) {
+  Domain d = make_two_state_domain();
+  const ClassDef& c = *d.find_class("Light");
+  StateId off = c.find_state("Off")->id;
+  StateId on = c.find_state("On")->id;
+  EventId turn_on = c.find_event("turn_on")->id;
+  const TransitionDef* t = c.transition_on(off, turn_on);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->to, on);
+  EXPECT_EQ(c.transition_on(on, turn_on), nullptr);
+}
+
+TEST(Model, SizeMetrics) {
+  Domain d = make_two_state_domain();
+  EXPECT_EQ(d.state_count(), 2u);
+  EXPECT_EQ(d.transition_count(), 2u);
+  EXPECT_EQ(d.event_count(), 2u);
+}
+
+TEST(Model, AssociationEnds) {
+  Domain d("D");
+  ClassId a = d.add_class("A");
+  ClassId b = d.add_class("B");
+  AssociationId r1 = d.add_association(
+      "R1", {a, "owns", Multiplicity::kOne}, {b, "owned_by", Multiplicity::kZeroMany});
+  const AssociationDef& def = d.association(r1);
+  EXPECT_EQ(def.end_for(a).role, "owns");
+  EXPECT_EQ(def.other_end(a).cls, b);
+  EXPECT_TRUE(def.touches(a));
+  EXPECT_TRUE(def.touches(b));
+  ASSERT_EQ(d.associations_of(a).size(), 1u);
+}
+
+TEST(Model, InvalidIdThrows) {
+  Domain d("D");
+  EXPECT_THROW(d.cls(ClassId(3)), std::out_of_range);
+  EXPECT_THROW(d.cls(ClassId::invalid()), std::out_of_range);
+  EXPECT_THROW(d.association(AssociationId(0)), std::out_of_range);
+}
+
+TEST(Multiplicity, Predicates) {
+  EXPECT_TRUE(is_many(Multiplicity::kMany));
+  EXPECT_TRUE(is_many(Multiplicity::kZeroMany));
+  EXPECT_FALSE(is_many(Multiplicity::kOne));
+  EXPECT_TRUE(is_conditional(Multiplicity::kZeroOne));
+  EXPECT_TRUE(is_conditional(Multiplicity::kZeroMany));
+  EXPECT_FALSE(is_conditional(Multiplicity::kOne));
+}
+
+TEST(Types, ScalarTypeAndPrinting) {
+  EXPECT_EQ(scalar_type(ScalarValue(true)), DataType::kBool);
+  EXPECT_EQ(scalar_type(ScalarValue(std::int64_t{3})), DataType::kInt);
+  EXPECT_EQ(scalar_type(ScalarValue(2.5)), DataType::kReal);
+  EXPECT_EQ(scalar_type(ScalarValue(std::string("x"))), DataType::kString);
+  EXPECT_EQ(scalar_to_string(ScalarValue(true)), "true");
+  EXPECT_EQ(scalar_to_string(ScalarValue(std::int64_t{42})), "42");
+  EXPECT_EQ(scalar_to_string(ScalarValue(std::string("hi"))), "\"hi\"");
+}
+
+// --- validation -------------------------------------------------------------
+
+TEST(Validate, AcceptsWellFormed) {
+  Domain d = make_two_state_domain();
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, DuplicateClassName) {
+  Domain d("D");
+  d.add_class("A", "A1");
+  d.add_class("A", "A2");
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+  EXPECT_NE(sink.to_string().find("duplicate class"), std::string::npos);
+}
+
+TEST(Validate, DuplicateKeyLetters) {
+  Domain d("D");
+  d.add_class("A", "KL");
+  d.add_class("B", "KL");
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, DuplicateAttribute) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  d.add_attribute(c, "x", DataType::kInt);
+  d.add_attribute(c, "x", DataType::kBool);
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, DefaultTypeMismatch) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  d.add_attribute(c, "x", DataType::kInt, ScalarValue(true));
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, InstRefAttributeNeedsClass) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  d.add_attribute(c, "peer", DataType::kInstRef);  // no ref_class
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, NondeterministicTransitions) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  EventId e = d.add_event(c, "go");
+  StateId s1 = d.add_state(c, "S1", "");
+  StateId s2 = d.add_state(c, "S2", "");
+  d.add_transition(c, s1, e, s2);
+  d.add_transition(c, s1, e, s1);
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+  EXPECT_NE(sink.to_string().find("nondeterministic"), std::string::npos);
+}
+
+TEST(Validate, TransitionOutOfFinalState) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  EventId e = d.add_event(c, "go");
+  StateId s1 = d.add_state(c, "S1", "");
+  StateId fin = d.add_state(c, "Done", "", /*is_final=*/true);
+  d.add_transition(c, fin, e, s1);
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, UnreachableStateWarns) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  d.add_event(c, "go");
+  d.add_state(c, "S1", "");
+  d.add_state(c, "Island", "");
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate(d, sink));  // warnings only
+  EXPECT_NE(sink.to_string().find("unreachable"), std::string::npos);
+}
+
+TEST(Validate, DuplicateEventParams) {
+  Domain d("D");
+  ClassId c = d.add_class("A");
+  d.add_event(c, "go", {{"x", DataType::kInt}, {"x", DataType::kBool}});
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, ReflexiveAssociationNeedsDistinctRoles) {
+  Domain d("D");
+  ClassId a = d.add_class("A");
+  d.add_association("R1", {a, "next", Multiplicity::kZeroOne},
+                    {a, "next", Multiplicity::kZeroOne});
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+TEST(Validate, BadDomainName) {
+  Domain d("bad name");
+  DiagnosticSink sink;
+  EXPECT_FALSE(validate(d, sink));
+}
+
+// --- builder ----------------------------------------------------------------
+
+TEST(Builder, FluentConstruction) {
+  DomainBuilder b("Microwave");
+  b.cls("Oven", "OVN")
+      .attr("power_w", DataType::kInt, ScalarValue(std::int64_t{600}))
+      .event("open_door")
+      .event("start", {{"seconds", DataType::kInt}})
+      .state("Idle")
+      .state("Cooking")
+      .transition("Idle", "start", "Cooking")
+      .transition("Cooking", "open_door", "Idle");
+  Domain& d = b.domain();
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate(d, sink)) << sink.to_string();
+  const ClassDef& c = *d.find_class("Oven");
+  EXPECT_EQ(c.transitions.size(), 2u);
+}
+
+TEST(Builder, UnknownStateThrows) {
+  DomainBuilder b("D");
+  auto c = b.cls("A").event("e").state("S");
+  EXPECT_THROW(c.transition("S", "e", "Nope"), std::invalid_argument);
+  EXPECT_THROW(c.transition("Nope", "e", "S"), std::invalid_argument);
+  EXPECT_THROW(c.transition("S", "nope", "S"), std::invalid_argument);
+}
+
+TEST(Builder, AssocUnknownClassThrows) {
+  DomainBuilder b("D");
+  b.cls("A");
+  EXPECT_THROW(b.assoc("R1", "A", "x", Multiplicity::kOne, "Nope", "y",
+                       Multiplicity::kOne),
+               std::invalid_argument);
+}
+
+TEST(Builder, RefAttr) {
+  DomainBuilder b("D");
+  b.cls("Target");
+  b.cls("Source").ref_attr("peer", "Target");
+  DiagnosticSink sink;
+  EXPECT_TRUE(validate(b.domain(), sink)) << sink.to_string();
+  const AttributeDef* a = b.domain().find_class("Source")->find_attribute("peer");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->type, DataType::kInstRef);
+  EXPECT_EQ(a->ref_class, b.domain().find_class_id("Target"));
+}
+
+TEST(Builder, InitialOverride) {
+  DomainBuilder b("D");
+  b.cls("A").state("S1").state("S2").initial("S2");
+  EXPECT_EQ(b.domain().find_class("A")->initial_state,
+            b.domain().find_class("A")->find_state("S2")->id);
+}
+
+}  // namespace
+}  // namespace xtsoc::xtuml

@@ -1,0 +1,209 @@
+// xtsocc — the xtsoc model compiler, as a command-line tool.
+//
+//   xtsocc MODEL.xtm [options]
+//
+//   -m, --marks FILE    marks file (sticky notes; default: no marks,
+//                       everything maps to software)
+//   -o, --out DIR       write generated sources under DIR (sw/ and hw/)
+//       --c-only        generate only the software partition
+//       --vhdl-only     generate only the hardware partition
+//       --check         stop after compile + map (exit status reports
+//                       model/marks validity)
+//       --simulate FILE run a stimulus script against the abstract model
+//                       (exit status reflects its expectations)
+//       --on-cosim      run --simulate against the partitioned cosim instead
+//       --summary       print the partition/interface summary (default on)
+//       --quiet         suppress the summary
+//   -h, --help          this text
+//
+// Exit status: 0 on success, 1 on invalid model/marks/usage.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "xtsoc/core/project.hpp"
+#include "xtsoc/core/stimulus.hpp"
+
+namespace fs = std::filesystem;
+using namespace xtsoc;
+
+namespace {
+
+struct Options {
+  std::string model_path;
+  std::string marks_path;
+  std::string out_dir;
+  bool c_only = false;
+  bool vhdl_only = false;
+  bool check_only = false;
+  bool summary = true;
+  std::string simulate_path;
+  bool on_cosim = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
+               "[--vhdl-only] [--check] [--quiet]\n");
+}
+
+bool parse_args(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-h" || a == "--help") {
+      usage(stdout);
+      std::exit(0);
+    } else if (a == "-m" || a == "--marks") {
+      const char* v = next();
+      if (!v) return false;
+      opt->marks_path = v;
+    } else if (a == "-o" || a == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      opt->out_dir = v;
+    } else if (a == "--c-only") {
+      opt->c_only = true;
+    } else if (a == "--vhdl-only") {
+      opt->vhdl_only = true;
+    } else if (a == "--check") {
+      opt->check_only = true;
+    } else if (a == "--simulate") {
+      const char* v = next();
+      if (!v) return false;
+      opt->simulate_path = v;
+    } else if (a == "--on-cosim") {
+      opt->on_cosim = true;
+    } else if (a == "--summary") {
+      opt->summary = true;
+    } else if (a == "--quiet") {
+      opt->summary = false;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "xtsocc: unknown option '%s'\n", a.c_str());
+      return false;
+    } else if (opt->model_path.empty()) {
+      opt->model_path = a;
+    } else {
+      std::fprintf(stderr, "xtsocc: extra argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  if (opt->model_path.empty()) {
+    std::fprintf(stderr, "xtsocc: no model file given\n");
+    return false;
+  }
+  if (opt->c_only && opt->vhdl_only) {
+    std::fprintf(stderr, "xtsocc: --c-only and --vhdl-only are exclusive\n");
+    return false;
+  }
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, &opt)) {
+    usage(stderr);
+    return 1;
+  }
+
+  std::string model_text;
+  if (!read_file(opt.model_path, &model_text)) {
+    std::fprintf(stderr, "xtsocc: cannot read model '%s'\n",
+                 opt.model_path.c_str());
+    return 1;
+  }
+  std::string marks_text;
+  if (!opt.marks_path.empty() && !read_file(opt.marks_path, &marks_text)) {
+    std::fprintf(stderr, "xtsocc: cannot read marks '%s'\n",
+                 opt.marks_path.c_str());
+    return 1;
+  }
+
+  DiagnosticSink sink;
+  auto project = core::Project::from_xtm(model_text, marks_text, sink);
+  if (!project) {
+    std::fprintf(stderr, "%s", sink.to_string().c_str());
+    std::fprintf(stderr, "xtsocc: '%s' rejected\n", opt.model_path.c_str());
+    return 1;
+  }
+  for (const auto& d : sink.all()) {
+    if (d.severity == Severity::kWarning) {
+      std::fprintf(stderr, "%s\n", d.to_string().c_str());
+    }
+  }
+
+  if (opt.summary) std::printf("%s", project->summary().c_str());
+  if (opt.check_only) return 0;
+
+  if (!opt.simulate_path.empty()) {
+    std::string script;
+    if (!read_file(opt.simulate_path, &script)) {
+      std::fprintf(stderr, "xtsocc: cannot read script '%s'\n",
+                   opt.simulate_path.c_str());
+      return 1;
+    }
+    std::ostringstream out;
+    core::StimulusResult r =
+        opt.on_cosim ? core::run_stimulus_cosim(*project, script, out)
+                     : core::run_stimulus(*project, script, out);
+    std::printf("%s%s\n", out.str().c_str(), r.to_string().c_str());
+    return r.ok ? 0 : 1;
+  }
+
+  codegen::Output out;
+  DiagnosticSink gen_sink;
+  if (opt.c_only) {
+    out = project->generate_c(gen_sink);
+  } else if (opt.vhdl_only) {
+    out = project->generate_vhdl(gen_sink);
+  } else {
+    out = project->generate_all(gen_sink);
+  }
+  if (gen_sink.has_errors()) {
+    std::fprintf(stderr, "%s", gen_sink.to_string().c_str());
+    return 1;
+  }
+
+  if (opt.out_dir.empty()) {
+    // No output directory: list what would be written.
+    for (const auto& f : out.files) {
+      std::printf("  %-28s %6zu lines\n", f.path.c_str(),
+                  count_lines(f.content));
+    }
+    std::printf("(pass -o DIR to write %zu files, %zu lines)\n",
+                out.files.size(), out.total_lines());
+    return 0;
+  }
+
+  for (const auto& f : out.files) {
+    fs::path dest = fs::path(opt.out_dir) / f.path;
+    std::error_code ec;
+    fs::create_directories(dest.parent_path(), ec);
+    std::ofstream os(dest);
+    if (!os) {
+      std::fprintf(stderr, "xtsocc: cannot write '%s'\n", dest.c_str());
+      return 1;
+    }
+    os << f.content;
+  }
+  std::printf("wrote %zu files (%zu lines) under %s\n", out.files.size(),
+              out.total_lines(), opt.out_dir.c_str());
+  return 0;
+}
