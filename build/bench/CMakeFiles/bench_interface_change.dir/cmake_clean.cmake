@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interface_change.dir/bench_interface_change.cpp.o"
+  "CMakeFiles/bench_interface_change.dir/bench_interface_change.cpp.o.d"
+  "bench_interface_change"
+  "bench_interface_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interface_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_exec.dir/bench_model_exec.cpp.o"
+  "CMakeFiles/bench_model_exec.dir/bench_model_exec.cpp.o.d"
+  "bench_model_exec"
+  "bench_model_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

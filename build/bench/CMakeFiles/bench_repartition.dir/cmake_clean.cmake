@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repartition.dir/bench_repartition.cpp.o"
+  "CMakeFiles/bench_repartition.dir/bench_repartition.cpp.o.d"
+  "bench_repartition"
+  "bench_repartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermostat_bridge.dir/thermostat_bridge.cpp.o"
+  "CMakeFiles/thermostat_bridge.dir/thermostat_bridge.cpp.o.d"
+  "thermostat_bridge"
+  "thermostat_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermostat_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_bridge.dir/xtsoc/bridge/bridge.cpp.o"
+  "CMakeFiles/xtsoc_bridge.dir/xtsoc/bridge/bridge.cpp.o.d"
+  "libxtsoc_bridge.a"
+  "libxtsoc_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

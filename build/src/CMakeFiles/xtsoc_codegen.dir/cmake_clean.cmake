@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_codegen.dir/xtsoc/codegen/cgen.cpp.o"
+  "CMakeFiles/xtsoc_codegen.dir/xtsoc/codegen/cgen.cpp.o.d"
+  "CMakeFiles/xtsoc_codegen.dir/xtsoc/codegen/vhdlgen.cpp.o"
+  "CMakeFiles/xtsoc_codegen.dir/xtsoc/codegen/vhdlgen.cpp.o.d"
+  "libxtsoc_codegen.a"
+  "libxtsoc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

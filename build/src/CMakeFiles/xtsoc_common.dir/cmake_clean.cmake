@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_common.dir/xtsoc/common/diagnostics.cpp.o"
+  "CMakeFiles/xtsoc_common.dir/xtsoc/common/diagnostics.cpp.o.d"
+  "CMakeFiles/xtsoc_common.dir/xtsoc/common/strings.cpp.o"
+  "CMakeFiles/xtsoc_common.dir/xtsoc/common/strings.cpp.o.d"
+  "libxtsoc_common.a"
+  "libxtsoc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

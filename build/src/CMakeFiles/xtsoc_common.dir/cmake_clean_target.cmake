@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtsoc_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_core.dir/xtsoc/core/project.cpp.o"
+  "CMakeFiles/xtsoc_core.dir/xtsoc/core/project.cpp.o.d"
+  "CMakeFiles/xtsoc_core.dir/xtsoc/core/stimulus.cpp.o"
+  "CMakeFiles/xtsoc_core.dir/xtsoc/core/stimulus.cpp.o.d"
+  "libxtsoc_core.a"
+  "libxtsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtsoc/cosim/bus.cpp" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/bus.cpp.o" "gcc" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/bus.cpp.o.d"
+  "/root/repo/src/xtsoc/cosim/codec.cpp" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/codec.cpp.o" "gcc" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/codec.cpp.o.d"
+  "/root/repo/src/xtsoc/cosim/cosim.cpp" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/cosim.cpp.o" "gcc" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/cosim.cpp.o.d"
+  "/root/repo/src/xtsoc/cosim/hwdomain.cpp" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/hwdomain.cpp.o" "gcc" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/hwdomain.cpp.o.d"
+  "/root/repo/src/xtsoc/cosim/swdomain.cpp" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/swdomain.cpp.o" "gcc" "src/CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/swdomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtsoc_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_hwsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_swrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_marks.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_oal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_xtuml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/bus.cpp.o"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/bus.cpp.o.d"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/codec.cpp.o"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/codec.cpp.o.d"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/cosim.cpp.o"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/cosim.cpp.o.d"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/hwdomain.cpp.o"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/hwdomain.cpp.o.d"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/swdomain.cpp.o"
+  "CMakeFiles/xtsoc_cosim.dir/xtsoc/cosim/swdomain.cpp.o.d"
+  "libxtsoc_cosim.a"
+  "libxtsoc_cosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_cosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

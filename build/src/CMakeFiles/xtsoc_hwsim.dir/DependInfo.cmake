@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtsoc/hwsim/components.cpp" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/components.cpp.o" "gcc" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/components.cpp.o.d"
+  "/root/repo/src/xtsoc/hwsim/kernel.cpp" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/kernel.cpp.o" "gcc" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/kernel.cpp.o.d"
+  "/root/repo/src/xtsoc/hwsim/vcd.cpp" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/vcd.cpp.o" "gcc" "src/CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtsoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

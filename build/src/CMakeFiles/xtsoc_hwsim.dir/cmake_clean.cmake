@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/components.cpp.o"
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/components.cpp.o.d"
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/kernel.cpp.o"
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/kernel.cpp.o.d"
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/vcd.cpp.o"
+  "CMakeFiles/xtsoc_hwsim.dir/xtsoc/hwsim/vcd.cpp.o.d"
+  "libxtsoc_hwsim.a"
+  "libxtsoc_hwsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_hwsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/archetype.cpp.o"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/archetype.cpp.o.d"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/classrefs.cpp.o"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/classrefs.cpp.o.d"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/interface.cpp.o"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/interface.cpp.o.d"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/modelcompiler.cpp.o"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/modelcompiler.cpp.o.d"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/partition.cpp.o"
+  "CMakeFiles/xtsoc_mapping.dir/xtsoc/mapping/partition.cpp.o.d"
+  "libxtsoc_mapping.a"
+  "libxtsoc_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_marks.dir/xtsoc/marks/marks.cpp.o"
+  "CMakeFiles/xtsoc_marks.dir/xtsoc/marks/marks.cpp.o.d"
+  "libxtsoc_marks.a"
+  "libxtsoc_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

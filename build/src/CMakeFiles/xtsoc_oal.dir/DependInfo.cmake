@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtsoc/oal/bytecode.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/bytecode.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/bytecode.cpp.o.d"
+  "/root/repo/src/xtsoc/oal/compiled.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/compiled.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/compiled.cpp.o.d"
+  "/root/repo/src/xtsoc/oal/lexer.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/lexer.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/lexer.cpp.o.d"
+  "/root/repo/src/xtsoc/oal/parser.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/parser.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/parser.cpp.o.d"
+  "/root/repo/src/xtsoc/oal/printer.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/printer.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/printer.cpp.o.d"
+  "/root/repo/src/xtsoc/oal/sema.cpp" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/sema.cpp.o" "gcc" "src/CMakeFiles/xtsoc_oal.dir/xtsoc/oal/sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtsoc_xtuml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/bytecode.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/bytecode.cpp.o.d"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/compiled.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/compiled.cpp.o.d"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/lexer.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/lexer.cpp.o.d"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/parser.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/parser.cpp.o.d"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/printer.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/printer.cpp.o.d"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/sema.cpp.o"
+  "CMakeFiles/xtsoc_oal.dir/xtsoc/oal/sema.cpp.o.d"
+  "libxtsoc_oal.a"
+  "libxtsoc_oal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_oal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

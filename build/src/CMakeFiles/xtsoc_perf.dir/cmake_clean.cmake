@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_perf.dir/xtsoc/perf/perf.cpp.o"
+  "CMakeFiles/xtsoc_perf.dir/xtsoc/perf/perf.cpp.o.d"
+  "CMakeFiles/xtsoc_perf.dir/xtsoc/perf/traceexport.cpp.o"
+  "CMakeFiles/xtsoc_perf.dir/xtsoc/perf/traceexport.cpp.o.d"
+  "libxtsoc_perf.a"
+  "libxtsoc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtsoc/runtime/database.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/database.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/database.cpp.o.d"
+  "/root/repo/src/xtsoc/runtime/executor.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/executor.cpp.o.d"
+  "/root/repo/src/xtsoc/runtime/interp.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/interp.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/interp.cpp.o.d"
+  "/root/repo/src/xtsoc/runtime/trace.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/trace.cpp.o.d"
+  "/root/repo/src/xtsoc/runtime/value.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/value.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/value.cpp.o.d"
+  "/root/repo/src/xtsoc/runtime/vm.cpp" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/vm.cpp.o" "gcc" "src/CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtsoc_oal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_xtuml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/xtsoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/database.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/database.cpp.o.d"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/executor.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/executor.cpp.o.d"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/interp.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/interp.cpp.o.d"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/trace.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/trace.cpp.o.d"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/value.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/value.cpp.o.d"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/vm.cpp.o"
+  "CMakeFiles/xtsoc_runtime.dir/xtsoc/runtime/vm.cpp.o.d"
+  "libxtsoc_runtime.a"
+  "libxtsoc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

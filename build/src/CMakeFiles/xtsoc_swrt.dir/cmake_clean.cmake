@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_swrt.dir/xtsoc/swrt/scheduler.cpp.o"
+  "CMakeFiles/xtsoc_swrt.dir/xtsoc/swrt/scheduler.cpp.o.d"
+  "libxtsoc_swrt.a"
+  "libxtsoc_swrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_swrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

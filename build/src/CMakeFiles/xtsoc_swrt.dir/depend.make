@@ -1,0 +1,2 @@
+# Empty dependencies file for xtsoc_swrt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_text.dir/xtsoc/text/xtm.cpp.o"
+  "CMakeFiles/xtsoc_text.dir/xtsoc/text/xtm.cpp.o.d"
+  "libxtsoc_text.a"
+  "libxtsoc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/equivalence.cpp.o"
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/equivalence.cpp.o.d"
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/explore.cpp.o"
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/explore.cpp.o.d"
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/testcase.cpp.o"
+  "CMakeFiles/xtsoc_verify.dir/xtsoc/verify/testcase.cpp.o.d"
+  "libxtsoc_verify.a"
+  "libxtsoc_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

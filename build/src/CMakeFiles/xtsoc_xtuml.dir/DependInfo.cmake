@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtsoc/xtuml/builder.cpp" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/builder.cpp.o" "gcc" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/builder.cpp.o.d"
+  "/root/repo/src/xtsoc/xtuml/model.cpp" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/model.cpp.o" "gcc" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/model.cpp.o.d"
+  "/root/repo/src/xtsoc/xtuml/types.cpp" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/types.cpp.o" "gcc" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/types.cpp.o.d"
+  "/root/repo/src/xtsoc/xtuml/validate.cpp" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/validate.cpp.o" "gcc" "src/CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xtsoc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/builder.cpp.o"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/builder.cpp.o.d"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/model.cpp.o"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/model.cpp.o.d"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/types.cpp.o"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/types.cpp.o.d"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/validate.cpp.o"
+  "CMakeFiles/xtsoc_xtuml.dir/xtsoc/xtuml/validate.cpp.o.d"
+  "libxtsoc_xtuml.a"
+  "libxtsoc_xtuml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsoc_xtuml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

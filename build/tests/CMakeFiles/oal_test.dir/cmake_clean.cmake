@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oal_test.dir/oal_test.cpp.o"
+  "CMakeFiles/oal_test.dir/oal_test.cpp.o.d"
+  "oal_test"
+  "oal_test.pdb"
+  "oal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

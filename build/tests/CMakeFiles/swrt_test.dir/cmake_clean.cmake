@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swrt_test.dir/swrt_test.cpp.o"
+  "CMakeFiles/swrt_test.dir/swrt_test.cpp.o.d"
+  "swrt_test"
+  "swrt_test.pdb"
+  "swrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtuml_test.dir/xtuml_test.cpp.o"
+  "CMakeFiles/xtuml_test.dir/xtuml_test.cpp.o.d"
+  "xtuml_test"
+  "xtuml_test.pdb"
+  "xtuml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtuml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

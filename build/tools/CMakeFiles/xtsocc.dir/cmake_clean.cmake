@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtsocc.dir/xtsocc.cpp.o"
+  "CMakeFiles/xtsocc.dir/xtsocc.cpp.o.d"
+  "xtsocc"
+  "xtsocc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtsocc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

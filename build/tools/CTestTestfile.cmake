@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(xtsocc_check "/root/repo/build/tools/xtsocc" "/root/repo/examples/models/traffic.xtm" "-m" "/root/repo/examples/models/traffic.marks" "--check")
+set_tests_properties(xtsocc_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_list "/root/repo/build/tools/xtsocc" "/root/repo/examples/models/traffic.xtm" "-m" "/root/repo/examples/models/traffic.marks")
+set_tests_properties(xtsocc_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_emit "/root/repo/build/tools/xtsocc" "/root/repo/examples/models/traffic.xtm" "-m" "/root/repo/examples/models/traffic.marks" "-o" "/root/repo/build/xtsocc_out")
+set_tests_properties(xtsocc_emit PROPERTIES  FIXTURES_SETUP "xtsocc_out" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_badfile "/root/repo/build/tools/xtsocc" "/nonexistent.xtm")
+set_tests_properties(xtsocc_badfile PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_nomodel "/root/repo/build/tools/xtsocc")
+set_tests_properties(xtsocc_nomodel PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_simulate "/root/repo/build/tools/xtsocc" "/root/repo/examples/models/traffic.xtm" "-m" "/root/repo/examples/models/traffic.marks" "--quiet" "--simulate" "/root/repo/examples/models/traffic.sim")
+set_tests_properties(xtsocc_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_simulate_cosim "/root/repo/build/tools/xtsocc" "/root/repo/examples/models/traffic.xtm" "-m" "/root/repo/examples/models/traffic.marks" "--quiet" "--simulate" "/root/repo/examples/models/traffic.sim" "--on-cosim")
+set_tests_properties(xtsocc_simulate_cosim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(xtsocc_emitted_c_compiles "sh" "-c" "cd /root/repo/build/xtsocc_out/sw && cc -std=c99 -Wall -Werror -c traffic_model.c traffic_main.c")
+set_tests_properties(xtsocc_emitted_c_compiles PROPERTIES  FIXTURES_REQUIRED "xtsocc_out" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
