@@ -1,0 +1,136 @@
+// NoC fabric throughput and latency across mesh sizes.
+//
+// Measures the raw cycle-accurate mesh (no model on top): every tile
+// streams frames to the diagonally opposite tile, the worst-case uniform
+// pattern for XY routing (all routes cross the mesh center). Reported per
+// mesh size (1x2 — the bus-equivalent degenerate case — then 2x2 and 4x4):
+//   * simulated frames per wall-clock second (how fast the simulator is),
+//   * mean end-to-end frame latency in fabric cycles (how congested the
+//     mesh is — this is the number a placement change moves).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "xtsoc/noc/fabric.hpp"
+
+namespace {
+
+using namespace xtsoc;
+
+struct NocRun {
+  std::uint64_t cycles = 0;
+  std::uint64_t frames = 0;
+  double mean_latency = 0.0;
+};
+
+/// Send `frames_per_tile` frames from every tile to its opposite corner and
+/// run the fabric dry.
+NocRun pump_frames(int width, int height, int frames_per_tile,
+                   int payload_bytes) {
+  noc::FabricConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  noc::Fabric fabric(cfg);
+
+  const int tiles = width * height;
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_bytes),
+                                    0xab);
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < frames_per_tile; ++i) {
+    for (int t = 0; t < tiles; ++t) {
+      int dst = tiles - 1 - t;
+      if (dst == t) continue;
+      fabric.send_frame(t, dst, static_cast<std::uint32_t>(i), payload, cycle);
+    }
+  }
+  while (!fabric.idle() && cycle < 10'000'000) {
+    fabric.tick(++cycle);
+    for (int t = 0; t < tiles; ++t) (void)fabric.pop_due(t, cycle);
+  }
+
+  noc::FabricStats stats = fabric.stats();
+  NocRun run;
+  run.cycles = cycle;
+  run.frames = stats.frames_delivered;
+  run.mean_latency = stats.latency.mean();
+  return run;
+}
+
+void print_summary() {
+  std::printf("== NoC fabric: frames and latency vs mesh size ==\n");
+  std::printf("opposite-corner traffic, 64 frames/tile, 16-byte frames:\n");
+  std::printf("  %6s %8s %10s %14s %16s\n", "mesh", "frames", "cycles",
+              "frames/cycle", "mean latency");
+  for (auto [w, h] : {std::pair{1, 2}, {2, 2}, {4, 4}}) {
+    NocRun run = pump_frames(w, h, 64, 16);
+    std::printf("  %3dx%-2d %8llu %10llu %14.3f %16.2f\n", w, h,
+                static_cast<unsigned long long>(run.frames),
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<double>(run.frames) /
+                    static_cast<double>(run.cycles),
+                run.mean_latency);
+  }
+  std::printf("(larger meshes move more frames per cycle but each frame "
+              "travels farther —\n the bisection-bandwidth/diameter tradeoff "
+              "a placement must respect)\n\n");
+}
+
+void BM_NocFrames(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int height = static_cast<int>(state.range(1));
+  std::uint64_t frames = 0;
+  std::uint64_t cycles = 0;
+  double mean_latency = 0.0;
+  for (auto _ : state) {
+    NocRun run = pump_frames(width, height, 32, 16);
+    frames += run.frames;
+    cycles += run.cycles;
+    mean_latency = run.mean_latency;
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["mean_latency_cycles"] = mean_latency;
+}
+BENCHMARK(BM_NocFrames)
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({4, 4})
+    ->ArgNames({"w", "h"});
+
+/// Segmentation cost: same byte volume, different flit widths.
+void BM_NocFlitWidth(benchmark::State& state) {
+  const int flit_bytes = static_cast<int>(state.range(0));
+  std::uint64_t frames = 0;
+  for (auto _ : state) {
+    noc::FabricConfig cfg;
+    cfg.width = 2;
+    cfg.height = 2;
+    cfg.flit_payload_bytes = flit_bytes;
+    noc::Fabric fabric(cfg);
+    std::vector<std::uint8_t> payload(64, 0x5a);
+    std::uint64_t cycle = 0;
+    for (int i = 0; i < 32; ++i) {
+      fabric.send_frame(0, 3, static_cast<std::uint32_t>(i), payload, cycle);
+    }
+    while (!fabric.idle() && cycle < 1'000'000) {
+      fabric.tick(++cycle);
+      (void)fabric.pop_due(3, cycle);
+    }
+    frames += fabric.stats().frames_delivered;
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      static_cast<double>(frames), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NocFlitWidth)->Arg(1)->Arg(4)->Arg(16)->ArgNames({"flit_bytes"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_summary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

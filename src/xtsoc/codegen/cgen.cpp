@@ -391,7 +391,7 @@ private:
       arg_exprs[static_cast<std::size_t>(a.param_index)] = expr(*a.value);
     }
 
-    const bool cross = sys_.partition().crosses_boundary(cls_.id, target.id);
+    const bool cross = sys_.partition().crosses_interconnect(cls_.id, target.id);
     if (cross) {
       // Boundary: per-message helper from the synthesized interface.
       std::string call = "xt_bus_send_" + lower(target.name) + "_" +

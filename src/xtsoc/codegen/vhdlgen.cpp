@@ -361,7 +361,7 @@ private:
   void emit_generate(Writer& w, const GenerateStmt& g) {
     const ClassDef& target = domain_.cls(g.target_class);
     const xtuml::EventDef& ev = target.event(g.event);
-    const bool cross = sys_.partition().crosses_boundary(cls_.id, target.id);
+    const bool cross = sys_.partition().crosses_interconnect(cls_.id, target.id);
 
     std::vector<const Expr*> arg_exprs(ev.params.size(), nullptr);
     for (const auto& a : g.args) {

@@ -72,18 +72,29 @@ public:
   }
   void run(std::size_t limit) override { cosim_->run(limit); }
   std::string summary() const override {
+    std::uint64_t hw = 0;
+    for (const auto& d : cosim_->hw_domains()) hw += d->dispatches();
     std::ostringstream os;
-    os << cosim_->hw_executor().dispatch_count() << " hw + "
-       << cosim_->sw_executor().dispatch_count() << " sw dispatches, "
-       << cosim_->cycles() << " cycles";
+    os << hw << " hw + " << cosim_->sw_executor().dispatch_count()
+       << " sw dispatches, " << cosim_->cycles() << " cycles";
     return os.str();
   }
   std::string trace_text() const override {
-    return "--- hardware partition ---\n" +
-           cosim_->hw_executor().trace().to_string() +
-           "--- software partition ---\n" +
-           cosim_->sw_executor().trace().to_string();
+    std::string text;
+    for (std::size_t i = 0; i < cosim_->hw_domains().size(); ++i) {
+      text += "--- hardware partition";
+      if (cosim_->hw_domains().size() > 1) {
+        text += " (domain " + std::to_string(i) + ")";
+      }
+      text += " ---\n";
+      text += cosim_->hw_domains()[i]->executor().trace().to_string();
+    }
+    text += "--- software partition ---\n";
+    text += cosim_->sw_executor().trace().to_string();
+    return text;
   }
+
+  const cosim::CoSimulation& cosim() const { return *cosim_; }
 
 private:
   std::unique_ptr<cosim::CoSimulation> cosim_;
@@ -332,11 +343,14 @@ StimulusResult run_stimulus(const Project& project, std::string_view script,
   return Script(project, driver, out).run(script);
 }
 
-StimulusResult run_stimulus_cosim(const Project& project,
-                                  std::string_view script, std::ostream& out,
-                                  cosim::CoSimConfig config) {
+StimulusResult run_stimulus_cosim(
+    const Project& project, std::string_view script, std::ostream& out,
+    cosim::CoSimConfig config,
+    const std::function<void(const cosim::CoSimulation&)>& on_finish) {
   CosimDriver driver(project, config);
-  return Script(project, driver, out).run(script);
+  StimulusResult result = Script(project, driver, out).run(script);
+  if (on_finish) on_finish(driver.cosim());
+  return result;
 }
 
 }  // namespace xtsoc::core

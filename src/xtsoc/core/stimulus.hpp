@@ -20,6 +20,7 @@
 // which is the point.
 #pragma once
 
+#include <functional>
 #include <ostream>
 #include <string_view>
 
@@ -39,9 +40,12 @@ struct StimulusResult {
 StimulusResult run_stimulus(const Project& project, std::string_view script,
                             std::ostream& out);
 
-/// Same script, but against the partitioned co-simulation.
-StimulusResult run_stimulus_cosim(const Project& project,
-                                  std::string_view script, std::ostream& out,
-                                  cosim::CoSimConfig config = {});
+/// Same script, but against the partitioned co-simulation. When set,
+/// `on_finish` observes the finished co-simulation before it is destroyed
+/// (e.g. to print NoC statistics or export a perf report).
+StimulusResult run_stimulus_cosim(
+    const Project& project, std::string_view script, std::ostream& out,
+    cosim::CoSimConfig config = {},
+    const std::function<void(const cosim::CoSimulation&)>& on_finish = {});
 
 }  // namespace xtsoc::core

@@ -1,0 +1,94 @@
+// Channel: one partition executor's window onto the interconnect.
+//
+// A domain (HwDomain, SwDomain) neither knows nor cares whether its frames
+// travel the legacy point-to-point Bus or the 2D-mesh NoC — it sends
+// toward a destination *class* and receives whatever is due. The concrete
+// channel picked by CoSimulation encodes the topology:
+//
+//   * BusEndpoint — the degenerate 1x2 case: exactly one hardware and one
+//     software endpoint, frames spend a fixed busLatency in flight;
+//   * FabricChannel — a tile's NIC on the noc::Fabric: frames are
+//     segmented into flits and routed hop by hop, so latency depends on
+//     placement and congestion (which is the whole point).
+#pragma once
+
+#include <vector>
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/mapping/modelcompiler.hpp"
+#include "xtsoc/noc/fabric.hpp"
+
+namespace xtsoc::cosim {
+
+class Channel {
+public:
+  virtual ~Channel() = default;
+
+  /// Queue `f` toward the executor owning class `dst`. The frame becomes
+  /// deliverable after the interconnect's transit time, but never before
+  /// `current_cycle + extra_delay` (generate-statement delays ride along).
+  virtual void send(ClassId dst, Frame f, std::uint64_t current_cycle,
+                    std::uint64_t extra_delay) = 0;
+
+  /// Remove and return every frame due at or before `cycle`, in order.
+  virtual std::vector<Frame> receive(std::uint64_t cycle) = 0;
+};
+
+/// Legacy bus endpoint. The destination class is ignored: the bus has
+/// exactly one far side.
+class BusEndpoint final : public Channel {
+public:
+  enum class Side { kHardware, kSoftware };
+
+  BusEndpoint(Bus& bus, Side side) : bus_(&bus), side_(side) {}
+
+  void send(ClassId, Frame f, std::uint64_t current_cycle,
+            std::uint64_t extra_delay) override {
+    if (side_ == Side::kHardware) {
+      bus_->push_to_sw(std::move(f), current_cycle, extra_delay);
+    } else {
+      bus_->push_to_hw(std::move(f), current_cycle, extra_delay);
+    }
+  }
+
+  std::vector<Frame> receive(std::uint64_t cycle) override {
+    return side_ == Side::kHardware ? bus_->pop_due_to_hw(cycle)
+                                    : bus_->pop_due_to_sw(cycle);
+  }
+
+private:
+  Bus* bus_;
+  Side side_;
+};
+
+/// A tile's NIC on the mesh fabric. Destination classes resolve to tiles
+/// through the partition's mark-driven placement.
+class FabricChannel final : public Channel {
+public:
+  FabricChannel(noc::Fabric& fabric, const mapping::MappedSystem& sys,
+                int tile)
+      : fabric_(&fabric), sys_(&sys), tile_(tile) {}
+
+  int tile() const { return tile_; }
+
+  void send(ClassId dst, Frame f, std::uint64_t current_cycle,
+            std::uint64_t extra_delay) override {
+    fabric_->send_frame(tile_, sys_->partition().tile_of(dst), f.opcode,
+                        std::move(f.payload), current_cycle, extra_delay);
+  }
+
+  std::vector<Frame> receive(std::uint64_t cycle) override {
+    std::vector<Frame> frames;
+    for (noc::Delivery& d : fabric_->pop_due(tile_, cycle)) {
+      frames.push_back(Frame{d.opcode, std::move(d.payload), d.due_cycle});
+    }
+    return frames;
+  }
+
+private:
+  noc::Fabric* fabric_;
+  const mapping::MappedSystem* sys_;
+  int tile_;
+};
+
+}  // namespace xtsoc::cosim

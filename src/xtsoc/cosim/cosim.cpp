@@ -8,28 +8,91 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
   clk_ = sim_->wire(1, 0, "clk");
   sim_->add_clock(clk_, /*half_period=*/1);
 
-  bus_ = std::make_unique<Bus>(sys.bus_latency());
-
   runtime::ExecutorConfig ecfg;
   ecfg.policy = config_.policy;
   ecfg.engine = config_.engine;
   ecfg.trace_enabled = config_.trace_enabled;
   ecfg.max_ops_per_action = config_.max_ops_per_action;
 
-  hw_ = std::make_unique<HwDomain>(sys, *sim_, clk_, *bus_, ecfg);
-  sw_ = std::make_unique<SwDomain>(sys, *bus_, scheduler_, ecfg);
+  const mapping::Partition& part = sys.partition();
+  hw_domain_of_.resize(sys.domain().class_count(), nullptr);
 
   // Connect-time interface handshake. Each endpoint presents the digest of
-  // the interface it was generated against.
+  // the interface it was generated against; a mismatch aborts before any
+  // traffic can be mis-decoded.
   std::string hw_digest = sys.interface().digest(sys.domain());
   std::string sw_digest = config_.forged_sw_digest.empty()
                               ? hw_digest
                               : config_.forged_sw_digest;
-  bus_->connect(hw_digest, sw_digest);
+
+  if (part.mesh().enabled) {
+    // Mesh mode: mark-driven tile placement, one hardware clock domain per
+    // occupied tile, software on its own tile, all behind NICs.
+    const mapping::MeshSpec& mesh = part.mesh();
+    noc::FabricConfig fcfg;
+    fcfg.width = mesh.width;
+    fcfg.height = mesh.height;
+    fcfg.link_latency = mesh.link_latency;
+    fcfg.flit_payload_bytes = mesh.flit_bytes;
+    fcfg.fifo_depth = mesh.fifo_depth;
+    fabric_ = std::make_unique<noc::Fabric>(fcfg);
+
+    if (hw_digest != sw_digest) {
+      throw InterfaceMismatch(
+          "interface digest mismatch at fabric connect: hardware side " +
+          hw_digest + " vs software side " + sw_digest);
+    }
+
+    for (int tile : part.hardware_tiles()) {
+      auto chan = std::make_unique<FabricChannel>(*fabric_, sys, tile);
+      std::vector<ClassId> owned;
+      for (ClassId cls : part.hardware()) {
+        if (part.tile_of(cls) == tile) owned.push_back(cls);
+      }
+      hw_domains_.push_back(std::make_unique<HwDomain>(
+          sys, *sim_, clk_, *chan, std::move(owned), ecfg));
+      for (ClassId cls : hw_domains_.back()->owned()) {
+        hw_domain_of_[cls.value()] = hw_domains_.back().get();
+      }
+      channels_.push_back(std::move(chan));
+    }
+    auto sw_chan =
+        std::make_unique<FabricChannel>(*fabric_, sys, mesh.sw_tile());
+    sw_ = std::make_unique<SwDomain>(sys, *sw_chan, scheduler_, ecfg);
+    channels_.push_back(std::move(sw_chan));
+  } else {
+    // Bus mode: the 1x2 degenerate topology, byte-identical to the
+    // pre-mesh behavior.
+    bus_ = std::make_unique<Bus>(sys.bus_latency());
+    auto hw_chan =
+        std::make_unique<BusEndpoint>(*bus_, BusEndpoint::Side::kHardware);
+    auto sw_chan =
+        std::make_unique<BusEndpoint>(*bus_, BusEndpoint::Side::kSoftware);
+
+    std::vector<ClassId> owned(part.hardware().begin(), part.hardware().end());
+    hw_domains_.push_back(std::make_unique<HwDomain>(
+        sys, *sim_, clk_, *hw_chan, std::move(owned), ecfg));
+    for (ClassId cls : hw_domains_.back()->owned()) {
+      hw_domain_of_[cls.value()] = hw_domains_.back().get();
+    }
+    sw_ = std::make_unique<SwDomain>(sys, *sw_chan, scheduler_, ecfg);
+    channels_.push_back(std::move(hw_chan));
+    channels_.push_back(std::move(sw_chan));
+
+    bus_->connect(hw_digest, sw_digest);
+  }
 }
 
 runtime::Executor& CoSimulation::executor_of(ClassId cls) {
-  return sys_->partition().is_hardware(cls) ? hw_->executor() : sw_->executor();
+  HwDomain* d =
+      cls.value() < hw_domain_of_.size() ? hw_domain_of_[cls.value()] : nullptr;
+  return d != nullptr ? d->executor() : sw_->executor();
+}
+
+const runtime::Executor& CoSimulation::executor_of(ClassId cls) const {
+  HwDomain* d =
+      cls.value() < hw_domain_of_.size() ? hw_domain_of_[cls.value()] : nullptr;
+  return d != nullptr ? d->executor() : sw_->executor();
 }
 
 runtime::InstanceHandle CoSimulation::create(std::string_view class_name) {
@@ -79,7 +142,10 @@ void CoSimulation::inject(const runtime::InstanceHandle& target,
 
 void CoSimulation::one_cycle() {
   ++cycle_;
-  // Hardware first: the clocked HwDomain process fires on the rising edge.
+  // Fabric first: flits advance one hop, frames completing reassembly this
+  // cycle become visible to the NICs the domains poll below.
+  if (fabric_) fabric_->tick(cycle_);
+  // Hardware next: each clocked HwDomain process fires on the rising edge.
   sim_->run_cycles(clk_, 1);
   // Then software gets its per-cycle budget: at most `sw_steps_per_cycle`
   // dispatches AND at most `sw_ops_per_cycle` action ops. A dispatch whose
@@ -97,7 +163,11 @@ void CoSimulation::one_cycle() {
 }
 
 bool CoSimulation::quiescent() const {
-  return hw_->drained() && sw_->drained() && bus_->empty();
+  for (const auto& hw : hw_domains_) {
+    if (!hw->drained()) return false;
+  }
+  if (!sw_->drained()) return false;
+  return bus_ ? bus_->empty() : fabric_->idle();
 }
 
 std::uint64_t CoSimulation::run(std::uint64_t max_cycles) {

@@ -1,23 +1,36 @@
 // CoSimulation: the partitioned executable system.
 //
-// Owns the hwsim kernel (with one clock), the HwDomain, the SwDomain, the
-// swrt scheduler, and the bus between them. Per hardware clock cycle:
+// Owns the hwsim kernel (with one clock), the hardware domains, the
+// SwDomain, the swrt scheduler, and the interconnect between them. The
+// interconnect is picked from the marks:
 //
-//   1. the HwDomain's clocked process latches due bus frames and lets each
+//   * no tile marks — the legacy point-to-point Bus with one HwDomain
+//     owning every hardware class (the 1x2 degenerate topology);
+//   * tile marks present — a cycle-accurate noc::Fabric 2D mesh, one
+//     HwDomain per occupied hardware tile plus the SwDomain on its own
+//     tile, each behind a NIC (FabricChannel).
+//
+// Per hardware clock cycle:
+//
+//   1. the fabric (if any) moves flits one hop and retires due frames;
+//   2. each HwDomain's clocked process latches due frames and lets each
 //      hardware FSM instance consume one signal;
-//   2. the SwDomain latches its due frames and the software task receives a
+//   3. the SwDomain latches its due frames and the software task receives a
 //      budget of `sw_steps_per_cycle` dispatches.
 //
 // The whole thing is deterministic, so a CoSimulation trace is comparable
 // against the abstract Executor trace (see src/xtsoc/verify) — the paper's
 // "the model compiler ... preserves the defined behavior" claim, tested.
+// Placement changes latency, never functional behavior.
 #pragma once
 
 #include <memory>
 
 #include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/cosim/channel.hpp"
 #include "xtsoc/cosim/hwdomain.hpp"
 #include "xtsoc/cosim/swdomain.hpp"
+#include "xtsoc/noc/fabric.hpp"
 
 namespace xtsoc::cosim {
 
@@ -67,19 +80,32 @@ public:
 
   // --- observability ------------------------------------------------------------
   std::uint64_t cycles() const { return cycle_; }
-  const HwDomain& hw_domain() const { return *hw_; }
+  /// The first (in bus mode: the only) hardware domain.
+  const HwDomain& hw_domain() const { return *hw_domains_.front(); }
+  /// All hardware clock domains, one per occupied mesh tile (a single
+  /// entry in bus mode).
+  const std::vector<std::unique_ptr<HwDomain>>& hw_domains() const {
+    return hw_domains_;
+  }
   /// Called at the end of every cycle — attach waveform sampling here
   /// (e.g. hwsim::VcdWriter::sample).
   void set_cycle_hook(std::function<void(std::uint64_t)> hook) {
     cycle_hook_ = std::move(hook);
   }
-  runtime::Executor& hw_executor() { return hw_->executor(); }
+  runtime::Executor& hw_executor() { return hw_domains_.front()->executor(); }
   runtime::Executor& sw_executor() { return sw_->executor(); }
-  const runtime::Executor& hw_executor() const { return hw_->executor(); }
+  const runtime::Executor& hw_executor() const {
+    return hw_domains_.front()->executor();
+  }
   const runtime::Executor& sw_executor() const { return sw_->executor(); }
   runtime::Executor& executor_of(ClassId cls);
+  const runtime::Executor& executor_of(ClassId cls) const;
   const mapping::MappedSystem& system() const { return *sys_; }
+  /// Valid only in bus mode (`!has_fabric()`).
   const Bus& bus() const { return *bus_; }
+  bool has_fabric() const { return fabric_ != nullptr; }
+  /// Valid only in fabric mode (`has_fabric()`).
+  const noc::Fabric& fabric() const { return *fabric_; }
   const hwsim::Simulator& hw_sim() const { return *sim_; }
   const swrt::Scheduler& scheduler() const { return scheduler_; }
 
@@ -90,10 +116,14 @@ private:
   CoSimConfig config_;
   std::unique_ptr<hwsim::Simulator> sim_;
   HwSignalId clk_;
-  std::unique_ptr<Bus> bus_;
+  std::unique_ptr<Bus> bus_;           // bus mode only
+  std::unique_ptr<noc::Fabric> fabric_;  // fabric mode only
+  std::vector<std::unique_ptr<Channel>> channels_;  // owned by the master
   swrt::Scheduler scheduler_;
-  std::unique_ptr<HwDomain> hw_;
+  std::vector<std::unique_ptr<HwDomain>> hw_domains_;
   std::unique_ptr<SwDomain> sw_;
+  /// ClassId -> owning hardware domain, nullptr for software classes.
+  std::vector<HwDomain*> hw_domain_of_;
   std::function<void(std::uint64_t)> cycle_hook_;
   std::uint64_t cycle_ = 0;
 };

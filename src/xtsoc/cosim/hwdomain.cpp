@@ -5,26 +5,30 @@
 namespace xtsoc::cosim {
 
 HwDomain::HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
-                   HwSignalId clk, Bus& bus, runtime::ExecutorConfig config)
-    : sys_(&sys), sim_(&sim), bus_(&bus),
+                   HwSignalId clk, Channel& channel,
+                   std::vector<ClassId> owned, runtime::ExecutorConfig config)
+    : sys_(&sys), sim_(&sim), channel_(&channel), owned_(std::move(owned)),
+      owned_mask_(sys.domain().class_count(), 0),
       exec_(
           sys.compiled(), config,
-          [&sys](ClassId cls) { return sys.partition().is_hardware(cls); },
+          [this](ClassId cls) { return owns(cls); },
           [this](runtime::EventMessage m) {
-            // Signal leaving hardware for software: serialize per the
-            // synthesized interface and put it on the bus. Any generate-
-            // statement delay rides along as extra bus delay.
+            // Signal leaving this domain for a foreign executor: serialize
+            // per the synthesized interface and hand it to the channel. Any
+            // generate-statement delay rides along as extra transit delay.
             std::uint64_t extra = m.deliver_at - exec_.now();
-            bus_->push_to_sw(encode_message(sys_->interface(), m), cycle_,
-                             extra);
+            ClassId dst = m.target.cls;
+            channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
+                           extra);
           }) {
+  for (ClassId cls : owned_) owned_mask_[cls.value()] = 1;
   divider_.resize(sys.domain().class_count(), 1);
   alive_wires_.resize(sys.domain().class_count(), HwSignalId::invalid());
   busy_wires_.resize(sys.domain().class_count(), HwSignalId::invalid());
   for (const auto& cm : sys.class_mappings()) {
     divider_[cm.cls.value()] =
         cm.clock_domain >= 2 ? static_cast<std::uint64_t>(cm.clock_domain) : 1;
-    if (cm.target == marks::Target::kHardware) {
+    if (cm.target == marks::Target::kHardware && owns(cm.cls)) {
       const std::string& name = sys.domain().cls(cm.cls).name;
       alive_wires_[cm.cls.value()] = sim.wire(16, 0, "hw." + name + ".alive");
       busy_wires_[cm.cls.value()] = sim.wire(1, 0, "hw." + name + ".busy");
@@ -45,8 +49,8 @@ void HwDomain::on_clock() {
   ++cycle_;
   exec_.advance_time(1);
 
-  // Latch frames that completed their bus flight this cycle.
-  for (Frame& f : bus_->pop_due_to_hw(cycle_)) {
+  // Latch frames that completed their interconnect flight this cycle.
+  for (Frame& f : channel_->receive(cycle_)) {
     runtime::EventMessage m = decode_frame(sys_->interface(), f);
     m.deliver_at = exec_.now();
     exec_.deliver_remote(std::move(m));
@@ -73,7 +77,7 @@ void HwDomain::on_clock() {
   }
 
   // Update the observability wires (visible to VCD like any RTL signal).
-  for (ClassId cls : sys_->partition().hardware()) {
+  for (ClassId cls : owned_) {
     sim_->nba_write(alive_wires_[cls.value()],
                     exec_.database().live_count(cls));
     bool busy = false;

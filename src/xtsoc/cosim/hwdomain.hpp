@@ -1,8 +1,11 @@
-// HwDomain: the executable hardware mapping.
+// HwDomain: the executable hardware mapping of ONE clock domain.
 //
 // Every hardware-marked class becomes, conceptually, a bank of FSMs; here
-// the bank is realized as a partition-scoped Executor driven by a clocked
-// process of the hwsim kernel. The timing contract of the mapping:
+// the bank is realized as a domain-scoped Executor driven by a clocked
+// process of the hwsim kernel. With the legacy bus there is exactly one
+// HwDomain owning every hardware class; with the mesh fabric there is one
+// per occupied tile, each behind its own NIC. The timing contract of the
+// mapping:
 //
 //   * one signal consumed per instance per clock cycle (FSMs are parallel
 //     in space, serial in their own time),
@@ -10,8 +13,8 @@
 //     consumes signals only every d-th master-clock cycle (0/1 = full
 //     rate) — slow peripherals cost cycles, exactly as on a real SoC,
 //   * `delay N` = N master-clock cycles,
-//   * signals to software-marked classes leave through the bus with the
-//     synthesized wire format.
+//   * signals to classes owned by any other executor leave through this
+//     domain's Channel with the synthesized wire format.
 //
 // This is the executable twin of the VHDL text emitted by
 // codegen::generate_vhdl — same partition, same interface, same queueing.
@@ -20,7 +23,7 @@
 #include <set>
 #include <vector>
 
-#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/cosim/channel.hpp"
 #include "xtsoc/hwsim/kernel.hpp"
 #include "xtsoc/mapping/modelcompiler.hpp"
 #include "xtsoc/runtime/executor.hpp"
@@ -29,13 +32,21 @@ namespace xtsoc::cosim {
 
 class HwDomain {
 public:
-  /// Registers a clocked process on `clk`. `sim` and `bus` must outlive
-  /// this object.
+  /// Registers a clocked process on `clk`. `sim` and `channel` must
+  /// outlive this object. `owned` lists the hardware classes this domain
+  /// executes: the full hardware partition in bus mode, one tile's worth
+  /// in fabric mode.
   HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
-           HwSignalId clk, Bus& bus, runtime::ExecutorConfig config);
+           HwSignalId clk, Channel& channel, std::vector<ClassId> owned,
+           runtime::ExecutorConfig config);
 
   runtime::Executor& executor() { return exec_; }
   const runtime::Executor& executor() const { return exec_; }
+
+  const std::vector<ClassId>& owned() const { return owned_; }
+  bool owns(ClassId cls) const {
+    return cls.value() < owned_mask_.size() && owned_mask_[cls.value()] != 0;
+  }
 
   /// Rising edges seen so far (= hardware cycles executed).
   std::uint64_t cycles() const { return cycle_; }
@@ -44,7 +55,7 @@ public:
 
   bool drained() const { return exec_.drained(); }
 
-  /// Observability wires created in the hwsim netlist, one pair per
+  /// Observability wires created in the hwsim netlist, one pair per owned
   /// hardware class: `hw.<class>.alive` (live instance count, 16 bits) and
   /// `hw.<class>.busy` (1 while the class dispatched this cycle). They make
   /// fabric activity visible to the VCD writer like any RTL signal.
@@ -56,12 +67,14 @@ private:
 
   const mapping::MappedSystem* sys_;
   hwsim::Simulator* sim_;
-  Bus* bus_;
+  Channel* channel_;
+  std::vector<ClassId> owned_;
+  std::vector<char> owned_mask_;  // indexed by ClassId
   runtime::Executor exec_;
   std::uint64_t cycle_ = 0;
   /// Per-class clock divider from the clockDomain mark (index: ClassId).
   std::vector<std::uint64_t> divider_;
-  std::vector<HwSignalId> alive_wires_;  // index: ClassId; invalid if sw
+  std::vector<HwSignalId> alive_wires_;  // index: ClassId; invalid if foreign
   std::vector<HwSignalId> busy_wires_;
 };
 

@@ -4,16 +4,17 @@
 
 namespace xtsoc::cosim {
 
-SwDomain::SwDomain(const mapping::MappedSystem& sys, Bus& bus,
+SwDomain::SwDomain(const mapping::MappedSystem& sys, Channel& channel,
                    swrt::Scheduler& scheduler, runtime::ExecutorConfig config)
-    : sys_(&sys), bus_(&bus), scheduler_(&scheduler),
+    : sys_(&sys), channel_(&channel), scheduler_(&scheduler),
       exec_(
           sys.compiled(), config,
           [&sys](ClassId cls) { return !sys.partition().is_hardware(cls); },
           [this](runtime::EventMessage m) {
             std::uint64_t extra = m.deliver_at - exec_.now();
-            bus_->push_to_hw(encode_message(sys_->interface(), m), cycle_,
-                             extra);
+            ClassId dst = m.target.cls;
+            channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
+                           extra);
           }) {
   task_ = scheduler_->spawn(sys.domain().name() + ".sw", /*priority=*/0,
                             [this] { return exec_.step(); });
@@ -23,7 +24,7 @@ void SwDomain::begin_cycle(std::uint64_t cycle) {
   cycle_ = cycle;
   exec_.advance_time(1);
   bool delivered = false;
-  for (Frame& f : bus_->pop_due_to_sw(cycle)) {
+  for (Frame& f : channel_->receive(cycle)) {
     runtime::EventMessage m = decode_frame(sys_->interface(), f);
     m.deliver_at = exec_.now();
     exec_.deliver_remote(std::move(m));

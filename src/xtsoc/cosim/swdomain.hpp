@@ -5,10 +5,12 @@
 // loop does exactly this: pop mailbox, dispatch, repeat). The co-simulation
 // master grants the software side a budget of steps per hardware clock
 // cycle — the speed ratio between the processor and the fabric — which is
-// the knob behind the partitioning experiments.
+// the knob behind the partitioning experiments. Frames travel whatever
+// Channel the master picked: the legacy bus, or the software tile's NIC on
+// the mesh.
 #pragma once
 
-#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/cosim/channel.hpp"
 #include "xtsoc/mapping/modelcompiler.hpp"
 #include "xtsoc/runtime/executor.hpp"
 #include "xtsoc/swrt/scheduler.hpp"
@@ -17,14 +19,14 @@ namespace xtsoc::cosim {
 
 class SwDomain {
 public:
-  SwDomain(const mapping::MappedSystem& sys, Bus& bus,
+  SwDomain(const mapping::MappedSystem& sys, Channel& channel,
            swrt::Scheduler& scheduler, runtime::ExecutorConfig config);
 
   runtime::Executor& executor() { return exec_; }
   const runtime::Executor& executor() const { return exec_; }
 
   /// Called once per hardware clock cycle by the co-simulation master:
-  /// advances software time, latches due bus frames, wakes the task.
+  /// advances software time, latches due frames, wakes the task.
   void begin_cycle(std::uint64_t cycle);
 
   TaskId task() const { return task_; }
@@ -33,7 +35,7 @@ public:
 
 private:
   const mapping::MappedSystem* sys_;
-  Bus* bus_;
+  Channel* channel_;
   swrt::Scheduler* scheduler_;
   runtime::Executor exec_;
   TaskId task_;

@@ -98,7 +98,9 @@ InterfaceSpec synthesize_interface(const oal::CompiledDomain& compiled,
   for (const auto& sender : domain.classes()) {
     ClassRefs refs = collect_class_refs(compiled, sender.id);
     for (const auto& [target, event] : refs.generates) {
-      if (partition.crosses_boundary(sender.id, target)) {
+      // Mesh-placed classes on different tiles need a wire message even
+      // when both are hardware: tiles share no memory, only the network.
+      if (partition.crosses_interconnect(sender.id, target)) {
         boundary[target.value()][event.value()] = true;
       }
     }

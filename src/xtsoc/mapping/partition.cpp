@@ -1,5 +1,6 @@
 #include "xtsoc/mapping/partition.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "xtsoc/mapping/classrefs.hpp"
@@ -19,7 +20,63 @@ Partition Partition::from_marks(const xtuml::Domain& domain,
       p.software_.push_back(c.id);
     }
   }
+
+  // Mesh placement: enabled by the presence of any tileX/tileY mark.
+  // Dimensions default to the bounding box of the placement (plus the
+  // software tile); marks::validate has already rejected inconsistent or
+  // out-of-range placements.
+  std::int64_t max_x = 0, max_y = 0;
+  bool any_tiles = false;
+  for (const auto& c : domain.classes()) {
+    auto tx = marks.class_mark(c.name, marks::kTileX);
+    auto ty = marks.class_mark(c.name, marks::kTileY);
+    if (!tx && !ty) continue;
+    any_tiles = true;
+    max_x = std::max(max_x, marks.class_mark_int(c.name, marks::kTileX, 0));
+    max_y = std::max(max_y, marks.class_mark_int(c.name, marks::kTileY, 0));
+  }
+  p.tile_by_class_.resize(domain.class_count(), 0);
+  if (!any_tiles) return p;
+
+  MeshSpec& m = p.mesh_;
+  m.enabled = true;
+  m.sw_x = static_cast<int>(marks.domain_mark_int(marks::kSwTileX, 0));
+  m.sw_y = static_cast<int>(marks.domain_mark_int(marks::kSwTileY, 0));
+  m.width = static_cast<int>(marks.domain_mark_int(
+      marks::kMeshWidth, std::max(max_x, std::int64_t{m.sw_x}) + 1));
+  m.height = static_cast<int>(marks.domain_mark_int(
+      marks::kMeshHeight, std::max(max_y, std::int64_t{m.sw_y}) + 1));
+  m.link_latency =
+      static_cast<int>(marks.domain_mark_int(marks::kLinkLatency, 1));
+  m.flit_bytes = static_cast<int>(marks.domain_mark_int(marks::kFlitBytes, 4));
+  m.fifo_depth = static_cast<int>(marks.domain_mark_int(marks::kFifoDepth, 4));
+  for (const auto& c : domain.classes()) {
+    if (p.by_class_[c.id.value()] == marks::Target::kHardware) {
+      p.tile_by_class_[c.id.value()] = m.index(
+          static_cast<int>(marks.class_mark_int(c.name, marks::kTileX, 0)),
+          static_cast<int>(marks.class_mark_int(c.name, marks::kTileY, 0)));
+    } else {
+      p.tile_by_class_[c.id.value()] = m.sw_tile();
+    }
+  }
   return p;
+}
+
+int Partition::tile_of(ClassId cls) const {
+  if (!mesh_.enabled || cls.value() >= tile_by_class_.size()) return 0;
+  return tile_by_class_[cls.value()];
+}
+
+std::vector<int> Partition::hardware_tiles() const {
+  std::vector<int> tiles;
+  for (ClassId c : hardware_) {
+    int t = tile_of(c);
+    if (std::find(tiles.begin(), tiles.end(), t) == tiles.end()) {
+      tiles.push_back(t);
+    }
+  }
+  std::sort(tiles.begin(), tiles.end());
+  return tiles;
 }
 
 marks::Target Partition::target_of(ClassId cls) const {
@@ -32,7 +89,18 @@ std::string Partition::to_string(const xtuml::Domain& domain) const {
   os << "software: ";
   for (ClassId c : software_) os << domain.cls(c).name << ' ';
   os << "| hardware: ";
-  for (ClassId c : hardware_) os << domain.cls(c).name << ' ';
+  for (ClassId c : hardware_) {
+    os << domain.cls(c).name;
+    if (mesh_.enabled) {
+      int t = tile_of(c);
+      os << "@(" << t % mesh_.width << ',' << t / mesh_.width << ')';
+    }
+    os << ' ';
+  }
+  if (mesh_.enabled) {
+    os << "| mesh: " << mesh_.width << 'x' << mesh_.height << " sw@("
+       << mesh_.sw_x << ',' << mesh_.sw_y << ") ";
+  }
   return os.str();
 }
 
@@ -80,6 +148,35 @@ bool validate_partition(const oal::CompiledDomain& compiled,
                  "association " + a.name + " spans the partition boundary (" +
                      domain.cls(a.a.cls).name + " / " +
                      domain.cls(a.b.cls).name + ")");
+    }
+  }
+
+  // Rules 1b/2b (mesh only): tiles are separate executors that share no
+  // memory either, so data access and associations must stay on one tile.
+  if (partition.mesh().enabled) {
+    for (const auto& c : domain.classes()) {
+      ClassRefs refs = collect_class_refs(compiled, c.id);
+      for (ClassId touched : refs.touched) {
+        if (!partition.crosses_boundary(c.id, touched) &&
+            partition.tile_of(c.id) != partition.tile_of(touched)) {
+          sink.error("mapping.partition.tile_data_cross",
+                     "actions of '" + c.name + "' (tile " +
+                         std::to_string(partition.tile_of(c.id)) +
+                         ") access data of '" + domain.cls(touched).name +
+                         "' (tile " +
+                         std::to_string(partition.tile_of(touched)) +
+                         "); only signals may cross tiles");
+        }
+      }
+    }
+    for (const auto& a : domain.associations()) {
+      if (!partition.crosses_boundary(a.a.cls, a.b.cls) &&
+          partition.tile_of(a.a.cls) != partition.tile_of(a.b.cls)) {
+        sink.error("mapping.partition.tile_assoc_cross",
+                   "association " + a.name + " spans mesh tiles (" +
+                       domain.cls(a.a.cls).name + " / " +
+                       domain.cls(a.b.cls).name + ")");
+      }
     }
   }
 

@@ -10,11 +10,29 @@
 
 namespace xtsoc::mapping {
 
+/// Mesh interconnect geometry, derived from the domain-scope NoC marks.
+/// Disabled (the legacy point-to-point bus) unless at least one class
+/// carries tileX/tileY placement marks.
+struct MeshSpec {
+  bool enabled = false;
+  int width = 1;
+  int height = 1;
+  int sw_x = 0, sw_y = 0;  ///< tile the software partition's CPU sits on
+  int link_latency = 1;    ///< cycles per router-to-router hop
+  int flit_bytes = 4;      ///< link width: payload bytes per flit
+  int fifo_depth = 4;      ///< router input-buffer depth (= credits)
+
+  int tiles() const { return width * height; }
+  int index(int x, int y) const { return y * width + x; }
+  int sw_tile() const { return index(sw_x, sw_y); }
+};
+
 class Partition {
 public:
   Partition() = default;
 
-  /// Derive the split of `domain` from `marks` (unmarked = software).
+  /// Derive the split of `domain` from `marks` (unmarked = software),
+  /// including the mesh placement when tile marks are present.
   static Partition from_marks(const xtuml::Domain& domain,
                               const marks::MarkSet& marks);
 
@@ -33,12 +51,30 @@ public:
     return target_of(a) != target_of(b);
   }
 
+  // --- NoC placement ----------------------------------------------------------
+  const MeshSpec& mesh() const { return mesh_; }
+  /// Tile hosting `cls` (software classes live on the software tile).
+  /// Always 0 when the mesh is disabled.
+  int tile_of(ClassId cls) const;
+  /// Tiles hosting at least one hardware class, ascending. One executable
+  /// HwDomain is built per entry — the multi-domain growth of the mapping.
+  std::vector<int> hardware_tiles() const;
+  /// True when a signal between `a` and `b` must travel the interconnect:
+  /// the classes live in different executors (different technology, or
+  /// different tiles of the mesh).
+  bool crosses_interconnect(ClassId a, ClassId b) const {
+    return crosses_boundary(a, b) ||
+           (mesh_.enabled && tile_of(a) != tile_of(b));
+  }
+
   std::string to_string(const xtuml::Domain& domain) const;
 
 private:
   std::vector<ClassId> software_;
   std::vector<ClassId> hardware_;
   std::vector<marks::Target> by_class_;  // indexed by ClassId
+  MeshSpec mesh_;
+  std::vector<int> tile_by_class_;  // indexed by ClassId
 };
 
 /// Enforce the rules that make a partition realizable:

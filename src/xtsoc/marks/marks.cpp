@@ -13,8 +13,12 @@ namespace {
 constexpr const char* kDomainScope = "";
 
 const char* const kStandardClassKeys[] = {kIsHardware, kClockDomain, kBusId,
-                                          kPriority, kMaxInstances, kIntWidth};
-const char* const kStandardDomainKeys[] = {kBusLatency};
+                                          kPriority, kMaxInstances, kIntWidth,
+                                          kTileX, kTileY};
+const char* const kStandardDomainKeys[] = {kBusLatency, kMeshWidth,
+                                           kMeshHeight, kSwTileX, kSwTileY,
+                                           kLinkLatency, kFlitBytes,
+                                           kFifoDepth};
 }  // namespace
 
 const char* to_string(Target t) {
@@ -137,18 +141,24 @@ bool MarkSet::validate(const xtuml::Domain& domain,
           sink.error("marks.type", element + ".isHardware must be a bool");
         }
       } else if (key == kClockDomain || key == kBusId || key == kPriority ||
-                 key == kMaxInstances || key == kIntWidth) {
+                 key == kMaxInstances || key == kIntWidth || key == kTileX ||
+                 key == kTileY) {
         if (domain_scope) {
           sink.error("marks.scope",
                      std::string(key) + " is a class mark, not domain");
         } else if (!std::holds_alternative<std::int64_t>(value)) {
           sink.error("marks.type", element + "." + key + " must be an int");
         }
-      } else if (key == kBusLatency) {
+      } else if (key == kBusLatency || key == kMeshWidth ||
+                 key == kMeshHeight || key == kSwTileX || key == kSwTileY ||
+                 key == kLinkLatency || key == kFlitBytes ||
+                 key == kFifoDepth) {
         if (!domain_scope) {
-          sink.error("marks.scope", "busLatency is a domain mark, not class");
+          sink.error("marks.scope",
+                     std::string(key) + " is a domain mark, not class");
         } else if (!std::holds_alternative<std::int64_t>(value)) {
-          sink.error("marks.type", "domain.busLatency must be an int");
+          sink.error("marks.type",
+                     "domain." + std::string(key) + " must be an int");
         }
       } else {
         // Unknown key: allowed, but warn on case/underscore near-misses.
@@ -184,6 +194,111 @@ bool MarkSet::validate(const xtuml::Domain& domain,
       if (w < 1 || w > 64) {
         sink.error("marks.int_width",
                    element + ".intWidth must be in [1, 64]");
+      }
+    }
+  }
+
+  // NoC placement rules. Any tileX/tileY mark switches the mapping to the
+  // mesh interconnect, so the placement must describe a buildable mesh.
+  bool any_tiles = false;
+  std::int64_t max_x = 0, max_y = 0;
+  for (const auto& [element, kv] : marks_) {
+    if (element.empty()) continue;
+    auto tx = kv.find(kTileX);
+    auto ty = kv.find(kTileY);
+    const bool has_x = tx != kv.end();
+    const bool has_y = ty != kv.end();
+    if (!has_x && !has_y) continue;
+    any_tiles = true;
+    if (has_x != has_y) {
+      sink.error("marks.tile_pair",
+                 "class '" + element + "' has " +
+                     (has_x ? "tileX without tileY" : "tileY without tileX") +
+                     "; a placement needs both coordinates");
+      continue;
+    }
+    if (!std::holds_alternative<std::int64_t>(tx->second) ||
+        !std::holds_alternative<std::int64_t>(ty->second)) {
+      continue;  // typed wrong; reported above
+    }
+    std::int64_t x = std::get<std::int64_t>(tx->second);
+    std::int64_t y = std::get<std::int64_t>(ty->second);
+    if (x < 0 || y < 0) {
+      sink.error("marks.tile_range", "class '" + element +
+                                         "' is placed at negative tile (" +
+                                         std::to_string(x) + "," +
+                                         std::to_string(y) + ")");
+    }
+    if (x > max_x) max_x = x;
+    if (y > max_y) max_y = y;
+    auto hw = kv.find(kIsHardware);
+    const bool is_hw = hw != kv.end() &&
+                       std::holds_alternative<bool>(hw->second) &&
+                       std::get<bool>(hw->second);
+    if (!is_hw) {
+      sink.warning("marks.tile_sw",
+                   "class '" + element + "' has tile marks but is not "
+                   "isHardware; software classes live on the software tile "
+                   "and the placement is ignored");
+    }
+  }
+  if (any_tiles) {
+    std::int64_t mesh_w = domain_mark_int(kMeshWidth, max_x + 1);
+    std::int64_t mesh_h = domain_mark_int(kMeshHeight, max_y + 1);
+    std::int64_t sw_x = domain_mark_int(kSwTileX, 0);
+    std::int64_t sw_y = domain_mark_int(kSwTileY, 0);
+    if (mesh_w < 1 || mesh_h < 1 || mesh_w > 64 || mesh_h > 64) {
+      sink.error("marks.mesh_dims", "meshWidth/meshHeight must be in [1, 64]");
+    } else {
+      auto in_mesh = [&](std::int64_t x, std::int64_t y) {
+        return x >= 0 && x < mesh_w && y >= 0 && y < mesh_h;
+      };
+      if (!in_mesh(sw_x, sw_y)) {
+        sink.error("marks.tile_range",
+                   "software tile (" + std::to_string(sw_x) + "," +
+                       std::to_string(sw_y) + ") is outside the " +
+                       std::to_string(mesh_w) + "x" + std::to_string(mesh_h) +
+                       " mesh");
+      }
+      for (const auto& [element, kv] : marks_) {
+        if (element.empty()) continue;
+        auto tx = kv.find(kTileX);
+        auto ty = kv.find(kTileY);
+        if (tx == kv.end() || ty == kv.end() ||
+            !std::holds_alternative<std::int64_t>(tx->second) ||
+            !std::holds_alternative<std::int64_t>(ty->second)) {
+          continue;
+        }
+        std::int64_t x = std::get<std::int64_t>(tx->second);
+        std::int64_t y = std::get<std::int64_t>(ty->second);
+        if (x < 0 || y < 0) continue;  // already reported
+        if (!in_mesh(x, y)) {
+          sink.error("marks.tile_range",
+                     "class '" + element + "' is placed at tile (" +
+                         std::to_string(x) + "," + std::to_string(y) +
+                         "), outside the " + std::to_string(mesh_w) + "x" +
+                         std::to_string(mesh_h) + " mesh");
+        } else if (x == sw_x && y == sw_y) {
+          sink.error("marks.tile_clash",
+                     "class '" + element + "' is placed on tile (" +
+                         std::to_string(x) + "," + std::to_string(y) +
+                         "), which is the software tile");
+        }
+      }
+    }
+    // Placement must be total: every hardware class needs a tile once the
+    // mesh is in play (an unplaced FSM bank has no router to sit behind).
+    for (const auto& [element, kv] : marks_) {
+      if (element.empty()) continue;
+      auto hw = kv.find(kIsHardware);
+      const bool is_hw = hw != kv.end() &&
+                         std::holds_alternative<bool>(hw->second) &&
+                         std::get<bool>(hw->second);
+      if (is_hw && (!kv.contains(kTileX) || !kv.contains(kTileY))) {
+        sink.error("marks.tile_missing",
+                   "class '" + element + "' is isHardware but has no "
+                   "tileX/tileY; every hardware class needs a tile once any "
+                   "class is placed on the mesh");
       }
     }
   }

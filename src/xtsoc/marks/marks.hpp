@@ -40,6 +40,20 @@ inline constexpr const char* kMaxInstances = "maxInstances";// int, class (hw po
 inline constexpr const char* kBusLatency = "busLatency";    // int, domain
 inline constexpr const char* kIntWidth = "intWidth";        // int, class (wire bits)
 
+// NoC placement marks. Placing ANY class on a tile switches the
+// co-simulation interconnect from the point-to-point bus to the 2D-mesh
+// fabric (src/xtsoc/noc); moving a class between tiles is then the same
+// marks-only operation as moving it between hardware and software.
+inline constexpr const char* kTileX = "tileX";              // int, class (mesh column)
+inline constexpr const char* kTileY = "tileY";              // int, class (mesh row)
+inline constexpr const char* kMeshWidth = "meshWidth";      // int, domain
+inline constexpr const char* kMeshHeight = "meshHeight";    // int, domain
+inline constexpr const char* kSwTileX = "swTileX";          // int, domain (CPU tile)
+inline constexpr const char* kSwTileY = "swTileY";          // int, domain
+inline constexpr const char* kLinkLatency = "linkLatency";  // int, domain (cycles/hop)
+inline constexpr const char* kFlitBytes = "flitBytes";      // int, domain (link width)
+inline constexpr const char* kFifoDepth = "fifoDepth";      // int, domain (router buffers)
+
 /// One change between two MarkSets (the unit of "repartitioning cost").
 struct MarkChange {
   std::string element;  ///< class name, or "domain"

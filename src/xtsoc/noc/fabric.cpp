@@ -1,0 +1,363 @@
+#include "xtsoc/noc/fabric.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace xtsoc::noc {
+
+void LatencyHistogram::add(std::uint64_t latency) {
+  int bucket = 0;
+  for (std::uint64_t v = latency; v > 1 && bucket < kBuckets - 1; v >>= 1) {
+    ++bucket;
+  }
+  ++buckets[bucket];
+  total += latency;
+  if (count == 0 || latency < min) min = latency;
+  if (latency > max) max = latency;
+  ++count;
+}
+
+Fabric::Fabric(FabricConfig config) : config_(config) {
+  if (config_.width < 1 || config_.height < 1) {
+    throw FabricError("mesh dimensions must be at least 1x1");
+  }
+  if (config_.width > 64 || config_.height > 64) {
+    throw FabricError("mesh dimensions capped at 64x64");
+  }
+  if (config_.link_latency < 1) {
+    throw FabricError("link latency must be at least 1 cycle");
+  }
+  if (config_.flit_payload_bytes < 1) {
+    throw FabricError("flit payload width must be at least 1 byte");
+  }
+  if (config_.fifo_depth < 1) {
+    throw FabricError("input FIFO depth must be at least 1");
+  }
+
+  const int n = tiles();
+  routers_.reserve(static_cast<std::size_t>(n));
+  nics_.resize(static_cast<std::size_t>(n));
+  link_index_.assign(static_cast<std::size_t>(n) * kPortCount, -1);
+  for (int t = 0; t < n; ++t) {
+    routers_.emplace_back(t % config_.width, t / config_.width,
+                          config_.fifo_depth);
+    nics_[static_cast<std::size_t>(t)].inject_credits = config_.fifo_depth;
+  }
+  for (int t = 0; t < n; ++t) {
+    for (Port d : {kNorth, kEast, kSouth, kWest}) {
+      if (neighbor_of(t, d) < 0) continue;
+      // Credits toward the neighbour's input FIFO on the far side.
+      routers_[static_cast<std::size_t>(t)].set_credits(d, config_.fifo_depth);
+      link_index_[static_cast<std::size_t>(t) * kPortCount + d] =
+          static_cast<int>(links_.size());
+      links_.push_back(LinkStats{t, d, 0});
+    }
+  }
+}
+
+int Fabric::neighbor_of(int tile, Port dir) const {
+  int x = tile % config_.width;
+  int y = tile / config_.width;
+  switch (dir) {
+    case kNorth: y -= 1; break;
+    case kSouth: y += 1; break;
+    case kEast: x += 1; break;
+    case kWest: x -= 1; break;
+    default: return -1;
+  }
+  if (x < 0 || x >= config_.width || y < 0 || y >= config_.height) return -1;
+  return tile_index(x, y);
+}
+
+void Fabric::check_tile(int tile, const char* what) const {
+  if (tile < 0 || tile >= tiles()) {
+    throw FabricError(std::string(what) + " tile " + std::to_string(tile) +
+                      " outside the " + std::to_string(config_.width) + "x" +
+                      std::to_string(config_.height) + " mesh");
+  }
+}
+
+void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
+                        std::vector<std::uint8_t> payload,
+                        std::uint64_t current_cycle,
+                        std::uint64_t extra_delay) {
+  check_tile(src, "source");
+  check_tile(dst, "destination");
+  if (src == dst) {
+    throw FabricError("same-tile send: tile " + std::to_string(src) +
+                      " talking to itself must not use the network");
+  }
+
+  Nic& nic = nics_[static_cast<std::size_t>(src)];
+  const std::size_t chunk =
+      static_cast<std::size_t>(config_.flit_payload_bytes);
+  const std::size_t nflits =
+      payload.empty() ? 1 : (payload.size() + chunk - 1) / chunk;
+
+  Flit proto;
+  proto.src_x = static_cast<std::uint8_t>(src % config_.width);
+  proto.src_y = static_cast<std::uint8_t>(src / config_.width);
+  proto.dst_x = static_cast<std::uint8_t>(dst % config_.width);
+  proto.dst_y = static_cast<std::uint8_t>(dst / config_.width);
+  proto.seq = nic.next_seq++;
+  proto.opcode = opcode;
+  proto.frame_bytes = static_cast<std::uint32_t>(payload.size());
+  proto.send_cycle = current_cycle;
+  proto.min_due = current_cycle + extra_delay;
+
+  for (std::size_t i = 0; i < nflits; ++i) {
+    Flit f = proto;
+    if (nflits == 1) {
+      f.kind = FlitKind::kHeadTail;
+    } else if (i == 0) {
+      f.kind = FlitKind::kHead;
+    } else if (i + 1 == nflits) {
+      f.kind = FlitKind::kTail;
+    } else {
+      f.kind = FlitKind::kBody;
+    }
+    const std::size_t off = i * chunk;
+    const std::size_t len = std::min(chunk, payload.size() - off);
+    if (!payload.empty()) {
+      f.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                       payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    }
+    nic.tx.push_back(std::move(f));
+  }
+  ++frames_sent_;
+  payload_bytes_ += payload.size();
+}
+
+void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
+  Nic& nic = nics_[static_cast<std::size_t>(tile)];
+  const int src_tile =
+      tile_index(static_cast<int>(flit.src_x), static_cast<int>(flit.src_y));
+  const auto key = std::make_pair(src_tile, flit.seq);
+
+  if (flit.kind == FlitKind::kHeadTail) {
+    Delivery d;
+    d.opcode = flit.opcode;
+    d.payload = std::move(flit.payload);
+    d.src_tile = src_tile;
+    d.send_cycle = flit.send_cycle;
+    d.arrive_cycle = cycle;
+    d.due_cycle = std::max(cycle, flit.min_due);
+    latency_.add(cycle - flit.send_cycle);
+    ++frames_delivered_;
+    nic.ready.push_back(std::move(d));
+    return;
+  }
+
+  if (flit.opens_frame()) {
+    Reassembly& r = nic.partial[key];
+    r.opcode = flit.opcode;
+    r.frame_bytes = flit.frame_bytes;
+    r.payload = std::move(flit.payload);
+    return;
+  }
+
+  auto it = nic.partial.find(key);
+  if (it == nic.partial.end()) {
+    throw FabricError("flit of an unopened frame reached tile " +
+                      std::to_string(tile));
+  }
+  Reassembly& r = it->second;
+  r.payload.insert(r.payload.end(), flit.payload.begin(), flit.payload.end());
+  if (flit.closes_frame()) {
+    if (r.payload.size() != r.frame_bytes) {
+      throw FabricError("frame reassembly size mismatch at tile " +
+                        std::to_string(tile));
+    }
+    Delivery d;
+    d.opcode = r.opcode;
+    d.payload = std::move(r.payload);
+    d.src_tile = src_tile;
+    d.send_cycle = flit.send_cycle;
+    d.arrive_cycle = cycle;
+    d.due_cycle = std::max(cycle, flit.min_due);
+    latency_.add(cycle - flit.send_cycle);
+    ++frames_delivered_;
+    nic.ready.push_back(std::move(d));
+    nic.partial.erase(it);
+  }
+}
+
+void Fabric::tick(std::uint64_t cycle) {
+  ++cycles_;
+
+  // 1. Link arrivals land in their reserved input-FIFO slots.
+  while (!in_flight_.empty() && in_flight_.front().cycle <= cycle) {
+    Arrival a = std::move(in_flight_.front());
+    in_flight_.pop_front();
+    routers_[static_cast<std::size_t>(a.router)].input(a.port).push_back(
+        std::move(a.flit));
+  }
+
+  // 2. NIC injection: one flit per cycle onto the local port, credit
+  //    permitting (this serialization is the injection bottleneck that
+  //    makes hot tiles measurable).
+  for (int t = 0; t < tiles(); ++t) {
+    Nic& nic = nics_[static_cast<std::size_t>(t)];
+    if (nic.tx.empty() || nic.inject_credits <= 0) continue;
+    routers_[static_cast<std::size_t>(t)].input(kLocal).push_back(
+        std::move(nic.tx.front()));
+    nic.tx.pop_front();
+    --nic.inject_credits;
+    ++flits_injected_;
+  }
+
+  for (Router& r : routers_) r.note_occupancy();
+
+  // 3. Route and arbitrate. Decisions read only cycle-start state (own
+  //    FIFOs and credit counters); freed buffer slots are returned as
+  //    credits only after every router has moved, so the order routers are
+  //    visited in cannot change the outcome.
+  struct CreditReturn {
+    int router;
+    Port input;  ///< the input FIFO a flit left
+  };
+  std::vector<CreditReturn> returns;
+  for (int t = 0; t < tiles(); ++t) {
+    Router& r = routers_[static_cast<std::size_t>(t)];
+    unsigned served = 0;  // inputs that already forwarded a flit this cycle
+    for (Port out : {kLocal, kNorth, kEast, kSouth, kWest}) {
+      const int winner = r.arbitrate(out, served);
+      if (winner < 0) continue;
+      if (out == kLocal) {
+        Flit f = std::move(r.input(static_cast<Port>(winner)).front());
+        r.input(static_cast<Port>(winner)).pop_front();
+        r.advance_rr(out, winner);
+        served |= 1u << winner;
+        ++r.stats().flits_ejected;
+        returns.push_back({t, static_cast<Port>(winner)});
+        eject(t, std::move(f), cycle);
+        continue;
+      }
+      if (r.credits(out) <= 0) continue;  // backpressure: stall, keep order
+      const int next = neighbor_of(t, out);
+      // XY routing on validated destinations never points off the mesh.
+      Flit f = std::move(r.input(static_cast<Port>(winner)).front());
+      r.input(static_cast<Port>(winner)).pop_front();
+      r.take_credit(out);
+      r.advance_rr(out, winner);
+      served |= 1u << winner;
+      ++r.stats().flits_routed;
+      ++links_[static_cast<std::size_t>(
+                   link_index_[static_cast<std::size_t>(t) * kPortCount + out])]
+            .flits;
+      returns.push_back({t, static_cast<Port>(winner)});
+      in_flight_.push_back(
+          Arrival{cycle + static_cast<std::uint64_t>(config_.link_latency),
+                  next, opposite(out), std::move(f)});
+    }
+  }
+
+  // 4. Freed slots become credits: at the upstream router for mesh ports,
+  //    at the NIC for the local injection port.
+  for (const CreditReturn& cr : returns) {
+    if (cr.input == kLocal) {
+      ++nics_[static_cast<std::size_t>(cr.router)].inject_credits;
+    } else {
+      const int upstream = neighbor_of(cr.router, cr.input);
+      routers_[static_cast<std::size_t>(upstream)].return_credit(
+          opposite(cr.input));
+    }
+  }
+}
+
+std::vector<Delivery> Fabric::pop_due(int tile, std::uint64_t cycle) {
+  check_tile(tile, "pop_due");
+  Nic& nic = nics_[static_cast<std::size_t>(tile)];
+  // Deliveries may carry heterogeneous generate-delays, so scan everything
+  // but keep the survivors' relative order (same contract as Bus::pop_due).
+  std::vector<Delivery> due;
+  std::vector<Delivery> keep;
+  for (Delivery& d : nic.ready) {
+    if (d.due_cycle <= cycle) {
+      due.push_back(std::move(d));
+    } else {
+      keep.push_back(std::move(d));
+    }
+  }
+  nic.ready.swap(keep);
+  return due;
+}
+
+bool Fabric::idle() const {
+  if (!in_flight_.empty()) return false;
+  for (const Router& r : routers_) {
+    if (!r.buffers_empty()) return false;
+  }
+  for (const Nic& n : nics_) {
+    if (!n.tx.empty() || !n.ready.empty() || !n.partial.empty()) return false;
+  }
+  return true;
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats s;
+  s.width = config_.width;
+  s.height = config_.height;
+  s.cycles = cycles_;
+  s.frames_sent = frames_sent_;
+  s.frames_delivered = frames_delivered_;
+  s.flits_injected = flits_injected_;
+  s.payload_bytes = payload_bytes_;
+  s.routers.reserve(routers_.size());
+  for (const Router& r : routers_) s.routers.push_back(r.stats());
+  s.links = links_;
+  s.latency = latency_;
+  return s;
+}
+
+std::string FabricStats::to_table() const {
+  std::ostringstream os;
+  os << "noc: " << width << "x" << height << " mesh, cycles=" << cycles
+     << " frames=" << frames_sent << "/" << frames_delivered
+     << " (sent/delivered) flits=" << flits_injected
+     << " payload_bytes=" << payload_bytes << '\n';
+  os << "frame latency (cycles): count=" << latency.count << " mean="
+     << std::fixed << std::setprecision(2) << latency.mean()
+     << " min=" << latency.min << " max=" << latency.max << '\n';
+  if (latency.count > 0) {
+    os << "  histogram:";
+    std::uint64_t lo = 1;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i, lo <<= 1) {
+      if (latency.buckets[static_cast<std::size_t>(i)] == 0) continue;
+      os << " [" << lo << "," << (lo << 1)
+         << "):" << latency.buckets[static_cast<std::size_t>(i)];
+    }
+    os << '\n';
+  }
+  os << std::left << std::setw(12) << "router" << std::right << std::setw(10)
+     << "routed" << std::setw(10) << "ejected" << std::setw(12) << "buf_peak"
+     << '\n';
+  for (std::size_t t = 0; t < routers.size(); ++t) {
+    std::ostringstream tile;
+    tile << "(" << (t % static_cast<std::size_t>(width)) << ","
+         << (t / static_cast<std::size_t>(width)) << ")";
+    os << std::left << std::setw(12) << tile.str() << std::right
+       << std::setw(10) << routers[t].flits_routed << std::setw(10)
+       << routers[t].flits_ejected << std::setw(12)
+       << routers[t].buffer_high_water << '\n';
+  }
+  bool any_link = false;
+  for (const LinkStats& l : links) {
+    if (l.flits == 0) continue;
+    if (!any_link) {
+      os << std::left << std::setw(16) << "link" << std::right << std::setw(10)
+         << "flits" << std::setw(12) << "util" << '\n';
+      any_link = true;
+    }
+    std::ostringstream name;
+    name << "(" << l.from_tile % width << "," << l.from_tile / width << ")->"
+         << to_string(l.dir);
+    os << std::left << std::setw(16) << name.str() << std::right
+       << std::setw(10) << l.flits << std::setw(12) << std::fixed
+       << std::setprecision(3) << link_utilization(l) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace xtsoc::noc

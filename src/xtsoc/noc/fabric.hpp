@@ -1,0 +1,175 @@
+// Fabric: a cycle-accurate W×H 2D-mesh network-on-chip.
+//
+// Endpoints are tiles; each tile has a Router and a NIC. A frame
+// (opcode + payload bytes) handed to send_frame() is segmented by the
+// source NIC into link-width flits, injected at one flit per cycle,
+// routed XY hop by hop under credit-based flow control, and reassembled
+// by the destination NIC; pop_due() hands back completed frames. The
+// whole network advances exactly one cycle per tick(), and every decision
+// (routing, arbitration, injection) is a deterministic function of the
+// state at the start of the tick — two runs of the same traffic produce
+// identical cycle-by-cycle behaviour, which is what lets NoC-mapped
+// co-simulations be compared against the abstract executor.
+//
+// Everything is instrumented: per-router flit counts and buffer
+// high-water marks, per-link utilization, and an end-to-end frame latency
+// histogram — the numbers that make the cost of a bad placement visible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "xtsoc/noc/router.hpp"
+
+namespace xtsoc::noc {
+
+/// Thrown on malformed fabric configuration or misuse (bad tile index,
+/// send to self): programming errors of the layer above, not model errors.
+class FabricError : public std::runtime_error {
+public:
+  explicit FabricError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct FabricConfig {
+  int width = 2;            ///< mesh columns
+  int height = 2;           ///< mesh rows
+  int link_latency = 1;     ///< cycles a flit spends on a router-to-router link
+  int flit_payload_bytes = 4;  ///< link width: payload bytes per flit
+  int fifo_depth = 4;       ///< per-input-port buffer depth (= credits)
+};
+
+/// One reassembled frame, ready at a destination NIC.
+struct Delivery {
+  std::uint32_t opcode = 0;
+  std::vector<std::uint8_t> payload;
+  int src_tile = 0;
+  std::uint64_t send_cycle = 0;    ///< cycle the frame entered the source NIC
+  std::uint64_t arrive_cycle = 0;  ///< cycle the tail flit reached the NIC
+  std::uint64_t due_cycle = 0;     ///< max(arrive, send + extra delay)
+};
+
+/// One directed router-to-router link, for utilization reporting.
+struct LinkStats {
+  int from_tile = 0;
+  Port dir = kEast;
+  std::uint64_t flits = 0;  ///< flits that traversed this link
+};
+
+/// Power-of-two-bucketed end-to-end frame latency (send_frame to tail
+/// arrival, in cycles).
+struct LatencyHistogram {
+  static constexpr int kBuckets = 24;
+  std::array<std::uint64_t, kBuckets> buckets{};  ///< [2^i, 2^(i+1))
+  std::uint64_t count = 0;
+  std::uint64_t total = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  void add(std::uint64_t latency);
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total) / static_cast<double>(count);
+  }
+};
+
+/// Snapshot of every fabric counter, assembled by Fabric::stats().
+struct FabricStats {
+  int width = 0, height = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t payload_bytes = 0;
+  std::vector<RouterStats> routers;  ///< indexed by tile (row-major)
+  std::vector<LinkStats> links;
+  LatencyHistogram latency;
+
+  double link_utilization(const LinkStats& l) const {
+    return cycles == 0
+               ? 0.0
+               : static_cast<double>(l.flits) / static_cast<double>(cycles);
+  }
+  /// Fixed-width table for terminals (xtsocc --noc-stats).
+  std::string to_table() const;
+};
+
+class Fabric {
+public:
+  explicit Fabric(FabricConfig config);
+
+  int width() const { return config_.width; }
+  int height() const { return config_.height; }
+  int tiles() const { return config_.width * config_.height; }
+  int tile_index(int x, int y) const { return y * config_.width + x; }
+
+  /// Segment `payload` into flits and queue them at tile `src`'s NIC.
+  /// The frame becomes deliverable at `dst` once its tail flit arrives,
+  /// but never before `current_cycle + extra_delay` (generate-statement
+  /// delays ride along, exactly as on the point-to-point Bus).
+  void send_frame(int src, int dst, std::uint32_t opcode,
+                  std::vector<std::uint8_t> payload,
+                  std::uint64_t current_cycle, std::uint64_t extra_delay = 0);
+
+  /// Advance the whole network by one cycle (cycle number `cycle`).
+  void tick(std::uint64_t cycle);
+
+  /// Remove and return every completed frame at `tile` due at or before
+  /// `cycle`, in arrival order.
+  std::vector<Delivery> pop_due(int tile, std::uint64_t cycle);
+
+  /// True when nothing is buffered, in flight, or awaiting delivery.
+  bool idle() const;
+
+  const Router& router(int tile) const { return routers_.at(tile); }
+  FabricStats stats() const;
+
+private:
+  struct Reassembly {
+    std::uint32_t opcode = 0;
+    std::uint32_t frame_bytes = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Nic {
+    std::deque<Flit> tx;    ///< segmented flits awaiting injection
+    int inject_credits = 0; ///< free slots in the router's local input FIFO
+    /// In-progress reassemblies, keyed by (source tile, frame seq).
+    std::map<std::pair<int, std::uint32_t>, Reassembly> partial;
+    std::vector<Delivery> ready;  ///< completed frames awaiting pop_due
+    std::uint32_t next_seq = 0;
+  };
+
+  /// A flit in flight on a link, due to enter `router`'s `port` FIFO.
+  struct Arrival {
+    std::uint64_t cycle;
+    int router;
+    Port port;
+    Flit flit;
+  };
+
+  int neighbor_of(int tile, Port dir) const;  ///< -1 if at the mesh edge
+  void eject(int tile, Flit flit, std::uint64_t cycle);
+  void check_tile(int tile, const char* what) const;
+
+  FabricConfig config_;
+  std::vector<Router> routers_;
+  std::vector<Nic> nics_;
+  std::deque<Arrival> in_flight_;
+  /// Directed links, plus (tile, dir) -> index into links_.
+  std::vector<LinkStats> links_;
+  std::vector<int> link_index_;  ///< [tile * kPortCount + dir], -1 if edge
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t flits_injected_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  LatencyHistogram latency_;
+};
+
+}  // namespace xtsoc::noc

@@ -1,0 +1,53 @@
+// Flits: the unit of transfer on the on-chip network.
+//
+// A boundary frame (opcode + bit-packed payload, see cosim::Frame) is
+// segmented by the sending NIC into link-width chunks. The first flit
+// carries the routing header and opcode; the last one closes the frame so
+// the receiving NIC knows when reassembly is complete. A frame that fits
+// in one link transfer travels as a single kHeadTail flit — the common
+// case for the narrow synthesized interfaces this repo generates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xtsoc::noc {
+
+enum class FlitKind : std::uint8_t {
+  kHead,      ///< first flit of a multi-flit frame (carries the header)
+  kBody,      ///< middle payload chunk
+  kTail,      ///< last payload chunk (completes reassembly)
+  kHeadTail,  ///< single-flit frame (header + whole payload)
+};
+
+const char* to_string(FlitKind k);
+
+struct Flit {
+  FlitKind kind = FlitKind::kHeadTail;
+  // Routing header (meaningful on every flit: the mesh routes flits, not
+  // frames — two frames may interleave on a link, reassembly is keyed by
+  // (source, seq)).
+  std::uint8_t src_x = 0, src_y = 0;
+  std::uint8_t dst_x = 0, dst_y = 0;
+  std::uint32_t seq = 0;  ///< per-source frame sequence number
+
+  // Frame header (valid on kHead / kHeadTail).
+  std::uint32_t opcode = 0;
+  std::uint32_t frame_bytes = 0;  ///< total frame payload length
+
+  /// This flit's payload chunk (at most the configured link width).
+  std::vector<std::uint8_t> payload;
+
+  // Bookkeeping carried alongside the wire bits (simulation metadata).
+  std::uint64_t send_cycle = 0;  ///< cycle the frame entered the source NIC
+  std::uint64_t min_due = 0;     ///< earliest delivery (generate-delay)
+
+  bool opens_frame() const {
+    return kind == FlitKind::kHead || kind == FlitKind::kHeadTail;
+  }
+  bool closes_frame() const {
+    return kind == FlitKind::kTail || kind == FlitKind::kHeadTail;
+  }
+};
+
+}  // namespace xtsoc::noc

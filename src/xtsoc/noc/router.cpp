@@ -1,0 +1,74 @@
+#include "xtsoc/noc/router.hpp"
+
+namespace xtsoc::noc {
+
+const char* to_string(FlitKind k) {
+  switch (k) {
+    case FlitKind::kHead: return "head";
+    case FlitKind::kBody: return "body";
+    case FlitKind::kTail: return "tail";
+    case FlitKind::kHeadTail: return "head+tail";
+  }
+  return "?";
+}
+
+const char* to_string(Port p) {
+  switch (p) {
+    case kLocal: return "local";
+    case kNorth: return "north";
+    case kEast: return "east";
+    case kSouth: return "south";
+    case kWest: return "west";
+    default: return "?";
+  }
+}
+
+Port opposite(Port p) {
+  switch (p) {
+    case kNorth: return kSouth;
+    case kSouth: return kNorth;
+    case kEast: return kWest;
+    case kWest: return kEast;
+    default: return kLocal;
+  }
+}
+
+Port Router::route(const Flit& f) const {
+  // Dimension order: X first, then Y. Deadlock-free on a mesh because the
+  // turn from Y back to X never happens.
+  if (f.dst_x > x_) return kEast;
+  if (f.dst_x < x_) return kWest;
+  if (f.dst_y > y_) return kSouth;  // y grows downward (row-major tiles)
+  if (f.dst_y < y_) return kNorth;
+  return kLocal;
+}
+
+bool Router::buffers_empty() const {
+  for (const auto& q : in_) {
+    if (!q.empty()) return false;
+  }
+  return true;
+}
+
+std::size_t Router::buffered() const {
+  std::size_t n = 0;
+  for (const auto& q : in_) n += q.size();
+  return n;
+}
+
+int Router::arbitrate(Port out, unsigned served_mask) const {
+  for (int i = 0; i < kPortCount; ++i) {
+    int p = (rr_[out] + i) % kPortCount;
+    if (served_mask & (1u << p)) continue;
+    const std::deque<Flit>& q = in_[p];
+    if (!q.empty() && route(q.front()) == out) return p;
+  }
+  return -1;
+}
+
+void Router::note_occupancy() {
+  std::size_t n = buffered();
+  if (n > stats_.buffer_high_water) stats_.buffer_high_water = n;
+}
+
+}  // namespace xtsoc::noc

@@ -1,0 +1,90 @@
+// One mesh router: five ports (local + the four compass directions), a
+// per-port input FIFO, dimension-ordered XY routing and credit-based flow
+// control toward each neighbour.
+//
+// The cycle contract (driven by Fabric::tick):
+//   * each output port forwards at most one flit per cycle (the link is
+//     one flit wide);
+//   * an input FIFO holds at most `fifo_depth` flits — the matching credit
+//     counter lives in the upstream router, so a full buffer stalls the
+//     sender instead of dropping flits;
+//   * arbitration between input ports competing for one output is
+//     round-robin, which keeps the network deterministic AND starvation-free;
+//   * XY routing: correct the X coordinate first, then Y, then eject.
+//     Deterministic routing means flits of one (source, destination) pair
+//     never reorder — the property frame reassembly relies on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "xtsoc/noc/flit.hpp"
+
+namespace xtsoc::noc {
+
+/// Port indices. kLocal is the NIC side; the rest are mesh links.
+enum Port : int { kLocal = 0, kNorth, kEast, kSouth, kWest, kPortCount };
+
+const char* to_string(Port p);
+
+/// The port on the neighbouring router that a flit sent out of `p` arrives
+/// on (east link feeds the neighbour's west port, and so on).
+Port opposite(Port p);
+
+struct RouterStats {
+  std::uint64_t flits_routed = 0;     ///< flits forwarded through this router
+  std::uint64_t flits_ejected = 0;    ///< flits delivered to the local NIC
+  std::size_t buffer_high_water = 0;  ///< max flits buffered at once (all ports)
+};
+
+class Router {
+public:
+  Router(int x, int y, int fifo_depth) : x_(x), y_(y), depth_(fifo_depth) {
+    credits_.fill(0);
+    rr_.fill(0);
+  }
+
+  int x() const { return x_; }
+  int y() const { return y_; }
+  int fifo_depth() const { return depth_; }
+
+  /// XY route decision for a flit seen at this router.
+  Port route(const Flit& f) const;
+
+  // --- buffers (Fabric moves flits between routers) ---------------------------
+  std::deque<Flit>& input(Port p) { return in_[p]; }
+  const std::deque<Flit>& input(Port p) const { return in_[p]; }
+  bool buffers_empty() const;
+  std::size_t buffered() const;
+
+  // --- credits toward each downstream neighbour --------------------------------
+  int credits(Port p) const { return credits_[p]; }
+  void set_credits(Port p, int n) { credits_[p] = n; }
+  void take_credit(Port p) { --credits_[p]; }
+  void return_credit(Port p) { ++credits_[p]; }
+
+  // --- round-robin arbitration state -------------------------------------------
+  /// Pick the next input port requesting `out`, starting after the last
+  /// winner. Ports whose bit is set in `served_mask` already forwarded a
+  /// flit this cycle (one flit per input per cycle) and are skipped.
+  /// Returns -1 if no eligible input's head flit routes to `out`.
+  int arbitrate(Port out, unsigned served_mask = 0) const;
+  void advance_rr(Port out, int winner) {
+    rr_[out] = (winner + 1) % kPortCount;
+  }
+
+  RouterStats& stats() { return stats_; }
+  const RouterStats& stats() const { return stats_; }
+  void note_occupancy();
+
+private:
+  int x_, y_;
+  int depth_;
+  std::array<std::deque<Flit>, kPortCount> in_;
+  std::array<int, kPortCount> credits_;  ///< free slots downstream of each output
+  std::array<int, kPortCount> rr_;       ///< next input to consider per output
+  RouterStats stats_;
+};
+
+}  // namespace xtsoc::noc

@@ -12,13 +12,26 @@ PerfReport measure(const cosim::CoSimulation& cosim) {
   const xtuml::Domain& domain = sys.domain();
 
   r.cycles = cosim.cycles();
-  r.hw_dispatches = cosim.hw_executor().dispatch_count();
+  for (const auto& hw : cosim.hw_domains()) {
+    r.hw_dispatches += hw->dispatches();
+    r.hw_queue_high_water =
+        std::max(r.hw_queue_high_water, hw->executor().queue_high_water());
+  }
   r.sw_dispatches = cosim.sw_executor().dispatch_count();
-  r.bus_frames = cosim.bus().stats().frames_to_hw + cosim.bus().stats().frames_to_sw;
-  r.bus_bytes = cosim.bus().stats().bytes_to_hw + cosim.bus().stats().bytes_to_sw;
+  if (cosim.has_fabric()) {
+    const noc::FabricStats& fs = cosim.fabric().stats();
+    r.bus_frames = fs.frames_delivered;
+    r.bus_bytes = fs.payload_bytes;
+    r.has_noc = true;
+    r.noc = fs;
+  } else {
+    r.bus_frames =
+        cosim.bus().stats().frames_to_hw + cosim.bus().stats().frames_to_sw;
+    r.bus_bytes =
+        cosim.bus().stats().bytes_to_hw + cosim.bus().stats().bytes_to_sw;
+  }
   r.hw_delta_cycles = cosim.hw_sim().stats().delta_cycles;
   r.sw_task_steps = cosim.scheduler().total_steps();
-  r.hw_queue_high_water = cosim.hw_executor().queue_high_water();
   r.sw_queue_high_water = cosim.sw_executor().queue_high_water();
 
   for (const auto& c : domain.classes()) {
@@ -26,9 +39,7 @@ PerfReport measure(const cosim::CoSimulation& cosim) {
     cp.cls = c.id;
     cp.name = c.name;
     cp.target = sys.partition().target_of(c.id);
-    const runtime::Executor& owner =
-        sys.partition().is_hardware(c.id) ? cosim.hw_executor()
-                                          : cosim.sw_executor();
+    const runtime::Executor& owner = cosim.executor_of(c.id);
     cp.dispatches = owner.dispatch_count(c.id);
     cp.ops = owner.ops_executed(c.id);
     cp.live_instances = owner.database().live_count(c.id);
@@ -53,6 +64,7 @@ std::string PerfReport::to_table() const {
        << c.dispatches << std::setw(12) << c.ops << std::setw(10)
        << c.live_instances << '\n';
   }
+  if (has_noc) os << noc.to_table();
   return os.str();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/noc/fabric.hpp"
 #include "xtsoc/runtime/executor.hpp"
 
 namespace xtsoc::perf {
@@ -25,15 +26,18 @@ struct ClassPerf {
 
 struct PerfReport {
   std::uint64_t cycles = 0;
-  std::uint64_t hw_dispatches = 0;
+  std::uint64_t hw_dispatches = 0;  ///< summed over all hardware tiles
   std::uint64_t sw_dispatches = 0;
-  std::uint64_t bus_frames = 0;
-  std::uint64_t bus_bytes = 0;
+  std::uint64_t bus_frames = 0;  ///< interconnect frames (bus or NoC)
+  std::uint64_t bus_bytes = 0;   ///< interconnect payload bytes
   std::uint64_t hw_delta_cycles = 0;
   std::uint64_t sw_task_steps = 0;
   std::size_t hw_queue_high_water = 0;  ///< fabric FIFO sizing number
   std::size_t sw_queue_high_water = 0;  ///< software mailbox sizing number
   std::vector<ClassPerf> classes;
+  /// Present only in mesh mode: per-router/per-link NoC measurements.
+  bool has_noc = false;
+  noc::FabricStats noc;
 
   /// Dispatches per hardware cycle on the software side — the software
   /// saturation signal that motivates moving work into hardware.

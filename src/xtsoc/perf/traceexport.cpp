@@ -121,4 +121,51 @@ std::string export_chrome_trace(const runtime::Trace& trace,
   return os.str();
 }
 
+std::string export_noc_stats_json(const noc::FabricStats& stats) {
+  std::ostringstream os;
+  os << "{\"mesh\":{\"width\":" << stats.width << ",\"height\":" << stats.height
+     << "},\"cycles\":" << stats.cycles
+     << ",\"frames_sent\":" << stats.frames_sent
+     << ",\"frames_delivered\":" << stats.frames_delivered
+     << ",\"flits_injected\":" << stats.flits_injected
+     << ",\"payload_bytes\":" << stats.payload_bytes;
+
+  os << ",\"routers\":[";
+  for (std::size_t i = 0; i < stats.routers.size(); ++i) {
+    const noc::RouterStats& r = stats.routers[i];
+    if (i != 0) os << ',';
+    os << "{\"tile\":" << i << ",\"x\":" << (stats.width == 0 ? 0 : static_cast<int>(i) % stats.width)
+       << ",\"y\":" << (stats.width == 0 ? 0 : static_cast<int>(i) / stats.width)
+       << ",\"flits_routed\":" << r.flits_routed
+       << ",\"flits_ejected\":" << r.flits_ejected
+       << ",\"buffer_high_water\":" << r.buffer_high_water << '}';
+  }
+  os << ']';
+
+  os << ",\"links\":[";
+  bool first_link = true;
+  for (const noc::LinkStats& l : stats.links) {
+    if (!first_link) os << ',';
+    first_link = false;
+    os << "{\"from_tile\":" << l.from_tile << ",\"dir\":\""
+       << noc::to_string(l.dir) << "\",\"flits\":" << l.flits
+       << ",\"utilization\":" << stats.link_utilization(l) << '}';
+  }
+  os << ']';
+
+  os << ",\"latency\":{\"count\":" << stats.latency.count
+     << ",\"mean\":" << stats.latency.mean() << ",\"min\":" << stats.latency.min
+     << ",\"max\":" << stats.latency.max << ",\"buckets\":[";
+  bool first_bucket = true;
+  for (int b = 0; b < noc::LatencyHistogram::kBuckets; ++b) {
+    if (stats.latency.buckets[static_cast<std::size_t>(b)] == 0) continue;
+    if (!first_bucket) os << ',';
+    first_bucket = false;
+    os << "{\"lo\":" << (1ULL << b) << ",\"count\":"
+       << stats.latency.buckets[static_cast<std::size_t>(b)] << '}';
+  }
+  os << "]}}";
+  return os.str();
+}
+
 }  // namespace xtsoc::perf

@@ -211,8 +211,10 @@ RunReport CosimRunner::run(const TestCase& test) {
       },
       report);
 
-  report.dispatches = cosim_->hw_executor().dispatch_count() +
-                      cosim_->sw_executor().dispatch_count();
+  report.dispatches = cosim_->sw_executor().dispatch_count();
+  for (const auto& hw : cosim_->hw_domains()) {
+    report.dispatches += hw->dispatches();
+  }
   report.duration = cosim_->cycles();
   report.passed = report.failures.empty();
   return report;
@@ -228,10 +230,15 @@ ConformanceReport run_conformance(const oal::CompiledDomain& compiled,
   out.abstract_run = abstract.run(test);
   CosimRunner partitioned(system, cosim_config);
   out.cosim_run = partitioned.run(test);
-  out.equivalence = compare_executions(
-      abstract.executor().trace(),
-      {&partitioned.cosim().hw_executor().trace(),
-       &partitioned.cosim().sw_executor().trace()});
+  // One partial trace per executor: every hardware clock domain (one per
+  // mesh tile when tile marks are present) plus the software partition.
+  std::vector<const runtime::Trace*> traces;
+  for (const auto& hw : partitioned.cosim().hw_domains()) {
+    traces.push_back(&hw->executor().trace());
+  }
+  traces.push_back(&partitioned.cosim().sw_executor().trace());
+  out.equivalence =
+      compare_executions(abstract.executor().trace(), traces);
   return out;
 }
 

@@ -226,5 +226,121 @@ TEST(Validate, UnknownKeyAllowed) {
   EXPECT_TRUE(sink.all().empty());
 }
 
+// --- NoC placement marks --------------------------------------------------------
+
+MarkSet placed(const char* cls, std::int64_t x, std::int64_t y) {
+  MarkSet m;
+  m.mark_hardware(cls);
+  m.set_class_mark(cls, kTileX, ScalarValue(x));
+  m.set_class_mark(cls, kTileY, ScalarValue(y));
+  return m;
+}
+
+TEST(Validate, GoodMeshPlacementAccepted) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 1, 1);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{2}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, TileKeyTyposWarn) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", "tilex", ScalarValue(std::int64_t{1}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink));  // warning, not error
+  EXPECT_NE(sink.to_string().find("near_miss"), std::string::npos);
+
+  sink.clear();
+  MarkSet m2;
+  m2.set_domain_mark("meshwidth", ScalarValue(std::int64_t{2}));
+  EXPECT_TRUE(m2.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("near_miss"), std::string::npos);
+}
+
+TEST(Validate, TileScopeAndTypeEnforced) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_domain_mark(kTileX, ScalarValue(std::int64_t{1}));  // class-scope key
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+
+  sink.clear();
+  MarkSet m2;
+  m2.set_class_mark("Compressor", kMeshWidth,
+                    ScalarValue(std::int64_t{2}));  // domain-scope key
+  EXPECT_FALSE(m2.validate(d, sink));
+
+  sink.clear();
+  MarkSet m3 = placed("Compressor", 0, 0);
+  m3.set_class_mark("Compressor", kTileX, ScalarValue(true));  // wrong type
+  EXPECT_FALSE(m3.validate(d, sink));
+}
+
+TEST(Validate, TileXWithoutTileYRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.mark_hardware("Compressor");
+  m.set_class_mark("Compressor", kTileX, ScalarValue(std::int64_t{1}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("tile_pair"), std::string::npos);
+}
+
+TEST(Validate, OutOfRangeTileRejected) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 5, 0);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{2}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("tile_range"), std::string::npos);
+
+  sink.clear();
+  MarkSet neg = placed("Compressor", -1, 0);
+  EXPECT_FALSE(neg.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("tile_range"), std::string::npos);
+}
+
+TEST(Validate, MeshDimensionsBounded) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 0, 1);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{65}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("mesh_dims"), std::string::npos);
+}
+
+TEST(Validate, HardwareOnSoftwareTileRejected) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 0, 0);  // software tile defaults to (0,0)
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{2}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("tile_clash"), std::string::npos);
+}
+
+TEST(Validate, UnplacedHardwareClassRejectedOnceMeshInPlay) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 1, 0);
+  m.mark_hardware("Controller");  // hardware but no tileX/tileY
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("tile_missing"), std::string::npos);
+}
+
+TEST(Validate, TileMarksOnSoftwareClassWarn) {
+  Domain d = make_domain();
+  MarkSet m;  // Compressor stays software but is "placed"
+  m.set_class_mark("Compressor", kTileX, ScalarValue(std::int64_t{1}));
+  m.set_class_mark("Compressor", kTileY, ScalarValue(std::int64_t{0}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink));  // warning, not error
+  EXPECT_NE(sink.to_string().find("tile_sw"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace xtsoc::marks

@@ -12,6 +12,10 @@
 //       --simulate FILE run a stimulus script against the abstract model
 //                       (exit status reflects its expectations)
 //       --on-cosim      run --simulate against the partitioned cosim instead
+//       --noc-stats     after --on-cosim on a mesh-placed model (tileX/tileY
+//                       marks), print the NoC statistics table: per-router
+//                       flit counts, per-link utilization, buffer high-water
+//                       marks, frame latency histogram
 //       --summary       print the partition/interface summary (default on)
 //       --quiet         suppress the summary
 //   -h, --help          this text
@@ -43,6 +47,7 @@ struct Options {
   bool summary = true;
   std::string simulate_path;
   bool on_cosim = false;
+  bool noc_stats = false;
 };
 
 void usage(std::FILE* to) {
@@ -80,6 +85,8 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->simulate_path = v;
     } else if (a == "--on-cosim") {
       opt->on_cosim = true;
+    } else if (a == "--noc-stats") {
+      opt->noc_stats = true;
     } else if (a == "--summary") {
       opt->summary = true;
     } else if (a == "--quiet") {
@@ -100,6 +107,11 @@ bool parse_args(int argc, char** argv, Options* opt) {
   }
   if (opt->c_only && opt->vhdl_only) {
     std::fprintf(stderr, "xtsocc: --c-only and --vhdl-only are exclusive\n");
+    return false;
+  }
+  if (opt->noc_stats && (opt->simulate_path.empty() || !opt->on_cosim)) {
+    std::fprintf(stderr,
+                 "xtsocc: --noc-stats requires --simulate FILE --on-cosim\n");
     return false;
   }
   return true;
@@ -160,9 +172,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::ostringstream out;
-    core::StimulusResult r =
-        opt.on_cosim ? core::run_stimulus_cosim(*project, script, out)
-                     : core::run_stimulus(*project, script, out);
+    core::StimulusResult r;
+    if (opt.on_cosim) {
+      r = core::run_stimulus_cosim(
+          *project, script, out, {},
+          [&opt](const cosim::CoSimulation& cs) {
+            if (!opt.noc_stats) return;
+            if (!cs.has_fabric()) {
+              std::printf(
+                  "(no NoC: model has no tileX/tileY marks, legacy bus "
+                  "interconnect used)\n");
+              return;
+            }
+            std::printf("%s", cs.fabric().stats().to_table().c_str());
+          });
+    } else {
+      r = core::run_stimulus(*project, script, out);
+    }
     std::printf("%s%s\n", out.str().c_str(), r.to_string().c_str());
     return r.ok ? 0 : 1;
   }
