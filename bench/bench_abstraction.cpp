@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/text/xtm.hpp"
 
@@ -100,9 +101,30 @@ void BM_FullPipelineFromText(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineFromText);
 
+void emit_json() {
+  bench::JsonReport report("abstraction");
+  for (const Row& row : make_rows()) {
+    std::string model_text = text::write_xtm(row.project->domain());
+    std::string marks_text = row.project->marks().to_text();
+    DiagnosticSink sink;
+    codegen::Output c = row.project->generate_c(sink);
+    codegen::Output v = row.project->generate_vhdl(sink);
+    std::size_t spec_lines =
+        count_lines(model_text) + count_lines(marks_text);
+    std::size_t impl_lines = c.total_lines() + v.total_lines();
+    report.add("leverage_ratio",
+               static_cast<double>(impl_lines) /
+                   static_cast<double>(spec_lines),
+               "x", std::string("model=") + row.name);
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/mapping/archetype.hpp"
 
@@ -87,9 +88,39 @@ void print_summary() {
   std::printf("\n");
 }
 
+void emit_json() {
+  xtsoc::bench::JsonReport report("codegen");
+  auto project = scaled_project(16);
+  {
+    DiagnosticSink sink;
+    bench::Timer t;
+    std::size_t lines = 0;
+    while (t.seconds() < 0.2) {
+      codegen::Output out = project->generate_c(sink);
+      lines += out.total_lines();
+    }
+    report.add("lines_per_sec", static_cast<double>(lines) / t.seconds(),
+               "lines/s", "backend=c,classes=16");
+  }
+  {
+    DiagnosticSink sink;
+    bench::Timer t;
+    std::size_t lines = 0;
+    while (t.seconds() < 0.2) {
+      codegen::Output out = project->generate_vhdl(sink);
+      lines += out.total_lines();
+    }
+    report.add("lines_per_sec", static_cast<double>(lines) / t.seconds(),
+               "lines/s", "backend=vhdl,classes=16");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

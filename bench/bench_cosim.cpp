@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/hwsim/components.hpp"
 
@@ -111,6 +112,126 @@ void BM_BoundaryRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundaryRoundTrip)->Arg(0)->Arg(2)->Arg(8)->ArgNames({"latency"});
 
+// --- 4x4-mesh scaling workload (the parallel-kernel benchmark) --------------
+//
+// 15 hardware classes, one per mesh tile (the CPU owns tile 0), each an
+// independent clocked FSM that burns a fixed compute loop every cycle and
+// occasionally pings its ring neighbour across the fabric. One hardware
+// clock domain per tile means 15 concurrently evaluable clocked processes —
+// the workload the `threads` knob is for.
+
+std::unique_ptr<xtuml::Domain> make_mesh_soc(int nodes) {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("MeshSoc");
+  for (int i = 0; i < nodes; ++i) b.cls("Node" + std::to_string(i));
+  for (int i = 0; i < nodes; ++i) {
+    std::string peer = "Node" + std::to_string((i + 1) % nodes);
+    b.edit("Node" + std::to_string(i))
+        .attr("acc", DataType::kInt)
+        .attr("pings", DataType::kInt)
+        .ref_attr("peer", peer)
+        .event("tick")
+        .event("ping", {{"v", DataType::kInt}})
+        .state("Spin",
+               "acc = self.acc;\n"
+               "r = 0;\n"
+               "while (r < 64)\n"
+               "  acc = (acc * 33 + 7) % 65537;\n"
+               "  r = r + 1;\n"
+               "end while;\n"
+               "self.acc = acc;\n"
+               "if (acc % 16 == 0)\n"
+               "  generate ping(v: acc) to self.peer;\n"
+               "end if;\n"
+               "generate tick() to self;")
+        .state("Pinged",
+               "self.pings = self.pings + param.v % 2;\n"
+               "generate tick() to self;")
+        .transition("Spin", "tick", "Spin")
+        .transition("Spin", "ping", "Pinged")
+        .transition("Pinged", "tick", "Spin")
+        .transition("Pinged", "ping", "Pinged");
+  }
+  return b.take();
+}
+
+marks::MarkSet mesh_marks(int width, int height) {
+  marks::MarkSet m;
+  const int nodes = width * height - 1;  // tile 0 is the CPU tile
+  for (int i = 0; i < nodes; ++i) {
+    std::string cls = "Node" + std::to_string(i);
+    int tile = i + 1;
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     xtuml::ScalarValue(std::int64_t{tile % width}));
+    m.set_class_mark(cls, marks::kTileY,
+                     xtuml::ScalarValue(std::int64_t{tile / width}));
+  }
+  m.set_domain_mark(marks::kMeshWidth,
+                    xtuml::ScalarValue(static_cast<std::int64_t>(width)));
+  m.set_domain_mark(marks::kMeshHeight,
+                    xtuml::ScalarValue(static_cast<std::int64_t>(height)));
+  return m;
+}
+
+std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(core::Project& project,
+                                                     int nodes, int threads) {
+  cosim::CoSimConfig cfg;
+  cfg.trace_enabled = false;
+  cfg.threads = threads;
+  auto cs = project.make_cosim(cfg);
+  std::vector<runtime::InstanceHandle> handles;
+  handles.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    handles.push_back(cs->create("Node" + std::to_string(i)));
+  }
+  for (int i = 0; i < nodes; ++i) {
+    // peer is the third declared attribute (acc, pings, peer).
+    cs->executor_of(handles[static_cast<std::size_t>(i)].cls)
+        .database()
+        .set_attr(handles[static_cast<std::size_t>(i)], AttributeId(2),
+                  Value(handles[static_cast<std::size_t>((i + 1) % nodes)]));
+    cs->inject(handles[static_cast<std::size_t>(i)], "tick");
+  }
+  return cs;
+}
+
+/// Steady-state mesh throughput at `threads`, in hardware cycles per
+/// wall-clock second.
+double mesh_cycles_per_sec(int threads) {
+  constexpr int kWidth = 4, kHeight = 4;
+  constexpr int kNodes = kWidth * kHeight - 1;
+  auto project =
+      bench::make_project(make_mesh_soc(kNodes), mesh_marks(kWidth, kHeight));
+  auto cs = make_mesh_cosim(*project, kNodes, threads);
+  cs->run_cycles(200);  // warm-up: pools and queues reach steady state
+  std::uint64_t cycles = 0;
+  bench::Timer t;
+  while (t.seconds() < 0.4) {
+    cs->run_cycles(500);
+    cycles += 500;
+  }
+  return static_cast<double>(cycles) / t.seconds();
+}
+
+void BM_MeshCosim(benchmark::State& state) {
+  constexpr int kWidth = 4, kHeight = 4;
+  constexpr int kNodes = kWidth * kHeight - 1;
+  const int threads = static_cast<int>(state.range(0));
+  auto project =
+      bench::make_project(make_mesh_soc(kNodes), mesh_marks(kWidth, kHeight));
+  auto cs = make_mesh_cosim(*project, kNodes, threads);
+  cs->run_cycles(200);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cs->run_cycles(500);
+    cycles += 500;
+  }
+  state.counters["cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MeshCosim)->Arg(1)->Arg(2)->Arg(8)->ArgNames({"threads"});
+
 /// Substrate floor: raw hwsim delta-cycle throughput (a counter bank).
 void BM_HwsimKernel(benchmark::State& state) {
   const int counters = static_cast<int>(state.range(0));
@@ -130,9 +251,29 @@ void BM_HwsimKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_HwsimKernel)->Arg(1)->Arg(16)->Arg(256)->ArgNames({"counters"});
 
+void emit_json() {
+  bench::JsonReport report("cosim");
+  const double serial = mesh_cycles_per_sec(1);
+  const double par8 = mesh_cycles_per_sec(8);
+  report.add("cycles_per_sec", serial, "cycles/s", "mesh=4x4,threads=1");
+  report.add("cycles_per_sec", par8, "cycles/s", "mesh=4x4,threads=8");
+  report.add("speedup", par8 / serial, "x", "mesh=4x4,threads=8 vs threads=1");
+  {
+    auto project =
+        bench::make_project(bench::make_packet_soc(), crypto_hw(8));
+    bench::Timer t;
+    std::uint64_t cycles = run_packets(*project, 100, 64);
+    report.add("cycles_per_sec", static_cast<double>(cycles) / t.seconds(),
+               "cycles/s", "packet_soc,latency=8,threads=1");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/oal/bytecode.hpp"
 #include "xtsoc/verify/equivalence.hpp"
@@ -87,9 +88,28 @@ void BM_BytecodeCompile(benchmark::State& state) {
 }
 BENCHMARK(BM_BytecodeCompile);
 
+void emit_json() {
+  xtsoc::bench::JsonReport report("engines");
+  auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
+                                            marks::MarkSet{});
+  for (ActionEngine engine : {ActionEngine::kAstWalk, ActionEngine::kBytecode}) {
+    xtsoc::bench::Timer t;
+    auto exec = run_soc(*project, engine, 500, /*tracing=*/false);
+    report.add("signals_per_sec",
+               static_cast<double>(exec->dispatch_count()) / t.seconds(),
+               "signals/s",
+               engine == ActionEngine::kAstWalk
+                   ? "engine=ast,packets=500,trace=off"
+                   : "engine=bytecode,packets=500,trace=off");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (xtsoc::bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/common/rng.hpp"
 #include "xtsoc/verify/explore.hpp"
@@ -201,9 +202,52 @@ void BM_CausalityCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_CausalityCheck);
 
+void emit_json() {
+  bench::JsonReport report("equivalence");
+  verify::TestCase test = random_workload(7, 32, true);
+  {
+    auto project =
+        bench::make_project(bench::make_packet_soc(), marks_for(2));
+    bench::Timer t;
+    int reps = 0;
+    bool all_passed = true;
+    while (t.seconds() < 0.3) {
+      verify::ConformanceReport cr = project->run_conformance(test);
+      all_passed = all_passed && cr.passed();
+      ++reps;
+    }
+    report.add("conformance_sec", t.seconds() / reps, "s",
+               "packet_soc,hw=Crypto,packets=32");
+    report.add("conformance_passed", all_passed ? 1.0 : 0.0, "bool",
+               "packet_soc,hw=Crypto,packets=32");
+  }
+  {
+    auto project =
+        bench::make_project(bench::make_packet_soc(), marks_for(0));
+    bench::Timer t;
+    auto xr = verify::explore(project->compiled(),
+                              [](runtime::Executor& exec) {
+      auto sink = exec.create("Sink");
+      auto crypto = exec.create_with("Crypto", {{"sink", Value(sink)}});
+      auto cls = exec.create_with(
+          "Classifier", {{"crypto", Value(crypto)}, {"sink", Value(sink)}});
+      for (int i = 0; i < 3; ++i) {
+        exec.inject(cls, "packet",
+                    {Value(std::int64_t{2 * (i + 1)}),
+                     Value(static_cast<std::int64_t>(i))});
+      }
+    });
+    benchmark::DoNotOptimize(xr);
+    report.add("explore_sec", t.seconds(), "s", "packet_soc,3-packet burst");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

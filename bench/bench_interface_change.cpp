@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 
 namespace {
@@ -129,9 +130,40 @@ void BM_DigestCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_DigestCheck);
 
+void emit_json() {
+  bench::JsonReport report("interface_change");
+  auto before = bench::make_project(make_soc(false), crypto_hw());
+  auto after = bench::make_project(make_soc(true), crypto_hw());
+  DiagnosticSink sink;
+  codegen::Output out_before = before->generate_all(sink);
+  codegen::Output out_after = after->generate_all(sink);
+  std::size_t total_diff = 0;
+  for (const auto& f : out_after.files) {
+    const codegen::GeneratedFile* old = out_before.find(f.path);
+    total_diff += old ? count_lines_differing(old->content, f.content)
+                      : count_lines(f.content);
+  }
+  report.add("auto_updated_lines", static_cast<double>(total_diff), "lines",
+             "change=encrypt+=prio");
+  bench::Timer t;
+  int reps = 0;
+  while (t.seconds() < 0.2) {
+    auto project = bench::make_project(make_soc(true), crypto_hw());
+    DiagnosticSink s;
+    codegen::Output out = project->generate_all(s);
+    benchmark::DoNotOptimize(out);
+    ++reps;
+  }
+  report.add("regenerate_sec", t.seconds() / reps, "s",
+             "compile+remap+generate_all");
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,118 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary writes a BENCH_<name>.json next to the repo root (the
+// `bench` CMake target runs them all), so performance numbers are diffable
+// across commits without scraping google-benchmark's console output. The
+// JSON measurements are short, self-contained runs taken with Timer —
+// independent of the google-benchmark harness, which still provides the
+// detailed interactive numbers.
+//
+// Schema: {"bench": "<name>", "results": [{"metric": ..., "value": ...,
+// "unit": ..., "config": ...}, ...]} — one entry per (metric, config)
+// point.
+//
+// Output directory: $XTSOC_BENCH_DIR if set, else the source tree root
+// (XTSOC_REPO_ROOT, injected by bench/CMakeLists.txt).
+//
+// Invoke a bench with --json-only to run just the JSON measurements and
+// skip the google-benchmark suite (what the `bench` target does).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xtsoc::bench {
+
+/// Wall-clock stopwatch for the JSON measurements.
+class Timer {
+public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class JsonReport {
+public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string metric, double value, std::string unit,
+           std::string config) {
+    rows_.push_back(
+        {std::move(metric), value, std::move(unit), std::move(config)});
+  }
+
+  /// Write BENCH_<name>.json and report the path on stdout.
+  void write() const {
+    std::string path = out_dir() + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      throw std::runtime_error("bench: cannot write " + path);
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f,
+                   "    {\"metric\": \"%s\", \"value\": %.6g, "
+                   "\"unit\": \"%s\", \"config\": \"%s\"}%s\n",
+                   escaped(r.metric).c_str(), r.value,
+                   escaped(r.unit).c_str(), escaped(r.config).c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+private:
+  struct Row {
+    std::string metric;
+    double value;
+    std::string unit;
+    std::string config;
+  };
+
+  static std::string out_dir() {
+    if (const char* dir = std::getenv("XTSOC_BENCH_DIR")) return dir;
+#ifdef XTSOC_REPO_ROOT
+    return XTSOC_REPO_ROOT;
+#else
+    return ".";
+#endif
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
+
+/// True when invoked with --json-only: emit the JSON report and exit
+/// without running the google-benchmark suite.
+inline bool json_only(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json-only") return true;
+  }
+  return false;
+}
+
+}  // namespace xtsoc::bench

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 
 namespace {
@@ -146,9 +147,65 @@ void print_summary() {
   std::printf("\n");
 }
 
+/// Ring-dispatch throughput (16 rings, ttl 256), setup excluded.
+double ring_signals_per_sec(bool trace) {
+  runtime::ExecutorConfig cfg;
+  cfg.trace_enabled = trace;
+  auto exec = chain_project()->make_abstract_executor(cfg);
+  std::vector<runtime::InstanceHandle> firsts;
+  for (int i = 0; i < 16; ++i) {
+    runtime::InstanceHandle prev, first;
+    for (int s = 0; s < 4; ++s) {
+      auto h = exec->create("Stage" + std::to_string(s));
+      if (s == 0) first = h;
+      if (s > 0) exec->database().set_attr(prev, AttributeId(1),
+                                           runtime::Value(h));
+      prev = h;
+    }
+    exec->database().set_attr(prev, AttributeId(1), runtime::Value(first));
+    firsts.push_back(first);
+  }
+  for (auto& f : firsts)
+    exec->inject(f, "token", {runtime::Value(std::int64_t{256})});
+  xtsoc::bench::Timer t;
+  exec->run_all();
+  return static_cast<double>(exec->dispatch_count()) / t.seconds();
+}
+
+void emit_json() {
+  xtsoc::bench::JsonReport report("model_exec");
+  report.add("signals_per_sec", ring_signals_per_sec(false), "signals/s",
+             "ring=4x16,ttl=256,trace=off");
+  report.add("signals_per_sec", ring_signals_per_sec(true), "signals/s",
+             "ring=4x16,ttl=256,trace=on");
+  {
+    runtime::ExecutorConfig cfg;
+    cfg.trace_enabled = false;
+    auto exec = soc_project()->make_abstract_executor(cfg);
+    auto sink = exec->create("Sink");
+    auto crypto = exec->create_with("Crypto", {{"sink", runtime::Value(sink)}});
+    auto cls = exec->create_with(
+        "Classifier",
+        {{"crypto", runtime::Value(crypto)}, {"sink", runtime::Value(sink)}});
+    for (int i = 0; i < 1000; ++i) {
+      exec->inject(cls, "packet",
+                   {runtime::Value(std::int64_t{16 + (i * 7) % 48}),
+                    runtime::Value(static_cast<std::int64_t>(i))});
+    }
+    xtsoc::bench::Timer t;
+    exec->run_all();
+    report.add("signals_per_sec",
+               static_cast<double>(exec->dispatch_count()) / t.seconds(),
+               "signals/s", "packet_soc,packets=1000,trace=off");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (xtsoc::bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

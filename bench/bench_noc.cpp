@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "xtsoc/noc/fabric.hpp"
 
 namespace {
@@ -126,9 +127,32 @@ void BM_NocFlitWidth(benchmark::State& state) {
 }
 BENCHMARK(BM_NocFlitWidth)->Arg(1)->Arg(4)->Arg(16)->ArgNames({"flit_bytes"});
 
+void emit_json() {
+  bench::JsonReport report("noc");
+  bench::Timer t;
+  std::uint64_t frames = 0;
+  std::uint64_t cycles = 0;
+  double mean_latency = 0.0;
+  while (t.seconds() < 0.3) {
+    NocRun run = pump_frames(4, 4, 64, 16);
+    frames += run.frames;
+    cycles += run.cycles;
+    mean_latency = run.mean_latency;
+  }
+  report.add("frames_per_sec", static_cast<double>(frames) / t.seconds(),
+             "frames/s", "mesh=4x4,frames_per_tile=64,payload=16B");
+  report.add("cycles_per_sec", static_cast<double>(cycles) / t.seconds(),
+             "cycles/s", "mesh=4x4,frames_per_tile=64,payload=16B");
+  report.add("mean_latency", mean_latency, "cycles",
+             "mesh=4x4,opposite-corner traffic");
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "models.hpp"
 
 namespace {
@@ -102,9 +103,39 @@ void BM_FullRepartitionWorkflow(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRepartitionWorkflow);
 
+void emit_json() {
+  bench::JsonReport report("repartition");
+  auto project =
+      bench::make_project(bench::make_packet_soc(), marks::MarkSet{});
+  {
+    bench::Timer t;
+    int reps = 0;
+    int mask = 1;
+    while (t.seconds() < 0.2) {
+      DiagnosticSink sink;
+      auto diff = project->repartition(marks_for(mask), sink);
+      benchmark::DoNotOptimize(diff);
+      mask = (mask % 7) + 1;
+      ++reps;
+    }
+    report.add("remap_sec", t.seconds() / reps, "s",
+               "packet_soc,all 7 hw masks round-robin");
+  }
+  {
+    DiagnosticSink sink;
+    project->repartition(marks_for(0b010), sink);
+    codegen::Output out = project->generate_all(sink);
+    report.add("generated_lines", static_cast<double>(out.total_lines()),
+               "lines", "packet_soc,hw=Crypto");
+  }
+  report.write();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  emit_json();
+  if (bench::json_only(argc, argv)) return 0;
   print_summary();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -4,7 +4,8 @@ namespace xtsoc::cosim {
 
 CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     : sys_(&sys), config_(config) {
-  sim_ = std::make_unique<hwsim::Simulator>();
+  sim_ = std::make_unique<hwsim::Simulator>(
+      hwsim::SimConfig{config_.threads});
   clk_ = sim_->wire(1, 0, "clk");
   sim_->add_clock(clk_, /*half_period=*/1);
 
@@ -146,7 +147,12 @@ void CoSimulation::one_cycle() {
   // cycle become visible to the NICs the domains poll below.
   if (fabric_) fabric_->tick(cycle_);
   // Hardware next: each clocked HwDomain process fires on the rising edge.
+  // Domains defer their outbound frames while the edge evaluates (they may
+  // run concurrently; the interconnect is shared), then the frames enter
+  // the interconnect here, serially, in domain order — the same total order
+  // the serial kernel produced when domains sent inline.
   sim_->run_cycles(clk_, 1);
+  for (auto& hw : hw_domains_) hw->flush_outbox();
   // Then software gets its per-cycle budget: at most `sw_steps_per_cycle`
   // dispatches AND at most `sw_ops_per_cycle` action ops. A dispatch whose
   // action overruns the op budget still completes (run-to-completion is

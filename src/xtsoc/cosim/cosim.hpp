@@ -35,6 +35,11 @@
 namespace xtsoc::cosim {
 
 struct CoSimConfig {
+  /// Worker threads for the hwsim kernel's delta-cycle batches (1 = the
+  /// serial kernel). Hardware clock domains evaluate concurrently; the
+  /// deterministic commit keeps traces, VCD and stats byte-identical at
+  /// any thread count. See docs/PERF.md.
+  int threads = 1;
   /// Software dispatches allowed per hardware clock cycle (CPU/fabric
   /// speed ratio).
   int sw_steps_per_cycle = 4;

@@ -14,12 +14,14 @@ HwDomain::HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
           [this](ClassId cls) { return owns(cls); },
           [this](runtime::EventMessage m) {
             // Signal leaving this domain for a foreign executor: serialize
-            // per the synthesized interface and hand it to the channel. Any
+            // per the synthesized interface and stage it in the outbox (the
+            // channel is shared; sends happen at flush_outbox). Any
             // generate-statement delay rides along as extra transit delay.
             std::uint64_t extra = m.deliver_at - exec_.now();
             ClassId dst = m.target.cls;
-            channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
-                           extra);
+            outbox_.push_back(
+                {dst, encode_message(sys_->interface(), m), cycle_, extra});
+            exec_.recycle_args(std::move(m.args));
           }) {
   for (ClassId cls : owned_) owned_mask_[cls.value()] = 1;
   divider_.resize(sys.domain().class_count(), 1);
@@ -61,19 +63,22 @@ void HwDomain::on_clock() {
   // clockDomain mark is a divider of the master clock). Queue order still
   // decides which event an instance sees. step_if dispatches the first
   // message the predicate accepts, so the predicate can record the instance
-  // it is about to serve.
-  std::set<runtime::InstanceHandle> served;
+  // it is about to serve. served_ is a reused vector (few instances per
+  // cycle) — no per-cycle set allocation on the hot path.
+  served_.clear();
   while (true) {
     runtime::InstanceHandle chosen;
     bool dispatched = exec_.step_if(
-        [this, &served, &chosen](const runtime::EventMessage& m) {
+        [this, &chosen](const runtime::EventMessage& m) {
           if (cycle_ % divider_[m.target.cls.value()] != 0) return false;
-          if (served.contains(m.target)) return false;
+          for (const runtime::InstanceHandle& h : served_) {
+            if (h == m.target) return false;
+          }
           chosen = m.target;
           return true;
         });
     if (!dispatched) break;
-    served.insert(chosen);
+    served_.push_back(chosen);
   }
 
   // Update the observability wires (visible to VCD like any RTL signal).
@@ -81,11 +86,18 @@ void HwDomain::on_clock() {
     sim_->nba_write(alive_wires_[cls.value()],
                     exec_.database().live_count(cls));
     bool busy = false;
-    for (const runtime::InstanceHandle& h : served) {
+    for (const runtime::InstanceHandle& h : served_) {
       if (h.cls == cls) busy = true;
     }
     sim_->nba_write(busy_wires_[cls.value()], busy ? 1 : 0);
   }
+}
+
+void HwDomain::flush_outbox() {
+  for (Outbound& o : outbox_) {
+    channel_->send(o.dst, std::move(o.frame), o.cycle, o.extra);
+  }
+  outbox_.clear();
 }
 
 }  // namespace xtsoc::cosim

@@ -16,11 +16,17 @@
 //   * signals to classes owned by any other executor leave through this
 //     domain's Channel with the synthesized wire format.
 //
+// Outbound frames are STAGED, not sent: on_clock encodes them into a local
+// outbox and CoSimulation flushes every domain's outbox — serially, in
+// domain order — right after the clock edge settles. The interconnect is
+// shared state, so this is what lets all clock domains of one edge
+// evaluate concurrently (hwsim SimConfig::threads > 1) and still inject
+// frames in the exact order the serial kernel would have.
+//
 // This is the executable twin of the VHDL text emitted by
 // codegen::generate_vhdl — same partition, same interface, same queueing.
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "xtsoc/cosim/channel.hpp"
@@ -53,7 +59,12 @@ public:
   /// Signals dispatched in hardware.
   std::uint64_t dispatches() const { return exec_.dispatch_count(); }
 
-  bool drained() const { return exec_.drained(); }
+  /// Hand the frames staged during the last clock edge to the channel.
+  /// Called by CoSimulation once per cycle, after the edge settles, in
+  /// domain order; must not run while the kernel is mid-settle.
+  void flush_outbox();
+
+  bool drained() const { return exec_.drained() && outbox_.empty(); }
 
   /// Observability wires created in the hwsim netlist, one pair per owned
   /// hardware class: `hw.<class>.alive` (live instance count, 16 bits) and
@@ -63,6 +74,13 @@ public:
   HwSignalId busy_wire(ClassId cls) const;
 
 private:
+  struct Outbound {
+    ClassId dst;
+    Frame frame;
+    std::uint64_t cycle;  ///< cycle the signal left the executor
+    std::uint64_t extra;  ///< generate-statement delay riding along
+  };
+
   void on_clock();
 
   const mapping::MappedSystem* sys_;
@@ -76,6 +94,9 @@ private:
   std::vector<std::uint64_t> divider_;
   std::vector<HwSignalId> alive_wires_;  // index: ClassId; invalid if foreign
   std::vector<HwSignalId> busy_wires_;
+  std::vector<Outbound> outbox_;  ///< frames staged during the current edge
+  /// Instances already served this cycle (reused; cleared each edge).
+  std::vector<runtime::InstanceHandle> served_;
 };
 
 }  // namespace xtsoc::cosim

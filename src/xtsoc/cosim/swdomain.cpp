@@ -15,6 +15,7 @@ SwDomain::SwDomain(const mapping::MappedSystem& sys, Channel& channel,
             ClassId dst = m.target.cls;
             channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
                            extra);
+            exec_.recycle_args(std::move(m.args));
           }) {
   task_ = scheduler_->spawn(sys.domain().name() + ".sw", /*priority=*/0,
                             [this] { return exec_.step(); });

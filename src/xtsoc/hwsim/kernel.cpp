@@ -1,8 +1,96 @@
 #include "xtsoc/hwsim/kernel.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace xtsoc::hwsim {
+
+thread_local Simulator* Simulator::tls_sim_ = nullptr;
+thread_local Simulator::EvalSlot* Simulator::tls_slot_ = nullptr;
+
+/// Persistent pool of N-1 worker threads; the caller participates as the
+/// Nth worker. One generation = one delta-cycle batch. All hand-offs go
+/// through the mutex, which gives the happens-before edges the evaluation
+/// needs: wire commits (caller, previous delta) are visible to workers,
+/// and staged writes (workers) are visible to the caller's merge.
+class Simulator::WorkerPool {
+public:
+  explicit WorkerPool(int workers) {
+    threads_.reserve(static_cast<std::size_t>(workers > 1 ? workers - 1 : 0));
+    for (int i = 1; i < workers; ++i) {
+      threads_.emplace_back([this] { thread_main(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    start_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Run `job` on every worker (including the calling thread) and wait for
+  /// all of them to finish it.
+  void run(const std::function<void()>& job) {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_ = &job;
+      running_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    start_.notify_all();
+    job();
+    std::unique_lock<std::mutex> lk(m_);
+    done_.wait(lk, [this] { return running_ == 0; });
+    job_ = nullptr;
+  }
+
+private:
+  void thread_main() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void()>* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      (*job)();
+      {
+        std::lock_guard<std::mutex> lk(m_);
+        --running_;
+      }
+      done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex m_;
+  std::condition_variable start_;
+  std::condition_variable done_;
+  const std::function<void()>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int running_ = 0;
+  bool stop_ = false;
+};
+
+Simulator::Simulator() = default;
+
+Simulator::Simulator(SimConfig config) : config_(config) {
+  if (config_.threads < 1) config_.threads = 1;
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(config_.threads);
+  }
+}
+
+Simulator::~Simulator() = default;
 
 HwSignalId Simulator::wire(int width, std::uint64_t init, std::string name) {
   if (width < 1 || width > 64) {
@@ -40,8 +128,10 @@ ProcessId Simulator::combinational(std::vector<HwSignalId> sensitivity,
 }
 
 ProcessId Simulator::on_posedge(HwSignalId clock, ProcessFn fn) {
-  state(clock);  // validate
   ProcessId id(static_cast<ProcessId::underlying_type>(processes_.size()));
+  // Per-clock posedge list, built at registration time: a rising edge
+  // triggers exactly this list instead of a scan over every process.
+  state(clock).clocked.push_back(id);
   processes_.push_back({std::move(fn), true, clock});
   return id;
 }
@@ -54,13 +144,24 @@ void Simulator::add_clock(HwSignalId w, std::uint64_t half_period) {
 
 std::uint64_t Simulator::read(HwSignalId w) const { return state(w).value; }
 
-void Simulator::nba_write(HwSignalId w, std::uint64_t value) {
+void Simulator::apply_nba(HwSignalId w, std::uint64_t value) {
   WireState& s = state(w);
   s.next = value & s.mask;
   if (!s.has_next) {
     s.has_next = true;
     nba_pending_.push_back(w);
   }
+}
+
+void Simulator::nba_write(HwSignalId w, std::uint64_t value) {
+  if (tls_sim_ == this) {
+    // Parallel batch evaluation in flight on this thread: stage into the
+    // process's slot; the caller merges slots in batch order afterwards.
+    const WireState& s = state(w);
+    tls_slot_->writes.push_back({w, value & s.mask});
+    return;
+  }
+  apply_nba(w, value);
 }
 
 void Simulator::poke(HwSignalId w, std::uint64_t value) {
@@ -77,13 +178,57 @@ void Simulator::mark_changed(HwSignalId w, std::uint64_t old_value) {
   // Rising edge?
   if (s.width == 1 && old_value == 0 && s.value == 1) {
     ++s.posedges;
-    for (std::size_t p = 0; p < processes_.size(); ++p) {
-      if (processes_[p].clocked && processes_[p].clock.value() == w.value()) {
-        runnable_.push_back(ProcessId(static_cast<ProcessId::underlying_type>(p)));
-      }
-    }
+    for (ProcessId p : s.clocked) runnable_.push_back(p);
   }
   for (ProcessId p : s.sensitive) runnable_.push_back(p);
+}
+
+void Simulator::eval_batch_parallel() {
+  if (slots_.size() < batch_.size()) slots_.resize(batch_.size());
+  std::atomic<std::size_t> cursor{0};
+  const std::size_t n = batch_.size();
+  auto job = [this, &cursor, n] {
+    tls_sim_ = this;
+    for (;;) {
+      std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      EvalSlot& slot = slots_[i];
+      tls_slot_ = &slot;
+      try {
+        processes_[batch_[i].value()].fn(*this);
+      } catch (...) {
+        slot.error = std::current_exception();
+      }
+    }
+    tls_slot_ = nullptr;
+    tls_sim_ = nullptr;
+  };
+  pool_->run(job);
+
+  // Deterministic merge. Batch order is exactly the order the serial kernel
+  // would have evaluated these processes in, so replaying each slot's writes
+  // in slot order reproduces the serial commit list byte for byte (first
+  // write of a wire fixes its commit position; the last write wins).
+  // On a process fault, mirror serial behaviour: writes of processes that
+  // ran before the faulting one are staged, the rest are discarded.
+  std::size_t stop = n;
+  std::exception_ptr error;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slots_[i].error) {
+      error = slots_[i].error;
+      stop = i;
+      break;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EvalSlot& slot = slots_[i];
+    if (i < stop) {
+      for (const StagedWrite& sw : slot.writes) apply_nba(sw.w, sw.value);
+    }
+    slot.writes.clear();
+    slot.error = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void Simulator::settle() {
@@ -95,21 +240,34 @@ void Simulator::settle() {
     }
     ++stats_.delta_cycles;
 
-    // Run each triggered process once per delta (dedup preserves order).
-    std::vector<ProcessId> batch;
-    batch.swap(runnable_);
-    std::vector<bool> seen(processes_.size(), false);
-    for (ProcessId p : batch) {
-      if (seen[p.value()]) continue;
-      seen[p.value()] = true;
-      ++stats_.process_activations;
-      processes_[p.value()].fn(*this);
+    // Run each triggered process once per delta. Dedup preserves trigger
+    // order via epoch stamps — no per-delta allocation, unlike a fresh set.
+    if (seen_epoch_.size() < processes_.size()) {
+      seen_epoch_.resize(processes_.size(), 0);
+    }
+    ++epoch_;
+    batch_.clear();
+    for (ProcessId p : runnable_) {
+      if (seen_epoch_[p.value()] == epoch_) continue;
+      seen_epoch_[p.value()] = epoch_;
+      batch_.push_back(p);
+    }
+    runnable_.clear();
+
+    if (pool_ && batch_.size() > 1) {
+      stats_.process_activations += batch_.size();
+      eval_batch_parallel();
+    } else {
+      for (ProcessId p : batch_) {
+        ++stats_.process_activations;
+        processes_[p.value()].fn(*this);
+      }
     }
 
     // Commit non-blocking writes; changed wires trigger the next delta.
-    std::vector<HwSignalId> pending;
-    pending.swap(nba_pending_);
-    for (HwSignalId w : pending) {
+    commit_buf_.clear();
+    commit_buf_.swap(nba_pending_);
+    for (HwSignalId w : commit_buf_) {
       WireState& s = state(w);
       s.has_next = false;
       std::uint64_t old = s.value;

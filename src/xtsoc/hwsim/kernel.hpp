@@ -16,10 +16,23 @@
 // hardware-marked class onto a clocked process of this kernel: one queued
 // signal consumed per clock edge per instance — which is what makes
 // hardware latency observable and distinct from software in experiments.
+//
+// Parallel evaluation (SimConfig::threads > 1): within one delta cycle
+// every process in the runnable batch sees only the committed wire values
+// of the previous delta and emits non-blocking writes, so the batch is
+// evaluated concurrently on a persistent worker pool. Writes are staged
+// per batch slot and replayed in the batch order the serial kernel would
+// have used, making any thread count byte-identical to threads = 1:
+// same traces, same VCD, same SimStats, same oscillation behaviour.
+// The contract processes must honour in parallel mode: read wires,
+// nba_write, and touch only state no other process shares (no poke, no
+// netlist mutation, no cross-process shared mutable state).
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -40,12 +53,28 @@ struct SimStats {
   std::uint64_t wire_commits = 0;
 };
 
+struct SimConfig {
+  /// Worker threads evaluating each delta's runnable batch. 1 (default)
+  /// is the exact serial kernel; N > 1 runs the batch on a persistent
+  /// pool of N workers (the calling thread counts as one) with a
+  /// deterministic commit that is byte-identical to the serial kernel.
+  int threads = 1;
+};
+
 class Simulator {
 public:
   using ProcessFn = std::function<void(Simulator&)>;
 
   /// Deltas allowed within one instant before declaring oscillation.
   static constexpr int kDeltaLimit = 1000;
+
+  Simulator();
+  explicit Simulator(SimConfig config);
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  int threads() const { return config_.threads; }
 
   // --- netlist construction --------------------------------------------------
 
@@ -103,6 +132,7 @@ private:
     std::uint64_t mask = 1;
     std::string name;
     std::vector<ProcessId> sensitive;  ///< combinational listeners
+    std::vector<ProcessId> clocked;    ///< posedge listeners (this is a clock)
     std::uint64_t posedges = 0;        ///< rising-edge counter
   };
 
@@ -118,9 +148,30 @@ private:
     std::uint64_t next_toggle;
   };
 
+  /// One batch slot's staged non-blocking writes (parallel mode). Slots are
+  /// indexed by position in the deduplicated batch, so replaying them in
+  /// slot order reproduces the serial kernel's write order exactly.
+  struct StagedWrite {
+    HwSignalId w;
+    std::uint64_t value;
+  };
+  struct EvalSlot {
+    std::vector<StagedWrite> writes;
+    std::exception_ptr error;
+  };
+
+  class WorkerPool;
+
   WireState& state(HwSignalId w);
   const WireState& state(HwSignalId w) const;
   void mark_changed(HwSignalId w, std::uint64_t old_value);
+  /// The serial nba_write body: stage into the wire's next-value latch and
+  /// the commit list. Also the replay step of the parallel merge.
+  void apply_nba(HwSignalId w, std::uint64_t value);
+  void eval_batch_parallel();
+
+  SimConfig config_;
+  std::unique_ptr<WorkerPool> pool_;
 
   std::vector<WireState> wires_;
   std::vector<Process> processes_;
@@ -130,6 +181,18 @@ private:
   std::uint64_t now_ = 0;
   bool initial_settle_done_ = false;
   SimStats stats_;
+
+  // Reused per-delta scratch (no steady-state allocation).
+  std::vector<ProcessId> batch_;           ///< deduplicated runnable batch
+  std::vector<std::uint64_t> seen_epoch_;  ///< runnable dedup stamps
+  std::uint64_t epoch_ = 0;
+  std::vector<HwSignalId> commit_buf_;     ///< pending writes being committed
+  std::vector<EvalSlot> slots_;            ///< parallel staging, per batch slot
+
+  /// Set while THIS simulator evaluates a batch in parallel on the current
+  /// thread; routes nba_write into the active slot.
+  static thread_local Simulator* tls_sim_;
+  static thread_local EvalSlot* tls_slot_;
 };
 
 }  // namespace xtsoc::hwsim

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "xtsoc/runtime/vm.hpp"
-
 namespace xtsoc::runtime {
 
 Executor::Executor(const oal::CompiledDomain& compiled, ExecutorConfig config)
@@ -98,14 +96,16 @@ void Executor::emit(const InstanceHandle& sender, const InstanceHandle& target,
   m.deliver_at = now_ + delay;
   m.seq = seq_++;
 
-  TraceEvent te;
-  te.kind = TraceKind::kSend;
-  te.tick = now_;
-  te.subject = target;
-  te.peer = sender;
-  te.event = event;
-  te.args = m.args;
-  trace_.record(std::move(te));
+  if (trace_.enabled()) {
+    TraceEvent te;
+    te.kind = TraceKind::kSend;
+    te.tick = now_;
+    te.subject = target;
+    te.peer = sender;
+    te.event = event;
+    te.args = m.args;
+    trace_.record(std::move(te));
+  }
 
   if (is_local_ && !is_local_(target.cls)) {
     if (!remote_out_) {
@@ -242,12 +242,15 @@ std::size_t Executor::run_all(std::size_t max_dispatches) {
 void Executor::dispatch(EventMessage m) {
   // Signals to instances deleted after the send are discarded (xtUML).
   if (!db_.is_alive(m.target)) {
-    TraceEvent te;
-    te.kind = TraceKind::kIgnored;
-    te.tick = now_;
-    te.subject = m.target;
-    te.event = m.event;
-    trace_.record(std::move(te));
+    if (trace_.enabled()) {
+      TraceEvent te;
+      te.kind = TraceKind::kIgnored;
+      te.tick = now_;
+      te.subject = m.target;
+      te.event = m.event;
+      trace_.record(std::move(te));
+    }
+    recycle_args(std::move(m.args));
     return;
   }
 
@@ -260,13 +263,16 @@ void Executor::dispatch(EventMessage m) {
                        "' in state '" + def.state(from).name + "' of " +
                        m.target.to_string());
     }
-    TraceEvent te;
-    te.kind = TraceKind::kIgnored;
-    te.tick = now_;
-    te.subject = m.target;
-    te.event = m.event;
-    te.from_state = from;
-    trace_.record(std::move(te));
+    if (trace_.enabled()) {
+      TraceEvent te;
+      te.kind = TraceKind::kIgnored;
+      te.tick = now_;
+      te.subject = m.target;
+      te.event = m.event;
+      te.from_state = from;
+      trace_.record(std::move(te));
+    }
+    recycle_args(std::move(m.args));
     return;
   }
 
@@ -274,21 +280,23 @@ void Executor::dispatch(EventMessage m) {
   ++dispatches_;
   ++dispatches_by_class_[m.target.cls.value()];
 
-  TraceEvent te;
-  te.kind = TraceKind::kDispatch;
-  te.tick = now_;
-  te.subject = m.target;
-  te.event = m.event;
-  te.from_state = from;
-  te.to_state = t->to;
-  te.args = m.args;
-  trace_.record(std::move(te));
+  if (trace_.enabled()) {
+    TraceEvent te;
+    te.kind = TraceKind::kDispatch;
+    te.tick = now_;
+    te.subject = m.target;
+    te.event = m.event;
+    te.from_state = from;
+    te.to_state = t->to;
+    te.args = m.args;
+    trace_.record(std::move(te));
+  }
 
   current_ = m.target;
   InterpResult r;
   if (config_.engine == ActionEngine::kBytecode) {
     r = run_bytecode(bytecode_for(m.target.cls, t->to), m.target, m.args,
-                     *this, config_.max_ops_per_action);
+                     *this, config_.max_ops_per_action, &vm_scratch_);
   } else {
     const oal::AnalyzedAction& action =
         compiled_->action(m.target.cls, t->to);
@@ -298,6 +306,7 @@ void Executor::dispatch(EventMessage m) {
   current_ = InstanceHandle::null();
   ops_ += r.ops;
   ops_by_class_[m.target.cls.value()] += r.ops;
+  recycle_args(std::move(m.args));
 
   // Entering a final state deletes the instance after its action completes.
   if (def.state(t->to).is_final && !r.self_deleted &&
@@ -319,7 +328,24 @@ const oal::CodeBlock& Executor::bytecode_for(ClassId cls, StateId state) {
   return *slot;
 }
 
+std::vector<Value> Executor::acquire_args(std::size_t n) {
+  if (arg_pool_.empty()) return std::vector<Value>(n);
+  std::vector<Value> v = std::move(arg_pool_.back());
+  arg_pool_.pop_back();
+  // Recycled vectors arrive empty, so resize value-initialises every slot
+  // (monostate) — indistinguishable from a freshly allocated vector.
+  v.resize(n);
+  return v;
+}
+
+void Executor::recycle_args(std::vector<Value>&& args) {
+  if (arg_pool_.size() >= kMaxPooledArgs) return;
+  args.clear();
+  if (args.capacity() > 0) arg_pool_.push_back(std::move(args));
+}
+
 void Executor::on_create(const InstanceHandle& h) {
+  if (!trace_.enabled()) return;
   TraceEvent te;
   te.kind = TraceKind::kCreate;
   te.tick = now_;
@@ -328,6 +354,7 @@ void Executor::on_create(const InstanceHandle& h) {
 }
 
 void Executor::on_delete(const InstanceHandle& h) {
+  if (!trace_.enabled()) return;
   TraceEvent te;
   te.kind = TraceKind::kDelete;
   te.tick = now_;
@@ -337,6 +364,7 @@ void Executor::on_delete(const InstanceHandle& h) {
 
 void Executor::on_attr_write(const InstanceHandle& h, AttributeId attr,
                              const Value& v) {
+  if (!trace_.enabled()) return;
   TraceEvent te;
   te.kind = TraceKind::kAttrWrite;
   te.tick = now_;
@@ -347,6 +375,7 @@ void Executor::on_attr_write(const InstanceHandle& h, AttributeId attr,
 }
 
 void Executor::on_log(std::string text) {
+  if (!trace_.enabled()) return;
   TraceEvent te;
   te.kind = TraceKind::kLog;
   te.tick = now_;

@@ -32,6 +32,7 @@
 #include "xtsoc/runtime/database.hpp"
 #include "xtsoc/runtime/interp.hpp"
 #include "xtsoc/runtime/trace.hpp"
+#include "xtsoc/runtime/vm.hpp"
 
 namespace xtsoc::runtime {
 
@@ -145,6 +146,13 @@ public:
   void emit(const InstanceHandle& sender, const InstanceHandle& target,
             EventId event, std::vector<Value> args,
             std::uint64_t delay) override;
+  /// Signal payload vectors come from a recycling pool: dispatch() returns
+  /// each consumed vector's storage to it, so a steady-state signal loop
+  /// (generate -> dispatch -> generate) performs no payload allocation.
+  std::vector<Value> acquire_args(std::size_t n) override;
+  /// Return a spent payload vector's storage to the pool. Public so the
+  /// cosim domains can recycle messages they serialized onto the wire.
+  void recycle_args(std::vector<Value>&& args);
   void on_create(const InstanceHandle& h) override;
   void on_delete(const InstanceHandle& h) override;
   void on_attr_write(const InstanceHandle& h, AttributeId attr,
@@ -204,6 +212,11 @@ private:
   std::vector<std::uint64_t> ops_by_class_;
   /// Lazily compiled bytecode per [class][state] (kBytecode engine only).
   std::vector<std::vector<std::optional<oal::CodeBlock>>> bytecode_;
+  /// Reused VM evaluation buffers (kBytecode engine only).
+  VmScratch vm_scratch_;
+  /// Recycled signal-payload vectors, capped at kMaxPooledArgs entries.
+  std::vector<std::vector<Value>> arg_pool_;
+  static constexpr std::size_t kMaxPooledArgs = 256;
   std::uint64_t ops_ = 0;
   std::size_t high_water_ = 0;
   /// Instance whose action is currently running (stamps `log` trace events).

@@ -234,7 +234,7 @@ private:
         if (target.is_null()) {
           throw ModelError("generate to a null instance reference");
         }
-        std::vector<Value> args(g.args.size());
+        std::vector<Value> args = host_.acquire_args(g.args.size());
         for (const auto& arg : g.args) {
           args[static_cast<std::size_t>(arg.param_index)] = eval(*arg.value);
         }

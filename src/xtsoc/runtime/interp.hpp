@@ -33,6 +33,14 @@ public:
                     EventId event, std::vector<Value> args,
                     std::uint64_t delay) = 0;
 
+  /// Obtain a payload vector of `n` default (monostate) Values for emit().
+  /// Hosts that dispatch signals in a loop override this to recycle the
+  /// consumed vectors' storage, so steady-state signalling allocates
+  /// nothing; the default just allocates.
+  virtual std::vector<Value> acquire_args(std::size_t n) {
+    return std::vector<Value>(n);
+  }
+
   /// Lifecycle + observability hooks (default: no-op).
   virtual void on_create(const InstanceHandle&) {}
   virtual void on_delete(const InstanceHandle&) {}

@@ -13,11 +13,13 @@ using oal::Op;
 class Vm {
 public:
   Vm(const CodeBlock& block, const InstanceHandle& self,
-     const std::vector<Value>& params, Host& host, std::uint64_t max_ops)
+     const std::vector<Value>& params, Host& host, std::uint64_t max_ops,
+     VmScratch& scratch)
       : block_(block), self_(self), params_(params), host_(host),
-        max_ops_(max_ops) {
-    frame_.resize(static_cast<std::size_t>(block.frame_size));
-    stack_.reserve(32);
+        max_ops_(max_ops), frame_(scratch.frame), stack_(scratch.stack) {
+    frame_.assign(static_cast<std::size_t>(block.frame_size), Value{});
+    stack_.clear();
+    if (stack_.capacity() < 32) stack_.reserve(32);
   }
 
   InterpResult run() {
@@ -308,7 +310,10 @@ private:
           if (target.is_null()) {
             throw ModelError("generate to a null instance reference");
           }
-          std::vector<Value> args(argc);
+          // The payload vector comes from the host's recycling pool: it
+          // becomes EventMessage::args and returns to the pool after the
+          // receiving action completes.
+          std::vector<Value> args = host_.acquire_args(argc);
           for (std::uint32_t k = argc; k > 0; --k) {
             args[k - 1] = pop();
           }
@@ -337,8 +342,8 @@ private:
   const std::vector<Value>& params_;
   Host& host_;
   std::uint64_t max_ops_;
-  std::vector<Value> frame_;
-  std::vector<Value> stack_;
+  std::vector<Value>& frame_;
+  std::vector<Value>& stack_;
   Value selected_ = InstanceHandle::null();
   std::uint64_t ops_ = 0;
   bool self_deleted_ = false;
@@ -349,8 +354,12 @@ private:
 InterpResult run_bytecode(const oal::CodeBlock& block,
                           const InstanceHandle& self,
                           const std::vector<Value>& params, Host& host,
-                          std::uint64_t max_ops) {
-  return Vm(block, self, params, host, max_ops).run();
+                          std::uint64_t max_ops, VmScratch* scratch) {
+  if (scratch != nullptr) {
+    return Vm(block, self, params, host, max_ops, *scratch).run();
+  }
+  VmScratch local;
+  return Vm(block, self, params, host, max_ops, local).run();
 }
 
 }  // namespace xtsoc::runtime

@@ -12,12 +12,23 @@
 
 namespace xtsoc::runtime {
 
+/// Reusable evaluation buffers for run_bytecode. A caller that dispatches
+/// many actions (the Executor) keeps one of these alive so the VM's value
+/// stack and frame reach steady-state capacity once and are never
+/// reallocated again — zero heap traffic per action after warm-up.
+struct VmScratch {
+  std::vector<Value> stack;
+  std::vector<Value> frame;
+};
+
 /// Execute `block` for instance `self` with event payload `params`.
 /// Semantics and error behaviour mirror run_action(); `max_ops` counts
-/// executed instructions.
+/// executed instructions. Pass `scratch` to reuse evaluation buffers
+/// across calls (single-threaded use only); null allocates fresh ones.
 InterpResult run_bytecode(const oal::CodeBlock& block,
                           const InstanceHandle& self,
                           const std::vector<Value>& params, Host& host,
-                          std::uint64_t max_ops = 10'000'000);
+                          std::uint64_t max_ops = 10'000'000,
+                          VmScratch* scratch = nullptr);
 
 }  // namespace xtsoc::runtime

@@ -421,5 +421,177 @@ TEST(Codec, MessageRoundTrip) {
   EXPECT_TRUE(back.sender.is_null());
 }
 
+// --- parallel-kernel determinism at the cosim level ----------------------------
+//
+// CoSimConfig::threads must leave every observable byte unchanged: executor
+// traces in each partition, hardware cycle count, kernel SimStats, and the
+// captured VCD waveform. One bus-mode workload and one multi-domain mesh
+// workload, each diffed at threads = 1/2/8.
+
+/// Everything observable from one cosim run.
+struct CosimDeterminismRun {
+  std::string hw_traces;  ///< all hardware domains' traces, in domain order
+  std::string sw_trace;
+  std::string vcd;
+  std::uint64_t cycles = 0;
+  hwsim::SimStats sim_stats;
+  std::vector<std::int64_t> attrs;
+};
+
+TEST(CoSimParallel, BusPipelineByteIdenticalAcrossThreadCounts) {
+  auto run_once = [](int threads) {
+    CoSimConfig cfg;
+    cfg.threads = threads;
+    PipelineCosim p(hw_consumer_marks(2), cfg);
+    hwsim::VcdWriter vcd(p.cosim.hw_sim());
+    p.cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+    for (int i = 0; i < 4; ++i) {
+      p.cosim.inject(p.producer, "kick", {}, static_cast<std::uint64_t>(i));
+      p.cosim.run(2000);
+    }
+    CosimDeterminismRun r;
+    for (const auto& hw : p.cosim.hw_domains()) {
+      r.hw_traces += hw->executor().trace().to_string();
+    }
+    r.sw_trace = p.cosim.sw_executor().trace().to_string();
+    r.vcd = vcd.render();
+    r.cycles = p.cosim.cycles();
+    r.sim_stats = p.cosim.hw_sim().stats();
+    r.attrs = {p.attr(p.producer, "Producer", "sent"),
+               p.attr(p.producer, "Producer", "acks"),
+               p.attr(p.consumer, "Consumer", "total")};
+    return r;
+  };
+
+  CosimDeterminismRun serial = run_once(1);
+  EXPECT_FALSE(serial.hw_traces.empty());
+  for (int threads : {2, 8}) {
+    CosimDeterminismRun par = run_once(threads);
+    EXPECT_EQ(par.hw_traces, serial.hw_traces) << "threads=" << threads;
+    EXPECT_EQ(par.sw_trace, serial.sw_trace) << "threads=" << threads;
+    EXPECT_EQ(par.vcd, serial.vcd) << "threads=" << threads;
+    EXPECT_EQ(par.cycles, serial.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.delta_cycles, serial.sim_stats.delta_cycles)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.process_activations,
+              serial.sim_stats.process_activations)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.wire_commits, serial.sim_stats.wire_commits)
+        << "threads=" << threads;
+    EXPECT_EQ(par.attrs, serial.attrs) << "threads=" << threads;
+  }
+}
+
+/// A software boss fanning work out to three hardware workers on separate
+/// mesh tiles (three concurrently evaluated hardware clock domains — the
+/// shape the parallel kernel actually accelerates).
+std::unique_ptr<xtuml::Domain> make_fanout_domain() {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Fan");
+  b.cls("Boss", "BSS");
+  for (int i = 0; i < 3; ++i) b.cls("W" + std::to_string(i));
+  auto boss = b.edit("Boss");
+  boss.attr("acks", DataType::kInt)
+      .ref_attr("w0", "W0")
+      .ref_attr("w1", "W1")
+      .ref_attr("w2", "W2")
+      .event("go")
+      .event("done", {{"v", DataType::kInt}})
+      .state("Idle")
+      .state("Fanning",
+             "generate job(n: 1, who: self) to self.w0;\n"
+             "generate job(n: 2, who: self) to self.w1;\n"
+             "generate job(n: 3, who: self) to self.w2;")
+      .transition("Idle", "go", "Fanning")
+      .transition("Fanning", "go", "Fanning");
+  boss.state("Collect", "self.acks = self.acks + 1;")
+      .transition("Fanning", "done", "Collect")
+      .transition("Collect", "done", "Collect")
+      .transition("Collect", "go", "Fanning");
+  for (int i = 0; i < 3; ++i) {
+    b.edit("W" + std::to_string(i))
+        .attr("sum", DataType::kInt)
+        .event("job", {{"n", DataType::kInt}, b.ref_param("who", "Boss")})
+        .state("Work",
+               "self.sum = self.sum + param.n;\n"
+               "generate done(v: param.n) to param.who;")
+        .transition("Work", "job", "Work");
+  }
+  return b.take();
+}
+
+marks::MarkSet fanout_mesh_marks() {
+  marks::MarkSet m;
+  const int tiles[3][2] = {{1, 0}, {0, 1}, {1, 1}};  // sw owns (0,0)
+  for (int i = 0; i < 3; ++i) {
+    std::string cls = "W" + std::to_string(i);
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     ScalarValue(std::int64_t{tiles[i][0]}));
+    m.set_class_mark(cls, marks::kTileY,
+                     ScalarValue(std::int64_t{tiles[i][1]}));
+  }
+  m.set_domain_mark(marks::kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(marks::kMeshHeight, ScalarValue(std::int64_t{2}));
+  return m;
+}
+
+TEST(CoSimParallel, MeshFanoutByteIdenticalAcrossThreadCounts) {
+  auto run_once = [](int threads) {
+    MappedFixture fx(make_fanout_domain(), fanout_mesh_marks());
+    CoSimConfig cfg;
+    cfg.threads = threads;
+    CoSimulation cosim(*fx.system, cfg);
+    auto w0 = cosim.create("W0");
+    auto w1 = cosim.create("W1");
+    auto w2 = cosim.create("W2");
+    auto boss = cosim.create_with(
+        "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+    EXPECT_EQ(cosim.hw_domains().size(), 3u);
+    hwsim::VcdWriter vcd(cosim.hw_sim());
+    cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+    for (int i = 0; i < 3; ++i) {
+      cosim.inject(boss, "go");
+      cosim.run(5000);
+    }
+    CosimDeterminismRun r;
+    for (const auto& hw : cosim.hw_domains()) {
+      r.hw_traces += hw->executor().trace().to_string();
+    }
+    r.sw_trace = cosim.sw_executor().trace().to_string();
+    r.vcd = vcd.render();
+    r.cycles = cosim.cycles();
+    r.sim_stats = cosim.hw_sim().stats();
+    auto attr_of = [&](const InstanceHandle& h, const char* cls,
+                       const char* name) {
+      const auto* a = fx.domain->find_class(cls)->find_attribute(name);
+      return std::get<std::int64_t>(
+          cosim.executor_of(h.cls).database().get_attr(h, a->id));
+    };
+    r.attrs = {attr_of(boss, "Boss", "acks"), attr_of(w0, "W0", "sum"),
+               attr_of(w1, "W1", "sum"), attr_of(w2, "W2", "sum")};
+    EXPECT_EQ(r.attrs[0], 9);  // 3 kicks x 3 workers
+    EXPECT_EQ(r.attrs[1] + r.attrs[2] + r.attrs[3], 18);  // 3 x (1+2+3)
+    return r;
+  };
+
+  CosimDeterminismRun serial = run_once(1);
+  for (int threads : {2, 8}) {
+    CosimDeterminismRun par = run_once(threads);
+    EXPECT_EQ(par.hw_traces, serial.hw_traces) << "threads=" << threads;
+    EXPECT_EQ(par.sw_trace, serial.sw_trace) << "threads=" << threads;
+    EXPECT_EQ(par.vcd, serial.vcd) << "threads=" << threads;
+    EXPECT_EQ(par.cycles, serial.cycles) << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.delta_cycles, serial.sim_stats.delta_cycles)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.process_activations,
+              serial.sim_stats.process_activations)
+        << "threads=" << threads;
+    EXPECT_EQ(par.sim_stats.wire_commits, serial.sim_stats.wire_commits)
+        << "threads=" << threads;
+    EXPECT_EQ(par.attrs, serial.attrs) << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace xtsoc::cosim

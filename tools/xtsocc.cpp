@@ -12,6 +12,8 @@
 //       --simulate FILE run a stimulus script against the abstract model
 //                       (exit status reflects its expectations)
 //       --on-cosim      run --simulate against the partitioned cosim instead
+//       --threads N     hwsim kernel worker threads for --on-cosim (default
+//                       1 = serial; any N produces byte-identical results)
 //       --noc-stats     after --on-cosim on a mesh-placed model (tileX/tileY
 //                       marks), print the NoC statistics table: per-router
 //                       flit counts, per-link utilization, buffer high-water
@@ -23,6 +25,7 @@
 // Exit status: 0 on success, 1 on invalid model/marks/usage.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -48,12 +51,14 @@ struct Options {
   std::string simulate_path;
   bool on_cosim = false;
   bool noc_stats = false;
+  int threads = 1;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
-               "[--vhdl-only] [--check] [--quiet]\n");
+               "[--vhdl-only] [--check] [--quiet] [--simulate FILE "
+               "[--on-cosim [--threads N] [--noc-stats]]]\n");
 }
 
 bool parse_args(int argc, char** argv, Options* opt) {
@@ -85,6 +90,14 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->simulate_path = v;
     } else if (a == "--on-cosim") {
       opt->on_cosim = true;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      opt->threads = std::atoi(v);
+      if (opt->threads < 1) {
+        std::fprintf(stderr, "xtsocc: --threads needs a positive integer\n");
+        return false;
+      }
     } else if (a == "--noc-stats") {
       opt->noc_stats = true;
     } else if (a == "--summary") {
@@ -174,8 +187,10 @@ int main(int argc, char** argv) {
     std::ostringstream out;
     core::StimulusResult r;
     if (opt.on_cosim) {
+      cosim::CoSimConfig cfg;
+      cfg.threads = opt.threads;
       r = core::run_stimulus_cosim(
-          *project, script, out, {},
+          *project, script, out, cfg,
           [&opt](const cosim::CoSimulation& cs) {
             if (!opt.noc_stats) return;
             if (!cs.has_fabric()) {
