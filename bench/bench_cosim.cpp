@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
 #include "bench_json.hpp"
 #include "models.hpp"
@@ -112,13 +113,16 @@ void BM_BoundaryRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundaryRoundTrip)->Arg(0)->Arg(2)->Arg(8)->ArgNames({"latency"});
 
-// --- 4x4-mesh scaling workload (the parallel-kernel benchmark) --------------
+// --- mesh scaling workload (the windowed-parallelism benchmark) --------------
 //
-// 15 hardware classes, one per mesh tile (the CPU owns tile 0), each an
-// independent clocked FSM that burns a fixed compute loop every cycle and
-// occasionally pings its ring neighbour across the fabric. One hardware
-// clock domain per tile means 15 concurrently evaluable clocked processes —
-// the workload the `threads` knob is for.
+// width x height - 1 hardware classes, one per mesh tile (the CPU owns tile
+// 0), each an independent clocked FSM that burns a fixed compute loop every
+// cycle and occasionally pings its ring neighbour across the fabric. One
+// hardware clock domain per tile means that many concurrently evaluable
+// domains — the workload the `threads` knob is for. The 4-cycle link (see
+// mesh_marks) lets the conservative-lookahead scheduler run each domain 4
+// cycles per pool handshake; emit_json sweeps 2x2/4x4/8x8 x threads
+// 1/2/4/8.
 
 std::unique_ptr<xtuml::Domain> make_mesh_soc(int nodes) {
   using xtuml::DataType;
@@ -155,7 +159,7 @@ std::unique_ptr<xtuml::Domain> make_mesh_soc(int nodes) {
   return b.take();
 }
 
-marks::MarkSet mesh_marks(int width, int height) {
+marks::MarkSet mesh_marks(int width, int height, int link_latency = 4) {
   marks::MarkSet m;
   const int nodes = width * height - 1;  // tile 0 is the CPU tile
   for (int i = 0; i < nodes; ++i) {
@@ -171,6 +175,11 @@ marks::MarkSet mesh_marks(int width, int height) {
                     xtuml::ScalarValue(static_cast<std::int64_t>(width)));
   m.set_domain_mark(marks::kMeshHeight,
                     xtuml::ScalarValue(static_cast<std::int64_t>(height)));
+  // A 4-cycle link gives the conservative-lookahead scheduler a 4-cycle
+  // window: domains run 4 cycles per pool handshake instead of paying a
+  // barrier per delta cycle. This is the knob the speedup depends on.
+  m.set_domain_mark(marks::kLinkLatency,
+                    xtuml::ScalarValue(static_cast<std::int64_t>(link_latency)));
   return m;
 }
 
@@ -198,12 +207,11 @@ std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(core::Project& project,
 
 /// Steady-state mesh throughput at `threads`, in hardware cycles per
 /// wall-clock second.
-double mesh_cycles_per_sec(int threads) {
-  constexpr int kWidth = 4, kHeight = 4;
-  constexpr int kNodes = kWidth * kHeight - 1;
+double mesh_cycles_per_sec(int width, int height, int threads) {
+  const int nodes = width * height - 1;
   auto project =
-      bench::make_project(make_mesh_soc(kNodes), mesh_marks(kWidth, kHeight));
-  auto cs = make_mesh_cosim(*project, kNodes, threads);
+      bench::make_project(make_mesh_soc(nodes), mesh_marks(width, height));
+  auto cs = make_mesh_cosim(*project, nodes, threads);
   cs->run_cycles(200);  // warm-up: pools and queues reach steady state
   std::uint64_t cycles = 0;
   bench::Timer t;
@@ -253,11 +261,30 @@ BENCHMARK(BM_HwsimKernel)->Arg(1)->Arg(16)->Arg(256)->ArgNames({"counters"});
 
 void emit_json() {
   bench::JsonReport report("cosim");
-  const double serial = mesh_cycles_per_sec(1);
-  const double par8 = mesh_cycles_per_sec(8);
-  report.add("cycles_per_sec", serial, "cycles/s", "mesh=4x4,threads=1");
-  report.add("cycles_per_sec", par8, "cycles/s", "mesh=4x4,threads=8");
-  report.add("speedup", par8 / serial, "x", "mesh=4x4,threads=8 vs threads=1");
+  // Scaling sweep: mesh size x thread count. parallel_efficiency is
+  // speedup / threads — 1.0 means perfect scaling, and anything above
+  // 1/threads means the extra threads helped at all. The headline
+  // "speedup" metric (4x4 mesh at 8 threads) is the CI regression gate.
+  double serial_4x4 = 0.0, par8_4x4 = 0.0;
+  for (int dim : {2, 4, 8}) {
+    const std::string mesh =
+        "mesh=" + std::to_string(dim) + "x" + std::to_string(dim);
+    double serial = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      const double rate = mesh_cycles_per_sec(dim, dim, threads);
+      const std::string cfg = mesh + ",threads=" + std::to_string(threads);
+      report.add("cycles_per_sec", rate, "cycles/s", cfg);
+      if (threads == 1) {
+        serial = rate;
+      } else {
+        report.add("parallel_efficiency", rate / (serial * threads), "x", cfg);
+      }
+      if (dim == 4 && threads == 1) serial_4x4 = rate;
+      if (dim == 4 && threads == 8) par8_4x4 = rate;
+    }
+  }
+  report.add("speedup", par8_4x4 / serial_4x4, "x",
+             "mesh=4x4,threads=8 vs threads=1");
   {
     auto project =
         bench::make_project(bench::make_packet_soc(), crypto_hw(8));

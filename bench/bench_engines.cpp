@@ -92,12 +92,21 @@ void emit_json() {
   xtsoc::bench::JsonReport report("engines");
   auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
                                             marks::MarkSet{});
+  // Best of N: a single 500-packet run takes milliseconds, so one
+  // scheduler preemption skews it badly — the fastest repetition is the
+  // one closest to the engine's actual cost. One untimed warm-up run
+  // brings code and model state into cache first.
+  constexpr int kReps = 5;
   for (ActionEngine engine : {ActionEngine::kAstWalk, ActionEngine::kBytecode}) {
-    xtsoc::bench::Timer t;
-    auto exec = run_soc(*project, engine, 500, /*tracing=*/false);
-    report.add("signals_per_sec",
-               static_cast<double>(exec->dispatch_count()) / t.seconds(),
-               "signals/s",
+    (void)run_soc(*project, engine, 500, /*tracing=*/false);
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      xtsoc::bench::Timer t;
+      auto exec = run_soc(*project, engine, 500, /*tracing=*/false);
+      double rate = static_cast<double>(exec->dispatch_count()) / t.seconds();
+      if (rate > best) best = rate;
+    }
+    report.add("signals_per_sec", best, "signals/s",
                engine == ActionEngine::kAstWalk
                    ? "engine=ast,packets=500,trace=off"
                    : "engine=bytecode,packets=500,trace=off");

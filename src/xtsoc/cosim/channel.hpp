@@ -12,6 +12,7 @@
 //     placement and congestion (which is the whole point).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "xtsoc/cosim/bus.hpp"
@@ -32,6 +33,11 @@ public:
 
   /// Remove and return every frame due at or before `cycle`, in order.
   virtual std::vector<Frame> receive(std::uint64_t cycle) = 0;
+
+  /// True when the channel buffers no undelivered frames of its own — the
+  /// interconnect behind it may still hold traffic (the master checks Bus /
+  /// Fabric separately).
+  virtual bool idle() const = 0;
 };
 
 /// Legacy bus endpoint. The destination class is ignored: the bus has
@@ -56,6 +62,8 @@ public:
                                     : bus_->pop_due_to_sw(cycle);
   }
 
+  bool idle() const override { return true; }  // all state lives in the Bus
+
 private:
   Bus* bus_;
   Side side_;
@@ -63,11 +71,23 @@ private:
 
 /// A tile's NIC on the mesh fabric. Destination classes resolve to tiles
 /// through the partition's mark-driven placement.
+///
+/// Delivery timing: a reassembled frame leaves the NIC no earlier than
+/// `arrive_cycle + link_latency` — one NIC-egress link traversal after the
+/// tail flit lands. Besides modeling the egress port, this padding is what
+/// gives the mesh a nonzero lookahead floor: a frame can never become
+/// deliverable in the same sub-link_latency interval it arrived in, so a
+/// conservative window of up to link_latency cycles sees a complete inbox
+/// (see cosim.hpp). The rule is applied here uniformly — lockstep and
+/// windowed execution, every window size, every thread count — so all
+/// configurations agree byte for byte.
 class FabricChannel final : public Channel {
 public:
   FabricChannel(noc::Fabric& fabric, const mapping::MappedSystem& sys,
                 int tile)
-      : fabric_(&fabric), sys_(&sys), tile_(tile) {}
+      : fabric_(&fabric), sys_(&sys), tile_(tile),
+        egress_latency_(
+            static_cast<std::uint64_t>(sys.partition().mesh().link_latency)) {}
 
   int tile() const { return tile_; }
 
@@ -78,17 +98,42 @@ public:
   }
 
   std::vector<Frame> receive(std::uint64_t cycle) override {
-    std::vector<Frame> frames;
-    for (noc::Delivery& d : fabric_->pop_due(tile_, cycle)) {
-      frames.push_back(Frame{d.opcode, std::move(d.payload), d.due_cycle});
+    // Drain everything the NIC has reassembled (stats were recorded at
+    // arrival; popping is timing-neutral) and stamp each frame's effective
+    // due cycle. pending_ then holds the frames still in egress.
+    for (noc::Delivery& d : fabric_->pop_due(tile_, kDrainAll)) {
+      std::uint64_t due = d.due_cycle;
+      if (d.arrive_cycle + egress_latency_ > due) {
+        due = d.arrive_cycle + egress_latency_;
+      }
+      pending_.push_back(Frame{d.opcode, std::move(d.payload), due});
     }
-    return frames;
+    // Dues are heterogeneous (generate delays), so scan everything but keep
+    // the survivors' relative order — the same contract as Bus::pop_due.
+    std::vector<Frame> due_now;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].due_cycle <= cycle) {
+        due_now.push_back(std::move(pending_[i]));
+      } else {
+        if (kept != i) pending_[kept] = std::move(pending_[i]);
+        ++kept;
+      }
+    }
+    pending_.resize(kept);
+    return due_now;
   }
 
+  bool idle() const override { return pending_.empty(); }
+
 private:
+  static constexpr std::uint64_t kDrainAll = ~std::uint64_t{0};
+
   noc::Fabric* fabric_;
   const mapping::MappedSystem* sys_;
   int tile_;
+  std::uint64_t egress_latency_;
+  std::vector<Frame> pending_;  ///< reassembled, still in NIC egress
 };
 
 }  // namespace xtsoc::cosim

@@ -1,11 +1,28 @@
 #include "xtsoc/cosim/cosim.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "xtsoc/hwsim/pool.hpp"
+
 namespace xtsoc::cosim {
 
 CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     : sys_(&sys), config_(config) {
+  // Derive the execution window from the static interconnect lookahead.
+  // W > 1 moves the parallelism up a level: domains run whole windows
+  // concurrently, so the kernel itself stays serial and replays at the
+  // boundary. W == 1 is the per-cycle lockstep master with the kernel's
+  // own delta-level parallelism (the only level that exists at L == 1).
+  lookahead_ = sys.lookahead();
+  window_ = config_.window == 0 ? lookahead_
+                                : std::min(config_.window, lookahead_);
+  if (window_ < 1) window_ = 1;
+  const bool windowed = window_ > 1;
+
   sim_ = std::make_unique<hwsim::Simulator>(
-      hwsim::SimConfig{config_.threads});
+      hwsim::SimConfig{windowed ? 1 : config_.threads});
   clk_ = sim_->wire(1, 0, "clk");
   sim_->add_clock(clk_, /*half_period=*/1);
 
@@ -82,7 +99,17 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
 
     bus_->connect(hw_digest, sw_digest);
   }
+
+  if (windowed) {
+    for (auto& hw : hw_domains_) hw->set_windowed(true);
+    sw_->set_windowed(true);
+    if (config_.threads > 1) {
+      pool_ = std::make_unique<hwsim::WorkerPool>(config_.threads);
+    }
+  }
 }
+
+CoSimulation::~CoSimulation() = default;
 
 runtime::Executor& CoSimulation::executor_of(ClassId cls) {
   HwDomain* d =
@@ -168,16 +195,102 @@ void CoSimulation::one_cycle() {
   if (cycle_hook_) cycle_hook_(cycle_);
 }
 
+void CoSimulation::run_window(std::uint64_t w) {
+  const std::uint64_t base = cycle_;
+  const std::uint64_t end = base + w;
+
+  // Window boundary, serial: every domain pulls the frames due inside the
+  // coming window into its private inbox. Complete, because a frame due at
+  // some cycle d <= end was sent at d - L <= base at the latest (lookahead)
+  // — i.e. before this boundary — so it is already in the interconnect and
+  // receive(end) sees it. Frames due beyond `end` stay queued for a later
+  // boundary.
+  for (auto& hw : hw_domains_) hw->fill_inbox(end);
+  sw_->fill_inbox(end);
+
+  // Phase A: run each domain w cycles ahead, concurrently. A job touches
+  // only domain-local state — executor, inbox, outbox, staged kernel
+  // writes — never the kernel, the interconnect, or another domain. The
+  // pool's run() provides the happens-before edges on both sides.
+  const std::size_t jobs = hw_domains_.size() + 1;
+  auto run_domain = [&](std::size_t i) {
+    if (i < hw_domains_.size()) {
+      hw_domains_[i]->run_window(w);
+    } else {
+      for (std::uint64_t k = 0; k < w; ++k) {
+        sw_->run_cycle(base + 1 + k, config_.sw_steps_per_cycle,
+                       config_.sw_ops_per_cycle);
+      }
+    }
+  };
+  if (pool_) {
+    std::vector<std::exception_ptr> errors(jobs);
+    std::atomic<std::size_t> cursor{0};
+    pool_->run([&] {
+      for (;;) {
+        std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs) break;
+        try {
+          run_domain(i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+    // Deterministic fault report: the lowest-index domain's error, like the
+    // serial master would have hit first.
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  } else {
+    for (std::size_t i = 0; i < jobs; ++i) run_domain(i);
+  }
+
+  // Phase B, serial: the kernel replays the w edges. Each clocked process
+  // re-issues the writes its domain staged for that edge, so the kernel
+  // walks through exactly the deltas/commits lockstep would have; around
+  // each edge the master performs the lockstep interleaving — fabric tick
+  // before, outbox flushes (domain order, then software) and the cycle
+  // hook after.
+  for (auto& hw : hw_domains_) hw->begin_replay();
+  sim_->run_cycles(
+      clk_, w,
+      /*before_edge=*/
+      [this](std::uint64_t) {
+        ++cycle_;
+        if (fabric_) fabric_->tick(cycle_);
+      },
+      /*after_edge=*/
+      [this](std::uint64_t) {
+        for (auto& hw : hw_domains_) hw->flush_outbox_through(cycle_);
+        sw_->flush_outbox_through(cycle_);
+        if (cycle_hook_) cycle_hook_(cycle_);
+      });
+}
+
 bool CoSimulation::quiescent() const {
   for (const auto& hw : hw_domains_) {
     if (!hw->drained()) return false;
   }
   if (!sw_->drained()) return false;
+  for (const auto& ch : channels_) {
+    if (!ch->idle()) return false;
+  }
   return bus_ ? bus_->empty() : fabric_->idle();
 }
 
 std::uint64_t CoSimulation::run(std::uint64_t max_cycles) {
   std::uint64_t n = 0;
+  if (window_ > 1) {
+    while (n < max_cycles && !quiescent()) {
+      const std::uint64_t w =
+          std::min<std::uint64_t>(static_cast<std::uint64_t>(window_),
+                                  max_cycles - n);
+      run_window(w);
+      n += w;
+    }
+    return n;
+  }
   while (n < max_cycles && !quiescent()) {
     one_cycle();
     ++n;
@@ -186,6 +299,16 @@ std::uint64_t CoSimulation::run(std::uint64_t max_cycles) {
 }
 
 void CoSimulation::run_cycles(std::uint64_t cycles) {
+  if (window_ > 1) {
+    std::uint64_t done = 0;
+    while (done < cycles) {
+      const std::uint64_t w = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(window_), cycles - done);
+      run_window(w);
+      done += w;
+    }
+    return;
+  }
   for (std::uint64_t i = 0; i < cycles; ++i) one_cycle();
 }
 

@@ -18,6 +18,37 @@
 //   3. the SwDomain latches its due frames and the software task receives a
 //      budget of `sw_steps_per_cycle` dispatches.
 //
+// Windowed execution (the conservative-lookahead scheduler). Every frame
+// that crosses a domain boundary spends at least L cycles in flight: L is
+// the busLatency mark on the bus, and the NIC-egress link traversal
+// (link_latency) on the mesh (mapping::MappedSystem::lookahead()). That
+// static bound means a frame sent at cycle c cannot influence any other
+// domain before cycle c + L — so the master may run every domain L cycles
+// ahead without hearing from the others (Chandy–Misra–Bryant conservative
+// lookahead, derived from the marks instead of negotiated at runtime).
+// When L > 1 the master executes in windows of W = min(window, L) cycles:
+//
+//   boundary (serial)  every domain pulls the frames due inside the coming
+//                      window from the shared interconnect into a private
+//                      inbox — complete by the lookahead argument;
+//   phase A (parallel) each domain runs W cycles of its per-cycle body on
+//                      a persistent worker pool, touching only its own
+//                      state: frames come from the inbox, outbound frames
+//                      are staged cycle-stamped in an outbox, and kernel
+//                      wire writes are staged per edge;
+//   phase B (serial)   the hwsim kernel replays the W edges — each clocked
+//                      process re-issues its staged writes — while the
+//                      master ticks the fabric before each edge and
+//                      flushes outboxes (domain order, then software)
+//                      after it, exactly the lockstep interleaving.
+//
+// One pool handshake per window instead of one per delta cycle is the
+// entire performance story; the replay is the entire determinism story:
+// traces, VCD, SimStats, Bus/FabricStats are byte-identical to the serial
+// master at every window size and thread count. When L == 1 (zero-latency
+// bus, or `window = 1`) the master is the exact per-cycle lockstep loop,
+// with kernel-level delta parallelism (SimConfig::threads) instead.
+//
 // The whole thing is deterministic, so a CoSimulation trace is comparable
 // against the abstract Executor trace (see src/xtsoc/verify) — the paper's
 // "the model compiler ... preserves the defined behavior" claim, tested.
@@ -32,14 +63,24 @@
 #include "xtsoc/cosim/swdomain.hpp"
 #include "xtsoc/noc/fabric.hpp"
 
+namespace xtsoc::hwsim {
+class WorkerPool;
+}
+
 namespace xtsoc::cosim {
 
 struct CoSimConfig {
-  /// Worker threads for the hwsim kernel's delta-cycle batches (1 = the
-  /// serial kernel). Hardware clock domains evaluate concurrently; the
-  /// deterministic commit keeps traces, VCD and stats byte-identical at
-  /// any thread count. See docs/PERF.md.
+  /// Worker threads. With windowed execution in effect (see `window`) the
+  /// threads run whole domains concurrently within each window; in
+  /// lockstep they run the hwsim kernel's delta-cycle batches instead.
+  /// Either way 1 is fully serial and every thread count is byte-identical
+  /// to it. See docs/PERF.md.
   int threads = 1;
+  /// Execution window in cycles. 0 (default) = auto: use the full static
+  /// lookahead L of the mapped interconnect. Values are clamped to [1, L]
+  /// — running further ahead than L could miss cross-domain frames, so the
+  /// cap is correctness, not tuning. 1 forces per-cycle lockstep.
+  int window = 0;
   /// Software dispatches allowed per hardware clock cycle (CPU/fabric
   /// speed ratio).
   int sw_steps_per_cycle = 4;
@@ -60,6 +101,7 @@ class CoSimulation {
 public:
   explicit CoSimulation(const mapping::MappedSystem& sys,
                         CoSimConfig config = {});
+  ~CoSimulation();
 
   // --- population (routed to the owning partition) ---------------------------
   runtime::InstanceHandle create(std::string_view class_name);
@@ -75,7 +117,10 @@ public:
   // --- execution ---------------------------------------------------------------
 
   /// Run until the system is quiescent or `max_cycles` elapse.
-  /// Returns the number of hardware cycles executed.
+  /// Returns the number of hardware cycles executed. Windowed execution
+  /// checks quiescence at window boundaries, so it may run up to
+  /// window() - 1 idle cycles past the quiescence point (never past
+  /// `max_cycles`); use run_cycles() for an exact cycle count.
   std::uint64_t run(std::uint64_t max_cycles = 1'000'000);
 
   /// Run exactly `cycles` cycles.
@@ -85,6 +130,10 @@ public:
 
   // --- observability ------------------------------------------------------------
   std::uint64_t cycles() const { return cycle_; }
+  /// Static interconnect lookahead L the window was derived from.
+  int lookahead() const { return lookahead_; }
+  /// Effective execution window W in cycles (1 = per-cycle lockstep).
+  int window() const { return window_; }
   /// The first (in bus mode: the only) hardware domain.
   const HwDomain& hw_domain() const { return *hw_domains_.front(); }
   /// All hardware clock domains, one per occupied mesh tile (a single
@@ -116,6 +165,10 @@ public:
 
 private:
   void one_cycle();
+  /// One window of `w` cycles (windowed mode): boundary inbox fill, phase A
+  /// on the pool, phase B kernel replay. `w` may be smaller than window()
+  /// for the tail of a run — any W' <= L is safe.
+  void run_window(std::uint64_t w);
 
   const mapping::MappedSystem* sys_;
   CoSimConfig config_;
@@ -131,6 +184,11 @@ private:
   std::vector<HwDomain*> hw_domain_of_;
   std::function<void(std::uint64_t)> cycle_hook_;
   std::uint64_t cycle_ = 0;
+  int lookahead_ = 1;
+  int window_ = 1;
+  /// Window-level worker pool (windowed mode, threads > 1). In lockstep the
+  /// kernel owns the pool instead; the two are never both active.
+  std::unique_ptr<hwsim::WorkerPool> pool_;
 };
 
 }  // namespace xtsoc::cosim

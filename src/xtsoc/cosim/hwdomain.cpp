@@ -48,14 +48,50 @@ HwSignalId HwDomain::busy_wire(ClassId cls) const {
 }
 
 void HwDomain::on_clock() {
+  if (windowed_) {
+    // Boundary replay: the per-cycle work already ran in run_window(); this
+    // edge's kernel writes were staged then. Re-issuing them through the
+    // real nba_write path, in staging order, makes the kernel see exactly
+    // the writes — and therefore produce exactly the deltas, commits and
+    // waveform bytes — that lockstep execution would have.
+    const std::vector<KernelWrite>& writes = edge_writes_[replay_edge_++];
+    for (const KernelWrite& kw : writes) sim_->nba_write(kw.w, kw.value);
+    return;
+  }
+  step_cycle();
+}
+
+void HwDomain::step_cycle() {
   ++cycle_;
   exec_.advance_time(1);
 
-  // Latch frames that completed their interconnect flight this cycle.
-  for (Frame& f : channel_->receive(cycle_)) {
-    runtime::EventMessage m = decode_frame(sys_->interface(), f);
-    m.deliver_at = exec_.now();
-    exec_.deliver_remote(std::move(m));
+  // Latch frames that completed their interconnect flight this cycle. In
+  // lockstep the shared channel is asked directly; in a window the due
+  // frames sit pre-sorted in the inbox (fill_inbox pulled everything due
+  // through the window's end — lookahead guarantees completeness).
+  if (windowed_) {
+    // Frames carry heterogeneous delays, so dues are not monotone in inbox
+    // order: scan everything, deliver what is due, keep the rest in order —
+    // the same contract the channels implement, so each frame is delivered
+    // at exactly the cycle (and in exactly the order) lockstep would have.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < inbox_.size(); ++i) {
+      if (inbox_[i].due_cycle <= cycle_) {
+        runtime::EventMessage m = decode_frame(sys_->interface(), inbox_[i]);
+        m.deliver_at = exec_.now();
+        exec_.deliver_remote(std::move(m));
+      } else {
+        if (kept != i) inbox_[kept] = std::move(inbox_[i]);
+        ++kept;
+      }
+    }
+    inbox_.resize(kept);
+  } else {
+    for (Frame& f : channel_->receive(cycle_)) {
+      runtime::EventMessage m = decode_frame(sys_->interface(), f);
+      m.deliver_at = exec_.now();
+      exec_.deliver_remote(std::move(m));
+    }
   }
 
   // One signal per instance per clock: parallel FSMs, each consuming at
@@ -82,14 +118,38 @@ void HwDomain::on_clock() {
   }
 
   // Update the observability wires (visible to VCD like any RTL signal).
+  // In a window the writes are staged for the boundary replay instead of
+  // hitting the kernel now — the kernel is busy replaying an earlier window
+  // (or idle), not this cycle.
   for (ClassId cls : owned_) {
-    sim_->nba_write(alive_wires_[cls.value()],
-                    exec_.database().live_count(cls));
+    std::uint64_t alive = exec_.database().live_count(cls);
     bool busy = false;
     for (const runtime::InstanceHandle& h : served_) {
       if (h.cls == cls) busy = true;
     }
-    sim_->nba_write(busy_wires_[cls.value()], busy ? 1 : 0);
+    if (windowed_) {
+      std::vector<KernelWrite>& writes = edge_writes_[window_edge_];
+      writes.push_back({alive_wires_[cls.value()], alive});
+      writes.push_back({busy_wires_[cls.value()], busy ? 1u : 0u});
+    } else {
+      sim_->nba_write(alive_wires_[cls.value()], alive);
+      sim_->nba_write(busy_wires_[cls.value()], busy ? 1 : 0);
+    }
+  }
+}
+
+void HwDomain::fill_inbox(std::uint64_t through_cycle) {
+  for (Frame& f : channel_->receive(through_cycle)) {
+    inbox_.push_back(std::move(f));
+  }
+}
+
+void HwDomain::run_window(std::uint64_t n) {
+  if (edge_writes_.size() < n) edge_writes_.resize(n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    window_edge_ = k;
+    edge_writes_[k].clear();
+    step_cycle();
   }
 }
 
@@ -98,6 +158,19 @@ void HwDomain::flush_outbox() {
     channel_->send(o.dst, std::move(o.frame), o.cycle, o.extra);
   }
   outbox_.clear();
+  outbox_sent_ = 0;
+}
+
+void HwDomain::flush_outbox_through(std::uint64_t cycle) {
+  while (outbox_sent_ < outbox_.size() && outbox_[outbox_sent_].cycle <= cycle) {
+    Outbound& o = outbox_[outbox_sent_];
+    channel_->send(o.dst, std::move(o.frame), o.cycle, o.extra);
+    ++outbox_sent_;
+  }
+  if (outbox_sent_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_sent_ = 0;
+  }
 }
 
 }  // namespace xtsoc::cosim

@@ -16,12 +16,24 @@
 //   * signals to classes owned by any other executor leave through this
 //     domain's Channel with the synthesized wire format.
 //
-// Outbound frames are STAGED, not sent: on_clock encodes them into a local
-// outbox and CoSimulation flushes every domain's outbox — serially, in
-// domain order — right after the clock edge settles. The interconnect is
-// shared state, so this is what lets all clock domains of one edge
-// evaluate concurrently (hwsim SimConfig::threads > 1) and still inject
-// frames in the exact order the serial kernel would have.
+// Outbound frames are STAGED, not sent: each cycle encodes them into a
+// local outbox and CoSimulation flushes every domain's outbox — serially,
+// in domain order — after the clock edge settles. The interconnect is
+// shared state, so this is what lets domains evaluate concurrently and
+// still inject frames in the exact order the serial master would have.
+//
+// Two execution modes, selected by CoSimulation (see cosim.hpp):
+//
+//   * lockstep (window = 1): on_clock runs the whole per-cycle body inside
+//     the kernel's clocked process — receive from the channel, dispatch,
+//     write the observability wires. The exact legacy path.
+//   * windowed (window = L > 1): the per-cycle body runs OUTSIDE the
+//     kernel, on a worker thread, for L consecutive cycles (run_window).
+//     Frames come from a pre-filled inbox instead of the shared channel,
+//     and kernel wire writes are staged per edge. The kernel's clocked
+//     process then merely REPLAYS the staged writes edge by edge
+//     (serially, at the window boundary), so SimStats, VCD and wire
+//     history stay byte-identical to lockstep.
 //
 // This is the executable twin of the VHDL text emitted by
 // codegen::generate_vhdl — same partition, same interface, same queueing.
@@ -60,11 +72,40 @@ public:
   std::uint64_t dispatches() const { return exec_.dispatch_count(); }
 
   /// Hand the frames staged during the last clock edge to the channel.
-  /// Called by CoSimulation once per cycle, after the edge settles, in
-  /// domain order; must not run while the kernel is mid-settle.
+  /// Called by CoSimulation once per lockstep cycle, after the edge
+  /// settles, in domain order; must not run while the kernel is mid-settle.
   void flush_outbox();
 
-  bool drained() const { return exec_.drained() && outbox_.empty(); }
+  bool drained() const {
+    return exec_.drained() && outbox_.empty() && inbox_.empty();
+  }
+
+  // --- windowed execution (CoSimulation only) --------------------------------
+
+  /// Switch the clocked process to replay mode: per-cycle work happens in
+  /// run_window(); on_clock only replays staged kernel writes.
+  void set_windowed(bool on) { windowed_ = on; }
+
+  /// Window boundary, serial: move every channel frame deliverable at or
+  /// before `through_cycle` (the window's last cycle) into the inbox.
+  /// Lookahead guarantees nothing sent inside the window can become due
+  /// inside it, so the inbox is complete for the whole window.
+  void fill_inbox(std::uint64_t through_cycle);
+
+  /// Run `n` consecutive cycles of this domain's per-cycle body against the
+  /// inbox (worker thread; touches only domain-local state). Kernel wire
+  /// writes are staged per edge for the boundary replay; outbound frames
+  /// are staged cycle-stamped in the outbox.
+  void run_window(std::uint64_t n);
+
+  /// Arm the boundary replay: the next `n` on_clock firings replay the
+  /// staged writes of edges 0..n-1 in order.
+  void begin_replay() { replay_edge_ = 0; }
+
+  /// Send the outbox prefix staged at cycles <= `cycle` (monotone calls,
+  /// once per replayed cycle, in domain order). Clears the outbox when the
+  /// last staged frame has been sent.
+  void flush_outbox_through(std::uint64_t cycle);
 
   /// Observability wires created in the hwsim netlist, one pair per owned
   /// hardware class: `hw.<class>.alive` (live instance count, 16 bits) and
@@ -81,7 +122,16 @@ private:
     std::uint64_t extra;  ///< generate-statement delay riding along
   };
 
+  /// One staged kernel write of a windowed cycle, replayed at the boundary.
+  struct KernelWrite {
+    HwSignalId w;
+    std::uint64_t value;
+  };
+
   void on_clock();
+  /// The per-cycle body shared by both modes: advance, latch due frames,
+  /// dispatch one signal per instance, update observability wires.
+  void step_cycle();
 
   const mapping::MappedSystem* sys_;
   hwsim::Simulator* sim_;
@@ -95,8 +145,17 @@ private:
   std::vector<HwSignalId> alive_wires_;  // index: ClassId; invalid if foreign
   std::vector<HwSignalId> busy_wires_;
   std::vector<Outbound> outbox_;  ///< frames staged during the current edge
+  std::size_t outbox_sent_ = 0;   ///< flushed prefix (windowed mode)
   /// Instances already served this cycle (reused; cleared each edge).
   std::vector<runtime::InstanceHandle> served_;
+
+  // Windowed mode state.
+  bool windowed_ = false;
+  std::vector<Frame> inbox_;  ///< due frames for the current window, in order
+  /// Kernel writes staged per window edge; [k] holds edge k's writes.
+  std::vector<std::vector<KernelWrite>> edge_writes_;
+  std::size_t window_edge_ = 0;  ///< edge being executed by run_window
+  std::size_t replay_edge_ = 0;  ///< edge being replayed by on_clock
 };
 
 }  // namespace xtsoc::cosim

@@ -13,25 +13,83 @@ SwDomain::SwDomain(const mapping::MappedSystem& sys, Channel& channel,
           [this](runtime::EventMessage m) {
             std::uint64_t extra = m.deliver_at - exec_.now();
             ClassId dst = m.target.cls;
-            channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
-                           extra);
+            if (windowed_) {
+              // The channel is shared across domains; inside a window it
+              // must not be touched. Stage cycle-stamped; the master sends
+              // at the boundary, in the serial order.
+              outbox_.push_back(
+                  {dst, encode_message(sys_->interface(), m), cycle_, extra});
+            } else {
+              channel_->send(dst, encode_message(sys_->interface(), m), cycle_,
+                             extra);
+            }
             exec_.recycle_args(std::move(m.args));
           }) {
   task_ = scheduler_->spawn(sys.domain().name() + ".sw", /*priority=*/0,
                             [this] { return exec_.step(); });
 }
 
-void SwDomain::begin_cycle(std::uint64_t cycle) {
+void SwDomain::latch_cycle(std::uint64_t cycle) {
   cycle_ = cycle;
   exec_.advance_time(1);
   bool delivered = false;
-  for (Frame& f : channel_->receive(cycle)) {
-    runtime::EventMessage m = decode_frame(sys_->interface(), f);
-    m.deliver_at = exec_.now();
-    exec_.deliver_remote(std::move(m));
-    delivered = true;
+  if (windowed_) {
+    // Dues are not monotone in inbox order (heterogeneous delays): scan
+    // everything, deliver what is due, keep the rest in order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < inbox_.size(); ++i) {
+      if (inbox_[i].due_cycle <= cycle) {
+        runtime::EventMessage m = decode_frame(sys_->interface(), inbox_[i]);
+        m.deliver_at = exec_.now();
+        exec_.deliver_remote(std::move(m));
+        delivered = true;
+      } else {
+        if (kept != i) inbox_[kept] = std::move(inbox_[i]);
+        ++kept;
+      }
+    }
+    inbox_.resize(kept);
+  } else {
+    for (Frame& f : channel_->receive(cycle)) {
+      runtime::EventMessage m = decode_frame(sys_->interface(), f);
+      m.deliver_at = exec_.now();
+      exec_.deliver_remote(std::move(m));
+      delivered = true;
+    }
   }
   if (delivered || !exec_.idle()) scheduler_->notify(task_);
+}
+
+void SwDomain::begin_cycle(std::uint64_t cycle) { latch_cycle(cycle); }
+
+void SwDomain::run_cycle(std::uint64_t cycle, int steps, std::uint64_t ops) {
+  latch_cycle(cycle);
+  // The master's per-cycle budget loop, verbatim: at most `steps`
+  // dispatches AND at most `ops` action ops; a dispatch whose action
+  // overruns the op budget still completes, it just exhausts the cycle.
+  const std::uint64_t ops_start = exec_.ops_executed();
+  for (int i = 0; i < steps; ++i) {
+    if (exec_.ops_executed() - ops_start >= ops) break;
+    if (!scheduler_->run_one()) break;
+  }
+}
+
+void SwDomain::fill_inbox(std::uint64_t through_cycle) {
+  for (Frame& f : channel_->receive(through_cycle)) {
+    inbox_.push_back(std::move(f));
+  }
+}
+
+void SwDomain::flush_outbox_through(std::uint64_t cycle) {
+  while (outbox_sent_ < outbox_.size() && outbox_[outbox_sent_].cycle <= cycle) {
+    Outbound& o = outbox_[outbox_sent_];
+    channel_->send(o.dst, std::move(o.frame), o.cycle, o.extra);
+    ++outbox_sent_;
+  }
+  if (outbox_sent_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_sent_ = 0;
+  }
 }
 
 }  // namespace xtsoc::cosim

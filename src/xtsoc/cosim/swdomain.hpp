@@ -8,7 +8,15 @@
 // the knob behind the partitioning experiments. Frames travel whatever
 // Channel the master picked: the legacy bus, or the software tile's NIC on
 // the mesh.
+//
+// Like HwDomain, this domain has a lockstep mode (begin_cycle per master
+// cycle, frames sent to the shared channel inline) and a windowed mode
+// (run_cycle driven from a worker thread against a pre-filled inbox, with
+// outbound frames staged cycle-stamped in an outbox for the serial
+// boundary flush). See cosim.hpp for the window scheme.
 #pragma once
+
+#include <vector>
 
 #include "xtsoc/cosim/channel.hpp"
 #include "xtsoc/mapping/modelcompiler.hpp"
@@ -25,21 +33,60 @@ public:
   runtime::Executor& executor() { return exec_; }
   const runtime::Executor& executor() const { return exec_; }
 
-  /// Called once per hardware clock cycle by the co-simulation master:
-  /// advances software time, latches due frames, wakes the task.
+  /// Called once per hardware clock cycle by the co-simulation master
+  /// (lockstep mode): advances software time, latches due frames, wakes
+  /// the task. The master then runs the scheduler against its budget.
   void begin_cycle(std::uint64_t cycle);
 
   TaskId task() const { return task_; }
   std::uint64_t dispatches() const { return exec_.dispatch_count(); }
-  bool drained() const { return exec_.drained(); }
+  bool drained() const {
+    return exec_.drained() && outbox_.empty() && inbox_.empty();
+  }
+
+  // --- windowed execution (CoSimulation only) --------------------------------
+
+  /// Route outbound frames into the outbox instead of the shared channel.
+  void set_windowed(bool on) { windowed_ = on; }
+
+  /// Window boundary, serial: pull every channel frame deliverable at or
+  /// before `through_cycle` into the inbox (complete for the window by the
+  /// lookahead argument — see cosim.hpp).
+  void fill_inbox(std::uint64_t through_cycle);
+
+  /// One software cycle off the inbox (worker thread): advance time, latch
+  /// due frames, then run the scheduler against the per-cycle budget — at
+  /// most `steps` dispatches and `ops` action ops, run-to-completion never
+  /// violated. Identical to begin_cycle + the master's budget loop.
+  void run_cycle(std::uint64_t cycle, int steps, std::uint64_t ops);
+
+  /// Send the outbox prefix staged at cycles <= `cycle` (monotone, once per
+  /// replayed cycle, after the hardware domains' flushes).
+  void flush_outbox_through(std::uint64_t cycle);
 
 private:
+  struct Outbound {
+    ClassId dst;
+    Frame frame;
+    std::uint64_t cycle;
+    std::uint64_t extra;
+  };
+
+  /// Shared per-cycle prologue: advance time, deliver due frames, wake the
+  /// task. Windowed mode reads the inbox; lockstep asks the channel.
+  void latch_cycle(std::uint64_t cycle);
+
   const mapping::MappedSystem* sys_;
   Channel* channel_;
   swrt::Scheduler* scheduler_;
   runtime::Executor exec_;
   TaskId task_;
   std::uint64_t cycle_ = 0;
+
+  bool windowed_ = false;
+  std::vector<Frame> inbox_;
+  std::vector<Outbound> outbox_;
+  std::size_t outbox_sent_ = 0;
 };
 
 }  // namespace xtsoc::cosim

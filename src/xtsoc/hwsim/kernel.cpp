@@ -2,84 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
-#include <thread>
+
+#include "xtsoc/hwsim/pool.hpp"
 
 namespace xtsoc::hwsim {
 
 thread_local Simulator* Simulator::tls_sim_ = nullptr;
 thread_local Simulator::EvalSlot* Simulator::tls_slot_ = nullptr;
-
-/// Persistent pool of N-1 worker threads; the caller participates as the
-/// Nth worker. One generation = one delta-cycle batch. All hand-offs go
-/// through the mutex, which gives the happens-before edges the evaluation
-/// needs: wire commits (caller, previous delta) are visible to workers,
-/// and staged writes (workers) are visible to the caller's merge.
-class Simulator::WorkerPool {
-public:
-  explicit WorkerPool(int workers) {
-    threads_.reserve(static_cast<std::size_t>(workers > 1 ? workers - 1 : 0));
-    for (int i = 1; i < workers; ++i) {
-      threads_.emplace_back([this] { thread_main(); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lk(m_);
-      stop_ = true;
-    }
-    start_.notify_all();
-    for (std::thread& t : threads_) t.join();
-  }
-
-  /// Run `job` on every worker (including the calling thread) and wait for
-  /// all of them to finish it.
-  void run(const std::function<void()>& job) {
-    {
-      std::lock_guard<std::mutex> lk(m_);
-      job_ = &job;
-      running_ = static_cast<int>(threads_.size());
-      ++generation_;
-    }
-    start_.notify_all();
-    job();
-    std::unique_lock<std::mutex> lk(m_);
-    done_.wait(lk, [this] { return running_ == 0; });
-    job_ = nullptr;
-  }
-
-private:
-  void thread_main() {
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void()>* job = nullptr;
-      {
-        std::unique_lock<std::mutex> lk(m_);
-        start_.wait(lk, [&] { return stop_ || generation_ != seen; });
-        if (stop_) return;
-        seen = generation_;
-        job = job_;
-      }
-      (*job)();
-      {
-        std::lock_guard<std::mutex> lk(m_);
-        --running_;
-      }
-      done_.notify_one();
-    }
-  }
-
-  std::vector<std::thread> threads_;
-  std::mutex m_;
-  std::condition_variable start_;
-  std::condition_variable done_;
-  const std::function<void()>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int running_ = 0;
-  bool stop_ = false;
-};
 
 Simulator::Simulator() = default;
 
@@ -317,6 +246,24 @@ void Simulator::run_cycles(HwSignalId clock, std::uint64_t cycles) {
   }
   while (posedge_count(clock) < start + cycles) {
     advance(half);
+  }
+}
+
+void Simulator::run_cycles(HwSignalId clock, std::uint64_t cycles,
+                           const std::function<void(std::uint64_t)>& before_edge,
+                           const std::function<void(std::uint64_t)>& after_edge) {
+  std::uint64_t half = 1;
+  for (const ClockGen& c : clocks_) {
+    if (c.w == clock) half = c.half_period;
+  }
+  // One kernel entry for the whole run: the generator lookup above happens
+  // once, not once per cycle, and the edge-by-edge toggle/settle sequence is
+  // exactly `cycles` consecutive run_cycles(clock, 1) calls.
+  for (std::uint64_t k = 0; k < cycles; ++k) {
+    if (before_edge) before_edge(k);
+    const std::uint64_t start = posedge_count(clock);
+    while (posedge_count(clock) < start + 1) advance(half);
+    if (after_edge) after_edge(k);
   }
 }
 

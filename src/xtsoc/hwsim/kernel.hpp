@@ -41,6 +41,8 @@
 
 namespace xtsoc::hwsim {
 
+class WorkerPool;  // pool.hpp — shared with the cosim window scheduler
+
 /// Thrown on kernel-level faults: unstable combinational loop, bad wire id.
 class SimError : public std::runtime_error {
 public:
@@ -118,6 +120,17 @@ public:
   /// Advance until `clock` has produced `cycles` rising edges.
   void run_cycles(HwSignalId clock, std::uint64_t cycles);
 
+  /// Run-N-cycles entry point with per-edge callbacks: `before_edge(k)` runs
+  /// just before the k-th rising toggle, `after_edge(k)` right after its
+  /// settle (k is 0-based). The toggle/settle sequence — and therefore every
+  /// stat, trace and waveform byte — is identical to calling
+  /// run_cycles(clock, 1) `cycles` times with the callback bodies in
+  /// between; this form enters the kernel once per window instead of once
+  /// per cycle. Either callback may be null.
+  void run_cycles(HwSignalId clock, std::uint64_t cycles,
+                  const std::function<void(std::uint64_t)>& before_edge,
+                  const std::function<void(std::uint64_t)>& after_edge);
+
   std::uint64_t now() const { return now_; }
   std::uint64_t posedge_count(HwSignalId clock) const;
   const SimStats& stats() const { return stats_; }
@@ -159,8 +172,6 @@ private:
     std::vector<StagedWrite> writes;
     std::exception_ptr error;
   };
-
-  class WorkerPool;
 
   WireState& state(HwSignalId w);
   const WireState& state(HwSignalId w) const;

@@ -198,6 +198,31 @@ bool MarkSet::validate(const xtuml::Domain& domain,
     }
   }
 
+  // Interconnect latency marks are lookahead sources for the windowed
+  // co-simulation scheduler (and wait counts in the generated VHDL), so
+  // nonsensical values are rejected here rather than surfacing as a stuck
+  // or time-traveling interconnect later. busLatency 0 is legal — it
+  // degrades the scheduler to per-cycle lockstep — but negative is not;
+  // linkLatency is a physical per-hop traversal time and must be >= 1.
+  for (const auto& [element, kv] : marks_) {
+    if (auto it = kv.find(kBusLatency);
+        it != kv.end() && std::holds_alternative<std::int64_t>(it->second) &&
+        std::get<std::int64_t>(it->second) < 0) {
+      sink.error("marks.bus_latency",
+                 "domain.busLatency must be >= 0 (got " +
+                     std::to_string(std::get<std::int64_t>(it->second)) +
+                     "); a bus cannot deliver into the past");
+    }
+    if (auto it = kv.find(kLinkLatency);
+        it != kv.end() && std::holds_alternative<std::int64_t>(it->second) &&
+        std::get<std::int64_t>(it->second) < 1) {
+      sink.error("marks.link_latency",
+                 "domain.linkLatency must be >= 1 (got " +
+                     std::to_string(std::get<std::int64_t>(it->second)) +
+                     "); every mesh hop takes at least one cycle");
+    }
+  }
+
   // NoC placement rules. Any tileX/tileY mark switches the mapping to the
   // mesh interconnect, so the placement must describe a buildable mesh.
   bool any_tiles = false;

@@ -295,8 +295,9 @@ void Executor::dispatch(EventMessage m) {
   current_ = m.target;
   InterpResult r;
   if (config_.engine == ActionEngine::kBytecode) {
-    r = run_bytecode(bytecode_for(m.target.cls, t->to), m.target, m.args,
-                     *this, config_.max_ops_per_action, &vm_scratch_);
+    const Program& prog = bytecode_for(m.target.cls, t->to);
+    r = run_bytecode(prog.code, prog.prepared, m.target, m.args, *this,
+                     config_.max_ops_per_action, &vm_scratch_);
   } else {
     const oal::AnalyzedAction& action =
         compiled_->action(m.target.cls, t->to);
@@ -315,7 +316,7 @@ void Executor::dispatch(EventMessage m) {
   }
 }
 
-const oal::CodeBlock& Executor::bytecode_for(ClassId cls, StateId state) {
+const Executor::Program& Executor::bytecode_for(ClassId cls, StateId state) {
   if (bytecode_.empty()) bytecode_.resize(domain().class_count());
   auto& per_class = bytecode_[cls.value()];
   if (per_class.empty()) {
@@ -323,7 +324,10 @@ const oal::CodeBlock& Executor::bytecode_for(ClassId cls, StateId state) {
   }
   auto& slot = per_class[state.value()];
   if (!slot) {
-    slot = oal::compile_bytecode(compiled_->action(cls, state));
+    Program p;
+    p.code = oal::compile_bytecode(compiled_->action(cls, state));
+    p.prepared = prepare_block(p.code);
+    slot = std::move(p);
   }
   return *slot;
 }

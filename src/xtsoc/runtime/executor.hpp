@@ -182,8 +182,15 @@ private:
   void enqueue_ready(EventMessage m);
   void release_due_timers();
   ClassId class_of(std::string_view name) const;
-  /// Bytecode for (cls, state), compiled on first use.
-  const oal::CodeBlock& bytecode_for(ClassId cls, StateId state);
+
+  /// A compiled action ready to execute: the bytecode plus its constant
+  /// pools pre-converted to runtime Values (see PreparedBlock).
+  struct Program {
+    oal::CodeBlock code;
+    PreparedBlock prepared;
+  };
+  /// Program for (cls, state), compiled and prepared on first use.
+  const Program& bytecode_for(ClassId cls, StateId state);
 
   const oal::CompiledDomain* compiled_;
   ExecutorConfig config_;
@@ -210,8 +217,8 @@ private:
   std::uint64_t dispatches_ = 0;
   std::vector<std::uint64_t> dispatches_by_class_;
   std::vector<std::uint64_t> ops_by_class_;
-  /// Lazily compiled bytecode per [class][state] (kBytecode engine only).
-  std::vector<std::vector<std::optional<oal::CodeBlock>>> bytecode_;
+  /// Lazily compiled programs per [class][state] (kBytecode engine only).
+  std::vector<std::vector<std::optional<Program>>> bytecode_;
   /// Reused VM evaluation buffers (kBytecode engine only).
   VmScratch vm_scratch_;
   /// Recycled signal-payload vectors, capped at kMaxPooledArgs entries.

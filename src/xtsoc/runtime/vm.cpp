@@ -12,18 +12,19 @@ using oal::Op;
 
 class Vm {
 public:
-  Vm(const CodeBlock& block, const InstanceHandle& self,
-     const std::vector<Value>& params, Host& host, std::uint64_t max_ops,
-     VmScratch& scratch)
-      : block_(block), self_(self), params_(params), host_(host),
-        max_ops_(max_ops), frame_(scratch.frame), stack_(scratch.stack) {
+  Vm(const CodeBlock& block, const PreparedBlock* prepared,
+     const InstanceHandle& self, const std::vector<Value>& params, Host& host,
+     std::uint64_t max_ops, VmScratch& scratch)
+      : block_(block), prepared_(prepared), self_(self), params_(params),
+        host_(host), max_ops_(max_ops), frame_(scratch.frame),
+        stack_(scratch.stack) {
     frame_.assign(static_cast<std::size_t>(block.frame_size), Value{});
     stack_.clear();
     if (stack_.capacity() < 32) stack_.reserve(32);
   }
 
   InterpResult run() {
-    exec(block_, frame_);
+    exec(block_, prepared_, frame_);
     InterpResult r;
     r.ops = ops_;
     r.self_deleted = self_deleted_;
@@ -44,60 +45,89 @@ private:
     return v;
   }
 
-  void push(Value v) { stack_.push_back(std::move(v)); }
+  /// Top-of-stack without moving it out (for ops that consume in place).
+  Value& top() {
+    if (stack_.empty()) throw ModelError("vm: stack underflow");
+    return stack_.back();
+  }
+
+  /// Forwarding push: Value is constructed directly in the stack slot, so
+  /// pushing an int64/bool/handle never materializes a temporary variant.
+  template <class T>
+  void push(T&& v) {
+    stack_.emplace_back(std::forward<T>(v));
+  }
 
   static bool both_int(const Value& a, const Value& b) {
     return std::holds_alternative<std::int64_t>(a) &&
            std::holds_alternative<std::int64_t>(b);
   }
 
+  /// Binary arithmetic in place: the result replaces the left operand's
+  /// stack slot and only the right operand is popped — one variant write
+  /// instead of two pops and a push. The int/int case (the hot one: loop
+  /// counters, attribute math) is dispatched first.
   void binary_arith(Op op) {
-    Value rv = pop();
-    Value lv = pop();
+    if (stack_.size() < 2) throw ModelError("vm: stack underflow");
+    Value& lv = stack_[stack_.size() - 2];
+    Value& rv = stack_.back();
+    if (both_int(lv, rv)) {
+      std::int64_t a = std::get<std::int64_t>(lv);
+      std::int64_t b = std::get<std::int64_t>(rv);
+      stack_.pop_back();
+      switch (op) {
+        case Op::kAdd: lv = a + b; return;
+        case Op::kSub: lv = a - b; return;
+        case Op::kMul: lv = a * b; return;
+        case Op::kDiv:
+          if (b == 0) throw ModelError("integer division by zero");
+          lv = a / b;
+          return;
+        default:
+          if (b == 0) throw ModelError("modulo by zero");
+          lv = a % b;
+          return;
+      }
+    }
     if (op == Op::kAdd && std::holds_alternative<std::string>(lv)) {
-      push(std::get<std::string>(lv) + std::get<std::string>(rv));
+      lv = std::get<std::string>(lv) + std::get<std::string>(rv);
+      stack_.pop_back();
       return;
     }
     if (op == Op::kMod) {
       std::int64_t a = as_int(lv);
       std::int64_t b = as_int(rv);
       if (b == 0) throw ModelError("modulo by zero");
-      push(a % b);
+      lv = a % b;
+      stack_.pop_back();
       return;
-    }
-    if (both_int(lv, rv)) {
-      std::int64_t a = std::get<std::int64_t>(lv);
-      std::int64_t b = std::get<std::int64_t>(rv);
-      switch (op) {
-        case Op::kAdd: push(a + b); return;
-        case Op::kSub: push(a - b); return;
-        case Op::kMul: push(a * b); return;
-        case Op::kDiv:
-          if (b == 0) throw ModelError("integer division by zero");
-          push(a / b);
-          return;
-        default: break;
-      }
     }
     double a = as_real(lv);
     double b = as_real(rv);
+    stack_.pop_back();
     switch (op) {
-      case Op::kAdd: push(a + b); return;
-      case Op::kSub: push(a - b); return;
-      case Op::kMul: push(a * b); return;
-      case Op::kDiv: push(a / b); return;
-      default: break;
+      case Op::kAdd: lv = a + b; return;
+      case Op::kSub: lv = a - b; return;
+      case Op::kMul: lv = a * b; return;
+      case Op::kDiv: lv = a / b; return;
+      default: return;
     }
   }
 
+  /// Comparisons in place, same layout as binary_arith.
   void compare(Op op) {
-    Value rv = pop();
-    Value lv = pop();
+    if (stack_.size() < 2) throw ModelError("vm: stack underflow");
+    Value& lv = stack_[stack_.size() - 2];
+    Value& rv = stack_.back();
     if (op == Op::kEq || op == Op::kNe) {
       bool eq = value_equals(lv, rv);
-      push(op == Op::kEq ? eq : !eq);
+      stack_.pop_back();
+      lv = op == Op::kEq ? eq : !eq;
       return;
     }
+    // Ordering goes through as_real exactly like the interpreter (interp.cpp)
+    // — an int/int fast path here could order huge ints differently and
+    // break engine parity.
     int cmp;
     if (std::holds_alternative<std::string>(lv)) {
       cmp = std::get<std::string>(lv).compare(std::get<std::string>(rv));
@@ -106,24 +136,33 @@ private:
       double b = as_real(rv);
       cmp = a < b ? -1 : (a > b ? 1 : 0);
     }
+    stack_.pop_back();
     switch (op) {
-      case Op::kLt: push(cmp < 0); return;
-      case Op::kLe: push(cmp <= 0); return;
-      case Op::kGt: push(cmp > 0); return;
-      default: push(cmp >= 0); return;
+      case Op::kLt: lv = cmp < 0; return;
+      case Op::kLe: lv = cmp <= 0; return;
+      case Op::kGt: lv = cmp > 0; return;
+      default: lv = cmp >= 0; return;
     }
   }
 
   /// Execute one block to its kReturn against `frame` (sub-blocks share the
-  /// caller's frame). Returns the value left on top for predicate blocks.
-  void exec(const CodeBlock& block, std::vector<Value>& frame) {
+  /// caller's frame). `prepared` mirrors `block`'s sub tree, or is null
+  /// when the caller didn't prepare constants (conversion fallback).
+  void exec(const CodeBlock& block, const PreparedBlock* prepared,
+            std::vector<Value>& frame) {
+    const Instr* const code = block.code.data();
+    const std::size_t code_size = block.code.size();
     std::size_t pc = 0;
-    while (pc < block.code.size()) {
+    while (pc < code_size) {
       tick();
-      const Instr& i = block.code[pc];
+      const Instr& i = code[pc];
       switch (i.op) {
         case Op::kPushConst:
-          push(from_scalar(block.constants[i.a]));
+          if (prepared != nullptr) {
+            push(prepared->constants[i.a]);
+          } else {
+            push(from_scalar(block.constants[i.a]));
+          }
           break;
         case Op::kPushNull:
           push(InstanceHandle::null());
@@ -137,7 +176,8 @@ private:
           break;
         }
         case Op::kStoreLocal:
-          frame[i.a] = pop();
+          frame[i.a] = std::move(top());
+          stack_.pop_back();
           break;
         case Op::kLoadParam:
           push(params_[i.a]);
@@ -152,8 +192,8 @@ private:
           pop();
           break;
         case Op::kGetAttr: {
-          InstanceHandle obj = as_handle(pop());
-          push(host_.database().get_attr(obj, AttributeId(i.a)));
+          InstanceHandle obj = as_handle(top());
+          top() = host_.database().get_attr(obj, AttributeId(i.a));
           break;
         }
         case Op::kSetAttr: {
@@ -181,33 +221,33 @@ private:
           compare(i.op);
           break;
         case Op::kNot:
-          push(!as_bool(pop()));
+          top() = !as_bool(top());
           break;
         case Op::kNeg: {
-          Value v = pop();
+          Value& v = top();
           if (std::holds_alternative<std::int64_t>(v)) {
-            push(-std::get<std::int64_t>(v));
+            v = -std::get<std::int64_t>(v);
           } else {
-            push(-as_real(v));
+            v = -as_real(v);
           }
           break;
         }
         case Op::kCard: {
-          Value v = pop();
+          Value& v = top();
           if (const auto* set = std::get_if<InstanceSet>(&v)) {
-            push(static_cast<std::int64_t>(set->size()));
+            v = static_cast<std::int64_t>(set->size());
           } else {
-            push(std::int64_t{as_handle(v).is_null() ? 0 : 1});
+            v = std::int64_t{as_handle(v).is_null() ? 0 : 1};
           }
           break;
         }
         case Op::kIsEmpty: {
-          Value v = pop();
+          Value& v = top();
           if (const auto* set = std::get_if<InstanceSet>(&v)) {
-            push(set->empty());
+            v = set->empty();
           } else {
             const InstanceHandle& h = as_handle(v);
-            push(h.is_null() || !host_.database().is_alive(h));
+            v = h.is_null() || !host_.database().is_alive(h);
           }
           break;
         }
@@ -219,23 +259,24 @@ private:
           break;
         }
         case Op::kWiden: {
-          Value v = pop();
+          Value& v = top();
           if (std::holds_alternative<std::int64_t>(v)) {
-            push(static_cast<double>(std::get<std::int64_t>(v)));
-          } else {
-            push(std::move(v));
+            v = static_cast<double>(std::get<std::int64_t>(v));
           }
           break;
         }
         case Op::kJump:
           pc = i.a;
           continue;
-        case Op::kJumpIfFalse:
-          if (!as_bool(pop())) {
+        case Op::kJumpIfFalse: {
+          bool taken = !as_bool(top());
+          stack_.pop_back();
+          if (taken) {
             pc = i.a;
             continue;
           }
           break;
+        }
         case Op::kReturn:
           return;
         case Op::kCreate: {
@@ -274,12 +315,14 @@ private:
         case Op::kFilter: {
           InstanceSet in = as_set(pop());
           const CodeBlock& sub = block.subs[i.a];
+          const PreparedBlock* psub =
+              prepared != nullptr ? &prepared->subs[i.a] : nullptr;
           const bool first_only = i.b != 0;
           InstanceSet out;
           Value saved = selected_;
           for (const InstanceHandle& h : in) {
             selected_ = h;
-            exec(sub, frame);
+            exec(sub, psub, frame);
             if (as_bool(pop())) {
               out.push_back(h);
               if (first_only) break;
@@ -338,6 +381,7 @@ private:
   }
 
   const CodeBlock& block_;
+  const PreparedBlock* prepared_;
   InstanceHandle self_;
   const std::vector<Value>& params_;
   Host& host_;
@@ -351,15 +395,40 @@ private:
 
 }  // namespace
 
+PreparedBlock prepare_block(const oal::CodeBlock& block) {
+  PreparedBlock p;
+  p.constants.reserve(block.constants.size());
+  for (const xtuml::ScalarValue& c : block.constants) {
+    p.constants.push_back(from_scalar(c));
+  }
+  p.subs.reserve(block.subs.size());
+  for (const oal::CodeBlock& sub : block.subs) {
+    p.subs.push_back(prepare_block(sub));
+  }
+  return p;
+}
+
 InterpResult run_bytecode(const oal::CodeBlock& block,
                           const InstanceHandle& self,
                           const std::vector<Value>& params, Host& host,
                           std::uint64_t max_ops, VmScratch* scratch) {
   if (scratch != nullptr) {
-    return Vm(block, self, params, host, max_ops, *scratch).run();
+    return Vm(block, nullptr, self, params, host, max_ops, *scratch).run();
   }
   VmScratch local;
-  return Vm(block, self, params, host, max_ops, local).run();
+  return Vm(block, nullptr, self, params, host, max_ops, local).run();
+}
+
+InterpResult run_bytecode(const oal::CodeBlock& block,
+                          const PreparedBlock& prepared,
+                          const InstanceHandle& self,
+                          const std::vector<Value>& params, Host& host,
+                          std::uint64_t max_ops, VmScratch* scratch) {
+  if (scratch != nullptr) {
+    return Vm(block, &prepared, self, params, host, max_ops, *scratch).run();
+  }
+  VmScratch local;
+  return Vm(block, &prepared, self, params, host, max_ops, local).run();
 }
 
 }  // namespace xtsoc::runtime

@@ -21,11 +21,34 @@ struct VmScratch {
   std::vector<Value> frame;
 };
 
+/// A CodeBlock's constant pools pre-converted to runtime Values, mirroring
+/// the block's sub-block tree. CodeBlock stores xtuml::ScalarValue (oal
+/// sits below the runtime layer), so without this every kPushConst pays a
+/// ScalarValue -> Value conversion — a fresh std::string allocation for
+/// string literals — on every execution. Prepare once at compile time,
+/// then kPushConst is a plain Value copy.
+struct PreparedBlock {
+  std::vector<Value> constants;
+  std::vector<PreparedBlock> subs;
+};
+
+/// Build the PreparedBlock tree for `block` (recursing into sub-blocks).
+PreparedBlock prepare_block(const oal::CodeBlock& block);
+
 /// Execute `block` for instance `self` with event payload `params`.
 /// Semantics and error behaviour mirror run_action(); `max_ops` counts
 /// executed instructions. Pass `scratch` to reuse evaluation buffers
 /// across calls (single-threaded use only); null allocates fresh ones.
 InterpResult run_bytecode(const oal::CodeBlock& block,
+                          const InstanceHandle& self,
+                          const std::vector<Value>& params, Host& host,
+                          std::uint64_t max_ops = 10'000'000,
+                          VmScratch* scratch = nullptr);
+
+/// As above, with `prepared` (from prepare_block(block)) supplying the
+/// Value-typed constant pools — the form the Executor's dispatch loop uses.
+InterpResult run_bytecode(const oal::CodeBlock& block,
+                          const PreparedBlock& prepared,
                           const InstanceHandle& self,
                           const std::vector<Value>& params, Host& host,
                           std::uint64_t max_ops = 10'000'000,

@@ -593,5 +593,201 @@ TEST(CoSimParallel, MeshFanoutByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- windowed (conservative-lookahead) execution -------------------------------
+//
+// CoSimConfig::window must also leave every observable byte unchanged. The
+// runs below diff traces, VCD, cycle counts, SimStats, interconnect stats
+// and final attributes across a (window x threads) grid against the serial
+// per-cycle lockstep baseline (window=1, threads=1). run_cycles() is used
+// so every configuration executes the exact same number of cycles,
+// including partial tail windows (97 and 61 are deliberately not multiples
+// of any window size).
+
+/// CosimDeterminismRun plus the interconnect's own statistics rendered to
+/// text (BusStats fields in bus mode, FabricStats::to_table() in mesh mode).
+struct WindowedRun {
+  CosimDeterminismRun base;
+  std::string interconnect;
+  int lookahead = 0;
+  int window = 0;
+};
+
+TEST(CoSimWindowed, BusPipelineByteIdenticalAcrossWindowsAndThreads) {
+  auto run_once = [](int window, int threads) {
+    CoSimConfig cfg;
+    cfg.window = window;
+    cfg.threads = threads;
+    PipelineCosim p(hw_consumer_marks(8), cfg);
+    hwsim::VcdWriter vcd(p.cosim.hw_sim());
+    p.cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+    for (int i = 0; i < 4; ++i) {
+      p.cosim.inject(p.producer, "kick", {}, static_cast<std::uint64_t>(i));
+      p.cosim.run_cycles(97);
+    }
+    p.cosim.run_cycles(61);
+    WindowedRun r;
+    for (const auto& hw : p.cosim.hw_domains()) {
+      r.base.hw_traces += hw->executor().trace().to_string();
+    }
+    r.base.sw_trace = p.cosim.sw_executor().trace().to_string();
+    r.base.vcd = vcd.render();
+    r.base.cycles = p.cosim.cycles();
+    r.base.sim_stats = p.cosim.hw_sim().stats();
+    r.base.attrs = {p.attr(p.producer, "Producer", "sent"),
+                    p.attr(p.producer, "Producer", "acks"),
+                    p.attr(p.consumer, "Consumer", "total")};
+    const BusStats& bs = p.cosim.bus().stats();
+    r.interconnect = std::to_string(bs.frames_to_hw) + "/" +
+                     std::to_string(bs.bytes_to_hw) + "/" +
+                     std::to_string(bs.frames_to_sw) + "/" +
+                     std::to_string(bs.bytes_to_sw);
+    r.lookahead = p.cosim.lookahead();
+    r.window = p.cosim.window();
+    return r;
+  };
+
+  WindowedRun serial = run_once(/*window=*/1, /*threads=*/1);
+  EXPECT_EQ(serial.lookahead, 8);
+  EXPECT_EQ(serial.window, 1);
+  EXPECT_FALSE(serial.base.hw_traces.empty());
+  EXPECT_EQ(serial.base.attrs, (std::vector<std::int64_t>{4, 4, 10}));
+  for (int window : {0, 2, 8}) {
+    for (int threads : {1, 2, 8}) {
+      WindowedRun par = run_once(window, threads);
+      SCOPED_TRACE("window=" + std::to_string(window) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(par.window, window == 0 ? 8 : window);
+      EXPECT_EQ(par.base.hw_traces, serial.base.hw_traces);
+      EXPECT_EQ(par.base.sw_trace, serial.base.sw_trace);
+      EXPECT_EQ(par.base.vcd, serial.base.vcd);
+      EXPECT_EQ(par.base.cycles, serial.base.cycles);
+      EXPECT_EQ(par.base.sim_stats.delta_cycles,
+                serial.base.sim_stats.delta_cycles);
+      EXPECT_EQ(par.base.sim_stats.process_activations,
+                serial.base.sim_stats.process_activations);
+      EXPECT_EQ(par.base.sim_stats.wire_commits,
+                serial.base.sim_stats.wire_commits);
+      EXPECT_EQ(par.base.attrs, serial.base.attrs);
+      EXPECT_EQ(par.interconnect, serial.interconnect);
+    }
+  }
+}
+
+TEST(CoSimWindowed, MeshFanoutByteIdenticalAcrossWindowsAndThreads) {
+  auto run_once = [](int window, int threads) {
+    marks::MarkSet m = fanout_mesh_marks();
+    m.set_domain_mark(marks::kLinkLatency, ScalarValue(std::int64_t{4}));
+    MappedFixture fx(make_fanout_domain(), std::move(m));
+    CoSimConfig cfg;
+    cfg.window = window;
+    cfg.threads = threads;
+    CoSimulation cosim(*fx.system, cfg);
+    auto w0 = cosim.create("W0");
+    auto w1 = cosim.create("W1");
+    auto w2 = cosim.create("W2");
+    auto boss = cosim.create_with(
+        "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+    hwsim::VcdWriter vcd(cosim.hw_sim());
+    cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+    for (int i = 0; i < 3; ++i) {
+      cosim.inject(boss, "go");
+      cosim.run_cycles(97);
+    }
+    WindowedRun r;
+    for (const auto& hw : cosim.hw_domains()) {
+      r.base.hw_traces += hw->executor().trace().to_string();
+    }
+    r.base.sw_trace = cosim.sw_executor().trace().to_string();
+    r.base.vcd = vcd.render();
+    r.base.cycles = cosim.cycles();
+    r.base.sim_stats = cosim.hw_sim().stats();
+    auto attr_of = [&](const InstanceHandle& h, const char* cls,
+                       const char* name) {
+      const auto* a = fx.domain->find_class(cls)->find_attribute(name);
+      return std::get<std::int64_t>(
+          cosim.executor_of(h.cls).database().get_attr(h, a->id));
+    };
+    r.base.attrs = {attr_of(boss, "Boss", "acks"), attr_of(w0, "W0", "sum"),
+                    attr_of(w1, "W1", "sum"), attr_of(w2, "W2", "sum")};
+    EXPECT_EQ(r.base.attrs[0], 9);
+    EXPECT_EQ(r.base.attrs[1] + r.base.attrs[2] + r.base.attrs[3], 18);
+    r.interconnect = cosim.fabric().stats().to_table();
+    r.lookahead = cosim.lookahead();
+    r.window = cosim.window();
+    return r;
+  };
+
+  WindowedRun serial = run_once(/*window=*/1, /*threads=*/1);
+  EXPECT_EQ(serial.lookahead, 4);
+  for (int window : {0, 2}) {
+    for (int threads : {1, 2, 8}) {
+      WindowedRun par = run_once(window, threads);
+      SCOPED_TRACE("window=" + std::to_string(window) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_EQ(par.window, window == 0 ? 4 : window);
+      EXPECT_EQ(par.base.hw_traces, serial.base.hw_traces);
+      EXPECT_EQ(par.base.sw_trace, serial.base.sw_trace);
+      EXPECT_EQ(par.base.vcd, serial.base.vcd);
+      EXPECT_EQ(par.base.cycles, serial.base.cycles);
+      EXPECT_EQ(par.base.sim_stats.delta_cycles,
+                serial.base.sim_stats.delta_cycles);
+      EXPECT_EQ(par.base.sim_stats.process_activations,
+                serial.base.sim_stats.process_activations);
+      EXPECT_EQ(par.base.sim_stats.wire_commits,
+                serial.base.sim_stats.wire_commits);
+      EXPECT_EQ(par.base.attrs, serial.base.attrs);
+      EXPECT_EQ(par.interconnect, serial.interconnect);
+    }
+  }
+}
+
+TEST(CoSimWindowed, ZeroLatencyBusForcesLockstep) {
+  // A zero-latency bus means a frame sent at cycle c is visible at cycle
+  // c + 1 (pop_due at the next latch) — lookahead 1, so no window larger
+  // than 1 is sound and the requested window must be ignored.
+  CoSimConfig cfg;
+  cfg.window = 8;
+  cfg.threads = 4;
+  PipelineCosim p(hw_consumer_marks(0), cfg);
+  EXPECT_EQ(p.cosim.lookahead(), 1);
+  EXPECT_EQ(p.cosim.window(), 1);
+  p.cosim.inject(p.producer, "kick");
+  p.cosim.run(2000);
+  EXPECT_TRUE(p.cosim.quiescent());
+  EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 1);
+  EXPECT_EQ(p.attr(p.consumer, "Consumer", "total"), 1);
+}
+
+TEST(CoSimWindowed, WindowClampsToLookahead) {
+  auto window_for = [](int requested) {
+    CoSimConfig cfg;
+    cfg.window = requested;
+    PipelineCosim p(hw_consumer_marks(8), cfg);
+    EXPECT_EQ(p.cosim.lookahead(), 8);
+    return p.cosim.window();
+  };
+  EXPECT_EQ(window_for(0), 8);   // auto: the full lookahead
+  EXPECT_EQ(window_for(64), 8);  // clamped down: correctness bound
+  EXPECT_EQ(window_for(2), 2);   // smaller is always sound
+  EXPECT_EQ(window_for(1), 1);   // explicit lockstep
+}
+
+TEST(CoSimWindowed, RunOvershootsQuiescenceByLessThanOneWindow) {
+  auto run_to_quiescence = [](int window) {
+    CoSimConfig cfg;
+    cfg.window = window;
+    PipelineCosim p(hw_consumer_marks(8), cfg);
+    p.cosim.inject(p.producer, "kick");
+    std::uint64_t n = p.cosim.run(2000);
+    EXPECT_TRUE(p.cosim.quiescent());
+    EXPECT_EQ(p.attr(p.producer, "Producer", "acks"), 1);
+    return n;
+  };
+  std::uint64_t exact = run_to_quiescence(/*window=*/1);
+  std::uint64_t windowed = run_to_quiescence(/*window=*/0);
+  EXPECT_GE(windowed, exact);
+  EXPECT_LT(windowed, exact + 8);  // overshoot < one full window
+}
+
 }  // namespace
 }  // namespace xtsoc::cosim

@@ -208,6 +208,41 @@ TEST(Validate, IntWidthRange) {
   EXPECT_TRUE(m3.validate(d, sink)) << sink.to_string();
 }
 
+TEST(Validate, BusLatencyMustBeNonNegative) {
+  Domain d = make_domain();
+  // 0 is legal: it degrades the windowed co-simulation to per-cycle
+  // lockstep. Negative would mean delivery into the past.
+  MarkSet m;
+  m.set_domain_mark(kBusLatency, ScalarValue(std::int64_t{0}));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+
+  MarkSet m2;
+  m2.set_domain_mark(kBusLatency, ScalarValue(std::int64_t{-1}));
+  sink.clear();
+  EXPECT_FALSE(m2.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("bus_latency"), std::string::npos);
+}
+
+TEST(Validate, LinkLatencyMustBePositive) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_domain_mark(kLinkLatency, ScalarValue(std::int64_t{0}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("link_latency"), std::string::npos);
+
+  MarkSet m2;
+  m2.set_domain_mark(kLinkLatency, ScalarValue(std::int64_t{-3}));
+  sink.clear();
+  EXPECT_FALSE(m2.validate(d, sink));
+
+  MarkSet m3;
+  m3.set_domain_mark(kLinkLatency, ScalarValue(std::int64_t{2}));
+  sink.clear();
+  EXPECT_TRUE(m3.validate(d, sink)) << sink.to_string();
+}
+
 TEST(Validate, NearMissKeyWarns) {
   Domain d = make_domain();
   MarkSet m;

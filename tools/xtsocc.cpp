@@ -12,8 +12,12 @@
 //       --simulate FILE run a stimulus script against the abstract model
 //                       (exit status reflects its expectations)
 //       --on-cosim      run --simulate against the partitioned cosim instead
-//       --threads N     hwsim kernel worker threads for --on-cosim (default
-//                       1 = serial; any N produces byte-identical results)
+//       --threads N     cosim worker threads for --on-cosim (default 1 =
+//                       serial; any N produces byte-identical results)
+//       --window N      cosim execution window in cycles for --on-cosim:
+//                       0 (default) = auto, the interconnect's full static
+//                       lookahead; 1 forces per-cycle lockstep; values above
+//                       the lookahead are clamped down (correctness bound)
 //       --noc-stats     after --on-cosim on a mesh-placed model (tileX/tileY
 //                       marks), print the NoC statistics table: per-router
 //                       flit counts, per-link utilization, buffer high-water
@@ -52,13 +56,14 @@ struct Options {
   bool on_cosim = false;
   bool noc_stats = false;
   int threads = 1;
+  int window = 0;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
                "[--vhdl-only] [--check] [--quiet] [--simulate FILE "
-               "[--on-cosim [--threads N] [--noc-stats]]]\n");
+               "[--on-cosim [--threads N] [--window N] [--noc-stats]]]\n");
 }
 
 bool parse_args(int argc, char** argv, Options* opt) {
@@ -96,6 +101,15 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->threads = std::atoi(v);
       if (opt->threads < 1) {
         std::fprintf(stderr, "xtsocc: --threads needs a positive integer\n");
+        return false;
+      }
+    } else if (a == "--window") {
+      const char* v = next();
+      if (!v) return false;
+      opt->window = std::atoi(v);
+      if (opt->window < 0) {
+        std::fprintf(stderr, "xtsocc: --window needs a non-negative integer "
+                             "(0 = auto)\n");
         return false;
       }
     } else if (a == "--noc-stats") {
@@ -189,6 +203,7 @@ int main(int argc, char** argv) {
     if (opt.on_cosim) {
       cosim::CoSimConfig cfg;
       cfg.threads = opt.threads;
+      cfg.window = opt.window;
       r = core::run_stimulus_cosim(
           *project, script, out, cfg,
           [&opt](const cosim::CoSimulation& cs) {
