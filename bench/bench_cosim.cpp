@@ -9,12 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/hwsim/components.hpp"
+#include "xtsoc/obs/registry.hpp"
 
 namespace {
 
@@ -183,11 +185,13 @@ marks::MarkSet mesh_marks(int width, int height, int link_latency = 4) {
   return m;
 }
 
-std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(core::Project& project,
-                                                     int nodes, int threads) {
+std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(
+    core::Project& project, int nodes, int threads,
+    obs::Registry* obs = nullptr) {
   cosim::CoSimConfig cfg;
   cfg.trace_enabled = false;
   cfg.threads = threads;
+  cfg.obs = obs;
   auto cs = project.make_cosim(cfg);
   std::vector<runtime::InstanceHandle> handles;
   handles.reserve(static_cast<std::size_t>(nodes));
@@ -207,11 +211,12 @@ std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(core::Project& project,
 
 /// Steady-state mesh throughput at `threads`, in hardware cycles per
 /// wall-clock second.
-double mesh_cycles_per_sec(int width, int height, int threads) {
+double mesh_cycles_per_sec(int width, int height, int threads,
+                           obs::Registry* obs = nullptr) {
   const int nodes = width * height - 1;
   auto project =
       bench::make_project(make_mesh_soc(nodes), mesh_marks(width, height));
-  auto cs = make_mesh_cosim(*project, nodes, threads);
+  auto cs = make_mesh_cosim(*project, nodes, threads, obs);
   cs->run_cycles(200);  // warm-up: pools and queues reach steady state
   std::uint64_t cycles = 0;
   bench::Timer t;
@@ -285,6 +290,50 @@ void emit_json() {
   }
   report.add("speedup", par8_4x4 / serial_4x4, "x",
              "mesh=4x4,threads=8 vs threads=1");
+  {
+    // Observability residue. With no registry every probe is a dead null
+    // test; with a registry attached but tracing off, counters count and
+    // spans skip. Best-of-3 on each side to shave scheduler noise; the CI
+    // benchmarks job gates obs_disabled_overhead_pct <= 2.
+    // Three identical cosims differing only in what's attached, run in
+    // tightly alternating 500-cycle slices; each side keeps its minimum
+    // slice time. The alternation puts scheduler noise and clock drift on
+    // every side equally, and min-time is the standard robust estimator
+    // for "the cost of the code itself".
+    constexpr int kNodes = 4 * 4 - 1;
+    obs::Registry counting;
+    obs::Registry tracing;
+    tracing.enable_tracing();
+    auto p_bare =
+        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
+    auto p_counted =
+        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
+    auto p_traced =
+        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
+    auto cs_bare = make_mesh_cosim(*p_bare, kNodes, 1);
+    auto cs_counted = make_mesh_cosim(*p_counted, kNodes, 1, &counting);
+    auto cs_traced = make_mesh_cosim(*p_traced, kNodes, 1, &tracing);
+    for (auto* cs : {cs_bare.get(), cs_counted.get(), cs_traced.get()}) {
+      cs->run_cycles(200);  // warm-up
+    }
+    double bare = 1e9, counted = 1e9, traced = 1e9;
+    auto slice = [](cosim::CoSimulation& cs) {
+      bench::Timer t;
+      cs.run_cycles(500);
+      return t.seconds();
+    };
+    for (int s = 0; s < 30; ++s) {
+      bare = std::min(bare, slice(*cs_bare));
+      counted = std::min(counted, slice(*cs_counted));
+      traced = std::min(traced, slice(*cs_traced));
+    }
+    report.add("obs_disabled_overhead_pct",
+               std::max(0.0, (counted / bare - 1.0) * 100.0), "%",
+               "mesh=4x4,threads=1,registry attached vs absent");
+    report.add("obs_tracing_overhead_pct",
+               std::max(0.0, (traced / bare - 1.0) * 100.0), "%",
+               "mesh=4x4,threads=1,tracing on vs registry absent");
+  }
   {
     auto project =
         bench::make_project(bench::make_packet_soc(), crypto_hw(8));

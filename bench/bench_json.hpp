@@ -26,6 +26,8 @@
 #include <string_view>
 #include <vector>
 
+#include "xtsoc/obs/json.hpp"
+
 namespace xtsoc::bench {
 
 /// Wall-clock stopwatch for the JSON measurements.
@@ -52,25 +54,29 @@ public:
         {std::move(metric), value, std::move(unit), std::move(config)});
   }
 
-  /// Write BENCH_<name>.json and report the path on stdout.
+  /// Write BENCH_<name>.json and report the path on stdout. Serialization
+  /// goes through obs::JsonWriter — the toolchain's one JSON emission path
+  /// — so escaping and number formatting can't drift from runtime reports.
   void write() const {
     std::string path = out_dir() + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       throw std::runtime_error("bench: cannot write " + path);
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
-                 name_.c_str());
-    for (std::size_t i = 0; i < rows_.size(); ++i) {
-      const Row& r = rows_[i];
-      std::fprintf(f,
-                   "    {\"metric\": \"%s\", \"value\": %.6g, "
-                   "\"unit\": \"%s\", \"config\": \"%s\"}%s\n",
-                   escaped(r.metric).c_str(), r.value,
-                   escaped(r.unit).c_str(), escaped(r.config).c_str(),
-                   i + 1 < rows_.size() ? "," : "");
+    obs::JsonWriter w(/*indent=*/2);
+    w.begin_object().field("bench", name_).key("results").begin_array();
+    for (const Row& r : rows_) {
+      w.begin_object()
+          .field("metric", r.metric)
+          .field("value", r.value)
+          .field("unit", r.unit)
+          .field("config", r.config)
+          .end_object();
     }
-    std::fprintf(f, "  ]\n}\n");
+    w.end_array().end_object();
+    const std::string& doc = w.str();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fputc('\n', f);
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
@@ -90,16 +96,6 @@ private:
 #else
     return ".";
 #endif
-  }
-
-  static std::string escaped(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
   }
 
   std::string name_;

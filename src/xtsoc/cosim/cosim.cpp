@@ -21,8 +21,13 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
   if (window_ < 1) window_ = 1;
   const bool windowed = window_ > 1;
 
+  // Claim the master's timeline lane first so the exported trace reads
+  // top-to-bottom: cosim, kernel, then the domains and the mesh.
+  obs_ = config_.obs;
+  if (obs_ != nullptr) obs_track_ = obs_->track("cosim");
+
   sim_ = std::make_unique<hwsim::Simulator>(
-      hwsim::SimConfig{windowed ? 1 : config_.threads});
+      hwsim::SimConfig{windowed ? 1 : config_.threads, config_.obs});
   clk_ = sim_->wire(1, 0, "clk");
   sim_->add_clock(clk_, /*half_period=*/1);
 
@@ -31,6 +36,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
   ecfg.engine = config_.engine;
   ecfg.trace_enabled = config_.trace_enabled;
   ecfg.max_ops_per_action = config_.max_ops_per_action;
+  ecfg.obs = config_.obs;
 
   const mapping::Partition& part = sys.partition();
   hw_domain_of_.resize(sys.domain().class_count(), nullptr);
@@ -53,6 +59,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     fcfg.link_latency = mesh.link_latency;
     fcfg.flit_payload_bytes = mesh.flit_bytes;
     fcfg.fifo_depth = mesh.fifo_depth;
+    fcfg.obs = config_.obs;
     fabric_ = std::make_unique<noc::Fabric>(fcfg);
 
     if (hw_digest != sw_digest) {
@@ -67,6 +74,10 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
       for (ClassId cls : part.hardware()) {
         if (part.tile_of(cls) == tile) owned.push_back(cls);
       }
+      if (obs_ != nullptr) {
+        ecfg.obs_track = obs_->track(
+            "executor/hw" + std::to_string(hw_domains_.size()));
+      }
       hw_domains_.push_back(std::make_unique<HwDomain>(
           sys, *sim_, clk_, *chan, std::move(owned), ecfg));
       for (ClassId cls : hw_domains_.back()->owned()) {
@@ -76,6 +87,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     }
     auto sw_chan =
         std::make_unique<FabricChannel>(*fabric_, sys, mesh.sw_tile());
+    if (obs_ != nullptr) ecfg.obs_track = obs_->track("executor/sw");
     sw_ = std::make_unique<SwDomain>(sys, *sw_chan, scheduler_, ecfg);
     channels_.push_back(std::move(sw_chan));
   } else {
@@ -88,11 +100,13 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
         std::make_unique<BusEndpoint>(*bus_, BusEndpoint::Side::kSoftware);
 
     std::vector<ClassId> owned(part.hardware().begin(), part.hardware().end());
+    if (obs_ != nullptr) ecfg.obs_track = obs_->track("executor/hw0");
     hw_domains_.push_back(std::make_unique<HwDomain>(
         sys, *sim_, clk_, *hw_chan, std::move(owned), ecfg));
     for (ClassId cls : hw_domains_.back()->owned()) {
       hw_domain_of_[cls.value()] = hw_domains_.back().get();
     }
+    if (obs_ != nullptr) ecfg.obs_track = obs_->track("executor/sw");
     sw_ = std::make_unique<SwDomain>(sys, *sw_chan, scheduler_, ecfg);
     channels_.push_back(std::move(hw_chan));
     channels_.push_back(std::move(sw_chan));
@@ -170,6 +184,7 @@ void CoSimulation::inject(const runtime::InstanceHandle& target,
 
 void CoSimulation::one_cycle() {
   ++cycle_;
+  OBS_SPAN_AT(obs_, obs_track_, "cycle", cycle_);
   // Fabric first: flits advance one hop, frames completing reassembly this
   // cycle become visible to the NICs the domains poll below.
   if (fabric_) fabric_->tick(cycle_);
@@ -198,6 +213,7 @@ void CoSimulation::one_cycle() {
 void CoSimulation::run_window(std::uint64_t w) {
   const std::uint64_t base = cycle_;
   const std::uint64_t end = base + w;
+  OBS_SPAN_AT(obs_, obs_track_, "window", base + 1);
 
   // Window boundary, serial: every domain pulls the frames due inside the
   // coming window into its private inbox. Complete, because a frame due at
@@ -205,13 +221,17 @@ void CoSimulation::run_window(std::uint64_t w) {
   // — i.e. before this boundary — so it is already in the interconnect and
   // receive(end) sees it. Frames due beyond `end` stay queued for a later
   // boundary.
-  for (auto& hw : hw_domains_) hw->fill_inbox(end);
-  sw_->fill_inbox(end);
+  {
+    OBS_SPAN(obs_, obs_track_, "fill_inbox");
+    for (auto& hw : hw_domains_) hw->fill_inbox(end);
+    sw_->fill_inbox(end);
+  }
 
   // Phase A: run each domain w cycles ahead, concurrently. A job touches
   // only domain-local state — executor, inbox, outbox, staged kernel
   // writes — never the kernel, the interconnect, or another domain. The
   // pool's run() provides the happens-before edges on both sides.
+  obs::ScopedSpan phase_a_span(obs_, obs_track_, "phaseA", base + 1);
   const std::size_t jobs = hw_domains_.size() + 1;
   auto run_domain = [&](std::size_t i) {
     if (i < hw_domains_.size()) {
@@ -245,6 +265,8 @@ void CoSimulation::run_window(std::uint64_t w) {
   } else {
     for (std::size_t i = 0; i < jobs; ++i) run_domain(i);
   }
+  phase_a_span.finish();
+  OBS_SPAN_AT(obs_, obs_track_, "phaseB", base + 1);
 
   // Phase B, serial: the kernel replays the w edges. Each clocked process
   // re-issues the writes its domain staged for that edge, so the kernel

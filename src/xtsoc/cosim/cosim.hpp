@@ -95,6 +95,12 @@ struct CoSimConfig {
   /// Test hook: present this digest for the software endpoint instead of
   /// the real one, to demonstrate the connect-time mismatch detection.
   std::string forged_sw_digest;
+  /// Optional observability sink, threaded through every layer: the master
+  /// gets the "cosim" track (cycle/window/phase spans), the kernel
+  /// "kernel", each hardware domain "executor/hwN", software "executor/sw",
+  /// and the mesh "noc". Null (default) leaves every probe a dead test —
+  /// simulation output is byte-identical either way.
+  obs::Registry* obs = nullptr;
 };
 
 class CoSimulation {
@@ -163,6 +169,22 @@ public:
   const hwsim::Simulator& hw_sim() const { return *sim_; }
   const swrt::Scheduler& scheduler() const { return scheduler_; }
 
+  /// One structured stats report covering the whole co-simulation: run
+  /// shape, kernel SimStats, interconnect (Bus or Fabric) stats, per-domain
+  /// executor stats, plus obs counters when a registry is attached. This is
+  /// THE serialization path for cosim stats — see cosim/report.hpp.
+  obs::Snapshot report() const;
+
+  /// Pre-report() convenience accessors, kept for one release. Each returns
+  /// the bare struct a report() section is derived from; prefer the
+  /// Snapshot, which covers all of them consistently.
+  [[deprecated("use CoSimulation::report()")]]
+  const hwsim::SimStats& sim_stats() const { return sim_->stats(); }
+  [[deprecated("use CoSimulation::report()")]]
+  const BusStats& bus_stats() const { return bus_->stats(); }
+  [[deprecated("use CoSimulation::report()")]]
+  noc::FabricStats fabric_stats() const { return fabric_->stats(); }
+
 private:
   void one_cycle();
   /// One window of `w` cycles (windowed mode): boundary inbox fill, phase A
@@ -189,6 +211,10 @@ private:
   /// Window-level worker pool (windowed mode, threads > 1). In lockstep the
   /// kernel owns the pool instead; the two are never both active.
   std::unique_ptr<hwsim::WorkerPool> pool_;
+
+  // Observability (null members when no registry is attached).
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
 };
 
 }  // namespace xtsoc::cosim

@@ -21,8 +21,17 @@ HwDomain::HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
             ClassId dst = m.target.cls;
             outbox_.push_back(
                 {dst, encode_message(sys_->interface(), m), cycle_, extra});
+            OBS_COUNT(c_frames_out_);
             exec_.recycle_args(std::move(m.args));
           }) {
+  if (config.obs != nullptr) {
+    obs_ = config.obs;
+    obs_track_ = config.obs_track.is_valid() ? config.obs_track
+                                             : obs_->track("executor");
+    const std::string& tn = obs_->track_name(obs_track_);
+    c_frames_in_ = obs_->counter(tn + ".frames_in");
+    c_frames_out_ = obs_->counter(tn + ".frames_out");
+  }
   for (ClassId cls : owned_) owned_mask_[cls.value()] = 1;
   divider_.resize(sys.domain().class_count(), 1);
   alive_wires_.resize(sys.domain().class_count(), HwSignalId::invalid());
@@ -80,6 +89,7 @@ void HwDomain::step_cycle() {
         runtime::EventMessage m = decode_frame(sys_->interface(), inbox_[i]);
         m.deliver_at = exec_.now();
         exec_.deliver_remote(std::move(m));
+        OBS_COUNT(c_frames_in_);
       } else {
         if (kept != i) inbox_[kept] = std::move(inbox_[i]);
         ++kept;
@@ -91,6 +101,7 @@ void HwDomain::step_cycle() {
       runtime::EventMessage m = decode_frame(sys_->interface(), f);
       m.deliver_at = exec_.now();
       exec_.deliver_remote(std::move(m));
+      OBS_COUNT(c_frames_in_);
     }
   }
 
@@ -145,6 +156,9 @@ void HwDomain::fill_inbox(std::uint64_t through_cycle) {
 }
 
 void HwDomain::run_window(std::uint64_t n) {
+  // One span per window on this domain's track: phase A's parallelism is
+  // visible as overlapping run_window spans across the executor lanes.
+  OBS_SPAN_AT(obs_, obs_track_, "run_window", cycle_ + 1);
   if (edge_writes_.size() < n) edge_writes_.resize(n);
   for (std::uint64_t k = 0; k < n; ++k) {
     window_edge_ = k;

@@ -149,6 +149,13 @@ private:
   /// Instances already served this cycle (reused; cleared each edge).
   std::vector<runtime::InstanceHandle> served_;
 
+  // Observability (null members when no registry is attached; the track is
+  // shared with this domain's executor, e.g. "executor/hw0").
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
+  obs::Counter* c_frames_in_ = nullptr;
+  obs::Counter* c_frames_out_ = nullptr;
+
   // Windowed mode state.
   bool windowed_ = false;
   std::vector<Frame> inbox_;  ///< due frames for the current window, in order

@@ -1,0 +1,132 @@
+#include "xtsoc/cosim/report.hpp"
+
+#include "xtsoc/cosim/cosim.hpp"
+
+namespace xtsoc::cosim {
+
+using obs::JsonValue;
+
+JsonValue to_json(const hwsim::SimStats& s) {
+  JsonValue v = JsonValue::object();
+  v["delta_cycles"] = s.delta_cycles;
+  v["process_activations"] = s.process_activations;
+  v["wire_commits"] = s.wire_commits;
+  return v;
+}
+
+JsonValue to_json(const BusStats& s, int latency_cycles) {
+  JsonValue v = JsonValue::object();
+  v["kind"] = "bus";
+  v["latency"] = latency_cycles;
+  v["frames_to_hw"] = s.frames_to_hw;
+  v["frames_to_sw"] = s.frames_to_sw;
+  v["bytes_to_hw"] = s.bytes_to_hw;
+  v["bytes_to_sw"] = s.bytes_to_sw;
+  return v;
+}
+
+JsonValue to_json(const noc::FabricStats& s) {
+  JsonValue v = JsonValue::object();
+  v["kind"] = "noc";
+  JsonValue& mesh = v["mesh"];
+  mesh = JsonValue::object();
+  mesh["width"] = s.width;
+  mesh["height"] = s.height;
+  v["cycles"] = s.cycles;
+  v["frames_sent"] = s.frames_sent;
+  v["frames_delivered"] = s.frames_delivered;
+  v["flits_injected"] = s.flits_injected;
+  v["payload_bytes"] = s.payload_bytes;
+
+  JsonValue& routers = v["routers"];
+  routers = JsonValue::array();
+  for (std::size_t i = 0; i < s.routers.size(); ++i) {
+    const noc::RouterStats& r = s.routers[i];
+    JsonValue e = JsonValue::object();
+    e["tile"] = static_cast<std::uint64_t>(i);
+    e["x"] = s.width == 0 ? 0 : static_cast<int>(i) % s.width;
+    e["y"] = s.width == 0 ? 0 : static_cast<int>(i) / s.width;
+    e["flits_routed"] = r.flits_routed;
+    e["flits_ejected"] = r.flits_ejected;
+    e["credit_stalls"] = r.credit_stalls;
+    e["buffer_high_water"] = static_cast<std::uint64_t>(r.buffer_high_water);
+    routers.push_back(std::move(e));
+  }
+
+  JsonValue& links = v["links"];
+  links = JsonValue::array();
+  for (const noc::LinkStats& l : s.links) {
+    JsonValue e = JsonValue::object();
+    e["from_tile"] = l.from_tile;
+    e["dir"] = noc::to_string(l.dir);
+    e["flits"] = l.flits;
+    e["utilization"] = s.link_utilization(l);
+    links.push_back(std::move(e));
+  }
+
+  JsonValue& lat = v["latency"];
+  lat = JsonValue::object();
+  lat["count"] = s.latency.count;
+  lat["mean"] = s.latency.mean();
+  lat["min"] = s.latency.min;
+  lat["max"] = s.latency.max;
+  JsonValue& buckets = lat["buckets"];
+  buckets = JsonValue::array();
+  for (int b = 0; b < noc::LatencyHistogram::kBuckets; ++b) {
+    if (s.latency.buckets[static_cast<std::size_t>(b)] == 0) continue;
+    JsonValue e = JsonValue::object();
+    e["lo"] = std::uint64_t{1} << b;
+    e["count"] = s.latency.buckets[static_cast<std::size_t>(b)];
+    buckets.push_back(std::move(e));
+  }
+  return v;
+}
+
+obs::Snapshot CoSimulation::report() const {
+  obs::Snapshot snap;
+
+  JsonValue& run = snap["run"];
+  run = JsonValue::object();
+  run["cycles"] = cycle_;
+  run["lookahead"] = lookahead_;
+  run["window"] = window_;
+  run["threads"] = config_.threads;
+  run["interconnect"] = has_fabric() ? "noc" : "bus";
+
+  snap["sim"] = to_json(sim_->stats());
+  snap["interconnect"] = has_fabric()
+                             ? to_json(fabric_->stats())
+                             : to_json(bus_->stats(), bus_->latency());
+
+  JsonValue& domains = snap["domains"];
+  domains = JsonValue::array();
+  for (std::size_t i = 0; i < hw_domains_.size(); ++i) {
+    const runtime::Executor& e = hw_domains_[i]->executor();
+    JsonValue d = JsonValue::object();
+    d["name"] = "hw" + std::to_string(i);
+    d["dispatches"] = e.dispatch_count();
+    d["ops"] = e.ops_executed();
+    d["queue_high_water"] = static_cast<std::uint64_t>(e.queue_high_water());
+    domains.push_back(std::move(d));
+  }
+  {
+    const runtime::Executor& e = sw_executor();
+    JsonValue d = JsonValue::object();
+    d["name"] = "sw";
+    d["dispatches"] = e.dispatch_count();
+    d["ops"] = e.ops_executed();
+    d["queue_high_water"] = static_cast<std::uint64_t>(e.queue_high_water());
+    domains.push_back(std::move(d));
+  }
+
+  // Registry counters ride along when an observability registry is attached
+  // — the same name-sorted object Registry::snapshot() would emit.
+  if (obs_ != nullptr) {
+    JsonValue& cs = snap["counters"];
+    cs = JsonValue::object();
+    for (const auto& [name, value] : obs_->counters()) cs[name] = value;
+  }
+  return snap;
+}
+
+}  // namespace xtsoc::cosim

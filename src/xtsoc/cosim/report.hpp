@@ -1,0 +1,39 @@
+// The one stats-reporting path of the co-simulation stack.
+//
+// Three stats structs grew up separately — hwsim::SimStats, cosim::BusStats,
+// noc::FabricStats — each with its own printing/JSON habits. The adapters
+// below render each of them as an obs::JsonValue, and
+// CoSimulation::report() assembles the adapters into one obs::Snapshot:
+//
+//   {
+//     "run":          { cycles, lookahead, window, threads, interconnect },
+//     "sim":          to_json(SimStats),
+//     "interconnect": to_json(BusStats) | to_json(FabricStats),
+//     "domains":      [ { name, dispatches, ops, queue_high_water }, ... ],
+//     "counters":     { ... }           // only when a Registry is attached
+//   }
+//
+// Every consumer (xtsocc --obs=snapshot, perf::export_noc_stats_json, the
+// tests) reads this document; nothing serializes a stats struct by hand
+// anymore.
+#pragma once
+
+#include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/hwsim/kernel.hpp"
+#include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/obs/json.hpp"
+#include "xtsoc/obs/snapshot.hpp"
+
+namespace xtsoc::cosim {
+
+/// { "delta_cycles": n, "process_activations": n, "wire_commits": n }
+obs::JsonValue to_json(const hwsim::SimStats& s);
+
+/// { "kind": "bus", "latency": n, "frames_to_hw": n, ... }
+obs::JsonValue to_json(const BusStats& s, int latency_cycles);
+
+/// { "kind": "noc", "mesh": {...}, "routers": [...], "links": [...],
+///   "latency": {...} } — the document export_noc_stats_json() ships.
+obs::JsonValue to_json(const noc::FabricStats& s);
+
+}  // namespace xtsoc::cosim

@@ -87,6 +87,13 @@ private:
   std::vector<Frame> inbox_;
   std::vector<Outbound> outbox_;
   std::size_t outbox_sent_ = 0;
+
+  // Observability (null members when no registry is attached; the track is
+  // shared with this domain's executor, "executor/sw").
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
+  obs::Counter* c_frames_in_ = nullptr;
+  obs::Counter* c_frames_out_ = nullptr;
 };
 
 }  // namespace xtsoc::cosim

@@ -12,10 +12,16 @@ thread_local Simulator::EvalSlot* Simulator::tls_slot_ = nullptr;
 
 Simulator::Simulator() = default;
 
-Simulator::Simulator(SimConfig config) : config_(config) {
+Simulator::Simulator(SimConfig config) : config_(config), obs_(config.obs) {
   if (config_.threads < 1) config_.threads = 1;
   if (config_.threads > 1) {
     pool_ = std::make_unique<WorkerPool>(config_.threads);
+  }
+  if (obs_ != nullptr) {
+    obs_track_ = obs_->track("kernel");
+    c_delta_cycles_ = obs_->counter("kernel.delta_cycles");
+    c_activations_ = obs_->counter("kernel.process_activations");
+    c_parallel_batches_ = obs_->counter("kernel.parallel_batches");
   }
 }
 
@@ -161,6 +167,8 @@ void Simulator::eval_batch_parallel() {
 }
 
 void Simulator::settle() {
+  if (runnable_.empty()) return;  // quiet instant: nothing to do, no span
+  OBS_SPAN(obs_, obs_track_, "settle");
   int deltas = 0;
   while (!runnable_.empty()) {
     if (++deltas > kDeltaLimit) {
@@ -168,6 +176,7 @@ void Simulator::settle() {
                      std::to_string(kDeltaLimit) + " deltas");
     }
     ++stats_.delta_cycles;
+    OBS_COUNT(c_delta_cycles_);
 
     // Run each triggered process once per delta. Dedup preserves trigger
     // order via epoch stamps — no per-delta allocation, unlike a fresh set.
@@ -185,8 +194,12 @@ void Simulator::settle() {
 
     if (pool_ && batch_.size() > 1) {
       stats_.process_activations += batch_.size();
+      OBS_COUNT_N(c_activations_, batch_.size());
+      OBS_COUNT(c_parallel_batches_);
+      OBS_SPAN(obs_, obs_track_, "parallel_batch");
       eval_batch_parallel();
     } else {
+      OBS_COUNT_N(c_activations_, batch_.size());
       for (ProcessId p : batch_) {
         ++stats_.process_activations;
         processes_[p.value()].fn(*this);

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "xtsoc/common/ids.hpp"
+#include "xtsoc/obs/registry.hpp"
 
 namespace xtsoc::hwsim {
 
@@ -61,6 +62,10 @@ struct SimConfig {
   /// pool of N workers (the calling thread counts as one) with a
   /// deterministic commit that is byte-identical to the serial kernel.
   int threads = 1;
+  /// Optional observability sink: settle/batch spans land on the "kernel"
+  /// track, delta/activation counters on "kernel.*". Never perturbs
+  /// simulation behaviour.
+  obs::Registry* obs = nullptr;
 };
 
 class Simulator {
@@ -192,6 +197,13 @@ private:
   std::uint64_t now_ = 0;
   bool initial_settle_done_ = false;
   SimStats stats_;
+
+  // Observability (null members when no registry is attached).
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
+  obs::Counter* c_delta_cycles_ = nullptr;
+  obs::Counter* c_activations_ = nullptr;
+  obs::Counter* c_parallel_batches_ = nullptr;
 
   // Reused per-delta scratch (no steady-state allocation).
   std::vector<ProcessId> batch_;           ///< deduplicated runnable batch

@@ -18,7 +18,14 @@ void LatencyHistogram::add(std::uint64_t latency) {
   ++count;
 }
 
-Fabric::Fabric(FabricConfig config) : config_(config) {
+Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
+  if (obs_ != nullptr) {
+    obs_track_ = obs_->track("noc");
+    c_frames_sent_ = obs_->counter("noc.frames_sent");
+    c_frames_delivered_ = obs_->counter("noc.frames_delivered");
+    c_flits_injected_ = obs_->counter("noc.flits_injected");
+    c_credit_stalls_ = obs_->counter("noc.credit_stalls");
+  }
   if (config_.width < 1 || config_.height < 1) {
     throw FabricError("mesh dimensions must be at least 1x1");
   }
@@ -127,6 +134,7 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
   }
   ++frames_sent_;
   payload_bytes_ += payload.size();
+  OBS_COUNT(c_frames_sent_);
 }
 
 void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
@@ -145,6 +153,10 @@ void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
     d.due_cycle = std::max(cycle, flit.min_due);
     latency_.add(cycle - flit.send_cycle);
     ++frames_delivered_;
+    OBS_COUNT(c_frames_delivered_);
+    if (obs_ != nullptr && obs_->tracing()) {
+      obs_->record_instant(obs_track_, "deliver", obs_->now_ns(), cycle);
+    }
     nic.ready.push_back(std::move(d));
     return;
   }
@@ -178,6 +190,10 @@ void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
     d.due_cycle = std::max(cycle, flit.min_due);
     latency_.add(cycle - flit.send_cycle);
     ++frames_delivered_;
+    OBS_COUNT(c_frames_delivered_);
+    if (obs_ != nullptr && obs_->tracing()) {
+      obs_->record_instant(obs_track_, "deliver", obs_->now_ns(), cycle);
+    }
     nic.ready.push_back(std::move(d));
     nic.partial.erase(it);
   }
@@ -205,6 +221,7 @@ void Fabric::tick(std::uint64_t cycle) {
     nic.tx.pop_front();
     --nic.inject_credits;
     ++flits_injected_;
+    OBS_COUNT(c_flits_injected_);
   }
 
   for (Router& r : routers_) r.note_occupancy();
@@ -234,7 +251,11 @@ void Fabric::tick(std::uint64_t cycle) {
         eject(t, std::move(f), cycle);
         continue;
       }
-      if (r.credits(out) <= 0) continue;  // backpressure: stall, keep order
+      if (r.credits(out) <= 0) {  // backpressure: stall, keep order
+        ++r.stats().credit_stalls;
+        OBS_COUNT(c_credit_stalls_);
+        continue;
+      }
       const int next = neighbor_of(t, out);
       // XY routing on validated destinations never points off the mesh.
       Flit f = std::move(r.input(static_cast<Port>(winner)).front());
@@ -263,6 +284,14 @@ void Fabric::tick(std::uint64_t cycle) {
       routers_[static_cast<std::size_t>(upstream)].return_credit(
           opposite(cr.input));
     }
+  }
+
+  // Sample link occupancy (flits on the wire) as a counter series — only
+  // on change, so an idle network adds no events.
+  if (obs_ != nullptr && obs_->tracing() && in_flight_.size() != last_in_flight_) {
+    last_in_flight_ = in_flight_.size();
+    obs_->record_value(obs_track_, "flits_in_flight", obs_->now_ns(),
+                       static_cast<double>(last_in_flight_));
   }
 }
 
@@ -331,15 +360,16 @@ std::string FabricStats::to_table() const {
     os << '\n';
   }
   os << std::left << std::setw(12) << "router" << std::right << std::setw(10)
-     << "routed" << std::setw(10) << "ejected" << std::setw(12) << "buf_peak"
-     << '\n';
+     << "routed" << std::setw(10) << "ejected" << std::setw(10) << "stalls"
+     << std::setw(12) << "buf_peak" << '\n';
   for (std::size_t t = 0; t < routers.size(); ++t) {
     std::ostringstream tile;
     tile << "(" << (t % static_cast<std::size_t>(width)) << ","
          << (t / static_cast<std::size_t>(width)) << ")";
     os << std::left << std::setw(12) << tile.str() << std::right
        << std::setw(10) << routers[t].flits_routed << std::setw(10)
-       << routers[t].flits_ejected << std::setw(12)
+       << routers[t].flits_ejected << std::setw(10)
+       << routers[t].credit_stalls << std::setw(12)
        << routers[t].buffer_high_water << '\n';
   }
   bool any_link = false;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "xtsoc/noc/router.hpp"
+#include "xtsoc/obs/registry.hpp"
 
 namespace xtsoc::noc {
 
@@ -41,6 +42,7 @@ struct FabricConfig {
   int link_latency = 1;     ///< cycles a flit spends on a router-to-router link
   int flit_payload_bytes = 4;  ///< link width: payload bytes per flit
   int fifo_depth = 4;       ///< per-input-port buffer depth (= credits)
+  obs::Registry* obs = nullptr;  ///< optional observability sink ("noc" track)
 };
 
 /// One reassembled frame, ready at a destination NIC.
@@ -170,6 +172,15 @@ private:
   std::uint64_t flits_injected_ = 0;
   std::uint64_t payload_bytes_ = 0;
   LatencyHistogram latency_;
+
+  // Observability (null members when no registry is attached).
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
+  obs::Counter* c_frames_sent_ = nullptr;
+  obs::Counter* c_frames_delivered_ = nullptr;
+  obs::Counter* c_flits_injected_ = nullptr;
+  obs::Counter* c_credit_stalls_ = nullptr;
+  std::size_t last_in_flight_ = 0;  ///< last sampled in-flight flit count
 };
 
 }  // namespace xtsoc::noc

@@ -35,6 +35,7 @@ Port opposite(Port p);
 struct RouterStats {
   std::uint64_t flits_routed = 0;     ///< flits forwarded through this router
   std::uint64_t flits_ejected = 0;    ///< flits delivered to the local NIC
+  std::uint64_t credit_stalls = 0;    ///< arbitration wins lost to empty credit
   std::size_t buffer_high_water = 0;  ///< max flits buffered at once (all ports)
 };
 

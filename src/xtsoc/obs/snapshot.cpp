@@ -1,0 +1,7 @@
+#include "xtsoc/obs/snapshot.hpp"
+
+namespace xtsoc::obs {
+
+void Snapshot::write(std::ostream& os) const { os << to_json(2) << '\n'; }
+
+}  // namespace xtsoc::obs

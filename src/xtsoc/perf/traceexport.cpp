@@ -1,58 +1,34 @@
 #include "xtsoc/perf/traceexport.hpp"
 
 #include <map>
-#include <sstream>
+
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/obs/json.hpp"
 
 namespace xtsoc::perf {
 
+using obs::JsonWriter;
 using runtime::InstanceHandle;
 using runtime::TraceEvent;
 using runtime::TraceKind;
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string export_chrome_trace(const runtime::Trace& trace,
                                 const xtuml::Domain& domain,
                                 const std::string& process_name, int pid) {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  auto emit = [&](const std::string& body) {
-    if (!first) os << ',';
-    first = false;
-    os << body;
-  };
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
 
   // Process metadata.
-  {
-    std::ostringstream e;
-    e << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-      << ",\"args\":{\"name\":\"" << json_escape(process_name) << "\"}}";
-    emit(e.str());
-  }
+  w.begin_object()
+      .field("name", "process_name")
+      .field("ph", "M")
+      .field("pid", pid)
+      .key("args")
+      .begin_object()
+      .field("name", process_name)
+      .end_object()
+      .end_object();
 
   // Thread (= instance) metadata, assigned on first appearance.
   std::map<InstanceHandle, int> tids;
@@ -65,11 +41,16 @@ std::string export_chrome_trace(const runtime::Trace& trace,
                            ? std::string("<external>")
                            : domain.cls(h.cls).name + "#" +
                                  std::to_string(h.index);
-    std::ostringstream e;
-    e << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
-      << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << json_escape(name)
-      << "\"}}";
-    emit(e.str());
+    w.begin_object()
+        .field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", pid)
+        .field("tid", tid)
+        .key("args")
+        .begin_object()
+        .field("name", name)
+        .end_object()
+        .end_object();
     return tid;
   };
 
@@ -77,95 +58,72 @@ std::string export_chrome_trace(const runtime::Trace& trace,
     switch (ev.kind) {
       case TraceKind::kDispatch: {
         const xtuml::ClassDef& cls = domain.cls(ev.subject.cls);
-        std::ostringstream e;
-        e << "{\"name\":\"" << json_escape(cls.event(ev.event).name)
-          << "\",\"cat\":\"dispatch\",\"ph\":\"X\",\"pid\":" << pid
-          << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick
-          << ",\"dur\":1,\"args\":{\"to_state\":\""
-          << json_escape(cls.state(ev.to_state).name) << "\"}}";
-        emit(e.str());
+        w.begin_object()
+            .field("name", cls.event(ev.event).name)
+            .field("cat", "dispatch")
+            .field("ph", "X")
+            .field("pid", pid)
+            .field("tid", tid_of(ev.subject))
+            .field("ts", ev.tick)
+            .field("dur", 1)
+            .key("args")
+            .begin_object()
+            .field("to_state", cls.state(ev.to_state).name)
+            .end_object()
+            .end_object();
         break;
       }
       case TraceKind::kSend: {
         const xtuml::ClassDef& cls = domain.cls(ev.subject.cls);
-        std::ostringstream e;
-        e << "{\"name\":\"send " << json_escape(cls.event(ev.event).name)
-          << "\",\"cat\":\"signal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
-          << ",\"tid\":" << tid_of(ev.peer) << ",\"ts\":" << ev.tick << "}";
-        emit(e.str());
+        w.begin_object()
+            .field("name", "send " + cls.event(ev.event).name)
+            .field("cat", "signal")
+            .field("ph", "i")
+            .field("s", "t")
+            .field("pid", pid)
+            .field("tid", tid_of(ev.peer))
+            .field("ts", ev.tick)
+            .end_object();
         break;
       }
       case TraceKind::kCreate:
       case TraceKind::kDelete: {
-        std::ostringstream e;
-        e << "{\"name\":\"" << to_string(ev.kind)
-          << "\",\"cat\":\"lifecycle\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
-          << pid << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick
-          << "}";
-        emit(e.str());
+        w.begin_object()
+            .field("name", to_string(ev.kind))
+            .field("cat", "lifecycle")
+            .field("ph", "i")
+            .field("s", "t")
+            .field("pid", pid)
+            .field("tid", tid_of(ev.subject))
+            .field("ts", ev.tick)
+            .end_object();
         break;
       }
       case TraceKind::kLog: {
-        std::ostringstream e;
-        e << "{\"name\":\"" << json_escape(ev.text)
-          << "\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
-          << ",\"tid\":" << tid_of(ev.subject) << ",\"ts\":" << ev.tick << "}";
-        emit(e.str());
+        w.begin_object()
+            .field("name", ev.text)
+            .field("cat", "log")
+            .field("ph", "i")
+            .field("s", "t")
+            .field("pid", pid)
+            .field("tid", tid_of(ev.subject))
+            .field("ts", ev.tick)
+            .end_object();
         break;
       }
       default:
         break;  // attr writes and ignored events stay out of the viewer
     }
   }
-  os << "]}";
-  return os.str();
+  w.end_array();
+  w.end_object();
+  return w.take();
 }
 
 std::string export_noc_stats_json(const noc::FabricStats& stats) {
-  std::ostringstream os;
-  os << "{\"mesh\":{\"width\":" << stats.width << ",\"height\":" << stats.height
-     << "},\"cycles\":" << stats.cycles
-     << ",\"frames_sent\":" << stats.frames_sent
-     << ",\"frames_delivered\":" << stats.frames_delivered
-     << ",\"flits_injected\":" << stats.flits_injected
-     << ",\"payload_bytes\":" << stats.payload_bytes;
-
-  os << ",\"routers\":[";
-  for (std::size_t i = 0; i < stats.routers.size(); ++i) {
-    const noc::RouterStats& r = stats.routers[i];
-    if (i != 0) os << ',';
-    os << "{\"tile\":" << i << ",\"x\":" << (stats.width == 0 ? 0 : static_cast<int>(i) % stats.width)
-       << ",\"y\":" << (stats.width == 0 ? 0 : static_cast<int>(i) / stats.width)
-       << ",\"flits_routed\":" << r.flits_routed
-       << ",\"flits_ejected\":" << r.flits_ejected
-       << ",\"buffer_high_water\":" << r.buffer_high_water << '}';
-  }
-  os << ']';
-
-  os << ",\"links\":[";
-  bool first_link = true;
-  for (const noc::LinkStats& l : stats.links) {
-    if (!first_link) os << ',';
-    first_link = false;
-    os << "{\"from_tile\":" << l.from_tile << ",\"dir\":\""
-       << noc::to_string(l.dir) << "\",\"flits\":" << l.flits
-       << ",\"utilization\":" << stats.link_utilization(l) << '}';
-  }
-  os << ']';
-
-  os << ",\"latency\":{\"count\":" << stats.latency.count
-     << ",\"mean\":" << stats.latency.mean() << ",\"min\":" << stats.latency.min
-     << ",\"max\":" << stats.latency.max << ",\"buckets\":[";
-  bool first_bucket = true;
-  for (int b = 0; b < noc::LatencyHistogram::kBuckets; ++b) {
-    if (stats.latency.buckets[static_cast<std::size_t>(b)] == 0) continue;
-    if (!first_bucket) os << ',';
-    first_bucket = false;
-    os << "{\"lo\":" << (1ULL << b) << ",\"count\":"
-       << stats.latency.buckets[static_cast<std::size_t>(b)] << '}';
-  }
-  os << "]}}";
-  return os.str();
+  // The stats document is assembled by the one cosim adapter; this function
+  // is now only the string-returning convenience around it.
+  return cosim::to_json(stats).dump();
 }
 
 }  // namespace xtsoc::perf

@@ -29,6 +29,7 @@
 
 #include "xtsoc/oal/bytecode.hpp"
 #include "xtsoc/oal/compiled.hpp"
+#include "xtsoc/obs/registry.hpp"
 #include "xtsoc/runtime/database.hpp"
 #include "xtsoc/runtime/interp.hpp"
 #include "xtsoc/runtime/trace.hpp"
@@ -64,6 +65,12 @@ struct ExecutorConfig {
   ActionEngine engine = ActionEngine::kAstWalk;
   bool trace_enabled = true;
   std::uint64_t max_ops_per_action = 10'000'000;
+  /// Optional observability sink. Dispatch spans ("Class.event", one per
+  /// run-to-completion block) land on `obs_track`; when the track is left
+  /// invalid a track named "executor" is created. Counters are named after
+  /// the track ("<track>.dispatches", "<track>.emits").
+  obs::Registry* obs = nullptr;
+  obs::TrackId obs_track;
 };
 
 class Executor : public Host {
@@ -228,6 +235,12 @@ private:
   std::size_t high_water_ = 0;
   /// Instance whose action is currently running (stamps `log` trace events).
   InstanceHandle current_;
+
+  // Observability (null members when no registry is attached).
+  obs::Registry* obs_ = nullptr;
+  obs::TrackId obs_track_;
+  obs::Counter* c_dispatches_ = nullptr;
+  obs::Counter* c_emits_ = nullptr;
 };
 
 }  // namespace xtsoc::runtime

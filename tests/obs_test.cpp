@@ -1,0 +1,510 @@
+// xtsoc::obs — the observability layer.
+//
+// Two halves. The unit half covers the JSON machinery (JsonWriter,
+// JsonValue) and the Registry (counters, tracks, spans, snapshot sections,
+// Chrome trace export). The integration half runs real co-simulations and
+// checks the layer's central contract: attaching a registry — even with
+// tracing on — leaves every observable simulation byte (executor traces,
+// VCD, cycle counts, SimStats) identical to a run with no registry, at
+// every thread count and window size; and when enabled, the counters and
+// spans describe the run truthfully.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_models.hpp"
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/hwsim/vcd.hpp"
+#include "xtsoc/obs/json.hpp"
+#include "xtsoc/obs/registry.hpp"
+#include "xtsoc/obs/snapshot.hpp"
+
+namespace xtsoc::obs {
+namespace {
+
+// --- JsonWriter ---------------------------------------------------------------
+
+TEST(JsonWriter, CompactObjectAndArray) {
+  JsonWriter w;
+  w.begin_object()
+      .field("a", 1)
+      .key("b")
+      .begin_array()
+      .value(true)
+      .null()
+      .value("x\"y")
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[true,null,\"x\\\"y\"]}");
+}
+
+TEST(JsonWriter, PrettyPrinting) {
+  JsonWriter w(/*indent=*/2);
+  w.begin_object().field("a", 1).key("b").begin_array().value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, EscapesControlCharactersAndSpecials) {
+  EXPECT_EQ(json_escape("say \"hi\"\nback\\slash"),
+            "say \\\"hi\\\"\\nback\\\\slash");
+  EXPECT_EQ(json_escape(std::string_view("\x01\t", 2)), "\\u0001\\t");
+}
+
+TEST(JsonWriter, NumberFormatting) {
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.0), "0");
+  // Non-finite values are not valid JSON; they degrade to null.
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+// --- JsonValue ----------------------------------------------------------------
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v["zeta"] = 1;
+  v["alpha"] = 2;
+  v["zeta"] = 3;  // update in place, no reorder
+  EXPECT_EQ(v.dump(), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(JsonValue, NullPromotesToObjectOrArray) {
+  JsonValue v;
+  v["key"] = "value";  // null -> object
+  EXPECT_TRUE(v.is_object());
+  JsonValue a;
+  a.push_back(1);  // null -> array
+  a.push_back("two");
+  EXPECT_TRUE(a.is_array());
+  EXPECT_EQ(a.dump(), "[1,\"two\"]");
+}
+
+TEST(JsonValue, NestedDumpMatchesWriter) {
+  JsonValue v = JsonValue::object();
+  v["run"] = JsonValue::object();
+  v["run"]["cycles"] = std::uint64_t{64};
+  v["list"].push_back(JsonValue::object());
+  EXPECT_EQ(v.dump(), "{\"run\":{\"cycles\":64},\"list\":[{}]}");
+  EXPECT_EQ(v.at("run").at("cycles").as_uint(), 64u);
+}
+
+// --- Registry -----------------------------------------------------------------
+
+TEST(Registry, CountersFindOrCreateWithStableAddresses) {
+  Registry reg;
+  Counter* a = reg.counter("x.total");
+  Counter* again = reg.counter("x.total");
+  EXPECT_EQ(a, again);
+  a->add();
+  a->add(41);
+  Counter* b = reg.counter("a.first");
+  b->add(7);
+  auto all = reg.counters();
+  ASSERT_EQ(all.size(), 2u);
+  // Name-sorted, independent of creation order.
+  EXPECT_EQ(all[0].first, "a.first");
+  EXPECT_EQ(all[0].second, 7u);
+  EXPECT_EQ(all[1].first, "x.total");
+  EXPECT_EQ(all[1].second, 42u);
+}
+
+TEST(Registry, TracksFindOrCreate) {
+  Registry reg;
+  TrackId t1 = reg.track("kernel");
+  TrackId t2 = reg.track("noc");
+  EXPECT_TRUE(t1.is_valid());
+  EXPECT_NE(t1.value, t2.value);
+  EXPECT_EQ(reg.track("kernel").value, t1.value);
+  EXPECT_EQ(reg.track_name(t2), "noc");
+  EXPECT_EQ(reg.track_count(), 2u);
+}
+
+TEST(Registry, EventCapacityDropsAreCounted) {
+  Registry reg;
+  TrackId t = reg.track("t");
+  reg.set_event_capacity(2);
+  reg.record_span(t, "a", 0, 10);
+  reg.record_span(t, "b", 10, 20);
+  reg.record_span(t, "c", 20, 30);
+  EXPECT_EQ(reg.event_count(), 2u);
+  EXPECT_EQ(reg.dropped_events(), 1u);
+}
+
+TEST(Registry, ScopedSpanRecordsOnlyWhenTracing) {
+  Registry reg;
+  TrackId t = reg.track("t");
+  {
+    ScopedSpan off(&reg, t, "ignored");
+    EXPECT_FALSE(off.active());
+  }
+  EXPECT_EQ(reg.event_count(), 0u);
+  reg.enable_tracing();
+  {
+    ScopedSpan outer(&reg, t, "outer");
+    EXPECT_TRUE(outer.active());
+    ScopedSpan inner(&reg, t, "inner");
+  }
+  EXPECT_EQ(reg.event_count(), 2u);
+  // Events are sorted by start time at export: outer opened first.
+  std::string j = reg.chrome_trace();
+  EXPECT_LT(j.find("\"name\":\"outer\""), j.find("\"name\":\"inner\""));
+}
+
+TEST(Registry, ChromeTraceNamesEveryTrackEvenWithoutEvents) {
+  Registry reg;
+  reg.track("busy");
+  reg.track("idle");  // never receives an event
+  reg.enable_tracing();
+  reg.record_span(reg.track("busy"), "work", 1000, 2000, /*cycle=*/7);
+  reg.record_instant(reg.track("busy"), "mark", 1500);
+  reg.record_value(reg.track("busy"), "depth", 1500, 3.0);
+  std::string j = reg.chrome_trace();
+  EXPECT_NE(j.find("\"name\":\"process_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"busy\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"idle\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"cycle\":7"), std::string::npos);
+  EXPECT_NE(j.find("\"traceEvents\":["), std::string::npos);
+  // Spans are microseconds in the viewer: 1000 ns = 1 us.
+  EXPECT_NE(j.find("\"ts\":1,"), std::string::npos);
+}
+
+TEST(Registry, SnapshotAssemblesSectionsThenCounters) {
+  Registry reg;
+  reg.counter("hits")->add(3);
+  reg.add_section("sim", [] {
+    JsonValue v = JsonValue::object();
+    v["delta_cycles"] = 12;
+    return v;
+  });
+  Snapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.at("sim").at("delta_cycles").as_int(), 12);
+  EXPECT_EQ(snap.at("counters").at("hits").as_uint(), 3u);
+  reg.remove_section("sim");
+  EXPECT_EQ(reg.snapshot().find("sim"), nullptr);
+}
+
+}  // namespace
+}  // namespace xtsoc::obs
+
+// --- integration: obs attached to a real co-simulation --------------------------
+
+namespace xtsoc::cosim {
+namespace {
+
+using runtime::InstanceHandle;
+using runtime::Value;
+using testing::MappedFixture;
+using testing::make_pipeline_domain;
+using xtuml::ScalarValue;
+
+marks::MarkSet hw_consumer_marks(int bus_latency) {
+  marks::MarkSet m;
+  m.mark_hardware("Consumer");
+  m.set_domain_mark(marks::kBusLatency,
+                    ScalarValue(static_cast<std::int64_t>(bus_latency)));
+  return m;
+}
+
+/// Software boss, three hardware workers on separate mesh tiles (the same
+/// shape cosim_test.cpp uses): real NoC traffic for the noc track/counters.
+std::unique_ptr<xtuml::Domain> make_fanout_domain() {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Fan");
+  b.cls("Boss", "BSS");
+  for (int i = 0; i < 3; ++i) b.cls("W" + std::to_string(i));
+  auto boss = b.edit("Boss");
+  boss.attr("acks", DataType::kInt)
+      .ref_attr("w0", "W0")
+      .ref_attr("w1", "W1")
+      .ref_attr("w2", "W2")
+      .event("go")
+      .event("done", {{"v", DataType::kInt}})
+      .state("Idle")
+      .state("Fanning",
+             "generate job(n: 1, who: self) to self.w0;\n"
+             "generate job(n: 2, who: self) to self.w1;\n"
+             "generate job(n: 3, who: self) to self.w2;")
+      .transition("Idle", "go", "Fanning")
+      .transition("Fanning", "go", "Fanning");
+  boss.state("Collect", "self.acks = self.acks + 1;")
+      .transition("Fanning", "done", "Collect")
+      .transition("Collect", "done", "Collect")
+      .transition("Collect", "go", "Fanning");
+  for (int i = 0; i < 3; ++i) {
+    b.edit("W" + std::to_string(i))
+        .attr("sum", DataType::kInt)
+        .event("job", {{"n", DataType::kInt}, b.ref_param("who", "Boss")})
+        .state("Work",
+               "self.sum = self.sum + param.n;\n"
+               "generate done(v: param.n) to param.who;")
+        .transition("Work", "job", "Work");
+  }
+  return b.take();
+}
+
+marks::MarkSet fanout_mesh_marks() {
+  marks::MarkSet m;
+  const int tiles[3][2] = {{1, 0}, {0, 1}, {1, 1}};  // sw owns (0,0)
+  for (int i = 0; i < 3; ++i) {
+    std::string cls = "W" + std::to_string(i);
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     ScalarValue(std::int64_t{tiles[i][0]}));
+    m.set_class_mark(cls, marks::kTileY,
+                     ScalarValue(std::int64_t{tiles[i][1]}));
+  }
+  m.set_domain_mark(marks::kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(marks::kMeshHeight, ScalarValue(std::int64_t{2}));
+  return m;
+}
+
+/// Every observable byte of one pipeline run.
+struct ObservedRun {
+  std::string hw_traces;
+  std::string sw_trace;
+  std::string vcd;
+  std::uint64_t cycles = 0;
+  hwsim::SimStats sim_stats;
+  std::vector<std::int64_t> attrs;
+};
+
+ObservedRun run_pipeline(int threads, int window, obs::Registry* reg) {
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(4));
+  CoSimConfig cfg;
+  cfg.threads = threads;
+  cfg.window = window;
+  cfg.obs = reg;
+  CoSimulation cosim(*fx.system, cfg);
+  auto consumer = cosim.create("Consumer");
+  auto producer = cosim.create_with("Producer", {{"sink", Value(consumer)}});
+  hwsim::VcdWriter vcd(cosim.hw_sim());
+  cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+  for (int i = 0; i < 4; ++i) {
+    cosim.inject(producer, "kick", {}, static_cast<std::uint64_t>(i));
+    cosim.run(2000);
+  }
+  ObservedRun r;
+  for (const auto& hw : cosim.hw_domains()) {
+    r.hw_traces += hw->executor().trace().to_string();
+  }
+  r.sw_trace = cosim.sw_executor().trace().to_string();
+  r.vcd = vcd.render();
+  r.cycles = cosim.cycles();
+  r.sim_stats = cosim.hw_sim().stats();
+  auto attr = [&](const InstanceHandle& h, const char* cls, const char* name) {
+    const auto* a = fx.domain->find_class(cls)->find_attribute(name);
+    return std::get<std::int64_t>(
+        cosim.executor_of(h.cls).database().get_attr(h, a->id));
+  };
+  r.attrs = {attr(producer, "Producer", "sent"),
+             attr(producer, "Producer", "acks"),
+             attr(consumer, "Consumer", "total")};
+  return r;
+}
+
+void expect_same(const ObservedRun& a, const ObservedRun& b,
+                 const std::string& what) {
+  EXPECT_EQ(a.hw_traces, b.hw_traces) << what;
+  EXPECT_EQ(a.sw_trace, b.sw_trace) << what;
+  EXPECT_EQ(a.vcd, b.vcd) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.sim_stats.delta_cycles, b.sim_stats.delta_cycles) << what;
+  EXPECT_EQ(a.sim_stats.process_activations, b.sim_stats.process_activations)
+      << what;
+  EXPECT_EQ(a.sim_stats.wire_commits, b.sim_stats.wire_commits) << what;
+  EXPECT_EQ(a.attrs, b.attrs) << what;
+}
+
+// The central contract: a registry — absent, attached, or attached with
+// tracing on — never perturbs simulation output, at any thread count.
+TEST(ObsCosim, RegistryNeverPerturbsSimulationAcrossThreadCounts) {
+  ObservedRun baseline = run_pipeline(1, 0, nullptr);
+  ASSERT_FALSE(baseline.hw_traces.empty());
+  for (int threads : {1, 2, 8}) {
+    ObservedRun bare = run_pipeline(threads, 0, nullptr);
+    expect_same(bare, baseline, "no registry, threads=" + std::to_string(threads));
+
+    obs::Registry quiet;
+    ObservedRun counted = run_pipeline(threads, 0, &quiet);
+    expect_same(counted, baseline,
+                "registry attached, threads=" + std::to_string(threads));
+
+    obs::Registry tracing;
+    tracing.enable_tracing();
+    ObservedRun traced = run_pipeline(threads, 0, &tracing);
+    expect_same(traced, baseline,
+                "tracing on, threads=" + std::to_string(threads));
+    EXPECT_GT(tracing.event_count(), 0u);
+  }
+}
+
+TEST(ObsCosim, RegistryNeverPerturbsSimulationAcrossWindowSizes) {
+  // run() may pad up to window-1 idle cycles past quiescence, so different
+  // window sizes are not comparable to each other — the contract under test
+  // is registry vs no-registry at the SAME window size.
+  for (int window : {1, 2, 4}) {
+    ObservedRun baseline = run_pipeline(2, window, nullptr);
+    obs::Registry reg;
+    reg.enable_tracing();
+    ObservedRun traced = run_pipeline(2, window, &reg);
+    expect_same(traced, baseline, "window=" + std::to_string(window));
+  }
+}
+
+TEST(ObsCosim, CounterTotalsMatchExecutorAndKernelStats) {
+  obs::Registry reg;
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(2));
+  CoSimConfig cfg;
+  cfg.obs = &reg;
+  CoSimulation cosim(*fx.system, cfg);
+  auto consumer = cosim.create("Consumer");
+  auto producer = cosim.create_with("Producer", {{"sink", Value(consumer)}});
+  for (int i = 0; i < 3; ++i) {
+    cosim.inject(producer, "kick");
+    cosim.run(2000);
+  }
+  auto counters = reg.counters();
+  auto value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_EQ(value("executor/sw.dispatches"),
+            cosim.sw_executor().dispatch_count());
+  EXPECT_EQ(value("executor/hw0.dispatches"),
+            cosim.hw_executor().dispatch_count());
+  EXPECT_EQ(value("kernel.delta_cycles"),
+            cosim.hw_sim().stats().delta_cycles);
+  EXPECT_EQ(value("kernel.process_activations"),
+            cosim.hw_sim().stats().process_activations);
+  // The pipeline crossed the boundary both ways.
+  EXPECT_GT(value("executor/hw0.frames_in"), 0u);
+  EXPECT_GT(value("executor/hw0.frames_out"), 0u);
+  EXPECT_GT(value("executor/sw.frames_in"), 0u);
+  EXPECT_GT(value("executor/sw.frames_out"), 0u);
+}
+
+TEST(ObsCosim, MeshRunProducesAllTracksAndNocCounters) {
+  obs::Registry reg;
+  reg.enable_tracing();
+  MappedFixture fx(make_fanout_domain(), fanout_mesh_marks());
+  CoSimConfig cfg;
+  cfg.obs = &reg;
+  CoSimulation cosim(*fx.system, cfg);
+  auto w0 = cosim.create("W0");
+  auto w1 = cosim.create("W1");
+  auto w2 = cosim.create("W2");
+  auto boss = cosim.create_with(
+      "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+  cosim.inject(boss, "go");
+  cosim.run(5000);
+
+  // The acceptance shape: >= 4 distinct tracks, one per layer.
+  std::string j = reg.chrome_trace();
+  for (const char* track : {"cosim", "kernel", "noc", "executor/hw0",
+                            "executor/hw1", "executor/hw2", "executor/sw"}) {
+    EXPECT_NE(j.find("\"name\":\"" + std::string(track) + "\""),
+              std::string::npos)
+        << track;
+  }
+  EXPECT_GE(reg.track_count(), 4u);
+
+  auto counters = reg.counters();
+  auto value = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return v;
+    }
+    return 0;
+  };
+  const noc::FabricStats stats = cosim.fabric().stats();
+  EXPECT_EQ(value("noc.frames_sent"), stats.frames_sent);
+  EXPECT_EQ(value("noc.frames_delivered"), stats.frames_delivered);
+  EXPECT_EQ(value("noc.flits_injected"), stats.flits_injected);
+  EXPECT_GT(stats.frames_delivered, 0u);
+
+  // Span nesting: per-cycle spans on the master track, kernel settles
+  // inside them; both present in the exported trace.
+  EXPECT_NE(j.find("\"name\":\"cycle\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"settle\""), std::string::npos);
+}
+
+TEST(ObsCosim, ReportCoversRunSimInterconnectAndDomains) {
+  // Bus mode, no registry: report works without obs and omits counters.
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(2));
+  CoSimulation cosim(*fx.system, {});
+  auto consumer = cosim.create("Consumer");
+  auto producer = cosim.create_with("Producer", {{"sink", Value(consumer)}});
+  cosim.inject(producer, "kick");
+  cosim.run(2000);
+
+  obs::Snapshot snap = cosim.report();
+  EXPECT_EQ(snap.at("run").at("cycles").as_uint(), cosim.cycles());
+  EXPECT_EQ(snap.at("run").at("interconnect").as_string(), "bus");
+  EXPECT_EQ(snap.at("sim").at("delta_cycles").as_uint(),
+            cosim.hw_sim().stats().delta_cycles);
+  EXPECT_EQ(snap.at("interconnect").at("kind").as_string(), "bus");
+  EXPECT_GT(snap.at("interconnect").at("frames_to_hw").as_uint(), 0u);
+  ASSERT_EQ(snap.at("domains").size(), 2u);  // hw0 + sw
+  EXPECT_EQ(snap.at("domains").at(0).at("name").as_string(), "hw0");
+  EXPECT_EQ(snap.at("domains").at(1).at("name").as_string(), "sw");
+  EXPECT_EQ(snap.find("counters"), nullptr);
+
+  // The document round-trips through the one JSON path.
+  std::string doc = snap.to_json(2);
+  EXPECT_NE(doc.find("\"run\": {"), std::string::npos);
+  std::ostringstream os;
+  snap.write(os);
+  EXPECT_EQ(os.str().back(), '\n');
+}
+
+TEST(ObsCosim, ReportOnMeshIncludesFabricSectionAndCounters) {
+  obs::Registry reg;
+  MappedFixture fx(make_fanout_domain(), fanout_mesh_marks());
+  CoSimConfig cfg;
+  cfg.obs = &reg;
+  CoSimulation cosim(*fx.system, cfg);
+  auto w0 = cosim.create("W0");
+  auto w1 = cosim.create("W1");
+  auto w2 = cosim.create("W2");
+  auto boss = cosim.create_with(
+      "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+  cosim.inject(boss, "go");
+  cosim.run(5000);
+
+  obs::Snapshot snap = cosim.report();
+  EXPECT_EQ(snap.at("run").at("interconnect").as_string(), "noc");
+  EXPECT_EQ(snap.at("interconnect").at("kind").as_string(), "noc");
+  EXPECT_EQ(snap.at("interconnect").at("mesh").at("width").as_int(), 2);
+  EXPECT_EQ(snap.at("interconnect").at("routers").size(), 4u);
+  EXPECT_GT(snap.at("interconnect").at("frames_delivered").as_uint(), 0u);
+  ASSERT_EQ(snap.at("domains").size(), 4u);  // hw0..hw2 + sw
+  // Counters ride along because a registry is attached.
+  EXPECT_GT(snap.at("counters").at("noc.frames_delivered").as_uint(), 0u);
+}
+
+TEST(ObsCosim, DeprecatedAccessorsAgreeWithReport) {
+  MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(2));
+  CoSimulation cosim(*fx.system, {});
+  auto consumer = cosim.create("Consumer");
+  auto producer = cosim.create_with("Producer", {{"sink", Value(consumer)}});
+  cosim.inject(producer, "kick");
+  cosim.run(2000);
+  obs::Snapshot snap = cosim.report();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(snap.at("sim").at("delta_cycles").as_uint(),
+            cosim.sim_stats().delta_cycles);
+  EXPECT_EQ(snap.at("interconnect").at("frames_to_hw").as_uint(),
+            cosim.bus_stats().frames_to_hw);
+#pragma GCC diagnostic pop
+}
+
+}  // namespace
+}  // namespace xtsoc::cosim

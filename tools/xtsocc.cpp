@@ -11,19 +11,31 @@
 //                       model/marks validity)
 //       --simulate FILE run a stimulus script against the abstract model
 //                       (exit status reflects its expectations)
-//       --on-cosim      run --simulate against the partitioned cosim instead
+//       --on-cosim      run against the partitioned cosim. With --simulate
+//                       the script drives it; without, a short bring-up run
+//                       (64 cycles, no stimulus) exercises the partitioned
+//                       system — useful with --obs-trace / --obs=snapshot
 //       --threads N     cosim worker threads for --on-cosim (default 1 =
 //                       serial; any N produces byte-identical results)
 //       --window N      cosim execution window in cycles for --on-cosim:
 //                       0 (default) = auto, the interconnect's full static
 //                       lookahead; 1 forces per-cycle lockstep; values above
 //                       the lookahead are clamped down (correctness bound)
-//       --noc-stats     after --on-cosim on a mesh-placed model (tileX/tileY
-//                       marks), print the NoC statistics table: per-router
-//                       flit counts, per-link utilization, buffer high-water
-//                       marks, frame latency histogram
-//       --summary       print the partition/interface summary (default on)
-//       --quiet         suppress the summary
+//       --obs LIST      comma-separated observability sections to print
+//                       (default: summary):
+//                         summary   partition/interface summary
+//                         noc       NoC statistics table (--on-cosim, mesh)
+//                         snapshot  full cosim stats report as JSON
+//                                   (--on-cosim; see docs/FORMAT.md)
+//                         counters  obs counter totals (--on-cosim)
+//                         none      print nothing (excludes all others)
+//       --obs-trace FILE  record a Chrome trace-event / Perfetto JSON of
+//                       the cosim run to FILE (--on-cosim; load in
+//                       ui.perfetto.dev or chrome://tracing)
+//       --noc-stats     deprecated alias for --obs=noc
+//       --summary       deprecated alias for --obs=summary (the default)
+//       --quiet         deprecated; use --obs=none or an --obs list
+//                       without 'summary'
 //   -h, --help          this text
 //
 // Exit status: 0 on success, 1 on invalid model/marks/usage.
@@ -33,11 +45,14 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "xtsoc/core/project.hpp"
 #include "xtsoc/core/stimulus.hpp"
+#include "xtsoc/obs/registry.hpp"
+#include "xtsoc/obs/snapshot.hpp"
 
 namespace fs = std::filesystem;
 using namespace xtsoc;
@@ -51,19 +66,74 @@ struct Options {
   bool c_only = false;
   bool vhdl_only = false;
   bool check_only = false;
-  bool summary = true;
   std::string simulate_path;
   bool on_cosim = false;
-  bool noc_stats = false;
   int threads = 1;
   int window = 0;
+
+  // --obs family, as parsed. Contradictions are diagnosed centrally in
+  // validate_options(), not at parse time.
+  bool obs_given = false;  ///< an explicit --obs LIST appeared
+  bool obs_none = false;
+  bool obs_summary = false;
+  bool obs_noc = false;
+  bool obs_snapshot = false;
+  bool obs_counters = false;
+  std::string obs_trace_path;
+
+  // Deprecated aliases, recorded separately so diagnostics can name the
+  // flag the user actually typed.
+  bool saw_summary_flag = false;
+  bool saw_quiet_flag = false;
+  bool saw_noc_stats_flag = false;
+  bool saw_threads_flag = false;
+  bool saw_window_flag = false;
+
+  // Effective settings, derived by validate_options().
+  bool print_summary = true;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
-               "[--vhdl-only] [--check] [--quiet] [--simulate FILE "
-               "[--on-cosim [--threads N] [--window N] [--noc-stats]]]\n");
+               "[--vhdl-only] [--check] [--obs LIST] [--simulate FILE] "
+               "[--on-cosim [--threads N] [--window N] [--obs-trace FILE]]\n"
+               "       --obs sections: summary,noc,snapshot,counters,none "
+               "(default: summary)\n");
+}
+
+void deprecated(const char* old_flag, const char* instead) {
+  std::fprintf(stderr, "xtsocc: warning: %s is deprecated; use %s\n", old_flag,
+               instead);
+}
+
+bool parse_obs_list(const std::string& list, Options* opt) {
+  std::size_t pos = 0;
+  opt->obs_given = true;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string tok = list.substr(pos, comma - pos);
+    if (tok == "summary") {
+      opt->obs_summary = true;
+    } else if (tok == "noc") {
+      opt->obs_noc = true;
+    } else if (tok == "snapshot") {
+      opt->obs_snapshot = true;
+    } else if (tok == "counters") {
+      opt->obs_counters = true;
+    } else if (tok == "none") {
+      opt->obs_none = true;
+    } else {
+      std::fprintf(stderr,
+                   "xtsocc: unknown --obs section '%s' (expected "
+                   "summary, noc, snapshot, counters or none)\n",
+                   tok.c_str());
+      return false;
+    }
+    pos = comma + 1;
+  }
+  return true;
 }
 
 bool parse_args(int argc, char** argv, Options* opt) {
@@ -99,6 +169,7 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (!v) return false;
       opt->threads = std::atoi(v);
+      opt->saw_threads_flag = true;
       if (opt->threads < 1) {
         std::fprintf(stderr, "xtsocc: --threads needs a positive integer\n");
         return false;
@@ -107,17 +178,44 @@ bool parse_args(int argc, char** argv, Options* opt) {
       const char* v = next();
       if (!v) return false;
       opt->window = std::atoi(v);
+      opt->saw_window_flag = true;
       if (opt->window < 0) {
         std::fprintf(stderr, "xtsocc: --window needs a non-negative integer "
                              "(0 = auto)\n");
         return false;
       }
+    } else if (a == "--obs" || a.rfind("--obs=", 0) == 0) {
+      std::string list;
+      if (a == "--obs") {
+        const char* v = next();
+        if (!v) return false;
+        list = v;
+      } else {
+        list = a.substr(std::strlen("--obs="));
+      }
+      if (!parse_obs_list(list, opt)) return false;
+    } else if (a == "--obs-trace" || a.rfind("--obs-trace=", 0) == 0) {
+      if (a == "--obs-trace") {
+        const char* v = next();
+        if (!v) return false;
+        opt->obs_trace_path = v;
+      } else {
+        opt->obs_trace_path = a.substr(std::strlen("--obs-trace="));
+      }
+      if (opt->obs_trace_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --obs-trace needs a file name\n");
+        return false;
+      }
     } else if (a == "--noc-stats") {
-      opt->noc_stats = true;
+      deprecated("--noc-stats", "--obs=noc");
+      opt->saw_noc_stats_flag = true;
+      opt->obs_noc = true;
     } else if (a == "--summary") {
-      opt->summary = true;
+      deprecated("--summary", "--obs=summary (the default)");
+      opt->saw_summary_flag = true;
     } else if (a == "--quiet") {
-      opt->summary = false;
+      deprecated("--quiet", "--obs=none, or an --obs list without 'summary'");
+      opt->saw_quiet_flag = true;
     } else if (!a.empty() && a[0] == '-') {
       std::fprintf(stderr, "xtsocc: unknown option '%s'\n", a.c_str());
       return false;
@@ -128,18 +226,60 @@ bool parse_args(int argc, char** argv, Options* opt) {
       return false;
     }
   }
-  if (opt->model_path.empty()) {
-    std::fprintf(stderr, "xtsocc: no model file given\n");
+  return true;
+}
+
+/// The one place flag combinations are checked. parse_args() only records
+/// what was typed; every cross-flag rule (and the derived effective
+/// settings) lives here, so contradictions get a diagnostic instead of a
+/// silent last-one-wins.
+bool validate_options(Options* opt) {
+  auto fail = [](const char* msg) {
+    std::fprintf(stderr, "xtsocc: %s\n", msg);
     return false;
-  }
+  };
+
+  if (opt->model_path.empty()) return fail("no model file given");
   if (opt->c_only && opt->vhdl_only) {
-    std::fprintf(stderr, "xtsocc: --c-only and --vhdl-only are exclusive\n");
-    return false;
+    return fail("--c-only and --vhdl-only are exclusive");
   }
-  if (opt->noc_stats && (opt->simulate_path.empty() || !opt->on_cosim)) {
-    std::fprintf(stderr,
-                 "xtsocc: --noc-stats requires --simulate FILE --on-cosim\n");
-    return false;
+  if (opt->check_only && !opt->simulate_path.empty()) {
+    return fail("--check contradicts --simulate (--check stops after "
+                "compile + map)");
+  }
+  if (opt->saw_quiet_flag && opt->saw_summary_flag) {
+    return fail("--quiet contradicts --summary");
+  }
+  if (opt->saw_quiet_flag && opt->obs_summary) {
+    return fail("--quiet contradicts --obs=summary");
+  }
+  if (opt->obs_none && (opt->obs_summary || opt->obs_noc ||
+                        opt->obs_snapshot || opt->obs_counters)) {
+    return fail("--obs=none excludes every other --obs section");
+  }
+  if (!opt->on_cosim) {
+    if (opt->obs_noc) {
+      return fail(opt->saw_noc_stats_flag
+                      ? "--noc-stats requires --on-cosim"
+                      : "--obs=noc requires --on-cosim");
+    }
+    if (opt->obs_snapshot) return fail("--obs=snapshot requires --on-cosim");
+    if (opt->obs_counters) return fail("--obs=counters requires --on-cosim");
+    if (!opt->obs_trace_path.empty()) {
+      return fail("--obs-trace requires --on-cosim");
+    }
+    if (opt->saw_threads_flag) return fail("--threads requires --on-cosim");
+    if (opt->saw_window_flag) return fail("--window requires --on-cosim");
+  }
+
+  // Effective summary setting: an explicit --obs list is authoritative;
+  // otherwise the deprecated aliases adjust the on-by-default summary.
+  if (opt->obs_none) {
+    opt->print_summary = false;
+  } else if (opt->obs_given) {
+    opt->print_summary = opt->obs_summary;
+  } else {
+    opt->print_summary = !opt->saw_quiet_flag;
   }
   return true;
 }
@@ -153,11 +293,34 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
+/// Print the requested --obs sections for a finished co-simulation.
+void emit_obs_reports(const cosim::CoSimulation& cs, const Options& opt,
+                      const obs::Registry* reg) {
+  if (opt.obs_noc) {
+    if (!cs.has_fabric()) {
+      std::printf(
+          "(no NoC: model has no tileX/tileY marks, legacy bus "
+          "interconnect used)\n");
+    } else {
+      std::printf("%s", cs.fabric().stats().to_table().c_str());
+    }
+  }
+  if (opt.obs_snapshot) {
+    std::printf("%s\n", cs.report().to_json(2).c_str());
+  }
+  if (opt.obs_counters && reg != nullptr) {
+    for (const auto& [name, value] : reg->counters()) {
+      std::printf("%-40s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse_args(argc, argv, &opt)) {
+  if (!parse_args(argc, argv, &opt) || !validate_options(&opt)) {
     usage(stderr);
     return 1;
   }
@@ -188,39 +351,71 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (opt.summary) std::printf("%s", project->summary().c_str());
+  if (opt.print_summary) std::printf("%s", project->summary().c_str());
   if (opt.check_only) return 0;
 
-  if (!opt.simulate_path.empty()) {
-    std::string script;
-    if (!read_file(opt.simulate_path, &script)) {
-      std::fprintf(stderr, "xtsocc: cannot read script '%s'\n",
-                   opt.simulate_path.c_str());
-      return 1;
+  if (!opt.simulate_path.empty() || opt.on_cosim) {
+    // The registry exists only when something will read it; tracing is
+    // armed only for --obs-trace. With neither, cfg.obs stays null and
+    // every probe in the stack is a dead null-check.
+    std::unique_ptr<obs::Registry> reg;
+    if (!opt.obs_trace_path.empty() || opt.obs_snapshot || opt.obs_counters) {
+      reg = std::make_unique<obs::Registry>();
+      if (!opt.obs_trace_path.empty()) reg->enable_tracing(true);
     }
-    std::ostringstream out;
-    core::StimulusResult r;
-    if (opt.on_cosim) {
-      cosim::CoSimConfig cfg;
-      cfg.threads = opt.threads;
-      cfg.window = opt.window;
-      r = core::run_stimulus_cosim(
-          *project, script, out, cfg,
-          [&opt](const cosim::CoSimulation& cs) {
-            if (!opt.noc_stats) return;
-            if (!cs.has_fabric()) {
-              std::printf(
-                  "(no NoC: model has no tileX/tileY marks, legacy bus "
-                  "interconnect used)\n");
-              return;
-            }
-            std::printf("%s", cs.fabric().stats().to_table().c_str());
-          });
+    cosim::CoSimConfig cfg;
+    cfg.threads = opt.threads;
+    cfg.window = opt.window;
+    cfg.obs = reg.get();
+
+    int status = 0;
+    if (!opt.simulate_path.empty()) {
+      std::string script;
+      if (!read_file(opt.simulate_path, &script)) {
+        std::fprintf(stderr, "xtsocc: cannot read script '%s'\n",
+                     opt.simulate_path.c_str());
+        return 1;
+      }
+      std::ostringstream out;
+      core::StimulusResult r;
+      if (opt.on_cosim) {
+        r = core::run_stimulus_cosim(
+            *project, script, out, cfg,
+            [&](const cosim::CoSimulation& cs) {
+              emit_obs_reports(cs, opt, reg.get());
+            });
+      } else {
+        r = core::run_stimulus(*project, script, out);
+      }
+      std::printf("%s%s\n", out.str().c_str(), r.to_string().c_str());
+      status = r.ok ? 0 : 1;
     } else {
-      r = core::run_stimulus(*project, script, out);
+      // --on-cosim without --simulate: a stimulus-free bring-up run. The
+      // partitioned system is built and clocked for a fixed 64 cycles so
+      // the observability surfaces (--obs-trace, --obs=snapshot/counters)
+      // have a real run to describe.
+      auto cs = project->make_cosim(cfg);
+      cs->run_cycles(64);
+      std::printf("cosim bring-up: %llu cycles, threads=%d, window=%d, "
+                  "interconnect=%s\n",
+                  static_cast<unsigned long long>(cs->cycles()), opt.threads,
+                  cs->window(), cs->has_fabric() ? "noc" : "bus");
+      emit_obs_reports(*cs, opt, reg.get());
     }
-    std::printf("%s%s\n", out.str().c_str(), r.to_string().c_str());
-    return r.ok ? 0 : 1;
+
+    if (!opt.obs_trace_path.empty()) {
+      std::ofstream os(opt.obs_trace_path, std::ios::binary);
+      if (!os) {
+        std::fprintf(stderr, "xtsocc: cannot write trace '%s'\n",
+                     opt.obs_trace_path.c_str());
+        return 1;
+      }
+      reg->write_chrome_trace(os);
+      os << '\n';
+      std::printf("wrote %s (%llu trace events)\n", opt.obs_trace_path.c_str(),
+                  static_cast<unsigned long long>(reg->event_count()));
+    }
+    return status;
   }
 
   codegen::Output out;
