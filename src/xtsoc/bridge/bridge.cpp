@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "xtsoc/fault/fault.hpp"
+
 namespace xtsoc::bridge {
 
 using runtime::EventMessage;
@@ -94,8 +96,9 @@ bool SystemDef::validate(DiagnosticSink& sink) const {
 }
 
 SystemExecutor::SystemExecutor(const SystemDef& def,
-                               runtime::ExecutorConfig config)
-    : wires_(def.wires()) {
+                               runtime::ExecutorConfig config,
+                               fault::Plan* fault)
+    : wires_(def.wires()), fault_(fault) {
   DiagnosticSink sink;
   if (!def.validate(sink)) {
     throw std::invalid_argument("invalid system: " + sink.to_string());
@@ -161,7 +164,8 @@ bool SystemExecutor::route(std::size_t from_domain, const EventMessage& m) {
   const xtuml::ClassDef& proxy_cls = from.compiled->domain().cls(m.target.cls);
   const std::string& from_event = proxy_cls.event(m.event).name;
 
-  for (const Wire& w : wires_) {
+  for (std::size_t wi = 0; wi < wires_.size(); ++wi) {
+    const Wire& w = wires_[wi];
     if (w.from_domain != from.name || w.proxy_class != proxy_cls.name ||
         w.from_event != from_event) {
       continue;
@@ -186,7 +190,11 @@ bool SystemExecutor::route(std::size_t from_domain, const EventMessage& m) {
     out.args = m.args;  // positional, validated at system build
     out.sender = InstanceHandle::null();
     out.deliver_at = 0;  // bridges are immediate; delay does not cross
-    pending_.push_back({to_idx, std::move(out)});
+    PendingForward pf;
+    pf.to_domain = to_idx;
+    pf.message = std::move(out);
+    pf.wire = static_cast<std::uint32_t>(wi);
+    pending_.push_back(std::move(pf));
     ++forwarded_;
     return true;
   }
@@ -212,10 +220,30 @@ std::size_t SystemExecutor::run_all(std::size_t max_rounds) {
       if (drained()) return dispatched;
       continue;
     }
-    // Carry bridged signals across, preserving FIFO order.
+    // Carry bridged signals across, preserving FIFO order. With a fault
+    // plan attached each carry can fail; failures reschedule the signal a
+    // few rounds out (exponential backoff) until the retry budget runs
+    // out, at which point the forward is dropped and counted — the round
+    // loop itself always makes progress.
     std::vector<PendingForward> batch;
     batch.swap(pending_);
     for (PendingForward& p : batch) {
+      if (p.not_before_round > round) {  // still backing off
+        pending_.push_back(std::move(p));
+        continue;
+      }
+      if (fault_ != nullptr &&
+          fault_->bridge_error(p.wire, static_cast<std::uint64_t>(round))) {
+        ++p.attempts;
+        if (p.attempts > fault_->spec().retry_budget) {
+          ++dropped_forwards_;
+          continue;
+        }
+        ++retried_forwards_;
+        p.not_before_round = round + (1ULL << p.attempts);
+        pending_.push_back(std::move(p));
+        continue;
+      }
       EventMessage m = std::move(p.message);
       m.deliver_at = domains_[p.to_domain].exec->now();
       domains_[p.to_domain].exec->deliver_remote(std::move(m));

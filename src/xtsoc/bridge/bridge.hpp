@@ -26,6 +26,10 @@
 #include "xtsoc/common/diagnostics.hpp"
 #include "xtsoc/runtime/executor.hpp"
 
+namespace xtsoc::fault {
+class Plan;
+}
+
 namespace xtsoc::bridge {
 
 /// A directed event forwarding rule between two domains.
@@ -66,9 +70,15 @@ private:
 /// Executes a validated multi-domain system.
 class SystemExecutor {
 public:
-  /// Throws std::invalid_argument if `def` does not validate.
+  /// Throws std::invalid_argument if `def` does not validate. An optional
+  /// fault plan (src/xtsoc/fault) makes each carry attempt fallible at the
+  /// plan's busError rate; a failed carry is retried on a later round with
+  /// exponential backoff until the plan's retry budget runs out, then
+  /// counted in dropped_forward_count() — delivery degrades, run_all never
+  /// wedges.
   explicit SystemExecutor(const SystemDef& def,
-                          runtime::ExecutorConfig config = {});
+                          runtime::ExecutorConfig config = {},
+                          fault::Plan* fault = nullptr);
 
   runtime::Executor& domain(std::string_view name);
 
@@ -85,6 +95,11 @@ public:
 
   bool drained() const;
   std::uint64_t forwarded_count() const { return forwarded_; }
+  /// Carries that failed once and were rescheduled with backoff.
+  std::uint64_t retried_forward_count() const { return retried_forwards_; }
+  /// Carries abandoned after the retry budget — the bridge's reported,
+  /// bounded failure mode.
+  std::uint64_t dropped_forward_count() const { return dropped_forwards_; }
 
 private:
   struct DomainRt {
@@ -95,6 +110,9 @@ private:
   struct PendingForward {
     std::size_t to_domain;
     runtime::EventMessage message;
+    std::uint32_t wire = 0;              ///< index into wires_ (fault site)
+    int attempts = 0;                    ///< failed carry attempts so far
+    std::size_t not_before_round = 0;    ///< backoff: earliest retry round
   };
 
   DomainRt& rt(std::string_view name);
@@ -109,6 +127,9 @@ private:
            std::pair<std::size_t, runtime::InstanceHandle>> bindings_;
   std::vector<PendingForward> pending_;
   std::uint64_t forwarded_ = 0;
+  fault::Plan* fault_ = nullptr;
+  std::uint64_t retried_forwards_ = 0;
+  std::uint64_t dropped_forwards_ = 0;
 };
 
 }  // namespace xtsoc::bridge

@@ -1,5 +1,7 @@
 #include "xtsoc/cosim/bus.hpp"
 
+#include "xtsoc/fault/fault.hpp"
+
 namespace xtsoc::cosim {
 
 void Bus::connect(const std::string& hw_digest, const std::string& sw_digest) {
@@ -18,10 +20,33 @@ void Bus::check_connected() const {
   }
 }
 
+std::optional<std::uint64_t> Bus::transfer_penalty(std::uint32_t endpoint,
+                                                   std::uint64_t cycle) {
+  if (fault_ == nullptr) return 0;
+  // Each failed attempt re-arbitrates the bus: one more latency, plus a
+  // widening backoff. The retry budget bounds the loop — a hostile plan
+  // (busError = 1.0) produces counted drops, never an infinite push.
+  std::uint64_t penalty = 0;
+  const int budget = fault_->spec().retry_budget;
+  for (int attempt = 0; fault_->bus_error(endpoint, cycle); ++attempt) {
+    ++fstats_.errors;
+    if (attempt >= budget) return std::nullopt;
+    ++fstats_.retries;
+    penalty += static_cast<std::uint64_t>(latency_) + (1ULL << attempt);
+  }
+  return penalty;
+}
+
 void Bus::push_to_hw(Frame f, std::uint64_t current_cycle,
                      std::uint64_t extra_delay) {
   check_connected();
-  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) + extra_delay;
+  const auto penalty = transfer_penalty(0, current_cycle);
+  if (!penalty) {
+    ++fstats_.frames_dropped;
+    return;
+  }
+  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) +
+                extra_delay + *penalty;
   stats_.frames_to_hw++;
   stats_.bytes_to_hw += f.payload.size();
   to_hw_.push_back(std::move(f));
@@ -30,7 +55,13 @@ void Bus::push_to_hw(Frame f, std::uint64_t current_cycle,
 void Bus::push_to_sw(Frame f, std::uint64_t current_cycle,
                      std::uint64_t extra_delay) {
   check_connected();
-  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) + extra_delay;
+  const auto penalty = transfer_penalty(1, current_cycle);
+  if (!penalty) {
+    ++fstats_.frames_dropped;
+    return;
+  }
+  f.due_cycle = current_cycle + static_cast<std::uint64_t>(latency_) +
+                extra_delay + *penalty;
   stats_.frames_to_sw++;
   stats_.bytes_to_sw += f.payload.size();
   to_sw_.push_back(std::move(f));

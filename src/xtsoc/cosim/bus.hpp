@@ -11,9 +11,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+namespace xtsoc::fault {
+class Plan;
+}
 
 namespace xtsoc::cosim {
 
@@ -36,6 +41,16 @@ struct BusStats {
   std::uint64_t frames_to_sw = 0;
   std::uint64_t bytes_to_hw = 0;
   std::uint64_t bytes_to_sw = 0;
+};
+
+/// Injected transfer errors and the bus's answer to them. A failed attempt
+/// is retried with linear backoff (each retry re-arbitrates the bus, so it
+/// costs another latency plus a widening penalty); a frame that exhausts
+/// the retry budget is dropped and counted — never silently wedged.
+struct BusFaultStats {
+  std::uint64_t errors = 0;          ///< injected transfer failures
+  std::uint64_t retries = 0;         ///< re-arbitrated attempts
+  std::uint64_t frames_dropped = 0;  ///< budget exhausted
 };
 
 class Bus {
@@ -63,15 +78,27 @@ public:
   int latency() const { return latency_; }
   const BusStats& stats() const { return stats_; }
 
+  /// Attach a fault plan (src/xtsoc/fault). Null, or a plan with
+  /// busError = 0, leaves every push byte-identical to the plain bus.
+  void set_fault(fault::Plan* plan) { fault_ = plan; }
+  const BusFaultStats& fault_stats() const { return fstats_; }
+
 private:
   static std::vector<Frame> pop_due(std::deque<Frame>& q, std::uint64_t cycle);
   void check_connected() const;
+  /// Run the injected-error retry loop for one push toward `endpoint`
+  /// (0 = hw, 1 = sw). Returns the extra delay the retries cost, or
+  /// nullopt when the retry budget ran out and the frame must drop.
+  std::optional<std::uint64_t> transfer_penalty(std::uint32_t endpoint,
+                                                std::uint64_t cycle);
 
   int latency_;
   bool connected_ = false;
   std::deque<Frame> to_hw_;
   std::deque<Frame> to_sw_;
   BusStats stats_;
+  fault::Plan* fault_ = nullptr;
+  BusFaultStats fstats_;
 };
 
 }  // namespace xtsoc::cosim

@@ -60,6 +60,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     fcfg.flit_payload_bytes = mesh.flit_bytes;
     fcfg.fifo_depth = mesh.fifo_depth;
     fcfg.obs = config_.obs;
+    fcfg.fault = config_.fault;
     fabric_ = std::make_unique<noc::Fabric>(fcfg);
 
     if (hw_digest != sw_digest) {
@@ -94,6 +95,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     // Bus mode: the 1x2 degenerate topology, byte-identical to the
     // pre-mesh behavior.
     bus_ = std::make_unique<Bus>(sys.bus_latency());
+    bus_->set_fault(config_.fault);
     auto hw_chan =
         std::make_unique<BusEndpoint>(*bus_, BusEndpoint::Side::kHardware);
     auto sw_chan =

@@ -101,6 +101,12 @@ struct CoSimConfig {
   /// and the mesh "noc". Null (default) leaves every probe a dead test —
   /// simulation output is byte-identical either way.
   obs::Registry* obs = nullptr;
+  /// Optional fault plan (src/xtsoc/fault), threaded into the interconnect
+  /// (mesh fabric or point-to-point bus). The plan is stateful and serves
+  /// exactly one CoSimulation run; campaign runs each build their own.
+  /// Null (default) — or a plan whose rates are all zero — keeps the run
+  /// byte-identical to a fault-free one.
+  fault::Plan* fault = nullptr;
 };
 
 class CoSimulation {

@@ -126,7 +126,67 @@ obs::Snapshot CoSimulation::report() const {
     cs = JsonValue::object();
     for (const auto& [name, value] : obs_->counters()) cs[name] = value;
   }
+
+  // The faults section exists only when a plan is attached, so a fault-free
+  // run's snapshot is byte-identical to one from a build without faults.
+  if (config_.fault != nullptr) {
+    JsonValue& f = snap["faults"];
+    f = JsonValue::object();
+    f["seed"] = config_.fault->spec().seed;
+    if (has_fabric()) {
+      f["noc"] = to_json(fabric_->fault_stats());
+    } else {
+      f["bus"] = to_json(bus_->fault_stats());
+    }
+  }
   return snap;
+}
+
+JsonValue to_json(const noc::FabricFaultStats& s) {
+  JsonValue v = JsonValue::object();
+  v["flits_dropped"] = s.flits_dropped;
+  v["flits_corrupted"] = s.flits_corrupted;
+  v["link_down_events"] = s.link_down_events;
+  v["link_down_drops"] = s.link_down_drops;
+  v["crc_rejects"] = s.crc_rejects;
+  v["orphan_flits"] = s.orphan_flits;
+  v["retransmissions"] = s.retransmissions;
+  v["duplicates_dropped"] = s.duplicates_dropped;
+  v["acks_delivered"] = s.acks_delivered;
+  v["frames_lost"] = s.frames_lost;
+  v["tainted_delivered"] = s.tainted_delivered;
+  return v;
+}
+
+JsonValue to_json(const BusFaultStats& s) {
+  JsonValue v = JsonValue::object();
+  v["errors"] = s.errors;
+  v["retries"] = s.retries;
+  v["frames_dropped"] = s.frames_dropped;
+  return v;
+}
+
+fault::RunOutcome outcome_of(const CoSimulation& cs, const fault::Plan& plan) {
+  fault::RunOutcome o;
+  o.seed = plan.spec().seed;
+  o.cycles = cs.cycles();
+  if (cs.has_fabric()) {
+    const noc::FabricFaultStats& f = cs.fabric().fault_stats();
+    const noc::FabricStats s = cs.fabric().stats();
+    o.delivered = s.frames_delivered;
+    o.dropped = f.frames_lost;
+    o.retried = f.retransmissions;
+    o.injected = f.flits_dropped + f.flits_corrupted + f.link_down_events;
+  } else {
+    const BusFaultStats& f = cs.bus().fault_stats();
+    const BusStats& s = cs.bus().stats();
+    o.delivered = s.frames_to_hw + s.frames_to_sw;
+    o.dropped = f.frames_dropped;
+    o.retried = f.retries;
+    o.injected = f.errors;
+  }
+  o.survived = o.dropped == 0;
+  return o;
 }
 
 }  // namespace xtsoc::cosim

@@ -19,12 +19,15 @@
 #pragma once
 
 #include "xtsoc/cosim/bus.hpp"
+#include "xtsoc/fault/campaign.hpp"
 #include "xtsoc/hwsim/kernel.hpp"
 #include "xtsoc/noc/fabric.hpp"
 #include "xtsoc/obs/json.hpp"
 #include "xtsoc/obs/snapshot.hpp"
 
 namespace xtsoc::cosim {
+
+class CoSimulation;
 
 /// { "delta_cycles": n, "process_activations": n, "wire_commits": n }
 obs::JsonValue to_json(const hwsim::SimStats& s);
@@ -35,5 +38,17 @@ obs::JsonValue to_json(const BusStats& s, int latency_cycles);
 /// { "kind": "noc", "mesh": {...}, "routers": [...], "links": [...],
 ///   "latency": {...} } — the document export_noc_stats_json() ships.
 obs::JsonValue to_json(const noc::FabricStats& s);
+
+/// { "flits_dropped": n, "crc_rejects": n, ... } — the NoC half of the
+/// snapshot's "faults" section (emitted only when a plan is attached).
+obs::JsonValue to_json(const noc::FabricFaultStats& s);
+
+/// { "errors": n, "retries": n, "frames_dropped": n } — the bus half.
+obs::JsonValue to_json(const BusFaultStats& s);
+
+/// Summarize one co-simulation run under `plan` as a campaign row:
+/// delivered/dropped/retried/injected counts from whichever interconnect
+/// the mapping chose, survival = nothing was lost anywhere.
+fault::RunOutcome outcome_of(const CoSimulation& cs, const fault::Plan& plan);
 
 }  // namespace xtsoc::cosim

@@ -1,0 +1,117 @@
+#include "xtsoc/fault/campaign.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+
+#include "xtsoc/hwsim/pool.hpp"
+
+namespace xtsoc::fault {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::size_t CampaignResult::survivors() const {
+  std::size_t n = 0;
+  for (const RunOutcome& r : runs) n += r.survived ? 1 : 0;
+  return n;
+}
+
+obs::Snapshot CampaignResult::to_snapshot() const {
+  obs::JsonValue root = obs::JsonValue::object();
+  std::uint64_t delivered = 0, dropped = 0, retried = 0, injected = 0,
+                cycles = 0;
+  obs::JsonValue rows = obs::JsonValue::array();
+  for (const RunOutcome& r : runs) {
+    delivered += r.delivered;
+    dropped += r.dropped;
+    retried += r.retried;
+    injected += r.injected;
+    cycles += r.cycles;
+    obs::JsonValue row = obs::JsonValue::object();
+    row["seed"] = r.seed;
+    row["cycles"] = r.cycles;
+    row["delivered"] = r.delivered;
+    row["dropped"] = r.dropped;
+    row["retried"] = r.retried;
+    row["injected"] = r.injected;
+    row["survived"] = r.survived;
+    rows.push_back(std::move(row));
+  }
+  obs::JsonValue& c = root["campaign"];
+  c["runs"] = static_cast<std::uint64_t>(runs.size());
+  c["base_seed"] = base_seed;
+  c["survivors"] = static_cast<std::uint64_t>(survivors());
+  c["survival_rate"] =
+      runs.empty() ? 1.0
+                   : static_cast<double>(survivors()) /
+                         static_cast<double>(runs.size());
+  obs::JsonValue& t = c["totals"];
+  t["delivered"] = delivered;
+  t["dropped"] = dropped;
+  t["retried"] = retried;
+  t["injected"] = injected;
+  t["cycles"] = cycles;
+  root["runs"] = std::move(rows);
+  return obs::Snapshot(std::move(root));
+}
+
+Campaign::Campaign(FaultSpec base, int runs, int threads)
+    : base_(base), runs_(runs > 0 ? runs : 0),
+      threads_(threads > 0 ? threads : 1) {}
+
+std::uint64_t Campaign::seed_for(std::uint64_t base_seed, int index) {
+  // Hash, don't increment: faultSeed N and N+1 must not share run seeds.
+  std::uint64_t s =
+      splitmix64(base_seed ^
+                 (0xc2b2ae3d27d4eb4fULL * (static_cast<std::uint64_t>(index) + 1)));
+  return s == 0 ? 1 : s;
+}
+
+CampaignResult Campaign::run(
+    const std::function<RunOutcome(int index, std::uint64_t seed)>& one) const {
+  CampaignResult result;
+  result.base_seed = base_.seed;
+  result.runs.resize(static_cast<std::size_t>(runs_));
+  if (runs_ == 0) return result;
+
+  // Same fan-out idiom as the windowed scheduler's phase A: a shared
+  // atomic cursor hands out run indices, outcomes land at their index (so
+  // aggregation order is fixed regardless of who ran what), and the
+  // lowest-index failure wins when runs throw.
+  std::vector<std::exception_ptr> errors(result.runs.size());
+  std::atomic<int> cursor{0};
+  const int total = runs_;
+  auto job = [&] {
+    for (;;) {
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) break;
+      try {
+        result.runs[static_cast<std::size_t>(i)] =
+            one(i, seed_for(base_.seed, i));
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    }
+  };
+  if (threads_ == 1) {
+    job();
+  } else {
+    hwsim::WorkerPool pool(threads_);
+    pool.run(job);
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return result;
+}
+
+}  // namespace xtsoc::fault

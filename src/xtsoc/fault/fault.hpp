@@ -1,0 +1,143 @@
+// xtsoc::fault — mark-driven deterministic fault injection.
+//
+// The paper's thesis is that every platform decision lives in the marks,
+// not the model; fault behaviour is no exception. A FaultSpec is read
+// straight from domain-scope marks (faultSeed, faultRate.*, faultWindow —
+// the sticky notes of a failure scenario) and compiled into a Plan: one
+// xorshift64* PRNG stream per injection site (a mesh link, a bus
+// endpoint, a bridge wire), all derived from the single seed. Because
+// every transport consults its stream at a point that executes in the
+// same serial order at every `threads`/`window` setting (the fabric tick,
+// the serial outbox flush, the bridge carry loop), an identical plan and
+// seed reproduce the exact same faults cycle for cycle — the same
+// determinism contract the windowed scheduler already honours (PRs 2-3).
+//
+// The Plan only *decides*; the transports (noc::Fabric, cosim::Bus,
+// bridge::SystemExecutor) inject and count. A null Plan pointer leaves
+// every hook a dead null-test, so the fault-free path stays byte-identical
+// to a build that never heard of faults (CI gates the overhead at <= 2%,
+// same as the obs probes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "xtsoc/marks/marks.hpp"
+
+namespace xtsoc::fault {
+
+/// Mark keys (domain scope; the canonical definitions live with the other
+/// platform keys in marks.hpp, where marks::validate checks them). Rates
+/// are per-decision-point probabilities in [0, 1]: flitDrop/flitCorrupt
+/// per flit per link traversal, linkDown per link per cycle, busError per
+/// bus transfer attempt.
+inline constexpr const char* kFaultSeed = marks::kFaultSeed;
+inline constexpr const char* kFaultWindow = marks::kFaultWindow;
+inline constexpr const char* kFaultRateFlitDrop = marks::kFaultRateFlitDrop;
+inline constexpr const char* kFaultRateFlitCorrupt =
+    marks::kFaultRateFlitCorrupt;
+inline constexpr const char* kFaultRateLinkDown = marks::kFaultRateLinkDown;
+inline constexpr const char* kFaultRateBusError = marks::kFaultRateBusError;
+
+/// The raw fault scenario, as read from the marks.
+struct FaultSpec {
+  std::uint64_t seed = 1;      ///< faultSeed: the single reproducibility root
+  double flit_drop = 0.0;      ///< faultRate.flitDrop
+  double flit_corrupt = 0.0;   ///< faultRate.flitCorrupt
+  double link_down = 0.0;      ///< faultRate.linkDown
+  double bus_error = 0.0;      ///< faultRate.busError
+  /// faultWindow: inject only during cycles [1, window]; 0 = the whole run.
+  std::uint64_t window = 0;
+  /// Transmission attempts a resilient transport makes before reporting a
+  /// message as dropped (never a hang). Code-settable, not a mark.
+  int retry_budget = 4;
+
+  /// Read the fault marks out of `marks` (missing keys keep defaults).
+  /// Values outside their range are rejected by marks::validate; this
+  /// reader clamps defensively rather than re-diagnosing.
+  static FaultSpec from_marks(const marks::MarkSet& marks);
+
+  /// True when any rate is positive — a zero-rate spec injects nothing.
+  bool any() const {
+    return flit_drop > 0.0 || flit_corrupt > 0.0 || link_down > 0.0 ||
+           bus_error > 0.0;
+  }
+};
+
+/// Where a PRNG stream is anchored. Each (kind, site) pair owns an
+/// independent stream, so adding traffic on one link never perturbs the
+/// fault sequence of another.
+enum class Site : std::uint32_t {
+  kFlitDrop = 1,
+  kFlitCorrupt = 2,
+  kLinkDown = 3,
+  kBusError = 4,
+  kBridge = 5,
+};
+
+/// The compiled fault plan: spec + per-site xorshift64* streams. One Plan
+/// drives one run; it is NOT thread-safe (all transports that consult it
+/// already execute serially — see the header comment).
+class Plan {
+public:
+  Plan() = default;
+  explicit Plan(FaultSpec spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// True when `cycle` is inside the injection window.
+  bool active(std::uint64_t cycle) const {
+    return spec_.window == 0 || cycle <= spec_.window;
+  }
+
+  // --- decision points (each advances the site's stream iff its rate is
+  // --- positive and `cycle` is inside the window) ----------------------------
+  bool flit_drop(std::uint32_t link, std::uint64_t cycle) {
+    return roll(Site::kFlitDrop, link, spec_.flit_drop, cycle);
+  }
+  bool flit_corrupt(std::uint32_t link, std::uint64_t cycle) {
+    return roll(Site::kFlitCorrupt, link, spec_.flit_corrupt, cycle);
+  }
+  /// 0 = the link stays up this cycle; otherwise the outage length in
+  /// cycles (4..11, drawn from the link's stream).
+  std::uint32_t link_outage(std::uint32_t link, std::uint64_t cycle) {
+    if (!roll(Site::kLinkDown, link, spec_.link_down, cycle)) return 0;
+    return 4 + static_cast<std::uint32_t>(next(Site::kLinkDown, link) & 7);
+  }
+  bool bus_error(std::uint32_t endpoint, std::uint64_t cycle) {
+    return roll(Site::kBusError, endpoint, spec_.bus_error, cycle);
+  }
+  /// Bridges are untimed; the carry round stands in for the cycle.
+  bool bridge_error(std::uint32_t wire, std::uint64_t round) {
+    return roll(Site::kBusError, 0x10000u + wire, spec_.bus_error, round);
+  }
+  /// Uniform pick in [0, bound) from `site`'s corrupt stream — which
+  /// payload bit an injected corruption flips.
+  std::uint32_t pick(std::uint32_t link, std::uint32_t bound) {
+    return bound == 0
+               ? 0
+               : static_cast<std::uint32_t>(next(Site::kFlitCorrupt, link) %
+                                            bound);
+  }
+
+private:
+  /// Advance the (kind, site) stream and return the next raw 64-bit draw.
+  std::uint64_t next(Site kind, std::uint32_t site);
+  /// One Bernoulli trial against `rate`. Rates <= 0 return false WITHOUT
+  /// touching the stream, so a zero-rate plan never draws — the attached
+  /// worst case the bench overhead gate measures.
+  bool roll(Site kind, std::uint32_t site, double rate, std::uint64_t cycle);
+
+  FaultSpec spec_;
+  /// (kind << 32 | site) -> xorshift64* state. Ordered map: iteration
+  /// order never matters (lookup only), but determinism costs nothing.
+  std::map<std::uint64_t, std::uint64_t> streams_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span — the end-to-end
+/// payload check the resilient NIC applies at reassembly. Bitwise, no
+/// table: frame payloads here are tens of bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+}  // namespace xtsoc::fault

@@ -18,7 +18,16 @@ const char* const kStandardClassKeys[] = {kIsHardware, kClockDomain, kBusId,
 const char* const kStandardDomainKeys[] = {kBusLatency, kMeshWidth,
                                            kMeshHeight, kSwTileX, kSwTileY,
                                            kLinkLatency, kFlitBytes,
-                                           kFifoDepth};
+                                           kFifoDepth, kFaultSeed,
+                                           kFaultWindow, kFaultRateFlitDrop,
+                                           kFaultRateFlitCorrupt,
+                                           kFaultRateLinkDown,
+                                           kFaultRateBusError};
+
+bool is_fault_rate_key(std::string_view key) {
+  return key == kFaultRateFlitDrop || key == kFaultRateFlitCorrupt ||
+         key == kFaultRateLinkDown || key == kFaultRateBusError;
+}
 }  // namespace
 
 const char* to_string(Target t) {
@@ -152,13 +161,25 @@ bool MarkSet::validate(const xtuml::Domain& domain,
       } else if (key == kBusLatency || key == kMeshWidth ||
                  key == kMeshHeight || key == kSwTileX || key == kSwTileY ||
                  key == kLinkLatency || key == kFlitBytes ||
-                 key == kFifoDepth) {
+                 key == kFifoDepth || key == kFaultSeed ||
+                 key == kFaultWindow) {
         if (!domain_scope) {
           sink.error("marks.scope",
                      std::string(key) + " is a domain mark, not class");
         } else if (!std::holds_alternative<std::int64_t>(value)) {
           sink.error("marks.type",
                      "domain." + std::string(key) + " must be an int");
+        }
+      } else if (is_fault_rate_key(key)) {
+        // Rates read naturally as reals but 0 and 1 parse as ints; accept
+        // both so "faultRate.flitDrop = 0" round-trips.
+        if (!domain_scope) {
+          sink.error("marks.scope",
+                     std::string(key) + " is a domain mark, not class");
+        } else if (!std::holds_alternative<double>(value) &&
+                   !std::holds_alternative<std::int64_t>(value)) {
+          sink.error("marks.type",
+                     "domain." + std::string(key) + " must be a number");
         }
       } else {
         // Unknown key: allowed, but warn on case/underscore near-misses.
@@ -220,6 +241,43 @@ bool MarkSet::validate(const xtuml::Domain& domain,
                  "domain.linkLatency must be >= 1 (got " +
                      std::to_string(std::get<std::int64_t>(it->second)) +
                      "); every mesh hop takes at least one cycle");
+    }
+  }
+
+  // Fault marks describe a reproducible failure scenario; out-of-range
+  // values would make a campaign either meaningless (a probability above 1)
+  // or irreproducible (a negative seed truncated who-knows-how), so they
+  // are rejected here, at the same gate as every other platform mark.
+  for (const auto& [element, kv] : marks_) {
+    if (!element.empty()) continue;  // scope errors reported above
+    for (const char* key : {kFaultSeed, kFaultWindow}) {
+      if (auto it = kv.find(key);
+          it != kv.end() && std::holds_alternative<std::int64_t>(it->second) &&
+          std::get<std::int64_t>(it->second) < 0) {
+        sink.error("marks.fault_range",
+                   "domain." + std::string(key) + " must be >= 0 (got " +
+                       std::to_string(std::get<std::int64_t>(it->second)) +
+                       ")");
+      }
+    }
+    for (const char* key :
+         {kFaultRateFlitDrop, kFaultRateFlitCorrupt, kFaultRateLinkDown,
+          kFaultRateBusError}) {
+      auto it = kv.find(key);
+      if (it == kv.end()) continue;
+      double rate = 0.0;
+      if (std::holds_alternative<double>(it->second)) {
+        rate = std::get<double>(it->second);
+      } else if (std::holds_alternative<std::int64_t>(it->second)) {
+        rate = static_cast<double>(std::get<std::int64_t>(it->second));
+      } else {
+        continue;  // typed wrong; reported above
+      }
+      if (rate < 0.0 || rate > 1.0) {
+        sink.error("marks.fault_range",
+                   "domain." + std::string(key) +
+                       " is a probability and must be in [0, 1]");
+      }
     }
   }
 

@@ -54,6 +54,17 @@ inline constexpr const char* kLinkLatency = "linkLatency";  // int, domain (cycl
 inline constexpr const char* kFlitBytes = "flitBytes";      // int, domain (link width)
 inline constexpr const char* kFifoDepth = "fifoDepth";      // int, domain (router buffers)
 
+// Fault-injection marks (domain scope; consumed by src/xtsoc/fault). A
+// failure scenario is itself a platform decision, so it lives in the marks
+// like every other one. Rates are per-decision probabilities in [0, 1],
+// written as reals (or the ints 0/1).
+inline constexpr const char* kFaultSeed = "faultSeed";      // int, domain (PRNG root)
+inline constexpr const char* kFaultWindow = "faultWindow";  // int, domain (cycles; 0 = whole run)
+inline constexpr const char* kFaultRateFlitDrop = "faultRate.flitDrop";
+inline constexpr const char* kFaultRateFlitCorrupt = "faultRate.flitCorrupt";
+inline constexpr const char* kFaultRateLinkDown = "faultRate.linkDown";
+inline constexpr const char* kFaultRateBusError = "faultRate.busError";
+
 /// One change between two MarkSets (the unit of "repartitioning cost").
 struct MarkChange {
   std::string element;  ///< class name, or "domain"

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "xtsoc/fault/fault.hpp"
+
 namespace xtsoc::noc {
 
 void LatencyHistogram::add(std::uint64_t latency) {
@@ -61,6 +63,43 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
       links_.push_back(LinkStats{t, d, 0});
     }
   }
+
+  fault_ = config_.fault;
+  if (fault_ != nullptr) {
+    const fault::FaultSpec& fs = fault_->spec();
+    // The resilient transport arms only when a NoC fault can actually
+    // happen; a zero-rate plan (or a bus-only one) leaves the fabric
+    // byte-identical to a fault-free build.
+    fault_armed_ =
+        fs.flit_drop > 0.0 || fs.flit_corrupt > 0.0 || fs.link_down > 0.0;
+    link_down_until_.assign(links_.size(), 0);
+  }
+}
+
+int Fabric::hop_distance(int a, int b) const {
+  const int ax = a % config_.width, ay = a / config_.width;
+  const int bx = b % config_.width, by = b / config_.width;
+  return (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
+}
+
+std::uint64_t Fabric::retry_deadline(std::uint64_t cycle, int hops,
+                                     std::size_t nflits, std::size_t backlog,
+                                     int attempts) const {
+  // Round trip (flits out, ack back) at 4x slack, plus the flits already
+  // queued ahead of this attempt at the NIC, plus a flat margin. Doubled
+  // per attempt so a congested network gets exponential breathing room.
+  // The flat margin matters more than it looks: a spurious retransmission
+  // is logically harmless (the receiver dedups by frame id) but it ADDS
+  // traffic to the congestion that delayed the ack in the first place —
+  // an undersized margin can feed that loop into congestion collapse on
+  // busy meshes. 64 cycles absorbs realistic queueing; short test runs
+  // must simply run long enough for first deadlines to pass.
+  const std::uint64_t base =
+      4ULL * (static_cast<std::uint64_t>(hops) *
+                  static_cast<std::uint64_t>(config_.link_latency) +
+              nflits + backlog) +
+      64;
+  return cycle + (base << (attempts > 6 ? 6 : attempts));
 }
 
 int Fabric::neighbor_of(int tile, Port dir) const {
@@ -97,10 +136,44 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
   }
 
   Nic& nic = nics_[static_cast<std::size_t>(src)];
+  ++frames_sent_;
+  payload_bytes_ += payload.size();
+  OBS_COUNT(c_frames_sent_);
+
+  PendingTx tx;
+  tx.dst = dst;
+  tx.opcode = opcode;
+  tx.payload = std::move(payload);
+  tx.send_cycle = current_cycle;
+  tx.min_due = current_cycle + extra_delay;
+
+  if (!fault_armed_) {
+    // Fault-free path: one attempt, no transport header, fire and forget.
+    enqueue_attempt(src, dst, tx, 0);
+    return;
+  }
+
+  tx.frame_id = nic.next_frame_id++;
+  tx.crc = fault::crc32(tx.payload.data(), tx.payload.size());
+  tx.attempts = 1;
   const std::size_t chunk =
       static_cast<std::size_t>(config_.flit_payload_bytes);
   const std::size_t nflits =
-      payload.empty() ? 1 : (payload.size() + chunk - 1) / chunk;
+      tx.payload.empty() ? 1 : (tx.payload.size() + chunk - 1) / chunk;
+  tx.deadline = retry_deadline(current_cycle, hop_distance(src, dst), nflits,
+                               nic.tx.size(), 0);
+  enqueue_attempt(src, dst, tx, 0);
+  nic.retry_at.emplace(tx.deadline, tx.frame_id);
+  nic.pending.emplace(tx.frame_id, std::move(tx));
+}
+
+void Fabric::enqueue_attempt(int src, int dst, const PendingTx& tx,
+                             std::uint8_t route_mode) {
+  Nic& nic = nics_[static_cast<std::size_t>(src)];
+  const std::size_t chunk =
+      static_cast<std::size_t>(config_.flit_payload_bytes);
+  const std::size_t nflits =
+      tx.payload.empty() ? 1 : (tx.payload.size() + chunk - 1) / chunk;
 
   Flit proto;
   proto.src_x = static_cast<std::uint8_t>(src % config_.width);
@@ -108,10 +181,13 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
   proto.dst_x = static_cast<std::uint8_t>(dst % config_.width);
   proto.dst_y = static_cast<std::uint8_t>(dst / config_.width);
   proto.seq = nic.next_seq++;
-  proto.opcode = opcode;
-  proto.frame_bytes = static_cast<std::uint32_t>(payload.size());
-  proto.send_cycle = current_cycle;
-  proto.min_due = current_cycle + extra_delay;
+  proto.opcode = tx.opcode;
+  proto.frame_bytes = static_cast<std::uint32_t>(tx.payload.size());
+  proto.frame_id = tx.frame_id;
+  proto.crc = tx.crc;
+  proto.route_mode = route_mode;
+  proto.send_cycle = tx.send_cycle;
+  proto.min_due = tx.min_due;
 
   for (std::size_t i = 0; i < nflits; ++i) {
     Flit f = proto;
@@ -125,16 +201,58 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
       f.kind = FlitKind::kBody;
     }
     const std::size_t off = i * chunk;
-    const std::size_t len = std::min(chunk, payload.size() - off);
-    if (!payload.empty()) {
-      f.payload.assign(payload.begin() + static_cast<std::ptrdiff_t>(off),
-                       payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    const std::size_t len = std::min(chunk, tx.payload.size() - off);
+    if (!tx.payload.empty()) {
+      f.payload.assign(
+          tx.payload.begin() + static_cast<std::ptrdiff_t>(off),
+          tx.payload.begin() + static_cast<std::ptrdiff_t>(off + len));
     }
     nic.tx.push_back(std::move(f));
   }
-  ++frames_sent_;
-  payload_bytes_ += payload.size();
-  OBS_COUNT(c_frames_sent_);
+}
+
+void Fabric::complete_frame(int tile, int src_tile, std::uint32_t frame_id,
+                            std::uint32_t crc, bool tainted,
+                            std::uint32_t opcode,
+                            std::vector<std::uint8_t> payload,
+                            std::uint64_t send_cycle, std::uint64_t min_due,
+                            std::uint64_t cycle) {
+  Nic& nic = nics_[static_cast<std::size_t>(tile)];
+  if (fault_armed_) {
+    if (fault::crc32(payload.data(), payload.size()) != crc) {
+      // Corrupted in transit: discard silently. No ack goes back, so the
+      // source's retry deadline re-sends the frame.
+      ++fstats_.crc_rejects;
+      return;
+    }
+    if (tainted) ++fstats_.tainted_delivered;  // CRC blind spot; tests pin 0
+    // Ack every intact arrival — a duplicate means the first ack was still
+    // in flight when the source's deadline fired, so it needs another.
+    acks_.push_back(
+        Ack{cycle +
+                static_cast<std::uint64_t>(hop_distance(tile, src_tile)) *
+                    static_cast<std::uint64_t>(config_.link_latency) +
+                1,
+            src_tile, frame_id});
+    if (!nic.delivered.insert({src_tile, frame_id}).second) {
+      ++fstats_.duplicates_dropped;
+      return;
+    }
+  }
+  Delivery d;
+  d.opcode = opcode;
+  d.payload = std::move(payload);
+  d.src_tile = src_tile;
+  d.send_cycle = send_cycle;
+  d.arrive_cycle = cycle;
+  d.due_cycle = std::max(cycle, min_due);
+  latency_.add(cycle - send_cycle);
+  ++frames_delivered_;
+  OBS_COUNT(c_frames_delivered_);
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs_->record_instant(obs_track_, "deliver", obs_->now_ns(), cycle);
+  }
+  nic.ready.push_back(std::move(d));
 }
 
 void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
@@ -144,20 +262,9 @@ void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
   const auto key = std::make_pair(src_tile, flit.seq);
 
   if (flit.kind == FlitKind::kHeadTail) {
-    Delivery d;
-    d.opcode = flit.opcode;
-    d.payload = std::move(flit.payload);
-    d.src_tile = src_tile;
-    d.send_cycle = flit.send_cycle;
-    d.arrive_cycle = cycle;
-    d.due_cycle = std::max(cycle, flit.min_due);
-    latency_.add(cycle - flit.send_cycle);
-    ++frames_delivered_;
-    OBS_COUNT(c_frames_delivered_);
-    if (obs_ != nullptr && obs_->tracing()) {
-      obs_->record_instant(obs_track_, "deliver", obs_->now_ns(), cycle);
-    }
-    nic.ready.push_back(std::move(d));
+    complete_frame(tile, src_tile, flit.frame_id, flit.crc, flit.tainted,
+                   flit.opcode, std::move(flit.payload), flit.send_cycle,
+                   flit.min_due, cycle);
     return;
   }
 
@@ -165,42 +272,123 @@ void Fabric::eject(int tile, Flit flit, std::uint64_t cycle) {
     Reassembly& r = nic.partial[key];
     r.opcode = flit.opcode;
     r.frame_bytes = flit.frame_bytes;
+    r.frame_id = flit.frame_id;
+    r.crc = flit.crc;
+    r.tainted = flit.tainted;
     r.payload = std::move(flit.payload);
     return;
   }
 
   auto it = nic.partial.find(key);
   if (it == nic.partial.end()) {
+    if (fault_armed_) {
+      // The rest of this attempt died on a link and its reassembly was
+      // purged; stragglers are expected, not a protocol violation.
+      ++fstats_.orphan_flits;
+      return;
+    }
     throw FabricError("flit of an unopened frame reached tile " +
                       std::to_string(tile));
   }
   Reassembly& r = it->second;
   r.payload.insert(r.payload.end(), flit.payload.begin(), flit.payload.end());
+  r.tainted = r.tainted || flit.tainted;
   if (flit.closes_frame()) {
     if (r.payload.size() != r.frame_bytes) {
+      if (fault_armed_) {
+        ++fstats_.crc_rejects;
+        nic.partial.erase(it);
+        return;
+      }
       throw FabricError("frame reassembly size mismatch at tile " +
                         std::to_string(tile));
     }
-    Delivery d;
-    d.opcode = r.opcode;
-    d.payload = std::move(r.payload);
-    d.src_tile = src_tile;
-    d.send_cycle = flit.send_cycle;
-    d.arrive_cycle = cycle;
-    d.due_cycle = std::max(cycle, flit.min_due);
-    latency_.add(cycle - flit.send_cycle);
-    ++frames_delivered_;
-    OBS_COUNT(c_frames_delivered_);
-    if (obs_ != nullptr && obs_->tracing()) {
-      obs_->record_instant(obs_track_, "deliver", obs_->now_ns(), cycle);
-    }
-    nic.ready.push_back(std::move(d));
+    complete_frame(tile, src_tile, r.frame_id, r.crc, r.tainted, r.opcode,
+                   std::move(r.payload), flit.send_cycle, flit.min_due, cycle);
     nic.partial.erase(it);
+  }
+}
+
+void Fabric::fault_cycle(std::uint64_t cycle) {
+  // Acks land: each one retires its frame at the source NIC. Late acks
+  // (frame already re-sent or reported lost) are counted and ignored.
+  if (!acks_.empty()) {
+    std::vector<Ack> keep;
+    keep.reserve(acks_.size());
+    for (const Ack& a : acks_) {
+      if (a.due > cycle) {
+        keep.push_back(a);
+        continue;
+      }
+      ++fstats_.acks_delivered;
+      nics_[static_cast<std::size_t>(a.to_tile)].pending.erase(a.frame_id);
+    }
+    acks_.swap(keep);
+  }
+
+  // Retry deadlines, popped from each NIC's deadline-ordered schedule in
+  // tile then (deadline, frame_id) order — a serial scan, so the
+  // retransmission schedule is a pure function of simulation state. The
+  // schedule is lazily invalidated: a popped entry whose frame was acked,
+  // or whose deadline moved, no longer matches `pending` and is discarded.
+  // This keeps a cycle's cost proportional to the frames actually due,
+  // not to every unacked frame in flight.
+  const int budget = fault_->spec().retry_budget;
+  for (int t = 0; t < tiles(); ++t) {
+    Nic& nic = nics_[static_cast<std::size_t>(t)];
+    while (!nic.retry_at.empty() && nic.retry_at.begin()->first <= cycle) {
+      const std::uint64_t scheduled = nic.retry_at.begin()->first;
+      const std::uint32_t frame_id = nic.retry_at.begin()->second;
+      nic.retry_at.erase(nic.retry_at.begin());
+      auto it = nic.pending.find(frame_id);
+      if (it == nic.pending.end() || it->second.deadline != scheduled) {
+        continue;  // stale: acked or rescheduled since this entry was queued
+      }
+      PendingTx& tx = it->second;
+      if (tx.attempts > budget) {
+        // Budget exhausted: report the loss and stop waiting. The campaign
+        // sees a dropped message; nothing ever blocks on it.
+        ++fstats_.frames_lost;
+        nic.pending.erase(it);
+        continue;
+      }
+      // Re-send under the other dimension order, so a retry does not march
+      // straight back into a downed link on the XY path.
+      const std::uint8_t mode = static_cast<std::uint8_t>(tx.attempts & 1);
+      ++fstats_.retransmissions;
+      const std::size_t chunk =
+          static_cast<std::size_t>(config_.flit_payload_bytes);
+      const std::size_t nflits =
+          tx.payload.empty() ? 1 : (tx.payload.size() + chunk - 1) / chunk;
+      tx.deadline = retry_deadline(cycle, hop_distance(t, tx.dst), nflits,
+                                   nic.tx.size(), tx.attempts);
+      nic.retry_at.emplace(tx.deadline, frame_id);
+      enqueue_attempt(t, tx.dst, tx, mode);
+      ++tx.attempts;
+    }
+  }
+
+  // Link outages: one draw per up link per cycle (rate-gated inside roll).
+  if (fault_->spec().link_down > 0.0) {
+    for (std::size_t li = 0; li < links_.size(); ++li) {
+      if (link_down_until_[li] > cycle) continue;
+      const std::uint32_t n =
+          fault_->link_outage(static_cast<std::uint32_t>(li), cycle);
+      if (n > 0) {
+        link_down_until_[li] = cycle + n;
+        ++fstats_.link_down_events;
+      }
+    }
   }
 }
 
 void Fabric::tick(std::uint64_t cycle) {
   ++cycles_;
+
+  // 0. Fault bookkeeping (acks, retry deadlines, link outages). tick() is
+  //    called serially at every threads/window setting, so every PRNG draw
+  //    below happens in the same order in every configuration.
+  if (fault_armed_) fault_cycle(cycle);
 
   // 1. Link arrivals land in their reserved input-FIFO slots.
   while (!in_flight_.empty() && in_flight_.front().cycle <= cycle) {
@@ -257,6 +445,37 @@ void Fabric::tick(std::uint64_t cycle) {
         continue;
       }
       const int next = neighbor_of(t, out);
+      const int li =
+          link_index_[static_cast<std::size_t>(t) * kPortCount + out];
+      if (fault_armed_) {
+        const bool down =
+            link_down_until_[static_cast<std::size_t>(li)] > cycle;
+        if (down ||
+            fault_->flit_drop(static_cast<std::uint32_t>(li), cycle)) {
+          // The flit dies entering the link: its input slot frees (credit
+          // back upstream) but nothing is charged downstream — the credit
+          // books stay balanced. Any reassembly of this attempt at the
+          // destination is purged; stragglers become counted orphans and
+          // the source's retry deadline takes it from here.
+          Flit f = std::move(r.input(static_cast<Port>(winner)).front());
+          r.input(static_cast<Port>(winner)).pop_front();
+          r.advance_rr(out, winner);
+          served |= 1u << winner;
+          returns.push_back({t, static_cast<Port>(winner)});
+          if (down) {
+            ++fstats_.link_down_drops;
+          } else {
+            ++fstats_.flits_dropped;
+          }
+          const int dst = tile_index(static_cast<int>(f.dst_x),
+                                     static_cast<int>(f.dst_y));
+          const int src_tile = tile_index(static_cast<int>(f.src_x),
+                                          static_cast<int>(f.src_y));
+          nics_[static_cast<std::size_t>(dst)].partial.erase(
+              {src_tile, f.seq});
+          continue;
+        }
+      }
       // XY routing on validated destinations never points off the mesh.
       Flit f = std::move(r.input(static_cast<Port>(winner)).front());
       r.input(static_cast<Port>(winner)).pop_front();
@@ -264,10 +483,19 @@ void Fabric::tick(std::uint64_t cycle) {
       r.advance_rr(out, winner);
       served |= 1u << winner;
       ++r.stats().flits_routed;
-      ++links_[static_cast<std::size_t>(
-                   link_index_[static_cast<std::size_t>(t) * kPortCount + out])]
-            .flits;
+      ++links_[static_cast<std::size_t>(li)].flits;
       returns.push_back({t, static_cast<Port>(winner)});
+      if (fault_armed_ && !f.payload.empty() &&
+          fault_->flit_corrupt(static_cast<std::uint32_t>(li), cycle)) {
+        // Flip one payload bit; headers are modeled as ECC-protected. The
+        // taint flag is simulation metadata proving the CRC catches this.
+        const std::uint32_t bit = fault_->pick(
+            static_cast<std::uint32_t>(li),
+            static_cast<std::uint32_t>(f.payload.size() * 8));
+        f.payload[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+        f.tainted = true;
+        ++fstats_.flits_corrupted;
+      }
       in_flight_.push_back(
           Arrival{cycle + static_cast<std::uint64_t>(config_.link_latency),
                   next, opposite(out), std::move(f)});
@@ -320,6 +548,15 @@ bool Fabric::idle() const {
   }
   for (const Nic& n : nics_) {
     if (!n.tx.empty() || !n.ready.empty() || !n.partial.empty()) return false;
+  }
+  if (fault_armed_) {
+    // Unacked frames and in-flight acks keep the fabric awake: either an
+    // ack retires them or the retry budget reports them lost — bounded
+    // both ways, so quiescence is still guaranteed.
+    if (!acks_.empty()) return false;
+    for (const Nic& n : nics_) {
+      if (!n.pending.empty()) return false;
+    }
   }
   return true;
 }

@@ -20,12 +20,18 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "xtsoc/noc/router.hpp"
 #include "xtsoc/obs/registry.hpp"
+
+namespace xtsoc::fault {
+class Plan;
+}
 
 namespace xtsoc::noc {
 
@@ -43,6 +49,11 @@ struct FabricConfig {
   int flit_payload_bytes = 4;  ///< link width: payload bytes per flit
   int fifo_depth = 4;       ///< per-input-port buffer depth (= credits)
   obs::Registry* obs = nullptr;  ///< optional observability sink ("noc" track)
+  /// Optional fault plan (src/xtsoc/fault). When any NoC fault rate is
+  /// positive the NICs arm a CRC + ack/retransmit layer; with no plan (or
+  /// all rates zero) every hook is a dead null-test and behaviour is
+  /// byte-identical to a fault-free fabric.
+  fault::Plan* fault = nullptr;
 };
 
 /// One reassembled frame, ready at a destination NIC.
@@ -100,6 +111,24 @@ struct FabricStats {
   std::string to_table() const;
 };
 
+/// What the fault injector did to the fabric and how the resilient NICs
+/// answered. All-zero unless a fault::Plan with a positive NoC rate is
+/// attached; reported in the snapshot's "faults" section, never in the
+/// fault-free FabricStats document.
+struct FabricFaultStats {
+  std::uint64_t flits_dropped = 0;     ///< injected in-transit drops
+  std::uint64_t flits_corrupted = 0;   ///< injected payload bit flips
+  std::uint64_t link_down_events = 0;  ///< outages the plan opened
+  std::uint64_t link_down_drops = 0;   ///< flits that died on a downed link
+  std::uint64_t crc_rejects = 0;       ///< frames discarded at reassembly
+  std::uint64_t orphan_flits = 0;      ///< flits of a purged/unopened frame
+  std::uint64_t retransmissions = 0;   ///< retry attempts the NICs issued
+  std::uint64_t duplicates_dropped = 0;///< late retries deduplicated at dst
+  std::uint64_t acks_delivered = 0;    ///< sideband acks back at the source
+  std::uint64_t frames_lost = 0;       ///< retry budget exhausted (reported, not hung)
+  std::uint64_t tainted_delivered = 0; ///< corrupted frames the CRC missed (must stay 0)
+};
+
 class Fabric {
 public:
   explicit Fabric(FabricConfig config);
@@ -129,21 +158,60 @@ public:
 
   const Router& router(int tile) const { return routers_.at(tile); }
   FabricStats stats() const;
+  const FabricFaultStats& fault_stats() const { return fstats_; }
 
 private:
   struct Reassembly {
     std::uint32_t opcode = 0;
     std::uint32_t frame_bytes = 0;
+    std::uint32_t frame_id = 0;
+    std::uint32_t crc = 0;
+    bool tainted = false;
     std::vector<std::uint8_t> payload;
+  };
+
+  /// One logical frame the resilient source NIC still owes an ack for.
+  /// Keyed by frame_id; re-sent (new seq, flipped route mode) when the
+  /// deadline passes, reported lost when the retry budget runs out.
+  struct PendingTx {
+    int dst = 0;
+    std::uint32_t frame_id = 0;
+    std::uint32_t opcode = 0;
+    std::uint32_t crc = 0;
+    std::vector<std::uint8_t> payload;
+    std::uint64_t send_cycle = 0;  ///< original send (latency is end-to-end)
+    std::uint64_t min_due = 0;
+    std::uint64_t deadline = 0;
+    int attempts = 1;
   };
 
   struct Nic {
     std::deque<Flit> tx;    ///< segmented flits awaiting injection
     int inject_credits = 0; ///< free slots in the router's local input FIFO
-    /// In-progress reassemblies, keyed by (source tile, frame seq).
+    /// In-progress reassemblies, keyed by (source tile, attempt seq).
     std::map<std::pair<int, std::uint32_t>, Reassembly> partial;
     std::vector<Delivery> ready;  ///< completed frames awaiting pop_due
     std::uint32_t next_seq = 0;
+    // --- resilient-transport state (used only when fault_armed_) ---------
+    std::map<std::uint32_t, PendingTx> pending;  ///< frame_id -> unacked frame
+    /// Deadline-ordered retry schedule over `pending`, lazily invalidated:
+    /// an entry whose frame was acked (or rescheduled to a later deadline)
+    /// no longer matches and is discarded when popped. Without this index
+    /// the per-cycle deadline check would walk every in-flight frame — on
+    /// an oversubscribed mesh that backlog grows without bound, turning a
+    /// linear run quadratic.
+    std::multimap<std::uint64_t, std::uint32_t> retry_at;
+    std::set<std::pair<int, std::uint32_t>> delivered;  ///< dedup (src, frame_id)
+    std::uint32_t next_frame_id = 0;
+  };
+
+  /// A sideband acknowledgement riding back to the source NIC. Modeled as
+  /// reliable (a real design would piggyback it on a protected VC); it
+  /// still takes hop-distance time, so retransmission timing is honest.
+  struct Ack {
+    std::uint64_t due = 0;
+    int to_tile = 0;
+    std::uint32_t frame_id = 0;
   };
 
   /// A flit in flight on a link, due to enter `router`'s `port` FIFO.
@@ -158,6 +226,27 @@ private:
   void eject(int tile, Flit flit, std::uint64_t cycle);
   void check_tile(int tile, const char* what) const;
 
+  // --- fault machinery (no-ops unless a plan with NoC rates is attached) ---
+  /// Segment one transmission attempt of a frame into link flits.
+  void enqueue_attempt(int src, int dst, const PendingTx& tx,
+                       std::uint8_t route_mode);
+  /// A completed reassembly: CRC check, dedup, ack, then delivery.
+  void complete_frame(int tile, int src_tile, std::uint32_t frame_id,
+                      std::uint32_t crc, bool tainted, std::uint32_t opcode,
+                      std::vector<std::uint8_t> payload,
+                      std::uint64_t send_cycle, std::uint64_t min_due,
+                      std::uint64_t cycle);
+  /// Acks, retry deadlines, and link-outage draws for this cycle.
+  void fault_cycle(std::uint64_t cycle);
+  /// Mesh hop distance between two tiles (XY and YX paths tie).
+  int hop_distance(int a, int b) const;
+  /// Retry deadline: generous round-trip bound including the current
+  /// injection backlog, doubled per attempt — tight enough to recover,
+  /// loose enough that an undisturbed frame never retries spuriously.
+  std::uint64_t retry_deadline(std::uint64_t cycle, int hops,
+                               std::size_t nflits, std::size_t backlog,
+                               int attempts) const;
+
   FabricConfig config_;
   std::vector<Router> routers_;
   std::vector<Nic> nics_;
@@ -165,6 +254,14 @@ private:
   /// Directed links, plus (tile, dir) -> index into links_.
   std::vector<LinkStats> links_;
   std::vector<int> link_index_;  ///< [tile * kPortCount + dir], -1 if edge
+
+  // Fault state. fault_armed_ is the one test the hot path pays when no
+  // NoC fault rate is configured.
+  fault::Plan* fault_ = nullptr;
+  bool fault_armed_ = false;       ///< any of the three NoC rates positive
+  std::vector<Ack> acks_;          ///< sideband acks in flight
+  std::vector<std::uint64_t> link_down_until_;  ///< per link: down before this cycle
+  FabricFaultStats fstats_;
 
   std::uint64_t cycles_ = 0;
   std::uint64_t frames_sent_ = 0;

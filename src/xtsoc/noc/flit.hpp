@@ -35,12 +35,24 @@ struct Flit {
   std::uint32_t opcode = 0;
   std::uint32_t frame_bytes = 0;  ///< total frame payload length
 
+  // Resilient-transport header (populated only when fault injection arms
+  // the NIC CRC/ack layer; all-zero otherwise). frame_id names the logical
+  // frame across retransmission attempts — seq names one attempt, so
+  // reassembly stays per-attempt while dedup and acks are per-frame.
+  std::uint32_t frame_id = 0;
+  std::uint32_t crc = 0;          ///< CRC-32 over the whole frame payload
+  std::uint8_t route_mode = 0;    ///< 0 = XY, 1 = YX (retransmission detour)
+
   /// This flit's payload chunk (at most the configured link width).
   std::vector<std::uint8_t> payload;
 
   // Bookkeeping carried alongside the wire bits (simulation metadata).
   std::uint64_t send_cycle = 0;  ///< cycle the frame entered the source NIC
   std::uint64_t min_due = 0;     ///< earliest delivery (generate-delay)
+  /// Simulation-only taint: set when an injected fault flipped a payload
+  /// bit. Real hardware has no such flag — it exists to *verify* the CRC
+  /// catches what the injector did (a tainted frame must never deliver).
+  bool tainted = false;
 
   bool opens_frame() const {
     return kind == FlitKind::kHead || kind == FlitKind::kHeadTail;

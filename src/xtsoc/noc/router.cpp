@@ -34,6 +34,18 @@ Port opposite(Port p) {
 }
 
 Port Router::route(const Flit& f) const {
+  if (f.route_mode == 1) {
+    // YX dimension order: the detour a retransmission takes so it does not
+    // march straight back into the link that ate the previous attempt.
+    // (Mixing XY and YX traffic is where mesh deadlock folklore lives; the
+    // resilient NIC's retry deadline bounds any such episode — a stuck
+    // attempt is re-sent or reported lost, never waited on forever.)
+    if (f.dst_y > y_) return kSouth;
+    if (f.dst_y < y_) return kNorth;
+    if (f.dst_x > x_) return kEast;
+    if (f.dst_x < x_) return kWest;
+    return kLocal;
+  }
   // Dimension order: X first, then Y. Deadlock-free on a mesh because the
   // turn from Y back to X never happens.
   if (f.dst_x > x_) return kEast;

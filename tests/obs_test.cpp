@@ -489,7 +489,7 @@ TEST(ObsCosim, ReportOnMeshIncludesFabricSectionAndCounters) {
   EXPECT_GT(snap.at("counters").at("noc.frames_delivered").as_uint(), 0u);
 }
 
-TEST(ObsCosim, DeprecatedAccessorsAgreeWithReport) {
+TEST(ObsCosim, ReportAgreesWithComponentStats) {
   MappedFixture fx(make_pipeline_domain(), hw_consumer_marks(2));
   CoSimulation cosim(*fx.system, {});
   auto consumer = cosim.create("Consumer");
@@ -497,13 +497,10 @@ TEST(ObsCosim, DeprecatedAccessorsAgreeWithReport) {
   cosim.inject(producer, "kick");
   cosim.run(2000);
   obs::Snapshot snap = cosim.report();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   EXPECT_EQ(snap.at("sim").at("delta_cycles").as_uint(),
-            cosim.sim_stats().delta_cycles);
+            cosim.hw_sim().stats().delta_cycles);
   EXPECT_EQ(snap.at("interconnect").at("frames_to_hw").as_uint(),
-            cosim.bus_stats().frames_to_hw);
-#pragma GCC diagnostic pop
+            cosim.bus().stats().frames_to_hw);
 }
 
 }  // namespace

@@ -32,6 +32,16 @@
 //       --obs-trace FILE  record a Chrome trace-event / Perfetto JSON of
 //                       the cosim run to FILE (--on-cosim; load in
 //                       ui.perfetto.dev or chrome://tracing)
+//       --faults FILE   marks file with fault keys (faultSeed, faultRate.*,
+//                       faultWindow; may be the same file as -m). Attaches a
+//                       deterministic fault plan to the cosim run
+//                       (--on-cosim; see docs/FAULTS.md)
+//       --campaign N    run an N-seed fault-injection campaign instead of a
+//                       single run (requires --faults). Each run gets a seed
+//                       derived from faultSeed; --threads fans runs out in
+//                       parallel. Prints the campaign JSON document
+//       --campaign-out FILE  write the campaign JSON to FILE instead of
+//                       stdout (requires --campaign)
 //       --noc-stats     deprecated alias for --obs=noc
 //       --summary       deprecated alias for --obs=summary (the default)
 //       --quiet         deprecated; use --obs=none or an --obs list
@@ -51,6 +61,10 @@
 
 #include "xtsoc/core/project.hpp"
 #include "xtsoc/core/stimulus.hpp"
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/fault/campaign.hpp"
+#include "xtsoc/fault/fault.hpp"
+#include "xtsoc/marks/marks.hpp"
 #include "xtsoc/obs/registry.hpp"
 #include "xtsoc/obs/snapshot.hpp"
 
@@ -81,6 +95,11 @@ struct Options {
   bool obs_counters = false;
   std::string obs_trace_path;
 
+  // --faults / --campaign family (fault injection; docs/FAULTS.md).
+  std::string faults_path;
+  int campaign = 0;  ///< 0 = no campaign; N > 0 = N-seed campaign
+  std::string campaign_out_path;
+
   // Deprecated aliases, recorded separately so diagnostics can name the
   // flag the user actually typed.
   bool saw_summary_flag = false;
@@ -97,7 +116,8 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
                "[--vhdl-only] [--check] [--obs LIST] [--simulate FILE] "
-               "[--on-cosim [--threads N] [--window N] [--obs-trace FILE]]\n"
+               "[--on-cosim [--threads N] [--window N] [--obs-trace FILE] "
+               "[--faults FILE [--campaign N [--campaign-out FILE]]]]\n"
                "       --obs sections: summary,noc,snapshot,counters,none "
                "(default: summary)\n");
 }
@@ -206,6 +226,44 @@ bool parse_args(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "xtsocc: --obs-trace needs a file name\n");
         return false;
       }
+    } else if (a == "--faults" || a.rfind("--faults=", 0) == 0) {
+      if (a == "--faults") {
+        const char* v = next();
+        if (!v) return false;
+        opt->faults_path = v;
+      } else {
+        opt->faults_path = a.substr(std::strlen("--faults="));
+      }
+      if (opt->faults_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --faults needs a file name\n");
+        return false;
+      }
+    } else if (a == "--campaign" || a.rfind("--campaign=", 0) == 0) {
+      std::string v;
+      if (a == "--campaign") {
+        const char* n = next();
+        if (!n) return false;
+        v = n;
+      } else {
+        v = a.substr(std::strlen("--campaign="));
+      }
+      opt->campaign = std::atoi(v.c_str());
+      if (opt->campaign < 1) {
+        std::fprintf(stderr, "xtsocc: --campaign needs a positive run count\n");
+        return false;
+      }
+    } else if (a == "--campaign-out" || a.rfind("--campaign-out=", 0) == 0) {
+      if (a == "--campaign-out") {
+        const char* v = next();
+        if (!v) return false;
+        opt->campaign_out_path = v;
+      } else {
+        opt->campaign_out_path = a.substr(std::strlen("--campaign-out="));
+      }
+      if (opt->campaign_out_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --campaign-out needs a file name\n");
+        return false;
+      }
     } else if (a == "--noc-stats") {
       deprecated("--noc-stats", "--obs=noc");
       opt->saw_noc_stats_flag = true;
@@ -270,6 +328,30 @@ bool validate_options(Options* opt) {
     }
     if (opt->saw_threads_flag) return fail("--threads requires --on-cosim");
     if (opt->saw_window_flag) return fail("--window requires --on-cosim");
+    if (!opt->faults_path.empty()) {
+      return fail("--faults requires --on-cosim (faults are injected into "
+                  "the partitioned interconnect)");
+    }
+    if (opt->campaign > 0) return fail("--campaign requires --on-cosim");
+  }
+  if (opt->campaign > 0 && opt->faults_path.empty()) {
+    return fail("--campaign requires --faults (a campaign without a fault "
+                "plan would be N identical fault-free runs)");
+  }
+  if (!opt->campaign_out_path.empty() && opt->campaign == 0) {
+    return fail("--campaign-out requires --campaign");
+  }
+  if (opt->campaign > 0) {
+    // The per-run --obs surfaces describe ONE run; a campaign is many.
+    // Its output is the campaign JSON document itself.
+    if (!opt->obs_trace_path.empty()) {
+      return fail("--obs-trace contradicts --campaign (a trace describes "
+                  "one run; campaigns emit the campaign JSON instead)");
+    }
+    if (opt->obs_noc || opt->obs_snapshot || opt->obs_counters) {
+      return fail("--obs sections other than summary/none contradict "
+                  "--campaign (per-run reports vs. an N-run campaign)");
+    }
   }
 
   // Effective summary setting: an explicit --obs list is authoritative;
@@ -367,6 +449,101 @@ int main(int argc, char** argv) {
     cfg.threads = opt.threads;
     cfg.window = opt.window;
     cfg.obs = reg.get();
+
+    // --faults: the fault marks file reuses the .marks syntax and the
+    // central validator, so a typo'd key or an out-of-range rate gets the
+    // same diagnostics as -m (it may in fact BE the -m file).
+    fault::FaultSpec fault_spec;
+    std::unique_ptr<fault::Plan> fault_plan;
+    if (!opt.faults_path.empty()) {
+      std::string faults_text;
+      if (!read_file(opt.faults_path, &faults_text)) {
+        std::fprintf(stderr, "xtsocc: cannot read faults '%s'\n",
+                     opt.faults_path.c_str());
+        return 1;
+      }
+      DiagnosticSink fsink;
+      marks::MarkSet fmarks = marks::MarkSet::from_text(faults_text, fsink);
+      fmarks.validate(project->domain(), fsink);
+      if (fsink.has_errors()) {
+        std::fprintf(stderr, "%s", fsink.to_string().c_str());
+        std::fprintf(stderr, "xtsocc: faults '%s' rejected\n",
+                     opt.faults_path.c_str());
+        return 1;
+      }
+      for (const auto& d : fsink.all()) {
+        if (d.severity == Severity::kWarning) {
+          std::fprintf(stderr, "%s\n", d.to_string().c_str());
+        }
+      }
+      fault_spec = fault::FaultSpec::from_marks(fmarks);
+      if (opt.campaign == 0) {
+        fault_plan = std::make_unique<fault::Plan>(fault_spec);
+        cfg.fault = fault_plan.get();
+      }
+    }
+
+    if (opt.campaign > 0) {
+      std::string script;
+      if (!opt.simulate_path.empty() &&
+          !read_file(opt.simulate_path, &script)) {
+        std::fprintf(stderr, "xtsocc: cannot read script '%s'\n",
+                     opt.simulate_path.c_str());
+        return 1;
+      }
+      const bool scripted = !opt.simulate_path.empty();
+      // Each run executes under a pinned per-run config (one worker
+      // thread, auto window): a campaign row must depend only on the
+      // model, the marks and its seed — never on host execution knobs.
+      // --threads scales how many runs execute concurrently instead, and
+      // every thread count produces the identical campaign document.
+      fault::Campaign campaign(fault_spec, opt.campaign, opt.threads);
+      fault::CampaignResult result;
+      try {
+        result = campaign.run([&](int index, std::uint64_t) {
+          fault::Plan plan(campaign.spec_for(index));
+          cosim::CoSimConfig rcfg;
+          rcfg.fault = &plan;
+          fault::RunOutcome o;
+          if (scripted) {
+            std::ostringstream discard;
+            core::StimulusResult r = core::run_stimulus_cosim(
+                *project, script, discard, rcfg,
+                [&](const cosim::CoSimulation& cs) {
+                  o = cosim::outcome_of(cs, plan);
+                });
+            o.survived = o.survived && r.ok;
+          } else {
+            // Stimulus-free campaign: a fixed-length bring-up run, long
+            // enough for retransmissions to resolve either way.
+            auto cs = project->make_cosim(rcfg);
+            cs->run_cycles(512);
+            o = cosim::outcome_of(*cs, plan);
+          }
+          return o;
+        });
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "xtsocc: campaign failed: %s\n", e.what());
+        return 1;
+      }
+      std::string doc = result.to_snapshot().to_json(2);
+      doc += '\n';
+      if (!opt.campaign_out_path.empty()) {
+        std::ofstream os(opt.campaign_out_path, std::ios::binary);
+        if (!os) {
+          std::fprintf(stderr, "xtsocc: cannot write campaign '%s'\n",
+                       opt.campaign_out_path.c_str());
+          return 1;
+        }
+        os << doc;
+        std::printf("campaign: %d runs, %zu survived; wrote %s\n",
+                    opt.campaign, result.survivors(),
+                    opt.campaign_out_path.c_str());
+      } else {
+        std::printf("%s", doc.c_str());
+      }
+      return 0;
+    }
 
     int status = 0;
     if (!opt.simulate_path.empty()) {
