@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "xtsoc/fault/fault.hpp"
+#include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::bridge {
 
@@ -232,8 +233,10 @@ std::size_t SystemExecutor::run_all(std::size_t max_rounds) {
         pending_.push_back(std::move(p));
         continue;
       }
+      // Rounds are 0-indexed; the window convention is 1-indexed cycles
+      // (faultWindow.start is an exclusive lower bound), so shift by one.
       if (fault_ != nullptr &&
-          fault_->bridge_error(p.wire, static_cast<std::uint64_t>(round))) {
+          fault_->bridge_error(p.wire, static_cast<std::uint64_t>(round) + 1)) {
         ++p.attempts;
         if (p.attempts > fault_->spec().retry_budget) {
           ++dropped_forwards_;
@@ -250,6 +253,62 @@ std::size_t SystemExecutor::run_all(std::size_t max_rounds) {
     }
   }
   throw ModelError("multi-domain system did not drain within the round limit");
+}
+
+void SystemExecutor::save_state(snap::Writer& w) const {
+  w.u64(domains_.size());
+  for (const DomainRt& d : domains_) {
+    w.str(d.name);
+    d.exec->save_state(w);
+  }
+  w.u64(bindings_.size());
+  w.u64(pending_.size());
+  for (const PendingForward& p : pending_) {
+    w.u64(p.to_domain);
+    save_message(w, p.message);
+    w.u32(p.wire);
+    w.i64(p.attempts);
+    w.u64(p.not_before_round);
+  }
+  w.u64(forwarded_);
+  w.u64(retried_forwards_);
+  w.u64(dropped_forwards_);
+}
+
+void SystemExecutor::load_state(snap::Reader& r) {
+  if (r.u64() != domains_.size()) {
+    throw snap::SnapError("bridge snapshot domain count mismatch");
+  }
+  for (DomainRt& d : domains_) {
+    const std::string name = r.str();
+    if (name != d.name) {
+      throw snap::SnapError("bridge snapshot domain order mismatch: expected " +
+                            d.name + ", found " + name);
+    }
+    d.exec->load_state(r);
+  }
+  if (r.u64() != bindings_.size()) {
+    throw snap::SnapError(
+        "bridge snapshot binding count mismatch (re-bind the same proxies "
+        "before restoring)");
+  }
+  pending_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    PendingForward p;
+    p.to_domain = static_cast<std::size_t>(r.u64());
+    if (p.to_domain >= domains_.size()) {
+      throw snap::SnapError("bridge snapshot forward targets unknown domain");
+    }
+    p.message = runtime::load_message(r);
+    p.wire = r.u32();
+    p.attempts = static_cast<int>(r.i64());
+    p.not_before_round = static_cast<std::size_t>(r.u64());
+    pending_.push_back(std::move(p));
+  }
+  forwarded_ = r.u64();
+  retried_forwards_ = r.u64();
+  dropped_forwards_ = r.u64();
 }
 
 }  // namespace xtsoc::bridge

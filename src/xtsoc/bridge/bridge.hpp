@@ -101,6 +101,13 @@ public:
   /// bounded failure mode.
   std::uint64_t dropped_forward_count() const { return dropped_forwards_; }
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize every domain executor, the in-flight forwards and the bridge
+  /// counters. Wires, bindings and the attached fault plan are
+  /// elaboration-owned; the binding count is checked on load.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   struct DomainRt {
     std::string name;

@@ -1,6 +1,7 @@
 #include "xtsoc/cosim/bus.hpp"
 
 #include "xtsoc/fault/fault.hpp"
+#include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::cosim {
 
@@ -89,6 +90,54 @@ std::vector<Frame> Bus::pop_due_to_hw(std::uint64_t cycle) {
 
 std::vector<Frame> Bus::pop_due_to_sw(std::uint64_t cycle) {
   return pop_due(to_sw_, cycle);
+}
+
+void save_frame(snap::Writer& w, const Frame& f) {
+  w.u32(f.opcode);
+  w.u64(f.payload.size());
+  w.bytes(f.payload.data(), f.payload.size());
+  w.u64(f.due_cycle);
+}
+
+Frame load_frame(snap::Reader& r) {
+  Frame f;
+  f.opcode = r.u32();
+  f.payload.resize(r.u64());
+  for (std::uint8_t& b : f.payload) b = r.u8();
+  f.due_cycle = r.u64();
+  return f;
+}
+
+void Bus::save_state(snap::Writer& w) const {
+  w.boolean(connected_);
+  w.u64(to_hw_.size());
+  for (const Frame& f : to_hw_) save_frame(w, f);
+  w.u64(to_sw_.size());
+  for (const Frame& f : to_sw_) save_frame(w, f);
+  w.u64(stats_.frames_to_hw);
+  w.u64(stats_.frames_to_sw);
+  w.u64(stats_.bytes_to_hw);
+  w.u64(stats_.bytes_to_sw);
+  w.u64(fstats_.errors);
+  w.u64(fstats_.retries);
+  w.u64(fstats_.frames_dropped);
+}
+
+void Bus::load_state(snap::Reader& r) {
+  connected_ = r.boolean();
+  to_hw_.clear();
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) to_hw_.push_back(load_frame(r));
+  to_sw_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) to_sw_.push_back(load_frame(r));
+  stats_.frames_to_hw = r.u64();
+  stats_.frames_to_sw = r.u64();
+  stats_.bytes_to_hw = r.u64();
+  stats_.bytes_to_sw = r.u64();
+  fstats_.errors = r.u64();
+  fstats_.retries = r.u64();
+  fstats_.frames_dropped = r.u64();
 }
 
 }  // namespace xtsoc::cosim

@@ -20,6 +20,11 @@ namespace xtsoc::fault {
 class Plan;
 }
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::cosim {
 
 /// Thrown when the two sides of the boundary disagree about the interface.
@@ -35,6 +40,11 @@ struct Frame {
   std::vector<std::uint8_t> payload;
   std::uint64_t due_cycle = 0;  ///< earliest delivery cycle
 };
+
+/// Frame byte encoding, shared by every checkpointed structure that queues
+/// frames (Bus, domain outboxes/inboxes, the NIC egress buffer).
+void save_frame(snap::Writer& w, const Frame& f);
+Frame load_frame(snap::Reader& r);
 
 struct BusStats {
   std::uint64_t frames_to_hw = 0;
@@ -82,6 +92,12 @@ public:
   /// busError = 0, leaves every push byte-identical to the plain bus.
   void set_fault(fault::Plan* plan) { fault_ = plan; }
   const BusFaultStats& fault_stats() const { return fstats_; }
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize in-flight frames, the handshake flag and both stats blocks.
+  /// The latency and attached fault plan are construction-owned.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   static std::vector<Frame> pop_due(std::deque<Frame>& q, std::uint64_t cycle);

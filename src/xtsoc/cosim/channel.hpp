@@ -18,6 +18,7 @@
 #include "xtsoc/cosim/bus.hpp"
 #include "xtsoc/mapping/modelcompiler.hpp"
 #include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::cosim {
 
@@ -38,6 +39,13 @@ public:
   /// interconnect behind it may still hold traffic (the master checks Bus /
   /// Fabric separately).
   virtual bool idle() const = 0;
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize / restore channel-local buffering. The default no-op is the
+  /// correct implementation for stateless endpoints (BusEndpoint: all its
+  /// state lives in the Bus, serialized by the master).
+  virtual void save_state(snap::Writer&) const {}
+  virtual void load_state(snap::Reader&) {}
 };
 
 /// Legacy bus endpoint. The destination class is ignored: the bus has
@@ -125,6 +133,17 @@ public:
   }
 
   bool idle() const override { return pending_.empty(); }
+
+  void save_state(snap::Writer& w) const override {
+    w.u64(pending_.size());
+    for (const Frame& f : pending_) save_frame(w, f);
+  }
+
+  void load_state(snap::Reader& r) override {
+    pending_.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) pending_.push_back(load_frame(r));
+  }
 
 private:
   static constexpr std::uint64_t kDrainAll = ~std::uint64_t{0};

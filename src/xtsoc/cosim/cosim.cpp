@@ -336,4 +336,50 @@ void CoSimulation::run_cycles(std::uint64_t cycles) {
   for (std::uint64_t i = 0; i < cycles; ++i) one_cycle();
 }
 
+void CoSimulation::save_state(snap::Writer& w) const {
+  // The interconnect mode is structural, but one byte buys an immediate
+  // diagnostic when a bus snapshot meets a fabric elaboration.
+  w.u8(bus_ ? 0 : 1);
+  sim_->save_state(w);
+  if (bus_) {
+    bus_->save_state(w);
+  } else {
+    fabric_->save_state(w);
+  }
+  w.u64(channels_.size());
+  for (const auto& ch : channels_) ch->save_state(w);
+  w.u64(hw_domains_.size());
+  for (const auto& hw : hw_domains_) hw->save_state(w);
+  sw_->save_state(w);
+  scheduler_.save_state(w);
+  w.u64(cycle_);
+}
+
+void CoSimulation::load_state(snap::Reader& r) {
+  const std::uint8_t mode = r.u8();
+  if (mode != (bus_ ? 0 : 1)) {
+    throw snap::SnapError(
+        "co-simulation snapshot interconnect mismatch (bus vs fabric)");
+  }
+  sim_->load_state(r);
+  if (bus_) {
+    bus_->load_state(r);
+  } else {
+    fabric_->load_state(r);
+  }
+  if (r.u64() != channels_.size()) {
+    throw snap::SnapError("co-simulation snapshot channel count mismatch");
+  }
+  for (auto& ch : channels_) ch->load_state(r);
+  if (r.u64() != hw_domains_.size()) {
+    throw snap::SnapError(
+        "co-simulation snapshot domain count mismatch (same partition "
+        "required)");
+  }
+  for (auto& hw : hw_domains_) hw->load_state(r);
+  sw_->load_state(r);
+  scheduler_.load_state(r);
+  cycle_ = r.u64();
+}
+
 }  // namespace xtsoc::cosim

@@ -181,15 +181,19 @@ public:
   /// THE serialization path for cosim stats — see cosim/report.hpp.
   obs::Snapshot report() const;
 
-  /// Pre-report() convenience accessors, kept for one release. Each returns
-  /// the bare struct a report() section is derived from; prefer the
-  /// Snapshot, which covers all of them consistently.
-  [[deprecated("use CoSimulation::report()")]]
-  const hwsim::SimStats& sim_stats() const { return sim_->stats(); }
-  [[deprecated("use CoSimulation::report()")]]
-  const BusStats& bus_stats() const { return bus_->stats(); }
-  [[deprecated("use CoSimulation::report()")]]
-  noc::FabricStats fabric_stats() const { return fabric_->stats(); }
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the complete dynamic state of the co-simulation: kernel,
+  /// interconnect (bus or fabric), every channel, every domain executor,
+  /// the software scheduler and the master's cycle counter. Call only
+  /// between run calls (a quiet point — the kernel refuses mid-settle
+  /// snapshots). Structure (netlist, partition, topology) is NOT saved:
+  /// restore re-elaborates a CoSimulation from the same MappedSystem —
+  /// with ANY threads/window configuration — and calls load_state, after
+  /// which traces, VCD, stats and report() are byte-identical to the
+  /// uninterrupted run. The attached fault plan and obs registry are
+  /// external and serialized by the snap snapshot layer.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   void one_cycle();

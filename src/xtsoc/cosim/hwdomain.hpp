@@ -114,6 +114,14 @@ public:
   HwSignalId alive_wire(ClassId cls) const;
   HwSignalId busy_wire(ClassId cls) const;
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the executor, cycle counter and staged frames. Checkpoints
+  /// are taken between CoSimulation::run calls, where the windowed scratch
+  /// state (inbox, edge writes, replay cursors) is empty by construction;
+  /// load_state resets it.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   struct Outbound {
     ClassId dst;

@@ -103,4 +103,38 @@ void SwDomain::flush_outbox_through(std::uint64_t cycle) {
   }
 }
 
+void SwDomain::save_state(snap::Writer& w) const {
+  exec_.save_state(w);
+  w.u64(cycle_);
+  w.u64(outbox_.size());
+  for (const Outbound& o : outbox_) {
+    w.u32(o.dst.value());
+    save_frame(w, o.frame);
+    w.u64(o.cycle);
+    w.u64(o.extra);
+  }
+  w.u64(outbox_sent_);
+  w.u64(inbox_.size());
+  for (const Frame& f : inbox_) save_frame(w, f);
+}
+
+void SwDomain::load_state(snap::Reader& r) {
+  exec_.load_state(r);
+  cycle_ = r.u64();
+  outbox_.clear();
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Outbound o;
+    o.dst = ClassId(r.u32());
+    o.frame = load_frame(r);
+    o.cycle = r.u64();
+    o.extra = r.u64();
+    outbox_.push_back(std::move(o));
+  }
+  outbox_sent_ = static_cast<std::size_t>(r.u64());
+  inbox_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) inbox_.push_back(load_frame(r));
+}
+
 }  // namespace xtsoc::cosim

@@ -64,6 +64,12 @@ public:
   /// replayed cycle, after the hardware domains' flushes).
   void flush_outbox_through(std::uint64_t cycle);
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the executor, cycle counter and staged frames (see
+  /// HwDomain::save_state for the quiet-point contract).
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   struct Outbound {
     ClassId dst;

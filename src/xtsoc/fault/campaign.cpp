@@ -4,20 +4,10 @@
 #include <exception>
 #include <stdexcept>
 
+#include "xtsoc/common/rng.hpp"
 #include "xtsoc/hwsim/pool.hpp"
 
 namespace xtsoc::fault {
-
-namespace {
-
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 std::size_t CampaignResult::survivors() const {
   std::size_t n = 0;
@@ -78,6 +68,12 @@ std::uint64_t Campaign::seed_for(std::uint64_t base_seed, int index) {
 
 CampaignResult Campaign::run(
     const std::function<RunOutcome(int index, std::uint64_t seed)>& one) const {
+  return run(one, nullptr);
+}
+
+CampaignResult Campaign::run(
+    const std::function<RunOutcome(int index, std::uint64_t seed)>& one,
+    hwsim::WorkerPool* pool) const {
   CampaignResult result;
   result.base_seed = base_.seed;
   result.runs.resize(static_cast<std::size_t>(runs_));
@@ -102,11 +98,13 @@ CampaignResult Campaign::run(
       }
     }
   };
-  if (threads_ == 1) {
+  if (pool != nullptr) {
+    pool->run(job);
+  } else if (threads_ == 1) {
     job();
   } else {
-    hwsim::WorkerPool pool(threads_);
-    pool.run(job);
+    hwsim::WorkerPool local(threads_);
+    local.run(job);
   }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -21,6 +21,10 @@
 #include "xtsoc/fault/fault.hpp"
 #include "xtsoc/obs/snapshot.hpp"
 
+namespace xtsoc::hwsim {
+class WorkerPool;
+}
+
 namespace xtsoc::fault {
 
 /// What one campaign run produced. `survived` is the per-run verdict: the
@@ -64,6 +68,16 @@ public:
   /// windowed scheduler, the lowest-index run's error wins.
   CampaignResult run(
       const std::function<RunOutcome(int index, std::uint64_t seed)>& one) const;
+
+  /// Same, but fan out over a caller-owned pool instead of spawning a
+  /// fresh one per call. This is how a long-lived server (xtsocd) shares
+  /// one hwsim::WorkerPool across every session's campaigns: pool spin-up
+  /// cost is paid once at daemon start, and concurrency is bounded by the
+  /// pool's size rather than each request's `threads`. A null pool falls
+  /// back to run(one).
+  CampaignResult run(
+      const std::function<RunOutcome(int index, std::uint64_t seed)>& one,
+      hwsim::WorkerPool* pool) const;
 
   FaultSpec spec_for(int index) const {
     FaultSpec s = base_;

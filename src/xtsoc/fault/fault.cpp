@@ -3,18 +3,12 @@
 #include <algorithm>
 #include <variant>
 
+#include "xtsoc/common/rng.hpp"
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::fault {
 
 namespace {
-
-/// splitmix64: seeds the per-site streams. Consecutive (seed, site) pairs
-/// land far apart, so campaign seeds i and i+1 share nothing.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
 
 double read_rate(const marks::MarkSet& marks, const char* key) {
   auto v = marks.domain_mark(key);
@@ -36,6 +30,8 @@ FaultSpec FaultSpec::from_marks(const marks::MarkSet& marks) {
   s.seed = seed < 0 ? 1 : static_cast<std::uint64_t>(seed);
   std::int64_t window = marks.domain_mark_int(kFaultWindow, 0);
   s.window = window < 0 ? 0 : static_cast<std::uint64_t>(window);
+  std::int64_t start = marks.domain_mark_int(kFaultWindowStart, 0);
+  s.window_start = start < 0 ? 0 : static_cast<std::uint64_t>(start);
   s.flit_drop = read_rate(marks, kFaultRateFlitDrop);
   s.flit_corrupt = read_rate(marks, kFaultRateFlitCorrupt);
   s.link_down = read_rate(marks, kFaultRateLinkDown);
@@ -51,13 +47,28 @@ std::uint64_t Plan::next(Site kind, std::uint32_t site) {
     // Never zero: xorshift's one fixed point.
     it->second = splitmix64(spec_.seed ^ splitmix64(key)) | 1;
   }
-  // xorshift64*.
-  std::uint64_t x = it->second;
-  x ^= x >> 12;
-  x ^= x << 25;
-  x ^= x >> 27;
-  it->second = x;
-  return x * 0x2545f4914f6cdd1dULL;
+  Xorshift64Star s;
+  s.set_state(it->second);
+  const std::uint64_t draw = s.next();
+  it->second = s.state();
+  return draw;
+}
+
+void Plan::save_state(snap::Writer& w) const {
+  w.u64(streams_.size());
+  for (const auto& [key, state] : streams_) {
+    w.u64(key);
+    w.u64(state);
+  }
+}
+
+void Plan::load_state(snap::Reader& r) {
+  streams_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = r.u64();
+    streams_[key] = r.u64();
+  }
 }
 
 bool Plan::roll(Site kind, std::uint32_t site, double rate,

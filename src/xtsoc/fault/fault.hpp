@@ -25,6 +25,11 @@
 
 #include "xtsoc/marks/marks.hpp"
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::fault {
 
 /// Mark keys (domain scope; the canonical definitions live with the other
@@ -34,6 +39,7 @@ namespace xtsoc::fault {
 /// bus transfer attempt.
 inline constexpr const char* kFaultSeed = marks::kFaultSeed;
 inline constexpr const char* kFaultWindow = marks::kFaultWindow;
+inline constexpr const char* kFaultWindowStart = marks::kFaultWindowStart;
 inline constexpr const char* kFaultRateFlitDrop = marks::kFaultRateFlitDrop;
 inline constexpr const char* kFaultRateFlitCorrupt =
     marks::kFaultRateFlitCorrupt;
@@ -47,8 +53,16 @@ struct FaultSpec {
   double flit_corrupt = 0.0;   ///< faultRate.flitCorrupt
   double link_down = 0.0;      ///< faultRate.linkDown
   double bus_error = 0.0;      ///< faultRate.busError
-  /// faultWindow: inject only during cycles [1, window]; 0 = the whole run.
+  /// faultWindow: inject only during cycles (window_start, window];
+  /// window 0 = no upper bound.
   std::uint64_t window = 0;
+  /// faultWindow.start: no faults during the first `window_start` cycles
+  /// (default 0 = from the beginning). The bound is exclusive — cycles are
+  /// 1-indexed, so a start of N masks exactly cycles 1..N — which is what
+  /// makes warm-start campaigns exact: a checkpoint taken after
+  /// `window_start` cycles has consulted no stream at all, so restoring
+  /// and attaching a fresh per-seed Plan replays the cold run.
+  std::uint64_t window_start = 0;
   /// Transmission attempts a resilient transport makes before reporting a
   /// message as dropped (never a hang). Code-settable, not a mark.
   int retry_budget = 4;
@@ -86,9 +100,11 @@ public:
 
   const FaultSpec& spec() const { return spec_; }
 
-  /// True when `cycle` is inside the injection window.
+  /// True when `cycle` is inside the injection window (window_start
+  /// exclusive, window inclusive).
   bool active(std::uint64_t cycle) const {
-    return spec_.window == 0 || cycle <= spec_.window;
+    return cycle > spec_.window_start &&
+           (spec_.window == 0 || cycle <= spec_.window);
   }
 
   // --- decision points (each advances the site's stream iff its rate is
@@ -120,6 +136,14 @@ public:
                : static_cast<std::uint32_t>(next(Site::kFlitCorrupt, link) %
                                             bound);
   }
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Persist / resume the per-site stream positions. The spec itself is
+  /// not carried (a restored run may attach a different plan — that is the
+  /// whole warm-campaign trick); only the consumed-randomness positions
+  /// are, so a same-spec restore replays the exact fault sequence.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   /// Advance the (kind, site) stream and return the next raw 64-bit draw.

@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "xtsoc/hwsim/pool.hpp"
+#include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::hwsim {
 
@@ -289,5 +290,70 @@ const std::string& Simulator::name_of(HwSignalId w) const {
 }
 
 int Simulator::width_of(HwSignalId w) const { return state(w).width; }
+
+void Simulator::save_state(snap::Writer& w) const {
+  if (!runnable_.empty() || !nba_pending_.empty()) {
+    throw snap::SnapError(
+        "kernel checkpoint requires a quiet point: processes are runnable "
+        "or non-blocking writes are pending");
+  }
+  w.u64(wires_.size());
+  for (const WireState& ws : wires_) {
+    w.u8(static_cast<std::uint8_t>(ws.width));  // shape check on load
+    w.u64(ws.value);
+    w.u64(ws.posedges);
+  }
+  w.u64(clocks_.size());
+  for (const ClockGen& c : clocks_) {
+    w.u64(c.half_period);  // shape check on load
+    w.u64(c.next_toggle);
+  }
+  w.u64(now_);
+  w.boolean(initial_settle_done_);
+  w.u64(stats_.delta_cycles);
+  w.u64(stats_.process_activations);
+  w.u64(stats_.wire_commits);
+}
+
+void Simulator::load_state(snap::Reader& r) {
+  const std::uint64_t nwires = r.u64();
+  if (nwires != wires_.size()) {
+    throw snap::SnapError("kernel snapshot has " + std::to_string(nwires) +
+                          " wires, netlist has " +
+                          std::to_string(wires_.size()));
+  }
+  for (WireState& ws : wires_) {
+    const int width = r.u8();
+    if (width != ws.width) {
+      throw snap::SnapError("kernel snapshot wire width mismatch on '" +
+                            ws.name + "'");
+    }
+    ws.value = r.u64();
+    ws.next = 0;
+    ws.has_next = false;
+    ws.posedges = r.u64();
+  }
+  const std::uint64_t nclocks = r.u64();
+  if (nclocks != clocks_.size()) {
+    throw snap::SnapError("kernel snapshot clock count mismatch");
+  }
+  for (ClockGen& c : clocks_) {
+    const std::uint64_t half = r.u64();
+    if (half != c.half_period) {
+      throw snap::SnapError("kernel snapshot clock period mismatch");
+    }
+    c.next_toggle = r.u64();
+  }
+  now_ = r.u64();
+  initial_settle_done_ = r.boolean();
+  stats_.delta_cycles = r.u64();
+  stats_.process_activations = r.u64();
+  stats_.wire_commits = r.u64();
+  // A freshly elaborated netlist queues every combinational process for the
+  // time-0 settle; the snapshot already carries the settled wire values, so
+  // that pending work must be discarded, not replayed.
+  runnable_.clear();
+  nba_pending_.clear();
+}
 
 }  // namespace xtsoc::hwsim

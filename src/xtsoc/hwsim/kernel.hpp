@@ -40,6 +40,11 @@
 #include "xtsoc/common/ids.hpp"
 #include "xtsoc/obs/registry.hpp"
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::hwsim {
 
 class WorkerPool;  // pool.hpp — shared with the cosim window scheduler
@@ -140,6 +145,17 @@ public:
   std::uint64_t posedge_count(HwSignalId clock) const;
   const SimStats& stats() const { return stats_; }
   std::size_t wire_count() const { return wires_.size(); }
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the dynamic kernel state: wire values/latches/edge counters,
+  /// clock schedules, time, settle flag, stats. The NETLIST (wires, widths,
+  /// processes, sensitivities) is not serialized — a restore re-elaborates
+  /// the same netlist from the model and load_state refuses a snapshot
+  /// whose shape (wire count/widths, clock count) disagrees. Only legal at
+  /// a quiet point: no queued runnables, no pending non-blocking writes
+  /// (between run_cycles calls); throws SnapError otherwise.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   struct WireState {

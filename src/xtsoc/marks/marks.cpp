@@ -19,7 +19,8 @@ const char* const kStandardDomainKeys[] = {kBusLatency, kMeshWidth,
                                            kMeshHeight, kSwTileX, kSwTileY,
                                            kLinkLatency, kFlitBytes,
                                            kFifoDepth, kFaultSeed,
-                                           kFaultWindow, kFaultRateFlitDrop,
+                                           kFaultWindow, kFaultWindowStart,
+                                           kFaultRateFlitDrop,
                                            kFaultRateFlitCorrupt,
                                            kFaultRateLinkDown,
                                            kFaultRateBusError};
@@ -162,7 +163,7 @@ bool MarkSet::validate(const xtuml::Domain& domain,
                  key == kMeshHeight || key == kSwTileX || key == kSwTileY ||
                  key == kLinkLatency || key == kFlitBytes ||
                  key == kFifoDepth || key == kFaultSeed ||
-                 key == kFaultWindow) {
+                 key == kFaultWindow || key == kFaultWindowStart) {
         if (!domain_scope) {
           sink.error("marks.scope",
                      std::string(key) + " is a domain mark, not class");
@@ -250,7 +251,7 @@ bool MarkSet::validate(const xtuml::Domain& domain,
   // are rejected here, at the same gate as every other platform mark.
   for (const auto& [element, kv] : marks_) {
     if (!element.empty()) continue;  // scope errors reported above
-    for (const char* key : {kFaultSeed, kFaultWindow}) {
+    for (const char* key : {kFaultSeed, kFaultWindow, kFaultWindowStart}) {
       if (auto it = kv.find(key);
           it != kv.end() && std::holds_alternative<std::int64_t>(it->second) &&
           std::get<std::int64_t>(it->second) < 0) {
@@ -277,6 +278,21 @@ bool MarkSet::validate(const xtuml::Domain& domain,
         sink.error("marks.fault_range",
                    "domain." + std::string(key) +
                        " is a probability and must be in [0, 1]");
+      }
+    }
+    // An inverted window would silently disarm every fault — reject it.
+    auto wit = kv.find(kFaultWindow);
+    auto sit = kv.find(kFaultWindowStart);
+    if (wit != kv.end() && sit != kv.end() &&
+        std::holds_alternative<std::int64_t>(wit->second) &&
+        std::holds_alternative<std::int64_t>(sit->second)) {
+      std::int64_t end = std::get<std::int64_t>(wit->second);
+      std::int64_t start = std::get<std::int64_t>(sit->second);
+      if (end > 0 && start >= end) {
+        sink.error("marks.fault_range",
+                   "domain.faultWindow.start (" + std::to_string(start) +
+                       ") is after domain.faultWindow (" +
+                       std::to_string(end) + "); the window is empty");
       }
     }
   }

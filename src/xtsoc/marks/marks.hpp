@@ -59,7 +59,8 @@ inline constexpr const char* kFifoDepth = "fifoDepth";      // int, domain (rout
 // like every other one. Rates are per-decision probabilities in [0, 1],
 // written as reals (or the ints 0/1).
 inline constexpr const char* kFaultSeed = "faultSeed";      // int, domain (PRNG root)
-inline constexpr const char* kFaultWindow = "faultWindow";  // int, domain (cycles; 0 = whole run)
+inline constexpr const char* kFaultWindow = "faultWindow";  // int, domain (last cycle; 0 = whole run)
+inline constexpr const char* kFaultWindowStart = "faultWindow.start";  // int, domain (first cycle)
 inline constexpr const char* kFaultRateFlitDrop = "faultRate.flitDrop";
 inline constexpr const char* kFaultRateFlitCorrupt = "faultRate.flitCorrupt";
 inline constexpr const char* kFaultRateLinkDown = "faultRate.linkDown";

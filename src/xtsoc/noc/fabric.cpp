@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "xtsoc/fault/fault.hpp"
+#include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::noc {
 
@@ -72,8 +73,11 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
     // byte-identical to a fault-free build.
     fault_armed_ =
         fs.flit_drop > 0.0 || fs.flit_corrupt > 0.0 || fs.link_down > 0.0;
-    link_down_until_.assign(links_.size(), 0);
   }
+  // Sized whether or not a plan is attached, so the fabric's snapshot
+  // layout is the same either way (a faulty snapshot restores into a
+  // fault-free fabric and vice versa); only fault_armed_ paths read it.
+  link_down_until_.assign(links_.size(), 0);
 }
 
 int Fabric::hop_distance(int a, int b) const {
@@ -625,6 +629,281 @@ std::string FabricStats::to_table() const {
        << std::setprecision(3) << link_utilization(l) << '\n';
   }
   return os.str();
+}
+
+void save_flit(snap::Writer& w, const Flit& f) {
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.u8(f.src_x);
+  w.u8(f.src_y);
+  w.u8(f.dst_x);
+  w.u8(f.dst_y);
+  w.u32(f.seq);
+  w.u32(f.opcode);
+  w.u32(f.frame_bytes);
+  w.u32(f.frame_id);
+  w.u32(f.crc);
+  w.u8(f.route_mode);
+  w.u64(f.payload.size());
+  w.bytes(f.payload.data(), f.payload.size());
+  w.u64(f.send_cycle);
+  w.u64(f.min_due);
+  w.boolean(f.tainted);
+}
+
+Flit load_flit(snap::Reader& r) {
+  Flit f;
+  f.kind = static_cast<FlitKind>(r.u8());
+  f.src_x = r.u8();
+  f.src_y = r.u8();
+  f.dst_x = r.u8();
+  f.dst_y = r.u8();
+  f.seq = r.u32();
+  f.opcode = r.u32();
+  f.frame_bytes = r.u32();
+  f.frame_id = r.u32();
+  f.crc = r.u32();
+  f.route_mode = r.u8();
+  f.payload.resize(r.u64());
+  for (std::uint8_t& b : f.payload) b = r.u8();
+  f.send_cycle = r.u64();
+  f.min_due = r.u64();
+  f.tainted = r.boolean();
+  return f;
+}
+
+namespace {
+
+void save_bytes(snap::Writer& w, const std::vector<std::uint8_t>& v) {
+  w.u64(v.size());
+  w.bytes(v.data(), v.size());
+}
+
+std::vector<std::uint8_t> load_bytes(snap::Reader& r) {
+  std::vector<std::uint8_t> v(r.u64());
+  for (std::uint8_t& b : v) b = r.u8();
+  return v;
+}
+
+void save_delivery(snap::Writer& w, const Delivery& d) {
+  w.u32(d.opcode);
+  save_bytes(w, d.payload);
+  w.u32(static_cast<std::uint32_t>(d.src_tile));
+  w.u64(d.send_cycle);
+  w.u64(d.arrive_cycle);
+  w.u64(d.due_cycle);
+}
+
+Delivery load_delivery(snap::Reader& r) {
+  Delivery d;
+  d.opcode = r.u32();
+  d.payload = load_bytes(r);
+  d.src_tile = static_cast<int>(r.u32());
+  d.send_cycle = r.u64();
+  d.arrive_cycle = r.u64();
+  d.due_cycle = r.u64();
+  return d;
+}
+
+}  // namespace
+
+void Fabric::save_state(snap::Writer& w) const {
+  w.u64(routers_.size());
+  for (const Router& rt : routers_) rt.save_state(w);
+  w.u64(nics_.size());
+  for (const Nic& n : nics_) {
+    w.u64(n.tx.size());
+    for (const Flit& f : n.tx) save_flit(w, f);
+    w.u32(static_cast<std::uint32_t>(n.inject_credits));
+    w.u64(n.partial.size());
+    for (const auto& [key, re] : n.partial) {
+      w.u32(static_cast<std::uint32_t>(key.first));
+      w.u32(key.second);
+      w.u32(re.opcode);
+      w.u32(re.frame_bytes);
+      w.u32(re.frame_id);
+      w.u32(re.crc);
+      w.boolean(re.tainted);
+      save_bytes(w, re.payload);
+    }
+    w.u64(n.ready.size());
+    for (const Delivery& d : n.ready) save_delivery(w, d);
+    w.u32(n.next_seq);
+    w.u64(n.pending.size());
+    for (const auto& [id, tx] : n.pending) {
+      w.u32(id);
+      w.u32(static_cast<std::uint32_t>(tx.dst));
+      w.u32(tx.frame_id);
+      w.u32(tx.opcode);
+      w.u32(tx.crc);
+      save_bytes(w, tx.payload);
+      w.u64(tx.send_cycle);
+      w.u64(tx.min_due);
+      w.u64(tx.deadline);
+      w.u32(static_cast<std::uint32_t>(tx.attempts));
+    }
+    w.u64(n.retry_at.size());
+    for (const auto& [deadline, id] : n.retry_at) {
+      w.u64(deadline);
+      w.u32(id);
+    }
+    w.u64(n.delivered.size());
+    for (const auto& [src, id] : n.delivered) {
+      w.u32(static_cast<std::uint32_t>(src));
+      w.u32(id);
+    }
+    w.u32(n.next_frame_id);
+  }
+  w.u64(in_flight_.size());
+  for (const Arrival& a : in_flight_) {
+    w.u64(a.cycle);
+    w.u32(static_cast<std::uint32_t>(a.router));
+    w.u8(static_cast<std::uint8_t>(a.port));
+    save_flit(w, a.flit);
+  }
+  w.u64(links_.size());
+  for (const LinkStats& l : links_) w.u64(l.flits);
+  w.u64(acks_.size());
+  for (const Ack& a : acks_) {
+    w.u64(a.due);
+    w.u32(static_cast<std::uint32_t>(a.to_tile));
+    w.u32(a.frame_id);
+  }
+  w.u64(link_down_until_.size());
+  for (std::uint64_t until : link_down_until_) w.u64(until);
+  w.u64(fstats_.flits_dropped);
+  w.u64(fstats_.flits_corrupted);
+  w.u64(fstats_.link_down_events);
+  w.u64(fstats_.link_down_drops);
+  w.u64(fstats_.crc_rejects);
+  w.u64(fstats_.orphan_flits);
+  w.u64(fstats_.retransmissions);
+  w.u64(fstats_.duplicates_dropped);
+  w.u64(fstats_.acks_delivered);
+  w.u64(fstats_.frames_lost);
+  w.u64(fstats_.tainted_delivered);
+  w.u64(cycles_);
+  w.u64(frames_sent_);
+  w.u64(frames_delivered_);
+  w.u64(flits_injected_);
+  w.u64(payload_bytes_);
+  for (std::uint64_t b : latency_.buckets) w.u64(b);
+  w.u64(latency_.count);
+  w.u64(latency_.total);
+  w.u64(latency_.min);
+  w.u64(latency_.max);
+}
+
+void Fabric::load_state(snap::Reader& r) {
+  if (r.u64() != routers_.size()) {
+    throw snap::SnapError("fabric snapshot router count mismatch");
+  }
+  for (Router& rt : routers_) rt.load_state(r);
+  if (r.u64() != nics_.size()) {
+    throw snap::SnapError("fabric snapshot NIC count mismatch");
+  }
+  for (Nic& n : nics_) {
+    n.tx.clear();
+    std::uint64_t cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) n.tx.push_back(load_flit(r));
+    n.inject_credits = static_cast<int>(r.u32());
+    n.partial.clear();
+    cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      const int src = static_cast<int>(r.u32());
+      const std::uint32_t seq = r.u32();
+      Reassembly re;
+      re.opcode = r.u32();
+      re.frame_bytes = r.u32();
+      re.frame_id = r.u32();
+      re.crc = r.u32();
+      re.tainted = r.boolean();
+      re.payload = load_bytes(r);
+      n.partial.emplace(std::make_pair(src, seq), std::move(re));
+    }
+    n.ready.clear();
+    cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) n.ready.push_back(load_delivery(r));
+    n.next_seq = r.u32();
+    n.pending.clear();
+    cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      const std::uint32_t id = r.u32();
+      PendingTx tx;
+      tx.dst = static_cast<int>(r.u32());
+      tx.frame_id = r.u32();
+      tx.opcode = r.u32();
+      tx.crc = r.u32();
+      tx.payload = load_bytes(r);
+      tx.send_cycle = r.u64();
+      tx.min_due = r.u64();
+      tx.deadline = r.u64();
+      tx.attempts = static_cast<int>(r.u32());
+      n.pending.emplace(id, std::move(tx));
+    }
+    n.retry_at.clear();
+    cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      const std::uint64_t deadline = r.u64();
+      n.retry_at.emplace(deadline, r.u32());
+    }
+    n.delivered.clear();
+    cnt = r.u64();
+    for (std::uint64_t i = 0; i < cnt; ++i) {
+      const int src = static_cast<int>(r.u32());
+      const std::uint32_t id = r.u32();
+      n.delivered.emplace(src, id);
+    }
+    n.next_frame_id = r.u32();
+  }
+  in_flight_.clear();
+  std::uint64_t cnt = r.u64();
+  for (std::uint64_t i = 0; i < cnt; ++i) {
+    Arrival a;
+    a.cycle = r.u64();
+    a.router = static_cast<int>(r.u32());
+    a.port = static_cast<Port>(r.u8());
+    a.flit = load_flit(r);
+    in_flight_.push_back(std::move(a));
+  }
+  if (r.u64() != links_.size()) {
+    throw snap::SnapError("fabric snapshot link count mismatch");
+  }
+  for (LinkStats& l : links_) l.flits = r.u64();
+  acks_.clear();
+  cnt = r.u64();
+  for (std::uint64_t i = 0; i < cnt; ++i) {
+    Ack a;
+    a.due = r.u64();
+    a.to_tile = static_cast<int>(r.u32());
+    a.frame_id = r.u32();
+    acks_.push_back(a);
+  }
+  if (r.u64() != link_down_until_.size()) {
+    throw snap::SnapError("fabric snapshot link count mismatch");
+  }
+  for (std::uint64_t& until : link_down_until_) until = r.u64();
+  fstats_.flits_dropped = r.u64();
+  fstats_.flits_corrupted = r.u64();
+  fstats_.link_down_events = r.u64();
+  fstats_.link_down_drops = r.u64();
+  fstats_.crc_rejects = r.u64();
+  fstats_.orphan_flits = r.u64();
+  fstats_.retransmissions = r.u64();
+  fstats_.duplicates_dropped = r.u64();
+  fstats_.acks_delivered = r.u64();
+  fstats_.frames_lost = r.u64();
+  fstats_.tainted_delivered = r.u64();
+  cycles_ = r.u64();
+  frames_sent_ = r.u64();
+  frames_delivered_ = r.u64();
+  flits_injected_ = r.u64();
+  payload_bytes_ = r.u64();
+  for (std::uint64_t& b : latency_.buckets) b = r.u64();
+  latency_.count = r.u64();
+  latency_.total = r.u64();
+  latency_.min = r.u64();
+  latency_.max = r.u64();
+  last_in_flight_ = in_flight_.size();
 }
 
 }  // namespace xtsoc::noc

@@ -160,6 +160,15 @@ public:
   FabricStats stats() const;
   const FabricFaultStats& fault_stats() const { return fstats_; }
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the complete dynamic network state: router buffers/credits/
+  /// arbitration, NIC injection queues, reassemblies, retry schedules and
+  /// dedup sets, link-borne flits, sideband acks, outage timers, and every
+  /// counter. The topology (dimensions, latencies, depths) is
+  /// construction-owned; load_state refuses a different shape.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   struct Reassembly {
     std::uint32_t opcode = 0;

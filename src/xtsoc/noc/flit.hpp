@@ -11,6 +11,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::noc {
 
 enum class FlitKind : std::uint8_t {
@@ -61,5 +66,10 @@ struct Flit {
     return kind == FlitKind::kTail || kind == FlitKind::kHeadTail;
   }
 };
+
+/// Flit byte encoding for checkpoints (implemented with the fabric's other
+/// serialization in fabric.cpp).
+void save_flit(snap::Writer& w, const Flit& f);
+Flit load_flit(snap::Reader& r);
 
 }  // namespace xtsoc::noc

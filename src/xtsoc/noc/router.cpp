@@ -1,5 +1,7 @@
 #include "xtsoc/noc/router.hpp"
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::noc {
 
 const char* to_string(FlitKind k) {
@@ -81,6 +83,33 @@ int Router::arbitrate(Port out, unsigned served_mask) const {
 void Router::note_occupancy() {
   std::size_t n = buffered();
   if (n > stats_.buffer_high_water) stats_.buffer_high_water = n;
+}
+
+void Router::save_state(snap::Writer& w) const {
+  for (int p = 0; p < kPortCount; ++p) {
+    w.u64(in_[p].size());
+    for (const Flit& f : in_[p]) save_flit(w, f);
+  }
+  for (int p = 0; p < kPortCount; ++p) w.u32(static_cast<std::uint32_t>(credits_[p]));
+  for (int p = 0; p < kPortCount; ++p) w.u32(static_cast<std::uint32_t>(rr_[p]));
+  w.u64(stats_.flits_routed);
+  w.u64(stats_.flits_ejected);
+  w.u64(stats_.credit_stalls);
+  w.u64(stats_.buffer_high_water);
+}
+
+void Router::load_state(snap::Reader& r) {
+  for (int p = 0; p < kPortCount; ++p) {
+    in_[p].clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) in_[p].push_back(load_flit(r));
+  }
+  for (int p = 0; p < kPortCount; ++p) credits_[p] = static_cast<int>(r.u32());
+  for (int p = 0; p < kPortCount; ++p) rr_[p] = static_cast<int>(r.u32());
+  stats_.flits_routed = r.u64();
+  stats_.flits_ejected = r.u64();
+  stats_.credit_stalls = r.u64();
+  stats_.buffer_high_water = r.u64();
 }
 
 }  // namespace xtsoc::noc

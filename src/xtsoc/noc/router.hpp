@@ -79,6 +79,12 @@ public:
   const RouterStats& stats() const { return stats_; }
   void note_occupancy();
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize buffered flits, credit counters, round-robin pointers and
+  /// stats. Position and depth are construction-owned.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   int x_, y_;
   int depth_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::obs {
 
 Registry::Registry() : epoch_(std::chrono::steady_clock::now()) {}
@@ -45,6 +47,23 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void Registry::save_counters(snap::Writer& w) const {
+  const auto all = counters();
+  w.u64(all.size());
+  for (const auto& [name, value] : all) {
+    w.str(name);
+    w.u64(value);
+  }
+}
+
+void Registry::load_counters(snap::Reader& r) {
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    counter(name)->set(r.u64());
+  }
 }
 
 std::uint64_t Registry::now_ns() const {

@@ -48,6 +48,11 @@
 #include "xtsoc/obs/json.hpp"
 #include "xtsoc/obs/snapshot.hpp"
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::obs {
 
 /// A track is one horizontal lane of the exported timeline ("kernel",
@@ -67,6 +72,11 @@ public:
     v_.fetch_add(delta, std::memory_order_relaxed);
   }
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Overwrite the count. Checkpoint restore only — instrumented code must
+  /// stick to add() so concurrent increments never lose updates.
+  void set(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
   const std::string& name() const { return name_; }
 
 private:
@@ -136,6 +146,15 @@ public:
   /// Assemble a Snapshot: every registered section (registration order),
   /// then a "counters" object (name-sorted).
   Snapshot snapshot() const;
+
+  // --- checkpointing -----------------------------------------------------------
+
+  /// Serialize every counter as (name, value), name-sorted. Tracks, trace
+  /// events and sections are observation-side state and not checkpointed.
+  void save_counters(snap::Writer& w) const;
+  /// Restore counter values; names not present yet are created, so the
+  /// restored report shows the same counter set as the uninterrupted run.
+  void load_counters(snap::Reader& r);
 
   // --- export ------------------------------------------------------------------
 

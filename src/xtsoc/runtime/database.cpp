@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::runtime {
 
 Database::Database(const xtuml::Domain& domain) : domain_(&domain) {
@@ -210,6 +212,66 @@ InstanceSet Database::related(const InstanceHandle& from,
 
 std::size_t Database::link_count(AssociationId assoc) const {
   return links_[assoc.value()].size();
+}
+
+void Database::save_state(snap::Writer& w) const {
+  w.u64(slots_.size());
+  for (const auto& cls_slots : slots_) {
+    w.u64(cls_slots.size());
+    for (const InstanceSlot& s : cls_slots) {
+      w.boolean(s.alive);
+      w.u32(s.generation);
+      w.u32(s.state.value());
+      w.u64(s.attrs.size());
+      for (const Value& v : s.attrs) save_value(w, v);
+    }
+  }
+  w.u64(free_list_.size());
+  for (const auto& fl : free_list_) {
+    w.u64(fl.size());
+    for (std::uint32_t idx : fl) w.u32(idx);
+  }
+  w.u64(links_.size());
+  for (const auto& ll : links_) {
+    w.u64(ll.size());
+    for (const Link& l : ll) {
+      save_handle(w, l.a);
+      save_handle(w, l.b);
+    }
+  }
+}
+
+void Database::load_state(snap::Reader& r) {
+  if (r.u64() != slots_.size()) {
+    throw snap::SnapError("database snapshot class count mismatch");
+  }
+  for (auto& cls_slots : slots_) {
+    cls_slots.resize(r.u64());
+    for (InstanceSlot& s : cls_slots) {
+      s.alive = r.boolean();
+      s.generation = r.u32();
+      s.state = StateId(r.u32());
+      s.attrs.resize(r.u64());
+      for (Value& v : s.attrs) v = load_value(r);
+    }
+  }
+  if (r.u64() != free_list_.size()) {
+    throw snap::SnapError("database snapshot class count mismatch");
+  }
+  for (auto& fl : free_list_) {
+    fl.resize(r.u64());
+    for (std::uint32_t& idx : fl) idx = r.u32();
+  }
+  if (r.u64() != links_.size()) {
+    throw snap::SnapError("database snapshot association count mismatch");
+  }
+  for (auto& ll : links_) {
+    ll.resize(r.u64());
+    for (Link& l : ll) {
+      l.a = load_handle(r);
+      l.b = load_handle(r);
+    }
+  }
 }
 
 }  // namespace xtsoc::runtime

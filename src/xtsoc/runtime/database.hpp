@@ -74,6 +74,14 @@ public:
 
   std::size_t link_count(AssociationId assoc) const;
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the whole population: slots (with generations and free
+  /// lists, so handle staleness survives a restore), attributes, links.
+  /// load_state requires a database built from the same domain (class and
+  /// association counts are checked) and replaces its population.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   struct Link {
     InstanceHandle a;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::runtime {
 
 Executor::Executor(const oal::CompiledDomain& compiled, ExecutorConfig config)
@@ -407,6 +409,83 @@ void Executor::on_log(std::string text) {
   te.subject = current_;
   te.text = std::move(text);
   trace_.record(std::move(te));
+}
+
+void save_message(snap::Writer& w, const EventMessage& m) {
+  save_handle(w, m.target);
+  w.u32(m.event.value());
+  w.u64(m.args.size());
+  for (const Value& v : m.args) save_value(w, v);
+  save_handle(w, m.sender);
+  w.u64(m.deliver_at);
+  w.u64(m.seq);
+}
+
+EventMessage load_message(snap::Reader& r) {
+  EventMessage m;
+  m.target = load_handle(r);
+  m.event = EventId(r.u32());
+  m.args.resize(r.u64());
+  for (Value& v : m.args) v = load_value(r);
+  m.sender = load_handle(r);
+  m.deliver_at = r.u64();
+  m.seq = r.u64();
+  return m;
+}
+
+void Executor::save_state(snap::Writer& w) const {
+  db_.save_state(w);
+  trace_.save_state(w);
+  w.u64(self_queue_.size());
+  for (const EventMessage& m : self_queue_) save_message(w, m);
+  w.u64(ext_queue_.size());
+  for (const EventMessage& m : ext_queue_) save_message(w, m);
+  // The timer heap: copy-and-pop enumerates it in deadline order; reloading
+  // by push rebuilds an equivalent heap (pop order is a pure function of
+  // the contents), so the byte stream is canonical.
+  auto timers = timers_;
+  w.u64(timers.size());
+  while (!timers.empty()) {
+    save_message(w, timers.top());
+    timers.pop();
+  }
+  w.u64(now_);
+  w.u64(seq_);
+  w.u64(dispatches_);
+  w.u64(dispatches_by_class_.size());
+  for (std::uint64_t d : dispatches_by_class_) w.u64(d);
+  w.u64(ops_by_class_.size());
+  for (std::uint64_t o : ops_by_class_) w.u64(o);
+  w.u64(ops_);
+  w.u64(high_water_);
+}
+
+void Executor::load_state(snap::Reader& r) {
+  db_.load_state(r);
+  trace_.load_state(r);
+  self_queue_.clear();
+  std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) self_queue_.push_back(load_message(r));
+  ext_queue_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) ext_queue_.push_back(load_message(r));
+  timers_ = {};
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) timers_.push(load_message(r));
+  now_ = r.u64();
+  seq_ = r.u64();
+  dispatches_ = r.u64();
+  if (r.u64() != dispatches_by_class_.size()) {
+    throw snap::SnapError("executor snapshot class count mismatch");
+  }
+  for (std::uint64_t& d : dispatches_by_class_) d = r.u64();
+  if (r.u64() != ops_by_class_.size()) {
+    throw snap::SnapError("executor snapshot class count mismatch");
+  }
+  for (std::uint64_t& o : ops_by_class_) o = r.u64();
+  ops_ = r.u64();
+  high_water_ = r.u64();
+  current_ = InstanceHandle::null();
 }
 
 }  // namespace xtsoc::runtime

@@ -49,6 +49,11 @@ struct EventMessage {
   bool self_directed() const { return sender == target && !sender.is_null(); }
 };
 
+/// Message byte encoding, shared by every checkpointed structure that queues
+/// signals (executor queues, the bridge's pending forwards).
+void save_message(snap::Writer& w, const EventMessage& m);
+EventMessage load_message(snap::Reader& r);
+
 enum class QueuePolicy {
   kXtuml,     ///< self-directed events outrank external events
   kFifoOnly,  ///< single FIFO (ablation)
@@ -183,6 +188,15 @@ public:
   std::uint64_t ops_executed(ClassId cls) const;
 
   static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+  // --- checkpointing ----------------------------------------------------------
+  /// Serialize the full execution state: population, trace, both ready
+  /// queues, the timer heap, logical time, sequence/dispatch/op counters.
+  /// Caches (compiled bytecode, VM scratch, the arg pool) are rebuilt on
+  /// demand and deliberately not carried. load_state requires an executor
+  /// over the same compiled domain; not legal mid-dispatch.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   void dispatch(EventMessage m);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::runtime {
 
 const char* to_string(TraceKind k) {
@@ -64,6 +66,46 @@ std::string Trace::to_string() const {
   std::ostringstream os;
   for (const auto& e : events_) os << e.to_string() << '\n';
   return os.str();
+}
+
+void Trace::save_state(snap::Writer& w) const {
+  w.boolean(enabled_);
+  w.u64(events_.size());
+  for (const TraceEvent& e : events_) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    w.u64(e.tick);
+    save_handle(w, e.subject);
+    save_handle(w, e.peer);
+    w.u32(e.event.value());
+    w.u32(e.from_state.value());
+    w.u32(e.to_state.value());
+    w.u32(e.attr.value());
+    w.boolean(e.value.has_value());
+    if (e.value) save_value(w, *e.value);
+    w.u64(e.args.size());
+    for (const Value& v : e.args) save_value(w, v);
+    w.str(e.text);
+  }
+}
+
+void Trace::load_state(snap::Reader& r) {
+  enabled_ = r.boolean();
+  events_.clear();
+  events_.resize(r.u64());
+  for (TraceEvent& e : events_) {
+    e.kind = static_cast<TraceKind>(r.u8());
+    e.tick = r.u64();
+    e.subject = load_handle(r);
+    e.peer = load_handle(r);
+    e.event = EventId(r.u32());
+    e.from_state = StateId(r.u32());
+    e.to_state = StateId(r.u32());
+    e.attr = AttributeId(r.u32());
+    if (r.boolean()) e.value = load_value(r);
+    e.args.resize(r.u64());
+    for (Value& v : e.args) v = load_value(r);
+    e.text = r.str();
+  }
 }
 
 }  // namespace xtsoc::runtime

@@ -69,6 +69,13 @@ public:
 
   std::string to_string() const;
 
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize the recorded events and the enabled flag; load replaces the
+  /// current contents. Carrying the full history is what makes a restored
+  /// run's complete trace byte-identical to an uninterrupted one.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
+
 private:
   std::vector<TraceEvent> events_;
   bool enabled_ = true;

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::runtime {
 
 std::string InstanceHandle::to_string() const {
@@ -108,6 +110,73 @@ bool value_equals(const Value& a, const Value& b) {
                      std::holds_alternative<double>(b);
   if (a_num && b_num) return as_real(a) == as_real(b);
   return a == b;
+}
+
+void save_handle(snap::Writer& w, const InstanceHandle& h) {
+  w.u32(h.cls.value());
+  w.u32(h.index);
+  w.u32(h.generation);
+}
+
+InstanceHandle load_handle(snap::Reader& r) {
+  InstanceHandle h;
+  h.cls = ClassId(r.u32());
+  h.index = r.u32();
+  h.generation = r.u32();
+  return h;
+}
+
+void save_value(snap::Writer& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.index()));
+  switch (v.index()) {
+    case 0:
+      break;
+    case 1:
+      w.boolean(std::get<bool>(v));
+      break;
+    case 2:
+      w.i64(std::get<std::int64_t>(v));
+      break;
+    case 3:
+      w.f64(std::get<double>(v));
+      break;
+    case 4:
+      w.str(std::get<std::string>(v));
+      break;
+    case 5:
+      save_handle(w, std::get<InstanceHandle>(v));
+      break;
+    case 6: {
+      const InstanceSet& set = std::get<InstanceSet>(v);
+      w.u64(set.size());
+      for (const InstanceHandle& h : set) save_handle(w, h);
+      break;
+    }
+  }
+}
+
+Value load_value(snap::Reader& r) {
+  switch (r.u8()) {
+    case 0:
+      return Value{};
+    case 1:
+      return Value(r.boolean());
+    case 2:
+      return Value(r.i64());
+    case 3:
+      return Value(r.f64());
+    case 4:
+      return Value(r.str());
+    case 5:
+      return Value(load_handle(r));
+    case 6: {
+      InstanceSet set(r.u64());
+      for (InstanceHandle& h : set) h = load_handle(r);
+      return Value(std::move(set));
+    }
+    default:
+      throw snap::SnapError("unknown Value variant tag in snapshot");
+  }
 }
 
 }  // namespace xtsoc::runtime

@@ -16,6 +16,11 @@
 #include "xtsoc/common/ids.hpp"
 #include "xtsoc/xtuml/types.hpp"
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::runtime {
 
 /// Reference to a model instance. Invalid cls/idx means "empty reference".
@@ -62,5 +67,14 @@ const InstanceSet& as_set(const Value& v);
 
 /// Structural equality following OAL semantics (int/real compare numerically).
 bool value_equals(const Value& a, const Value& b);
+
+// --- checkpointing -----------------------------------------------------------
+// Values appear in every serialized runtime structure (attributes, queued
+// signal payloads, trace events), so the byte encoding lives here, next to
+// the type: a one-byte variant tag followed by the alternative's payload.
+void save_handle(snap::Writer& w, const InstanceHandle& h);
+InstanceHandle load_handle(snap::Reader& r);
+void save_value(snap::Writer& w, const Value& v);
+Value load_value(snap::Reader& r);
 
 }  // namespace xtsoc::runtime

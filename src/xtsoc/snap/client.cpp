@@ -1,0 +1,76 @@
+#include "xtsoc/snap/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xtsoc::snap {
+
+std::unique_ptr<Client> Client::connect(const std::string& socket_path,
+                                        std::string* error) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    if (error != nullptr) *error = "socket path too long";
+    return nullptr;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr) {
+      *error = "cannot connect to " + socket_path + ": " +
+               std::strerror(errno) + " (is xtsocd running?)";
+    }
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<obs::JsonValue> Client::request(const obs::JsonValue& request,
+                                              std::string* error) {
+  std::string line = request.dump();
+  line += '\n';
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t w = ::write(fd_, line.data() + off, line.size() - off);
+    if (w <= 0) {
+      if (error != nullptr) *error = "connection lost while sending";
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string resp = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      std::string perr;
+      std::optional<obs::JsonValue> v = obs::json_parse(resp, &perr);
+      if (!v.has_value() && error != nullptr) {
+        *error = "malformed response: " + perr;
+      }
+      return v;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n <= 0) {
+      if (error != nullptr) *error = "connection closed before response";
+      return std::nullopt;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace xtsoc::snap

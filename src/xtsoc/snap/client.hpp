@@ -1,0 +1,40 @@
+// snap::Client — the xtsocd wire client (xtsocc --connect).
+//
+// Blocking, line-framed: one JSON request out, one JSON response back, on
+// an AF_UNIX stream socket (the same dialect Server::handle_line speaks).
+// Deliberately synchronous — the CLI sends a handful of requests per
+// invocation; concurrency lives on the server side.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "xtsoc/obs/json.hpp"
+
+namespace xtsoc::snap {
+
+class Client {
+public:
+  /// Connect to the daemon's socket. Returns null with a diagnostic in
+  /// `*error` when the daemon is not there.
+  static std::unique_ptr<Client> connect(const std::string& socket_path,
+                                         std::string* error);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One round trip: serialize `request` as a line, read the response
+  /// line. nullopt (with `*error`) on transport or parse failure.
+  std::optional<obs::JsonValue> request(const obs::JsonValue& request,
+                                        std::string* error);
+
+private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buf_;  ///< bytes past the last consumed line
+};
+
+}  // namespace xtsoc::snap

@@ -1,0 +1,180 @@
+#include "xtsoc/snap/snapshot.hpp"
+
+#include <cstdio>
+
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/fault/fault.hpp"
+#include "xtsoc/mapping/interface.hpp"
+#include "xtsoc/obs/registry.hpp"
+
+namespace xtsoc::snap {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x504e5358;  // "XSNP" little-endian
+constexpr std::uint32_t kTagHeader = 'H';
+constexpr std::uint32_t kTagCosim = 'C';
+constexpr std::uint32_t kTagFault = 'F';
+constexpr std::uint32_t kTagObs = 'O';
+
+std::string system_digest(const cosim::CoSimulation& cs) {
+  return cs.system().interface().digest(cs.system().domain());
+}
+
+/// Verify magic, version and trailing CRC; returns a Reader positioned at
+/// the first section with the CRC trailer excluded from its range.
+Reader open_checked(const std::uint8_t* data, std::size_t size) {
+  // magic + version + CRC is the absolute minimum plausible file.
+  if (size < 12) {
+    throw SnapError("snapshot too short to be valid (" +
+                    std::to_string(size) + " bytes)");
+  }
+  const std::size_t body = size - 4;
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(data[body + static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (fault::crc32(data, body) != stored) {
+    throw SnapError("snapshot CRC mismatch (truncated or corrupted file)");
+  }
+  Reader r(data, body);
+  if (r.u32() != kMagic) {
+    throw SnapError("not a snapshot file (bad magic)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapVersion) {
+    throw SnapError("unsupported snapshot version " + std::to_string(version) +
+                    " (this build reads version " +
+                    std::to_string(kSnapVersion) + ")");
+  }
+  return r;
+}
+
+SnapshotInfo read_header(Reader& r) {
+  SnapshotInfo info;
+  info.version = kSnapVersion;
+  r.begin_section(kTagHeader);
+  info.digest = r.str();
+  info.cycle = r.u64();
+  info.has_fault_streams = r.boolean();
+  info.has_obs_counters = r.boolean();
+  r.end_section();
+  return info;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save(const cosim::CoSimulation& cs,
+                               const fault::Plan* plan,
+                               const obs::Registry* obs) {
+  Writer w;
+  w.u32(kMagic);
+  w.u32(kSnapVersion);
+
+  w.begin_section(kTagHeader);
+  w.str(system_digest(cs));
+  w.u64(cs.cycles());
+  w.boolean(plan != nullptr);
+  w.boolean(obs != nullptr);
+  w.end_section();
+
+  w.begin_section(kTagCosim);
+  cs.save_state(w);
+  w.end_section();
+
+  if (plan != nullptr) {
+    w.begin_section(kTagFault);
+    plan->save_state(w);
+    w.end_section();
+  }
+  if (obs != nullptr) {
+    w.begin_section(kTagObs);
+    obs->save_counters(w);
+    w.end_section();
+  }
+
+  std::vector<std::uint8_t> out = w.take();
+  const std::uint32_t crc = fault::crc32(out.data(), out.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+SnapshotInfo restore(cosim::CoSimulation& cs, const std::uint8_t* data,
+                     std::size_t size, fault::Plan* plan, obs::Registry* obs,
+                     RestoreOptions opts) {
+  Reader r = open_checked(data, size);
+  const SnapshotInfo info = read_header(r);
+
+  const std::string expected = system_digest(cs);
+  if (info.digest != expected) {
+    throw SnapError(
+        "snapshot was saved from a different system (interface digest " +
+        info.digest + ", this elaboration has " + expected + ")");
+  }
+
+  r.begin_section(kTagCosim);
+  cs.load_state(r);
+  r.end_section();
+
+  if (info.has_fault_streams) {
+    r.begin_section(kTagFault);
+    if (plan != nullptr && opts.load_fault_streams) {
+      plan->load_state(r);
+      r.end_section();
+    } else {
+      r.skip_section();
+    }
+  }
+  if (info.has_obs_counters) {
+    r.begin_section(kTagObs);
+    if (obs != nullptr) {
+      obs->load_counters(r);
+      r.end_section();
+    } else {
+      r.skip_section();
+    }
+  }
+  if (!r.at_end()) {
+    throw SnapError("snapshot has trailing bytes after the last section");
+  }
+  return info;
+}
+
+SnapshotInfo inspect(const std::uint8_t* data, std::size_t size) {
+  Reader r = open_checked(data, size);
+  return read_header(r);
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw SnapError("cannot open " + path + " for writing");
+  }
+  const std::size_t n =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && n == bytes.size();
+  if (!ok) throw SnapError("short write to " + path);
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapError("cannot open " + path);
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[65536];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) throw SnapError("read error on " + path);
+  return out;
+}
+
+}  // namespace xtsoc::snap

@@ -1,0 +1,62 @@
+#include "xtsoc/snap/warm.hpp"
+
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/fault/fault.hpp"
+#include "xtsoc/snap/snapshot.hpp"
+
+namespace xtsoc::snap {
+
+WarmCampaign::WarmCampaign(const mapping::MappedSystem& sys,
+                           cosim::CoSimConfig config, fault::FaultSpec base,
+                           std::uint64_t warm_cycles, std::uint64_t run_cycles,
+                           std::function<void(cosim::CoSimulation&)> populate)
+    : sys_(&sys), config_(config), base_(base), warm_cycles_(warm_cycles),
+      run_cycles_(run_cycles) {
+  if (base_.any() && base_.window_start < warm_cycles_) {
+    throw SnapError(
+        "warm campaign requires faultWindow.start >= the checkpoint cycle "
+        "(start " +
+        std::to_string(base_.window_start) + ", checkpoint at " +
+        std::to_string(warm_cycles_) +
+        "): streams consulted before the checkpoint would diverge from the "
+        "cold run");
+  }
+  // The warm run carries an ARMED plan of the same rates: arming switches
+  // the transports to their resilient framing (CRC/ack headers, retry
+  // bookkeeping), which must match what the per-seed runs will see. The
+  // window keeps every stream untouched, so the seed is irrelevant here.
+  fault::Plan plan(base_);
+  cosim::CoSimConfig cfg = config_;
+  cfg.fault = base_.any() ? &plan : nullptr;
+  cosim::CoSimulation cs(*sys_, cfg);
+  populate(cs);
+  cs.run_cycles(warm_cycles_);
+  bytes_ = save(cs, cfg.fault, nullptr);
+}
+
+fault::RunOutcome WarmCampaign::run_seed(int index, std::uint64_t seed) const {
+  (void)index;
+  fault::FaultSpec spec = base_;
+  spec.seed = seed;
+  fault::Plan plan(spec);
+  cosim::CoSimConfig cfg = config_;
+  cfg.fault = &plan;
+  cosim::CoSimulation cs(*sys_, cfg);
+  RestoreOptions opts;
+  opts.load_fault_streams = false;  // keep the fresh per-seed streams
+  restore(cs, bytes_.data(), bytes_.size(), &plan, nullptr, opts);
+  cs.run_cycles(run_cycles_);
+  fault::RunOutcome out = cosim::outcome_of(cs, plan);
+  out.seed = seed;
+  return out;
+}
+
+fault::CampaignResult WarmCampaign::run(int runs, int threads,
+                                        hwsim::WorkerPool* pool) const {
+  fault::Campaign campaign(base_, runs, threads);
+  return campaign.run(
+      [this](int index, std::uint64_t seed) { return run_seed(index, seed); },
+      pool);
+}
+
+}  // namespace xtsoc::snap

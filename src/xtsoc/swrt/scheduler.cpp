@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "xtsoc/snap/io.hpp"
+
 namespace xtsoc::swrt {
 
 TaskId Scheduler::spawn(std::string name, int priority, StepFn step) {
@@ -59,5 +61,25 @@ bool Scheduler::idle() const {
 const std::string& Scheduler::name_of(TaskId t) const { return task(t).name; }
 
 std::uint64_t Scheduler::steps_of(TaskId t) const { return task(t).steps; }
+
+void Scheduler::save_state(snap::Writer& w) const {
+  w.u64(tasks_.size());
+  for (const Task& t : tasks_) {
+    w.boolean(t.ready);
+    w.u64(t.steps);
+  }
+  w.u64(total_steps_);
+}
+
+void Scheduler::load_state(snap::Reader& r) {
+  if (r.u64() != tasks_.size()) {
+    throw snap::SnapError("scheduler snapshot task count mismatch");
+  }
+  for (Task& t : tasks_) {
+    t.ready = r.boolean();
+    t.steps = r.u64();
+  }
+  total_steps_ = r.u64();
+}
 
 }  // namespace xtsoc::swrt

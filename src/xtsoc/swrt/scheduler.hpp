@@ -16,6 +16,11 @@
 
 #include "xtsoc/common/ids.hpp"
 
+namespace xtsoc::snap {
+class Writer;
+class Reader;
+}  // namespace xtsoc::snap
+
 namespace xtsoc::swrt {
 
 class Scheduler {
@@ -43,6 +48,13 @@ public:
   std::uint64_t total_steps() const { return total_steps_; }
 
   static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+  // --- checkpointing ---------------------------------------------------------
+  /// Serialize per-task ready flags and step counters (names, priorities
+  /// and step functions are elaboration-owned). load_state requires the
+  /// same task roster, spawned in the same order.
+  void save_state(snap::Writer& w) const;
+  void load_state(snap::Reader& r);
 
 private:
   struct Task {

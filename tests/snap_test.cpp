@@ -1,0 +1,515 @@
+// xtsoc::snap — versioned checkpoint/restore.
+//
+// The contracts under test, in order:
+//   * the determinism grid: save at cycle N, restore into a FRESH
+//     elaboration, continue to M — traces, VCD, stats and report() are
+//     byte-identical to the uninterrupted run, at threads 1/2/8 x window
+//     0/1/L x faults on/off;
+//   * a snapshot is config-portable: saved under one (threads, window)
+//     configuration, it restores under any other and still reproduces the
+//     serial run byte for byte;
+//   * fault::Plan RNG positions ride the snapshot ('F' section): a faulty
+//     run resumes mid-stream, not from a reseeded stream;
+//   * obs counters ride the snapshot ('O' section);
+//   * rejection: truncated files, bit flips (CRC), version bumps, wrong
+//     magic, and digest mismatches (a different MappedSystem) all throw
+//     SnapError instead of deserializing garbage;
+//   * inspect() reads the header without a CoSimulation;
+//   * warm campaigns (snap/warm.hpp): one checkpoint + per-seed fresh
+//     streams produces the exact cold-campaign document, and the
+//     window-start precondition is enforced.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "test_models.hpp"
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/fault/campaign.hpp"
+#include "xtsoc/fault/fault.hpp"
+#include "xtsoc/hwsim/vcd.hpp"
+#include "xtsoc/obs/registry.hpp"
+#include "xtsoc/snap/snapshot.hpp"
+#include "xtsoc/snap/warm.hpp"
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::snap {
+namespace {
+
+using cosim::CoSimConfig;
+using cosim::CoSimulation;
+using runtime::Value;
+using testing::MappedFixture;
+using xtuml::DataType;
+using xtuml::ScalarValue;
+
+// --- workload ------------------------------------------------------------------
+
+/// A self-sustaining 2x2-mesh ring: three hardware nodes ping-ponging
+/// forever (each tick re-arms itself), so there is traffic in flight at
+/// every candidate checkpoint cycle.
+std::unique_ptr<xtuml::Domain> make_ring_domain() {
+  xtuml::DomainBuilder b("Ring");
+  constexpr int kNodes = 3;
+  for (int i = 0; i < kNodes; ++i) b.cls("Node" + std::to_string(i));
+  for (int i = 0; i < kNodes; ++i) {
+    std::string peer = "Node" + std::to_string((i + 1) % kNodes);
+    b.edit("Node" + std::to_string(i))
+        .attr("acc", DataType::kInt)
+        .attr("pings", DataType::kInt)
+        .ref_attr("peer", peer)
+        .event("tick")
+        .event("ping", {{"v", DataType::kInt}})
+        .state("Spin",
+               "self.acc = (self.acc * 33 + 7) % 65537;\n"
+               "if (self.acc % 8 == 0)\n"
+               "  generate ping(v: self.acc) to self.peer;\n"
+               "end if;\n"
+               "generate tick() to self;")
+        .state("Pinged",
+               "self.pings = self.pings + param.v % 2;\n"
+               "generate tick() to self;")
+        .transition("Spin", "tick", "Spin")
+        .transition("Spin", "ping", "Pinged")
+        .transition("Pinged", "tick", "Spin")
+        .transition("Pinged", "ping", "Pinged");
+  }
+  return b.take();
+}
+
+marks::MarkSet ring_marks() {
+  marks::MarkSet m;
+  const int tiles[3][2] = {{1, 0}, {0, 1}, {1, 1}};  // sw owns (0,0)
+  for (int i = 0; i < 3; ++i) {
+    std::string cls = "Node" + std::to_string(i);
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     ScalarValue(std::int64_t{tiles[i][0]}));
+    m.set_class_mark(cls, marks::kTileY,
+                     ScalarValue(std::int64_t{tiles[i][1]}));
+  }
+  m.set_domain_mark(marks::kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(marks::kMeshHeight, ScalarValue(std::int64_t{2}));
+  return m;
+}
+
+/// Create the ring population and kick every node once.
+void boot_ring(CoSimulation& cs) {
+  constexpr int kNodes = 3;
+  std::vector<runtime::InstanceHandle> h;
+  for (int i = 0; i < kNodes; ++i) {
+    h.push_back(cs.create("Node" + std::to_string(i)));
+  }
+  for (int i = 0; i < kNodes; ++i) {
+    // peer is the third declared attribute (acc, pings, peer).
+    cs.executor_of(h[static_cast<std::size_t>(i)].cls)
+        .database()
+        .set_attr(h[static_cast<std::size_t>(i)], AttributeId(2),
+                  Value(h[static_cast<std::size_t>((i + 1) % kNodes)]));
+    cs.inject(h[static_cast<std::size_t>(i)], "tick");
+  }
+}
+
+fault::FaultSpec noisy_spec() {
+  fault::FaultSpec s;
+  s.seed = 7;
+  s.flit_drop = 0.05;
+  s.flit_corrupt = 0.05;
+  return s;
+}
+
+// --- byte-for-byte capture -----------------------------------------------------
+
+/// Everything observable about the continuation segment of a run. The
+/// executor traces are cumulative (they ride the snapshot), so they cover
+/// the full history either way; the VCD writer is attached at the segment
+/// start in BOTH arms, so its samples line up cycle for cycle.
+struct Tail {
+  std::string hw_traces;
+  std::string sw_trace;
+  std::string vcd;
+  std::string report;
+  std::uint64_t cycles = 0;
+};
+
+Tail run_tail(CoSimulation& cs, std::uint64_t more_cycles) {
+  hwsim::VcdWriter vcd(cs.hw_sim());
+  cs.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+  cs.run_cycles(more_cycles);
+  cs.set_cycle_hook(nullptr);
+  Tail t;
+  for (const auto& hw : cs.hw_domains()) {
+    t.hw_traces += hw->executor().trace().to_string();
+  }
+  t.sw_trace = cs.sw_executor().trace().to_string();
+  t.vcd = vcd.render();
+  t.report = cs.report().to_json(2);
+  t.cycles = cs.cycles();
+  return t;
+}
+
+void expect_identical(const Tail& a, const Tail& b, const std::string& what) {
+  EXPECT_EQ(a.hw_traces, b.hw_traces) << what;
+  EXPECT_EQ(a.sw_trace, b.sw_trace) << what;
+  EXPECT_EQ(a.vcd, b.vcd) << what;
+  EXPECT_EQ(a.report, b.report) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+}
+
+constexpr std::uint64_t kSaveAt = 300;
+constexpr std::uint64_t kContinue = 400;
+
+/// One grid cell: straight-through vs save-at-N + restore-into-fresh.
+void grid_case(int threads, int window, bool faults) {
+  const std::string what = "threads=" + std::to_string(threads) +
+                           " window=" + std::to_string(window) +
+                           " faults=" + (faults ? "on" : "off");
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  CoSimConfig cfg;
+  cfg.threads = threads;
+  cfg.window = window;
+
+  fault::Plan plan_a(faults ? noisy_spec() : fault::FaultSpec{});
+  cfg.fault = faults ? &plan_a : nullptr;
+  CoSimulation a(*fx.system, cfg);
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, cfg.fault, nullptr);
+  Tail ta = run_tail(a, kContinue);
+
+  fault::Plan plan_b(faults ? noisy_spec() : fault::FaultSpec{});
+  cfg.fault = faults ? &plan_b : nullptr;
+  CoSimulation b(*fx.system, cfg);  // fresh elaboration, no boot: state loads
+  const SnapshotInfo info =
+      restore(b, bytes.data(), bytes.size(), cfg.fault, nullptr);
+  EXPECT_EQ(info.cycle, kSaveAt) << what;
+  EXPECT_EQ(info.version, kSnapVersion) << what;
+  EXPECT_EQ(info.has_fault_streams, faults) << what;
+  Tail tb = run_tail(b, kContinue);
+
+  expect_identical(ta, tb, what);
+}
+
+// --- the determinism grid ------------------------------------------------------
+
+TEST(SnapGrid, Threads1Window0) { grid_case(1, 0, false); }
+TEST(SnapGrid, Threads1Window1) { grid_case(1, 1, false); }
+TEST(SnapGrid, Threads1WindowL) { grid_case(1, 4, false); }
+TEST(SnapGrid, Threads2Window0) { grid_case(2, 0, false); }
+TEST(SnapGrid, Threads2WindowL) { grid_case(2, 4, false); }
+TEST(SnapGrid, Threads8Window1) { grid_case(8, 1, false); }
+TEST(SnapGrid, Threads8WindowL) { grid_case(8, 4, false); }
+TEST(SnapGrid, FaultsThreads1Window0) { grid_case(1, 0, true); }
+TEST(SnapGrid, FaultsThreads1Window1) { grid_case(1, 1, true); }
+TEST(SnapGrid, FaultsThreads1WindowL) { grid_case(1, 4, true); }
+TEST(SnapGrid, FaultsThreads2Window0) { grid_case(2, 0, true); }
+TEST(SnapGrid, FaultsThreads2WindowL) { grid_case(2, 4, true); }
+TEST(SnapGrid, FaultsThreads8Window1) { grid_case(8, 1, true); }
+TEST(SnapGrid, FaultsThreads8WindowL) { grid_case(8, 4, true); }
+
+/// The report's "run" section echoes host knobs (threads, window) that a
+/// ported restore legitimately changes; drop those two lines so the rest
+/// of the document must still match byte for byte.
+std::string strip_host_knobs(const std::string& report) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < report.size()) {
+    std::size_t eol = report.find('\n', pos);
+    if (eol == std::string::npos) eol = report.size();
+    const std::string line = report.substr(pos, eol - pos);
+    if (line.find("\"threads\":") == std::string::npos &&
+        line.find("\"window\":") == std::string::npos) {
+      out += line;
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
+// A snapshot is config-portable: saved serial, restored parallel — the
+// continuation still equals the serial run byte for byte.
+TEST(SnapGrid, SnapshotPortsAcrossConfigurations) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  fault::Plan plan_a(noisy_spec());
+  CoSimConfig serial;
+  serial.fault = &plan_a;
+  CoSimulation a(*fx.system, serial);
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, &plan_a, nullptr);
+  Tail ta = run_tail(a, kContinue);
+
+  for (auto [threads, window] : {std::pair{2, 4}, std::pair{8, 0}}) {
+    fault::Plan plan_b(noisy_spec());
+    CoSimConfig cfg;
+    cfg.threads = threads;
+    cfg.window = window;
+    cfg.fault = &plan_b;
+    CoSimulation b(*fx.system, cfg);
+    restore(b, bytes.data(), bytes.size(), &plan_b, nullptr);
+    Tail tb = run_tail(b, kContinue);
+    const std::string what =
+        "saved at threads=1/window=0, restored at threads=" +
+        std::to_string(threads) + "/window=" + std::to_string(window);
+    EXPECT_EQ(ta.hw_traces, tb.hw_traces) << what;
+    EXPECT_EQ(ta.sw_trace, tb.sw_trace) << what;
+    EXPECT_EQ(ta.vcd, tb.vcd) << what;
+    EXPECT_EQ(strip_host_knobs(ta.report), strip_host_knobs(tb.report))
+        << what;
+    EXPECT_EQ(ta.cycles, tb.cycles) << what;
+  }
+}
+
+// Without the 'F' section loaded, a faulty continuation diverges — proof
+// the stream positions (not just the seed) are what the snapshot carries.
+TEST(SnapGrid, FaultStreamsActuallyMatter) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  fault::Plan plan_a(noisy_spec());
+  CoSimConfig cfg;
+  cfg.fault = &plan_a;
+  CoSimulation a(*fx.system, cfg);
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, &plan_a, nullptr);
+  Tail ta = run_tail(a, kContinue);
+
+  fault::Plan plan_b(noisy_spec());  // fresh streams, same seed
+  CoSimConfig cfg_b;
+  cfg_b.fault = &plan_b;
+  CoSimulation b(*fx.system, cfg_b);
+  RestoreOptions opts;
+  opts.load_fault_streams = false;
+  restore(b, bytes.data(), bytes.size(), &plan_b, nullptr, opts);
+  Tail tb = run_tail(b, kContinue);
+  // Same state, but the plan re-draws from position 0: the fault pattern —
+  // and with it the delivery timeline some observable records — must
+  // differ. (The exported VCD signals are too coarse to be guaranteed to
+  // move, so the assertion spans every observable.)
+  EXPECT_TRUE(ta.hw_traces != tb.hw_traces || ta.sw_trace != tb.sw_trace ||
+              ta.report != tb.report);
+}
+
+// --- obs counters --------------------------------------------------------------
+
+TEST(SnapObs, CountersRideTheSnapshot) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  obs::Registry reg_a;
+  CoSimConfig cfg;
+  cfg.obs = &reg_a;
+  CoSimulation a(*fx.system, cfg);
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, nullptr, &reg_a);
+
+  obs::Registry reg_b;
+  CoSimConfig cfg_b;
+  cfg_b.obs = &reg_b;
+  CoSimulation b(*fx.system, cfg_b);
+  const SnapshotInfo info =
+      restore(b, bytes.data(), bytes.size(), nullptr, &reg_b);
+  EXPECT_TRUE(info.has_obs_counters);
+  EXPECT_EQ(reg_a.counters(), reg_b.counters());
+  EXPECT_FALSE(reg_b.counters().empty());
+
+  // And the continued runs agree counter for counter.
+  a.run_cycles(kContinue);
+  b.run_cycles(kContinue);
+  EXPECT_EQ(reg_a.counters(), reg_b.counters());
+}
+
+// A snapshot with sections the reader does not want (no plan, no registry
+// attached at restore time) still restores: unwanted sections are skipped.
+TEST(SnapObs, UnwantedSectionsAreSkipped) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  obs::Registry reg;
+  fault::Plan plan(noisy_spec());
+  CoSimConfig cfg;
+  cfg.obs = &reg;
+  cfg.fault = &plan;
+  CoSimulation a(*fx.system, cfg);
+  boot_ring(a);
+  a.run_cycles(100);
+  const std::vector<std::uint8_t> bytes = save(a, &plan, &reg);
+
+  CoSimulation b(*fx.system, CoSimConfig{});
+  const SnapshotInfo info = restore(b, bytes.data(), bytes.size());
+  EXPECT_TRUE(info.has_fault_streams);
+  EXPECT_TRUE(info.has_obs_counters);
+  EXPECT_EQ(b.cycles(), 100u);
+}
+
+// --- rejection -----------------------------------------------------------------
+
+std::vector<std::uint8_t> make_snapshot(MappedFixture& fx,
+                                        std::uint64_t cycles = 100) {
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  boot_ring(cs);
+  cs.run_cycles(cycles);
+  return save(cs);
+}
+
+/// Recompute the trailing CRC after a deliberate patch, so the test hits
+/// the check it aims at instead of stopping at the CRC.
+void refresh_crc(std::vector<std::uint8_t>* bytes) {
+  const std::uint32_t crc = fault::crc32(bytes->data(), bytes->size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[bytes->size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+TEST(SnapReject, TruncatedFile) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  bytes.resize(bytes.size() - 5);
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  EXPECT_THROW(restore(cs, bytes.data(), bytes.size()), SnapError);
+  EXPECT_THROW(inspect(bytes.data(), bytes.size()), SnapError);
+}
+
+TEST(SnapReject, BitFlipFailsCrc) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  bytes[bytes.size() / 2] ^= 0x40;
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  EXPECT_THROW(restore(cs, bytes.data(), bytes.size()), SnapError);
+}
+
+TEST(SnapReject, VersionMismatch) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  // Version is the u32 after the 4-byte magic (little-endian).
+  bytes[4] = static_cast<std::uint8_t>(kSnapVersion + 1);
+  refresh_crc(&bytes);  // valid CRC: the VERSION check must fire, not CRC
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  try {
+    restore(cs, bytes.data(), bytes.size());
+    FAIL() << "version mismatch not rejected";
+  } catch (const SnapError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapReject, WrongMagic) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  bytes[0] = 'Z';
+  refresh_crc(&bytes);
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  EXPECT_THROW(restore(cs, bytes.data(), bytes.size()), SnapError);
+}
+
+TEST(SnapReject, EmptyAndTinyFiles) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  CoSimulation cs(*fx.system, CoSimConfig{});
+  std::vector<std::uint8_t> empty;
+  EXPECT_THROW(restore(cs, empty.data(), empty.size()), SnapError);
+  std::vector<std::uint8_t> tiny{'X', 'S', 'N', 'P', 1, 0};
+  EXPECT_THROW(restore(cs, tiny.data(), tiny.size()), SnapError);
+}
+
+TEST(SnapReject, DigestMismatch) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  // A different partition (Node2 in software) is a different MappedSystem:
+  // same classes, different interface digest.
+  marks::MarkSet other = ring_marks();
+  marks::MarkSet reduced;
+  for (int i = 0; i < 2; ++i) {
+    std::string cls = "Node" + std::to_string(i);
+    reduced.mark_hardware(cls);
+    reduced.set_class_mark(cls, marks::kTileX,
+                           ScalarValue(std::int64_t{i == 0 ? 1 : 0}));
+    reduced.set_class_mark(cls, marks::kTileY,
+                           ScalarValue(std::int64_t{i == 0 ? 0 : 1}));
+  }
+  reduced.set_domain_mark(marks::kMeshWidth, ScalarValue(std::int64_t{2}));
+  reduced.set_domain_mark(marks::kMeshHeight, ScalarValue(std::int64_t{2}));
+  MappedFixture fx2(make_ring_domain(), reduced);
+  CoSimulation cs(*fx2.system, CoSimConfig{});
+  try {
+    restore(cs, bytes.data(), bytes.size());
+    FAIL() << "digest mismatch not rejected";
+  } catch (const SnapError& e) {
+    EXPECT_NE(std::string(e.what()).find("digest"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SnapInspect, HeaderWithoutACosim) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  const std::vector<std::uint8_t> bytes = make_snapshot(fx, 123);
+  const SnapshotInfo info = inspect(bytes.data(), bytes.size());
+  EXPECT_EQ(info.version, kSnapVersion);
+  EXPECT_EQ(info.cycle, 123u);
+  EXPECT_FALSE(info.has_fault_streams);
+  EXPECT_FALSE(info.digest.empty());
+}
+
+// --- file helpers --------------------------------------------------------------
+
+TEST(SnapFile, WriteReadRoundTrip) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  const std::vector<std::uint8_t> bytes = make_snapshot(fx);
+  const std::string path = ::testing::TempDir() + "snap_roundtrip.xsnp";
+  write_file(path, bytes);
+  EXPECT_EQ(read_file(path), bytes);
+  EXPECT_THROW(read_file(path + ".nonexistent"), SnapError);
+}
+
+// --- warm campaigns ------------------------------------------------------------
+
+fault::FaultSpec warm_spec(std::uint64_t window_start) {
+  fault::FaultSpec s;
+  s.seed = 42;
+  s.flit_drop = 0.02;
+  s.flit_corrupt = 0.02;
+  s.window_start = window_start;
+  return s;
+}
+
+TEST(SnapWarm, WarmCampaignEqualsColdCampaign) {
+  constexpr std::uint64_t kWarm = 200;
+  constexpr std::uint64_t kRun = 300;
+  constexpr int kRuns = 6;
+  MappedFixture fx(make_ring_domain(), ring_marks());
+
+  WarmCampaign warm(*fx.system, CoSimConfig{}, warm_spec(kWarm), kWarm, kRun,
+                    [](CoSimulation& cs) { boot_ring(cs); });
+  fault::CampaignResult warm_result = warm.run(kRuns, 1, nullptr);
+
+  // Cold: per seed, full elaboration and straight run over the same span.
+  fault::Campaign cold(warm_spec(kWarm), kRuns, 1);
+  fault::CampaignResult cold_result = cold.run([&](int index, std::uint64_t) {
+    fault::Plan plan(cold.spec_for(index));
+    CoSimConfig cfg;
+    cfg.fault = &plan;
+    CoSimulation cs(*fx.system, cfg);
+    boot_ring(cs);
+    cs.run_cycles(kWarm + kRun);
+    return cosim::outcome_of(cs, plan);
+  });
+
+  EXPECT_EQ(warm_result.to_snapshot().to_json(2),
+            cold_result.to_snapshot().to_json(2));
+  // The workload must be noisy enough that equality is meaningful.
+  std::uint64_t injected = 0;
+  for (const auto& r : cold_result.runs) injected += r.injected;
+  EXPECT_GT(injected, 0u);
+}
+
+TEST(SnapWarm, RejectsWindowBeforeCheckpoint) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  // window_start 50 < warm 200: streams would be consulted pre-checkpoint.
+  EXPECT_THROW(WarmCampaign(*fx.system, CoSimConfig{}, warm_spec(50), 200,
+                            300, [](CoSimulation& cs) { boot_ring(cs); }),
+               SnapError);
+}
+
+}  // namespace
+}  // namespace xtsoc::snap

@@ -42,6 +42,21 @@
 //                       parallel. Prints the campaign JSON document
 //       --campaign-out FILE  write the campaign JSON to FILE instead of
 //                       stdout (requires --campaign)
+//       --checkpoint-out FILE  write a versioned snapshot of the finished
+//                       cosim run to FILE (--on-cosim; docs/CHECKPOINT.md).
+//                       Restoring it resumes byte-identically at any
+//                       --threads/--window setting
+//       --restore FILE  instead of starting from cycle 0, load the snapshot
+//                       FILE into the freshly elaborated cosim and continue
+//                       (--on-cosim; model + marks must match the save)
+//       --run-cycles N  cycles to run for the --on-cosim bring-up / after
+//                       --restore (default 64)
+//       --connect SOCK  client mode: ship the model to the xtsocd daemon at
+//                       AF_UNIX socket SOCK and run there (--campaign runs
+//                       a server-side campaign; see docs/SERVER.md)
+//       --warm-cycles N with --connect --campaign: ask the daemon to serve
+//                       the campaign from a warm checkpoint taken after N
+//                       cycles (resident across requests; 0 = cold runs)
 //       --noc-stats     deprecated alias for --obs=noc
 //       --summary       deprecated alias for --obs=summary (the default)
 //       --quiet         deprecated; use --obs=none or an --obs list
@@ -67,6 +82,8 @@
 #include "xtsoc/marks/marks.hpp"
 #include "xtsoc/obs/registry.hpp"
 #include "xtsoc/obs/snapshot.hpp"
+#include "xtsoc/snap/client.hpp"
+#include "xtsoc/snap/snapshot.hpp"
 
 namespace fs = std::filesystem;
 using namespace xtsoc;
@@ -100,6 +117,15 @@ struct Options {
   int campaign = 0;  ///< 0 = no campaign; N > 0 = N-seed campaign
   std::string campaign_out_path;
 
+  // Checkpoint / daemon family (docs/CHECKPOINT.md, docs/SERVER.md).
+  std::string checkpoint_out_path;
+  std::string restore_path;
+  std::uint64_t run_cycles = 64;
+  bool saw_run_cycles_flag = false;
+  std::string connect_path;
+  std::uint64_t warm_cycles = 0;
+  bool saw_warm_cycles_flag = false;
+
   // Deprecated aliases, recorded separately so diagnostics can name the
   // flag the user actually typed.
   bool saw_summary_flag = false;
@@ -117,7 +143,11 @@ void usage(std::FILE* to) {
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
                "[--vhdl-only] [--check] [--obs LIST] [--simulate FILE] "
                "[--on-cosim [--threads N] [--window N] [--obs-trace FILE] "
-               "[--faults FILE [--campaign N [--campaign-out FILE]]]]\n"
+               "[--faults FILE [--campaign N [--campaign-out FILE]]]\n"
+               "              [--checkpoint-out FILE] [--restore FILE] "
+               "[--run-cycles N]]\n"
+               "       xtsocc MODEL.xtm --connect SOCK [--run-cycles N] "
+               "[--faults FILE --campaign N [--warm-cycles N]]\n"
                "       --obs sections: summary,noc,snapshot,counters,none "
                "(default: summary)\n");
 }
@@ -264,6 +294,74 @@ bool parse_args(int argc, char** argv, Options* opt) {
         std::fprintf(stderr, "xtsocc: --campaign-out needs a file name\n");
         return false;
       }
+    } else if (a == "--checkpoint-out" || a.rfind("--checkpoint-out=", 0) == 0) {
+      if (a == "--checkpoint-out") {
+        const char* v = next();
+        if (!v) return false;
+        opt->checkpoint_out_path = v;
+      } else {
+        opt->checkpoint_out_path = a.substr(std::strlen("--checkpoint-out="));
+      }
+      if (opt->checkpoint_out_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --checkpoint-out needs a file name\n");
+        return false;
+      }
+    } else if (a == "--restore" || a.rfind("--restore=", 0) == 0) {
+      if (a == "--restore") {
+        const char* v = next();
+        if (!v) return false;
+        opt->restore_path = v;
+      } else {
+        opt->restore_path = a.substr(std::strlen("--restore="));
+      }
+      if (opt->restore_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --restore needs a file name\n");
+        return false;
+      }
+    } else if (a == "--run-cycles" || a.rfind("--run-cycles=", 0) == 0) {
+      std::string v;
+      if (a == "--run-cycles") {
+        const char* n = next();
+        if (!n) return false;
+        v = n;
+      } else {
+        v = a.substr(std::strlen("--run-cycles="));
+      }
+      const long long n = std::atoll(v.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "xtsocc: --run-cycles needs a positive count\n");
+        return false;
+      }
+      opt->run_cycles = static_cast<std::uint64_t>(n);
+      opt->saw_run_cycles_flag = true;
+    } else if (a == "--connect" || a.rfind("--connect=", 0) == 0) {
+      if (a == "--connect") {
+        const char* v = next();
+        if (!v) return false;
+        opt->connect_path = v;
+      } else {
+        opt->connect_path = a.substr(std::strlen("--connect="));
+      }
+      if (opt->connect_path.empty()) {
+        std::fprintf(stderr, "xtsocc: --connect needs a socket path\n");
+        return false;
+      }
+    } else if (a == "--warm-cycles" || a.rfind("--warm-cycles=", 0) == 0) {
+      std::string v;
+      if (a == "--warm-cycles") {
+        const char* n = next();
+        if (!n) return false;
+        v = n;
+      } else {
+        v = a.substr(std::strlen("--warm-cycles="));
+      }
+      const long long n = std::atoll(v.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "xtsocc: --warm-cycles needs a positive count\n");
+        return false;
+      }
+      opt->warm_cycles = static_cast<std::uint64_t>(n);
+      opt->saw_warm_cycles_flag = true;
     } else if (a == "--noc-stats") {
       deprecated("--noc-stats", "--obs=noc");
       opt->saw_noc_stats_flag = true;
@@ -301,6 +399,51 @@ bool validate_options(Options* opt) {
   if (opt->c_only && opt->vhdl_only) {
     return fail("--c-only and --vhdl-only are exclusive");
   }
+  if (!opt->connect_path.empty()) {
+    // Client mode: the model ships to xtsocd and every run executes there.
+    // Local execution knobs are meaningless (or misleading) and rejected.
+    if (opt->on_cosim) {
+      return fail("--connect contradicts --on-cosim (the run executes on "
+                  "the daemon; --on-cosim runs locally)");
+    }
+    if (!opt->simulate_path.empty()) {
+      return fail("--connect contradicts --simulate (daemon runs are "
+                  "stimulus-free; drive length with --run-cycles)");
+    }
+    if (opt->check_only) return fail("--connect contradicts --check");
+    if (!opt->out_dir.empty()) {
+      return fail("--connect contradicts -o (client mode does not generate "
+                  "code)");
+    }
+    if (!opt->checkpoint_out_path.empty()) {
+      return fail("--checkpoint-out contradicts --connect (warm checkpoints "
+                  "stay resident on the daemon)");
+    }
+    if (!opt->restore_path.empty()) {
+      return fail("--restore contradicts --connect");
+    }
+    if (!opt->obs_trace_path.empty()) {
+      return fail("--obs-trace contradicts --connect");
+    }
+    if (opt->saw_threads_flag) {
+      return fail("--threads contradicts --connect (the daemon owns the "
+                  "worker pool; see xtsocd --threads)");
+    }
+    if (opt->saw_window_flag) return fail("--window contradicts --connect");
+    if (opt->campaign > 0 && opt->faults_path.empty()) {
+      return fail("--campaign requires --faults");
+    }
+    if (opt->saw_warm_cycles_flag && opt->campaign == 0) {
+      return fail("--warm-cycles requires --campaign (warm checkpoints "
+                  "serve campaign fan-out)");
+    }
+    opt->print_summary = false;
+    return true;
+  }
+  if (opt->saw_warm_cycles_flag) {
+    return fail("--warm-cycles requires --connect (local runs have no "
+                "resident checkpoint cache; use --checkpoint-out/--restore)");
+  }
   if (opt->check_only && !opt->simulate_path.empty()) {
     return fail("--check contradicts --simulate (--check stops after "
                 "compile + map)");
@@ -333,6 +476,24 @@ bool validate_options(Options* opt) {
                   "the partitioned interconnect)");
     }
     if (opt->campaign > 0) return fail("--campaign requires --on-cosim");
+    if (!opt->checkpoint_out_path.empty()) {
+      return fail("--checkpoint-out requires --on-cosim (snapshots capture "
+                  "the partitioned co-simulation)");
+    }
+    if (!opt->restore_path.empty()) {
+      return fail("--restore requires --on-cosim");
+    }
+    if (opt->saw_run_cycles_flag) {
+      return fail("--run-cycles requires --on-cosim");
+    }
+  }
+  if (!opt->restore_path.empty() && !opt->simulate_path.empty()) {
+    return fail("--restore contradicts --simulate (a restored run continues "
+                "for --run-cycles; scripts start from cycle 0)");
+  }
+  if (opt->saw_run_cycles_flag && !opt->simulate_path.empty()) {
+    return fail("--run-cycles contradicts --simulate (the script drives the "
+                "run length)");
   }
   if (opt->campaign > 0 && opt->faults_path.empty()) {
     return fail("--campaign requires --faults (a campaign without a fault "
@@ -347,6 +508,13 @@ bool validate_options(Options* opt) {
     if (!opt->obs_trace_path.empty()) {
       return fail("--obs-trace contradicts --campaign (a trace describes "
                   "one run; campaigns emit the campaign JSON instead)");
+    }
+    if (!opt->checkpoint_out_path.empty()) {
+      return fail("--checkpoint-out contradicts --campaign (a snapshot "
+                  "captures one run; campaigns elaborate per seed)");
+    }
+    if (!opt->restore_path.empty()) {
+      return fail("--restore contradicts --campaign");
     }
     if (opt->obs_noc || opt->obs_snapshot || opt->obs_counters) {
       return fail("--obs sections other than summary/none contradict "
@@ -364,6 +532,13 @@ bool validate_options(Options* opt) {
     opt->print_summary = !opt->saw_quiet_flag;
   }
   return true;
+}
+
+/// String field lookup with a fallback, for daemon responses.
+std::string field_or(const obs::JsonValue& v, std::string_view key,
+                     const std::string& fallback) {
+  const obs::JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_string()) ? f->as_string() : fallback;
 }
 
 bool read_file(const std::string& path, std::string* out) {
@@ -418,6 +593,69 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "xtsocc: cannot read marks '%s'\n",
                  opt.marks_path.c_str());
     return 1;
+  }
+
+  if (!opt.connect_path.empty()) {
+    // Client mode: ship the model to xtsocd and run there. The daemon does
+    // the compile + elaborate (and keeps both resident for the next call).
+    std::string err;
+    auto client = snap::Client::connect(opt.connect_path, &err);
+    if (!client) {
+      std::fprintf(stderr, "xtsocc: %s\n", err.c_str());
+      return 1;
+    }
+    const std::string name = fs::path(opt.model_path).stem().string();
+    obs::JsonValue load = obs::JsonValue::object();
+    load["op"] = "load";
+    load["name"] = name;
+    load["model"] = model_text;
+    if (!marks_text.empty()) load["marks"] = marks_text;
+    auto resp = client->request(load, &err);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "xtsocc: %s\n", err.c_str());
+      return 1;
+    }
+    const obs::JsonValue* ok = resp->find("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      std::fprintf(stderr, "xtsocc: daemon: %s\n",
+                   field_or(*resp, "error", "load rejected").c_str());
+      return 1;
+    }
+
+    obs::JsonValue work = obs::JsonValue::object();
+    if (opt.campaign > 0) {
+      std::string faults_text;
+      if (!read_file(opt.faults_path, &faults_text)) {
+        std::fprintf(stderr, "xtsocc: cannot read faults '%s'\n",
+                     opt.faults_path.c_str());
+        return 1;
+      }
+      work["op"] = "campaign";
+      work["model"] = name;
+      work["faults"] = faults_text;
+      work["runs"] = opt.campaign;
+      if (opt.warm_cycles > 0) work["warm_cycles"] = opt.warm_cycles;
+      work["run_cycles"] = opt.run_cycles > 64 ? opt.run_cycles
+                                               : std::uint64_t{512};
+      if (opt.saw_run_cycles_flag) work["run_cycles"] = opt.run_cycles;
+    } else {
+      work["op"] = "run";
+      work["model"] = name;
+      work["cycles"] = opt.run_cycles;
+    }
+    resp = client->request(work, &err);
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "xtsocc: %s\n", err.c_str());
+      return 1;
+    }
+    ok = resp->find("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      std::fprintf(stderr, "xtsocc: daemon: %s\n",
+                   field_or(*resp, "error", "request rejected").c_str());
+      return 1;
+    }
+    std::printf("%s\n", resp->dump(2).c_str());
+    return 0;
   }
 
   DiagnosticSink sink;
@@ -560,6 +798,13 @@ int main(int argc, char** argv) {
             *project, script, out, cfg,
             [&](const cosim::CoSimulation& cs) {
               emit_obs_reports(cs, opt, reg.get());
+              if (!opt.checkpoint_out_path.empty()) {
+                snap::write_file(opt.checkpoint_out_path,
+                                 snap::save(cs, cfg.fault, reg.get()));
+                std::printf("wrote checkpoint %s (cycle %llu)\n",
+                            opt.checkpoint_out_path.c_str(),
+                            static_cast<unsigned long long>(cs.cycles()));
+              }
             });
       } else {
         r = core::run_stimulus(*project, script, out);
@@ -567,17 +812,45 @@ int main(int argc, char** argv) {
       std::printf("%s%s\n", out.str().c_str(), r.to_string().c_str());
       status = r.ok ? 0 : 1;
     } else {
-      // --on-cosim without --simulate: a stimulus-free bring-up run. The
-      // partitioned system is built and clocked for a fixed 64 cycles so
-      // the observability surfaces (--obs-trace, --obs=snapshot/counters)
-      // have a real run to describe.
+      // --on-cosim without --simulate: a stimulus-free bring-up run of
+      // --run-cycles cycles (default 64) so the observability surfaces
+      // (--obs-trace, --obs=snapshot/counters) have a real run to
+      // describe. --restore loads a snapshot into the fresh elaboration
+      // first and the run continues from its saved cycle.
       auto cs = project->make_cosim(cfg);
-      cs->run_cycles(64);
+      if (!opt.restore_path.empty()) {
+        try {
+          const std::vector<std::uint8_t> bytes =
+              snap::read_file(opt.restore_path);
+          const snap::SnapshotInfo info = snap::restore(
+              *cs, bytes.data(), bytes.size(), fault_plan.get(), reg.get());
+          std::printf("restored %s (cycle %llu)\n", opt.restore_path.c_str(),
+                      static_cast<unsigned long long>(info.cycle));
+        } catch (const snap::SnapError& e) {
+          std::fprintf(stderr, "xtsocc: --restore %s: %s\n",
+                       opt.restore_path.c_str(), e.what());
+          return 1;
+        }
+      }
+      cs->run_cycles(opt.run_cycles);
       std::printf("cosim bring-up: %llu cycles, threads=%d, window=%d, "
                   "interconnect=%s\n",
                   static_cast<unsigned long long>(cs->cycles()), opt.threads,
                   cs->window(), cs->has_fabric() ? "noc" : "bus");
       emit_obs_reports(*cs, opt, reg.get());
+      if (!opt.checkpoint_out_path.empty()) {
+        try {
+          snap::write_file(opt.checkpoint_out_path,
+                           snap::save(*cs, cfg.fault, reg.get()));
+          std::printf("wrote checkpoint %s (cycle %llu)\n",
+                      opt.checkpoint_out_path.c_str(),
+                      static_cast<unsigned long long>(cs->cycles()));
+        } catch (const snap::SnapError& e) {
+          std::fprintf(stderr, "xtsocc: --checkpoint-out %s: %s\n",
+                       opt.checkpoint_out_path.c_str(), e.what());
+          return 1;
+        }
+      }
     }
 
     if (!opt.obs_trace_path.empty()) {

@@ -1,0 +1,172 @@
+// xtsocd — the xtsoc campaign daemon.
+//
+//   xtsocd --socket PATH [options] [NAME=MODEL.xtm[,MARKS.marks]]...
+//
+//   --socket PATH   AF_UNIX socket to serve on (required)
+//   --threads N     shared worker-pool size for campaign fan-out
+//                   (default 1; campaigns from every session share it)
+//   --queue N       bounded execution queue: requests allowed to wait for
+//                   the executor before "server busy" (default 4)
+//   --quota N       campaign runs each tenant may consume (default 4096)
+//   --oneshot       exit after the first client requests shutdown (used by
+//                   the smoke tests; without it, run until SIGINT/SIGTERM)
+//   -h, --help      this text
+//
+// Positional arguments pre-load models into the resident registry, e.g.
+// `traffic=examples/models/traffic.xtm,examples/models/traffic.marks`.
+// Clients can also ship models over the wire with the "load" op.
+//
+// Protocol: newline-delimited JSON; see docs/SERVER.md. The point of the
+// daemon is what stays warm between requests: pre-elaborated models, warm
+// campaign checkpoints, and the worker pool — a 16-seed campaign served
+// from a resident checkpoint skips 16 model elaborations and 16 warm-up
+// re-simulations (bench_snap gates the speedup).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "xtsoc/snap/server.hpp"
+
+using namespace xtsoc;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: xtsocd --socket PATH [--threads N] [--queue N] "
+               "[--quota N] [--oneshot] [NAME=MODEL.xtm[,MARKS.marks]]...\n");
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+/// Pre-load one `NAME=MODEL[,MARKS]` positional spec.
+bool preload(snap::Server& server, const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    std::fprintf(stderr, "xtsocd: bad model spec '%s' (want NAME=MODEL.xtm"
+                         "[,MARKS.marks])\n", spec.c_str());
+    return false;
+  }
+  const std::string name = spec.substr(0, eq);
+  std::string model_path = spec.substr(eq + 1);
+  std::string marks_path;
+  const std::size_t comma = model_path.find(',');
+  if (comma != std::string::npos) {
+    marks_path = model_path.substr(comma + 1);
+    model_path.resize(comma);
+  }
+  std::string model_text, marks_text;
+  if (!read_file(model_path, &model_text)) {
+    std::fprintf(stderr, "xtsocd: cannot read model '%s'\n",
+                 model_path.c_str());
+    return false;
+  }
+  if (!marks_path.empty() && !read_file(marks_path, &marks_text)) {
+    std::fprintf(stderr, "xtsocd: cannot read marks '%s'\n",
+                 marks_path.c_str());
+    return false;
+  }
+  std::string err;
+  if (!server.load_model(name, model_text, marks_text, &err)) {
+    std::fprintf(stderr, "xtsocd: %s: %s\n", name.c_str(), err.c_str());
+    return false;
+  }
+  std::printf("xtsocd: model '%s' resident\n", name.c_str());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  snap::ServerConfig cfg;
+  bool oneshot = false;
+  std::vector<std::string> specs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "-h" || a == "--help") {
+      usage(stdout);
+      return 0;
+    } else if (a == "--socket") {
+      const char* v = next();
+      if (!v) { usage(stderr); return 1; }
+      cfg.socket_path = v;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 1) {
+        std::fprintf(stderr, "xtsocd: --threads needs a positive integer\n");
+        return 1;
+      }
+      cfg.threads = std::atoi(v);
+    } else if (a == "--queue") {
+      const char* v = next();
+      if (!v || std::atoi(v) < 0) {
+        std::fprintf(stderr, "xtsocd: --queue needs a non-negative integer\n");
+        return 1;
+      }
+      cfg.max_queue = std::atoi(v);
+    } else if (a == "--quota") {
+      const char* v = next();
+      if (!v || std::atoll(v) < 1) {
+        std::fprintf(stderr, "xtsocd: --quota needs a positive integer\n");
+        return 1;
+      }
+      cfg.tenant_quota = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (a == "--oneshot") {
+      oneshot = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "xtsocd: unknown option '%s'\n", a.c_str());
+      usage(stderr);
+      return 1;
+    } else {
+      specs.push_back(a);
+    }
+  }
+  if (cfg.socket_path.empty()) {
+    std::fprintf(stderr, "xtsocd: --socket is required\n");
+    usage(stderr);
+    return 1;
+  }
+
+  snap::Server server(cfg);
+  for (const std::string& spec : specs) {
+    if (!preload(server, spec)) return 1;
+  }
+
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "xtsocd: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("xtsocd: serving on %s (threads=%d, queue=%d, quota=%llu)\n",
+              cfg.socket_path.c_str(), cfg.threads, cfg.max_queue,
+              static_cast<unsigned long long>(cfg.tenant_quota));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0 && !(oneshot && server.shutdown_requested())) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+  std::printf("xtsocd: stopped\n");
+  return 0;
+}
