@@ -9,13 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench_json.hpp"
 #include "models.hpp"
 #include "xtsoc/hwsim/components.hpp"
+#include "xtsoc/jit/jit.hpp"
 #include "xtsoc/obs/registry.hpp"
 
 namespace {
@@ -187,11 +191,15 @@ marks::MarkSet mesh_marks(int width, int height, int link_latency = 4) {
 
 std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(
     core::Project& project, int nodes, int threads,
-    obs::Registry* obs = nullptr) {
+    obs::Registry* obs = nullptr,
+    runtime::ActionEngine engine = runtime::ActionEngine::kAstWalk,
+    const runtime::CompiledActions* compiled = nullptr) {
   cosim::CoSimConfig cfg;
   cfg.trace_enabled = false;
   cfg.threads = threads;
   cfg.obs = obs;
+  cfg.engine = engine;
+  cfg.compiled = compiled;
   auto cs = project.make_cosim(cfg);
   std::vector<runtime::InstanceHandle> handles;
   handles.reserve(static_cast<std::size_t>(nodes));
@@ -211,12 +219,14 @@ std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(
 
 /// Steady-state mesh throughput at `threads`, in hardware cycles per
 /// wall-clock second.
-double mesh_cycles_per_sec(int width, int height, int threads,
-                           obs::Registry* obs = nullptr) {
+double mesh_cycles_per_sec(
+    int width, int height, int threads, obs::Registry* obs = nullptr,
+    runtime::ActionEngine engine = runtime::ActionEngine::kAstWalk,
+    const runtime::CompiledActions* compiled = nullptr) {
   const int nodes = width * height - 1;
   auto project =
       bench::make_project(make_mesh_soc(nodes), mesh_marks(width, height));
-  auto cs = make_mesh_cosim(*project, nodes, threads, obs);
+  auto cs = make_mesh_cosim(*project, nodes, threads, obs, engine, compiled);
   cs->run_cycles(200);  // warm-up: pools and queues reach steady state
   std::uint64_t cycles = 0;
   bench::Timer t;
@@ -333,6 +343,42 @@ void emit_json() {
     report.add("obs_tracing_overhead_pct",
                std::max(0.0, (traced / bare - 1.0) * 100.0), "%",
                "mesh=4x4,threads=1,tracing on vs registry absent");
+  }
+  {
+    // End-to-end engine rows: the same 4x4 mesh with actions run by the
+    // bytecode VM vs the AOT-compiled jit module. The jit module is
+    // content-addressed, so one compile (into a scratch cache removed
+    // below) serves every cosim built from the same model. When the jit
+    // is unavailable (no compiler) the rows are simply omitted — the
+    // bench still reports, mirroring the runtime's fallback contract.
+    std::error_code ec;
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path(ec) /
+         ("xtsoc-jit-bench-cosim-" + std::to_string(::getpid())))
+            .string();
+    constexpr int kNodes = 4 * 4 - 1;
+    auto project =
+        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
+    jit::JitOptions jopts;
+    jopts.cache_dir = cache_dir;
+    jit::JitResult jr = jit::compile(project->compiled(), jopts);
+    if (jr.module != nullptr) {
+      for (int threads : {1, 8}) {
+        const std::string cfg = "mesh=4x4,threads=" + std::to_string(threads);
+        const double bc = mesh_cycles_per_sec(
+            4, 4, threads, nullptr, runtime::ActionEngine::kBytecode);
+        const double jt =
+            mesh_cycles_per_sec(4, 4, threads, nullptr,
+                                runtime::ActionEngine::kJit, jr.module.get());
+        report.add("cycles_per_sec", bc, "cycles/s", cfg + ",engine=bytecode");
+        report.add("cycles_per_sec", jt, "cycles/s", cfg + ",engine=jit");
+        report.add("jit_speedup_end_to_end", jt / bc, "x", cfg);
+      }
+    } else {
+      std::fprintf(stderr, "bench_cosim: jit unavailable: %s\n",
+                   jr.reason.c_str());
+    }
+    std::filesystem::remove_all(cache_dir, ec);
   }
   {
     auto project =

@@ -1,17 +1,22 @@
-// Engine ablation: the tree-walking interpreter vs the bytecode VM.
+// Engine ablation: the tree-walking interpreter vs the bytecode VM vs the
+// AOT jit (xtsoc::jit — actions lowered to C++, compiled to a shared
+// object, dlopen'd).
 //
-// Both engines implement the same observable semantics (checked in
-// engines_test.cpp); this bench measures the cost of each "manner" the
-// model compiler may choose (paper §4), plus one-time bytecode compilation.
-// The summary cross-checks the two engines on a real workload before
-// timing anything.
+// All three engines implement the same observable semantics (checked in
+// engines_test.cpp and jit_test.cpp); this bench measures the cost of each
+// "manner" the model compiler may choose (paper §4), plus one-time
+// bytecode compilation and the jit's cold-compile/warm-load cache split.
+// The summary cross-checks the engines on a real workload before timing
+// anything.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
 
 #include "bench_json.hpp"
 #include "models.hpp"
+#include "xtsoc/jit/jit.hpp"
 #include "xtsoc/oal/bytecode.hpp"
 #include "xtsoc/verify/equivalence.hpp"
 
@@ -21,12 +26,33 @@ using namespace xtsoc;
 using runtime::ActionEngine;
 using runtime::Value;
 
-std::unique_ptr<runtime::Executor> run_soc(core::Project& project,
-                                           ActionEngine engine, int packets,
-                                           bool tracing) {
+/// A scratch jit cache for this process, removed on exit so repeated bench
+/// runs measure a genuinely cold compile.
+class ScratchCache {
+public:
+  ScratchCache() {
+    std::error_code ec;
+    dir_ = (std::filesystem::temp_directory_path(ec) /
+            ("xtsoc-jit-bench-" + std::to_string(::getpid())))
+               .string();
+  }
+  ~ScratchCache() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  const std::string& dir() const { return dir_; }
+
+private:
+  std::string dir_;
+};
+
+std::unique_ptr<runtime::Executor> run_soc(
+    core::Project& project, ActionEngine engine, int packets, bool tracing,
+    const runtime::CompiledActions* compiled = nullptr) {
   runtime::ExecutorConfig cfg;
   cfg.engine = engine;
   cfg.trace_enabled = tracing;
+  cfg.compiled = compiled;
   auto exec = project.make_abstract_executor(cfg);
   auto sink = exec->create("Sink");
   auto crypto = exec->create_with("Crypto", {{"sink", Value(sink)}});
@@ -42,38 +68,68 @@ std::unique_ptr<runtime::Executor> run_soc(core::Project& project,
 }
 
 void print_summary() {
-  std::printf("== engine ablation: AST walker vs bytecode VM ==\n");
+  std::printf("== engine ablation: AST walker vs bytecode VM vs jit ==\n");
   auto project =
       xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
                                  marks::MarkSet{});
+  ScratchCache cache;
+  jit::JitOptions jopts;
+  jopts.cache_dir = cache.dir();
+  jit::JitResult jr = jit::compile(project->compiled(), jopts);
   auto ast = run_soc(*project, ActionEngine::kAstWalk, 64, true);
   auto vm = run_soc(*project, ActionEngine::kBytecode, 64, true);
   bool same = ast->trace().to_string() == vm->trace().to_string();
-  std::printf("  cross-check on 64 packets: traces %s (%zu events)\n",
+  std::printf("  cross-check on 64 packets: ast/vm traces %s (%zu events)\n",
               same ? "IDENTICAL" : "DIVERGED", ast->trace().size());
+  if (jr.module != nullptr) {
+    auto jat =
+        run_soc(*project, ActionEngine::kJit, 64, true, jr.module.get());
+    std::printf("  cross-check on 64 packets: vm/jit traces %s\n",
+                vm->trace().to_string() == jat->trace().to_string()
+                    ? "IDENTICAL"
+                    : "DIVERGED");
+  } else {
+    std::printf("  jit unavailable (%s) — timings fall back to the VM\n",
+                jr.reason.c_str());
+  }
   auto finals = verify::compare_final_states(ast->database(),
                                              {&vm->database()});
   std::printf("  final states: %s\n",
               finals.equivalent ? "IDENTICAL" : "DIVERGED");
-  std::printf("  (timings below; VM pays one-time compile, then less "
-              "per-node overhead)\n\n");
+  std::printf("  (timings below; VM pays one-time compile, jit one "
+              "native compile — then less per-node overhead)\n\n");
 }
 
 void BM_Engine(benchmark::State& state) {
-  const ActionEngine engine = state.range(0) == 0 ? ActionEngine::kAstWalk
-                                                  : ActionEngine::kBytecode;
+  const ActionEngine engine = state.range(0) == 0   ? ActionEngine::kAstWalk
+                              : state.range(0) == 1 ? ActionEngine::kBytecode
+                                                    : ActionEngine::kJit;
   auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
                                             marks::MarkSet{});
+  jit::JitResult jr;
+  ScratchCache cache;
+  if (engine == ActionEngine::kJit) {
+    jit::JitOptions jopts;
+    jopts.cache_dir = cache.dir();
+    jr = jit::compile(project->compiled(), jopts);
+    if (jr.module == nullptr) {
+      state.SkipWithError(("jit unavailable: " + jr.reason).c_str());
+      return;
+    }
+  }
   std::uint64_t dispatched = 0;
   for (auto _ : state) {
-    auto exec = run_soc(*project, engine, 200, /*tracing=*/false);
+    auto exec =
+        run_soc(*project, engine, 200, /*tracing=*/false, jr.module.get());
     dispatched += exec->dispatch_count();
   }
   state.counters["signals/s"] = benchmark::Counter(
       static_cast<double>(dispatched), benchmark::Counter::kIsRate);
-  state.SetLabel(state.range(0) == 0 ? "ast" : "bytecode");
+  state.SetLabel(state.range(0) == 0   ? "ast"
+                 : state.range(0) == 1 ? "bytecode"
+                                       : "jit");
 }
-BENCHMARK(BM_Engine)->Arg(0)->Arg(1)->ArgNames({"engine"});
+BENCHMARK(BM_Engine)->Arg(0)->Arg(1)->Arg(2)->ArgNames({"engine"});
 
 void BM_BytecodeCompile(benchmark::State& state) {
   auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
@@ -92,24 +148,58 @@ void emit_json() {
   xtsoc::bench::JsonReport report("engines");
   auto project = xtsoc::bench::make_project(xtsoc::bench::make_packet_soc(),
                                             marks::MarkSet{});
+
+  // The jit pays its native compile once, into a scratch cache so this
+  // process measures a true cold build; the second compile() must then be
+  // a pure dlopen from the cache — both halves are reported so the
+  // cold-vs-warm split is visible in CI.
+  ScratchCache cache;
+  jit::JitOptions jopts;
+  jopts.cache_dir = cache.dir();
+  xtsoc::bench::Timer t_cold;
+  jit::JitResult jr = jit::compile(project->compiled(), jopts);
+  const double cold_sec = t_cold.seconds();
+  if (jr.module != nullptr) {
+    report.add("jit_compile_sec", cold_sec, "s", "cache=cold");
+    xtsoc::bench::Timer t_warm;
+    jit::JitResult warm = jit::compile(project->compiled(), jopts);
+    if (warm.module != nullptr && warm.cache_hit) {
+      report.add("jit_load_sec", t_warm.seconds(), "s", "cache=warm");
+    }
+  } else {
+    std::fprintf(stderr, "bench_engines: jit unavailable: %s\n",
+                 jr.reason.c_str());
+  }
+
   // Best of N: a single 500-packet run takes milliseconds, so one
   // scheduler preemption skews it badly — the fastest repetition is the
   // one closest to the engine's actual cost. One untimed warm-up run
   // brings code and model state into cache first.
   constexpr int kReps = 5;
-  for (ActionEngine engine : {ActionEngine::kAstWalk, ActionEngine::kBytecode}) {
-    (void)run_soc(*project, engine, 500, /*tracing=*/false);
+  double bytecode_rate = 0.0;
+  std::vector<std::pair<ActionEngine, const char*>> engines = {
+      {ActionEngine::kAstWalk, "engine=ast,packets=500,trace=off"},
+      {ActionEngine::kBytecode, "engine=bytecode,packets=500,trace=off"}};
+  if (jr.module != nullptr) {
+    engines.push_back({ActionEngine::kJit, "engine=jit,packets=500,trace=off"});
+  }
+  for (auto [engine, config] : engines) {
+    const runtime::CompiledActions* compiled =
+        engine == ActionEngine::kJit ? jr.module.get() : nullptr;
+    (void)run_soc(*project, engine, 500, /*tracing=*/false, compiled);
     double best = 0.0;
     for (int rep = 0; rep < kReps; ++rep) {
       xtsoc::bench::Timer t;
-      auto exec = run_soc(*project, engine, 500, /*tracing=*/false);
+      auto exec = run_soc(*project, engine, 500, /*tracing=*/false, compiled);
       double rate = static_cast<double>(exec->dispatch_count()) / t.seconds();
       if (rate > best) best = rate;
     }
-    report.add("signals_per_sec", best, "signals/s",
-               engine == ActionEngine::kAstWalk
-                   ? "engine=ast,packets=500,trace=off"
-                   : "engine=bytecode,packets=500,trace=off");
+    report.add("signals_per_sec", best, "signals/s", config);
+    if (engine == ActionEngine::kBytecode) bytecode_rate = best;
+    if (engine == ActionEngine::kJit && bytecode_rate > 0.0) {
+      report.add("jit_speedup_vs_bytecode", best / bytecode_rate, "x",
+                 "packets=500,trace=off");
+    }
   }
   report.write();
 }

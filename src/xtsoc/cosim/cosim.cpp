@@ -34,6 +34,7 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
   runtime::ExecutorConfig ecfg;
   ecfg.policy = config_.policy;
   ecfg.engine = config_.engine;
+  ecfg.compiled = config_.compiled;
   ecfg.trace_enabled = config_.trace_enabled;
   ecfg.max_ops_per_action = config_.max_ops_per_action;
   ecfg.obs = config_.obs;

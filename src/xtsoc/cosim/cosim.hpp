@@ -69,6 +69,19 @@ class WorkerPool;
 
 namespace xtsoc::cosim {
 
+/// Caller-reported action-engine provenance for the report's "engines"
+/// section. Whoever selected the engine (xtsocc, a bench, a test) fills
+/// this in alongside `CoSimConfig::engine`/`compiled`; an empty
+/// `requested` omits the section entirely, so runs that never mention
+/// engines keep byte-identical reports.
+struct EngineStatus {
+  std::string requested;        ///< engine the user asked for ("vm", "jit")
+  std::string active;           ///< engine actually executing actions
+  std::string fallback_reason;  ///< why active != requested, when it does
+  std::string digest;           ///< jit module content digest, if any
+  bool cache_hit = false;       ///< jit module came from the on-disk cache
+};
+
 struct CoSimConfig {
   /// Worker threads. With windowed execution in effect (see `window`) the
   /// threads run whole domains concurrently within each window; in
@@ -91,6 +104,13 @@ struct CoSimConfig {
   bool trace_enabled = true;
   runtime::QueuePolicy policy = runtime::QueuePolicy::kXtuml;
   runtime::ActionEngine engine = runtime::ActionEngine::kAstWalk;
+  /// AOT-compiled actions (xtsoc::jit) dispatched when `engine` is kJit;
+  /// non-owning — the module must outlive the co-simulation. Executors
+  /// fall back to the bytecode VM per action when null or incomplete, so
+  /// observable behaviour never depends on this being set.
+  const runtime::CompiledActions* compiled = nullptr;
+  /// Provenance for the report's "engines" section (see EngineStatus).
+  EngineStatus engine_status;
   std::uint64_t max_ops_per_action = 10'000'000;
   /// Test hook: present this digest for the software endpoint instead of
   /// the real one, to demonstrate the connect-time mismatch detection.

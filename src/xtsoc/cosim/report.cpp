@@ -127,6 +127,25 @@ obs::Snapshot CoSimulation::report() const {
     for (const auto& [name, value] : obs_->counters()) cs[name] = value;
   }
 
+  // Like faults below, the engines section exists only when the caller
+  // recorded an engine request, so default runs keep byte-identical
+  // reports — which is what lets the jit-vs-vm parity grid compare whole
+  // snapshots.
+  if (!config_.engine_status.requested.empty()) {
+    const EngineStatus& es = config_.engine_status;
+    JsonValue& eng = snap["engines"];
+    eng = JsonValue::object();
+    eng["requested"] = es.requested;
+    eng["active"] = es.active;
+    if (!es.fallback_reason.empty()) {
+      eng["fallback_reason"] = es.fallback_reason;
+    }
+    if (!es.digest.empty()) {
+      eng["digest"] = es.digest;
+      eng["cache_hit"] = es.cache_hit;
+    }
+  }
+
   // The faults section exists only when a plan is attached, so a fault-free
   // run's snapshot is byte-identical to one from a build without faults.
   if (config_.fault != nullptr) {

@@ -1,0 +1,43 @@
+// CompiledActions: the executor-facing face of an AOT-compiled model.
+//
+// The jit engine (xtsoc::jit) lowers every state action of a compiled
+// domain to native code in a dlopen'd shared object. The Executor neither
+// knows nor cares how: it sees this interface, asks whether a (class,
+// state) action was compiled, and runs it against the same Host it would
+// hand the interpreter or the bytecode VM. Actions the module does not
+// cover (or a null module) fall back to the bytecode VM per dispatch, so a
+// partially compiled model is still byte-identical, just slower.
+//
+// Contract (enforced by the EnginesJit tests): run() must produce exactly
+// the observable behaviour of run_bytecode() on the same action — same
+// Host calls in the same order, same error strings, and the same op count
+// in InterpResult (op totals feed cosim's sw_ops_per_cycle budgeting, so
+// they are trace-visible).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xtsoc/common/ids.hpp"
+#include "xtsoc/runtime/interp.hpp"
+#include "xtsoc/runtime/value.hpp"
+
+namespace xtsoc::runtime {
+
+class CompiledActions {
+public:
+  virtual ~CompiledActions() = default;
+
+  /// True if the action of `cls` entering `state` was compiled.
+  virtual bool has(ClassId cls, StateId state) const = 0;
+
+  /// Execute the compiled action. Same semantics as run_bytecode():
+  /// throws ModelError / std::runtime_error on model faults, counts every
+  /// logical instruction in InterpResult::ops.
+  virtual InterpResult run(ClassId cls, StateId state,
+                           const InstanceHandle& self,
+                           const std::vector<Value>& params, Host& host,
+                           std::uint64_t max_ops) const = 0;
+};
+
+}  // namespace xtsoc::runtime

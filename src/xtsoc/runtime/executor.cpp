@@ -267,7 +267,7 @@ void Executor::dispatch(EventMessage m) {
 
   const xtuml::ClassDef& def = domain().cls(m.target.cls);
   StateId from = db_.current_state(m.target);
-  const xtuml::TransitionDef* t = def.transition_on(from, m.event);
+  const xtuml::TransitionDef* t = transition_for(def, from, m.event);
   if (t == nullptr) {
     if (def.fallback == xtuml::EventFallback::kCantHappen) {
       throw ModelError("can't-happen: event '" + def.event(m.event).name +
@@ -317,15 +317,22 @@ void Executor::dispatch(EventMessage m) {
 
   current_ = m.target;
   InterpResult r;
-  if (config_.engine == ActionEngine::kBytecode) {
-    const Program& prog = bytecode_for(m.target.cls, t->to);
-    r = run_bytecode(prog.code, prog.prepared, m.target, m.args, *this,
-                     config_.max_ops_per_action, &vm_scratch_);
-  } else {
+  if (config_.engine == ActionEngine::kAstWalk) {
     const oal::AnalyzedAction& action =
         compiled_->action(m.target.cls, t->to);
     r = run_action(action, m.target, m.args, *this,
                    config_.max_ops_per_action);
+  } else if (config_.engine == ActionEngine::kJit &&
+             config_.compiled != nullptr &&
+             config_.compiled->has(m.target.cls, t->to)) {
+    r = config_.compiled->run(m.target.cls, t->to, m.target, m.args, *this,
+                              config_.max_ops_per_action);
+  } else {
+    // kBytecode, and the per-action fallback for kJit actions the module
+    // does not cover — identical observable behaviour either way.
+    const Program& prog = bytecode_for(m.target.cls, t->to);
+    r = run_bytecode(prog.code, prog.prepared, m.target, m.args, *this,
+                     config_.max_ops_per_action, &vm_scratch_);
   }
   current_ = InstanceHandle::null();
   ops_ += r.ops;
@@ -337,6 +344,25 @@ void Executor::dispatch(EventMessage m) {
       db_.is_alive(m.target)) {
     destroy(m.target);
   }
+}
+
+const xtuml::TransitionDef* Executor::transition_for(
+    const xtuml::ClassDef& def, StateId from, EventId event) {
+  const std::size_t ns = def.states.size();
+  const std::size_t ne = def.events.size();
+  if (ns == 0 || ne == 0) return def.transition_on(from, event);
+  if (transitions_.empty()) transitions_.resize(domain().class_count());
+  auto& tab = transitions_[def.id.value()];
+  if (tab.empty()) {
+    tab.assign(ns * ne, nullptr);
+    for (const xtuml::TransitionDef& t : def.transitions) {
+      auto& slot = tab[t.from.value() * ne + t.event.value()];
+      // First declaration wins, matching transition_on()'s scan order.
+      if (slot == nullptr) slot = &t;
+    }
+  }
+  if (from.value() >= ns || event.value() >= ne) return nullptr;
+  return tab[from.value() * ne + event.value()];
 }
 
 const Executor::Program& Executor::bytecode_for(ClassId cls, StateId state) {

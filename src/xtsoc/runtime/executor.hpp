@@ -30,6 +30,7 @@
 #include "xtsoc/oal/bytecode.hpp"
 #include "xtsoc/oal/compiled.hpp"
 #include "xtsoc/obs/registry.hpp"
+#include "xtsoc/runtime/compiled_actions.hpp"
 #include "xtsoc/runtime/database.hpp"
 #include "xtsoc/runtime/interp.hpp"
 #include "xtsoc/runtime/trace.hpp"
@@ -59,15 +60,20 @@ enum class QueuePolicy {
   kFifoOnly,  ///< single FIFO (ablation)
 };
 
-/// Which of the two (behaviourally identical) action engines runs actions.
+/// Which of the (behaviourally identical) action engines runs actions.
 enum class ActionEngine {
   kAstWalk,   ///< tree-walking interpreter (runtime/interp.*)
   kBytecode,  ///< compile-once stack VM (oal/bytecode.* + runtime/vm.*)
+  kJit,       ///< AOT-compiled native code (xtsoc::jit), VM per-action fallback
 };
 
 struct ExecutorConfig {
   QueuePolicy policy = QueuePolicy::kXtuml;
   ActionEngine engine = ActionEngine::kAstWalk;
+  /// Native actions for the kJit engine. Not owned; must outlive the
+  /// executor. Null (or an action the module doesn't cover) makes kJit
+  /// behave exactly like kBytecode for that dispatch.
+  const CompiledActions* compiled = nullptr;
   bool trace_enabled = true;
   std::uint64_t max_ops_per_action = 10'000'000;
   /// Optional observability sink. Dispatch spans ("Class.event", one per
@@ -213,6 +219,13 @@ private:
   /// Program for (cls, state), compiled and prepared on first use.
   const Program& bytecode_for(ClassId cls, StateId state);
 
+  /// transition_on() through a dense per-class [state × event] table,
+  /// built on first dispatch into the class. Every dispatch pays one
+  /// lookup where it used to pay a linear scan of the transition list —
+  /// shared overhead on the hot path of all three engines.
+  const xtuml::TransitionDef* transition_for(const xtuml::ClassDef& def,
+                                             StateId from, EventId event);
+
   const oal::CompiledDomain* compiled_;
   ExecutorConfig config_;
   Database db_;
@@ -240,6 +253,9 @@ private:
   std::vector<std::uint64_t> ops_by_class_;
   /// Lazily compiled programs per [class][state] (kBytecode engine only).
   std::vector<std::vector<std::optional<Program>>> bytecode_;
+  /// Dense transition lookup per class: [state * event_count + event].
+  /// Pointers into the domain's ClassDef::transitions (stable, outlives us).
+  std::vector<std::vector<const xtuml::TransitionDef*>> transitions_;
   /// Reused VM evaluation buffers (kBytecode engine only).
   VmScratch vm_scratch_;
   /// Recycled signal-payload vectors, capped at kMaxPooledArgs entries.

@@ -2,6 +2,19 @@
 
 #include <cmath>
 
+// Dispatch strategy: on GNU-compatible compilers the VM threads execution
+// with computed goto — every op body ends in its own indirect branch, so
+// the branch predictor learns per-op successor patterns instead of funneling
+// every transition through one switch branch. Elsewhere (and under
+// -DXTSOC_VM_NO_COMPUTED_GOTO for A/B measurement) the portable switch loop
+// is used. Both forms share the same op bodies via the VM_CASE/VM_NEXT/
+// VM_JUMP macros, so the semantics cannot drift apart.
+#if defined(__GNUC__) && !defined(XTSOC_VM_NO_COMPUTED_GOTO)
+#define XTSOC_VM_USE_COMPUTED_GOTO 1
+#else
+#define XTSOC_VM_USE_COMPUTED_GOTO 0
+#endif
+
 namespace xtsoc::runtime {
 
 namespace {
@@ -153,231 +166,302 @@ private:
     const Instr* const code = block.code.data();
     const std::size_t code_size = block.code.size();
     std::size_t pc = 0;
+
+#if XTSOC_VM_USE_COMPUTED_GOTO
+    // Indexed by Op's underlying value — order must match the enum in
+    // oal/bytecode.hpp exactly (static_assert guards the count).
+    static const void* const kTargets[] = {
+        &&vm_kPushConst, &&vm_kPushNull,  &&vm_kLoadLocal, &&vm_kStoreLocal,
+        &&vm_kLoadParam, &&vm_kLoadSelf,  &&vm_kLoadSelected, &&vm_kPop,
+        &&vm_kGetAttr,   &&vm_kSetAttr,   &&vm_kAdd,       &&vm_kSub,
+        &&vm_kMul,       &&vm_kDiv,       &&vm_kMod,       &&vm_kEq,
+        &&vm_kNe,        &&vm_kLt,        &&vm_kLe,        &&vm_kGt,
+        &&vm_kGe,        &&vm_kNot,       &&vm_kNeg,       &&vm_kCard,
+        &&vm_kIsEmpty,   &&vm_kIndexSet,  &&vm_kWiden,     &&vm_kJump,
+        &&vm_kJumpIfFalse, &&vm_kReturn,  &&vm_kCreate,    &&vm_kDelete,
+        &&vm_kRelate,    &&vm_kUnrelate,  &&vm_kSelectAll, &&vm_kRelated,
+        &&vm_kFilter,    &&vm_kSetToRef,  &&vm_kGenerate,  &&vm_kLog};
+    static_assert(sizeof(kTargets) / sizeof(kTargets[0]) ==
+                      static_cast<std::size_t>(Op::kLog) + 1,
+                  "kTargets must cover every oal::Op");
+#define VM_CASE(name) vm_##name:
+#define VM_DISPATCH()                                      \
+  do {                                                     \
+    if (pc >= code_size) return;                           \
+    tick();                                                \
+    goto* kTargets[static_cast<unsigned>(code[pc].op)];    \
+  } while (0)
+#define VM_NEXT()            \
+  do {                       \
+    ++pc;                    \
+    VM_DISPATCH();           \
+  } while (0)
+#define VM_JUMP(target)      \
+  do {                       \
+    pc = (target);           \
+    VM_DISPATCH();           \
+  } while (0)
+    VM_DISPATCH();
+#else
+#define VM_CASE(name) case Op::name:
+// break leaves the switch; the enclosing loop re-checks pc and ticks.
+#define VM_NEXT() \
+  {               \
+    ++pc;         \
+    break;        \
+  }
+#define VM_JUMP(target) \
+  {                     \
+    pc = (target);      \
+    break;              \
+  }
     while (pc < code_size) {
       tick();
+      switch (code[pc].op) {
+#endif
+
+    VM_CASE(kPushConst) {
       const Instr& i = code[pc];
-      switch (i.op) {
-        case Op::kPushConst:
-          if (prepared != nullptr) {
-            push(prepared->constants[i.a]);
-          } else {
-            push(from_scalar(block.constants[i.a]));
-          }
-          break;
-        case Op::kPushNull:
-          push(InstanceHandle::null());
-          break;
-        case Op::kLoadLocal: {
-          Value& v = frame[i.a];
-          if (std::holds_alternative<std::monostate>(v)) {
-            throw ModelError("read of unset variable");
-          }
-          push(v);
-          break;
-        }
-        case Op::kStoreLocal:
-          frame[i.a] = std::move(top());
-          stack_.pop_back();
-          break;
-        case Op::kLoadParam:
-          push(params_[i.a]);
-          break;
-        case Op::kLoadSelf:
-          push(self_);
-          break;
-        case Op::kLoadSelected:
-          push(selected_);
-          break;
-        case Op::kPop:
-          pop();
-          break;
-        case Op::kGetAttr: {
-          InstanceHandle obj = as_handle(top());
-          top() = host_.database().get_attr(obj, AttributeId(i.a));
-          break;
-        }
-        case Op::kSetAttr: {
-          InstanceHandle obj = as_handle(pop());
-          Value v = pop();
-          host_.database().set_attr(obj, AttributeId(i.a), v);
-          host_.on_attr_write(
-              obj, AttributeId(i.a),
-              host_.database().get_attr(obj, AttributeId(i.a)));
-          break;
-        }
-        case Op::kAdd:
-        case Op::kSub:
-        case Op::kMul:
-        case Op::kDiv:
-        case Op::kMod:
-          binary_arith(i.op);
-          break;
-        case Op::kEq:
-        case Op::kNe:
-        case Op::kLt:
-        case Op::kLe:
-        case Op::kGt:
-        case Op::kGe:
-          compare(i.op);
-          break;
-        case Op::kNot:
-          top() = !as_bool(top());
-          break;
-        case Op::kNeg: {
-          Value& v = top();
-          if (std::holds_alternative<std::int64_t>(v)) {
-            v = -std::get<std::int64_t>(v);
-          } else {
-            v = -as_real(v);
-          }
-          break;
-        }
-        case Op::kCard: {
-          Value& v = top();
-          if (const auto* set = std::get_if<InstanceSet>(&v)) {
-            v = static_cast<std::int64_t>(set->size());
-          } else {
-            v = std::int64_t{as_handle(v).is_null() ? 0 : 1};
-          }
-          break;
-        }
-        case Op::kIsEmpty: {
-          Value& v = top();
-          if (const auto* set = std::get_if<InstanceSet>(&v)) {
-            v = set->empty();
-          } else {
-            const InstanceHandle& h = as_handle(v);
-            v = h.is_null() || !host_.database().is_alive(h);
-          }
-          break;
-        }
-        case Op::kIndexSet: {
-          std::int64_t idx = as_int(pop());
-          Value set = pop();
-          const InstanceSet& s = as_set(set);
-          push(s.at(static_cast<std::size_t>(idx)));
-          break;
-        }
-        case Op::kWiden: {
-          Value& v = top();
-          if (std::holds_alternative<std::int64_t>(v)) {
-            v = static_cast<double>(std::get<std::int64_t>(v));
-          }
-          break;
-        }
-        case Op::kJump:
-          pc = i.a;
-          continue;
-        case Op::kJumpIfFalse: {
-          bool taken = !as_bool(top());
-          stack_.pop_back();
-          if (taken) {
-            pc = i.a;
-            continue;
-          }
-          break;
-        }
-        case Op::kReturn:
-          return;
-        case Op::kCreate: {
-          InstanceHandle h = host_.database().create(ClassId(i.a));
-          host_.on_create(h);
-          push(h);
-          break;
-        }
-        case Op::kDelete: {
-          InstanceHandle h = as_handle(pop());
-          host_.on_delete(h);
-          host_.database().destroy(h);
-          if (h == self_) self_deleted_ = true;
-          break;
-        }
-        case Op::kRelate: {
-          InstanceHandle b = as_handle(pop());
-          InstanceHandle a = as_handle(pop());
-          host_.database().relate(a, b, AssociationId(i.a));
-          break;
-        }
-        case Op::kUnrelate: {
-          InstanceHandle b = as_handle(pop());
-          InstanceHandle a = as_handle(pop());
-          host_.database().unrelate(a, b, AssociationId(i.a));
-          break;
-        }
-        case Op::kSelectAll:
-          push(host_.database().all_of(ClassId(i.a)));
-          break;
-        case Op::kRelated: {
-          InstanceHandle start = as_handle(pop());
-          push(host_.database().related(start, AssociationId(i.a)));
-          break;
-        }
-        case Op::kFilter: {
-          InstanceSet in = as_set(pop());
-          const CodeBlock& sub = block.subs[i.a];
-          const PreparedBlock* psub =
-              prepared != nullptr ? &prepared->subs[i.a] : nullptr;
-          const bool first_only = i.b != 0;
-          InstanceSet out;
-          Value saved = selected_;
-          for (const InstanceHandle& h : in) {
-            selected_ = h;
-            exec(sub, psub, frame);
-            if (as_bool(pop())) {
-              out.push_back(h);
-              if (first_only) break;
-            }
-          }
-          selected_ = std::move(saved);
-          push(std::move(out));
-          break;
-        }
-        case Op::kSetToRef: {
-          Value v = pop();
-          const InstanceSet& s = as_set(v);
-          push(s.empty() ? InstanceHandle::null() : s.front());
-          break;
-        }
-        case Op::kGenerate: {
-          ClassId target_cls(i.a >> 16);
-          EventId event(i.a & 0xffff);
-          std::uint32_t argc = i.b >> 1;
-          const bool has_delay = (i.b & 1) != 0;
-          std::uint64_t delay = 0;
-          if (has_delay) {
-            std::int64_t d = as_int(pop());
-            if (d < 0) throw ModelError("negative delay in generate");
-            delay = static_cast<std::uint64_t>(d);
-          }
-          InstanceHandle target = as_handle(pop());
-          if (target.is_null()) {
-            throw ModelError("generate to a null instance reference");
-          }
-          // The payload vector comes from the host's recycling pool: it
-          // becomes EventMessage::args and returns to the pool after the
-          // receiving action completes.
-          std::vector<Value> args = host_.acquire_args(argc);
-          for (std::uint32_t k = argc; k > 0; --k) {
-            args[k - 1] = pop();
-          }
-          (void)target_cls;
-          host_.emit(self_, target, event, std::move(args), delay);
-          break;
-        }
-        case Op::kLog: {
-          std::vector<Value> vals(i.a);
-          for (std::uint32_t k = i.a; k > 0; --k) vals[k - 1] = pop();
-          std::string text;
-          for (std::size_t k = 0; k < vals.size(); ++k) {
-            if (k > 0) text += ' ';
-            text += to_string(vals[k]);
-          }
-          host_.on_log(std::move(text));
-          break;
+      if (prepared != nullptr) {
+        push(prepared->constants[i.a]);
+      } else {
+        push(from_scalar(block.constants[i.a]));
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kPushNull) {
+      push(InstanceHandle::null());
+      VM_NEXT();
+    }
+    VM_CASE(kLoadLocal) {
+      Value& v = frame[code[pc].a];
+      if (std::holds_alternative<std::monostate>(v)) {
+        throw ModelError("read of unset variable");
+      }
+      push(v);
+      VM_NEXT();
+    }
+    VM_CASE(kStoreLocal) {
+      frame[code[pc].a] = std::move(top());
+      stack_.pop_back();
+      VM_NEXT();
+    }
+    VM_CASE(kLoadParam) {
+      push(params_[code[pc].a]);
+      VM_NEXT();
+    }
+    VM_CASE(kLoadSelf) {
+      push(self_);
+      VM_NEXT();
+    }
+    VM_CASE(kLoadSelected) {
+      push(selected_);
+      VM_NEXT();
+    }
+    VM_CASE(kPop) {
+      pop();
+      VM_NEXT();
+    }
+    VM_CASE(kGetAttr) {
+      InstanceHandle obj = as_handle(top());
+      top() = host_.database().get_attr(obj, AttributeId(code[pc].a));
+      VM_NEXT();
+    }
+    VM_CASE(kSetAttr) {
+      const Instr& i = code[pc];
+      InstanceHandle obj = as_handle(pop());
+      Value v = pop();
+      host_.database().set_attr(obj, AttributeId(i.a), v);
+      host_.on_attr_write(obj, AttributeId(i.a),
+                          host_.database().get_attr(obj, AttributeId(i.a)));
+      VM_NEXT();
+    }
+    VM_CASE(kAdd)
+    VM_CASE(kSub)
+    VM_CASE(kMul)
+    VM_CASE(kDiv)
+    VM_CASE(kMod) {
+      binary_arith(code[pc].op);
+      VM_NEXT();
+    }
+    VM_CASE(kEq)
+    VM_CASE(kNe)
+    VM_CASE(kLt)
+    VM_CASE(kLe)
+    VM_CASE(kGt)
+    VM_CASE(kGe) {
+      compare(code[pc].op);
+      VM_NEXT();
+    }
+    VM_CASE(kNot) {
+      top() = !as_bool(top());
+      VM_NEXT();
+    }
+    VM_CASE(kNeg) {
+      Value& v = top();
+      if (std::holds_alternative<std::int64_t>(v)) {
+        v = -std::get<std::int64_t>(v);
+      } else {
+        v = -as_real(v);
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kCard) {
+      Value& v = top();
+      if (const auto* set = std::get_if<InstanceSet>(&v)) {
+        v = static_cast<std::int64_t>(set->size());
+      } else {
+        v = std::int64_t{as_handle(v).is_null() ? 0 : 1};
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kIsEmpty) {
+      Value& v = top();
+      if (const auto* set = std::get_if<InstanceSet>(&v)) {
+        v = set->empty();
+      } else {
+        const InstanceHandle& h = as_handle(v);
+        v = h.is_null() || !host_.database().is_alive(h);
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kIndexSet) {
+      std::int64_t idx = as_int(pop());
+      Value set = pop();
+      const InstanceSet& s = as_set(set);
+      push(s.at(static_cast<std::size_t>(idx)));
+      VM_NEXT();
+    }
+    VM_CASE(kWiden) {
+      Value& v = top();
+      if (std::holds_alternative<std::int64_t>(v)) {
+        v = static_cast<double>(std::get<std::int64_t>(v));
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kJump) {
+      VM_JUMP(code[pc].a);
+    }
+    VM_CASE(kJumpIfFalse) {
+      bool taken = !as_bool(top());
+      stack_.pop_back();
+      if (taken) {
+        VM_JUMP(code[pc].a);
+      }
+      VM_NEXT();
+    }
+    VM_CASE(kReturn) { return; }
+    VM_CASE(kCreate) {
+      InstanceHandle h = host_.database().create(ClassId(code[pc].a));
+      host_.on_create(h);
+      push(h);
+      VM_NEXT();
+    }
+    VM_CASE(kDelete) {
+      InstanceHandle h = as_handle(pop());
+      host_.on_delete(h);
+      host_.database().destroy(h);
+      if (h == self_) self_deleted_ = true;
+      VM_NEXT();
+    }
+    VM_CASE(kRelate) {
+      InstanceHandle b = as_handle(pop());
+      InstanceHandle a = as_handle(pop());
+      host_.database().relate(a, b, AssociationId(code[pc].a));
+      VM_NEXT();
+    }
+    VM_CASE(kUnrelate) {
+      InstanceHandle b = as_handle(pop());
+      InstanceHandle a = as_handle(pop());
+      host_.database().unrelate(a, b, AssociationId(code[pc].a));
+      VM_NEXT();
+    }
+    VM_CASE(kSelectAll) {
+      push(host_.database().all_of(ClassId(code[pc].a)));
+      VM_NEXT();
+    }
+    VM_CASE(kRelated) {
+      InstanceHandle start = as_handle(pop());
+      push(host_.database().related(start, AssociationId(code[pc].a)));
+      VM_NEXT();
+    }
+    VM_CASE(kFilter) {
+      const Instr& i = code[pc];
+      InstanceSet in = as_set(pop());
+      const CodeBlock& sub = block.subs[i.a];
+      const PreparedBlock* psub =
+          prepared != nullptr ? &prepared->subs[i.a] : nullptr;
+      const bool first_only = i.b != 0;
+      InstanceSet out;
+      Value saved = selected_;
+      for (const InstanceHandle& h : in) {
+        selected_ = h;
+        exec(sub, psub, frame);
+        if (as_bool(pop())) {
+          out.push_back(h);
+          if (first_only) break;
         }
       }
-      ++pc;
+      selected_ = std::move(saved);
+      push(std::move(out));
+      VM_NEXT();
     }
+    VM_CASE(kSetToRef) {
+      Value v = pop();
+      const InstanceSet& s = as_set(v);
+      push(s.empty() ? InstanceHandle::null() : s.front());
+      VM_NEXT();
+    }
+    VM_CASE(kGenerate) {
+      const Instr& i = code[pc];
+      ClassId target_cls(i.a >> 16);
+      EventId event(i.a & 0xffff);
+      std::uint32_t argc = i.b >> 1;
+      const bool has_delay = (i.b & 1) != 0;
+      std::uint64_t delay = 0;
+      if (has_delay) {
+        std::int64_t d = as_int(pop());
+        if (d < 0) throw ModelError("negative delay in generate");
+        delay = static_cast<std::uint64_t>(d);
+      }
+      InstanceHandle target = as_handle(pop());
+      if (target.is_null()) {
+        throw ModelError("generate to a null instance reference");
+      }
+      // The payload vector comes from the host's recycling pool: it
+      // becomes EventMessage::args and returns to the pool after the
+      // receiving action completes.
+      std::vector<Value> args = host_.acquire_args(argc);
+      for (std::uint32_t k = argc; k > 0; --k) {
+        args[k - 1] = pop();
+      }
+      (void)target_cls;
+      host_.emit(self_, target, event, std::move(args), delay);
+      VM_NEXT();
+    }
+    VM_CASE(kLog) {
+      const Instr& i = code[pc];
+      std::vector<Value> vals(i.a);
+      for (std::uint32_t k = i.a; k > 0; --k) vals[k - 1] = pop();
+      std::string text;
+      for (std::size_t k = 0; k < vals.size(); ++k) {
+        if (k > 0) text += ' ';
+        text += to_string(vals[k]);
+      }
+      host_.on_log(std::move(text));
+      VM_NEXT();
+    }
+
+#if !XTSOC_VM_USE_COMPUTED_GOTO
+      }
+    }
+#endif
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_JUMP
+#if XTSOC_VM_USE_COMPUTED_GOTO
+#undef VM_DISPATCH
+#endif
   }
 
   const CodeBlock& block_;

@@ -22,10 +22,12 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "test_models.hpp"
+#include "xtsoc/jit/jit.hpp"
 #include "xtsoc/cosim/cosim.hpp"
 #include "xtsoc/cosim/report.hpp"
 #include "xtsoc/fault/campaign.hpp"
@@ -209,6 +211,53 @@ TEST(SnapGrid, FaultsThreads2Window0) { grid_case(2, 0, true); }
 TEST(SnapGrid, FaultsThreads2WindowL) { grid_case(2, 4, true); }
 TEST(SnapGrid, FaultsThreads8Window1) { grid_case(8, 1, true); }
 TEST(SnapGrid, FaultsThreads8WindowL) { grid_case(8, 4, true); }
+
+// A snapshot is engine-portable: the saved bytes record model state, not
+// execution machinery, so a run saved under the bytecode VM restores into
+// a jit-engined co-simulation (and vice versa) and continues byte for
+// byte. A stale or mismatched jitted object cannot corrupt this path: it
+// is rejected at load time by its embedded digest (jit_test covers that
+// rejection), leaving the restore running on the VM.
+void cross_engine_case(runtime::ActionEngine save_engine,
+                       runtime::ActionEngine restore_engine,
+                       const std::string& what) {
+  MappedFixture fx(make_ring_domain(), ring_marks());
+  jit::JitOptions jopts;
+  std::error_code ec;
+  jopts.cache_dir =
+      (std::filesystem::temp_directory_path(ec) / "xtsoc-jit-gtest").string();
+  jit::JitResult jr = jit::compile(*fx.compiled, jopts);
+  ASSERT_NE(jr.module, nullptr) << jr.reason;
+  auto config_for = [&](runtime::ActionEngine engine) {
+    CoSimConfig cfg;
+    cfg.engine = engine;
+    if (engine == runtime::ActionEngine::kJit) cfg.compiled = jr.module.get();
+    return cfg;
+  };
+
+  CoSimulation a(*fx.system, config_for(save_engine));
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, nullptr, nullptr);
+  Tail ta = run_tail(a, kContinue);
+
+  CoSimulation b(*fx.system, config_for(restore_engine));
+  const SnapshotInfo info = restore(b, bytes.data(), bytes.size(), nullptr,
+                                    nullptr);
+  EXPECT_EQ(info.cycle, kSaveAt) << what;
+  Tail tb = run_tail(b, kContinue);
+  expect_identical(ta, tb, what);
+}
+
+TEST(SnapGrid, CrossEngineVmToJit) {
+  cross_engine_case(runtime::ActionEngine::kBytecode,
+                    runtime::ActionEngine::kJit, "saved vm, restored jit");
+}
+
+TEST(SnapGrid, CrossEngineJitToVm) {
+  cross_engine_case(runtime::ActionEngine::kJit,
+                    runtime::ActionEngine::kBytecode, "saved jit, restored vm");
+}
 
 /// The report's "run" section echoes host knobs (threads, window) that a
 /// ported restore legitimately changes; drop those two lines so the rest

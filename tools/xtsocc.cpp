@@ -21,6 +21,14 @@
 //                       0 (default) = auto, the interconnect's full static
 //                       lookahead; 1 forces per-cycle lockstep; values above
 //                       the lookahead are clamped down (correctness bound)
+//       --engine ENG    action engine for --on-cosim: vm (the bytecode
+//                       reference) or jit (AOT-compile the model's actions
+//                       to a native shared object; falls back to vm with a
+//                       warning when unavailable). Engines are
+//                       byte-identical by contract — jit only changes
+//                       speed. See docs/PERF.md
+//       --jit-cache DIR jit shared-object cache directory (default:
+//                       ~/.cache/xtsoc/jit; requires --engine=jit)
 //       --obs LIST      comma-separated observability sections to print
 //                       (default: summary):
 //                         summary   partition/interface summary
@@ -79,6 +87,7 @@
 #include "xtsoc/cosim/report.hpp"
 #include "xtsoc/fault/campaign.hpp"
 #include "xtsoc/fault/fault.hpp"
+#include "xtsoc/jit/jit.hpp"
 #include "xtsoc/marks/marks.hpp"
 #include "xtsoc/obs/registry.hpp"
 #include "xtsoc/obs/snapshot.hpp"
@@ -101,6 +110,11 @@ struct Options {
   bool on_cosim = false;
   int threads = 1;
   int window = 0;
+
+  // --engine family. Empty engine means "not given": the cosim runs on its
+  // built-in default and the report never grows an "engines" section.
+  std::string engine;        ///< "", "vm" or "jit"
+  std::string jit_cache_dir;  ///< --jit-cache override (empty = default)
 
   // --obs family, as parsed. Contradictions are diagnosed centrally in
   // validate_options(), not at parse time.
@@ -142,7 +156,8 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: xtsocc MODEL.xtm [-m MARKS] [-o OUTDIR] [--c-only] "
                "[--vhdl-only] [--check] [--obs LIST] [--simulate FILE] "
-               "[--on-cosim [--threads N] [--window N] [--obs-trace FILE] "
+               "[--on-cosim [--threads N] [--window N] "
+               "[--engine vm|jit [--jit-cache DIR]] [--obs-trace FILE] "
                "[--faults FILE [--campaign N [--campaign-out FILE]]]\n"
                "              [--checkpoint-out FILE] [--restore FILE] "
                "[--run-cycles N]]\n"
@@ -232,6 +247,34 @@ bool parse_args(int argc, char** argv, Options* opt) {
       if (opt->window < 0) {
         std::fprintf(stderr, "xtsocc: --window needs a non-negative integer "
                              "(0 = auto)\n");
+        return false;
+      }
+    } else if (a == "--engine" || a.rfind("--engine=", 0) == 0) {
+      std::string v;
+      if (a == "--engine") {
+        const char* n = next();
+        if (!n) return false;
+        v = n;
+      } else {
+        v = a.substr(std::strlen("--engine="));
+      }
+      if (v != "vm" && v != "jit") {
+        std::fprintf(stderr,
+                     "xtsocc: unknown --engine '%s' (expected vm or jit)\n",
+                     v.c_str());
+        return false;
+      }
+      opt->engine = v;
+    } else if (a == "--jit-cache" || a.rfind("--jit-cache=", 0) == 0) {
+      if (a == "--jit-cache") {
+        const char* v = next();
+        if (!v) return false;
+        opt->jit_cache_dir = v;
+      } else {
+        opt->jit_cache_dir = a.substr(std::strlen("--jit-cache="));
+      }
+      if (opt->jit_cache_dir.empty()) {
+        std::fprintf(stderr, "xtsocc: --jit-cache needs a directory\n");
         return false;
       }
     } else if (a == "--obs" || a.rfind("--obs=", 0) == 0) {
@@ -430,6 +473,13 @@ bool validate_options(Options* opt) {
                   "worker pool; see xtsocd --threads)");
     }
     if (opt->saw_window_flag) return fail("--window contradicts --connect");
+    if (!opt->engine.empty()) {
+      return fail("--engine contradicts --connect (the daemon picks its own "
+                  "engine)");
+    }
+    if (!opt->jit_cache_dir.empty()) {
+      return fail("--jit-cache contradicts --connect");
+    }
     if (opt->campaign > 0 && opt->faults_path.empty()) {
       return fail("--campaign requires --faults");
     }
@@ -471,6 +521,10 @@ bool validate_options(Options* opt) {
     }
     if (opt->saw_threads_flag) return fail("--threads requires --on-cosim");
     if (opt->saw_window_flag) return fail("--window requires --on-cosim");
+    if (!opt->engine.empty()) {
+      return fail("--engine requires --on-cosim (the abstract simulator "
+                  "always runs the reference engine)");
+    }
     if (!opt->faults_path.empty()) {
       return fail("--faults requires --on-cosim (faults are injected into "
                   "the partitioned interconnect)");
@@ -501,6 +555,13 @@ bool validate_options(Options* opt) {
   }
   if (!opt->campaign_out_path.empty() && opt->campaign == 0) {
     return fail("--campaign-out requires --campaign");
+  }
+  if (!opt->jit_cache_dir.empty() && opt->engine != "jit") {
+    return fail("--jit-cache requires --engine=jit");
+  }
+  if (opt->campaign > 0 && !opt->engine.empty()) {
+    return fail("--engine contradicts --campaign (campaign rows always run "
+                "the pinned reference engine)");
   }
   if (opt->campaign > 0) {
     // The per-run --obs surfaces describe ONE run; a campaign is many.
@@ -687,6 +748,36 @@ int main(int argc, char** argv) {
     cfg.threads = opt.threads;
     cfg.window = opt.window;
     cfg.obs = reg.get();
+
+    // --engine: vm is the bytecode reference; jit AOT-compiles the model
+    // and falls back to vm when unavailable — a warning plus the reason in
+    // the report's "engines" section, never an error. Both engines are
+    // byte-identical by contract, so a run that never asked for an engine
+    // never mentions one.
+    jit::JitResult jit_result;  // owns the module for the cosim's lifetime
+    if (!opt.engine.empty()) {
+      cfg.engine = runtime::ActionEngine::kBytecode;
+      cfg.engine_status.requested = opt.engine;
+      cfg.engine_status.active = "vm";
+      if (opt.engine == "jit") {
+        jit::JitOptions jopts;
+        jopts.cache_dir = opt.jit_cache_dir;
+        jit_result = jit::compile(project->compiled(), jopts);
+        if (jit_result.module != nullptr) {
+          cfg.engine = runtime::ActionEngine::kJit;
+          cfg.compiled = jit_result.module.get();
+          cfg.engine_status.active = "jit";
+          cfg.engine_status.digest = jit_result.digest;
+          cfg.engine_status.cache_hit = jit_result.cache_hit;
+        } else {
+          cfg.engine_status.fallback_reason = jit_result.reason;
+          std::fprintf(stderr,
+                       "xtsocc: warning: jit unavailable (%s); running on "
+                       "the bytecode VM\n",
+                       jit_result.reason.c_str());
+        }
+      }
+    }
 
     // --faults: the fault marks file reuses the .marks syntax and the
     // central validator, so a typo'd key or an out-of-range rate gets the
