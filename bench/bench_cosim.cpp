@@ -13,8 +13,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "models.hpp"
@@ -218,11 +221,13 @@ std::unique_ptr<cosim::CoSimulation> make_mesh_cosim(
 }
 
 /// Steady-state mesh throughput at `threads`, in hardware cycles per
-/// wall-clock second.
+/// wall-clock second. When `phases` is non-null it receives the windowed
+/// scheduler's per-phase wall-clock split for the whole run.
 double mesh_cycles_per_sec(
     int width, int height, int threads, obs::Registry* obs = nullptr,
     runtime::ActionEngine engine = runtime::ActionEngine::kAstWalk,
-    const runtime::CompiledActions* compiled = nullptr) {
+    const runtime::CompiledActions* compiled = nullptr,
+    cosim::CoSimulation::PhaseSeconds* phases = nullptr) {
   const int nodes = width * height - 1;
   auto project =
       bench::make_project(make_mesh_soc(nodes), mesh_marks(width, height));
@@ -234,6 +239,7 @@ double mesh_cycles_per_sec(
     cs->run_cycles(500);
     cycles += 500;
   }
+  if (phases != nullptr) *phases = cs->phase_seconds();
   return static_cast<double>(cycles) / t.seconds();
 }
 
@@ -278,71 +284,113 @@ void emit_json() {
   bench::JsonReport report("cosim");
   // Scaling sweep: mesh size x thread count. parallel_efficiency is
   // speedup / threads — 1.0 means perfect scaling, and anything above
-  // 1/threads means the extra threads helped at all. The headline
-  // "speedup" metric (4x4 mesh at 8 threads) is the CI regression gate.
+  // 1/threads means the extra threads helped at all. Two headline
+  // "speedup" metrics feed the CI regression gates: 4x4 at 8 threads
+  // (parity floor on any hardware) and 8x8 at 8 threads (the sharded
+  // replay's >= 3x bar, gated only on runners with >= 8 cores). The
+  // phaseA_pct/phaseB_pct rows record where the windowed scheduler's
+  // wall-clock went, so the next perf investigation can see where the
+  // Amdahl wall moved.
   double serial_4x4 = 0.0, par8_4x4 = 0.0;
+  double serial_8x8 = 0.0, par8_8x8 = 0.0;
   for (int dim : {2, 4, 8}) {
     const std::string mesh =
         "mesh=" + std::to_string(dim) + "x" + std::to_string(dim);
     double serial = 0.0;
     for (int threads : {1, 2, 4, 8}) {
-      const double rate = mesh_cycles_per_sec(dim, dim, threads);
       const std::string cfg = mesh + ",threads=" + std::to_string(threads);
+      cosim::CoSimulation::PhaseSeconds phases;
+      const double rate = mesh_cycles_per_sec(
+          dim, dim, threads, nullptr, runtime::ActionEngine::kAstWalk,
+          nullptr, &phases);
       report.add("cycles_per_sec", rate, "cycles/s", cfg);
       if (threads == 1) {
         serial = rate;
       } else {
         report.add("parallel_efficiency", rate / (serial * threads), "x", cfg);
       }
+      if (dim == 8 && (threads == 1 || threads == 8)) {
+        const double total = phases.boundary + phases.phase_a + phases.phase_b;
+        if (total > 0) {
+          report.add("phaseA_pct", 100.0 * phases.phase_a / total, "%", cfg);
+          report.add("phaseB_pct", 100.0 * phases.phase_b / total, "%", cfg);
+        }
+      }
       if (dim == 4 && threads == 1) serial_4x4 = rate;
       if (dim == 4 && threads == 8) par8_4x4 = rate;
+      if (dim == 8 && threads == 1) serial_8x8 = rate;
+      if (dim == 8 && threads == 8) par8_8x8 = rate;
     }
   }
   report.add("speedup", par8_4x4 / serial_4x4, "x",
              "mesh=4x4,threads=8 vs threads=1");
+  const double speedup8 = par8_8x8 / serial_8x8;
+  report.add("speedup", speedup8, "x", "mesh=8x8,threads=8 vs threads=1");
+  // The ROADMAP bar for the sharded replay: >= 3x at 8 threads on the 8x8
+  // mesh. A speedup needs cores under the pool, so the gate is conditional
+  // on the hardware rather than silently skipped — a single-core runner
+  // still publishes the metric for the record.
+  if (std::thread::hardware_concurrency() >= 8 && speedup8 < 3.0) {
+    std::fprintf(stderr,
+                 "bench_cosim: 8x8 mesh speedup at 8 threads regressed: "
+                 "%.2fx < 3x\n",
+                 speedup8);
+    report.write();
+    std::exit(1);
+  }
   {
     // Observability residue. With no registry every probe is a dead null
     // test; with a registry attached but tracing off, counters count and
-    // spans skip. Best-of-3 on each side to shave scheduler noise; the CI
-    // benchmarks job gates obs_disabled_overhead_pct <= 2.
-    // Three identical cosims differing only in what's attached, run in
-    // tightly alternating 500-cycle slices; each side keeps its minimum
-    // slice time. The alternation puts scheduler noise and clock drift on
-    // every side equally, and min-time is the standard robust estimator
-    // for "the cost of the code itself".
+    // spans skip. The CI benchmarks job gates obs_disabled_overhead_pct
+    // <= 2 — a sub-2% contract, which is BELOW the bias a single heap
+    // layout can introduce: one long-lived measurement once reported the
+    // counted cosim 6% FASTER than the bare one, purely from allocation
+    // order. So the measurement repeats over kRounds rounds, each round
+    // constructing all three cosims FRESH in a rotated order (layout luck
+    // lands on a different side every round), timing tightly alternating
+    // 500-cycle slices and keeping each side's minimum (the robust
+    // estimator for "the cost of the code itself"). The reported overhead
+    // is the MEDIAN across rounds, which a single lucky/unlucky layout
+    // cannot move.
     constexpr int kNodes = 4 * 4 - 1;
-    obs::Registry counting;
-    obs::Registry tracing;
-    tracing.enable_tracing();
-    auto p_bare =
-        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
-    auto p_counted =
-        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
-    auto p_traced =
-        bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
-    auto cs_bare = make_mesh_cosim(*p_bare, kNodes, 1);
-    auto cs_counted = make_mesh_cosim(*p_counted, kNodes, 1, &counting);
-    auto cs_traced = make_mesh_cosim(*p_traced, kNodes, 1, &tracing);
-    for (auto* cs : {cs_bare.get(), cs_counted.get(), cs_traced.get()}) {
-      cs->run_cycles(200);  // warm-up
+    constexpr int kRounds = 5;
+    constexpr int kSlices = 12;
+    std::vector<double> disabled_pct, tracing_pct;
+    for (int round = 0; round < kRounds; ++round) {
+      obs::Registry counting;
+      obs::Registry tracing;
+      tracing.enable_tracing();
+      obs::Registry* regs[3] = {nullptr, &counting, &tracing};
+      std::unique_ptr<core::Project> proj[3];
+      std::unique_ptr<cosim::CoSimulation> cs[3];
+      for (int j = 0; j < 3; ++j) {
+        const int which = (round + j) % 3;  // rotate construction order
+        proj[which] =
+            bench::make_project(make_mesh_soc(kNodes), mesh_marks(4, 4));
+        cs[which] = make_mesh_cosim(*proj[which], kNodes, 1, regs[which]);
+      }
+      for (auto& c : cs) c->run_cycles(200);  // warm-up
+      auto slice = [](cosim::CoSimulation& c) {
+        bench::Timer t;
+        c.run_cycles(500);
+        return t.seconds();
+      };
+      double best[3] = {1e9, 1e9, 1e9};
+      for (int s = 0; s < kSlices; ++s) {
+        for (int j = 0; j < 3; ++j) best[j] = std::min(best[j], slice(*cs[j]));
+      }
+      disabled_pct.push_back((best[1] / best[0] - 1.0) * 100.0);
+      tracing_pct.push_back((best[2] / best[0] - 1.0) * 100.0);
     }
-    double bare = 1e9, counted = 1e9, traced = 1e9;
-    auto slice = [](cosim::CoSimulation& cs) {
-      bench::Timer t;
-      cs.run_cycles(500);
-      return t.seconds();
+    auto median = [](std::vector<double>& v) {
+      std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+      return v[v.size() / 2];
     };
-    for (int s = 0; s < 30; ++s) {
-      bare = std::min(bare, slice(*cs_bare));
-      counted = std::min(counted, slice(*cs_counted));
-      traced = std::min(traced, slice(*cs_traced));
-    }
     report.add("obs_disabled_overhead_pct",
-               std::max(0.0, (counted / bare - 1.0) * 100.0), "%",
+               std::max(0.0, median(disabled_pct)), "%",
                "mesh=4x4,threads=1,registry attached vs absent");
-    report.add("obs_tracing_overhead_pct",
-               std::max(0.0, (traced / bare - 1.0) * 100.0), "%",
-               "mesh=4x4,threads=1,tracing on vs registry absent");
+    report.add("obs_tracing_overhead_pct", std::max(0.0, median(tracing_pct)),
+               "%", "mesh=4x4,threads=1,tracing on vs registry absent");
   }
   {
     // End-to-end engine rows: the same 4x4 mesh with actions run by the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "xtsoc/hwsim/pool.hpp"
@@ -120,8 +121,29 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
   if (windowed) {
     for (auto& hw : hw_domains_) hw->set_windowed(true);
     sw_->set_windowed(true);
-    if (config_.threads > 1) {
-      pool_ = std::make_unique<hwsim::WorkerPool>(config_.threads);
+    // Useful parallelism is bounded by the wider fan-out of the two
+    // phases: phase A runs domains + software, phase B runs one replay
+    // shard per hardware domain. Spawning more workers than that only
+    // buys handshake overhead (a 2x2 mesh at threads=4 measured SLOWER
+    // than serial before this cap).
+    const int useful = static_cast<int>(hw_domains_.size()) + 1;
+    const int workers = std::min(config_.threads, useful);
+    if (workers > 1) {
+      pool_ = std::make_unique<hwsim::WorkerPool>(workers);
+      // Shard the phase-B replay by tile. With a single hardware domain
+      // there is nothing to shard — the serial replay is the same work
+      // without the pool dispatch.
+      if (hw_domains_.size() > 1) {
+        std::vector<hwsim::ShardPlan> plans;
+        plans.reserve(hw_domains_.size());
+        for (auto& hw : hw_domains_) {
+          hwsim::ShardPlan plan;
+          plan.processes.push_back(hw->process_id());
+          plan.wires = hw->kernel_wires();
+          plans.push_back(std::move(plan));
+        }
+        sim_->set_replay_shards(clk_, std::move(plans));
+      }
     }
   }
 }
@@ -217,6 +239,12 @@ void CoSimulation::run_window(std::uint64_t w) {
   const std::uint64_t base = cycle_;
   const std::uint64_t end = base + w;
   OBS_SPAN_AT(obs_, obs_track_, "window", base + 1);
+  auto stamp = std::chrono::steady_clock::now();
+  auto lap = [&stamp] {
+    const auto prev = stamp;
+    stamp = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stamp - prev).count();
+  };
 
   // Window boundary, serial: every domain pulls the frames due inside the
   // coming window into its private inbox. Complete, because a frame due at
@@ -229,6 +257,7 @@ void CoSimulation::run_window(std::uint64_t w) {
     for (auto& hw : hw_domains_) hw->fill_inbox(end);
     sw_->fill_inbox(end);
   }
+  phase_seconds_.boundary += lap();
 
   // Phase A: run each domain w cycles ahead, concurrently. A job touches
   // only domain-local state — executor, inbox, outbox, staged kernel
@@ -269,28 +298,56 @@ void CoSimulation::run_window(std::uint64_t w) {
     for (std::size_t i = 0; i < jobs; ++i) run_domain(i);
   }
   phase_a_span.finish();
+  phase_seconds_.phase_a += lap();
   OBS_SPAN_AT(obs_, obs_track_, "phaseB", base + 1);
 
-  // Phase B, serial: the kernel replays the w edges. Each clocked process
-  // re-issues the writes its domain staged for that edge, so the kernel
-  // walks through exactly the deltas/commits lockstep would have; around
-  // each edge the master performs the lockstep interleaving — fabric tick
-  // before, outbox flushes (domain order, then software) and the cycle
-  // hook after.
+  // Phase B: the kernel replays the w edges — sharded by tile on the pool
+  // when the partition allows it, serially otherwise; byte-identical
+  // either way. Around each edge the master performs the lockstep
+  // interleaving: fabric tick before, outbox flushes (domain order, then
+  // software) and the cycle hook after.
   for (auto& hw : hw_domains_) hw->begin_replay();
-  sim_->run_cycles(
-      clk_, w,
-      /*before_edge=*/
-      [this](std::uint64_t) {
-        ++cycle_;
-        if (fabric_) fabric_->tick(cycle_);
-      },
-      /*after_edge=*/
-      [this](std::uint64_t) {
-        for (auto& hw : hw_domains_) hw->flush_outbox_through(cycle_);
+
+  // Batch the boundary exchanges: instead of asking every domain at every
+  // edge whether it has frames to send (O(domains) scans per cycle, and
+  // almost all come back empty), merge the cycles that actually have
+  // staged sends into one schedule. Sorting the (cycle, tag) pairs keeps
+  // ties in ascending tag order = hardware domains in order, software
+  // last — exactly the serial flush order, so the interconnect sees the
+  // identical injection sequence.
+  flush_sched_.clear();
+  for (std::size_t d = 0; d < hw_domains_.size(); ++d) {
+    hw_domains_[d]->pending_send_cycles(static_cast<std::uint32_t>(d),
+                                        flush_sched_);
+  }
+  const std::uint32_t sw_tag = static_cast<std::uint32_t>(hw_domains_.size());
+  sw_->pending_send_cycles(sw_tag, flush_sched_);
+  std::sort(flush_sched_.begin(), flush_sched_.end());
+  std::size_t flush_pos = 0;
+
+  auto before_edge = [this](std::uint64_t) {
+    ++cycle_;
+    if (fabric_) fabric_->tick(cycle_);
+  };
+  auto after_edge = [this, sw_tag, &flush_pos](std::uint64_t) {
+    while (flush_pos < flush_sched_.size() &&
+           flush_sched_[flush_pos].first <= cycle_) {
+      const std::uint32_t tag = flush_sched_[flush_pos].second;
+      ++flush_pos;
+      if (tag < sw_tag) {
+        hw_domains_[tag]->flush_outbox_through(cycle_);
+      } else {
         sw_->flush_outbox_through(cycle_);
-        if (cycle_hook_) cycle_hook_(cycle_);
-      });
+      }
+    }
+    if (cycle_hook_) cycle_hook_(cycle_);
+  };
+  if (pool_ && sim_->has_replay_shards()) {
+    sim_->run_cycles_sharded(clk_, w, *pool_, before_edge, after_edge);
+  } else {
+    sim_->run_cycles(clk_, w, before_edge, after_edge);
+  }
+  phase_seconds_.phase_b += lap();
 }
 
 bool CoSimulation::quiescent() const {

@@ -36,18 +36,25 @@
 //                      state: frames come from the inbox, outbound frames
 //                      are staged cycle-stamped in an outbox, and kernel
 //                      wire writes are staged per edge;
-//   phase B (serial)   the hwsim kernel replays the W edges — each clocked
-//                      process re-issues its staged writes — while the
-//                      master ticks the fabric before each edge and
-//                      flushes outboxes (domain order, then software)
-//                      after it, exactly the lockstep interleaving.
+//   phase B (sharded)  the hwsim kernel replays the W edges. With more
+//                      than one hardware domain the replay itself shards
+//                      by tile (Simulator::run_cycles_sharded): each
+//                      domain's clocked process and alive/busy wires form
+//                      one shard, all shards replay their W edges
+//                      concurrently on the same pool, and a serial spine
+//                      merges the commits in (cycle, tile index,
+//                      intra-tile order) — the total order the serial
+//                      kernel produces — while ticking the fabric before
+//                      each edge and flushing due outboxes (domain order,
+//                      then software) after it.
 //
-// One pool handshake per window instead of one per delta cycle is the
-// entire performance story; the replay is the entire determinism story:
-// traces, VCD, SimStats, Bus/FabricStats are byte-identical to the serial
-// master at every window size and thread count. When L == 1 (zero-latency
-// bus, or `window = 1`) the master is the exact per-cycle lockstep loop,
-// with kernel-level delta parallelism (SimConfig::threads) instead.
+// One pool handshake per window — per phase — instead of one per delta
+// cycle is the entire performance story; the deterministic merge is the
+// entire determinism story: traces, VCD, SimStats, Bus/FabricStats are
+// byte-identical to the serial master at every window size and thread
+// count. When L == 1 (zero-latency bus, or `window = 1`) the master is the
+// exact per-cycle lockstep loop, with kernel-level delta parallelism
+// (SimConfig::threads) instead.
 //
 // The whole thing is deterministic, so a CoSimulation trace is comparable
 // against the abstract Executor trace (see src/xtsoc/verify) — the paper's
@@ -56,6 +63,8 @@
 #pragma once
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "xtsoc/cosim/bus.hpp"
 #include "xtsoc/cosim/channel.hpp"
@@ -195,6 +204,17 @@ public:
   const hwsim::Simulator& hw_sim() const { return *sim_; }
   const swrt::Scheduler& scheduler() const { return scheduler_; }
 
+  /// Wall-clock seconds accumulated per windowed phase (zeroes in lockstep
+  /// mode). The boundary/phase A/phase B split is what tells a perf
+  /// investigation where the Amdahl wall currently is; bench_cosim exports
+  /// it as phaseA_pct/phaseB_pct.
+  struct PhaseSeconds {
+    double boundary = 0;
+    double phase_a = 0;
+    double phase_b = 0;
+  };
+  PhaseSeconds phase_seconds() const { return phase_seconds_; }
+
   /// One structured stats report covering the whole co-simulation: run
   /// shape, kernel SimStats, interconnect (Bus or Fabric) stats, per-domain
   /// executor stats, plus obs counters when a registry is attached. This is
@@ -238,9 +258,18 @@ private:
   std::uint64_t cycle_ = 0;
   int lookahead_ = 1;
   int window_ = 1;
-  /// Window-level worker pool (windowed mode, threads > 1). In lockstep the
-  /// kernel owns the pool instead; the two are never both active.
+  /// Window-level worker pool (windowed mode, threads > 1), shared by
+  /// phase A (domains) and phase B (replay shards). Capped at the useful
+  /// parallelism — domains + 1 — so extra threads never buy handshake
+  /// overhead. In lockstep the kernel owns the pool instead; the two are
+  /// never both active.
   std::unique_ptr<hwsim::WorkerPool> pool_;
+  /// Per-window flush schedule: (cycle, domain tag) entries, one per
+  /// distinct cycle a domain staged sends at, sorted by (cycle, tag). Tags
+  /// 0..hw_domains-1 are the hardware domains, hw_domains is software —
+  /// ascending tag order IS the serial flush order. Reused scratch.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> flush_sched_;
+  PhaseSeconds phase_seconds_;
 
   // Observability (null members when no registry is attached).
   obs::Registry* obs_ = nullptr;

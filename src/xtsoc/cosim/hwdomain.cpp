@@ -45,7 +45,32 @@ HwDomain::HwDomain(const mapping::MappedSystem& sys, hwsim::Simulator& sim,
       busy_wires_[cm.cls.value()] = sim.wire(1, 0, "hw." + name + ".busy");
     }
   }
-  sim.on_posedge(clk, [this](hwsim::Simulator&) { on_clock(); });
+  process_ = sim.on_posedge(clk, [this](hwsim::Simulator&) { on_clock(); });
+}
+
+std::vector<HwSignalId> HwDomain::kernel_wires() const {
+  std::vector<HwSignalId> out;
+  out.reserve(owned_.size() * 2);
+  for (ClassId cls : owned_) {
+    if (alive_wires_[cls.value()].is_valid()) {
+      out.push_back(alive_wires_[cls.value()]);
+      out.push_back(busy_wires_[cls.value()]);
+    }
+  }
+  return out;
+}
+
+void HwDomain::pending_send_cycles(
+    std::uint32_t tag,
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>& out) const {
+  // Outbox entries are staged in cycle order, so distinct cycles appear as
+  // runs — comparing against the entry just appended dedups them.
+  for (std::size_t i = outbox_sent_; i < outbox_.size(); ++i) {
+    if (out.empty() || out.back().first != outbox_[i].cycle ||
+        out.back().second != tag) {
+      out.push_back({outbox_[i].cycle, tag});
+    }
+  }
 }
 
 HwSignalId HwDomain::alive_wire(ClassId cls) const {

@@ -39,6 +39,7 @@
 // codegen::generate_vhdl — same partition, same interface, same queueing.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "xtsoc/cosim/channel.hpp"
@@ -103,9 +104,25 @@ public:
   void begin_replay() { replay_edge_ = 0; }
 
   /// Send the outbox prefix staged at cycles <= `cycle` (monotone calls,
-  /// once per replayed cycle, in domain order). Clears the outbox when the
-  /// last staged frame has been sent.
+  /// in domain order). Clears the outbox when the last staged frame has
+  /// been sent.
   void flush_outbox_through(std::uint64_t cycle);
+
+  /// Append one (cycle, `tag`) entry per distinct cycle that still has
+  /// staged, unsent outbox frames. CoSimulation merges these into the
+  /// window's flush schedule so phase B only asks a domain to flush at
+  /// cycles where it actually has something to send.
+  void pending_send_cycles(
+      std::uint32_t tag,
+      std::vector<std::pair<std::uint64_t, std::uint32_t>>& out) const;
+
+  /// The kernel process driving this domain — exactly one clocked process
+  /// per domain, which is what makes the domain a replay shard.
+  ProcessId process_id() const { return process_; }
+
+  /// Every kernel wire this domain writes (the alive/busy pair per owned
+  /// hardware class): the wire-ownership set of this domain's replay shard.
+  std::vector<HwSignalId> kernel_wires() const;
 
   /// Observability wires created in the hwsim netlist, one pair per owned
   /// hardware class: `hw.<class>.alive` (live instance count, 16 bits) and
@@ -146,6 +163,7 @@ private:
   Channel* channel_;
   std::vector<ClassId> owned_;
   std::vector<char> owned_mask_;  // indexed by ClassId
+  ProcessId process_;             // this domain's clocked kernel process
   runtime::Executor exec_;
   std::uint64_t cycle_ = 0;
   /// Per-class clock divider from the clockDomain mark (index: ClassId).

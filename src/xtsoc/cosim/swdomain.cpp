@@ -103,6 +103,17 @@ void SwDomain::flush_outbox_through(std::uint64_t cycle) {
   }
 }
 
+void SwDomain::pending_send_cycles(
+    std::uint32_t tag,
+    std::vector<std::pair<std::uint64_t, std::uint32_t>>& out) const {
+  for (std::size_t i = outbox_sent_; i < outbox_.size(); ++i) {
+    if (out.empty() || out.back().first != outbox_[i].cycle ||
+        out.back().second != tag) {
+      out.push_back({outbox_[i].cycle, tag});
+    }
+  }
+}
+
 void SwDomain::save_state(snap::Writer& w) const {
   exec_.save_state(w);
   w.u64(cycle_);

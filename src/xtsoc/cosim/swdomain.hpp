@@ -16,6 +16,7 @@
 // boundary flush). See cosim.hpp for the window scheme.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "xtsoc/cosim/channel.hpp"
@@ -60,9 +61,15 @@ public:
   /// violated. Identical to begin_cycle + the master's budget loop.
   void run_cycle(std::uint64_t cycle, int steps, std::uint64_t ops);
 
-  /// Send the outbox prefix staged at cycles <= `cycle` (monotone, once per
-  /// replayed cycle, after the hardware domains' flushes).
+  /// Send the outbox prefix staged at cycles <= `cycle` (monotone, after
+  /// the hardware domains' flushes).
   void flush_outbox_through(std::uint64_t cycle);
+
+  /// Append one (cycle, `tag`) entry per distinct cycle with staged,
+  /// unsent outbox frames (see HwDomain::pending_send_cycles).
+  void pending_send_cycles(
+      std::uint32_t tag,
+      std::vector<std::pair<std::uint64_t, std::uint32_t>>& out) const;
 
   // --- checkpointing ---------------------------------------------------------
   /// Serialize the executor, cycle counter and staged frames (see

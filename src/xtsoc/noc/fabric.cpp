@@ -416,8 +416,6 @@ void Fabric::tick(std::uint64_t cycle) {
     OBS_COUNT(c_flits_injected_);
   }
 
-  for (Router& r : routers_) r.note_occupancy();
-
   // 3. Route and arbitrate. Decisions read only cycle-start state (own
   //    FIFOs and credit counters); freed buffer slots are returned as
   //    credits only after every router has moved, so the order routers are
@@ -429,6 +427,18 @@ void Fabric::tick(std::uint64_t cycle) {
   std::vector<CreditReturn> returns;
   for (int t = 0; t < tiles(); ++t) {
     Router& r = routers_[static_cast<std::size_t>(t)];
+    // Idle-router fast path. On a big mesh most routers hold no flits on
+    // most cycles, yet arbitration scanned all five output ports of every
+    // router every cycle — the dominant cost of the serial phase-B spine.
+    // With every input FIFO empty, arbitrate() can only return -1, no
+    // stall is possible, and note_occupancy() is a no-op (occupancy 0
+    // never raises a high-water mark), so skipping is behavior-identical.
+    // A router's FIFOs are mutated only by its own iteration of this loop
+    // (arrivals land in step 1, credits return in step 4), so noting the
+    // occupancy here, before our own pops, reads the same cycle-start
+    // state the former pre-pass saw.
+    if (r.buffers_empty()) continue;
+    r.note_occupancy();
     unsigned served = 0;  // inputs that already forwarded a flit this cycle
     for (Port out : {kLocal, kNorth, kEast, kSouth, kWest}) {
       const int winner = r.arbitrate(out, served);

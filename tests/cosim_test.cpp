@@ -4,6 +4,7 @@
 #include "xtsoc/cosim/bus.hpp"
 #include "xtsoc/cosim/codec.hpp"
 #include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/fault/fault.hpp"
 #include "xtsoc/hwsim/vcd.hpp"
 
 namespace xtsoc::cosim {
@@ -788,6 +789,183 @@ TEST(CoSimWindowed, RunOvershootsQuiescenceByLessThanOneWindow) {
   EXPECT_GE(windowed, exact);
   EXPECT_LT(windowed, exact + 8);  // overshoot < one full window
 }
+
+// --- sharded replay determinism ------------------------------------------------
+//
+// With a worker pool and more than one hardware domain, phase B of a
+// window no longer replays the staged kernel writes serially: the kernel
+// replays per-tile shards concurrently (Simulator::run_cycles_sharded) and
+// the serial spine merges them edge by edge at the window boundary. The
+// grids below drive a generic W x H mesh — one self-ticking FSM per
+// hardware tile, the software CPU on tile 0 — through threads {1,2,8} x
+// window {1,2,auto=L} x faults {off,on} and require every observable byte
+// (traces, VCD, cycle count, SimStats, fabric and fault statistics, final
+// attributes) to equal the serial lockstep baseline. 97 total cycles in
+// chunks of 61+36, so no chunk is a multiple of any window size.
+
+std::unique_ptr<xtuml::Domain> make_grid_domain(int nodes) {
+  using xtuml::DataType;
+  xtuml::DomainBuilder b("Grid");
+  for (int i = 0; i < nodes; ++i) b.cls("N" + std::to_string(i));
+  for (int i = 0; i < nodes; ++i) {
+    std::string peer = "N" + std::to_string((i + 1) % nodes);
+    b.edit("N" + std::to_string(i))
+        .attr("acc", DataType::kInt)
+        .attr("pings", DataType::kInt)
+        .ref_attr("peer", peer)
+        .event("tick")
+        .event("ping", {{"v", DataType::kInt}})
+        .state("Spin",
+               "self.acc = (self.acc * 33 + 7) % 65537;\n"
+               "if (self.acc % 8 == 0)\n"
+               "  generate ping(v: self.acc) to self.peer;\n"
+               "end if;\n"
+               "generate tick() to self;")
+        .state("Pinged",
+               "self.pings = self.pings + param.v % 2;\n"
+               "generate tick() to self;")
+        .transition("Spin", "tick", "Spin")
+        .transition("Spin", "ping", "Pinged")
+        .transition("Pinged", "tick", "Spin")
+        .transition("Pinged", "ping", "Pinged");
+  }
+  return b.take();
+}
+
+marks::MarkSet grid_mesh_marks(int width, int height) {
+  marks::MarkSet m;
+  const int nodes = width * height - 1;  // tile 0 is the CPU tile
+  for (int i = 0; i < nodes; ++i) {
+    std::string cls = "N" + std::to_string(i);
+    int tile = i + 1;
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     ScalarValue(std::int64_t{tile % width}));
+    m.set_class_mark(cls, marks::kTileY,
+                     ScalarValue(std::int64_t{tile / width}));
+  }
+  m.set_domain_mark(marks::kMeshWidth,
+                    ScalarValue(static_cast<std::int64_t>(width)));
+  m.set_domain_mark(marks::kMeshHeight,
+                    ScalarValue(static_cast<std::int64_t>(height)));
+  m.set_domain_mark(marks::kLinkLatency, ScalarValue(std::int64_t{4}));
+  return m;
+}
+
+fault::FaultSpec grid_noisy_spec() {
+  fault::FaultSpec s;
+  s.seed = 7;
+  s.flit_drop = 0.05;
+  s.flit_corrupt = 0.05;
+  return s;
+}
+
+/// WindowedRun plus the fault layer's own statistics rendered to text.
+struct ShardedRun {
+  WindowedRun w;
+  std::string fault_stats;
+  bool sharded = false;  ///< the kernel actually had replay shards set
+};
+
+ShardedRun run_grid_mesh(MappedFixture& fx, int nodes, int threads,
+                         int window, bool faults) {
+  fault::Plan plan(faults ? grid_noisy_spec() : fault::FaultSpec{});
+  CoSimConfig cfg;
+  cfg.threads = threads;
+  cfg.window = window;
+  cfg.fault = faults ? &plan : nullptr;
+  CoSimulation cosim(*fx.system, cfg);
+  std::vector<InstanceHandle> h;
+  for (int i = 0; i < nodes; ++i) h.push_back(cosim.create("N" + std::to_string(i)));
+  for (int i = 0; i < nodes; ++i) {
+    // peer is the third declared attribute (acc, pings, peer).
+    cosim.executor_of(h[static_cast<std::size_t>(i)].cls)
+        .database()
+        .set_attr(h[static_cast<std::size_t>(i)], AttributeId(2),
+                  Value(h[static_cast<std::size_t>((i + 1) % nodes)]));
+    cosim.inject(h[static_cast<std::size_t>(i)], "tick");
+  }
+  hwsim::VcdWriter vcd(cosim.hw_sim());
+  cosim.set_cycle_hook([&vcd](std::uint64_t) { vcd.sample(); });
+  cosim.run_cycles(61);
+  cosim.run_cycles(36);
+
+  ShardedRun r;
+  for (const auto& hw : cosim.hw_domains()) {
+    r.w.base.hw_traces += hw->executor().trace().to_string();
+  }
+  r.w.base.sw_trace = cosim.sw_executor().trace().to_string();
+  r.w.base.vcd = vcd.render();
+  r.w.base.cycles = cosim.cycles();
+  r.w.base.sim_stats = cosim.hw_sim().stats();
+  const auto* acc = fx.domain->find_class("N0")->find_attribute("acc");
+  for (int i = 0; i < nodes; ++i) {
+    r.w.base.attrs.push_back(std::get<std::int64_t>(
+        cosim.executor_of(h[static_cast<std::size_t>(i)].cls)
+            .database()
+            .get_attr(h[static_cast<std::size_t>(i)], acc->id)));
+  }
+  r.w.interconnect = cosim.fabric().stats().to_table();
+  const auto& fs = cosim.fabric().fault_stats();
+  r.fault_stats = std::to_string(fs.flits_dropped) + "/" +
+                  std::to_string(fs.flits_corrupted) + "/" +
+                  std::to_string(fs.link_down_events) + "/" +
+                  std::to_string(fs.crc_rejects) + "/" +
+                  std::to_string(fs.retransmissions) + "/" +
+                  std::to_string(fs.frames_lost);
+  r.w.lookahead = cosim.lookahead();
+  r.w.window = cosim.window();
+  r.sharded = cosim.hw_sim().has_replay_shards();
+  return r;
+}
+
+void expect_sharded_identical(const ShardedRun& par, const ShardedRun& serial) {
+  EXPECT_EQ(par.w.base.hw_traces, serial.w.base.hw_traces);
+  EXPECT_EQ(par.w.base.sw_trace, serial.w.base.sw_trace);
+  EXPECT_EQ(par.w.base.vcd, serial.w.base.vcd);
+  EXPECT_EQ(par.w.base.cycles, serial.w.base.cycles);
+  EXPECT_EQ(par.w.base.sim_stats.delta_cycles,
+            serial.w.base.sim_stats.delta_cycles);
+  EXPECT_EQ(par.w.base.sim_stats.process_activations,
+            serial.w.base.sim_stats.process_activations);
+  EXPECT_EQ(par.w.base.sim_stats.wire_commits,
+            serial.w.base.sim_stats.wire_commits);
+  EXPECT_EQ(par.w.base.attrs, serial.w.base.attrs);
+  EXPECT_EQ(par.w.interconnect, serial.w.interconnect);
+  EXPECT_EQ(par.fault_stats, serial.fault_stats);
+}
+
+void run_sharded_grid(int width, int height) {
+  const int nodes = width * height - 1;
+  MappedFixture fx(make_grid_domain(nodes), grid_mesh_marks(width, height));
+  for (bool faults : {false, true}) {
+    ShardedRun serial = run_grid_mesh(fx, nodes, /*threads=*/1, /*window=*/1,
+                                      faults);
+    EXPECT_EQ(serial.w.lookahead, 4);
+    EXPECT_FALSE(serial.sharded);
+    EXPECT_FALSE(serial.w.base.hw_traces.empty());
+    for (int threads : {1, 2, 8}) {
+      for (int window : {1, 2, 0}) {
+        if (threads == 1 && window == 1) continue;
+        SCOPED_TRACE("mesh=" + std::to_string(width) + "x" +
+                     std::to_string(height) +
+                     " threads=" + std::to_string(threads) +
+                     " window=" + std::to_string(window) +
+                     " faults=" + (faults ? "on" : "off"));
+        ShardedRun par = run_grid_mesh(fx, nodes, threads, window, faults);
+        EXPECT_EQ(par.w.window, window == 0 ? 4 : window);
+        // The cells this grid exists for: pool + multiple tiles + window
+        // means the kernel replay really ran sharded.
+        EXPECT_EQ(par.sharded, threads > 1 && par.w.window > 1 && nodes > 1);
+        expect_sharded_identical(par, serial);
+      }
+    }
+  }
+}
+
+TEST(CoSimSharded, Mesh2x2ByteIdenticalGrid) { run_sharded_grid(2, 2); }
+
+TEST(CoSimSharded, Mesh8x8ByteIdenticalGrid) { run_sharded_grid(8, 8); }
 
 }  // namespace
 }  // namespace xtsoc::cosim

@@ -313,6 +313,51 @@ TEST(SnapGrid, SnapshotPortsAcrossConfigurations) {
   }
 }
 
+// The reverse port: saved under the sharded parallel scheduler (threads=8,
+// window=auto, so phase B replays per-tile kernel shards concurrently),
+// restored serial and at another thread count. The kernel's shard
+// structure is construction-time configuration, not snapshot state — the
+// 'H' section layout is identical either way — so a sharded run's
+// snapshot must be interchangeable with a serial one, byte for byte.
+TEST(SnapGrid, ShardedSnapshotPortsAcrossThreadCounts) {
+  // The stock ring has a 1-cycle link (lookahead 1, forced lockstep); give
+  // it a 4-cycle link so window=0 really opens a window and shards.
+  marks::MarkSet m = ring_marks();
+  m.set_domain_mark(marks::kLinkLatency, ScalarValue(std::int64_t{4}));
+  MappedFixture fx(make_ring_domain(), std::move(m));
+  fault::Plan plan_a(noisy_spec());
+  CoSimConfig sharded;
+  sharded.threads = 8;
+  sharded.window = 0;
+  sharded.fault = &plan_a;
+  CoSimulation a(*fx.system, sharded);
+  EXPECT_TRUE(a.hw_sim().has_replay_shards());
+  boot_ring(a);
+  a.run_cycles(kSaveAt);
+  const std::vector<std::uint8_t> bytes = save(a, &plan_a, nullptr);
+  Tail ta = run_tail(a, kContinue);
+
+  for (auto [threads, window] : {std::pair{1, 1}, std::pair{2, 4}}) {
+    fault::Plan plan_b(noisy_spec());
+    CoSimConfig cfg;
+    cfg.threads = threads;
+    cfg.window = window;
+    cfg.fault = &plan_b;
+    CoSimulation b(*fx.system, cfg);
+    restore(b, bytes.data(), bytes.size(), &plan_b, nullptr);
+    Tail tb = run_tail(b, kContinue);
+    const std::string what =
+        "saved at threads=8/window=0, restored at threads=" +
+        std::to_string(threads) + "/window=" + std::to_string(window);
+    EXPECT_EQ(ta.hw_traces, tb.hw_traces) << what;
+    EXPECT_EQ(ta.sw_trace, tb.sw_trace) << what;
+    EXPECT_EQ(ta.vcd, tb.vcd) << what;
+    EXPECT_EQ(strip_host_knobs(ta.report), strip_host_knobs(tb.report))
+        << what;
+    EXPECT_EQ(ta.cycles, tb.cycles) << what;
+  }
+}
+
 // Without the 'F' section loaded, a faulty continuation diverges — proof
 // the stream positions (not just the seed) are what the snapshot carries.
 TEST(SnapGrid, FaultStreamsActuallyMatter) {
