@@ -14,6 +14,8 @@
 
 #include "bench_json.hpp"
 #include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/noc/topology.hpp"
+#include "xtsoc/noc/traffic.hpp"
 
 namespace {
 
@@ -58,6 +60,96 @@ NocRun pump_frames(int width, int height, int frames_per_tile,
   return run;
 }
 
+/// One saturation-sweep point: drive a topology x routing fabric with a
+/// synthetic pattern at a fixed offered load, then run the network dry.
+struct SweepPoint {
+  double offered = 0.0;     ///< frames offered per tile per cycle
+  double throughput = 0.0;  ///< frames delivered per cycle (whole network)
+  double mean_latency = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+SweepPoint run_sweep(noc::TopologyKind topology, noc::RoutePolicy routing,
+                     noc::TrafficPattern pattern, double load, int width,
+                     int height, int inject_cycles) {
+  noc::FabricConfig cfg;
+  cfg.width = width;
+  cfg.height = height;
+  cfg.topology = topology;
+  cfg.routing = routing;
+  noc::Fabric fabric(cfg);
+
+  noc::TrafficSpec spec;
+  spec.pattern = pattern;
+  spec.seed = 42;
+  spec.offered_load = load;
+  spec.payload_bytes = 8;
+  spec.hotspot_tile = 0;
+  noc::TrafficGen gen(spec, fabric.topology());
+
+  const int tiles = width * height;
+  std::uint64_t cycle = 0;
+  for (int c = 0; c < inject_cycles; ++c) {
+    gen.tick(fabric, cycle);
+    fabric.tick(++cycle);
+    for (int t = 0; t < tiles; ++t) (void)fabric.pop_due(t, cycle);
+  }
+  while (!fabric.idle() && cycle < static_cast<std::uint64_t>(inject_cycles) +
+                                       100'000) {
+    fabric.tick(++cycle);
+    for (int t = 0; t < tiles; ++t) (void)fabric.pop_due(t, cycle);
+  }
+
+  noc::FabricStats stats = fabric.stats();
+  SweepPoint p;
+  p.offered = load;
+  p.delivered = stats.frames_delivered;
+  p.throughput =
+      cycle == 0 ? 0.0
+                 : static_cast<double>(stats.frames_delivered) /
+                       static_cast<double>(cycle);
+  p.mean_latency = stats.latency.mean();
+  return p;
+}
+
+/// The (topology, routing) grid the sweep covers. Ring is 16x1 (same tile
+/// count as the 4x4 benchmarks); mesh/torus run 8x8 so wraparound links
+/// have distance to save.
+struct SweepConfig {
+  noc::TopologyKind topology;
+  noc::RoutePolicy routing;
+  int width, height;
+};
+
+constexpr SweepConfig kSweepGrid[] = {
+    {noc::TopologyKind::kMesh, noc::RoutePolicy::kXY, 8, 8},
+    {noc::TopologyKind::kMesh, noc::RoutePolicy::kYX, 8, 8},
+    {noc::TopologyKind::kMesh, noc::RoutePolicy::kAdaptive, 8, 8},
+    {noc::TopologyKind::kTorus, noc::RoutePolicy::kXY, 8, 8},
+    {noc::TopologyKind::kTorus, noc::RoutePolicy::kAdaptive, 8, 8},
+    {noc::TopologyKind::kRing, noc::RoutePolicy::kXY, 16, 1},
+};
+
+constexpr noc::TrafficPattern kSweepPatterns[] = {
+    noc::TrafficPattern::kUniform,
+    noc::TrafficPattern::kHotspot,
+    noc::TrafficPattern::kTranspose,
+    noc::TrafficPattern::kBursty,
+};
+
+constexpr double kSweepLoad = 0.05;
+constexpr int kSweepInjectCycles = 512;
+
+std::string sweep_config_label(const SweepConfig& c,
+                               noc::TrafficPattern pattern, double load) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "topology=%s,routing=%s,pattern=%s,load=%.2f,shape=%dx%d",
+                noc::to_string(c.topology), noc::to_string(c.routing),
+                noc::to_string(pattern), load, c.width, c.height);
+  return buf;
+}
+
 void print_summary() {
   std::printf("== NoC fabric: frames and latency vs mesh size ==\n");
   std::printf("opposite-corner traffic, 64 frames/tile, 16-byte frames:\n");
@@ -75,6 +167,44 @@ void print_summary() {
   std::printf("(larger meshes move more frames per cycle but each frame "
               "travels farther —\n the bisection-bandwidth/diameter tradeoff "
               "a placement must respect)\n\n");
+
+  std::printf("== Saturation sweep: topology x routing x pattern ==\n");
+  std::printf("synthetic traffic (seed 42), %d inject cycles, 8-byte "
+              "frames, load=%.2f:\n",
+              kSweepInjectCycles, kSweepLoad);
+  std::printf("  %-6s %-9s %-10s %10s %14s %14s\n", "topo", "routing",
+              "pattern", "delivered", "frames/cycle", "mean latency");
+  for (const SweepConfig& c : kSweepGrid) {
+    for (noc::TrafficPattern p : kSweepPatterns) {
+      SweepPoint pt = run_sweep(c.topology, c.routing, p, kSweepLoad,
+                                c.width, c.height, kSweepInjectCycles);
+      std::printf("  %-6s %-9s %-10s %10llu %14.3f %14.2f\n",
+                  noc::to_string(c.topology), noc::to_string(c.routing),
+                  noc::to_string(p),
+                  static_cast<unsigned long long>(pt.delivered),
+                  pt.throughput, pt.mean_latency);
+    }
+  }
+
+  std::printf("\nload curve, transpose pattern (mesh vs torus 8x8, XY):\n");
+  std::printf("  %-6s", "load");
+  for (double load : {0.02, 0.05, 0.10, 0.20}) std::printf(" %12.2f", load);
+  std::printf("\n");
+  for (auto [topo, name] :
+       {std::pair{noc::TopologyKind::kMesh, "mesh"},
+        std::pair{noc::TopologyKind::kTorus, "torus"}}) {
+    std::printf("  %-6s", name);
+    for (double load : {0.02, 0.05, 0.10, 0.20}) {
+      SweepPoint pt =
+          run_sweep(topo, noc::RoutePolicy::kXY,
+                    noc::TrafficPattern::kTranspose, load, 8, 8,
+                    kSweepInjectCycles);
+      std::printf(" %12.2f", pt.mean_latency);
+    }
+    std::printf("  (mean latency)\n");
+  }
+  std::printf("(wraparound halves the average transpose path, so the torus "
+              "saturates later —\n the latency gap CI gates on)\n\n");
 }
 
 void BM_NocFrames(benchmark::State& state) {
@@ -145,6 +275,19 @@ void emit_json() {
              "cycles/s", "mesh=4x4,frames_per_tile=64,payload=16B");
   report.add("mean_latency", mean_latency, "cycles",
              "mesh=4x4,opposite-corner traffic");
+
+  // Saturation sweep: one (throughput, mean_latency) pair per
+  // topology x routing x pattern point — the rows the CI benchmarks job
+  // publishes and gates on (torus must beat mesh on transpose latency).
+  for (const SweepConfig& c : kSweepGrid) {
+    for (noc::TrafficPattern p : kSweepPatterns) {
+      SweepPoint pt = run_sweep(c.topology, c.routing, p, kSweepLoad,
+                                c.width, c.height, kSweepInjectCycles);
+      const std::string label = sweep_config_label(c, p, kSweepLoad);
+      report.add("sweep_throughput", pt.throughput, "frames/cycle", label);
+      report.add("sweep_mean_latency", pt.mean_latency, "cycles", label);
+    }
+  }
   report.write();
 }
 

@@ -58,6 +58,8 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     noc::FabricConfig fcfg;
     fcfg.width = mesh.width;
     fcfg.height = mesh.height;
+    fcfg.topology = mesh.topology;
+    fcfg.routing = mesh.routing;
     fcfg.link_latency = mesh.link_latency;
     fcfg.flit_payload_bytes = mesh.flit_bytes;
     fcfg.fifo_depth = mesh.fifo_depth;

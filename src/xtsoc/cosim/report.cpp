@@ -32,6 +32,14 @@ JsonValue to_json(const noc::FabricStats& s) {
   mesh = JsonValue::object();
   mesh["width"] = s.width;
   mesh["height"] = s.height;
+  // Named only off the default, so mesh+XY reports stay byte-identical to
+  // the pre-topology format (the same conditional-section pattern the
+  // "faults" and "engines" blocks use).
+  if (s.topology != noc::TopologyKind::kMesh ||
+      s.routing != noc::RoutePolicy::kXY) {
+    v["topology"] = to_string(s.topology);
+    v["routing"] = to_string(s.routing);
+  }
   v["cycles"] = s.cycles;
   v["frames_sent"] = s.frames_sent;
   v["frames_delivered"] = s.frames_delivered;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <sstream>
+#include <variant>
 
 #include "xtsoc/mapping/classrefs.hpp"
+#include "xtsoc/noc/topology.hpp"
 
 namespace xtsoc::mapping {
 
@@ -50,6 +52,18 @@ Partition Partition::from_marks(const xtuml::Domain& domain,
       static_cast<int>(marks.domain_mark_int(marks::kLinkLatency, 1));
   m.flit_bytes = static_cast<int>(marks.domain_mark_int(marks::kFlitBytes, 4));
   m.fifo_depth = static_cast<int>(marks.domain_mark_int(marks::kFifoDepth, 4));
+  if (auto v = marks.domain_mark(marks::kTopology);
+      v && std::holds_alternative<std::string>(*v)) {
+    if (auto k = noc::topology_from_string(std::get<std::string>(*v))) {
+      m.topology = *k;
+    }
+  }
+  if (auto v = marks.domain_mark(marks::kRouting);
+      v && std::holds_alternative<std::string>(*v)) {
+    if (auto r = noc::routing_from_string(std::get<std::string>(*v))) {
+      m.routing = *r;
+    }
+  }
   for (const auto& c : domain.classes()) {
     if (p.by_class_[c.id.value()] == marks::Target::kHardware) {
       p.tile_by_class_[c.id.value()] = m.index(
@@ -98,8 +112,11 @@ std::string Partition::to_string(const xtuml::Domain& domain) const {
     os << ' ';
   }
   if (mesh_.enabled) {
-    os << "| mesh: " << mesh_.width << 'x' << mesh_.height << " sw@("
-       << mesh_.sw_x << ',' << mesh_.sw_y << ") ";
+    os << "| " << noc::to_string(mesh_.topology) << ": " << mesh_.width << 'x'
+       << mesh_.height << " sw@(" << mesh_.sw_x << ',' << mesh_.sw_y << ") ";
+    if (mesh_.routing != noc::RoutePolicy::kXY) {
+      os << "routing=" << noc::to_string(mesh_.routing) << ' ';
+    }
   }
   return os.str();
 }

@@ -6,6 +6,7 @@
 
 #include "xtsoc/common/diagnostics.hpp"
 #include "xtsoc/marks/marks.hpp"
+#include "xtsoc/noc/flit.hpp"
 #include "xtsoc/oal/compiled.hpp"
 
 namespace xtsoc::mapping {
@@ -17,6 +18,11 @@ struct MeshSpec {
   bool enabled = false;
   int width = 1;
   int height = 1;
+  /// Network shape and routing policy (`topology`/`routing` marks; the
+  /// strings are parsed leniently here — marks::validate rejects unknown
+  /// values, this derivation just falls back to the defaults).
+  noc::TopologyKind topology = noc::TopologyKind::kMesh;
+  noc::RoutePolicy routing = noc::RoutePolicy::kXY;
   int sw_x = 0, sw_y = 0;  ///< tile the software partition's CPU sits on
   int link_latency = 1;    ///< cycles per router-to-router hop
   int flit_bytes = 4;      ///< link width: payload bytes per flit

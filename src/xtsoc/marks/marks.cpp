@@ -18,7 +18,8 @@ const char* const kStandardClassKeys[] = {kIsHardware, kClockDomain, kBusId,
 const char* const kStandardDomainKeys[] = {kBusLatency, kMeshWidth,
                                            kMeshHeight, kSwTileX, kSwTileY,
                                            kLinkLatency, kFlitBytes,
-                                           kFifoDepth, kFaultSeed,
+                                           kFifoDepth, kTopology, kRouting,
+                                           kFaultSeed,
                                            kFaultWindow, kFaultWindowStart,
                                            kFaultRateFlitDrop,
                                            kFaultRateFlitCorrupt,
@@ -170,6 +171,14 @@ bool MarkSet::validate(const xtuml::Domain& domain,
         } else if (!std::holds_alternative<std::int64_t>(value)) {
           sink.error("marks.type",
                      "domain." + std::string(key) + " must be an int");
+        }
+      } else if (key == kTopology || key == kRouting) {
+        if (!domain_scope) {
+          sink.error("marks.scope",
+                     std::string(key) + " is a domain mark, not class");
+        } else if (!std::holds_alternative<std::string>(value)) {
+          sink.error("marks.type",
+                     "domain." + std::string(key) + " must be a string");
         }
       } else if (is_fault_rate_key(key)) {
         // Rates read naturally as reals but 0 and 1 parse as ints; accept
@@ -398,6 +407,77 @@ bool MarkSet::validate(const xtuml::Domain& domain,
                    "class '" + element + "' is isHardware but has no "
                    "tileX/tileY; every hardware class needs a tile once any "
                    "class is placed on the mesh");
+      }
+    }
+  }
+
+  // Topology and routing marks: legal values, and shapes that can actually
+  // be wired. The platform is a marks decision, so an impossible platform
+  // is a marks error — caught here, not as a FabricError at elaboration.
+  {
+    auto str_mark = [&](const char* key) -> std::optional<std::string> {
+      auto v = domain_mark(key);
+      if (!v || !std::holds_alternative<std::string>(*v)) return std::nullopt;
+      return std::get<std::string>(*v);
+    };
+    const auto topo = str_mark(kTopology);
+    const auto routing = str_mark(kRouting);
+    if (topo && *topo != "mesh" && *topo != "torus" && *topo != "ring") {
+      sink.error("marks.topology",
+                 "domain.topology must be \"mesh\", \"torus\" or \"ring\" "
+                 "(got \"" + *topo + "\")");
+    }
+    if (routing && *routing != "xy" && *routing != "yx" &&
+        *routing != "adaptive") {
+      sink.error("marks.routing",
+                 "domain.routing must be \"xy\", \"yx\" or \"adaptive\" "
+                 "(got \"" + *routing + "\")");
+    }
+    // Shape compatibility, judged against the same effective dimensions the
+    // partition derives (explicit meshWidth/meshHeight, else the placement
+    // bounding box). Only meaningful once the mesh is described at all.
+    const bool mesh_described = any_tiles || domain_mark(kMeshWidth) ||
+                                domain_mark(kMeshHeight);
+    if (mesh_described) {
+      const std::int64_t mesh_w =
+          domain_mark_int(kMeshWidth, any_tiles ? max_x + 1 : 1);
+      const std::int64_t mesh_h =
+          domain_mark_int(kMeshHeight, any_tiles ? max_y + 1 : 1);
+      if (topo && *topo == "ring" && mesh_h > 1) {
+        sink.error("marks.topology",
+                   "ring topology is one row, but the mesh is " +
+                       std::to_string(mesh_w) + "x" + std::to_string(mesh_h) +
+                       "; set meshHeight = 1 or use torus");
+      }
+      if (topo && *topo == "torus" && (mesh_w < 2 || mesh_h < 2)) {
+        sink.error("marks.topology",
+                   "torus wraparound needs both dimensions >= 2, but the "
+                   "mesh is " + std::to_string(mesh_w) + "x" +
+                       std::to_string(mesh_h) +
+                       "; a single wrapped row is a ring");
+      }
+    }
+    // Adaptive routing picks ports by live credit, so the retransmit
+    // detour's primary/fallback dimension orders do not exist under it.
+    if (routing && *routing == "adaptive") {
+      for (const char* key :
+           {kFaultRateFlitDrop, kFaultRateFlitCorrupt, kFaultRateLinkDown}) {
+        auto v = domain_mark(key);
+        if (!v) continue;
+        double rate = 0.0;
+        if (std::holds_alternative<double>(*v)) {
+          rate = std::get<double>(*v);
+        } else if (std::holds_alternative<std::int64_t>(*v)) {
+          rate = static_cast<double>(std::get<std::int64_t>(*v));
+        }
+        if (rate > 0.0) {
+          sink.error("marks.routing",
+                     "domain.routing = \"adaptive\" cannot be combined with "
+                     "domain." + std::string(key) +
+                         " > 0: the fault retransmit path alternates "
+                         "dimension orders, which adaptive routing replaces");
+          break;
+        }
       }
     }
   }

@@ -53,6 +53,13 @@ inline constexpr const char* kSwTileY = "swTileY";          // int, domain
 inline constexpr const char* kLinkLatency = "linkLatency";  // int, domain (cycles/hop)
 inline constexpr const char* kFlitBytes = "flitBytes";      // int, domain (link width)
 inline constexpr const char* kFifoDepth = "fifoDepth";      // int, domain (router buffers)
+// Network shape and routing policy (consumed by noc::Topology). Strings:
+// topology is "mesh" (default), "torus", or "ring"; routing is "xy"
+// (default), "yx", or "adaptive". Validation enforces shape compatibility
+// (torus needs both mesh dimensions >= 2, ring needs meshHeight == 1) and
+// rejects adaptive routing combined with NoC fault rates.
+inline constexpr const char* kTopology = "topology";        // string, domain
+inline constexpr const char* kRouting = "routing";          // string, domain
 
 // Fault-injection marks (domain scope; consumed by src/xtsoc/fault). A
 // failure scenario is itself a platform decision, so it lives in the marks

@@ -35,6 +35,17 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
   if (config_.width > 64 || config_.height > 64) {
     throw FabricError("mesh dimensions capped at 64x64");
   }
+  if (config_.topology == TopologyKind::kTorus &&
+      (config_.width < 2 || config_.height < 2)) {
+    throw FabricError("torus topology needs both dimensions >= 2 (got " +
+                      std::to_string(config_.width) + "x" +
+                      std::to_string(config_.height) +
+                      "); a single wrapped row is a ring");
+  }
+  if (config_.topology == TopologyKind::kRing && config_.height != 1) {
+    throw FabricError("ring topology is one row: height must be 1 (got " +
+                      std::to_string(config_.height) + ")");
+  }
   if (config_.link_latency < 1) {
     throw FabricError("link latency must be at least 1 cycle");
   }
@@ -44,6 +55,16 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
   if (config_.fifo_depth < 1) {
     throw FabricError("input FIFO depth must be at least 1");
   }
+  if (config_.routing == RoutePolicy::kAdaptive && config_.fault != nullptr) {
+    const fault::FaultSpec& fs = config_.fault->spec();
+    if (fs.flit_drop > 0.0 || fs.flit_corrupt > 0.0 || fs.link_down > 0.0) {
+      throw FabricError(
+          "adaptive routing cannot be combined with NoC fault injection: "
+          "the retransmit detour presumes dimension-order primary/fallback "
+          "paths");
+    }
+  }
+  topo_ = make_topology(config_.topology, config_.width, config_.height);
 
   const int n = tiles();
   routers_.reserve(static_cast<std::size_t>(n));
@@ -51,7 +72,7 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
   link_index_.assign(static_cast<std::size_t>(n) * kPortCount, -1);
   for (int t = 0; t < n; ++t) {
     routers_.emplace_back(t % config_.width, t / config_.width,
-                          config_.fifo_depth);
+                          config_.fifo_depth, topo_.get(), t, config_.routing);
     nics_[static_cast<std::size_t>(t)].inject_credits = config_.fifo_depth;
   }
   for (int t = 0; t < n; ++t) {
@@ -80,11 +101,7 @@ Fabric::Fabric(FabricConfig config) : config_(config), obs_(config.obs) {
   link_down_until_.assign(links_.size(), 0);
 }
 
-int Fabric::hop_distance(int a, int b) const {
-  const int ax = a % config_.width, ay = a / config_.width;
-  const int bx = b % config_.width, by = b / config_.width;
-  return (ax > bx ? ax - bx : bx - ax) + (ay > by ? ay - by : by - ay);
-}
+int Fabric::hop_distance(int a, int b) const { return topo_->min_hops(a, b); }
 
 std::uint64_t Fabric::retry_deadline(std::uint64_t cycle, int hops,
                                      std::size_t nflits, std::size_t backlog,
@@ -107,17 +124,7 @@ std::uint64_t Fabric::retry_deadline(std::uint64_t cycle, int hops,
 }
 
 int Fabric::neighbor_of(int tile, Port dir) const {
-  int x = tile % config_.width;
-  int y = tile / config_.width;
-  switch (dir) {
-    case kNorth: y -= 1; break;
-    case kSouth: y += 1; break;
-    case kEast: x += 1; break;
-    case kWest: x -= 1; break;
-    default: return -1;
-  }
-  if (x < 0 || x >= config_.width || y < 0 || y >= config_.height) return -1;
-  return tile_index(x, y);
+  return topo_->neighbors(tile, dir);
 }
 
 void Fabric::check_tile(int tile, const char* what) const {
@@ -153,7 +160,7 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
 
   if (!fault_armed_) {
     // Fault-free path: one attempt, no transport header, fire and forget.
-    enqueue_attempt(src, dst, tx, 0);
+    enqueue_attempt(src, dst, tx, RouteMode::kPrimary);
     return;
   }
 
@@ -166,13 +173,13 @@ void Fabric::send_frame(int src, int dst, std::uint32_t opcode,
       tx.payload.empty() ? 1 : (tx.payload.size() + chunk - 1) / chunk;
   tx.deadline = retry_deadline(current_cycle, hop_distance(src, dst), nflits,
                                nic.tx.size(), 0);
-  enqueue_attempt(src, dst, tx, 0);
+  enqueue_attempt(src, dst, tx, RouteMode::kPrimary);
   nic.retry_at.emplace(tx.deadline, tx.frame_id);
   nic.pending.emplace(tx.frame_id, std::move(tx));
 }
 
 void Fabric::enqueue_attempt(int src, int dst, const PendingTx& tx,
-                             std::uint8_t route_mode) {
+                             RouteMode route_mode) {
   Nic& nic = nics_[static_cast<std::size_t>(src)];
   const std::size_t chunk =
       static_cast<std::size_t>(config_.flit_payload_bytes);
@@ -356,9 +363,11 @@ void Fabric::fault_cycle(std::uint64_t cycle) {
         nic.pending.erase(it);
         continue;
       }
-      // Re-send under the other dimension order, so a retry does not march
-      // straight back into a downed link on the XY path.
-      const std::uint8_t mode = static_cast<std::uint8_t>(tx.attempts & 1);
+      // Alternate primary and fallback dimension orders per attempt, so a
+      // retry does not march straight back into a downed link on the
+      // primary path.
+      const RouteMode mode =
+          (tx.attempts & 1) ? RouteMode::kFallback : RouteMode::kPrimary;
       ++fstats_.retransmissions;
       const std::size_t chunk =
           static_cast<std::size_t>(config_.flit_payload_bytes);
@@ -490,9 +499,11 @@ void Fabric::tick(std::uint64_t cycle) {
           continue;
         }
       }
-      // XY routing on validated destinations never points off the mesh.
+      // Dimension-order routing on validated destinations never picks a
+      // port without a link (the topology returned it as productive).
       Flit f = std::move(r.input(static_cast<Port>(winner)).front());
       r.input(static_cast<Port>(winner)).pop_front();
+      r.frame_forwarded(f);  // retires the adaptive pin on the tail
       r.take_credit(out);
       r.advance_rr(out, winner);
       served |= 1u << winner;
@@ -579,6 +590,8 @@ FabricStats Fabric::stats() const {
   FabricStats s;
   s.width = config_.width;
   s.height = config_.height;
+  s.topology = config_.topology;
+  s.routing = config_.routing;
   s.cycles = cycles_;
   s.frames_sent = frames_sent_;
   s.frames_delivered = frames_delivered_;
@@ -593,7 +606,11 @@ FabricStats Fabric::stats() const {
 
 std::string FabricStats::to_table() const {
   std::ostringstream os;
-  os << "noc: " << width << "x" << height << " mesh, cycles=" << cycles
+  os << "noc: " << width << "x" << height << " " << to_string(topology);
+  // The non-default policy is named; the mesh+XY default keeps the exact
+  // pre-topology wording (reports are byte-compared across versions).
+  if (routing != RoutePolicy::kXY) os << " [" << to_string(routing) << "]";
+  os << ", cycles=" << cycles
      << " frames=" << frames_sent << "/" << frames_delivered
      << " (sent/delivered) flits=" << flits_injected
      << " payload_bytes=" << payload_bytes << '\n';
@@ -652,7 +669,7 @@ void save_flit(snap::Writer& w, const Flit& f) {
   w.u32(f.frame_bytes);
   w.u32(f.frame_id);
   w.u32(f.crc);
-  w.u8(f.route_mode);
+  w.u8(static_cast<std::uint8_t>(f.route_mode));
   w.u64(f.payload.size());
   w.bytes(f.payload.data(), f.payload.size());
   w.u64(f.send_cycle);
@@ -672,7 +689,7 @@ Flit load_flit(snap::Reader& r) {
   f.frame_bytes = r.u32();
   f.frame_id = r.u32();
   f.crc = r.u32();
-  f.route_mode = r.u8();
+  f.route_mode = static_cast<RouteMode>(r.u8());
   f.payload.resize(r.u64());
   for (std::uint8_t& b : f.payload) b = r.u8();
   f.send_cycle = r.u64();
@@ -717,6 +734,11 @@ Delivery load_delivery(snap::Reader& r) {
 }  // namespace
 
 void Fabric::save_state(snap::Writer& w) const {
+  // Structural shape guard (snapshot v2): the topology kind and routing
+  // policy a checkpoint was taken under. Restoring into a fabric of a
+  // different shape would misread every buffered route decision.
+  w.u8(static_cast<std::uint8_t>(config_.topology));
+  w.u8(static_cast<std::uint8_t>(config_.routing));
   w.u64(routers_.size());
   for (const Router& rt : routers_) rt.save_state(w);
   w.u64(nics_.size());
@@ -804,6 +826,12 @@ void Fabric::save_state(snap::Writer& w) const {
 }
 
 void Fabric::load_state(snap::Reader& r) {
+  if (static_cast<TopologyKind>(r.u8()) != config_.topology) {
+    throw snap::SnapError("fabric snapshot topology kind mismatch");
+  }
+  if (static_cast<RoutePolicy>(r.u8()) != config_.routing) {
+    throw snap::SnapError("fabric snapshot routing policy mismatch");
+  }
   if (r.u64() != routers_.size()) {
     throw snap::SnapError("fabric snapshot router count mismatch");
   }

@@ -1,11 +1,13 @@
-// Fabric: a cycle-accurate W×H 2D-mesh network-on-chip.
+// Fabric: a cycle-accurate network-on-chip over a pluggable Topology
+// (2D mesh by default; torus and ring ride the same machinery).
 //
 // Endpoints are tiles; each tile has a Router and a NIC. A frame
 // (opcode + payload bytes) handed to send_frame() is segmented by the
 // source NIC into link-width flits, injected at one flit per cycle,
-// routed XY hop by hop under credit-based flow control, and reassembled
-// by the destination NIC; pop_due() hands back completed frames. The
-// whole network advances exactly one cycle per tick(), and every decision
+// routed dimension-ordered hop by hop under credit-based flow control, and
+// reassembled by the destination NIC; pop_due() hands back completed
+// frames. The whole network advances exactly one cycle per tick(), and
+// every decision
 // (routing, arbitration, injection) is a deterministic function of the
 // state at the start of the tick — two runs of the same traffic produce
 // identical cycle-by-cycle behaviour, which is what lets NoC-mapped
@@ -20,6 +22,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -27,6 +30,7 @@
 #include <vector>
 
 #include "xtsoc/noc/router.hpp"
+#include "xtsoc/noc/topology.hpp"
 #include "xtsoc/obs/registry.hpp"
 
 namespace xtsoc::fault {
@@ -43,8 +47,15 @@ public:
 };
 
 struct FabricConfig {
-  int width = 2;            ///< mesh columns
-  int height = 2;           ///< mesh rows
+  int width = 2;            ///< tile columns
+  int height = 2;           ///< tile rows
+  /// Network shape (`topology` mark). Torus needs both dimensions >= 2;
+  /// ring needs height == 1.
+  TopologyKind topology = TopologyKind::kMesh;
+  /// Routing policy (`routing` mark). Adaptive cannot be combined with NoC
+  /// fault injection (the retransmit detour presumes dimension-order
+  /// primary/fallback paths).
+  RoutePolicy routing = RoutePolicy::kXY;
   int link_latency = 1;     ///< cycles a flit spends on a router-to-router link
   int flit_payload_bytes = 4;  ///< link width: payload bytes per flit
   int fifo_depth = 4;       ///< per-input-port buffer depth (= credits)
@@ -93,6 +104,8 @@ struct LatencyHistogram {
 /// Snapshot of every fabric counter, assembled by Fabric::stats().
 struct FabricStats {
   int width = 0, height = 0;
+  TopologyKind topology = TopologyKind::kMesh;
+  RoutePolicy routing = RoutePolicy::kXY;
   std::uint64_t cycles = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t frames_delivered = 0;
@@ -107,7 +120,7 @@ struct FabricStats {
                ? 0.0
                : static_cast<double>(l.flits) / static_cast<double>(cycles);
   }
-  /// Fixed-width table for terminals (xtsocc --noc-stats).
+  /// Fixed-width table for terminals (xtsocc --obs=noc).
   std::string to_table() const;
 };
 
@@ -157,6 +170,7 @@ public:
   bool idle() const;
 
   const Router& router(int tile) const { return routers_.at(tile); }
+  const Topology& topology() const { return *topo_; }
   FabricStats stats() const;
   const FabricFaultStats& fault_stats() const { return fstats_; }
 
@@ -231,14 +245,15 @@ private:
     Flit flit;
   };
 
-  int neighbor_of(int tile, Port dir) const;  ///< -1 if at the mesh edge
+  /// The topology's neighbors(): -1 where no link exists.
+  int neighbor_of(int tile, Port dir) const;
   void eject(int tile, Flit flit, std::uint64_t cycle);
   void check_tile(int tile, const char* what) const;
 
   // --- fault machinery (no-ops unless a plan with NoC rates is attached) ---
   /// Segment one transmission attempt of a frame into link flits.
   void enqueue_attempt(int src, int dst, const PendingTx& tx,
-                       std::uint8_t route_mode);
+                       RouteMode route_mode);
   /// A completed reassembly: CRC check, dedup, ack, then delivery.
   void complete_frame(int tile, int src_tile, std::uint32_t frame_id,
                       std::uint32_t crc, bool tainted, std::uint32_t opcode,
@@ -247,7 +262,7 @@ private:
                       std::uint64_t cycle);
   /// Acks, retry deadlines, and link-outage draws for this cycle.
   void fault_cycle(std::uint64_t cycle);
-  /// Mesh hop distance between two tiles (XY and YX paths tie).
+  /// The topology's min_hops() (both dimension orders tie).
   int hop_distance(int a, int b) const;
   /// Retry deadline: generous round-trip bound including the current
   /// injection backlog, doubled per attempt — tight enough to recover,
@@ -257,6 +272,7 @@ private:
                                int attempts) const;
 
   FabricConfig config_;
+  std::unique_ptr<Topology> topo_;
   std::vector<Router> routers_;
   std::vector<Nic> nics_;
   std::deque<Arrival> in_flight_;

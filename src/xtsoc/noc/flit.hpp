@@ -27,6 +27,33 @@ enum class FlitKind : std::uint8_t {
 
 const char* to_string(FlitKind k);
 
+/// Network shape, selected by the `topology` domain mark. Every kind routes
+/// dimension-ordered over the same (x, y) tile coordinates; they differ in
+/// which links exist (edge-clipped, wrapped, or one wrapped row).
+enum class TopologyKind : std::uint8_t {
+  kMesh = 0,   ///< W×H grid, links clipped at the edges (the default)
+  kTorus = 1,  ///< W×H grid with wraparound links in both dimensions
+  kRing = 2,   ///< W×1 row with wraparound links (one dimension only)
+};
+
+/// Routing policy, selected by the `routing` domain mark.
+enum class RoutePolicy : std::uint8_t {
+  kXY = 0,        ///< dimension order: correct X first, then Y (the default)
+  kYX = 1,        ///< dimension order: correct Y first, then X
+  kAdaptive = 2,  ///< minimal-adaptive: pick the less-backpressured
+                  ///< productive dimension per hop (credit-based)
+};
+
+/// Which path one transmission attempt takes. kPrimary follows the fabric's
+/// routing policy; kFallback flips the dimension order (XY attempts detour
+/// YX and vice versa) so a retransmission does not march straight back into
+/// the link that ate the previous attempt.
+enum class RouteMode : std::uint8_t { kPrimary = 0, kFallback = 1 };
+
+const char* to_string(TopologyKind k);
+const char* to_string(RoutePolicy p);
+const char* to_string(RouteMode m);
+
 struct Flit {
   FlitKind kind = FlitKind::kHeadTail;
   // Routing header (meaningful on every flit: the mesh routes flits, not
@@ -46,7 +73,8 @@ struct Flit {
   // reassembly stays per-attempt while dedup and acks are per-frame.
   std::uint32_t frame_id = 0;
   std::uint32_t crc = 0;          ///< CRC-32 over the whole frame payload
-  std::uint8_t route_mode = 0;    ///< 0 = XY, 1 = YX (retransmission detour)
+  /// Route this attempt primary or fallback (retransmission detour).
+  RouteMode route_mode = RouteMode::kPrimary;
 
   /// This flit's payload chunk (at most the configured link width).
   std::vector<std::uint8_t> payload;

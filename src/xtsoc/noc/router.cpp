@@ -1,5 +1,10 @@
 #include "xtsoc/noc/router.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "xtsoc/noc/topology.hpp"
 #include "xtsoc/snap/io.hpp"
 
 namespace xtsoc::noc {
@@ -36,25 +41,49 @@ Port opposite(Port p) {
 }
 
 Port Router::route(const Flit& f) const {
-  if (f.route_mode == 1) {
-    // YX dimension order: the detour a retransmission takes so it does not
-    // march straight back into the link that ate the previous attempt.
-    // (Mixing XY and YX traffic is where mesh deadlock folklore lives; the
-    // resilient NIC's retry deadline bounds any such episode — a stuck
-    // attempt is re-sent or reported lost, never waited on forever.)
-    if (f.dst_y > y_) return kSouth;
-    if (f.dst_y < y_) return kNorth;
-    if (f.dst_x > x_) return kEast;
-    if (f.dst_x < x_) return kWest;
-    return kLocal;
+  const int dst =
+      topo_->index(static_cast<int>(f.dst_x), static_cast<int>(f.dst_y));
+  if (policy_ == RoutePolicy::kAdaptive) {
+    // Minimal-adaptive: both dimension orders lead to minimal paths, so ask
+    // the topology for each order's next port and take the one with more
+    // credit downstream — the frame sidesteps the backpressured dimension.
+    // Ties go to the XY port, so an uncongested adaptive fabric routes
+    // exactly like an XY one. The choice is made on the head flit and
+    // pinned until the tail passes (frame_forwarded), keeping every flit of
+    // a frame on one path — reassembly's in-order requirement.
+    const Port px =
+        topo_->route(RoutePolicy::kXY, tile_, dst, RouteMode::kPrimary);
+    if (px == kLocal) return kLocal;
+    if (f.kind == FlitKind::kBody || f.kind == FlitKind::kTail) {
+      auto it = adaptive_port_.find(frame_key(f));
+      if (it != adaptive_port_.end()) return it->second;
+      // No pin: the head ejected here or was a single-flit attempt that
+      // left no state — fall through and decide like a head would.
+    }
+    const Port py =
+        topo_->route(RoutePolicy::kYX, tile_, dst, RouteMode::kPrimary);
+    Port chosen = px;
+    if (py != px) chosen = credits_[py] > credits_[px] ? py : px;
+    // Pin multi-flit frames so the body/tail follow; repeated speculative
+    // route() queries within one arbitration pass also hit the pin, so the
+    // head cannot flip ports as credits drain mid-cycle.
+    if (f.kind == FlitKind::kHead || f.kind == FlitKind::kBody ||
+        f.kind == FlitKind::kTail) {
+      auto [it, inserted] = adaptive_port_.try_emplace(frame_key(f), chosen);
+      if (!inserted) chosen = it->second;
+    }
+    return chosen;
   }
-  // Dimension order: X first, then Y. Deadlock-free on a mesh because the
-  // turn from Y back to X never happens.
-  if (f.dst_x > x_) return kEast;
-  if (f.dst_x < x_) return kWest;
-  if (f.dst_y > y_) return kSouth;  // y grows downward (row-major tiles)
-  if (f.dst_y < y_) return kNorth;
-  return kLocal;
+  // Dimension order (X first under XY, Y first under YX; a fallback-mode
+  // flit flips the order — the detour a retransmission takes so it does not
+  // march straight back into the link that ate the previous attempt).
+  // Deadlock-free on the edge-clipped mesh because the turn from the second
+  // dimension back into the first never happens; see topology.hpp for the
+  // wraparound caveat. Mixing primary and fallback traffic is where mesh
+  // deadlock folklore lives; the resilient NIC's retry deadline bounds any
+  // such episode — a stuck attempt is re-sent or reported lost, never
+  // waited on forever.
+  return topo_->route(policy_, tile_, dst, f.route_mode);
 }
 
 bool Router::buffers_empty() const {
@@ -92,6 +121,16 @@ void Router::save_state(snap::Writer& w) const {
   }
   for (int p = 0; p < kPortCount; ++p) w.u32(static_cast<std::uint32_t>(credits_[p]));
   for (int p = 0; p < kPortCount; ++p) w.u32(static_cast<std::uint32_t>(rr_[p]));
+  // Adaptive route pins, key-sorted: the map's iteration order must not
+  // leak into the checkpoint bytes.
+  std::vector<std::pair<std::uint64_t, Port>> pins(adaptive_port_.begin(),
+                                                   adaptive_port_.end());
+  std::sort(pins.begin(), pins.end());
+  w.u64(pins.size());
+  for (const auto& [key, port] : pins) {
+    w.u64(key);
+    w.u8(static_cast<std::uint8_t>(port));
+  }
   w.u64(stats_.flits_routed);
   w.u64(stats_.flits_ejected);
   w.u64(stats_.credit_stalls);
@@ -106,6 +145,12 @@ void Router::load_state(snap::Reader& r) {
   }
   for (int p = 0; p < kPortCount; ++p) credits_[p] = static_cast<int>(r.u32());
   for (int p = 0; p < kPortCount; ++p) rr_[p] = static_cast<int>(r.u32());
+  adaptive_port_.clear();
+  const std::uint64_t npins = r.u64();
+  for (std::uint64_t i = 0; i < npins; ++i) {
+    const std::uint64_t key = r.u64();
+    adaptive_port_[key] = static_cast<Port>(r.u8());
+  }
   stats_.flits_routed = r.u64();
   stats_.flits_ejected = r.u64();
   stats_.credit_stalls = r.u64();

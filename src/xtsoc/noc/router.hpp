@@ -1,6 +1,6 @@
-// One mesh router: five ports (local + the four compass directions), a
-// per-port input FIFO, dimension-ordered XY routing and credit-based flow
-// control toward each neighbour.
+// One router: five ports (local + the four compass directions), a per-port
+// input FIFO, dimension-ordered routing delegated to the fabric's Topology,
+// and credit-based flow control toward each neighbour.
 //
 // The cycle contract (driven by Fabric::tick):
 //   * each output port forwards at most one flit per cycle (the link is
@@ -10,20 +10,31 @@
 //     sender instead of dropping flits;
 //   * arbitration between input ports competing for one output is
 //     round-robin, which keeps the network deterministic AND starvation-free;
-//   * XY routing: correct the X coordinate first, then Y, then eject.
-//     Deterministic routing means flits of one (source, destination) pair
-//     never reorder — the property frame reassembly relies on.
+//   * routing is dimension-ordered (correct one coordinate, then the other,
+//     then eject), so flits of one (source, destination) pair never reorder
+//     — the property frame reassembly relies on. Under the adaptive policy
+//     the router picks which dimension to correct first, comparing its own
+//     credit counters toward the two productive ports (ties take the XY
+//     port). The decision is made once, on the frame's head flit, and
+//     pinned until the tail passes (wormhole-style): body flits that chose
+//     their own dimension could overtake the head on the other path and
+//     reach the destination before reassembly opened. The fabric advances
+//     routers in tile order every configuration, so the credit comparison
+//     is as deterministic as the XY default.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <unordered_map>
 
 #include "xtsoc/noc/flit.hpp"
 
 namespace xtsoc::noc {
 
-/// Port indices. kLocal is the NIC side; the rest are mesh links.
+class Topology;
+
+/// Port indices. kLocal is the NIC side; the rest are fabric links.
 enum Port : int { kLocal = 0, kNorth, kEast, kSouth, kWest, kPortCount };
 
 const char* to_string(Port p);
@@ -41,7 +52,10 @@ struct RouterStats {
 
 class Router {
 public:
-  Router(int x, int y, int fifo_depth) : x_(x), y_(y), depth_(fifo_depth) {
+  Router(int x, int y, int fifo_depth, const Topology* topo, int tile,
+         RoutePolicy policy)
+      : x_(x), y_(y), depth_(fifo_depth), topo_(topo), tile_(tile),
+        policy_(policy) {
     credits_.fill(0);
     rr_.fill(0);
   }
@@ -50,8 +64,18 @@ public:
   int y() const { return y_; }
   int fifo_depth() const { return depth_; }
 
-  /// XY route decision for a flit seen at this router.
+  /// Route decision for a flit seen at this router, under the fabric's
+  /// topology and routing policy (honouring the flit's route mode). Under
+  /// the adaptive policy this memoizes per open frame (see frame_forwarded).
   Port route(const Flit& f) const;
+
+  /// Fabric calls this as it forwards `f` out of this router, so the
+  /// adaptive policy can retire its pinned route when the tail passes.
+  void frame_forwarded(const Flit& f) {
+    if (policy_ == RoutePolicy::kAdaptive && f.kind == FlitKind::kTail) {
+      adaptive_port_.erase(frame_key(f));
+    }
+  }
 
   // --- buffers (Fabric moves flits between routers) ---------------------------
   std::deque<Flit>& input(Port p) { return in_[p]; }
@@ -86,11 +110,27 @@ public:
   void load_state(snap::Reader& r);
 
 private:
+  /// Frame identity for the adaptive route pin: source tile + per-source
+  /// sequence number (the same key reassembly uses).
+  static std::uint64_t frame_key(const Flit& f) {
+    return (static_cast<std::uint64_t>(f.src_x) << 48) |
+           (static_cast<std::uint64_t>(f.src_y) << 40) |
+           static_cast<std::uint64_t>(f.seq);
+  }
+
   int x_, y_;
   int depth_;
+  const Topology* topo_;  ///< owned by the Fabric, outlives every router
+  int tile_;
+  RoutePolicy policy_;
   std::array<std::deque<Flit>, kPortCount> in_;
   std::array<int, kPortCount> credits_;  ///< free slots downstream of each output
   std::array<int, kPortCount> rr_;       ///< next input to consider per output
+  /// Adaptive policy only: output port pinned for each frame whose head
+  /// this router has routed but whose tail has not yet passed. Mutable
+  /// because the pin is established inside the (speculative, repeated)
+  /// route() queries arbitration makes.
+  mutable std::unordered_map<std::uint64_t, Port> adaptive_port_;
   RouterStats stats_;
 };
 

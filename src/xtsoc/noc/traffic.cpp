@@ -1,0 +1,218 @@
+#include "xtsoc/noc/traffic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "xtsoc/common/rng.hpp"
+#include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/noc/topology.hpp"
+
+namespace xtsoc::noc {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform: return "uniform";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBursty: return "bursty";
+  }
+  return "?";
+}
+
+std::optional<TrafficPattern> pattern_from_string(std::string_view s) {
+  if (s == "uniform") return TrafficPattern::kUniform;
+  if (s == "hotspot") return TrafficPattern::kHotspot;
+  if (s == "transpose") return TrafficPattern::kTranspose;
+  if (s == "bursty") return TrafficPattern::kBursty;
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> traffic_payload(const TrafficEvent& e) {
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(std::max(e.payload_bytes, 0)));
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(
+        static_cast<std::uint32_t>(e.src) * 31u + e.opcode * 7u +
+        static_cast<std::uint32_t>(i) * 13u + 5u);
+  }
+  return payload;
+}
+
+TrafficGen::TrafficGen(TrafficSpec spec, const Topology& topo)
+    : spec_(std::move(spec)),
+      width_(topo.width()),
+      height_(topo.height()),
+      tiles_(topo.tiles()),
+      next_seq_(static_cast<std::size_t>(tiles_), 0),
+      bursts_(static_cast<std::size_t>(tiles_)) {}
+
+// Per-tile stream, lazily seeded the way fault::Plan derives its per-site
+// streams: the draw sequence a tile sees depends only on (seed, tile), so
+// adding tiles or patterns never perturbs existing streams.
+std::uint64_t TrafficGen::draw(int tile) {
+  auto [it, inserted] = streams_.try_emplace(tile, 0);
+  if (inserted) {
+    // Never zero: xorshift's one fixed point.
+    it->second =
+        splitmix64(spec_.seed ^ splitmix64(static_cast<std::uint64_t>(
+                                    static_cast<std::uint32_t>(tile)))) |
+        1;
+  }
+  Xorshift64Star s;
+  s.set_state(it->second);
+  const std::uint64_t d = s.next();
+  it->second = s.state();
+  return d;
+}
+
+double TrafficGen::uniform01(int tile) {
+  return static_cast<double>(draw(tile) >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+int TrafficGen::pick_uniform_dst(int tile) {
+  // Uniform over the other tiles-1 tiles (never self).
+  int dst = static_cast<int>(draw(tile) %
+                             static_cast<std::uint64_t>(tiles_ - 1));
+  if (dst >= tile) ++dst;
+  return dst;
+}
+
+int TrafficGen::transpose_dst(int tile) const {
+  if (width_ == height_) {
+    const int x = tile % width_;
+    const int y = tile / width_;
+    return x * width_ + y;  // (x, y) -> (y, x)
+  }
+  // Non-square grids (rings, rectangles) have no transpose; fall back to
+  // the opposite tile, the equivalent all-routes-cross-the-center stress.
+  return tiles_ - 1 - tile;
+}
+
+int TrafficGen::tick(Fabric& fabric, std::uint64_t cycle) {
+  if (tiles_ < 2) return 0;
+  int injected = 0;
+  // Fixed per-tile draw order each cycle (gate draw first, then any
+  // destination draws) — the property that makes the workload a pure
+  // function of the spec.
+  for (int t = 0; t < tiles_; ++t) {
+    int dst = -1;
+    if (spec_.pattern == TrafficPattern::kBursty) {
+      Burst& b = bursts_[static_cast<std::size_t>(t)];
+      if (b.remaining == 0) {
+        const double start_rate =
+            spec_.burst_len > 0 ? spec_.offered_load / spec_.burst_len : 0.0;
+        if (uniform01(t) < start_rate) {
+          b.dst = pick_uniform_dst(t);
+          b.remaining = std::max(spec_.burst_len, 1);
+        }
+      }
+      if (b.remaining > 0) {
+        dst = b.dst;
+        --b.remaining;
+      }
+    } else {
+      if (uniform01(t) >= spec_.offered_load) continue;
+      switch (spec_.pattern) {
+        case TrafficPattern::kUniform:
+          dst = pick_uniform_dst(t);
+          break;
+        case TrafficPattern::kHotspot:
+          // Gate draw consumed unconditionally so the hot tile's own
+          // stream stays aligned with everyone else's.
+          if (uniform01(t) < spec_.hotspot_fraction &&
+              spec_.hotspot_tile != t && spec_.hotspot_tile >= 0 &&
+              spec_.hotspot_tile < tiles_) {
+            dst = spec_.hotspot_tile;
+          } else {
+            dst = pick_uniform_dst(t);
+          }
+          break;
+        case TrafficPattern::kTranspose:
+          dst = transpose_dst(t);
+          break;
+        case TrafficPattern::kBursty:
+          break;  // handled above
+      }
+    }
+    if (dst < 0 || dst == t) continue;  // transpose fixed point: no frame
+    TrafficEvent e;
+    e.cycle = cycle;
+    e.src = t;
+    e.dst = dst;
+    e.opcode = (static_cast<std::uint32_t>(t) << 16) |
+               (next_seq_[static_cast<std::size_t>(t)]++ & 0xffffu);
+    e.payload_bytes = spec_.payload_bytes;
+    fabric.send_frame(e.src, e.dst, e.opcode, traffic_payload(e), cycle);
+    ++frames_sent_;
+    ++injected;
+    if (spec_.record) trace_.push_back(e);
+  }
+  return injected;
+}
+
+TraceReplay::TraceReplay(std::vector<TrafficEvent> events)
+    : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TrafficEvent& a, const TrafficEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+std::optional<TraceReplay> TraceReplay::parse(std::string_view text,
+                                              std::string* error) {
+  std::vector<TrafficEvent> events;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) -> std::optional<TraceReplay> {
+    if (error != nullptr) {
+      *error = "trace line " + std::to_string(lineno) + ": " + why;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    TrafficEvent e;
+    if (!(ls >> e.cycle)) {
+      std::string word;
+      std::istringstream(line) >> word;
+      if (word.empty()) continue;  // blank / comment-only line
+      return fail("expected 'cycle src dst opcode payload_bytes'");
+    }
+    if (!(ls >> e.src >> e.dst >> e.opcode >> e.payload_bytes)) {
+      return fail("expected 'cycle src dst opcode payload_bytes'");
+    }
+    std::string extra;
+    if (ls >> extra) return fail("trailing field '" + extra + "'");
+    if (e.src < 0 || e.dst < 0 || e.payload_bytes < 0) {
+      return fail("negative field");
+    }
+    events.push_back(e);
+  }
+  return TraceReplay(std::move(events));
+}
+
+std::string TraceReplay::to_text() const {
+  std::ostringstream os;
+  os << "# cycle src dst opcode payload_bytes\n";
+  for (const TrafficEvent& e : events_) {
+    os << e.cycle << ' ' << e.src << ' ' << e.dst << ' ' << e.opcode << ' '
+       << e.payload_bytes << '\n';
+  }
+  return os.str();
+}
+
+int TraceReplay::tick(Fabric& fabric, std::uint64_t cycle) {
+  int injected = 0;
+  while (next_ < events_.size() && events_[next_].cycle <= cycle) {
+    const TrafficEvent& e = events_[next_++];
+    fabric.send_frame(e.src, e.dst, e.opcode, traffic_payload(e), cycle);
+    ++injected;
+  }
+  return injected;
+}
+
+}  // namespace xtsoc::noc

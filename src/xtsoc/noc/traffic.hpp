@@ -1,0 +1,141 @@
+// Deterministic synthetic traffic for the NoC fabric.
+//
+// Two engines drive a Fabric without a model on top:
+//
+//   * TrafficGen — seed-deterministic synthetic load. Each source tile owns
+//     a lazily-seeded xorshift64* stream derived exactly like fault::Plan's
+//     per-site streams (splitmix64(seed ^ splitmix64(tile)) | 1), and every
+//     cycle consumes draws in a fixed order, so the injected workload is a
+//     pure function of (spec, topology shape) — byte-identical at any
+//     threads x window setting and unaffected by how the fabric responds.
+//
+//   * TraceReplay — replays a recorded (or hand-written) injection trace.
+//     TrafficGen can record what it injects; a replayed recording drives
+//     the fabric identically to the generator that produced it, which is
+//     what makes saturation sweeps comparable across topologies: the same
+//     offered sequence hits every network shape.
+//
+// Payload bytes are derived from the event header (not from the RNG), so a
+// trace line fully determines the frame — text traces round-trip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xtsoc::noc {
+
+class Fabric;
+class Topology;
+
+/// Spatial injection pattern, selected per run (bench sweeps) rather than
+/// by a mark — synthetic traffic has no model to annotate.
+enum class TrafficPattern : std::uint8_t {
+  kUniform = 0,    ///< every frame picks a uniform-random non-self tile
+  kHotspot = 1,    ///< a fraction of frames converge on one hot tile
+  kTranspose = 2,  ///< (x, y) -> (y, x) on square grids (opposite tile
+                   ///< otherwise) — the adversarial pattern for XY routing
+  kBursty = 3,     ///< on/off: idle, then a back-to-back burst to one tile
+};
+
+const char* to_string(TrafficPattern p);
+std::optional<TrafficPattern> pattern_from_string(std::string_view s);
+
+/// Everything that determines a synthetic workload. Two TrafficGens built
+/// from equal specs over equal-shaped topologies inject equal sequences.
+struct TrafficSpec {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  std::uint64_t seed = 1;
+  /// Offered load: per-tile injection probability per cycle (kBursty
+  /// spends the same budget in bursts: rate/burst_len starts per cycle).
+  double offered_load = 0.1;
+  int payload_bytes = 8;       ///< frame payload length
+  int hotspot_tile = 0;        ///< kHotspot: the hot destination
+  double hotspot_fraction = 0.5;  ///< kHotspot: share aimed at the hot tile
+  int burst_len = 8;           ///< kBursty: frames per burst
+  bool record = false;         ///< keep the injected trace for replay
+};
+
+/// One injected frame — both the generator's trace record and the replay
+/// input. The payload is derived from this header (traffic_payload), so
+/// the event is the complete description of the frame.
+struct TrafficEvent {
+  std::uint64_t cycle = 0;
+  int src = 0;
+  int dst = 0;
+  std::uint32_t opcode = 0;  ///< (src << 16) | per-source sequence number
+  int payload_bytes = 0;
+};
+
+/// The deterministic payload for `e`: byte i is a mix of src/opcode/i.
+/// Shared by TrafficGen and TraceReplay so recorded traces replay
+/// byte-identically.
+std::vector<std::uint8_t> traffic_payload(const TrafficEvent& e);
+
+class TrafficGen {
+public:
+  /// `topo` supplies the tile count and coordinates; only its shape is
+  /// read, so the generator may outlive the fabric it drives.
+  TrafficGen(TrafficSpec spec, const Topology& topo);
+
+  /// Inject this cycle's frames into `fabric` (call once per cycle, before
+  /// fabric.tick(cycle + 1)). Returns the number of frames injected.
+  int tick(Fabric& fabric, std::uint64_t cycle);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  /// The injected trace (empty unless spec.record).
+  const std::vector<TrafficEvent>& trace() const { return trace_; }
+  const TrafficSpec& spec() const { return spec_; }
+
+private:
+  std::uint64_t draw(int tile);
+  double uniform01(int tile);
+  int pick_uniform_dst(int tile);
+  int transpose_dst(int tile) const;
+
+  TrafficSpec spec_;
+  int width_ = 1;
+  int height_ = 1;
+  int tiles_ = 1;
+  std::uint64_t frames_sent_ = 0;
+  std::vector<TrafficEvent> trace_;
+  std::unordered_map<int, std::uint64_t> streams_;  ///< tile -> RNG state
+  std::vector<std::uint32_t> next_seq_;             ///< per-source opcode seq
+  struct Burst {
+    int remaining = 0;
+    int dst = 0;
+  };
+  std::vector<Burst> bursts_;  ///< kBursty per-tile on/off state
+};
+
+/// Replays a cycle-ordered injection trace. Build one from a TrafficGen
+/// recording (events are already ordered) or parse a text trace.
+class TraceReplay {
+public:
+  explicit TraceReplay(std::vector<TrafficEvent> events);
+
+  /// Parse the text form: one `cycle src dst opcode payload_bytes` line
+  /// per event, '#' comments and blank lines ignored. Returns nullopt and
+  /// fills `error` (line-numbered) on malformed input.
+  static std::optional<TraceReplay> parse(std::string_view text,
+                                          std::string* error = nullptr);
+
+  /// Serialize to the text form parse() accepts (round-trips exactly).
+  std::string to_text() const;
+
+  /// Inject every event stamped `cycle` (call once per cycle, ascending).
+  int tick(Fabric& fabric, std::uint64_t cycle);
+
+  bool done() const { return next_ >= events_.size(); }
+  void reset() { next_ = 0; }
+  const std::vector<TrafficEvent>& events() const { return events_; }
+
+private:
+  std::vector<TrafficEvent> events_;  ///< sorted by cycle (stable)
+  std::size_t next_ = 0;
+};
+
+}  // namespace xtsoc::noc

@@ -49,7 +49,10 @@ namespace xtsoc::snap {
 
 /// File format version. Bump on any layout change; restore() rejects every
 /// version it was not built for (no silent cross-version reads).
-inline constexpr std::uint32_t kSnapVersion = 1;
+/// v2: the fabric F-section leads with a typed (topology kind, routing
+/// policy) shape guard, and the flit route-mode byte is the RouteMode enum
+/// (primary/fallback) rather than a raw 0/1.
+inline constexpr std::uint32_t kSnapVersion = 2;
 
 /// Parsed 'H' section.
 struct SnapshotInfo {

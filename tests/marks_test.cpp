@@ -377,5 +377,117 @@ TEST(Validate, TileMarksOnSoftwareClassWarn) {
   EXPECT_NE(sink.to_string().find("tile_sw"), std::string::npos);
 }
 
+// --- topology / routing marks -----------------------------------------------
+
+TEST(Validate, TopologyAndRoutingAreDomainStrings) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_class_mark("Compressor", kTopology, ScalarValue(std::string("torus")));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("domain mark"), std::string::npos);
+
+  sink.clear();
+  MarkSet m2;
+  m2.set_domain_mark(kRouting, ScalarValue(std::int64_t{1}));
+  EXPECT_FALSE(m2.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("must be a string"), std::string::npos);
+}
+
+TEST(Validate, UnknownTopologyValueRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_domain_mark(kTopology, ScalarValue(std::string("hypercube")));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.topology"), std::string::npos);
+  EXPECT_NE(sink.to_string().find("hypercube"), std::string::npos);
+}
+
+TEST(Validate, UnknownRoutingValueRejected) {
+  Domain d = make_domain();
+  MarkSet m;
+  m.set_domain_mark(kRouting, ScalarValue(std::string("odd-even")));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.routing"), std::string::npos);
+}
+
+TEST(Validate, RingNeedsSingleRow) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 1, 1);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kTopology, ScalarValue(std::string("ring")));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("ring topology is one row"),
+            std::string::npos);
+
+  // The same check reads the placement bounding box when dimensions are
+  // implicit: a class placed at y=1 forces two rows.
+  sink.clear();
+  MarkSet m2 = placed("Compressor", 0, 1);
+  m2.set_domain_mark(kTopology, ScalarValue(std::string("ring")));
+  EXPECT_FALSE(m2.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("ring topology is one row"),
+            std::string::npos);
+}
+
+TEST(Validate, TorusNeedsBothDimensions) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 3, 0);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{4}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{1}));
+  m.set_domain_mark(kTopology, ScalarValue(std::string("torus")));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("a single wrapped row is a ring"),
+            std::string::npos);
+}
+
+TEST(Validate, AdaptiveRoutingExcludesNocFaultInjection) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 1, 1);
+  m.set_domain_mark(kRouting, ScalarValue(std::string("adaptive")));
+  m.set_domain_mark(kFaultRateFlitDrop, ScalarValue(0.01));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("adaptive"), std::string::npos);
+
+  // Rate 0 is explicitly fine: the plan never fires on the fabric.
+  sink.clear();
+  MarkSet m2 = placed("Compressor", 1, 1);
+  m2.set_domain_mark(kRouting, ScalarValue(std::string("adaptive")));
+  m2.set_domain_mark(kFaultRateFlitDrop, ScalarValue(0.0));
+  EXPECT_TRUE(m2.validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, GoodTopologyRoutingCombosAccepted) {
+  Domain d = make_domain();
+  {
+    MarkSet m = placed("Compressor", 1, 1);
+    m.set_domain_mark(kTopology, ScalarValue(std::string("torus")));
+    m.set_domain_mark(kRouting, ScalarValue(std::string("yx")));
+    DiagnosticSink sink;
+    EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+  }
+  {
+    MarkSet m = placed("Compressor", 3, 0);
+    m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{4}));
+    m.set_domain_mark(kTopology, ScalarValue(std::string("ring")));
+    DiagnosticSink sink;
+    EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+  }
+  {
+    // Bus-only model (no mesh described): the marks are legal, just inert
+    // until a placement appears.
+    MarkSet m;
+    m.set_domain_mark(kTopology, ScalarValue(std::string("torus")));
+    DiagnosticSink sink;
+    EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+  }
+}
+
 }  // namespace
 }  // namespace xtsoc::marks

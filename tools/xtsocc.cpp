@@ -65,8 +65,6 @@
 //       --warm-cycles N with --connect --campaign: ask the daemon to serve
 //                       the campaign from a warm checkpoint taken after N
 //                       cycles (resident across requests; 0 = cold runs)
-//       --noc-stats     deprecated alias for --obs=noc
-//       --summary       deprecated alias for --obs=summary (the default)
 //       --quiet         deprecated; use --obs=none or an --obs list
 //                       without 'summary'
 //   -h, --help          this text
@@ -140,11 +138,9 @@ struct Options {
   std::uint64_t warm_cycles = 0;
   bool saw_warm_cycles_flag = false;
 
-  // Deprecated aliases, recorded separately so diagnostics can name the
-  // flag the user actually typed.
-  bool saw_summary_flag = false;
+  // Recorded separately so diagnostics can name the flag the user actually
+  // typed (--quiet is the one surviving deprecated alias).
   bool saw_quiet_flag = false;
-  bool saw_noc_stats_flag = false;
   bool saw_threads_flag = false;
   bool saw_window_flag = false;
 
@@ -405,13 +401,6 @@ bool parse_args(int argc, char** argv, Options* opt) {
       }
       opt->warm_cycles = static_cast<std::uint64_t>(n);
       opt->saw_warm_cycles_flag = true;
-    } else if (a == "--noc-stats") {
-      deprecated("--noc-stats", "--obs=noc");
-      opt->saw_noc_stats_flag = true;
-      opt->obs_noc = true;
-    } else if (a == "--summary") {
-      deprecated("--summary", "--obs=summary (the default)");
-      opt->saw_summary_flag = true;
     } else if (a == "--quiet") {
       deprecated("--quiet", "--obs=none, or an --obs list without 'summary'");
       opt->saw_quiet_flag = true;
@@ -498,9 +487,6 @@ bool validate_options(Options* opt) {
     return fail("--check contradicts --simulate (--check stops after "
                 "compile + map)");
   }
-  if (opt->saw_quiet_flag && opt->saw_summary_flag) {
-    return fail("--quiet contradicts --summary");
-  }
   if (opt->saw_quiet_flag && opt->obs_summary) {
     return fail("--quiet contradicts --obs=summary");
   }
@@ -509,11 +495,7 @@ bool validate_options(Options* opt) {
     return fail("--obs=none excludes every other --obs section");
   }
   if (!opt->on_cosim) {
-    if (opt->obs_noc) {
-      return fail(opt->saw_noc_stats_flag
-                      ? "--noc-stats requires --on-cosim"
-                      : "--obs=noc requires --on-cosim");
-    }
+    if (opt->obs_noc) return fail("--obs=noc requires --on-cosim");
     if (opt->obs_snapshot) return fail("--obs=snapshot requires --on-cosim");
     if (opt->obs_counters) return fail("--obs=counters requires --on-cosim");
     if (!opt->obs_trace_path.empty()) {
