@@ -230,6 +230,8 @@ private:
         }
         return e.kind == ExprKind::kEmpty ? inner : ("(!" + inner + ")");
       }
+      case ExprKind::kMemRead:
+        return "((int64_t)0 /* mem.read: no memory model in generated C */)";
     }
     return "0";
   }
@@ -375,6 +377,9 @@ private:
         break;
       case StmtKind::kLog:
         emit_log(w, static_cast<const LogStmt&>(s));
+        break;
+      case StmtKind::kMemWrite:
+        w.line("/* mem.write: no memory model in generated C */");
         break;
     }
   }

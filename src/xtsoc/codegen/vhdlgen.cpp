@@ -221,6 +221,8 @@ private:
         }
         return e.kind == ExprKind::kEmpty ? inner : ("(not " + inner + ")");
       }
+      case ExprKind::kMemRead:
+        return "0 -- mem.read: no memory model in generated VHDL";
     }
     return "0";
   }
@@ -355,6 +357,9 @@ private:
         w.line(rep + " severity note;");
         break;
       }
+      case StmtKind::kMemWrite:
+        w.line("-- mem.write: no memory model in generated VHDL");
+        break;
     }
   }
 

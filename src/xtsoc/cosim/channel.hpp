@@ -17,6 +17,7 @@
 
 #include "xtsoc/cosim/bus.hpp"
 #include "xtsoc/mapping/modelcompiler.hpp"
+#include "xtsoc/mem/wire.hpp"
 #include "xtsoc/noc/fabric.hpp"
 #include "xtsoc/snap/io.hpp"
 
@@ -106,53 +107,81 @@ public:
   }
 
   std::vector<Frame> receive(std::uint64_t cycle) override {
-    // Drain everything the NIC has reassembled (stats were recorded at
-    // arrival; popping is timing-neutral) and stamp each frame's effective
-    // due cycle. pending_ then holds the frames still in egress.
-    for (noc::Delivery& d : fabric_->pop_due(tile_, kDrainAll)) {
-      std::uint64_t due = d.due_cycle;
-      if (d.arrive_cycle + egress_latency_ > due) {
-        due = d.arrive_cycle + egress_latency_;
-      }
-      pending_.push_back(Frame{d.opcode, std::move(d.payload), due});
-    }
+    drain_nic();
     // Dues are heterogeneous (generate delays), so scan everything but keep
     // the survivors' relative order — the same contract as Bus::pop_due.
-    std::vector<Frame> due_now;
-    std::size_t kept = 0;
-    for (std::size_t i = 0; i < pending_.size(); ++i) {
-      if (pending_[i].due_cycle <= cycle) {
-        due_now.push_back(std::move(pending_[i]));
-      } else {
-        if (kept != i) pending_[kept] = std::move(pending_[i]);
-        ++kept;
-      }
-    }
-    pending_.resize(kept);
-    return due_now;
+    return take_due(pending_, cycle);
   }
 
-  bool idle() const override { return pending_.empty(); }
+  /// Remove and return every coherence (xtsoc::mem wire-format) frame due
+  /// at or before `cycle`. Coherence traffic shares the NIC but must not
+  /// enter the signal inbox — the mem::System consumes it on the serial
+  /// spine instead.
+  std::vector<Frame> take_coherence(std::uint64_t cycle) {
+    drain_nic();
+    return take_due(coh_pending_, cycle);
+  }
+
+  bool idle() const override {
+    return pending_.empty() && coh_pending_.empty();
+  }
 
   void save_state(snap::Writer& w) const override {
     w.u64(pending_.size());
     for (const Frame& f : pending_) save_frame(w, f);
+    w.u64(coh_pending_.size());
+    for (const Frame& f : coh_pending_) save_frame(w, f);
   }
 
   void load_state(snap::Reader& r) override {
     pending_.clear();
-    const std::uint64_t n = r.u64();
+    std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i) pending_.push_back(load_frame(r));
+    coh_pending_.clear();
+    n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) coh_pending_.push_back(load_frame(r));
   }
 
 private:
   static constexpr std::uint64_t kDrainAll = ~std::uint64_t{0};
 
+  /// Drain everything the NIC has reassembled (stats were recorded at
+  /// arrival; popping is timing-neutral), stamp each frame's effective due
+  /// cycle, and demux by opcode: coherence frames go to coh_pending_,
+  /// everything else (signals) to pending_.
+  void drain_nic() {
+    for (noc::Delivery& d : fabric_->pop_due(tile_, kDrainAll)) {
+      std::uint64_t due = d.due_cycle;
+      if (d.arrive_cycle + egress_latency_ > due) {
+        due = d.arrive_cycle + egress_latency_;
+      }
+      auto& q = mem::wire::is_coherence(d.opcode) ? coh_pending_ : pending_;
+      q.push_back(Frame{d.opcode, std::move(d.payload), due});
+    }
+  }
+
+  static std::vector<Frame> take_due(std::vector<Frame>& q,
+                                     std::uint64_t cycle) {
+    std::vector<Frame> due_now;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      if (q[i].due_cycle <= cycle) {
+        due_now.push_back(std::move(q[i]));
+      } else {
+        if (kept != i) q[kept] = std::move(q[i]);
+        ++kept;
+      }
+    }
+    q.resize(kept);
+    return due_now;
+  }
+
   noc::Fabric* fabric_;
   const mapping::MappedSystem* sys_;
   int tile_;
   std::uint64_t egress_latency_;
-  std::vector<Frame> pending_;  ///< reassembled, still in NIC egress
+  std::vector<Frame> pending_;      ///< reassembled signals, still in egress
+  std::vector<Frame> coh_pending_;  ///< reassembled coherence frames
 };
 
 }  // namespace xtsoc::cosim

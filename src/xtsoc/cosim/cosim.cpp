@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "xtsoc/hwsim/pool.hpp"
+#include "xtsoc/mem/mem.hpp"
 
 namespace xtsoc::cosim {
 
@@ -95,6 +96,35 @@ CoSimulation::CoSimulation(const mapping::MappedSystem& sys, CoSimConfig config)
     if (obs_ != nullptr) ecfg.obs_track = obs_->track("executor/sw");
     sw_ = std::make_unique<SwDomain>(sys, *sw_chan, scheduler_, ecfg);
     channels_.push_back(std::move(sw_chan));
+
+    if (part.mem().enabled) {
+      // The `dram.tile` mark switches the memory hierarchy on. Domain tags
+      // mirror the serial flush order (hardware tiles ascending, software
+      // last) so the timing replay consumes accesses in the exact order the
+      // serial master issues them.
+      const mapping::MemSpec& ms = part.mem();
+      mem::MemConfig mcfg;
+      mcfg.dram_tile = ms.dram_tile;
+      mcfg.sets = ms.sets;
+      mcfg.ways = ms.ways;
+      mcfg.line_bytes = ms.line_bytes;
+      mcfg.hit_latency = ms.hit_latency;
+      mcfg.t_rcd = ms.t_rcd;
+      mcfg.t_cas = ms.t_cas;
+      mcfg.t_rp = ms.t_rp;
+      mcfg.flit_bytes = mesh.flit_bytes;
+      mcfg.lookahead = static_cast<std::uint64_t>(lookahead_);
+      mem_ = std::make_unique<mem::System>(mcfg, fabric_.get());
+      const std::vector<int> hw_tiles = part.hardware_tiles();
+      for (std::size_t d = 0; d < hw_domains_.size(); ++d) {
+        runtime::Executor& exec = hw_domains_[d]->executor();
+        const int tag = mem_->add_domain(hw_tiles[d], &exec);
+        exec.set_memory_port(mem_->port(tag));
+      }
+      runtime::Executor& sw_exec = sw_->executor();
+      const int sw_mem_tag = mem_->add_domain(mesh.sw_tile(), &sw_exec);
+      sw_exec.set_memory_port(mem_->port(sw_mem_tag));
+    }
   } else {
     // Bus mode: the 1x2 degenerate topology, byte-identical to the
     // pre-mesh behavior.
@@ -209,9 +239,26 @@ void CoSimulation::inject(const runtime::InstanceHandle& target,
   executor_of(target.cls).inject(target, event_name, std::move(args), delay);
 }
 
+void CoSimulation::mem_tick(std::uint64_t cycle) {
+  // All channels are FabricChannels here: mem_ only exists in fabric mode.
+  std::vector<mem::System::Incoming> delivered;
+  for (auto& ch : channels_) {
+    auto* fc = static_cast<FabricChannel*>(ch.get());
+    for (Frame& f : fc->take_coherence(cycle)) {
+      delivered.push_back({fc->tile(), f.opcode, std::move(f.payload)});
+    }
+  }
+  mem_->tick(cycle, delivered);
+}
+
 void CoSimulation::one_cycle() {
   ++cycle_;
   OBS_SPAN_AT(obs_, obs_track_, "cycle", cycle_);
+  // Serial point: publish buffered stores whose visibility horizon reaches
+  // into the cycle about to run. Stores issued during this cycle become
+  // visible at cycle_ + L > cycle_, so nothing published here can be
+  // affected by what the cycle does.
+  if (mem_) mem_->append_visible(cycle_);
   // Fabric first: flits advance one hop, frames completing reassembly this
   // cycle become visible to the NICs the domains poll below.
   if (fabric_) fabric_->tick(cycle_);
@@ -234,6 +281,9 @@ void CoSimulation::one_cycle() {
     }
     if (!scheduler_.run_one()) break;
   }
+  // Memory last: the timing layer consumes every access the domains
+  // recorded this cycle and the coherence frames the NICs reassembled.
+  if (mem_) mem_tick(cycle_);
   if (cycle_hook_) cycle_hook_(cycle_);
 }
 
@@ -259,6 +309,11 @@ void CoSimulation::run_window(std::uint64_t w) {
     for (auto& hw : hw_domains_) hw->fill_inbox(end);
     sw_->fill_inbox(end);
   }
+  // Same completeness argument for the store log: a store issued inside
+  // this window (cycle > base) becomes visible at cycle + L >= base + L >=
+  // end, so publishing up to `end` here covers every read phase A can make
+  // — and phase A then only reads the log, never grows it.
+  if (mem_) mem_->append_visible(end);
   phase_seconds_.boundary += lap();
 
   // Phase A: run each domain w cycles ahead, concurrently. A job touches
@@ -342,6 +397,7 @@ void CoSimulation::run_window(std::uint64_t w) {
         sw_->flush_outbox_through(cycle_);
       }
     }
+    if (mem_) mem_tick(cycle_);
     if (cycle_hook_) cycle_hook_(cycle_);
   };
   if (pool_ && sim_->has_replay_shards()) {
@@ -413,6 +469,10 @@ void CoSimulation::save_state(snap::Writer& w) const {
   sw_->save_state(w);
   scheduler_.save_state(w);
   w.u64(cycle_);
+  // Memory hierarchy presence is structural (it follows from the marks),
+  // so a bare flag suffices to catch mark drift between save and restore.
+  w.u8(mem_ ? 1 : 0);
+  if (mem_) mem_->save_state(w);
 }
 
 void CoSimulation::load_state(snap::Reader& r) {
@@ -440,6 +500,13 @@ void CoSimulation::load_state(snap::Reader& r) {
   sw_->load_state(r);
   scheduler_.load_state(r);
   cycle_ = r.u64();
+  const std::uint8_t has_mem = r.u8();
+  if (has_mem != (mem_ ? 1 : 0)) {
+    throw snap::SnapError(
+        "co-simulation snapshot memory-hierarchy mismatch (same marks "
+        "required)");
+  }
+  if (mem_) mem_->load_state(r);
 }
 
 }  // namespace xtsoc::cosim

@@ -76,6 +76,10 @@ namespace xtsoc::hwsim {
 class WorkerPool;
 }
 
+namespace xtsoc::mem {
+class System;
+}
+
 namespace xtsoc::cosim {
 
 /// Caller-reported action-engine provenance for the report's "engines"
@@ -203,6 +207,8 @@ public:
   const noc::Fabric& fabric() const { return *fabric_; }
   const hwsim::Simulator& hw_sim() const { return *sim_; }
   const swrt::Scheduler& scheduler() const { return scheduler_; }
+  /// The memory hierarchy, or null when no `dram.tile` mark is present.
+  const mem::System* mem_system() const { return mem_.get(); }
 
   /// Wall-clock seconds accumulated per windowed phase (zeroes in lockstep
   /// mode). The boundary/phase A/phase B split is what tells a perf
@@ -241,6 +247,9 @@ private:
   /// on the pool, phase B kernel replay. `w` may be smaller than window()
   /// for the tail of a run — any W' <= L is safe.
   void run_window(std::uint64_t w);
+  /// Serial-spine memory step for `cycle`: collect the coherence frames the
+  /// NICs reassembled (channel/tag order) and advance the hierarchy.
+  void mem_tick(std::uint64_t cycle);
 
   const mapping::MappedSystem* sys_;
   CoSimConfig config_;
@@ -252,6 +261,8 @@ private:
   swrt::Scheduler scheduler_;
   std::vector<std::unique_ptr<HwDomain>> hw_domains_;
   std::unique_ptr<SwDomain> sw_;
+  /// Mark-driven memory hierarchy (fabric mode + `dram.tile` mark only).
+  std::unique_ptr<mem::System> mem_;
   /// ClassId -> owning hardware domain, nullptr for software classes.
   std::vector<HwDomain*> hw_domain_of_;
   std::function<void(std::uint64_t)> cycle_hook_;

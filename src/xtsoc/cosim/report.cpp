@@ -1,6 +1,7 @@
 #include "xtsoc/cosim/report.hpp"
 
 #include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/mem/mem.hpp"
 
 namespace xtsoc::cosim {
 
@@ -152,6 +153,36 @@ obs::Snapshot CoSimulation::report() const {
       eng["digest"] = es.digest;
       eng["cache_hit"] = es.cache_hit;
     }
+  }
+
+  // The memory section exists only when the marks placed a DRAM tile, so
+  // runs without memory marks keep byte-identical reports.
+  if (mem_ != nullptr) {
+    const mem::MemStats& ms = mem_->stats();
+    const mem::MemConfig& mc = mem_->config();
+    JsonValue& m = snap["memory"];
+    m = JsonValue::object();
+    JsonValue& geo = m["config"];
+    geo = JsonValue::object();
+    geo["dram_tile"] = mc.dram_tile;
+    geo["sets"] = mc.sets;
+    geo["ways"] = mc.ways;
+    geo["line_bytes"] = mc.line_bytes;
+    m["loads"] = ms.loads;
+    m["stores"] = ms.stores;
+    m["hits"] = ms.hits;
+    m["misses"] = ms.misses;
+    m["evictions"] = ms.evictions;
+    m["writebacks"] = ms.writebacks;
+    m["invalidations"] = ms.invalidations;
+    m["dram_reads"] = ms.dram_reads;
+    m["dram_writes"] = ms.dram_writes;
+    m["dram_row_hits"] = ms.dram_row_hits;
+    m["dram_row_conflicts"] = ms.dram_row_conflicts;
+    m["coh_frames"] = ms.coh_frames;
+    m["coh_flits"] = ms.coh_flits;
+    m["coh_payload_bytes"] = ms.coh_payload_bytes;
+    m["mean_load_use"] = ms.mean_load_use();
   }
 
   // The faults section exists only when a plan is attached, so a fault-free

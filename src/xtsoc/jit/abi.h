@@ -106,6 +106,11 @@ typedef struct XjHostOps {
   /* Both throw the engine-parity C++ exception and never return. */
   void (*fail)(XjHost* h, uint32_t err);
   void (*fail_conv)(XjHost* h, uint32_t conv, XjValue v);
+
+  /* Platform memory port (`mem.read` / `mem.write`). Appended member —
+   * the digest covers this text, so older cached .so files retire. */
+  int64_t (*mem_read)(XjHost* h, int64_t addr);
+  void (*mem_write)(XjHost* h, int64_t addr, int64_t value);
 } XjHostOps;
 
 /* One compiled state action. Returns executed op count (identical to the

@@ -44,12 +44,14 @@ void stack_effect(const Instr& i, int* need, int* net) {
     case Op::kRelated:
     case Op::kFilter:
     case Op::kSetToRef:
+    case Op::kMemRead:
       *need = 1;
       *net = 0;
       return;
     case Op::kSetAttr:
     case Op::kRelate:
     case Op::kUnrelate:
+    case Op::kMemWrite:
       *need = 2;
       *net = -2;
       return;
@@ -553,6 +555,19 @@ private:
         stmt("o->log_vals(h, " +
              (argc > 0 ? "gl" + u : std::string("(const XjValue*)0")) + ", " +
              std::to_string(argc) + "u);");
+        break;
+      }
+      case Op::kMemRead:
+        stmt(S(d - 1) + " = xj_i(o->mem_read(h, xj_as_int(h, o, " + S(d - 1) +
+             ")));");
+        break;
+      case Op::kMemWrite: {
+        // VM conversion order: value (top of stack) first, then address.
+        const std::string u = site();
+        decl("int64_t mv" + u + "; int64_t ma" + u + ";");
+        stmt("mv" + u + " = xj_as_int(h, o, " + S(d - 1) + ");");
+        stmt("ma" + u + " = xj_as_int(h, o, " + S(d - 2) + ");");
+        stmt("o->mem_write(h, ma" + u + ", mv" + u + ");");
         break;
       }
     }

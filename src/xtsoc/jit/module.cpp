@@ -288,6 +288,14 @@ void op_fail_conv(XjHost* h, std::uint32_t conv, XjValue v) {
   throw ModelError("jit: conversion check failed to fail");
 }
 
+std::int64_t op_mem_read(XjHost* h, std::int64_t addr) {
+  return ctx(h)->host->mem_read(addr);
+}
+
+void op_mem_write(XjHost* h, std::int64_t addr, std::int64_t value) {
+  ctx(h)->host->mem_write(addr, value);
+}
+
 const XjHostOps kHostOps = {
     sizeof(XjHostOps),
     &op_get_attr,
@@ -312,6 +320,8 @@ const XjHostOps kHostOps = {
     &op_log_vals,
     &op_fail,
     &op_fail_conv,
+    &op_mem_read,
+    &op_mem_write,
 };
 
 }  // namespace

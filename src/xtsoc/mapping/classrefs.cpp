@@ -39,6 +39,9 @@ private:
       case ExprKind::kNotEmpty:
         walk(*static_cast<const EmptyExpr&>(e).operand);
         break;
+      case ExprKind::kMemRead:
+        walk(*static_cast<const MemReadExpr&>(e).addr);
+        break;
       default:
         break;  // literals and name references carry no class refs
     }
@@ -123,6 +126,12 @@ private:
       case StmtKind::kLog: {
         const auto& l = static_cast<const LogStmt&>(s);
         for (const auto& a : l.args) walk(*a);
+        break;
+      }
+      case StmtKind::kMemWrite: {
+        const auto& m = static_cast<const MemWriteStmt&>(s);
+        walk(*m.addr);
+        walk(*m.value);
         break;
       }
       case StmtKind::kBreak:

@@ -73,6 +73,32 @@ Partition Partition::from_marks(const xtuml::Domain& domain,
       p.tile_by_class_[c.id.value()] = m.sw_tile();
     }
   }
+
+  // Memory hierarchy: enabled by the presence of `dram.tile`. A mesh-only
+  // feature (coherence rides the fabric); marks::validate has already
+  // rejected a dram.tile off the mesh or on an occupied tile, and non-
+  // power-of-two cache geometry.
+  if (marks.domain_mark(marks::kDramTile)) {
+    MemSpec& mem = p.mem_;
+    mem.enabled = true;
+    mem.dram_tile = static_cast<int>(marks.domain_mark_int(marks::kDramTile, 0));
+    mem.sets = static_cast<int>(marks.domain_mark_int(marks::kCacheSets, 0));
+    mem.ways = static_cast<int>(marks.domain_mark_int(marks::kCacheWays, 2));
+    mem.line_bytes =
+        static_cast<int>(marks.domain_mark_int(marks::kCacheLineBytes, 64));
+    mem.hit_latency =
+        static_cast<int>(marks.domain_mark_int(marks::kCacheHitLatency, 1));
+    mem.t_rcd = static_cast<int>(marks.domain_mark_int(marks::kDramTRcd, 2));
+    mem.t_cas = static_cast<int>(marks.domain_mark_int(marks::kDramTCas, 2));
+    mem.t_rp = static_cast<int>(marks.domain_mark_int(marks::kDramTRp, 2));
+    if (auto v = marks.domain_mark(marks::kMemWriteFraction)) {
+      if (std::holds_alternative<double>(*v)) {
+        mem.write_fraction = std::get<double>(*v);
+      } else if (std::holds_alternative<std::int64_t>(*v)) {
+        mem.write_fraction = static_cast<double>(std::get<std::int64_t>(*v));
+      }
+    }
+  }
   return p;
 }
 

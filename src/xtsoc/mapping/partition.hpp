@@ -33,6 +33,23 @@ struct MeshSpec {
   int sw_tile() const { return index(sw_x, sw_y); }
 };
 
+/// Memory-hierarchy shape, derived from the `dram.*`/`cache.*` domain marks.
+/// Disabled unless `dram.tile` is present (and only meaningful on a mesh:
+/// coherence messages are fabric frames). `sets == 0` means no `cache.sets`
+/// mark was given: the hierarchy runs uncached against the DRAM edge.
+struct MemSpec {
+  bool enabled = false;
+  int dram_tile = 0;
+  int sets = 0;
+  int ways = 2;
+  int line_bytes = 64;
+  int hit_latency = 1;
+  int t_rcd = 2;
+  int t_cas = 2;
+  int t_rp = 2;
+  double write_fraction = 0.2;  ///< `memory` traffic pattern store mix
+};
+
 class Partition {
 public:
   Partition() = default;
@@ -59,6 +76,7 @@ public:
 
   // --- NoC placement ----------------------------------------------------------
   const MeshSpec& mesh() const { return mesh_; }
+  const MemSpec& mem() const { return mem_; }
   /// Tile hosting `cls` (software classes live on the software tile).
   /// Always 0 when the mesh is disabled.
   int tile_of(ClassId cls) const;
@@ -80,6 +98,7 @@ private:
   std::vector<ClassId> hardware_;
   std::vector<marks::Target> by_class_;  // indexed by ClassId
   MeshSpec mesh_;
+  MemSpec mem_;
   std::vector<int> tile_by_class_;  // indexed by ClassId
 };
 

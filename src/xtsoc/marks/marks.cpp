@@ -24,7 +24,11 @@ const char* const kStandardDomainKeys[] = {kBusLatency, kMeshWidth,
                                            kFaultRateFlitDrop,
                                            kFaultRateFlitCorrupt,
                                            kFaultRateLinkDown,
-                                           kFaultRateBusError};
+                                           kFaultRateBusError,
+                                           kDramTile, kDramTRcd, kDramTCas,
+                                           kDramTRp, kCacheSets, kCacheWays,
+                                           kCacheLineBytes, kCacheHitLatency,
+                                           kMemWriteFraction};
 
 bool is_fault_rate_key(std::string_view key) {
   return key == kFaultRateFlitDrop || key == kFaultRateFlitCorrupt ||
@@ -164,7 +168,10 @@ bool MarkSet::validate(const xtuml::Domain& domain,
                  key == kMeshHeight || key == kSwTileX || key == kSwTileY ||
                  key == kLinkLatency || key == kFlitBytes ||
                  key == kFifoDepth || key == kFaultSeed ||
-                 key == kFaultWindow || key == kFaultWindowStart) {
+                 key == kFaultWindow || key == kFaultWindowStart ||
+                 key == kDramTile || key == kDramTRcd || key == kDramTCas ||
+                 key == kDramTRp || key == kCacheSets || key == kCacheWays ||
+                 key == kCacheLineBytes || key == kCacheHitLatency) {
         if (!domain_scope) {
           sink.error("marks.scope",
                      std::string(key) + " is a domain mark, not class");
@@ -180,7 +187,7 @@ bool MarkSet::validate(const xtuml::Domain& domain,
           sink.error("marks.type",
                      "domain." + std::string(key) + " must be a string");
         }
-      } else if (is_fault_rate_key(key)) {
+      } else if (is_fault_rate_key(key) || key == kMemWriteFraction) {
         // Rates read naturally as reals but 0 and 1 parse as ints; accept
         // both so "faultRate.flitDrop = 0" round-trips.
         if (!domain_scope) {
@@ -477,6 +484,105 @@ bool MarkSet::validate(const xtuml::Domain& domain,
                          " > 0: the fault retransmit path alternates "
                          "dimension orders, which adaptive routing replaces");
           break;
+        }
+      }
+    }
+  }
+
+  // Memory-hierarchy marks. The DRAM edge is a fabric endpoint, so it needs
+  // a mesh, a tile inside it, and no executor already on that tile; cache
+  // indexing is bit-sliced, so the geometry must be powers of two. All of
+  // this is a platform decision — rejected here, with the other marks.
+  {
+    auto int_mark = [&](const char* key) -> std::optional<std::int64_t> {
+      auto v = domain_mark(key);
+      if (!v || !std::holds_alternative<std::int64_t>(*v)) return std::nullopt;
+      return std::get<std::int64_t>(*v);
+    };
+    const bool has_dram = domain_mark(kDramTile).has_value();
+    const bool any_mem_mark =
+        has_dram || domain_mark(kDramTRcd) || domain_mark(kDramTCas) ||
+        domain_mark(kDramTRp) || domain_mark(kCacheSets) ||
+        domain_mark(kCacheWays) || domain_mark(kCacheLineBytes) ||
+        domain_mark(kCacheHitLatency);
+    if (any_mem_mark && !has_dram) {
+      sink.error("marks.dram.missing_tile",
+                 "cache.*/dram.* marks need domain.dram.tile; without a DRAM "
+                 "edge tile there is no memory hierarchy to configure");
+    }
+    if (has_dram && !any_tiles) {
+      sink.error("marks.dram.requires_mesh",
+                 "domain.dram.tile needs a mesh-mapped domain (tileX/tileY "
+                 "placements); coherence messages are fabric frames");
+    }
+    auto pow2 = [](std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; };
+    for (const char* key : {kCacheSets, kCacheWays, kCacheLineBytes}) {
+      if (auto v = int_mark(key); v && !pow2(*v)) {
+        sink.error("marks.cache.pow2",
+                   "domain." + std::string(key) +
+                       " must be a positive power of two (got " +
+                       std::to_string(*v) + "); cache indexing is bit-sliced");
+      }
+    }
+    if (auto v = int_mark(kCacheHitLatency); v && *v < 1) {
+      sink.error("marks.cache.range",
+                 "domain.cache.hitLatency must be >= 1 (got " +
+                     std::to_string(*v) + "); even a hit takes a cycle");
+    }
+    for (const char* key : {kDramTRcd, kDramTCas, kDramTRp}) {
+      if (auto v = int_mark(key); v && *v < 1) {
+        sink.error("marks.dram.range",
+                   "domain." + std::string(key) + " must be >= 1 (got " +
+                       std::to_string(*v) + ")");
+      }
+    }
+    if (auto v = domain_mark(kMemWriteFraction)) {
+      double f = -1.0;
+      if (std::holds_alternative<double>(*v)) {
+        f = std::get<double>(*v);
+      } else if (std::holds_alternative<std::int64_t>(*v)) {
+        f = static_cast<double>(std::get<std::int64_t>(*v));
+      }
+      if (f < 0.0 || f > 1.0) {
+        sink.error("marks.mem.write_fraction",
+                   "domain.memTraffic.writeFraction is a probability and "
+                   "must be in [0, 1]");
+      }
+    }
+    if (auto dt = int_mark(kDramTile); dt && any_tiles) {
+      const std::int64_t mesh_w = domain_mark_int(kMeshWidth, max_x + 1);
+      const std::int64_t mesh_h = domain_mark_int(kMeshHeight, max_y + 1);
+      if (*dt < 0 || *dt >= mesh_w * mesh_h) {
+        sink.error("marks.dram.tile",
+                   "domain.dram.tile " + std::to_string(*dt) +
+                       " is outside the " + std::to_string(mesh_w) + "x" +
+                       std::to_string(mesh_h) + " mesh");
+      } else {
+        const std::int64_t sw_tile =
+            domain_mark_int(kSwTileY, 0) * mesh_w + domain_mark_int(kSwTileX, 0);
+        if (*dt == sw_tile) {
+          sink.error("marks.dram.tile_clash",
+                     "domain.dram.tile " + std::to_string(*dt) +
+                         " is the software tile; the DRAM edge needs an "
+                         "unoccupied tile (its NIC is the directory)");
+        }
+        for (const auto& [element, kv] : marks_) {
+          if (element.empty()) continue;
+          auto tx = kv.find(kTileX);
+          auto ty = kv.find(kTileY);
+          if (tx == kv.end() || ty == kv.end() ||
+              !std::holds_alternative<std::int64_t>(tx->second) ||
+              !std::holds_alternative<std::int64_t>(ty->second)) {
+            continue;
+          }
+          std::int64_t tile = std::get<std::int64_t>(ty->second) * mesh_w +
+                              std::get<std::int64_t>(tx->second);
+          if (tile == *dt) {
+            sink.error("marks.dram.tile_clash",
+                       "domain.dram.tile " + std::to_string(*dt) +
+                           " collides with class '" + element +
+                           "'; the DRAM edge needs an unoccupied tile");
+          }
         }
       }
     }

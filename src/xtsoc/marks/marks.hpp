@@ -73,6 +73,24 @@ inline constexpr const char* kFaultRateFlitCorrupt = "faultRate.flitCorrupt";
 inline constexpr const char* kFaultRateLinkDown = "faultRate.linkDown";
 inline constexpr const char* kFaultRateBusError = "faultRate.busError";
 
+// Memory-hierarchy marks (domain scope; consumed by src/xtsoc/mem). Placing
+// `dram.tile` on a mesh-mapped domain attaches a DRAM edge model at that
+// (unoccupied) tile and gives every executor tile a private cache wired to a
+// MESI directory riding the fabric; the cache geometry and DRAM timing are
+// then marks-only platform decisions like everything else. Without
+// `cache.sets` the hierarchy runs uncached (every access is a DRAM round
+// trip) — the baseline the bench suite compares against.
+inline constexpr const char* kDramTile = "dram.tile";        // int, domain (edge tile)
+inline constexpr const char* kDramTRcd = "dram.tRCD";        // int, domain (activate cycles)
+inline constexpr const char* kDramTCas = "dram.tCAS";        // int, domain (column cycles)
+inline constexpr const char* kDramTRp = "dram.tRP";          // int, domain (precharge cycles)
+inline constexpr const char* kCacheSets = "cache.sets";      // int, domain (power of two)
+inline constexpr const char* kCacheWays = "cache.ways";      // int, domain (power of two)
+inline constexpr const char* kCacheLineBytes = "cache.lineBytes";  // int, domain (power of two)
+inline constexpr const char* kCacheHitLatency = "cache.hitLatency";  // int, domain (cycles)
+/// Store fraction of the synthetic `memory` traffic pattern (real in [0,1]).
+inline constexpr const char* kMemWriteFraction = "memTraffic.writeFraction";
+
 /// One change between two MarkSets (the unit of "repartitioning cost").
 struct MarkChange {
   std::string element;  ///< class name, or "domain"

@@ -1,0 +1,663 @@
+#include "xtsoc/mem/mem.hpp"
+
+#include <algorithm>
+
+#include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/snap/io.hpp"
+
+namespace xtsoc::mem {
+
+namespace {
+
+int log2_floor(int v) {
+  int s = 0;
+  while ((1 << (s + 1)) <= v) ++s;
+  return s;
+}
+
+}  // namespace
+
+System::System(const MemConfig& config, noc::Fabric* fabric)
+    : config_(config), fabric_(fabric) {
+  line_shift_ = log2_floor(config_.line_bytes < 1 ? 1 : config_.line_bytes);
+}
+
+System::~System() = default;
+
+int System::add_domain(int tile, const runtime::Executor* exec) {
+  int tag = static_cast<int>(domains_.size());
+  Domain d;
+  d.tile = tile;
+  d.exec = exec;
+  domains_.push_back(std::move(d));
+  ports_.push_back(std::make_unique<Port>(this, tag, exec));
+  tag_of_tile_[tile] = tag;
+  // Every executor tile owns a (possibly degenerate) private cache.
+  TileCache& c = caches_[tile];
+  if (cached()) {
+    c.lines.assign(static_cast<std::size_t>(config_.sets) *
+                       static_cast<std::size_t>(config_.ways),
+                   CacheLine{});
+  }
+  return tag;
+}
+
+runtime::MemoryPort* System::port(int tag) {
+  return ports_.at(static_cast<std::size_t>(tag)).get();
+}
+
+// --- functional layer --------------------------------------------------------
+
+std::int64_t System::read(int tag, std::uint64_t cycle, std::int64_t addr) {
+  Domain& d = domains_.at(static_cast<std::size_t>(tag));
+  d.accesses.push_back(AccessRec{cycle, addr, 0});
+  // Own buffered stores win (store-to-load forwarding).
+  for (auto it = d.store_buf.rbegin(); it != d.store_buf.rend(); ++it) {
+    if (it->addr == addr) return it->value;
+  }
+  auto li = log_.find(addr);
+  if (li != log_.end()) {
+    // Newest-first: the first version that is globally visible at `cycle`,
+    // or that this domain wrote itself (its own stores never un-happen).
+    for (auto it = li->second.rbegin(); it != li->second.rend(); ++it) {
+      if (it->vis <= cycle || it->tag == tag) return it->value;
+    }
+  }
+  return 0;
+}
+
+void System::write(int tag, std::uint64_t cycle, std::int64_t addr,
+                   std::int64_t value) {
+  Domain& d = domains_.at(static_cast<std::size_t>(tag));
+  d.accesses.push_back(AccessRec{cycle, addr, 1});
+  d.store_buf.push_back(
+      StoreRec{addr, value, cycle + config_.lookahead, d.seq++});
+}
+
+void System::append_visible(std::uint64_t horizon) {
+  // Collect every buffered store that becomes visible within the horizon,
+  // across all domains, and append them to the log in the one global order
+  // that every threads x window configuration agrees on.
+  std::vector<std::pair<int, StoreRec>> batch;
+  for (int tag = 0; tag < static_cast<int>(domains_.size()); ++tag) {
+    auto& buf = domains_[static_cast<std::size_t>(tag)].store_buf;
+    std::size_t n = 0;
+    while (n < buf.size() && buf[n].vis <= horizon) ++n;
+    for (std::size_t i = 0; i < n; ++i) batch.emplace_back(tag, buf[i]);
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const auto& a, const auto& b) {
+                     if (a.second.vis != b.second.vis)
+                       return a.second.vis < b.second.vis;
+                     if (a.first != b.first) return a.first < b.first;
+                     return a.second.seq < b.second.seq;
+                   });
+  for (const auto& [tag, s] : batch) {
+    log_[s.addr].push_back(Version{s.value, s.vis, tag, s.seq});
+  }
+}
+
+// --- timing layer ------------------------------------------------------------
+
+std::int64_t System::line_of(std::int64_t addr) const {
+  return addr >> line_shift_;
+}
+
+void System::send(int src, int dst, wire::Msg type, std::uint8_t aux,
+                  std::int64_t line, bool data_sized, std::uint64_t cycle,
+                  std::uint64_t extra) {
+  std::size_t pad =
+      data_sized ? static_cast<std::size_t>(config_.line_bytes) : 0;
+  std::vector<std::uint8_t> payload = wire::encode(type, aux, src, line, pad);
+  ++stats_.coh_frames;
+  stats_.coh_payload_bytes += payload.size();
+  std::size_t chunk = static_cast<std::size_t>(
+      config_.flit_bytes < 1 ? 1 : config_.flit_bytes);
+  stats_.coh_flits +=
+      payload.empty() ? 1 : (payload.size() + chunk - 1) / chunk;
+  fabric_->send_frame(src, dst, wire::opcode(type), std::move(payload), cycle,
+                      extra);
+}
+
+std::uint64_t System::dram_access(std::uint64_t cycle, std::int64_t line,
+                                  bool is_write) {
+  std::uint64_t u = static_cast<std::uint64_t>(line);
+  DramBank& bank = banks_[u & 7];
+  std::int64_t row = static_cast<std::int64_t>(u >> 3 >> 6);
+  std::uint64_t start = cycle > bank.busy_until ? cycle : bank.busy_until;
+  std::uint64_t lat;
+  if (bank.open_row == row) {
+    lat = static_cast<std::uint64_t>(config_.t_cas);
+    ++stats_.dram_row_hits;
+  } else if (bank.open_row < 0) {
+    lat = static_cast<std::uint64_t>(config_.t_rcd + config_.t_cas);
+  } else {
+    lat = static_cast<std::uint64_t>(config_.t_rp + config_.t_rcd +
+                                     config_.t_cas);
+    ++stats_.dram_row_conflicts;
+  }
+  bank.open_row = row;
+  bank.busy_until = start + lat;
+  if (is_write) {
+    ++stats_.dram_writes;
+  } else {
+    ++stats_.dram_reads;
+  }
+  return start + lat - cycle;
+}
+
+int System::find_way(TileCache& c, std::int64_t line) const {
+  std::size_t set = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(line) &
+      static_cast<std::uint64_t>(config_.sets - 1));
+  std::size_t base = set * static_cast<std::size_t>(config_.ways);
+  for (int w = 0; w < config_.ways; ++w) {
+    const CacheLine& cl = c.lines[base + static_cast<std::size_t>(w)];
+    if (cl.state != kI && cl.line == line)
+      return static_cast<int>(base) + w;
+  }
+  return -1;
+}
+
+int System::pick_victim(int tile, TileCache& c, std::int64_t line,
+                        std::uint64_t cycle) {
+  std::size_t set = static_cast<std::size_t>(
+      static_cast<std::uint64_t>(line) &
+      static_cast<std::uint64_t>(config_.sets - 1));
+  std::size_t base = set * static_cast<std::size_t>(config_.ways);
+  int victim = static_cast<int>(base);
+  for (int w = 0; w < config_.ways; ++w) {
+    CacheLine& cl = c.lines[base + static_cast<std::size_t>(w)];
+    if (cl.state == kI) return static_cast<int>(base) + w;
+    if (cl.lru < c.lines[static_cast<std::size_t>(victim)].lru)
+      victim = static_cast<int>(base) + w;
+  }
+  CacheLine& v = c.lines[static_cast<std::size_t>(victim)];
+  ++stats_.evictions;
+  if (v.state == kM) {
+    ++stats_.writebacks;
+    send(tile, config_.dram_tile, wire::kPutM, 0, v.line, true, cycle, 0);
+  }
+  // E and S lines drop silently; the directory resyncs on the next request.
+  v.state = kI;
+  v.line = -1;
+  return victim;
+}
+
+void System::process_access(int tile, const AccessRec& rec,
+                            std::uint64_t cycle) {
+  TileCache& c = caches_[tile];
+  std::int64_t line = line_of(rec.addr);
+  int way = cached() ? find_way(c, line) : -1;
+  if (way >= 0) {
+    CacheLine& cl = c.lines[static_cast<std::size_t>(way)];
+    bool hit = rec.is_write == 0 || cl.state == kM || cl.state == kE;
+    if (hit) {
+      if (rec.is_write != 0) cl.state = kM;  // E -> M is a silent upgrade
+      cl.lru = ++c.lru_tick;
+      ++stats_.hits;
+      stats_.load_use_sum +=
+          (cycle - rec.cycle) + static_cast<std::uint64_t>(config_.hit_latency);
+      ++stats_.load_use_count;
+      return;
+    }
+  }
+  // Miss (including a store to a Shared line: upgrade). One MSHR per tile:
+  // anything behind an outstanding miss waits in issue order.
+  if (c.mshr.valid) {
+    c.blocked.push_back(rec);
+    return;
+  }
+  ++stats_.misses;
+  c.mshr.valid = true;
+  c.mshr.line = line;
+  c.mshr.want = rec.is_write != 0 ? kM : kS;
+  c.mshr.is_write = rec.is_write;
+  c.mshr.issue = rec.cycle;
+  c.mshr.way = way >= 0 ? way : (cached() ? pick_victim(tile, c, line, cycle)
+                                          : -1);
+  send(tile, config_.dram_tile,
+       rec.is_write != 0 ? wire::kGetM : wire::kGetS, 0, line, false, cycle,
+       0);
+}
+
+void System::drain_blocked(int tile, std::uint64_t cycle) {
+  TileCache& c = caches_[tile];
+  while (!c.mshr.valid && !c.blocked.empty()) {
+    AccessRec rec = c.blocked.front();
+    c.blocked.pop_front();
+    process_access(tile, rec, cycle);
+  }
+}
+
+void System::cache_handle(int tile, const wire::Decoded& msg,
+                          std::uint64_t cycle) {
+  TileCache& c = caches_[tile];
+  switch (msg.type) {
+  case wire::kData: {
+    if (!c.mshr.valid || c.mshr.line != msg.line) return;  // stale
+    if (cached() && c.mshr.way >= 0) {
+      CacheLine& cl = c.lines[static_cast<std::size_t>(c.mshr.way)];
+      cl.line = msg.line;
+      cl.state =
+          c.mshr.is_write != 0 ? static_cast<std::uint8_t>(kM) : msg.aux;
+      cl.lru = ++c.lru_tick;
+    }
+    stats_.load_use_sum += (cycle - c.mshr.issue) +
+                           static_cast<std::uint64_t>(config_.hit_latency);
+    ++stats_.load_use_count;
+    c.mshr.valid = false;
+    drain_blocked(tile, cycle);
+    return;
+  }
+  case wire::kInv: {
+    // aux 0: invalidate (another tile wants Modified). aux 1: downgrade to
+    // Shared (another tile wants to read) — the copy survives, and the ack
+    // carries aux 1 so the directory keeps this tile in the sharer list.
+    int way = cached() ? find_way(c, msg.line) : -1;
+    const bool down = msg.aux == 1;
+    if (way >= 0) {
+      CacheLine& cl = c.lines[static_cast<std::size_t>(way)];
+      if (!down) ++stats_.invalidations;
+      if (cl.state == kM) {
+        ++stats_.writebacks;
+        send(tile, config_.dram_tile, wire::kPutM, msg.aux, msg.line, true,
+             cycle, 0);
+      } else {
+        send(tile, config_.dram_tile, wire::kInvAck, msg.aux, msg.line, false,
+             cycle, 0);
+      }
+      cl.state = down ? kS : kI;
+      if (!down) cl.line = -1;
+    } else {
+      // Already silently evicted (or uncached): acknowledge with aux 0 so
+      // the directory stops tracking a copy that no longer exists.
+      send(tile, config_.dram_tile, wire::kInvAck, 0, msg.line, false, cycle,
+           0);
+    }
+    return;
+  }
+  default:
+    return;  // directory-side message misrouted to a cache: drop
+  }
+}
+
+void System::dir_grant(int req_tile, std::uint8_t granted, std::int64_t line,
+                       std::uint64_t cycle) {
+  DirLine& d = dir_[line];
+  std::uint64_t extra = dram_access(cycle, line, false);
+  if (granted == kS) {
+    d.state = 1;
+    auto it = std::lower_bound(d.sharers.begin(), d.sharers.end(), req_tile);
+    if (it == d.sharers.end() || *it != req_tile) d.sharers.insert(it, req_tile);
+  } else {
+    d.state = 2;
+    d.sharers.assign(1, req_tile);
+  }
+  send(config_.dram_tile, req_tile, wire::kData, granted, line, true, cycle,
+       extra);
+}
+
+void System::dir_request(int req_tile, std::uint8_t type, std::int64_t line,
+                         std::uint64_t cycle) {
+  DirLine& d = dir_[line];
+  if (d.busy) {
+    d.queue.push_back(DirPending{req_tile, type, 0});
+    return;
+  }
+  bool want_m = type == wire::kGetM;
+  if (d.state == 0) {
+    // No cached copy anywhere: a load gets Exclusive, a store Modified.
+    dir_grant(req_tile, want_m ? kM : kE, line, cycle);
+    return;
+  }
+  if (d.state == 1) {
+    if (!want_m) {
+      dir_grant(req_tile, kS, line, cycle);
+      return;
+    }
+    // Upgrade: invalidate every other sharer, then grant M.
+    std::vector<int> others;
+    for (int s : d.sharers) {
+      if (s != req_tile) others.push_back(s);
+    }
+    if (others.empty()) {
+      dir_grant(req_tile, kM, line, cycle);
+      return;
+    }
+    for (int s : others) {
+      send(config_.dram_tile, s, wire::kInv, 0, line, false, cycle, 0);
+    }
+    d.busy = true;
+    d.pending = DirPending{req_tile, type, static_cast<int>(others.size())};
+    return;
+  }
+  // Exclusive/Modified at some owner.
+  int owner = d.sharers.empty() ? req_tile : d.sharers.front();
+  if (owner == req_tile) {
+    // The owner silently dropped an E line and is asking again.
+    dir_grant(req_tile, want_m ? kM : kE, line, cycle);
+    return;
+  }
+  // A writer evicts the owner (aux 0); a reader downgrades it to Shared
+  // (aux 1), flushing any dirty data, and both end up with S copies.
+  send(config_.dram_tile, owner, wire::kInv, want_m ? 0 : 1, line, false,
+       cycle, 0);
+  d.busy = true;
+  d.pending = DirPending{req_tile, type, 1};
+}
+
+void System::dir_complete(std::int64_t line, std::uint64_t cycle) {
+  DirLine& d = dir_[line];
+  DirPending p = d.pending;
+  d.busy = false;
+  if (p.type == wire::kGetM) {
+    // Every other copy was invalidated; the requester is the sole holder.
+    d.state = 0;
+    d.sharers.clear();
+    dir_grant(p.req_tile, kM, line, cycle);
+  } else {
+    // Downgrade path: sharers that acked with aux 1 kept S copies (they
+    // were not erased), so the requester joins them in Shared.
+    dir_grant(p.req_tile, d.sharers.empty() ? kE : kS, line, cycle);
+  }
+  while (!d.busy && !d.queue.empty()) {
+    DirPending next = d.queue.front();
+    d.queue.pop_front();
+    dir_request(next.req_tile, next.type, line, cycle);
+  }
+}
+
+void System::dir_handle(const wire::Decoded& msg, std::uint64_t cycle) {
+  switch (msg.type) {
+  case wire::kGetS:
+  case wire::kGetM:
+    dir_request(msg.src_tile, msg.type, msg.line, cycle);
+    return;
+  case wire::kPutM: {
+    DirLine& d = dir_[msg.line];
+    dram_access(cycle, msg.line, true);
+    if (d.busy) {
+      // The owner's flush doubles as its invalidation (or downgrade) ack;
+      // aux 1 means it kept a Shared copy, so it stays a sharer.
+      if (msg.aux != 1) {
+        d.sharers.erase(
+            std::remove(d.sharers.begin(), d.sharers.end(), msg.src_tile),
+            d.sharers.end());
+      }
+      if (--d.pending.acks_left <= 0) dir_complete(msg.line, cycle);
+      return;
+    }
+    // Voluntary eviction writeback.
+    if (d.state == 2 && !d.sharers.empty() &&
+        d.sharers.front() == msg.src_tile) {
+      d.state = 0;
+      d.sharers.clear();
+    }
+    return;
+  }
+  case wire::kInvAck: {
+    DirLine& d = dir_[msg.line];
+    if (!d.busy) return;  // late ack for an already-resolved transaction
+    if (msg.aux != 1) {
+      d.sharers.erase(
+          std::remove(d.sharers.begin(), d.sharers.end(), msg.src_tile),
+          d.sharers.end());
+    }
+    if (--d.pending.acks_left <= 0) dir_complete(msg.line, cycle);
+    return;
+  }
+  default:
+    return;  // cache-side message at the directory: drop
+  }
+}
+
+void System::tick(std::uint64_t cycle, const std::vector<Incoming>& delivered) {
+  // 1. Cache-side frames the channels drained this cycle, in tag order.
+  for (const Incoming& in : delivered) {
+    cache_handle(in.dst_tile, wire::decode(in.payload), cycle);
+  }
+  // 2. The directory tile has no executor, so the directory is its NIC.
+  for (noc::Delivery& del : fabric_->pop_due(config_.dram_tile, cycle)) {
+    if (!wire::is_coherence(del.opcode)) continue;
+    dir_handle(wire::decode(del.payload), cycle);
+  }
+  // 3. Consume access records stamped at or before `cycle`, merged across
+  // domains in (stamp, tag, issue order) — the same serial order at any
+  // threads x window setting.
+  for (;;) {
+    std::uint64_t best = 0;
+    int best_tag = -1;
+    for (int t = 0; t < static_cast<int>(domains_.size()); ++t) {
+      auto& q = domains_[static_cast<std::size_t>(t)].accesses;
+      if (q.empty() || q.front().cycle > cycle) continue;
+      if (best_tag < 0 || q.front().cycle < best) {
+        best = q.front().cycle;
+        best_tag = t;
+      }
+    }
+    if (best_tag < 0) break;
+    Domain& d = domains_[static_cast<std::size_t>(best_tag)];
+    AccessRec rec = d.accesses.front();
+    d.accesses.pop_front();
+    if (rec.is_write != 0) {
+      ++stats_.stores;
+    } else {
+      ++stats_.loads;
+    }
+    process_access(d.tile, rec, cycle);
+  }
+}
+
+bool System::idle() const {
+  for (const auto& [tile, c] : caches_) {
+    if (c.mshr.valid || !c.blocked.empty()) return false;
+  }
+  for (const auto& [line, d] : dir_) {
+    if (d.busy || !d.queue.empty()) return false;
+  }
+  for (const Domain& d : domains_) {
+    if (!d.accesses.empty()) return false;
+  }
+  return true;
+}
+
+// --- checkpointing -----------------------------------------------------------
+
+void System::save_state(snap::Writer& w) const {
+  w.u64(domains_.size());
+  for (const Domain& d : domains_) {
+    w.u64(static_cast<std::uint64_t>(d.tile));
+    w.u64(d.seq);
+    w.u64(d.store_buf.size());
+    for (const StoreRec& s : d.store_buf) {
+      w.i64(s.addr);
+      w.i64(s.value);
+      w.u64(s.vis);
+      w.u64(s.seq);
+    }
+    w.u64(d.accesses.size());
+    for (const AccessRec& a : d.accesses) {
+      w.u64(a.cycle);
+      w.i64(a.addr);
+      w.u8(a.is_write);
+    }
+  }
+  w.u64(log_.size());
+  for (const auto& [addr, versions] : log_) {
+    w.i64(addr);
+    w.u64(versions.size());
+    for (const Version& v : versions) {
+      w.i64(v.value);
+      w.u64(v.vis);
+      w.u64(static_cast<std::uint64_t>(v.tag));
+      w.u64(v.seq);
+    }
+  }
+  w.u64(caches_.size());
+  for (const auto& [tile, c] : caches_) {
+    w.u64(static_cast<std::uint64_t>(tile));
+    w.u64(c.lru_tick);
+    w.u64(c.lines.size());
+    for (const CacheLine& cl : c.lines) {
+      w.i64(cl.line);
+      w.u8(cl.state);
+      w.u64(cl.lru);
+    }
+    w.u8(c.mshr.valid ? 1 : 0);
+    w.i64(c.mshr.line);
+    w.u8(c.mshr.want);
+    w.u8(c.mshr.is_write);
+    w.u64(c.mshr.issue);
+    w.i64(c.mshr.way);
+    w.u64(c.blocked.size());
+    for (const AccessRec& a : c.blocked) {
+      w.u64(a.cycle);
+      w.i64(a.addr);
+      w.u8(a.is_write);
+    }
+  }
+  w.u64(dir_.size());
+  for (const auto& [line, d] : dir_) {
+    w.i64(line);
+    w.u8(d.state);
+    w.u64(d.sharers.size());
+    for (int s : d.sharers) w.u64(static_cast<std::uint64_t>(s));
+    w.u8(d.busy ? 1 : 0);
+    w.u64(static_cast<std::uint64_t>(d.pending.req_tile));
+    w.u8(d.pending.type);
+    w.i64(d.pending.acks_left);
+    w.u64(d.queue.size());
+    for (const DirPending& q : d.queue) {
+      w.u64(static_cast<std::uint64_t>(q.req_tile));
+      w.u8(q.type);
+    }
+  }
+  for (const DramBank& b : banks_) {
+    w.i64(b.open_row);
+    w.u64(b.busy_until);
+  }
+  const std::uint64_t counters[] = {
+      stats_.loads,          stats_.stores,        stats_.hits,
+      stats_.misses,         stats_.evictions,     stats_.writebacks,
+      stats_.invalidations,  stats_.dram_reads,    stats_.dram_writes,
+      stats_.dram_row_hits,  stats_.dram_row_conflicts,
+      stats_.coh_frames,     stats_.coh_flits,     stats_.coh_payload_bytes,
+      stats_.load_use_sum,   stats_.load_use_count,
+  };
+  for (std::uint64_t c : counters) w.u64(c);
+}
+
+void System::load_state(snap::Reader& r) {
+  std::uint64_t ndom = r.u64();
+  if (ndom != domains_.size()) {
+    throw snap::SnapError("memory snapshot domain count mismatch");
+  }
+  for (Domain& d : domains_) {
+    d.tile = static_cast<int>(r.u64());
+    d.seq = r.u64();
+    d.store_buf.clear();
+    std::uint64_t nbuf = r.u64();
+    for (std::uint64_t i = 0; i < nbuf; ++i) {
+      StoreRec s;
+      s.addr = r.i64();
+      s.value = r.i64();
+      s.vis = r.u64();
+      s.seq = r.u64();
+      d.store_buf.push_back(s);
+    }
+    d.accesses.clear();
+    std::uint64_t nacc = r.u64();
+    for (std::uint64_t i = 0; i < nacc; ++i) {
+      AccessRec a;
+      a.cycle = r.u64();
+      a.addr = r.i64();
+      a.is_write = r.u8();
+      d.accesses.push_back(a);
+    }
+  }
+  log_.clear();
+  std::uint64_t nlog = r.u64();
+  for (std::uint64_t i = 0; i < nlog; ++i) {
+    std::int64_t addr = r.i64();
+    std::uint64_t nver = r.u64();
+    auto& versions = log_[addr];
+    for (std::uint64_t j = 0; j < nver; ++j) {
+      Version v;
+      v.value = r.i64();
+      v.vis = r.u64();
+      v.tag = static_cast<int>(r.u64());
+      v.seq = r.u64();
+      versions.push_back(v);
+    }
+  }
+  caches_.clear();
+  std::uint64_t ncache = r.u64();
+  for (std::uint64_t i = 0; i < ncache; ++i) {
+    int tile = static_cast<int>(r.u64());
+    TileCache& c = caches_[tile];
+    c.lru_tick = r.u64();
+    std::uint64_t nlines = r.u64();
+    c.lines.assign(nlines, CacheLine{});
+    for (CacheLine& cl : c.lines) {
+      cl.line = r.i64();
+      cl.state = r.u8();
+      cl.lru = r.u64();
+    }
+    c.mshr.valid = r.u8() != 0;
+    c.mshr.line = r.i64();
+    c.mshr.want = r.u8();
+    c.mshr.is_write = r.u8();
+    c.mshr.issue = r.u64();
+    c.mshr.way = static_cast<int>(r.i64());
+    std::uint64_t nblk = r.u64();
+    c.blocked.clear();
+    for (std::uint64_t j = 0; j < nblk; ++j) {
+      AccessRec a;
+      a.cycle = r.u64();
+      a.addr = r.i64();
+      a.is_write = r.u8();
+      c.blocked.push_back(a);
+    }
+  }
+  dir_.clear();
+  std::uint64_t ndir = r.u64();
+  for (std::uint64_t i = 0; i < ndir; ++i) {
+    std::int64_t line = r.i64();
+    DirLine& d = dir_[line];
+    d.state = r.u8();
+    std::uint64_t nsh = r.u64();
+    d.sharers.clear();
+    for (std::uint64_t j = 0; j < nsh; ++j) {
+      d.sharers.push_back(static_cast<int>(r.u64()));
+    }
+    d.busy = r.u8() != 0;
+    d.pending.req_tile = static_cast<int>(r.u64());
+    d.pending.type = r.u8();
+    d.pending.acks_left = static_cast<int>(r.i64());
+    std::uint64_t nq = r.u64();
+    d.queue.clear();
+    for (std::uint64_t j = 0; j < nq; ++j) {
+      DirPending q;
+      q.req_tile = static_cast<int>(r.u64());
+      q.type = r.u8();
+      d.queue.push_back(q);
+    }
+  }
+  for (DramBank& b : banks_) {
+    b.open_row = r.i64();
+    b.busy_until = r.u64();
+  }
+  std::uint64_t* counters[] = {
+      &stats_.loads,          &stats_.stores,        &stats_.hits,
+      &stats_.misses,         &stats_.evictions,     &stats_.writebacks,
+      &stats_.invalidations,  &stats_.dram_reads,    &stats_.dram_writes,
+      &stats_.dram_row_hits,  &stats_.dram_row_conflicts,
+      &stats_.coh_frames,     &stats_.coh_flits,     &stats_.coh_payload_bytes,
+      &stats_.load_use_sum,   &stats_.load_use_count,
+  };
+  for (std::uint64_t* c : counters) *c = r.u64();
+}
+
+}  // namespace xtsoc::mem

@@ -1,0 +1,91 @@
+// Wire format of coherence frames on the noc::Fabric.
+//
+// Header-only on purpose: noc::TrafficGen's `memory` pattern emits frames in
+// this format to stress the directory without linking against xtsoc_mem, and
+// the cosim channel layer demuxes on is_coherence() without knowing anything
+// else about the protocol.
+//
+// Opcodes occupy the top of the 32-bit space (upper 10 bits set) so they can
+// never collide with model signal opcodes (small event indices) or synthetic
+// traffic opcodes ((src << 16) | seq with src < 0x3FF mesh tiles).
+//
+// Payload layout (little-endian):
+//   [0]      message type (Msg)
+//   [1]      aux — granted MESI state for kData, downgrade flag for
+//            kInv/kInvAck/kPutM, 0 otherwise
+//   [2..3]   source tile (u16)
+//   [4..11]  line address (i64)
+//   [12..]   deterministic filler up to the data size for line-carrying
+//            messages (kData, kPutM), so flit segmentation sees real
+//            line-sized payloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xtsoc::mem::wire {
+
+inline constexpr std::uint32_t kOpcodeMask = 0xFFC00000u;
+inline constexpr std::uint32_t kOpcodeBase = 0xFFC00000u;
+inline constexpr std::size_t kHeaderBytes = 12;
+
+enum Msg : std::uint8_t {
+  kGetS = 1,    ///< cache -> directory: read miss
+  kGetM = 2,    ///< cache -> directory: write miss / upgrade
+  kPutM = 3,    ///< cache -> directory: dirty writeback (line-sized)
+  kInv = 4,     ///< directory -> cache: invalidate (aux 1: downgrade to S)
+  kInvAck = 5,  ///< cache -> directory: acknowledged (aux 1: kept an S copy)
+  kData = 6,    ///< directory -> cache: fill response (line-sized)
+};
+
+inline bool is_coherence(std::uint32_t opcode) {
+  return (opcode & kOpcodeMask) == kOpcodeBase;
+}
+
+inline std::uint32_t opcode(Msg type) {
+  return kOpcodeBase | static_cast<std::uint32_t>(type);
+}
+
+inline std::vector<std::uint8_t> encode(Msg type, std::uint8_t aux,
+                                        int src_tile, std::int64_t line,
+                                        std::size_t pad_to = 0) {
+  std::size_t size = kHeaderBytes < pad_to ? pad_to : kHeaderBytes;
+  std::vector<std::uint8_t> p(size, 0);
+  p[0] = static_cast<std::uint8_t>(type);
+  p[1] = aux;
+  p[2] = static_cast<std::uint8_t>(src_tile & 0xFF);
+  p[3] = static_cast<std::uint8_t>((src_tile >> 8) & 0xFF);
+  std::uint64_t u = static_cast<std::uint64_t>(line);
+  for (int i = 0; i < 8; ++i) {
+    p[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((u >> (8 * i)) & 0xFF);
+  }
+  for (std::size_t i = kHeaderBytes; i < size; ++i) {
+    p[i] = static_cast<std::uint8_t>((u + i * 37) & 0xFF);
+  }
+  return p;
+}
+
+struct Decoded {
+  Msg type = kGetS;
+  std::uint8_t aux = 0;
+  int src_tile = 0;
+  std::int64_t line = 0;
+};
+
+inline Decoded decode(const std::vector<std::uint8_t>& p) {
+  Decoded d;
+  if (p.size() < kHeaderBytes) return d;
+  d.type = static_cast<Msg>(p[0]);
+  d.aux = p[1];
+  d.src_tile = static_cast<int>(p[2]) | (static_cast<int>(p[3]) << 8);
+  std::uint64_t u = 0;
+  for (int i = 0; i < 8; ++i) {
+    u |= static_cast<std::uint64_t>(p[4 + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  d.line = static_cast<std::int64_t>(u);
+  return d;
+}
+
+}  // namespace xtsoc::mem::wire

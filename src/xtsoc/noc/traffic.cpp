@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "xtsoc/common/rng.hpp"
+#include "xtsoc/mem/wire.hpp"
 #include "xtsoc/noc/fabric.hpp"
 #include "xtsoc/noc/topology.hpp"
 
@@ -15,6 +16,7 @@ const char* to_string(TrafficPattern p) {
     case TrafficPattern::kHotspot: return "hotspot";
     case TrafficPattern::kTranspose: return "transpose";
     case TrafficPattern::kBursty: return "bursty";
+    case TrafficPattern::kMemory: return "memory";
   }
   return "?";
 }
@@ -24,6 +26,7 @@ std::optional<TrafficPattern> pattern_from_string(std::string_view s) {
   if (s == "hotspot") return TrafficPattern::kHotspot;
   if (s == "transpose") return TrafficPattern::kTranspose;
   if (s == "bursty") return TrafficPattern::kBursty;
+  if (s == "memory") return TrafficPattern::kMemory;
   return std::nullopt;
 }
 
@@ -96,6 +99,35 @@ int TrafficGen::tick(Fabric& fabric, std::uint64_t cycle) {
   // function of the spec.
   for (int t = 0; t < tiles_; ++t) {
     int dst = -1;
+    if (spec_.pattern == TrafficPattern::kMemory) {
+      // Coherence-shaped requests: GetS/GetM in xtsoc::mem wire format
+      // aimed at the directory tile. Replaying a recorded memory trace
+      // reproduces routing and load exactly; only the replayed payload
+      // bytes differ (traffic_payload, not wire::encode), which no
+      // fabric-level measurement reads.
+      const int dir = spec_.hotspot_tile;
+      if (uniform01(t) >= spec_.offered_load) continue;
+      if (dir < 0 || dir >= tiles_ || dir == t) continue;
+      const bool is_write = uniform01(t) < spec_.write_fraction;
+      // 256 hot lines: small enough that tiles re-request each other's
+      // lines within a short run, which is what exercises the directory's
+      // invalidate/downgrade machinery rather than an endless cold stream.
+      const std::int64_t line = static_cast<std::int64_t>(draw(t) & 0xffu);
+      const mem::wire::Msg msg =
+          is_write ? mem::wire::kGetM : mem::wire::kGetS;
+      std::vector<std::uint8_t> payload = mem::wire::encode(msg, 0, t, line);
+      TrafficEvent e;
+      e.cycle = cycle;
+      e.src = t;
+      e.dst = dir;
+      e.opcode = mem::wire::opcode(msg);
+      e.payload_bytes = static_cast<int>(payload.size());
+      fabric.send_frame(e.src, e.dst, e.opcode, std::move(payload), cycle);
+      ++frames_sent_;
+      ++injected;
+      if (spec_.record) trace_.push_back(e);
+      continue;
+    }
     if (spec_.pattern == TrafficPattern::kBursty) {
       Burst& b = bursts_[static_cast<std::size_t>(t)];
       if (b.remaining == 0) {
@@ -131,6 +163,7 @@ int TrafficGen::tick(Fabric& fabric, std::uint64_t cycle) {
           dst = transpose_dst(t);
           break;
         case TrafficPattern::kBursty:
+        case TrafficPattern::kMemory:
           break;  // handled above
       }
     }

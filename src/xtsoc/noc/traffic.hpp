@@ -39,6 +39,9 @@ enum class TrafficPattern : std::uint8_t {
   kTranspose = 2,  ///< (x, y) -> (y, x) on square grids (opposite tile
                    ///< otherwise) — the adversarial pattern for XY routing
   kBursty = 3,     ///< on/off: idle, then a back-to-back burst to one tile
+  kMemory = 4,     ///< coherence-shaped load/store mix: xtsoc::mem wire
+                   ///< GetS/GetM frames converge on `hotspot_tile` (the
+                   ///< directory), `write_fraction` picks the store share
 };
 
 const char* to_string(TrafficPattern p);
@@ -53,9 +56,11 @@ struct TrafficSpec {
   /// spends the same budget in bursts: rate/burst_len starts per cycle).
   double offered_load = 0.1;
   int payload_bytes = 8;       ///< frame payload length
-  int hotspot_tile = 0;        ///< kHotspot: the hot destination
+  int hotspot_tile = 0;        ///< kHotspot: the hot destination;
+                               ///< kMemory: the directory tile
   double hotspot_fraction = 0.5;  ///< kHotspot: share aimed at the hot tile
   int burst_len = 8;           ///< kBursty: frames per burst
+  double write_fraction = 0.2; ///< kMemory: GetM share of requests
   bool record = false;         ///< keep the injected trace for replay
 };
 

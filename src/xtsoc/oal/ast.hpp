@@ -43,7 +43,7 @@ struct OalType {
 
 enum class ExprKind {
   kLiteral, kVarRef, kSelfRef, kParamRef, kSelectedRef, kAttrAccess,
-  kUnary, kBinary, kCardinality, kEmpty, kNotEmpty,
+  kUnary, kBinary, kCardinality, kEmpty, kNotEmpty, kMemRead,
 };
 
 enum class UnaryOp { kNeg, kNot };
@@ -142,11 +142,20 @@ struct EmptyExpr : Expr {
   ExprPtr operand;
 };
 
+/// `mem.read(addr)` — load from the platform memory port. What it costs is
+/// the marks' decision (the xtsoc::mem hierarchy); what it returns is not.
+struct MemReadExpr : Expr {
+  MemReadExpr(ExprPtr a, SourceLoc l)
+      : Expr(ExprKind::kMemRead, l), addr(std::move(a)) {}
+  ExprPtr addr;
+};
+
 // --- statements --------------------------------------------------------------
 
 enum class StmtKind {
   kAssign, kCreate, kDelete, kGenerate, kSelectFrom, kSelectRelated,
   kRelate, kUnrelate, kIf, kWhile, kForEach, kBreak, kContinue, kReturn, kLog,
+  kMemWrite,
 };
 
 struct Stmt {
@@ -296,6 +305,14 @@ struct LogStmt : Stmt {
   LogStmt(std::vector<ExprPtr> a, SourceLoc l)
       : Stmt(StmtKind::kLog, l), args(std::move(a)) {}
   std::vector<ExprPtr> args;
+};
+
+/// `mem.write(addr, value);` — store to the platform memory port.
+struct MemWriteStmt : Stmt {
+  MemWriteStmt(ExprPtr a, ExprPtr v, SourceLoc l)
+      : Stmt(StmtKind::kMemWrite, l), addr(std::move(a)), value(std::move(v)) {}
+  ExprPtr addr;
+  ExprPtr value;
 };
 
 }  // namespace xtsoc::oal

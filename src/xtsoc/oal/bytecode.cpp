@@ -96,6 +96,10 @@ private:
         emit(Op::kIsEmpty);
         emit(Op::kNot);
         break;
+      case ExprKind::kMemRead:
+        emit_expr(*static_cast<const MemReadExpr&>(e).addr);
+        emit(Op::kMemRead);
+        break;
     }
   }
 
@@ -273,6 +277,13 @@ private:
         emit(Op::kLog, static_cast<std::uint32_t>(l.args.size()));
         break;
       }
+      case StmtKind::kMemWrite: {
+        const auto& m = static_cast<const MemWriteStmt&>(s);
+        emit_expr(*m.addr);
+        emit_expr(*m.value);
+        emit(Op::kMemWrite);
+        break;
+      }
     }
   }
 
@@ -384,6 +395,8 @@ const char* op_name(Op op) {
     case Op::kSetToRef: return "set_to_ref";
     case Op::kGenerate: return "generate";
     case Op::kLog: return "log";
+    case Op::kMemRead: return "mem_read";
+    case Op::kMemWrite: return "mem_write";
   }
   return "?";
 }

@@ -62,6 +62,9 @@ enum class Op : std::uint8_t {
   kGenerate,   ///< a = (target class<<16)|event, b = (argc<<1)|has_delay;
                ///< pops [delay], target, argN..arg1
   kLog,        ///< a = argc; pops argc values (last on top)
+  // platform memory port (xtsoc::mem via the Host)
+  kMemRead,    ///< pops address, pushes loaded value
+  kMemWrite,   ///< pops value, address (value on top)
 };
 
 struct Instr {

@@ -11,7 +11,8 @@ namespace {
 //   block        := stmt*
 //   stmt         := assign | create | delete | generate | select | relate
 //                 | unrelate | if | while | foreach | break | continue
-//                 | return | log
+//                 | return | log | memwrite
+//   memwrite     := 'mem' '.' 'write' '(' expr ',' expr ')' ';'
 //   assign       := postfix '=' expr ';'
 //   create       := 'create' 'object' 'instance' IDENT 'of' IDENT ';'
 //   delete       := 'delete' 'object' 'instance' expr ';'
@@ -38,7 +39,11 @@ namespace {
 //                 | postfix
 //   postfix      := primary {'.' IDENT}
 //   primary      := literal | 'self' | 'selected' | 'param' '.' IDENT
-//                 | IDENT | '(' expr ')'
+//                 | 'mem' '.' 'read' '(' expr ')' | IDENT | '(' expr ')'
+//
+// `mem` is not a keyword: mem.read/mem.write are recognized by lookahead
+// for the full call shape, so `mem` (and even `mem.read` without
+// parentheses) keeps working as an ordinary variable/attribute chain.
 class Parser {
 public:
   Parser(std::vector<Token> toks, DiagnosticSink& sink)
@@ -137,8 +142,30 @@ private:
         return std::make_unique<ReturnStmt>(loc);
       case TokKind::kKwLog: return parse_log();
       default:
+        if (at(TokKind::kIdent) && cur().text == "mem" &&
+            peek(1).kind == TokKind::kDot &&
+            peek(2).kind == TokKind::kIdent && peek(2).text == "write" &&
+            peek(3).kind == TokKind::kLParen) {
+          return parse_mem_write();
+        }
         return parse_assign();
     }
+  }
+
+  StmtPtr parse_mem_write() {
+    SourceLoc loc = cur().loc;
+    advance();  // mem
+    advance();  // .
+    advance();  // write
+    advance();  // (
+    ExprPtr addr = parse_expr();
+    expect(TokKind::kComma, "between mem.write arguments");
+    ExprPtr value = parse_expr();
+    expect(TokKind::kRParen, "closing mem.write");
+    expect(TokKind::kSemi, "after mem.write");
+    if (recovering_) return nullptr;
+    return std::make_unique<MemWriteStmt>(std::move(addr), std::move(value),
+                                          loc);
   }
 
   StmtPtr parse_assign() {
@@ -468,6 +495,17 @@ private:
         return std::make_unique<ParamRefExpr>(name.text, loc);
       }
       case TokKind::kIdent: {
+        if (cur().text == "mem" && peek(1).kind == TokKind::kDot &&
+            peek(2).kind == TokKind::kIdent && peek(2).text == "read" &&
+            peek(3).kind == TokKind::kLParen) {
+          advance();  // mem
+          advance();  // .
+          advance();  // read
+          advance();  // (
+          ExprPtr addr = parse_expr();
+          expect(TokKind::kRParen, "closing mem.read");
+          return std::make_unique<MemReadExpr>(std::move(addr), loc);
+        }
         Token t = advance();
         return std::make_unique<VarRefExpr>(t.text, loc);
       }

@@ -93,6 +93,11 @@ void print_expr(std::ostream& os, const Expr& e) {
       os << "not_empty ";
       print_child(os, e, *static_cast<const EmptyExpr&>(e).operand, true);
       break;
+    case ExprKind::kMemRead:
+      os << "mem.read(";
+      print_expr(os, *static_cast<const MemReadExpr&>(e).addr);
+      os << ')';
+      break;
   }
 }
 
@@ -235,6 +240,15 @@ void print_stmt(std::ostream& os, const Stmt& s, int indent) {
         print_expr(os, *l.args[i]);
       }
       os << ";\n";
+      break;
+    }
+    case StmtKind::kMemWrite: {
+      const auto& m = static_cast<const MemWriteStmt&>(s);
+      os << "mem.write(";
+      print_expr(os, *m.addr);
+      os << ", ";
+      print_expr(os, *m.value);
+      os << ");\n";
       break;
     }
   }

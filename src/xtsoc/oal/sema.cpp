@@ -254,6 +254,17 @@ private:
         e.type = OalType::scalar(DataType::kBool);
         break;
       }
+      case ExprKind::kMemRead: {
+        auto& m = static_cast<MemReadExpr&>(e);
+        OalType t = check_expr(*m.addr);
+        if (t.base != DataType::kInt || t.is_set) {
+          error("oal.sema.mem_addr",
+                "mem.read address must be an integer, got " + t.to_string(),
+                m.addr->loc);
+        }
+        e.type = OalType::scalar(DataType::kInt);
+        break;
+      }
     }
     return e.type;
   }
@@ -410,6 +421,22 @@ private:
           if (t.base == DataType::kVoid) {
             error("oal.sema.log", "log argument has no value", a->loc);
           }
+        }
+        break;
+      }
+      case StmtKind::kMemWrite: {
+        auto& m = static_cast<MemWriteStmt&>(s);
+        OalType at = check_expr(*m.addr);
+        if (at.base != DataType::kInt || at.is_set) {
+          error("oal.sema.mem_addr",
+                "mem.write address must be an integer, got " + at.to_string(),
+                m.addr->loc);
+        }
+        OalType vt = check_expr(*m.value);
+        if (vt.base != DataType::kInt || vt.is_set) {
+          error("oal.sema.mem_value",
+                "mem.write value must be an integer, got " + vt.to_string(),
+                m.value->loc);
         }
         break;
       }

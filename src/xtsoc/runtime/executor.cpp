@@ -484,6 +484,13 @@ void Executor::save_state(snap::Writer& w) const {
   for (std::uint64_t o : ops_by_class_) w.u64(o);
   w.u64(ops_);
   w.u64(high_water_);
+  // Flat `mem.*` backing store. Empty (and ignored on load) whenever an
+  // external memory port is attached — the port's owner checkpoints it.
+  w.u64(flat_mem_.size());
+  for (const auto& [addr, value] : flat_mem_) {
+    w.i64(addr);
+    w.i64(value);
+  }
 }
 
 void Executor::load_state(snap::Reader& r) {
@@ -511,6 +518,12 @@ void Executor::load_state(snap::Reader& r) {
   for (std::uint64_t& o : ops_by_class_) o = r.u64();
   ops_ = r.u64();
   high_water_ = r.u64();
+  flat_mem_.clear();
+  n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::int64_t addr = r.i64();
+    flat_mem_[addr] = r.i64();
+  }
   current_ = InstanceHandle::null();
 }
 

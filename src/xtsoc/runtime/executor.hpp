@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <queue>
 #include <string>
@@ -54,6 +55,16 @@ struct EventMessage {
 /// signals (executor queues, the bridge's pending forwards).
 void save_message(snap::Writer& w, const EventMessage& m);
 EventMessage load_message(snap::Reader& r);
+
+/// Pluggable backing store for `mem.read` / `mem.write`. The cosim layer
+/// installs a port per domain that routes into the xtsoc::mem hierarchy;
+/// standalone executors fall back to a private flat map.
+class MemoryPort {
+public:
+  virtual ~MemoryPort() = default;
+  virtual std::int64_t read(std::int64_t addr) = 0;
+  virtual void write(std::int64_t addr, std::int64_t value) = 0;
+};
 
 enum class QueuePolicy {
   kXtuml,     ///< self-directed events outrank external events
@@ -176,6 +187,19 @@ public:
   void on_attr_write(const InstanceHandle& h, AttributeId attr,
                      const Value& v) override;
   void on_log(std::string text) override;
+  std::int64_t mem_read(std::int64_t addr) override {
+    if (mem_port_) return mem_port_->read(addr);
+    auto it = flat_mem_.find(addr);
+    return it == flat_mem_.end() ? 0 : it->second;
+  }
+  void mem_write(std::int64_t addr, std::int64_t value) override {
+    if (mem_port_) mem_port_->write(addr, value);
+    else flat_mem_[addr] = value;
+  }
+  /// Route `mem.*` through an external memory model instead of the flat
+  /// map. Not owned; pass nullptr to detach. The flat map is only used
+  /// (and only checkpointed) while no port is attached.
+  void set_memory_port(MemoryPort* port) { mem_port_ = port; }
 
   // --- observability ----------------------------------------------------------
 
@@ -263,6 +287,10 @@ private:
   static constexpr std::size_t kMaxPooledArgs = 256;
   std::uint64_t ops_ = 0;
   std::size_t high_water_ = 0;
+  /// `mem.*` backing: external port when attached, flat map otherwise.
+  /// Ordered map so checkpoints serialize in a deterministic order.
+  MemoryPort* mem_port_ = nullptr;
+  std::map<std::int64_t, std::int64_t> flat_mem_;
   /// Instance whose action is currently running (stamps `log` trace events).
   InstanceHandle current_;
 

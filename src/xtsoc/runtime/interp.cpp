@@ -98,6 +98,11 @@ private:
         }
         return e.kind == ExprKind::kEmpty ? empty : !empty;
       }
+      case ExprKind::kMemRead: {
+        const auto& m = static_cast<const MemReadExpr&>(e);
+        Value a = eval(*m.addr);
+        return host_.mem_read(as_int(a));
+      }
     }
     throw ModelError("unreachable expression kind");
   }
@@ -326,6 +331,17 @@ private:
           text += runtime::to_string(eval(*l.args[i]));
         }
         host_.on_log(std::move(text));
+        return Flow::kNormal;
+      }
+      case StmtKind::kMemWrite: {
+        const auto& m = static_cast<const MemWriteStmt&>(s);
+        Value av = eval(*m.addr);
+        Value vv = eval(*m.value);
+        // Engine parity with the VM/jit lowering: the value operand is
+        // converted before the address.
+        std::int64_t v = as_int(vv);
+        std::int64_t a = as_int(av);
+        host_.mem_write(a, v);
         return Flow::kNormal;
       }
     }

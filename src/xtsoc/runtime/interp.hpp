@@ -47,6 +47,13 @@ public:
   virtual void on_attr_write(const InstanceHandle&, AttributeId,
                              const Value&) {}
   virtual void on_log(std::string /*text*/) {}
+
+  /// Platform memory port (`mem.read` / `mem.write`). The default is a
+  /// degenerate memory where every load returns 0 and stores vanish — hosts
+  /// with a real model (the Executor's flat map, the xtsoc::mem hierarchy)
+  /// override.
+  virtual std::int64_t mem_read(std::int64_t /*addr*/) { return 0; }
+  virtual void mem_write(std::int64_t /*addr*/, std::int64_t /*value*/) {}
 };
 
 /// Interpreter statistics for one action run.

@@ -180,9 +180,10 @@ private:
         &&vm_kIsEmpty,   &&vm_kIndexSet,  &&vm_kWiden,     &&vm_kJump,
         &&vm_kJumpIfFalse, &&vm_kReturn,  &&vm_kCreate,    &&vm_kDelete,
         &&vm_kRelate,    &&vm_kUnrelate,  &&vm_kSelectAll, &&vm_kRelated,
-        &&vm_kFilter,    &&vm_kSetToRef,  &&vm_kGenerate,  &&vm_kLog};
+        &&vm_kFilter,    &&vm_kSetToRef,  &&vm_kGenerate,  &&vm_kLog,
+        &&vm_kMemRead,   &&vm_kMemWrite};
     static_assert(sizeof(kTargets) / sizeof(kTargets[0]) ==
-                      static_cast<std::size_t>(Op::kLog) + 1,
+                      static_cast<std::size_t>(Op::kMemWrite) + 1,
                   "kTargets must cover every oal::Op");
 #define VM_CASE(name) vm_##name:
 #define VM_DISPATCH()                                      \
@@ -449,6 +450,19 @@ private:
         text += to_string(vals[k]);
       }
       host_.on_log(std::move(text));
+      VM_NEXT();
+    }
+    VM_CASE(kMemRead) {
+      Value& v = top();
+      v = host_.mem_read(as_int(v));
+      VM_NEXT();
+    }
+    VM_CASE(kMemWrite) {
+      // Stack is [addr, value]; value converted first, matching the
+      // interpreter and the jit lowering.
+      std::int64_t v = as_int(pop());
+      std::int64_t a = as_int(pop());
+      host_.mem_write(a, v);
       VM_NEXT();
     }
 

@@ -52,7 +52,10 @@ namespace xtsoc::snap {
 /// v2: the fabric F-section leads with a typed (topology kind, routing
 /// policy) shape guard, and the flit route-mode byte is the RouteMode enum
 /// (primary/fallback) rather than a raw 0/1.
-inline constexpr std::uint32_t kSnapVersion = 2;
+/// v3: the C section appends the executor flat-memory maps, per-channel
+/// coherence egress queues, and the xtsoc::mem hierarchy state (store
+/// buffers, version log, cache arrays, MSHRs, directory, DRAM timers).
+inline constexpr std::uint32_t kSnapVersion = 3;
 
 /// Parsed 'H' section.
 struct SnapshotInfo {

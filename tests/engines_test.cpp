@@ -110,7 +110,14 @@ INSTANTIATE_TEST_SUITE_P(
         "create object instance p of Peer;\nself.ref = p;\n"
         "generate poke() to self.ref;\nlog \"sent\", 1;",
         "log \"vals\", 1, 2.5, true, \"txt\";",
-        "generate go(n: param.n - 1) to self delay 3;"));
+        "generate go(n: param.n - 1) to self delay 3;",
+        // mem.* ops hit the executor's flat fallback here (no hierarchy
+        // attached): last write wins, unwritten addresses read 0.
+        "mem.write(3, 40);\nmem.write(3, 2);\n"
+        "self.i = mem.read(3) + mem.read(99);",
+        "k = 0;\nwhile (k < 4)\n  mem.write(k * 8, k * param.n);\n"
+        "  k = k + 1;\nend while;\nt = 0;\nk = 0;\nwhile (k < 4)\n"
+        "  t = t + mem.read(k * 8);\n  k = k + 1;\nend while;\nself.i = t;"));
 
 TEST(EngineParity, ErrorsIdentical) {
   for (const char* snippet :

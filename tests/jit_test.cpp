@@ -152,7 +152,14 @@ INSTANTIATE_TEST_SUITE_P(
         "create object instance p of Peer;\nself.ref = p;\n"
         "generate poke() to self.ref;\nlog \"sent\", 1;",
         "log \"vals\", 1, 2.5, true, \"txt\";",
-        "generate go(n: param.n - 1) to self delay 3;"));
+        "generate go(n: param.n - 1) to self delay 3;",
+        // mem.* lowers to the o->mem_read/mem_write host hooks; with no
+        // hierarchy attached both engines hit the same flat fallback.
+        "mem.write(3, 40);\nmem.write(3, 2);\n"
+        "self.i = mem.read(3) + mem.read(99);",
+        "k = 0;\nwhile (k < 4)\n  mem.write(k * 8, k * param.n);\n"
+        "  k = k + 1;\nend while;\nt = 0;\nk = 0;\nwhile (k < 4)\n"
+        "  t = t + mem.read(k * 8);\n  k = k + 1;\nend while;\nself.i = t;"));
 
 TEST(JitParity, ErrorTextIdentical) {
   for (const char* snippet :

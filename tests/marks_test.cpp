@@ -489,5 +489,147 @@ TEST(Validate, GoodTopologyRoutingCombosAccepted) {
   }
 }
 
+// --- memory-hierarchy marks -------------------------------------------------
+
+/// A placed hardware class plus a DRAM edge on the free tile of a 2x2 mesh
+/// (software at (0,0), Compressor at (1,1), DRAM at tile 1) — the minimal
+/// legal memory-marked platform the negative tests below perturb.
+MarkSet mem_marked() {
+  MarkSet m = placed("Compressor", 1, 1);
+  m.set_domain_mark(kMeshWidth, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMeshHeight, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kDramTile, ScalarValue(std::int64_t{1}));
+  return m;
+}
+
+TEST(Validate, GoodMemoryMarksAccepted) {
+  Domain d = make_domain();
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kCacheSets, ScalarValue(std::int64_t{8}));
+  m.set_domain_mark(kCacheWays, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kCacheLineBytes, ScalarValue(std::int64_t{64}));
+  m.set_domain_mark(kCacheHitLatency, ScalarValue(std::int64_t{1}));
+  m.set_domain_mark(kDramTRcd, ScalarValue(std::int64_t{3}));
+  m.set_domain_mark(kDramTCas, ScalarValue(std::int64_t{3}));
+  m.set_domain_mark(kDramTRp, ScalarValue(std::int64_t{2}));
+  m.set_domain_mark(kMemWriteFraction, ScalarValue(0.25));
+  DiagnosticSink sink;
+  EXPECT_TRUE(m.validate(d, sink)) << sink.to_string();
+}
+
+TEST(Validate, CacheGeometryMustBePowerOfTwo) {
+  Domain d = make_domain();
+  for (const char* key : {kCacheSets, kCacheWays, kCacheLineBytes}) {
+    MarkSet m = mem_marked();
+    m.set_domain_mark(key, ScalarValue(std::int64_t{48}));
+    DiagnosticSink sink;
+    EXPECT_FALSE(m.validate(d, sink)) << key;
+    EXPECT_NE(sink.to_string().find("marks.cache.pow2"), std::string::npos)
+        << key;
+  }
+  // Zero and negative are not powers of two either.
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kCacheSets, ScalarValue(std::int64_t{0}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.cache.pow2"), std::string::npos);
+}
+
+TEST(Validate, HitLatencyAtLeastOneCycle) {
+  Domain d = make_domain();
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kCacheHitLatency, ScalarValue(std::int64_t{0}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.cache.range"), std::string::npos);
+}
+
+TEST(Validate, CacheMarksWithoutDramTileRejected) {
+  Domain d = make_domain();
+  MarkSet m = placed("Compressor", 1, 1);
+  m.set_domain_mark(kCacheSets, ScalarValue(std::int64_t{8}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.dram.missing_tile"),
+            std::string::npos);
+}
+
+TEST(Validate, DramTileNeedsMeshPlacement) {
+  Domain d = make_domain();
+  MarkSet m;  // no tileX/tileY anywhere: bus-only model
+  m.set_domain_mark(kDramTile, ScalarValue(std::int64_t{1}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.dram.requires_mesh"),
+            std::string::npos);
+}
+
+TEST(Validate, DramTimingMustBePositive) {
+  Domain d = make_domain();
+  for (const char* key : {kDramTRcd, kDramTCas, kDramTRp}) {
+    MarkSet m = mem_marked();
+    m.set_domain_mark(key, ScalarValue(std::int64_t{0}));
+    DiagnosticSink sink;
+    EXPECT_FALSE(m.validate(d, sink)) << key;
+    EXPECT_NE(sink.to_string().find("marks.dram.range"), std::string::npos)
+        << key;
+  }
+}
+
+TEST(Validate, DramTileOutsideMeshRejected) {
+  Domain d = make_domain();
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kDramTile, ScalarValue(std::int64_t{4}));  // 2x2 has 0..3
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("[marks.dram.tile]"), std::string::npos)
+      << sink.to_string();
+
+  sink.clear();
+  MarkSet neg = mem_marked();
+  neg.set_domain_mark(kDramTile, ScalarValue(std::int64_t{-1}));
+  EXPECT_FALSE(neg.validate(d, sink));
+}
+
+TEST(Validate, DramTileMustBeUnoccupied) {
+  Domain d = make_domain();
+  // Tile 3 is Compressor's tile in the 2x2 placement.
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kDramTile, ScalarValue(std::int64_t{3}));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.dram.tile_clash"), std::string::npos);
+  EXPECT_NE(sink.to_string().find("Compressor"), std::string::npos);
+
+  // Tile 0 is the software tile by default.
+  sink.clear();
+  MarkSet sw = mem_marked();
+  sw.set_domain_mark(kDramTile, ScalarValue(std::int64_t{0}));
+  EXPECT_FALSE(sw.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.dram.tile_clash"), std::string::npos);
+  EXPECT_NE(sink.to_string().find("software tile"), std::string::npos);
+}
+
+TEST(Validate, WriteFractionIsAProbability) {
+  Domain d = make_domain();
+  MarkSet m = mem_marked();
+  m.set_domain_mark(kMemWriteFraction, ScalarValue(1.5));
+  DiagnosticSink sink;
+  EXPECT_FALSE(m.validate(d, sink));
+  EXPECT_NE(sink.to_string().find("marks.mem.write_fraction"),
+            std::string::npos);
+
+  sink.clear();
+  MarkSet neg = mem_marked();
+  neg.set_domain_mark(kMemWriteFraction, ScalarValue(-0.1));
+  EXPECT_FALSE(neg.validate(d, sink));
+
+  // Integer 0 and 1 are legal probabilities (marks files write them bare).
+  sink.clear();
+  MarkSet ok = mem_marked();
+  ok.set_domain_mark(kMemWriteFraction, ScalarValue(std::int64_t{1}));
+  EXPECT_TRUE(ok.validate(d, sink)) << sink.to_string();
+}
+
 }  // namespace
 }  // namespace xtsoc::marks

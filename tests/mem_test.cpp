@@ -1,0 +1,653 @@
+// xtsoc::mem — the mark-driven memory hierarchy.
+//
+// The contracts under test, in order:
+//   * the coherence wire format round-trips and its opcode space can never
+//     collide with model signals or synthetic traffic;
+//   * the FUNCTIONAL layer's visibility rule: a store issued at cycle c is
+//     forwarded to its own domain immediately and to every other domain at
+//     exactly c + L, with same-cycle stores ordered by (tag, issue seq);
+//   * the TIMING layer walks the full MESI grid — cold fill to E, silent
+//     E->M upgrade, read-sharing downgrade (M flushes, both end S),
+//     write invalidation, dirty-victim eviction, uncached mode — with
+//     coherence messages as real fabric frames;
+//   * end to end, OAL `mem.read`/`mem.write` move values between mesh
+//     tiles, byte-identically at every threads x window x faults setting;
+//   * snapshots carry the hierarchy (restore across thread counts) and a
+//     mem-world snapshot refuses to restore into a memory-less world;
+//   * a world WITHOUT memory marks is pinned: no mem system, no "memory"
+//     report section, and a golden fingerprint over its traces;
+//   * the noc TrafficGen `memory` pattern drives a real directory.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "test_models.hpp"
+#include "xtsoc/cosim/cosim.hpp"
+#include "xtsoc/cosim/report.hpp"
+#include "xtsoc/fault/fault.hpp"
+#include "xtsoc/mem/mem.hpp"
+#include "xtsoc/mem/wire.hpp"
+#include "xtsoc/noc/fabric.hpp"
+#include "xtsoc/noc/traffic.hpp"
+#include "xtsoc/snap/snapshot.hpp"
+#include "xtsoc/xtuml/builder.hpp"
+
+namespace xtsoc::mem {
+namespace {
+
+using cosim::CoSimConfig;
+using cosim::CoSimulation;
+using runtime::InstanceHandle;
+using runtime::Value;
+using testing::MappedFixture;
+using xtuml::DataType;
+using xtuml::ScalarValue;
+
+// --- wire format ---------------------------------------------------------------
+
+TEST(MemWire, RoundTripAllFields) {
+  auto p = wire::encode(wire::kData, /*aux=*/2, /*src_tile=*/5,
+                        /*line=*/-7, /*pad_to=*/64);
+  EXPECT_EQ(p.size(), 64u);
+  wire::Decoded d = wire::decode(p);
+  EXPECT_EQ(d.type, wire::kData);
+  EXPECT_EQ(d.aux, 2);
+  EXPECT_EQ(d.src_tile, 5);
+  EXPECT_EQ(d.line, -7);
+
+  auto q = wire::encode(wire::kGetS, 0, 300, 0x123456789abcLL);
+  EXPECT_EQ(q.size(), wire::kHeaderBytes);
+  wire::Decoded e = wire::decode(q);
+  EXPECT_EQ(e.type, wire::kGetS);
+  EXPECT_EQ(e.src_tile, 300);
+  EXPECT_EQ(e.line, 0x123456789abcLL);
+}
+
+TEST(MemWire, OpcodeSpaceDisjointFromModelTraffic) {
+  for (wire::Msg m : {wire::kGetS, wire::kGetM, wire::kPutM, wire::kInv,
+                      wire::kInvAck, wire::kData}) {
+    EXPECT_TRUE(wire::is_coherence(wire::opcode(m)));
+  }
+  // Model signal opcodes are small event indices; synthetic traffic uses
+  // (src << 16) | seq with src bounded by the mesh size. Neither can reach
+  // the upper-10-bits-set range.
+  EXPECT_FALSE(wire::is_coherence(0));
+  EXPECT_FALSE(wire::is_coherence(42));
+  EXPECT_FALSE(wire::is_coherence((1023u << 16) | 0xffffu));
+}
+
+// --- functional layer ----------------------------------------------------------
+
+MemConfig functional_config() {
+  MemConfig c;
+  c.dram_tile = 3;
+  c.lookahead = 8;
+  return c;
+}
+
+TEST(MemFunctional, UnwrittenAddressReadsZero) {
+  System sys(functional_config(), nullptr);
+  sys.add_domain(0, nullptr);
+  EXPECT_EQ(sys.read(0, 0, 12345), 0);
+}
+
+TEST(MemFunctional, OwnStoreForwardsImmediatelyOthersWaitLookahead) {
+  System sys(functional_config(), nullptr);
+  sys.add_domain(0, nullptr);
+  sys.add_domain(1, nullptr);
+  sys.write(0, /*cycle=*/5, /*addr=*/40, /*value=*/99);
+  // The issuing domain sees its own store at once (store buffer).
+  EXPECT_EQ(sys.read(0, 5, 40), 99);
+  // Another domain sees nothing until the visibility cycle 5 + 8 = 13.
+  EXPECT_EQ(sys.read(1, 12, 40), 0);
+  sys.append_visible(12);
+  EXPECT_EQ(sys.read(1, 12, 40), 0);  // vis = 13 not yet in the horizon
+  sys.append_visible(13);
+  EXPECT_EQ(sys.read(1, 12, 40), 0);  // logged, but not visible at 12
+  EXPECT_EQ(sys.read(1, 13, 40), 99);
+  // The writer keeps seeing its own store through the log as well.
+  EXPECT_EQ(sys.read(0, 6, 40), 99);
+}
+
+TEST(MemFunctional, SameCycleStoresOrderByTagThenSeq) {
+  System sys(functional_config(), nullptr);
+  sys.add_domain(0, nullptr);
+  sys.add_domain(1, nullptr);
+  // Two domains hit the same address in the same cycle: the global order
+  // is (visibility, tag, seq), so tag 1's store is the newer version.
+  sys.write(1, 4, 7, 111);
+  sys.write(0, 4, 7, 222);
+  sys.append_visible(100);
+  EXPECT_EQ(sys.read(0, 100, 7), 111);
+  EXPECT_EQ(sys.read(1, 100, 7), 111);
+  // Within one domain, issue order wins.
+  sys.write(0, 10, 8, 1);
+  sys.write(0, 10, 8, 2);
+  sys.append_visible(100);
+  EXPECT_EQ(sys.read(1, 100, 8), 2);
+}
+
+// --- MESI timing layer ---------------------------------------------------------
+
+/// Two cached executor tiles (0, 1) and the DRAM/directory tile 3 on a
+/// 2x2 fabric, pumped the way the cosim serial spine pumps them: tick the
+/// network, hand each tile's reassembled coherence frames to the caches,
+/// let System::tick drain the directory NIC and the access queues.
+struct MesiRig {
+  noc::Fabric fabric;
+  System sys;
+  std::uint64_t cycle = 0;
+
+  static noc::FabricConfig fabric_config() {
+    noc::FabricConfig f;
+    f.width = 2;
+    f.height = 2;
+    return f;
+  }
+  static MemConfig mem_config(int sets) {
+    MemConfig c;
+    c.dram_tile = 3;
+    c.sets = sets;
+    c.ways = 2;
+    c.line_bytes = 64;
+    c.lookahead = 4;
+    return c;
+  }
+
+  explicit MesiRig(int sets = 4, int ways = 2)
+      : fabric(fabric_config()), sys(make_cfg(sets, ways), &fabric) {
+    sys.add_domain(0, nullptr);
+    sys.add_domain(1, nullptr);
+  }
+
+  static MemConfig make_cfg(int sets, int ways) {
+    MemConfig c = mem_config(sets);
+    c.ways = ways;
+    return c;
+  }
+
+  void step() {
+    ++cycle;
+    fabric.tick(cycle);
+    std::vector<System::Incoming> delivered;
+    for (int tile : {0, 1}) {
+      for (noc::Delivery& d : fabric.pop_due(tile, cycle)) {
+        if (!wire::is_coherence(d.opcode)) continue;
+        delivered.push_back(
+            System::Incoming{tile, d.opcode, std::move(d.payload)});
+      }
+    }
+    sys.tick(cycle, delivered);
+  }
+
+  void settle(int max_steps = 400) {
+    for (int i = 0; i < max_steps; ++i) {
+      step();
+      if (sys.idle() && fabric.idle()) return;
+    }
+    FAIL() << "memory system did not settle";
+  }
+
+  void load(int tag, std::int64_t addr) { sys.read(tag, cycle, addr); }
+  void store(int tag, std::int64_t addr) { sys.write(tag, cycle, addr, 1); }
+};
+
+TEST(Mesi, ColdLoadFillsExclusiveThenHits) {
+  MesiRig r;
+  r.load(0, 0);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().loads, 1u);
+  EXPECT_EQ(r.sys.stats().misses, 1u);
+  EXPECT_EQ(r.sys.stats().hits, 0u);
+  EXPECT_EQ(r.sys.stats().dram_reads, 1u);
+  EXPECT_EQ(r.sys.stats().load_use_count, 1u);
+  // The line came back Exclusive: a second load — and even a first store —
+  // hit locally without any new coherence traffic.
+  std::uint64_t frames = r.sys.stats().coh_frames;
+  r.load(0, 8);   // same 64-byte line
+  r.store(0, 16);  // E -> M silent upgrade
+  r.settle();
+  EXPECT_EQ(r.sys.stats().hits, 2u);
+  EXPECT_EQ(r.sys.stats().coh_frames, frames);
+}
+
+TEST(Mesi, ReadSharingDowngradesDirtyOwner) {
+  MesiRig r;
+  r.store(0, 0);  // tile 0 ends up Modified
+  r.settle();
+  r.load(1, 0);  // tile 1 reads the same line
+  r.settle();
+  // The owner flushed (writeback) but was NOT invalidated: both tiles now
+  // hold Shared copies and hit locally.
+  EXPECT_EQ(r.sys.stats().writebacks, 1u);
+  EXPECT_EQ(r.sys.stats().invalidations, 0u);
+  std::uint64_t frames = r.sys.stats().coh_frames;
+  std::uint64_t hits = r.sys.stats().hits;
+  r.load(0, 8);
+  r.load(1, 8);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().hits, hits + 2);
+  EXPECT_EQ(r.sys.stats().coh_frames, frames);
+}
+
+TEST(Mesi, WriteInvalidatesEverySharer) {
+  MesiRig r;
+  r.store(0, 0);
+  r.settle();
+  r.load(1, 0);
+  r.settle();  // both Shared now
+  r.store(1, 0);  // upgrade: tile 0's copy must die
+  r.settle();
+  EXPECT_EQ(r.sys.stats().invalidations, 1u);
+  // Tile 0 misses again afterwards; tile 1 hits (it owns M).
+  std::uint64_t misses = r.sys.stats().misses;
+  std::uint64_t hits = r.sys.stats().hits;
+  r.store(1, 8);
+  r.load(0, 8);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().hits, hits + 1);
+  EXPECT_EQ(r.sys.stats().misses, misses + 1);
+}
+
+TEST(Mesi, EvictionWritesBackDirtyVictim) {
+  MesiRig r(/*sets=*/1, /*ways=*/1);  // every line maps to the single way
+  r.store(0, 0);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().writebacks, 0u);
+  r.load(0, 64);  // different line, same (only) set: evicts the dirty line
+  r.settle();
+  EXPECT_EQ(r.sys.stats().evictions, 1u);
+  EXPECT_EQ(r.sys.stats().writebacks, 1u);
+  EXPECT_EQ(r.sys.stats().dram_writes, 1u);
+}
+
+TEST(Mesi, UncachedModeMissesEveryAccess) {
+  MesiRig r(/*sets=*/0);
+  r.load(0, 0);
+  r.settle();
+  r.load(0, 0);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().misses, 2u);
+  EXPECT_EQ(r.sys.stats().hits, 0u);
+  EXPECT_EQ(r.sys.stats().dram_reads, 2u);
+  // Same line back to back: the second access hits the open DRAM row.
+  EXPECT_EQ(r.sys.stats().dram_row_hits, 1u);
+}
+
+TEST(Mesi, DramRowConflictCostsPrecharge) {
+  MesiRig r(/*sets=*/0);
+  r.load(0, 0);  // line 0: bank 0, row 0
+  r.settle();
+  // Line 512 maps to bank 0 (512 & 7 == 0) but row 1 (512 >> 3 >> 6):
+  // the open row must be precharged first.
+  r.load(0, 512 * 64);
+  r.settle();
+  EXPECT_EQ(r.sys.stats().dram_row_conflicts, 1u);
+  EXPECT_EQ(r.sys.stats().dram_row_hits, 0u);
+}
+
+// --- OAL mem.read / mem.write end to end ---------------------------------------
+
+/// 3x2 mesh: software boss at (0,0), three hardware workers, the DRAM
+/// edge at tile (2,0) = 2. Each worker stores to its own slot of a shared
+/// region and reads its neighbours' slots; boss collects done events.
+std::unique_ptr<xtuml::Domain> make_mem_domain() {
+  xtuml::DomainBuilder b("Mem");
+  b.cls("Boss", "BSS");
+  for (int i = 0; i < 3; ++i) b.cls("W" + std::to_string(i));
+  auto boss = b.edit("Boss");
+  boss.attr("acks", DataType::kInt)
+      .ref_attr("w0", "W0")
+      .ref_attr("w1", "W1")
+      .ref_attr("w2", "W2")
+      .event("go")
+      .event("done", {{"v", DataType::kInt}})
+      .state("Idle")
+      .state("Fanning",
+             "generate job(n: 0, who: self) to self.w0;\n"
+             "generate job(n: 1, who: self) to self.w1;\n"
+             "generate job(n: 2, who: self) to self.w2;")
+      .transition("Idle", "go", "Fanning")
+      .transition("Fanning", "go", "Fanning");
+  boss.state("Collect", "self.acks = self.acks + 1;")
+      .transition("Fanning", "done", "Collect")
+      .transition("Collect", "done", "Collect")
+      .transition("Collect", "go", "Fanning");
+  for (int i = 0; i < 3; ++i) {
+    b.edit("W" + std::to_string(i))
+        .attr("sum", DataType::kInt)
+        .attr("mine", DataType::kInt)
+        .event("job", {{"n", DataType::kInt}, b.ref_param("who", "Boss")})
+        .state("Work",
+               // Own slot: written then read back (store-to-load
+               // forwarding makes this exact). Neighbour slots: whatever
+               // is visible — deterministic, asserted by the grid below.
+               "mem.write(param.n * 8, param.n * 100 + 7);\n"
+               "self.mine = mem.read(param.n * 8);\n"
+               "self.sum = self.sum + mem.read(((param.n + 1) % 3) * 8)\n"
+               "         + mem.read(((param.n + 2) % 3) * 8)\n"
+               "         + mem.read(4096);\n"
+               "generate done(v: param.n) to param.who;")
+        .transition("Work", "job", "Work");
+  }
+  return b.take();
+}
+
+marks::MarkSet mem_mesh_marks(bool with_mem = true) {
+  marks::MarkSet m;
+  const int tiles[3][2] = {{1, 0}, {0, 1}, {1, 1}};
+  for (int i = 0; i < 3; ++i) {
+    std::string cls = "W" + std::to_string(i);
+    m.mark_hardware(cls);
+    m.set_class_mark(cls, marks::kTileX,
+                     ScalarValue(std::int64_t{tiles[i][0]}));
+    m.set_class_mark(cls, marks::kTileY,
+                     ScalarValue(std::int64_t{tiles[i][1]}));
+  }
+  m.set_domain_mark(marks::kMeshWidth, ScalarValue(std::int64_t{3}));
+  m.set_domain_mark(marks::kMeshHeight, ScalarValue(std::int64_t{2}));
+  if (with_mem) {
+    m.set_domain_mark(marks::kDramTile, ScalarValue(std::int64_t{2}));
+    m.set_domain_mark(marks::kCacheSets, ScalarValue(std::int64_t{4}));
+    m.set_domain_mark(marks::kCacheWays, ScalarValue(std::int64_t{2}));
+    m.set_domain_mark(marks::kCacheLineBytes, ScalarValue(std::int64_t{64}));
+  }
+  return m;
+}
+
+/// Boot the fanout population, kick it `rounds` times, capture everything
+/// observable (including the report's "memory" section).
+struct MemRun {
+  std::string hw_traces;
+  std::string sw_trace;
+  std::string memory_json;
+  std::string interconnect_json;
+  std::uint64_t cycles = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::vector<std::int64_t> attrs;
+};
+
+MemRun run_mem_model(int threads, int window, fault::Plan* plan,
+                     int rounds = 3) {
+  MappedFixture fx(make_mem_domain(), mem_mesh_marks());
+  CoSimConfig cfg;
+  cfg.threads = threads;
+  cfg.window = window;
+  cfg.fault = plan;
+  CoSimulation cs(*fx.system, cfg);
+  auto w0 = cs.create("W0");
+  auto w1 = cs.create("W1");
+  auto w2 = cs.create("W2");
+  auto boss = cs.create_with(
+      "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+  EXPECT_NE(cs.mem_system(), nullptr);
+  for (int i = 0; i < rounds; ++i) {
+    cs.inject(boss, "go");
+    cs.run_cycles(400);
+  }
+  MemRun r;
+  for (const auto& hw : cs.hw_domains()) {
+    r.hw_traces += hw->executor().trace().to_string();
+  }
+  r.sw_trace = cs.sw_executor().trace().to_string();
+  r.cycles = cs.cycles();
+  obs::Snapshot snap = cs.report();
+  r.memory_json = snap.at("memory").dump();
+  r.interconnect_json = snap.at("interconnect").dump();
+  r.loads = cs.mem_system()->stats().loads;
+  r.stores = cs.mem_system()->stats().stores;
+  auto attr_of = [&](const InstanceHandle& h, const char* cls,
+                     const char* name) {
+    const auto* a = fx.domain->find_class(cls)->find_attribute(name);
+    return std::get<std::int64_t>(
+        cs.executor_of(h.cls).database().get_attr(h, a->id));
+  };
+  r.attrs = {attr_of(boss, "Boss", "acks"),  attr_of(w0, "W0", "mine"),
+             attr_of(w1, "W1", "mine"),      attr_of(w2, "W2", "mine"),
+             attr_of(w0, "W0", "sum"),       attr_of(w1, "W1", "sum"),
+             attr_of(w2, "W2", "sum")};
+  return r;
+}
+
+TEST(MemCosim, ValuesFlowThroughSharedMemory) {
+  MemRun r = run_mem_model(1, 1, nullptr);
+  EXPECT_EQ(r.attrs[0], 9);  // 3 rounds x 3 workers acked
+  // Each worker read back exactly what it wrote (forwarding).
+  EXPECT_EQ(r.attrs[1], 7);
+  EXPECT_EQ(r.attrs[2], 107);
+  EXPECT_EQ(r.attrs[3], 207);
+  // By round 2 every round-1 store is long visible (rounds are 400 cycles
+  // apart, L is single-digit), so each worker accumulated its neighbours'
+  // values in rounds 2 and 3 at the latest.
+  EXPECT_GE(r.attrs[4] + r.attrs[5] + r.attrs[6], 2 * (107 + 207 + 7 + 207 + 7 + 107));
+  // The timing layer saw the traffic: 3 rounds x 3 workers x (1 store +
+  // 4 loads — mem.read(own) + two neighbours + one cold address).
+  EXPECT_EQ(r.stores, 9u);
+  EXPECT_EQ(r.loads, 36u);
+}
+
+TEST(MemCosim, ByteIdenticalAcrossThreadsWindowsAndFaults) {
+  for (bool faulty : {false, true}) {
+    SCOPED_TRACE(faulty ? "faults" : "fault-free");
+    auto spec = [&] {
+      fault::FaultSpec s;
+      if (faulty) {
+        s.seed = 7;
+        s.flit_drop = 0.02;
+        s.flit_corrupt = 0.02;
+      }
+      return s;
+    }();
+    fault::Plan serial_plan(spec);
+    MemRun serial = run_mem_model(1, 1, faulty ? &serial_plan : nullptr);
+    for (int threads : {2, 8}) {
+      for (int window : {0, 1}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " window=" + std::to_string(window));
+        fault::Plan plan(spec);
+        MemRun par = run_mem_model(threads, window, faulty ? &plan : nullptr);
+        EXPECT_EQ(par.hw_traces, serial.hw_traces);
+        EXPECT_EQ(par.sw_trace, serial.sw_trace);
+        EXPECT_EQ(par.cycles, serial.cycles);
+        EXPECT_EQ(par.attrs, serial.attrs);
+        EXPECT_EQ(par.memory_json, serial.memory_json);
+        EXPECT_EQ(par.interconnect_json, serial.interconnect_json);
+      }
+    }
+  }
+}
+
+TEST(MemCosim, SnapshotPortsAcrossThreadCounts) {
+  auto boot = [](CoSimulation& cs) {
+    auto w0 = cs.create("W0");
+    auto w1 = cs.create("W1");
+    auto w2 = cs.create("W2");
+    auto boss = cs.create_with(
+        "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+    cs.inject(boss, "go");
+    return boss;
+  };
+  auto capture = [](CoSimulation& cs) {
+    std::string out;
+    for (const auto& hw : cs.hw_domains()) {
+      out += hw->executor().trace().to_string();
+    }
+    out += cs.sw_executor().trace().to_string();
+    out += cs.report().at("memory").dump();
+    out += std::to_string(cs.cycles());
+    return out;
+  };
+
+  // Uninterrupted serial reference.
+  MappedFixture fx_ref(make_mem_domain(), mem_mesh_marks());
+  CoSimulation ref(*fx_ref.system);
+  auto boss_ref = boot(ref);
+  ref.run_cycles(60);
+  ref.inject(boss_ref, "go");
+  ref.run_cycles(340);
+  std::string want = capture(ref);
+
+  // Save at cycle 60 (stores in flight, caches warm), restore under other
+  // configurations, continue identically.
+  MappedFixture fx_a(make_mem_domain(), mem_mesh_marks());
+  CoSimulation a(*fx_a.system);
+  auto boss_a = boot(a);
+  a.run_cycles(60);
+  std::vector<std::uint8_t> bytes = snap::save(a);
+
+  for (int threads : {1, 8}) {
+    MappedFixture fx_b(make_mem_domain(), mem_mesh_marks());
+    CoSimConfig cfg;
+    cfg.threads = threads;
+    CoSimulation b(*fx_b.system, cfg);
+    snap::restore(b, bytes.data(), bytes.size());
+    // The restored world reuses its own handles; boss is the only Boss.
+    b.inject(boss_a, "go");
+    b.run_cycles(340);
+    EXPECT_EQ(capture(b), want) << "threads=" << threads;
+  }
+}
+
+TEST(MemCosim, SnapshotRefusesMemoryWorldMismatch) {
+  // A snapshot from a memory-less world must not load into a world whose
+  // marks added a hierarchy (and vice versa) — the saved state would be
+  // structurally incomplete. The interface digest catches re-marked
+  // systems; the explicit mem flag in the C section is the backstop.
+  MappedFixture fx_none(make_mem_domain(), mem_mesh_marks(false));
+  CoSimulation plain(*fx_none.system);
+  plain.create("W0");
+  plain.run_cycles(10);
+  std::vector<std::uint8_t> bytes = snap::save(plain);
+
+  MappedFixture fx_mem(make_mem_domain(), mem_mesh_marks(true));
+  CoSimulation withmem(*fx_mem.system);
+  withmem.create("W0");
+  EXPECT_THROW(snap::restore(withmem, bytes.data(), bytes.size()),
+               snap::SnapError);
+}
+
+// --- the no-memory-marks world is unchanged ------------------------------------
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(MemCosim, NoMemoryMarksWorldIsPinned) {
+  MappedFixture fx(make_mem_domain(), mem_mesh_marks(false));
+  CoSimulation cs(*fx.system);
+  EXPECT_EQ(cs.mem_system(), nullptr);
+  auto w0 = cs.create("W0");
+  auto w1 = cs.create("W1");
+  auto w2 = cs.create("W2");
+  auto boss = cs.create_with(
+      "Boss", {{"w0", Value(w0)}, {"w1", Value(w1)}, {"w2", Value(w2)}});
+  cs.inject(boss, "go");
+  cs.run_cycles(200);
+  obs::Snapshot snap = cs.report();
+  EXPECT_EQ(snap.find("memory"), nullptr);
+  // Golden fingerprint over every observable byte of the run. If this
+  // moves, the memory subsystem changed the behaviour of a world that
+  // never asked for it — that is a bug, not a baseline refresh.
+  std::string all;
+  for (const auto& hw : cs.hw_domains()) {
+    all += hw->executor().trace().to_string();
+  }
+  all += cs.sw_executor().trace().to_string();
+  all += snap.to_json();
+  EXPECT_EQ(fnv1a(all), 0x0bc764edb484fe08ull)
+      << "fingerprint: " << std::hex << fnv1a(all);
+}
+
+// --- TrafficGen memory pattern -------------------------------------------------
+
+struct TrafficOutcome {
+  std::uint64_t gets = 0;       ///< kGetS requests injected
+  std::uint64_t getm = 0;       ///< kGetM requests injected
+  std::uint64_t dram_reads = 0;
+  std::uint64_t coh_frames = 0;  ///< directory responses (incl. Inv)
+};
+
+TrafficOutcome run_memory_traffic(double write_fraction) {
+  noc::FabricConfig fcfg;
+  fcfg.width = 2;
+  fcfg.height = 2;
+  noc::Fabric fabric(fcfg);
+  MemConfig mcfg;
+  mcfg.dram_tile = 3;
+  mcfg.sets = 4;
+  System sys(mcfg, &fabric);
+  sys.add_domain(0, nullptr);
+  sys.add_domain(1, nullptr);
+  sys.add_domain(2, nullptr);
+
+  noc::TrafficSpec spec;
+  spec.pattern = noc::TrafficPattern::kMemory;
+  spec.seed = 11;
+  spec.offered_load = 0.2;
+  spec.hotspot_tile = 3;  // the directory tile
+  spec.write_fraction = write_fraction;
+  spec.record = true;
+  noc::TrafficGen gen(spec, fabric.topology());
+
+  std::uint64_t cycle = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (i < 100) gen.tick(fabric, cycle);  // then drain
+    ++cycle;
+    fabric.tick(cycle);
+    std::vector<System::Incoming> delivered;
+    for (int tile : {0, 1, 2}) {
+      for (noc::Delivery& d : fabric.pop_due(tile, cycle)) {
+        if (!wire::is_coherence(d.opcode)) continue;
+        delivered.push_back(
+            System::Incoming{tile, d.opcode, std::move(d.payload)});
+      }
+    }
+    sys.tick(cycle, delivered);
+  }
+  TrafficOutcome out;
+  for (const noc::TrafficEvent& e : gen.trace()) {
+    if (e.opcode == wire::opcode(wire::kGetM)) ++out.getm;
+    if (e.opcode == wire::opcode(wire::kGetS)) ++out.gets;
+  }
+  EXPECT_EQ(out.gets + out.getm, gen.frames_sent());
+  out.dram_reads = sys.stats().dram_reads;
+  out.coh_frames = sys.stats().coh_frames;
+  return out;
+}
+
+TEST(MemTraffic, MemoryPatternDrivesDirectory) {
+  // The write fraction is the knob: it selects the request opcode on the
+  // wire, and the directory answers everything that arrives.
+  TrafficOutcome reads = run_memory_traffic(0.0);
+  EXPECT_GT(reads.gets, 0u);
+  EXPECT_EQ(reads.getm, 0u);
+  EXPECT_GT(reads.dram_reads, 0u);
+  EXPECT_GT(reads.coh_frames, 0u);
+
+  TrafficOutcome writes = run_memory_traffic(1.0);
+  EXPECT_EQ(writes.gets, 0u);
+  EXPECT_GT(writes.getm, 0u);
+  EXPECT_GT(writes.dram_reads, 0u);
+
+  TrafficOutcome mixed = run_memory_traffic(0.5);
+  EXPECT_GT(mixed.gets, 0u);
+  EXPECT_GT(mixed.getm, 0u);
+
+  // Same spec, same tape: the generator is a pure function of the seed.
+  TrafficOutcome again = run_memory_traffic(0.5);
+  EXPECT_EQ(mixed.gets, again.gets);
+  EXPECT_EQ(mixed.getm, again.getm);
+  EXPECT_EQ(mixed.coh_frames, again.coh_frames);
+  EXPECT_EQ(mixed.dram_reads, again.dram_reads);
+}
+
+}  // namespace
+}  // namespace xtsoc::mem
